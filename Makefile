@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench repro cover fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table of the paper's evaluation (~3 minutes).
+repro:
+	$(GO) run ./cmd/fluxion-bench -experiment all -csv repro-csv
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out
+	rm -rf repro-csv

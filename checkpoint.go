@@ -1,0 +1,81 @@
+package fluxion
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"fluxion/internal/jgf"
+	"fluxion/internal/traverser"
+)
+
+// ErrCheckpoint is wrapped by all checkpoint decode/restore errors.
+var ErrCheckpoint = errors.New("fluxion: bad checkpoint")
+
+// checkpointDoc is the serialized scheduler state: the store as JGF plus
+// every live allocation and reservation.
+type checkpointDoc struct {
+	Version int               `json:"version"`
+	Graph   json.RawMessage   `json:"graph"`
+	Jobs    []checkpointAlloc `json:"jobs"`
+}
+
+type checkpointAlloc struct {
+	ID       int64             `json:"id"`
+	At       int64             `json:"at"`
+	Duration int64             `json:"duration"`
+	Reserved bool              `json:"reserved,omitempty"`
+	Grants   []traverser.Grant `json:"grants"`
+}
+
+// Checkpoint serializes the store and every live allocation so a restarted
+// scheduler can resume exactly where it stopped (crash recovery /
+// fail-over — the statelessness Fluxion inherits from keeping all
+// scheduler state in the resource graph).
+func (f *Fluxion) Checkpoint() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	graph, err := jgf.Encode(f.g)
+	if err != nil {
+		return nil, err
+	}
+	doc := checkpointDoc{Version: 1, Graph: graph}
+	for _, id := range f.tr.Jobs() {
+		alloc, _ := f.tr.Info(id)
+		doc.Jobs = append(doc.Jobs, checkpointAlloc{
+			ID:       id,
+			At:       alloc.At,
+			Duration: alloc.Duration,
+			Reserved: alloc.Reserved,
+			Grants:   alloc.Grants(),
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Restore rebuilds a Fluxion instance from a Checkpoint document: the
+// store is reloaded and every allocation reinstalled (spans and filter
+// aggregates included). opts configure policy/prune filters/base/horizon;
+// store sources must not be passed.
+func Restore(data []byte, opts ...Option) (*Fluxion, error) {
+	var doc checkpointDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpoint, doc.Version)
+	}
+	if len(doc.Graph) == 0 {
+		return nil, fmt.Errorf("%w: missing graph", ErrCheckpoint)
+	}
+	f, err := New(append(opts, WithJGF(doc.Graph))...)
+	if err != nil {
+		return nil, err
+	}
+	for _, job := range doc.Jobs {
+		if _, err := f.tr.Reinstall(job.ID, job.At, job.Duration, job.Reserved, job.Grants); err != nil {
+			return nil, fmt.Errorf("%w: job %d: %v", ErrCheckpoint, job.ID, err)
+		}
+	}
+	return f, nil
+}

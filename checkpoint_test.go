@@ -1,0 +1,126 @@
+package fluxion
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fluxion/internal/jobspec"
+)
+
+func TestCheckpointRestore(t *testing.T) {
+	f := newFluxion(t)
+	// One live allocation, one reservation.
+	if _, err := f.MatchAllocate(1, jobspec.NodeLocal(4, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.MatchAllocateOrReserve(2, jobspec.NodeLocal(2, 1, 4, 8, 0, 50), 0)
+	if err != nil || !res.Reserved {
+		t.Fatalf("reserve: %+v, %v", res, err)
+	}
+	data, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := Restore(data, WithPruneFilters("ALL:core,ALL:node,ALL:memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Jobs()) != 2 {
+		t.Fatalf("restored jobs = %v", f2.Jobs())
+	}
+	a1, ok := f2.Info(1)
+	if !ok || a1.Reserved || a1.Duration != 100 {
+		t.Fatalf("job 1 = %+v", a1)
+	}
+	a2, ok := f2.Info(2)
+	if !ok || !a2.Reserved || a2.At != res.At {
+		t.Fatalf("job 2 = %+v", a2)
+	}
+	// The restored instance schedules consistently: system is full at
+	// t=0 so a new job reserves.
+	a3, err := f2.MatchAllocateOrReserve(3, jobspec.NodeLocal(1, 1, 4, 0, 0, 10), 0)
+	if err != nil || !a3.Reserved {
+		t.Fatalf("post-restore reserve: %+v, %v", a3, err)
+	}
+	// Restored grants match the originals.
+	orig, _ := f.Info(1)
+	if len(a1.Grants()) != len(orig.Grants()) {
+		t.Fatalf("grants: %d vs %d", len(a1.Grants()), len(orig.Grants()))
+	}
+	// Cancel on the restored instance frees capacity (filters intact).
+	if err := f2.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.MatchAllocate(4, jobspec.NodeLocal(4, 1, 4, 0, 0, 10), 0); err != nil {
+		t.Fatalf("after cancel on restored: %v", err)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := Restore([]byte("junk")); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("junk: %v", err)
+	}
+	if _, err := Restore([]byte(`{"version":9,"graph":{}}`)); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("bad version: %v", err)
+	}
+	if _, err := Restore([]byte(`{"version":1}`)); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("missing graph: %v", err)
+	}
+	// Conflicting grants (same capacity twice) fail the restore.
+	f := newFluxion(t)
+	if _, err := f.MatchAllocate(1, jobspec.NodeLocal(1, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	mustJSON(t, data, &doc)
+	jobs := doc["jobs"].([]any)
+	dup := jobs[0].(map[string]any)
+	dup2 := map[string]any{}
+	for k, v := range dup {
+		dup2[k] = v
+	}
+	dup2["id"] = float64(99)
+	doc["jobs"] = append(jobs, dup2)
+	bad := mustMarshal(t, doc)
+	// Job 99 re-claims job 1's exact cores: capacity conflict.
+	if _, err := Restore(bad, WithPruneFilters("ALL:core")); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("conflicting grants: %v", err)
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	f := newFluxion(t)
+	data, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Jobs()) != 0 || f2.Graph().Len() != f.Graph().Len() {
+		t.Fatalf("empty restore: %v / %d", f2.Jobs(), f2.Graph().Len())
+	}
+}
+
+func mustJSON(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,125 @@
+// fluxion-bench regenerates every figure and table of the paper's
+// evaluation (§6) as text tables:
+//
+//	fluxion-bench -experiment lod       # Fig. 6a  (LOD tradeoffs)
+//	fluxion-bench -experiment planner   # Fig. 6b  (Planner scaling)
+//	fluxion-bench -experiment classes   # Fig. 7a  (performance classes)
+//	fluxion-bench -experiment varaware  # Fig. 7b, Table 1, Fig. 8
+//	fluxion-bench -experiment all       # everything
+//
+// Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
+// planner, 2418-node quartz with 200 jobs for the case study) run in a few
+// minutes; use -racks/-spans/-jobs to scale down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxion/internal/experiments"
+	"fluxion/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | all")
+		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
+		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
+		queries    = flag.Int("queries", 4096, "planner queries per measurement")
+		jobs       = flag.Int("jobs", 200, "trace length for the variation-aware study")
+		nodes      = flag.Int64("quartz-nodes", 2418, "variation-aware system size (racks of 62)")
+		seed       = flag.Int64("seed", 2023, "workload seed")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		fail(err)
+		fail(fn(f))
+		fail(f.Close())
+		fmt.Printf("(wrote %s)\n", filepath.Join(*csvDir, name))
+	}
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if run("lod") {
+		ran = true
+		start := time.Now()
+		results, err := experiments.RunLOD(*racks)
+		fail(err)
+		experiments.PrintLOD(os.Stdout, results, *racks)
+		writeCSV("lod.csv", func(w *os.File) error { return experiments.WriteLODCSV(w, results) })
+		fmt.Printf("(lod experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	if run("planner") {
+		ran = true
+		counts, err := parseInts(*spans)
+		fail(err)
+		start := time.Now()
+		results, err := experiments.RunPlannerPerf(counts, *queries, *seed)
+		fail(err)
+		experiments.PrintPlannerPerf(os.Stdout, results)
+		writeCSV("planner.csv", func(w *os.File) error { return experiments.WritePlannerCSV(w, results) })
+		fmt.Printf("(planner experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	if run("classes") && *experiment != "all" {
+		// Standalone histogram; under "all" it prints with varaware.
+		ran = true
+		model := workload.GenerateVariation(int(*nodes), *seed)
+		experiments.PrintClassHistogram(os.Stdout, model.ClassHistogram())
+		fmt.Println()
+	}
+	if run("varaware") {
+		ran = true
+		cfg := experiments.DefaultVarAware()
+		cfg.Jobs = *jobs
+		cfg.Seed = *seed
+		cfg.Racks = (*nodes + cfg.NodesPerRack - 1) / cfg.NodesPerRack
+		start := time.Now()
+		hist, runs, err := experiments.RunVarAware(cfg)
+		fail(err)
+		experiments.PrintClassHistogram(os.Stdout, hist)
+		fmt.Println()
+		experiments.PrintVarAware(os.Stdout, runs)
+		writeCSV("classes.csv", func(w *os.File) error { return experiments.WriteClassCSV(w, hist) })
+		writeCSV("varaware.csv", func(w *os.File) error { return experiments.WriteVarAwareCSV(w, runs) })
+		writeCSV("varaware_perjob.csv", func(w *os.File) error { return experiments.WritePerJobCSV(w, runs) })
+		fmt.Printf("(varaware experiment wall time: %v)\n", time.Since(start).Round(time.Second))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, or all)\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad span count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxion-bench:", err)
+		os.Exit(1)
+	}
+}

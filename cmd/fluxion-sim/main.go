@@ -1,0 +1,112 @@
+// fluxion-sim replays a job trace through the Fluxion scheduler on a
+// GRUG-generated system and reports the timeline and run metrics:
+//
+//	fluxion-sim -preset quartz -synth 200 -queue conservative -timeline
+//	fluxion-sim -grug cluster.yaml -trace jobs.jsonl -match variation
+//
+// Traces are JSONL (see internal/trace); -synth generates a synthetic
+// queue snapshot instead. Use -write-trace to save the synthetic trace
+// for reuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/simcli"
+	"fluxion/internal/trace"
+)
+
+func main() {
+	var (
+		grugFile   = flag.String("grug", "", "GRUG recipe file")
+		preset     = flag.String("preset", "", "built-in recipe: high | med | low | low2 | quartz | small")
+		traceFile  = flag.String("trace", "", "JSONL trace file")
+		synth      = flag.Int("synth", 0, "generate a synthetic queue snapshot of N jobs instead of -trace")
+		maxNodes   = flag.Int64("synth-max-nodes", 256, "largest synthetic job")
+		cores      = flag.Int64("synth-cores", 36, "cores per node in synthetic jobs")
+		seed       = flag.Int64("seed", 2023, "synthetic trace seed")
+		writeTrace = flag.String("write-trace", "", "save the (synthetic) trace to this file")
+		matchPol   = flag.String("match", "first", "match policy: first | high | low | locality | variation")
+		queuePol   = flag.String("queue", "conservative", "queue policy: fcfs | easy | conservative")
+		queueDepth = flag.Int("queue-depth", 0, "plan at most N pending jobs per cycle (0 = all)")
+		prune      = flag.String("prune", "ALL:core,ALL:node", "pruning filter spec")
+		timeline   = flag.Bool("timeline", false, "print the per-job timeline")
+	)
+	flag.Parse()
+
+	var recipe *grug.Recipe
+	switch {
+	case *grugFile != "":
+		data, err := os.ReadFile(*grugFile)
+		fail(err)
+		r, err := grug.ParseYAML(data)
+		fail(err)
+		recipe = r
+	case *preset != "":
+		switch *preset {
+		case "high":
+			recipe = grug.HighLOD()
+		case "med":
+			recipe = grug.MedLOD()
+		case "low":
+			recipe = grug.LowLOD()
+		case "low2":
+			recipe = grug.Low2LOD()
+		case "quartz":
+			recipe = grug.QuartzPaper()
+		case "small":
+			recipe = grug.Small(2, 4, 8, 32, 100)
+		default:
+			fail(fmt.Errorf("unknown preset %q", *preset))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "fluxion-sim: -grug or -preset is required")
+		os.Exit(2)
+	}
+
+	var jobs []trace.Job
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		fail(err)
+		jobs, err = trace.Read(f)
+		_ = f.Close()
+		fail(err)
+	case *synth > 0:
+		jobs = trace.Synthesize(*synth, *maxNodes, *cores, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "fluxion-sim: -trace or -synth is required")
+		os.Exit(2)
+	}
+	if *writeTrace != "" {
+		f, err := os.Create(*writeTrace)
+		fail(err)
+		fail(trace.Write(f, jobs))
+		fail(f.Close())
+		fmt.Printf("wrote %d jobs to %s\n", len(jobs), *writeTrace)
+	}
+
+	spec, err := resgraph.ParsePruneSpec(*prune)
+	fail(err)
+	_, err = simcli.Run(simcli.Config{
+		Recipe:      recipe,
+		PruneSpec:   spec,
+		MatchPolicy: *matchPol,
+		QueuePolicy: sched.QueuePolicy(*queuePol),
+		QueueDepth:  *queueDepth,
+		Timeline:    *timeline,
+	}, jobs, os.Stdout)
+	fail(err)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxion-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+// grug-gen writes the built-in GRUG recipes to disk so they can be edited
+// and fed back to resource-query:
+//
+//	grug-gen -out ./recipes
+//
+// emits high.yaml, med.yaml, low.yaml, low2.yaml (the paper's §6.1 levels
+// of detail), quartz.yaml (§6.3), and disaggregated.yaml (§5.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fluxion/internal/grug"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	racks := flag.Int64("racks", 56, "LOD recipe scale in racks")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	recipes := map[string]*grug.Recipe{
+		"high.yaml":          grug.HighLODRacks(*racks),
+		"med.yaml":           grug.MedLODRacks(*racks),
+		"low.yaml":           grug.LowLODRacks(*racks),
+		"low2.yaml":          grug.Low2LODRacks(*racks),
+		"quartz.yaml":        grug.QuartzPaper(),
+		"disaggregated.yaml": grug.Disaggregated(4, 2, 2, 1),
+	}
+	for name, r := range recipes {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, r.YAML(), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d vertices when built)\n", path, r.TotalVertices())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "grug-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// resource-query is the interactive utility the paper evaluates with
+// (§6.1): it populates a resource graph store from a GRUG recipe (file or
+// preset), then answers match commands read from stdin.
+//
+//	resource-query -preset med -prune ALL:core -policy first
+//	resource-query -grug cluster.yaml
+//
+// Type "help" at the prompt for the command list (match allocate /
+// allocate_orelse_reserve / satisfy, cancel, release, info, rv1, find,
+// set-status, time, stat, dump, quit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/rqcli"
+)
+
+func main() {
+	var (
+		grugFile = flag.String("grug", "", "GRUG recipe file")
+		preset   = flag.String("preset", "", "built-in recipe: high | med | low | low2 | quartz | small")
+		policy   = flag.String("policy", "first", "match policy: first | high | low | locality | variation")
+		prune    = flag.String("prune", "ALL:core,ALL:node", "pruning filter spec (empty disables)")
+	)
+	flag.Parse()
+
+	opts := []fluxion.Option{
+		fluxion.WithPolicy(*policy),
+		fluxion.WithPruneFilters(*prune),
+	}
+	switch {
+	case *grugFile != "":
+		data, err := os.ReadFile(*grugFile)
+		fail(err)
+		opts = append(opts, fluxion.WithRecipeYAML(data))
+	case *preset != "":
+		r, err := presetRecipe(*preset)
+		fail(err)
+		opts = append(opts, fluxion.WithRecipe(r))
+	default:
+		fmt.Fprintln(os.Stderr, "resource-query: -grug or -preset is required")
+		os.Exit(2)
+	}
+	f, err := fluxion.New(opts...)
+	fail(err)
+	fmt.Printf("resource-query: %s\n", f.Stat())
+
+	s := rqcli.NewSession(f)
+	s.Prompt = "resource-query> "
+	fail(s.Run(os.Stdin, os.Stdout))
+	fmt.Println()
+}
+
+func presetRecipe(name string) (*grug.Recipe, error) {
+	switch name {
+	case "high":
+		return grug.HighLOD(), nil
+	case "med":
+		return grug.MedLOD(), nil
+	case "low":
+		return grug.LowLOD(), nil
+	case "low2":
+		return grug.Low2LOD(), nil
+	case "quartz":
+		return grug.QuartzPaper(), nil
+	case "small":
+		return grug.Small(2, 4, 8, 32, 100), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resource-query:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Elastic: demonstrates dynamic resource-graph updates (paper §5.5).
+// The system grows a new rack at runtime — aggregates, paths, planners,
+// and every ancestor pruning filter update incrementally — schedules onto
+// it, and shrinks it back once drained.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+)
+
+func main() {
+	f, err := fluxion.New(
+		fluxion.WithRecipe(grug.Small(1, 2, 8, 32, 0)), // 1 rack, 2 nodes
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial store:", f.Stat())
+
+	threeNodes := jobspec.New(600, jobspec.SlotR(3, jobspec.R("node", 1, jobspec.R("core", 8))))
+	if ok, _ := f.MatchSatisfy(threeNodes); ok {
+		log.Fatal("3-node job should not fit a 2-node system")
+	}
+	fmt.Println("3-node job unsatisfiable on the 2-node system")
+
+	// Grow: attach a second rack with two more nodes.
+	rack := &grug.Recipe{Root: grug.N("rack", 1, grug.N("node", 2, grug.N("core", 8)))}
+	v, err := f.Grow("/cluster0", rack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grew %s; store now: %s\n", v.Path(), f.Stat())
+
+	alloc, err := f.MatchAllocate(1, threeNodes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-node job allocated after growth:\n  %s\n", alloc.Describe())
+
+	// Shrink is refused while the new rack hosts part of the job.
+	if err := f.Shrink(v.Path()); !errors.Is(err, resgraph.ErrBusy) {
+		log.Fatalf("expected busy error, got %v", err)
+	}
+	fmt.Println("shrink refused while the new rack is busy")
+
+	// Drain and shrink.
+	if err := f.Cancel(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Shrink(v.Path()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rack drained and detached; store:", f.Stat())
+
+	// Marking a node down removes it from matching without detaching.
+	if err := f.SetStatus("/cluster0/rack0/node0", false); err != nil {
+		log.Fatal(err)
+	}
+	oneNode := jobspec.New(600, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 8))))
+	a, err := f.MatchAllocate(2, oneNode, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with node0 down, job landed on:\n  %s\n", a.Describe())
+}

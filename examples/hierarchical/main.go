@@ -1,0 +1,74 @@
+// Hierarchical: fully hierarchical scheduling (paper §5.6). A parent
+// Fluxion instance grants a batch allocation to a workflow; the workflow
+// spawns its own child instance over exactly that grant and schedules
+// thousands of small ensemble tasks inside it at high throughput, without
+// ever touching the parent scheduler. Children can recurse to arbitrary
+// depth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+)
+
+func main() {
+	// The machine: 8 racks x 8 nodes x 16 cores.
+	parent, err := fluxion.New(
+		fluxion.WithRecipe(grug.Small(8, 8, 16, 0, 0)),
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parent:", parent.Stat())
+
+	// The workflow's batch job: 16 exclusive nodes.
+	batch := jobspec.New(0, jobspec.RX("node", 16, jobspec.R("core", 16)))
+	if _, err := parent.MatchAllocate(1, batch, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parent granted 16 nodes to the workflow (job 1)")
+
+	// The workflow instance schedules within its grant.
+	wf, err := parent.SpawnInstance(1, fluxion.WithPruneFilters("ALL:core,ALL:node"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workflow instance:", wf.Stat())
+
+	// High-throughput ensemble: 256 single-core tasks of 60 s each fill
+	// the 256 granted cores exactly.
+	task := jobspec.New(60, jobspec.SlotR(1, jobspec.R("core", 1)))
+	placed := 0
+	for id := int64(1); ; id++ {
+		if _, err := wf.MatchAllocate(id, task, 0); err != nil {
+			break
+		}
+		placed++
+	}
+	fmt.Printf("workflow placed %d single-core tasks (grant = 16x16 = 256 cores)\n", placed)
+
+	// A second level: the workflow retires its first 64 tasks and hands
+	// the 4 freed nodes to an in-situ analysis sub-instance.
+	for id := int64(1); id <= 64; id++ {
+		if err := wf.Cancel(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	analysis := jobspec.New(0, jobspec.RX("node", 4, jobspec.R("core", 16)))
+	if _, err := wf.MatchAllocate(10001, analysis, 0); err != nil {
+		log.Fatal(err)
+	}
+	sub, err := wf.SpawnInstance(10001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analysis sub-instance:", sub.Stat())
+
+	// The parent is untouched by all of this: it still sees one job.
+	fmt.Printf("parent still tracks %d job(s); hierarchy depth reached: 3 instances\n", len(parent.Jobs()))
+}

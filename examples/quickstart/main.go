@@ -1,0 +1,89 @@
+// Quickstart: build a small cluster from a GRUG recipe, submit a canonical
+// jobspec, inspect the selected resource set, and release it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxion"
+)
+
+const recipe = `
+name: demo-cluster
+root:
+  type: cluster
+  with:
+    - type: rack
+      count: 2
+      with:
+        - type: node
+          count: 4
+          with:
+            - {type: core, count: 16}
+            - {type: gpu, count: 2}
+            - {type: memory, count: 1, size: 64, unit: GB}
+`
+
+const job = `
+version: 1
+resources:
+  - type: node
+    count: 2
+    with:
+      - type: slot
+        count: 1
+        with:
+          - {type: core, count: 8}
+          - {type: gpu, count: 1}
+          - {type: memory, count: 16}
+attributes:
+  system:
+    duration: 3600
+`
+
+func main() {
+	f, err := fluxion.New(
+		fluxion.WithRecipeYAML([]byte(recipe)),
+		fluxion.WithPolicy("first"),
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("store:", f.Stat())
+
+	// Allocate: 2 nodes, each hosting a slot of 8 cores + 1 GPU + 16 GB.
+	alloc, err := f.MatchAllocateYAML(1, []byte(job), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job 1 allocated at t=%d for %ds on:\n  %s\n", alloc.At, alloc.Duration, alloc.Describe())
+
+	// The cluster has 8 nodes; filling it shows reservations kicking in.
+	for id := int64(2); ; id++ {
+		a, err := f.MatchAllocateOrReserve(id, mustParse(job), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a.Reserved {
+			fmt.Printf("job %d reserved for t=%d (cluster full now)\n", id, a.At)
+			break
+		}
+		fmt.Printf("job %d allocated immediately\n", id)
+	}
+
+	// Cancel job 1; its resources free up instantly.
+	if err := f.Cancel(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("job 1 canceled;", f.Stat())
+}
+
+func mustParse(y string) *fluxion.Jobspec {
+	js, err := fluxion.ParseJobspec([]byte(y))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return js
+}

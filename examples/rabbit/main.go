@@ -1,0 +1,111 @@
+// Rabbit: models the near-node flash ("rabbit") storage of the El Capitan
+// supercomputer (paper §5.1). Each compute chassis holds a few compute
+// nodes and one rabbit — a storage node whose SSDs can back either
+// node-local file systems (for the chassis's own nodes) or a global Lustre
+// file system. A rabbit can host at most one Lustre server because the
+// server needs the rabbit's unique IP, which the model captures as an
+// exclusive size-1 "ip" vertex.
+//
+// The example exercises the three scheduling cases the paper calls out:
+// co-located node-local storage, global storage with the one-Lustre-per-
+// rabbit constraint, and compute-free storage-only allocations that
+// outlive jobs.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+)
+
+func buildSystem() *fluxion.Fluxion {
+	// 3 chassis, each with 4 compute nodes (16 cores) and one rabbit
+	// holding 1 TB of SSD, 8 NVMe namespaces, and its single IP.
+	recipe := &grug.Recipe{
+		Name: "rabbit-system",
+		Root: grug.N("cluster", 1,
+			grug.N("chassis", 3,
+				grug.N("node", 4, grug.N("core", 16)),
+				grug.N("rabbit", 1,
+					grug.NP("ssd", 1, 1024, "GB"),
+					grug.NP("namespace", 1, 8, ""),
+					grug.N("ip", 1)))),
+	}
+	f, err := fluxion.New(
+		fluxion.WithRecipe(recipe),
+		fluxion.WithPruneFilters("ALL:core,ALL:node,ALL:ssd"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+func main() {
+	f := buildSystem()
+	fmt.Println("store:", f.Stat())
+	id := int64(1)
+
+	// Case 1 — node-local storage: the job's nodes and its SSD capacity
+	// must come from the same chassis, so both sit under one chassis
+	// request vertex. The compute nodes are held exclusively (slot);
+	// the rabbit stays shared so other jobs can still use its spare
+	// capacity. Each file system consumes an NVMe namespace.
+	nodeLocal := jobspec.New(3600,
+		jobspec.R("chassis", 1,
+			jobspec.SlotR(1,
+				jobspec.R("node", 2, jobspec.R("core", 16))),
+			jobspec.R("rabbit", 1,
+				jobspec.R("ssd", 200),
+				jobspec.R("namespace", 2))))
+	alloc, err := f.MatchAllocate(id, nodeLocal, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[node-local] job %d: 2 nodes + 200 GB on the same chassis:\n  %s\n", id, alloc.Describe())
+	id++
+
+	// Case 2 — global Lustre storage: any rabbit will do, but the
+	// Lustre server needs the rabbit's unique IP, so at most one global
+	// file system per rabbit.
+	global := jobspec.New(0, // storage can outlive jobs: unlimited duration
+		jobspec.R("rabbit", 1,
+			jobspec.R("ssd", 500),
+			jobspec.RX("ip", 1)))
+	for i := 0; i < 3; i++ {
+		a, err := f.MatchAllocate(id, global, 0)
+		if err != nil {
+			log.Fatalf("global fs %d: %v", i, err)
+		}
+		fmt.Printf("[global] Lustre fs %d on: %s\n", i+1, a.Describe())
+		id++
+	}
+	// A fourth global file system fails: all three rabbit IPs are held.
+	if _, err := f.MatchAllocate(id, global, 0); !errors.Is(err, fluxion.ErrNoMatch) {
+		log.Fatalf("expected the one-Lustre-per-rabbit constraint to reject, got %v", err)
+	}
+	fmt.Println("[global] 4th Lustre fs correctly rejected: every rabbit's IP is in use")
+
+	// Case 3 — storage-only allocation, no compute attached (paper:
+	// "users can allocate rabbits independently of jobs"). Capacity
+	// checks still apply per rabbit.
+	storageOnly := jobspec.New(0, jobspec.R("rabbit", 1, jobspec.R("ssd", 300)))
+	a, err := f.MatchAllocate(id, storageOnly, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[storage-only] persistent 300 GB allocation: %s\n", a.Describe())
+
+	// SSD capacity is tracked per rabbit: rabbit0 now holds
+	// 200 (node-local) + 500 (Lustre) + 300 (persistent) = 1000 of its
+	// 1024 GB, so the next 100 GB request spills to another rabbit.
+	a2, err := f.MatchAllocate(id+1, jobspec.New(0, jobspec.R("rabbit", 1, jobspec.R("ssd", 100))), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[storage-only] next 100 GB landed on: %s\n", a2.Describe())
+}

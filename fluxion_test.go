@@ -1,0 +1,269 @@
+package fluxion
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+)
+
+const testRecipe = `
+name: test-cluster
+root:
+  type: cluster
+  with:
+    - type: rack
+      count: 2
+      with:
+        - type: node
+          count: 2
+          with:
+            - {type: core, count: 4}
+            - {type: memory, count: 1, size: 16, unit: GB}
+`
+
+const testJobspec = `
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - {type: core, count: 2}
+          - {type: memory, count: 4}
+attributes:
+  system:
+    duration: 3600
+`
+
+func newFluxion(t *testing.T, opts ...Option) *Fluxion {
+	t.Helper()
+	base := []Option{
+		WithRecipeYAML([]byte(testRecipe)),
+		WithPruneFilters("ALL:core,ALL:node,ALL:memory"),
+	}
+	f, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRequiresExactlyOneSource(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := New(WithRecipe(grug.Small(1, 1, 1, 0, 0)), WithRecipeYAML([]byte("x"))); err == nil {
+		t.Fatal("two sources accepted")
+	}
+}
+
+func TestEndToEndYAML(t *testing.T) {
+	f := newFluxion(t)
+	alloc, err := f.MatchAllocateYAML(1, []byte(testJobspec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Reserved || alloc.Duration != 3600 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	d := alloc.Describe()
+	if !strings.Contains(d, "core") || !strings.Contains(d, "memory") {
+		t.Fatalf("Describe = %q", d)
+	}
+	if jobs := f.Jobs(); len(jobs) != 1 || jobs[0] != 1 {
+		t.Fatalf("Jobs = %v", jobs)
+	}
+	if _, ok := f.Info(1); !ok {
+		t.Fatal("Info missing")
+	}
+	if err := f.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Cancel(1); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("double cancel: %v", err)
+	}
+	if n, d := f.MatchStats(); n != 1 || d <= 0 {
+		t.Fatalf("MatchStats = %d, %v", n, d)
+	}
+}
+
+func TestReserveViaFacade(t *testing.T) {
+	f := newFluxion(t)
+	spec := jobspec.NodeLocal(4, 1, 4, 0, 0, 100) // all 4 nodes, all cores
+	if _, err := f.MatchAllocate(1, spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := f.MatchAllocateOrReserve(2, jobspec.NodeLocal(1, 1, 4, 0, 0, 50), 0)
+	if err != nil || !alloc.Reserved || alloc.At != 100 {
+		t.Fatalf("alloc = %+v, %v", alloc, err)
+	}
+}
+
+func TestMatchSatisfyFacade(t *testing.T) {
+	f := newFluxion(t)
+	ok, err := f.MatchSatisfy(jobspec.NodeLocal(4, 1, 4, 16, 0, 10))
+	if err != nil || !ok {
+		t.Fatalf("satisfiable: %v %v", ok, err)
+	}
+	ok, err = f.MatchSatisfy(jobspec.NodeLocal(5, 1, 1, 0, 0, 10))
+	if err != nil || ok {
+		t.Fatalf("too many nodes: %v %v", ok, err)
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	f := newFluxion(t)
+	// Grow a third node under rack0.
+	sub := &grug.Recipe{Root: grug.N("node", 1, grug.N("core", 4))}
+	v, err := f.Grow("/cluster0/rack0", sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Path() != "/cluster0/rack0/node4" {
+		t.Fatalf("grown path = %q", v.Path())
+	}
+	// 5-node jobs are now satisfiable.
+	ok, err := f.MatchSatisfy(jobspec.NodeLocal(5, 1, 4, 0, 0, 10))
+	if err != nil || !ok {
+		t.Fatalf("after grow: %v %v", ok, err)
+	}
+	// Shrink it back.
+	if err := f.Shrink(v.Path()); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = f.MatchSatisfy(jobspec.NodeLocal(5, 1, 4, 0, 0, 10))
+	if ok {
+		t.Fatal("still satisfiable after shrink")
+	}
+	// Busy subtree refuses shrink.
+	if _, err := f.MatchAllocate(1, jobspec.NodeLocal(1, 1, 4, 0, 0, 1000), 0); err != nil {
+		t.Fatal(err)
+	}
+	var busyNode string
+	a, _ := f.Info(1)
+	busyNode = a.Nodes()[0].Path()
+	if err := f.Shrink(busyNode); !errors.Is(err, resgraph.ErrBusy) {
+		t.Fatalf("shrink busy: %v", err)
+	}
+	if err := f.Shrink("/nope"); err == nil {
+		t.Fatal("shrink unknown path accepted")
+	}
+}
+
+func TestStatusAndFind(t *testing.T) {
+	f := newFluxion(t)
+	if err := f.SetStatus("/cluster0/rack0/node0", false); err != nil {
+		t.Fatal(err)
+	}
+	down := f.Find("node", "down")
+	if len(down) != 1 || down[0] != "/cluster0/rack0/node0" {
+		t.Fatalf("down = %v", down)
+	}
+	if up := f.Find("node", "up"); len(up) != 3 {
+		t.Fatalf("up = %v", up)
+	}
+	if all := f.Find("", ""); len(all) != f.Graph().Len() {
+		t.Fatalf("all = %d", len(all))
+	}
+	if err := f.SetStatus("/nope", true); err == nil {
+		t.Fatal("unknown path accepted")
+	}
+}
+
+func TestJGFRoundTripViaFacade(t *testing.T) {
+	f := newFluxion(t)
+	data, err := f.JGF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(WithJGF(data), WithPruneFilters("ALL:core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Graph().Len() != f.Graph().Len() {
+		t.Fatalf("Len: %d vs %d", f2.Graph().Len(), f.Graph().Len())
+	}
+	// The reloaded store schedules identically.
+	if _, err := f2.MatchAllocateYAML(1, []byte(testJobspec), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithGraphUnfinalized(t *testing.T) {
+	g := resgraph.NewGraph(0, 1000)
+	cl := g.MustAddVertex("cluster", -1, 1)
+	nd := g.MustAddVertex("node", -1, 1)
+	if err := g.AddContainment(cl, nd); err != nil {
+		t.Fatal(err)
+	}
+	c := g.MustAddVertex("core", -1, 1)
+	if err := g.AddContainment(nd, c); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(WithGraph(g), WithPruneFilters("ALL:core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Graph().Finalized() {
+		t.Fatal("graph not finalized by New")
+	}
+	if f.Graph().Root(resgraph.Containment).Filter() == nil {
+		t.Fatal("prune spec not applied")
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := New(WithRecipe(grug.Small(1, 1, 1, 0, 0)), WithPolicy("nope")); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := New(WithRecipe(grug.Small(1, 1, 1, 0, 0)), WithPruneFilters("broken")); err == nil {
+		t.Fatal("bad prune spec accepted")
+	}
+	if _, err := New(WithRecipe(grug.Small(1, 1, 1, 0, 0)), WithHorizon(-1)); err == nil {
+		t.Fatal("bad horizon accepted")
+	}
+	if _, err := New(WithRecipeYAML([]byte("::bad"))); err == nil {
+		t.Fatal("bad recipe accepted")
+	}
+	if _, err := New(WithRecipe(grug.Small(1, 1, 1, 0, 0)), WithSubsystem("nope")); err == nil {
+		t.Fatal("unknown subsystem accepted")
+	}
+}
+
+func TestStatString(t *testing.T) {
+	f := newFluxion(t)
+	if s := f.Stat(); !strings.Contains(s, "vertices") {
+		t.Fatalf("Stat = %q", s)
+	}
+}
+
+func TestParseJobspecHelper(t *testing.T) {
+	js, err := ParseJobspec([]byte(testJobspec))
+	if err != nil || js.Duration != 3600 {
+		t.Fatalf("ParseJobspec: %+v, %v", js, err)
+	}
+}
+
+func TestGraphMLRoundTripViaFacade(t *testing.T) {
+	f := newFluxion(t)
+	data, err := f.GraphML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(WithGraphML(data), WithPruneFilters("ALL:core,ALL:node,ALL:memory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Graph().Len() != f.Graph().Len() {
+		t.Fatalf("Len: %d vs %d", f2.Graph().Len(), f.Graph().Len())
+	}
+	if _, err := f2.MatchAllocateYAML(1, []byte(testJobspec), 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module fluxion
+
+go 1.22

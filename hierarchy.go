@@ -1,0 +1,113 @@
+package fluxion
+
+import (
+	"fmt"
+
+	"fluxion/internal/resgraph"
+)
+
+// SpawnInstance implements fully hierarchical scheduling (paper §5.6):
+// it builds a child Fluxion instance whose resource graph store contains
+// exactly the resources granted to jobID — pool vertices sized to the
+// granted units, connected by a clone of the containment skeleton. The
+// child schedules its own sub-jobs within the grant, independently of the
+// parent; the parent-child relationship can extend to arbitrary depth.
+//
+// opts configure the child (policy, prune filters, base/horizon); sources
+// (WithRecipe etc.) must not be passed. By default the child inherits the
+// parent's planner base and horizon.
+func (f *Fluxion) SpawnInstance(jobID int64, opts ...Option) (*Fluxion, error) {
+	f.mu.Lock()
+	alloc, ok := f.tr.Info(jobID)
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
+	}
+
+	c := &config{base: f.g.Base(), horizon: f.g.Horizon()}
+	for _, o := range opts {
+		if err := o(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.recipe != nil || c.recipeYAML != nil || c.jgfData != nil || c.graph != nil {
+		return nil, fmt.Errorf("fluxion: SpawnInstance does not accept a store source option")
+	}
+	spec, err := resgraph.ParsePruneSpec(c.prune)
+	if err != nil {
+		return nil, err
+	}
+
+	g := resgraph.NewGraph(c.base, c.horizon)
+	if len(spec) > 0 {
+		if err := g.SetPruneSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Accumulate granted units per vertex (a pool can be granted from
+	// several slots of the same job).
+	granted := make(map[*resgraph.Vertex]int64)
+	order := make([]*resgraph.Vertex, 0, len(alloc.Vertices))
+	for _, va := range alloc.Vertices {
+		if _, seen := granted[va.V]; !seen {
+			order = append(order, va.V)
+		}
+		granted[va.V] += va.Units
+	}
+
+	clones := make(map[*resgraph.Vertex]*resgraph.Vertex)
+	var cloneOf func(v *resgraph.Vertex) (*resgraph.Vertex, error)
+	cloneOf = func(v *resgraph.Vertex) (*resgraph.Vertex, error) {
+		if nv, ok := clones[v]; ok {
+			return nv, nil
+		}
+		nv, err := g.AddVertex(v.Type, v.ID, v.Size)
+		if err != nil {
+			return nil, err
+		}
+		nv.Unit = v.Unit
+		for k, val := range v.Properties {
+			nv.SetProperty(k, val)
+		}
+		clones[v] = nv
+		if p := v.Parent(); p != nil {
+			pp, err := cloneOf(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddContainment(pp, nv); err != nil {
+				return nil, err
+			}
+		}
+		return nv, nil
+	}
+	for _, v := range order {
+		nv, err := cloneOf(v)
+		if err != nil {
+			return nil, err
+		}
+		// Partial pool grants shrink the child's pool to the granted
+		// units; structural skeleton vertices (units 0) keep their
+		// size so traversal semantics match the parent.
+		if u := granted[v]; u > 0 {
+			nv.Size = u
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	child, err := New(WithGraph(g), WithPolicy(c.policy), withFinalizedSubsystem(c.subsystem))
+	if err != nil {
+		return nil, err
+	}
+	return child, nil
+}
+
+// withFinalizedSubsystem forwards a subsystem choice, tolerating "".
+func withFinalizedSubsystem(name string) Option {
+	return func(c *config) error {
+		c.subsystem = name
+		return nil
+	}
+}

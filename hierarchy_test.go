@@ -1,0 +1,134 @@
+package fluxion
+
+import (
+	"errors"
+	"testing"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+)
+
+func TestSpawnInstance(t *testing.T) {
+	parent := newFluxion(t)
+	// Parent job: 2 exclusive nodes (4 cores each) + 8 GB from each
+	// node's 16 GB pool.
+	spec := jobspec.New(0,
+		jobspec.SlotR(2,
+			jobspec.R("node", 1, jobspec.R("core", 4), jobspec.R("memory", 8))))
+	if _, err := parent.MatchAllocate(1, spec, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	child, err := parent.SpawnInstance(1,
+		WithPolicy("low"),
+		WithPruneFilters("ALL:core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := child.Graph().Root(resgraph.Containment).Aggregates()
+	if agg["node"] != 2 || agg["core"] != 8 {
+		t.Fatalf("child aggregates = %v", agg)
+	}
+	// Partial pool grant: each child memory pool holds 8, not 16.
+	if agg["memory"] != 16 {
+		t.Fatalf("child memory agg = %d, want 16 (2 pools x 8 granted)", agg["memory"])
+	}
+	for _, m := range child.Graph().ByType("memory") {
+		if m.Size != 8 {
+			t.Fatalf("child memory pool size = %d", m.Size)
+		}
+	}
+	if child.Graph().Root(resgraph.Containment).Filter() == nil {
+		t.Fatal("child prune spec not applied")
+	}
+
+	// The child schedules sub-jobs within the grant.
+	sub := jobspec.New(60, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4))))
+	for id := int64(1); id <= 2; id++ {
+		if _, err := child.MatchAllocate(id, sub, 0); err != nil {
+			t.Fatalf("child job %d: %v", id, err)
+		}
+	}
+	if _, err := child.MatchAllocate(3, sub, 0); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("child over-grant: %v", err)
+	}
+	// And can recurse another level down (paper: arbitrary depth).
+	grand, err := child.SpawnInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grand.Graph().Root(resgraph.Containment).Aggregates()["core"] != 4 {
+		t.Fatalf("grandchild aggregates = %v", grand.Graph().Root(resgraph.Containment).Aggregates())
+	}
+
+	// Paths mirror the parent's.
+	if child.Graph().ByPath("/cluster0/rack0/node0") == nil && child.Graph().ByPath("/cluster0/rack0/node1") == nil &&
+		child.Graph().ByPath("/cluster0/rack1/node2") == nil {
+		t.Fatal("child paths do not mirror parent containment")
+	}
+}
+
+func TestSpawnInstanceErrors(t *testing.T) {
+	parent := newFluxion(t)
+	if _, err := parent.SpawnInstance(42); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job: %v", err)
+	}
+	if _, err := parent.MatchAllocate(1, jobspec.NodeLocal(1, 1, 2, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.SpawnInstance(1, WithRecipeYAML([]byte("x"))); err == nil {
+		t.Fatal("store source accepted")
+	}
+	if _, err := parent.SpawnInstance(1, WithPolicy("bogus")); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := parent.SpawnInstance(1, WithPruneFilters("broken")); err == nil {
+		t.Fatal("bad prune spec accepted")
+	}
+}
+
+func TestSpawnInstancePropertiesCarry(t *testing.T) {
+	parent := newFluxion(t)
+	for _, n := range parent.Graph().ByType("node") {
+		n.SetProperty("perfclass", "2")
+	}
+	if _, err := parent.MatchAllocate(1, jobspec.New(0, jobspec.RX("node", 2, jobspec.R("core", 4))), 0); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.SpawnInstance(1, WithPolicy("variation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range child.Graph().ByType("node") {
+		if n.Property("perfclass") != "2" {
+			t.Fatal("property lost in child")
+		}
+	}
+}
+
+func TestSpawnInstanceDeepChain(t *testing.T) {
+	// Recurse four levels, halving the grant each time.
+	f := newFluxion(t)
+	cur := f
+	want := int64(16) // 4 nodes x 4 cores
+	for depth := 0; depth < 4 && want >= 2; depth++ {
+		n := want / 4 // whole nodes to grab
+		if n == 0 {
+			break
+		}
+		spec := jobspec.New(0, jobspec.RX("node", n, jobspec.R("core", 4)))
+		if _, err := cur.MatchAllocate(1, spec, 0); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		child, err := cur.SpawnInstance(1, WithPruneFilters("ALL:core,ALL:node"))
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		got := child.Graph().Root(resgraph.Containment).Aggregates()["core"]
+		if got != n*4 {
+			t.Fatalf("depth %d: cores = %d, want %d", depth, got, n*4)
+		}
+		cur = child
+		want = n * 4
+	}
+}

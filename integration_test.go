@@ -1,0 +1,273 @@
+package fluxion
+
+// Cross-module invariant tests: random workloads drive the full stack and
+// the test re-derives ground truth from the per-vertex planners, checking
+// that the pruning filters (maintained only by SDFU increments) never
+// drift from it, and that cancellation restores the store exactly.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+// checkFilterConsistency verifies, for every filter-carrying vertex and
+// tracked type, that the filter's busy amount at one instant equals the
+// sum of planner usage across the subtree at that instant — i.e. SDFU kept
+// aggregates exact. (Instantaneous windows are required: the minimum of an
+// aggregate over a window is not the sum of per-vertex window minimums.)
+func checkFilterConsistency(t *testing.T, g *resgraph.Graph, at int64) {
+	const dur = 1
+	t.Helper()
+	var subtreeBusy func(v *resgraph.Vertex, typ string) int64
+	subtreeBusy = func(v *resgraph.Vertex, typ string) int64 {
+		var busy int64
+		if v.Type == typ {
+			avail, err := v.Planner().AvailDuring(at, dur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			busy += v.Size - avail
+		}
+		v.EachChild(resgraph.Containment, func(c *resgraph.Vertex) bool {
+			busy += subtreeBusy(c, typ)
+			return true
+		})
+		return busy
+	}
+	for _, v := range g.Vertices() {
+		f := v.Filter()
+		if f == nil {
+			continue
+		}
+		for _, typ := range f.Types() {
+			p := f.Planner(typ)
+			avail, err := p.AvailDuring(at, dur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			filterBusy := p.Total() - avail
+			truth := subtreeBusy(v, typ)
+			if filterBusy != truth {
+				t.Fatalf("filter drift at %s type %s window [%d,%d): filter busy %d, subtree busy %d",
+					v.Path(), typ, at, at+dur, filterBusy, truth)
+			}
+		}
+	}
+}
+
+// checkDrained verifies every planner and filter is fully available.
+func checkDrained(t *testing.T, g *resgraph.Graph) {
+	t.Helper()
+	for _, v := range g.Vertices() {
+		if v.Planner().SpanCount() != 0 {
+			t.Fatalf("%s still holds %d spans", v.Path(), v.Planner().SpanCount())
+		}
+		if f := v.Filter(); f != nil && f.SpanCount() != 0 {
+			t.Fatalf("%s filter still holds %d spans", v.Path(), f.SpanCount())
+		}
+	}
+}
+
+func TestInvariantRandomWorkload(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(3, 4, 8, 32, 100), 0, 1<<30,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node", "memory", "bb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	type live struct{ id int64 }
+	var jobs []live
+	nextID := int64(1)
+
+	shapes := []func(dur int64) *jobspec.Jobspec{
+		func(d int64) *jobspec.Jobspec { return jobspec.NodeLocal(1, 1, 3, 8, 10, d) },
+		func(d int64) *jobspec.Jobspec {
+			return jobspec.New(d, jobspec.RX("node", 2, jobspec.R("core", 8)))
+		},
+		func(d int64) *jobspec.Jobspec {
+			return jobspec.New(d, jobspec.SlotR(2, jobspec.R("core", 2), jobspec.R("memory", 4)))
+		},
+		func(d int64) *jobspec.Jobspec {
+			return jobspec.New(d, jobspec.R("rack", 1, jobspec.SlotR(1, jobspec.R("node", 2, jobspec.R("core", 4)))))
+		},
+	}
+
+	for op := 0; op < 600; op++ {
+		switch {
+		case len(jobs) == 0 || rng.Intn(100) < 55:
+			d := int64(rng.Intn(500)) + 10
+			spec := shapes[rng.Intn(len(shapes))](d)
+			at := int64(rng.Intn(200))
+			var err error
+			if rng.Intn(2) == 0 {
+				_, err = tr.MatchAllocate(nextID, spec, at)
+			} else {
+				_, err = tr.MatchAllocateOrReserve(nextID, spec, at)
+			}
+			if err == nil {
+				jobs = append(jobs, live{nextID})
+				nextID++
+			}
+		default:
+			i := rng.Intn(len(jobs))
+			if err := tr.Cancel(jobs[i].id); err != nil {
+				t.Fatalf("op %d: cancel %d: %v", op, jobs[i].id, err)
+			}
+			jobs = append(jobs[:i], jobs[i+1:]...)
+		}
+		if op%50 == 0 {
+			checkFilterConsistency(t, g, int64(rng.Intn(400)))
+		}
+	}
+	for _, j := range jobs {
+		if err := tr.Cancel(j.id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkDrained(t, g)
+}
+
+func TestInvariantReleasePreservesConsistency(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(2, 4, 8, 0, 0), 0, 1<<30,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.LowID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	var live []int64
+	for round := 0; round < 40; round++ {
+		spec := jobspec.New(int64(rng.Intn(300))+10, jobspec.RX("node", 3, jobspec.R("core", 8)))
+		alloc, err := tr.MatchAllocate(int64(round+1), spec, 0)
+		if err != nil {
+			// The system filled up with surviving jobs: drain and retry.
+			for _, id := range live {
+				if err := tr.Cancel(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			live = nil
+			checkFilterConsistency(t, g, 0)
+			if alloc, err = tr.MatchAllocate(int64(round+1), spec, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live = append(live, int64(round+1))
+		// Release one random granted node and its cores.
+		nodes := alloc.Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		paths := []string{n.Path()}
+		n.EachChild(resgraph.Containment, func(c *resgraph.Vertex) bool {
+			paths = append(paths, c.Path())
+			return true
+		})
+		if err := tr.Release(int64(round+1), paths); err != nil {
+			t.Fatal(err)
+		}
+		checkFilterConsistency(t, g, 0)
+		if rng.Intn(2) == 0 {
+			if err := tr.Cancel(int64(round + 1)); err != nil {
+				t.Fatal(err)
+			}
+			live = live[:len(live)-1]
+			checkFilterConsistency(t, g, 0)
+		}
+	}
+}
+
+func TestConcurrentFacadeAccess(t *testing.T) {
+	f := newFluxion(t)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 50 && err == nil; i++ {
+				id := int64(w*1000 + i)
+				spec := jobspec.NodeLocal(1, 1, 1, 1, 0, 50)
+				if _, e := f.MatchAllocateOrReserve(id, spec, 0); e != nil {
+					err = e
+					break
+				}
+				if _, ok := f.Info(id); !ok {
+					break
+				}
+				err = f.Cancel(id)
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.Jobs()) != 0 {
+		t.Fatalf("jobs leaked: %v", f.Jobs())
+	}
+}
+
+// TestElasticityUnderLoad grows the system while jobs are running and
+// reserved, and verifies the new capacity is scheduled onto and the
+// filters stay exact.
+func TestElasticityUnderLoad(t *testing.T) {
+	f, err := New(
+		WithRecipe(grug.Small(1, 2, 4, 0, 0)),
+		WithPruneFilters("ALL:core,ALL:node"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill both nodes and queue a reservation.
+	busy := jobspec.New(100, jobspec.RX("node", 2, jobspec.R("core", 4)))
+	if _, err := f.MatchAllocate(1, busy, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.MatchAllocateOrReserve(2, jobspec.New(50, jobspec.RX("node", 1, jobspec.R("core", 4))), 0)
+	if err != nil || !res.Reserved || res.At != 100 {
+		t.Fatalf("reserve = %+v, %v", res, err)
+	}
+	// Grow a rack with two fresh nodes mid-flight.
+	sub := &grug.Recipe{Root: grug.N("rack", 1, grug.N("node", 2, grug.N("core", 4)))}
+	if _, err := f.Grow("/cluster0", sub); err != nil {
+		t.Fatal(err)
+	}
+	checkFilterConsistency(t, f.Graph(), 0)
+	// An immediate allocation lands on the new nodes even though the
+	// original ones are busy.
+	a3, err := f.MatchAllocate(3, jobspec.New(50, jobspec.RX("node", 2, jobspec.R("core", 4))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range a3.Nodes() {
+		if n.Parent().Name != "rack1" {
+			t.Fatalf("job 3 landed on old node %s", n.Path())
+		}
+	}
+	checkFilterConsistency(t, f.Graph(), 10)
+	// Drain everything; shrink succeeds and the store is consistent.
+	for _, id := range []int64{1, 2, 3} {
+		if err := f.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Shrink("/cluster0/rack1"); err != nil {
+		t.Fatal(err)
+	}
+	checkDrained(t, f.Graph())
+	if f.Graph().Root(resgraph.Containment).Aggregates()["node"] != 2 {
+		t.Fatalf("aggregates after shrink: %v", f.Graph().Root(resgraph.Containment).Aggregates())
+	}
+}

@@ -1,0 +1,112 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (§6): E1 level-of-detail tradeoffs (Fig. 6a), E2 Planner
+// query scaling (Fig. 6b), E3 performance-class binning (Fig. 7a), and
+// E4/E5 the variation-aware scheduling case study (Fig. 7b, Table 1,
+// Fig. 8). cmd/fluxion-bench and the repository's bench_test.go both
+// drive these entry points, so the printed tables and the testing.B
+// benchmarks measure identical code paths.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+// LODResult is one bar of paper Figure 6a.
+type LODResult struct {
+	Config   string // e.g. "High", "High Prune"
+	Vertices int
+	Matches  int // successful allocations until the system filled
+	Total    time.Duration
+	PerMatch time.Duration
+}
+
+// LODJobspec is the §6.1 request: one shareable node holding a slot of 10
+// cores, 8 GB memory, and 1 burst-buffer unit, for one hour.
+func LODJobspec() *jobspec.Jobspec {
+	return jobspec.NodeLocal(1, 1, 10, 8, 1, 3600)
+}
+
+// LODConfigs enumerates the eight §6.1 configurations (four recipes ×
+// prune on/off) at the given scale in racks (56 reproduces the paper's
+// 1008-node system).
+type LODConfig struct {
+	Name   string
+	Recipe *grug.Recipe
+	Prune  bool
+}
+
+// LODConfigs returns the experiment matrix in the paper's bar order.
+func LODConfigs(racks int64) []LODConfig {
+	labels := []string{"High", "Med", "Low", "Low2"}
+	var out []LODConfig
+	for i, r := range grug.LODPresetsScaled(racks) {
+		out = append(out, LODConfig{Name: labels[i], Recipe: r, Prune: false})
+		out = append(out, LODConfig{Name: labels[i] + " Prune", Recipe: r, Prune: true})
+	}
+	return out
+}
+
+// RunLODConfig fills one configured system with LODJobspec allocations and
+// reports the matching cost. Matching stops at the first failed
+// allocation (the system is full).
+func RunLODConfig(cfg LODConfig) (LODResult, error) {
+	var spec resgraph.PruneSpec
+	if cfg.Prune {
+		// The paper configures the pruning filter with the core
+		// resource type.
+		spec = resgraph.PruneSpec{resgraph.ALL: {"core"}}
+	}
+	g, err := grug.BuildGraph(cfg.Recipe, 0, 1<<31, spec)
+	if err != nil {
+		return LODResult{}, err
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		return LODResult{}, err
+	}
+	js := LODJobspec()
+	res := LODResult{Config: cfg.Name, Vertices: g.Len()}
+	start := time.Now()
+	for id := int64(1); ; id++ {
+		if _, err := tr.MatchAllocate(id, js, 0); err != nil {
+			break
+		}
+		res.Matches++
+	}
+	res.Total = time.Since(start)
+	if res.Matches > 0 {
+		res.PerMatch = res.Total / time.Duration(res.Matches)
+	}
+	return res, nil
+}
+
+// RunLOD runs the full §6.1 matrix.
+func RunLOD(racks int64) ([]LODResult, error) {
+	var out []LODResult
+	for _, cfg := range LODConfigs(racks) {
+		r, err := RunLODConfig(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintLOD renders Figure 6a as a table.
+func PrintLOD(w io.Writer, results []LODResult, racks int64) {
+	fmt.Fprintf(w, "E1 (Fig. 6a): LOD tradeoffs — %d-node system, fill with 10-core/8GB/1bb jobs\n", racks*18)
+	fmt.Fprintf(w, "%-12s %10s %8s %14s %14s\n", "config", "vertices", "matches", "total", "per-match")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12s %10d %8d %14v %14v\n",
+			r.Config, r.Vertices, r.Matches, r.Total.Round(time.Millisecond), r.PerMatch.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"fluxion/internal/planner"
+)
+
+// Paper §6.2 parameters: 128 units of an unnamed resource; requests
+// <r ∈ U[1,128], d ∈ U[1,43200]> placed with conservative backfilling
+// (earliest fit).
+const (
+	PlannerUnits  = 128
+	PlannerMaxDur = 43200 // 12 hours
+)
+
+// PlannerResult is one point of one Figure 6b series: mean query latency
+// with a given pre-populated span count.
+type PlannerResult struct {
+	Spans      int
+	Test       string // SatAt | SatDuring | EarliestAt
+	Queries    int
+	PerQuery   time.Duration
+	PointCount int
+}
+
+// PrepopulatePlanner builds a planner holding `spans` spans placed at
+// their earliest fit, mirroring the paper's conservative-backfilling
+// pre-population. As in a live backfilling queue, the submission clock
+// advances as the schedule grows (a job cannot start in the past), with a
+// bounded backlog window of two maximum durations behind the latest
+// placement. The horizon stretches as far as needed.
+func PrepopulatePlanner(spans int, seed int64) (*planner.Planner, error) {
+	p, err := planner.New(0, 1<<40, PlannerUnits, "unnamed")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var now int64
+	for i := 0; i < spans; i++ {
+		r := int64(rng.Intn(PlannerUnits)) + 1
+		d := int64(rng.Intn(PlannerMaxDur)) + 1
+		at, err := p.AvailTimeFirst(now, d, r)
+		if err != nil {
+			return nil, fmt.Errorf("prepopulate span %d: %w", i, err)
+		}
+		if _, err := p.AddSpan(at, d, r); err != nil {
+			return nil, fmt.Errorf("prepopulate span %d: %w", i, err)
+		}
+		if floor := at - 2*PlannerMaxDur; floor > now {
+			now = floor
+		}
+	}
+	return p, nil
+}
+
+// occupiedEnd estimates the last scheduled time, for sampling query times
+// within the occupied region.
+func occupiedEnd(p *planner.Planner) int64 {
+	var end int64
+	p.Points(func(at, _ int64) bool {
+		end = at
+		return true
+	})
+	if end == 0 {
+		end = 1
+	}
+	return end
+}
+
+// RunPlannerTest measures one Figure 6b series point. test is one of
+// "SatAt", "SatDuring", "EarliestAt"; queries sweep r = 1,2,4,...,128 as
+// in the paper, repeated with fresh random times until `queries` samples.
+// A GC cycle runs first so pre-population garbage does not pollute the
+// measurement.
+func RunPlannerTest(p *planner.Planner, test string, queries int, seed int64) (PlannerResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	end := occupiedEnd(p)
+	runtime.GC()
+	res := PlannerResult{Spans: p.SpanCount(), Test: test, Queries: queries, PointCount: p.PointCount()}
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		r := int64(1) << (i % 8) // 1..128 in powers of two
+		switch test {
+		case "SatAt":
+			t := rng.Int63n(end)
+			p.CanFit(t, 1, r)
+		case "SatDuring":
+			t := rng.Int63n(end)
+			d := int64(rng.Intn(PlannerMaxDur)) + 1
+			p.CanFit(t, d, r)
+		case "EarliestAt":
+			if _, err := p.AvailTimeFirst(0, 1, r); err != nil {
+				return res, err
+			}
+		default:
+			return res, fmt.Errorf("unknown planner test %q", test)
+		}
+	}
+	res.PerQuery = time.Since(start) / time.Duration(queries)
+	return res, nil
+}
+
+// PlannerTests is the Figure 6b series list.
+var PlannerTests = []string{"SatAt", "SatDuring", "EarliestAt"}
+
+// RunPlannerPerf sweeps pre-populated span counts and runs the three query
+// families at each, reproducing Figure 6b.
+func RunPlannerPerf(spanCounts []int, queries int, seed int64) ([]PlannerResult, error) {
+	var out []PlannerResult
+	for _, n := range spanCounts {
+		p, err := PrepopulatePlanner(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, test := range PlannerTests {
+			r, err := RunPlannerTest(p, test, queries, seed+int64(n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// PrintPlannerPerf renders Figure 6b as a table.
+func PrintPlannerPerf(w io.Writer, results []PlannerResult) {
+	fmt.Fprintln(w, "E2 (Fig. 6b): Planner query latency vs. pre-populated spans")
+	fmt.Fprintf(w, "%-10s %10s %10s %14s\n", "test", "spans", "points", "per-query")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %10d %10d %14v\n", r.Test, r.Spans, r.PointCount, r.PerQuery)
+	}
+}

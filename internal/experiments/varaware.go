@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+	"fluxion/internal/workload"
+)
+
+// VarAwareConfig parameterizes the §6.3 case study. The paper values are
+// the defaults from DefaultVarAware: 39 racks × 62 nodes × 36 cores
+// (2418-node quartz subset) and a 200-job queue snapshot.
+type VarAwareConfig struct {
+	Racks        int64
+	NodesPerRack int64
+	CoresPerNode int64
+	Jobs         int
+	MaxJobNodes  int64
+	Seed         int64
+}
+
+// DefaultVarAware reproduces the paper's configuration.
+func DefaultVarAware() VarAwareConfig {
+	return VarAwareConfig{Racks: 39, NodesPerRack: 62, CoresPerNode: 36, Jobs: 200, MaxJobNodes: 256, Seed: 2023}
+}
+
+// VarAwarePolicies are the three compared policies in paper order.
+var VarAwarePolicies = []string{"high", "low", "variation"}
+
+// PolicyRun is the outcome of scheduling the trace under one policy.
+type PolicyRun struct {
+	Policy string
+	// PerJob is each job's matcher wall time, in submit order
+	// (Fig. 7b's per-job series).
+	PerJob []time.Duration
+	// Total is the summed matcher time (the figure's "Total" banner).
+	Total time.Duration
+	// Immediate and Reserved count jobs allocated now vs. reserved
+	// into the future after the initial scheduling pass.
+	Immediate, Reserved int
+	// Fom is the figure-of-merit histogram over all placed jobs
+	// (Table 1 / Fig. 8): Fom[k] jobs with max-min class spread k.
+	Fom []int
+}
+
+// RunVarAwarePolicy schedules the trace under one policy name ("high",
+// "low", or "variation") on a fresh system.
+func RunVarAwarePolicy(cfg VarAwareConfig, policyName string) (PolicyRun, error) {
+	run := PolicyRun{Policy: policyName}
+	g, err := grug.BuildGraph(
+		grug.Quartz(cfg.Racks, cfg.NodesPerRack, cfg.CoresPerNode),
+		0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		return run, err
+	}
+	model := workload.GenerateVariation(int(cfg.Racks*cfg.NodesPerRack), cfg.Seed)
+	model.Apply(g)
+
+	policy, err := match.Lookup(policyName)
+	if err != nil {
+		return run, err
+	}
+	tr, err := traverser.New(g, policy)
+	if err != nil {
+		return run, err
+	}
+	s, err := sched.New(tr, sched.Conservative)
+	if err != nil {
+		return run, err
+	}
+	trace := workload.GenerateTrace(cfg.Jobs, cfg.MaxJobNodes, cfg.Seed+1)
+	for _, tj := range trace {
+		if _, err := s.Submit(tj.ID, tj.Jobspec(cfg.CoresPerNode)); err != nil {
+			return run, err
+		}
+	}
+	// The paper measures the initial scheduling pass over the queue
+	// snapshot: every job is either allocated immediately or reserved.
+	s.Schedule()
+
+	fomPolicy := match.NewVariation("")
+	var allocs []*traverser.Allocation
+	for _, tj := range trace {
+		job, _ := s.Job(tj.ID)
+		run.PerJob = append(run.PerJob, job.MatchDuration)
+		run.Total += job.MatchDuration
+		switch job.State {
+		case sched.StateRunning:
+			run.Immediate++
+		case sched.StateReserved:
+			run.Reserved++
+		}
+		if job.Alloc != nil {
+			allocs = append(allocs, job.Alloc)
+		}
+	}
+	run.Fom = workload.FomHistogram(allocs, fomPolicy)
+	return run, nil
+}
+
+// RunVarAware runs the full §6.3 study: the performance-class histogram
+// (Fig. 7a) and the three policy runs (Fig. 7b, Table 1, Fig. 8).
+func RunVarAware(cfg VarAwareConfig) (map[int]int, []PolicyRun, error) {
+	model := workload.GenerateVariation(int(cfg.Racks*cfg.NodesPerRack), cfg.Seed)
+	hist := model.ClassHistogram()
+	var runs []PolicyRun
+	for _, name := range VarAwarePolicies {
+		run, err := RunVarAwarePolicy(cfg, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+		runs = append(runs, run)
+	}
+	return hist, runs, nil
+}
+
+// policyLabel maps registry names to the paper's labels.
+func policyLabel(name string) string {
+	switch name {
+	case "high":
+		return "HighestID"
+	case "low":
+		return "LowestID"
+	case "variation":
+		return "Variation-aware"
+	default:
+		return name
+	}
+}
+
+// PrintClassHistogram renders Figure 7a.
+func PrintClassHistogram(w io.Writer, hist map[int]int) {
+	fmt.Fprintln(w, "E3 (Fig. 7a): node counts per performance class (Eq. 1 binning)")
+	classes := make([]int, 0, len(hist))
+	for c := range hist {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	total := 0
+	for _, c := range classes {
+		fmt.Fprintf(w, "  class %d: %5d nodes\n", c, hist[c])
+		total += hist[c]
+	}
+	fmt.Fprintf(w, "  total:   %5d nodes\n", total)
+}
+
+// PrintVarAware renders Figure 7b, Table 1, and the Figure 8 ratios.
+func PrintVarAware(w io.Writer, runs []PolicyRun) {
+	fmt.Fprintln(w, "E4 (Fig. 7b): scheduling overhead per policy (conservative backfilling)")
+	fmt.Fprintf(w, "%-16s %10s %10s %12s %12s %12s\n",
+		"policy", "immediate", "reserved", "total", "first-10 avg", "rest avg")
+	for _, r := range runs {
+		first, rest := splitAvg(r.PerJob, 10)
+		fmt.Fprintf(w, "%-16s %10d %10d %12v %12v %12v\n",
+			policyLabel(r.Policy), r.Immediate, r.Reserved,
+			r.Total.Round(time.Millisecond), first.Round(time.Microsecond), rest.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "E5 (Table 1 / Fig. 8): figure-of-merit histogram (rank-to-rank variation)")
+	fmt.Fprintf(w, "%-16s", "policy")
+	for f := 0; f < workload.NumClasses; f++ {
+		fmt.Fprintf(w, " fom=%d", f)
+	}
+	fmt.Fprintln(w)
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-16s", policyLabel(r.Policy))
+		for _, n := range r.Fom {
+			fmt.Fprintf(w, " %5d", n)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(runs) == 3 && runs[2].Fom[0] > 0 {
+		fmt.Fprintf(w, "fom=0 improvement: %.1fx vs HighestID, %.1fx vs LowestID (paper: 2.8x, 2.3x)\n",
+			ratio(runs[2].Fom[0], runs[0].Fom[0]), ratio(runs[2].Fom[0], runs[1].Fom[0]))
+	}
+}
+
+func splitAvg(ds []time.Duration, head int) (first, rest time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	if head > len(ds) {
+		head = len(ds)
+	}
+	var a, b time.Duration
+	for i, d := range ds {
+		if i < head {
+			a += d
+		} else {
+			b += d
+		}
+	}
+	first = a / time.Duration(head)
+	if n := len(ds) - head; n > 0 {
+		rest = b / time.Duration(n)
+	}
+	return first, rest
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

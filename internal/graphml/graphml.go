@@ -1,0 +1,262 @@
+// Package graphml serializes resource graph stores to and from GraphML,
+// the XML graph format Fluxion's original GRUG tooling is built on
+// ("Generating Resources Using GraphML", paper §6.1). It complements
+// internal/jgf: JGF is flux-sched's JSON interchange, GraphML the format
+// graph editors and GRUG pipelines speak.
+package graphml
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fluxion/internal/resgraph"
+)
+
+// ErrFormat is wrapped by all decode errors.
+var ErrFormat = errors.New("graphml: bad format")
+
+// xmlns is the GraphML namespace.
+const xmlns = "http://graphml.graphdrawing.org/xmlns"
+
+type document struct {
+	XMLName xml.Name `xml:"graphml"`
+	Xmlns   string   `xml:"xmlns,attr"`
+	Keys    []key    `xml:"key"`
+	Graph   graphEl  `xml:"graph"`
+}
+
+type key struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+}
+
+type graphEl struct {
+	ID          string   `xml:"id,attr"`
+	EdgeDefault string   `xml:"edgedefault,attr"`
+	Nodes       []nodeEl `xml:"node"`
+	Edges       []edgeEl `xml:"edge"`
+}
+
+type nodeEl struct {
+	ID   string   `xml:"id,attr"`
+	Data []dataEl `xml:"data"`
+}
+
+type edgeEl struct {
+	Source string   `xml:"source,attr"`
+	Target string   `xml:"target,attr"`
+	Data   []dataEl `xml:"data"`
+}
+
+type dataEl struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// node data keys.
+const (
+	keyType   = "type"
+	keyID     = "id"
+	keySize   = "size"
+	keyUnit   = "unit"
+	keyStatus = "status"
+	keyProps  = "properties" // "k=v;k2=v2"
+	// edge data keys.
+	keySubsystem = "subsystem"
+	keyRelation  = "relation"
+)
+
+// Encode renders the store as GraphML. Output is deterministic: vertices
+// in creation order, properties sorted.
+func Encode(g *resgraph.Graph) ([]byte, error) {
+	doc := document{
+		Xmlns: xmlns,
+		Keys: []key{
+			{keyType, "node", "type", "string"},
+			{keyID, "node", "id", "long"},
+			{keySize, "node", "size", "long"},
+			{keyUnit, "node", "unit", "string"},
+			{keyStatus, "node", "status", "string"},
+			{keyProps, "node", "properties", "string"},
+			{keySubsystem, "edge", "subsystem", "string"},
+			{keyRelation, "edge", "relation", "string"},
+		},
+		Graph: graphEl{ID: "G", EdgeDefault: "directed"},
+	}
+	for _, v := range g.Vertices() {
+		n := nodeEl{ID: fmt.Sprintf("n%d", v.UniqID)}
+		n.Data = append(n.Data,
+			dataEl{keyType, v.Type},
+			dataEl{keyID, strconv.FormatInt(v.ID, 10)},
+			dataEl{keySize, strconv.FormatInt(v.Size, 10)},
+		)
+		if v.Unit != "" {
+			n.Data = append(n.Data, dataEl{keyUnit, v.Unit})
+		}
+		if v.Status != resgraph.StatusUp {
+			n.Data = append(n.Data, dataEl{keyStatus, v.Status.String()})
+		}
+		if len(v.Properties) > 0 {
+			n.Data = append(n.Data, dataEl{keyProps, encodeProps(v.Properties)})
+		}
+		doc.Graph.Nodes = append(doc.Graph.Nodes, n)
+	}
+	for _, sub := range g.Subsystems() {
+		for _, v := range g.Vertices() {
+			for _, e := range v.OutEdges(sub) {
+				doc.Graph.Edges = append(doc.Graph.Edges, edgeEl{
+					Source: fmt.Sprintf("n%d", e.From.UniqID),
+					Target: fmt.Sprintf("n%d", e.To.UniqID),
+					Data: []dataEl{
+						{keySubsystem, e.Subsystem},
+						{keyRelation, e.Type},
+					},
+				})
+			}
+		}
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+func encodeProps(props map[string]string) string {
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+props[k])
+	}
+	return strings.Join(parts, ";")
+}
+
+func decodeProps(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ";") {
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("%w: bad property %q", ErrFormat, part)
+		}
+		out[part[:eq]] = part[eq+1:]
+	}
+	return out, nil
+}
+
+func dataValue(data []dataEl, key string) (string, bool) {
+	for _, d := range data {
+		if d.Key == key {
+			return strings.TrimSpace(d.Value), true
+		}
+	}
+	return "", false
+}
+
+// Decode reconstructs a finalized store from GraphML with the given
+// planner range and prune spec. Reciprocal containment "in" edges are
+// re-derived, so contains-only documents load too.
+func Decode(data []byte, base, horizon int64, spec resgraph.PruneSpec) (*resgraph.Graph, error) {
+	var doc document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(doc.Graph.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrFormat)
+	}
+	g := resgraph.NewGraph(base, horizon)
+	if spec != nil {
+		if err := g.SetPruneSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	byID := make(map[string]*resgraph.Vertex, len(doc.Graph.Nodes))
+	for _, n := range doc.Graph.Nodes {
+		typ, ok := dataValue(n.Data, keyType)
+		if !ok || typ == "" {
+			return nil, fmt.Errorf("%w: node %q missing type", ErrFormat, n.ID)
+		}
+		id := int64(-1)
+		if s, ok := dataValue(n.Data, keyID); ok {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %q id: %v", ErrFormat, n.ID, err)
+			}
+			id = v
+		}
+		size := int64(1)
+		if s, ok := dataValue(n.Data, keySize); ok {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %q size: %v", ErrFormat, n.ID, err)
+			}
+			size = v
+		}
+		v, err := g.AddVertex(typ, id, size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %q: %v", ErrFormat, n.ID, err)
+		}
+		if u, ok := dataValue(n.Data, keyUnit); ok {
+			v.Unit = u
+		}
+		if s, ok := dataValue(n.Data, keyStatus); ok && s == "down" {
+			v.Status = resgraph.StatusDown
+		}
+		if p, ok := dataValue(n.Data, keyProps); ok {
+			props, err := decodeProps(p)
+			if err != nil {
+				return nil, err
+			}
+			for k, val := range props {
+				v.SetProperty(k, val)
+			}
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate node id %q", ErrFormat, n.ID)
+		}
+		byID[n.ID] = v
+	}
+	for _, e := range doc.Graph.Edges {
+		sub, _ := dataValue(e.Data, keySubsystem)
+		rel, _ := dataValue(e.Data, keyRelation)
+		if sub == "" {
+			sub = resgraph.Containment
+		}
+		if sub == resgraph.Containment && rel == resgraph.EdgeIn {
+			continue
+		}
+		from, ok := byID[e.Source]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge source %q unknown", ErrFormat, e.Source)
+		}
+		to, ok := byID[e.Target]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge target %q unknown", ErrFormat, e.Target)
+		}
+		if sub == resgraph.Containment {
+			if err := g.AddContainment(from, to); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			continue
+		}
+		if err := g.AddEdge(from, to, sub, rel); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

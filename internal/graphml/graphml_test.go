@@ -1,0 +1,142 @@
+package graphml
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := grug.BuildGraph(grug.Small(2, 3, 4, 16, 100), 0, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.ByType("node")[0].SetProperty("perfclass", "3")
+	orig.ByType("node")[0].SetProperty("vendor", "amd")
+	orig.ByType("node")[1].Status = resgraph.StatusDown
+
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<?xml") || !strings.Contains(string(data), "<graphml") {
+		t.Fatalf("not graphml:\n%.200s", data)
+	}
+	back, err := Decode(data, 0, 1000, resgraph.PruneSpec{resgraph.ALL: {"core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len: %d vs %d", back.Len(), orig.Len())
+	}
+	a1 := orig.Root(resgraph.Containment).Aggregates()
+	a2 := back.Root(resgraph.Containment).Aggregates()
+	for typ, n := range a1 {
+		if a2[typ] != n {
+			t.Errorf("agg[%s]: %d vs %d", typ, a2[typ], n)
+		}
+	}
+	n0 := back.ByType("node")[0]
+	if n0.Property("perfclass") != "3" || n0.Property("vendor") != "amd" {
+		t.Errorf("properties = %v", n0.Properties)
+	}
+	if back.ByType("node")[1].Status != resgraph.StatusDown {
+		t.Error("status lost")
+	}
+	mem := back.ByType("memory")[0]
+	if mem.Size != 16 || mem.Unit != "GB" {
+		t.Errorf("memory = %d %q", mem.Size, mem.Unit)
+	}
+	if back.Root(resgraph.Containment).Filter() == nil {
+		t.Error("prune spec not applied")
+	}
+	if back.ByPath("/cluster0/rack1/node5") == nil {
+		t.Error("paths not rebuilt")
+	}
+}
+
+func TestRoundTripMultiSubsystem(t *testing.T) {
+	g := resgraph.NewGraph(0, 100)
+	cl := g.MustAddVertex("cluster", -1, 1)
+	nd := g.MustAddVertex("node", -1, 1)
+	pdu := g.MustAddVertex("pdu", -1, 50)
+	if err := g.AddContainment(cl, nd); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddContainment(cl, pdu); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(pdu, nd, "power", "supplies_to"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdus := back.ByType("pdu")
+	if len(pdus) != 1 || pdus[0].Size != 50 {
+		t.Fatalf("pdu = %v", pdus)
+	}
+	kids := pdus[0].Children("power")
+	if len(kids) != 1 || kids[0].Type != "node" {
+		t.Fatalf("power edge lost: %v", kids)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not xml", "nope"},
+		{"empty", `<graphml xmlns="x"><graph id="G" edgedefault="directed"></graph></graphml>`},
+		{"missing type", `<graphml xmlns="x"><graph id="G" edgedefault="directed">
+			<node id="n0"><data key="id">0</data></node></graph></graphml>`},
+		{"bad size", `<graphml xmlns="x"><graph id="G" edgedefault="directed">
+			<node id="n0"><data key="type">a</data><data key="size">junk</data></node></graph></graphml>`},
+		{"dup node", `<graphml xmlns="x"><graph id="G" edgedefault="directed">
+			<node id="n0"><data key="type">a</data></node>
+			<node id="n0"><data key="type">b</data></node></graph></graphml>`},
+		{"bad edge", `<graphml xmlns="x"><graph id="G" edgedefault="directed">
+			<node id="n0"><data key="type">a</data></node>
+			<edge source="n0" target="n9"><data key="subsystem">containment</data><data key="relation">contains</data></edge>
+			</graph></graphml>`},
+		{"bad props", `<graphml xmlns="x"><graph id="G" edgedefault="directed">
+			<node id="n0"><data key="type">a</data><data key="properties">junk</data></node></graph></graphml>`},
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c.data), 0, 100, nil); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestPropsRoundTrip(t *testing.T) {
+	in := map[string]string{"a": "1", "b": "x=y-ish", "perfclass": "5"}
+	// '=' in values survives because decode splits on the first '='.
+	out, err := decodeProps(encodeProps(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Errorf("prop %q = %q, want %q", k, out[k], v)
+		}
+	}
+	if _, err := decodeProps("=bad"); !errors.Is(err, ErrFormat) {
+		t.Errorf("empty key: %v", err)
+	}
+	if m, err := decodeProps(""); err != nil || len(m) != 0 {
+		t.Errorf("empty props: %v %v", m, err)
+	}
+}

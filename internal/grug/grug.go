@@ -1,0 +1,267 @@
+// Package grug reads and materializes resource-graph generation recipes —
+// Fluxion's GRUG (Generating Resources Using Graphs) mechanism. A recipe is
+// a compact hierarchical description ("a cluster contains 56 racks, each
+// containing 18 nodes, ...") that the builder unrolls into a full resource
+// graph store.
+//
+// The paper's resource-query utility consumes GRUG files to simulate
+// systems of thousands of nodes on a single machine (§6.1); the presets in
+// this package reproduce the four levels of detail evaluated there, plus
+// the quartz system used in the variation-aware case study (§6.3).
+package grug
+
+import (
+	"errors"
+	"fmt"
+
+	"fluxion/internal/resgraph"
+	"fluxion/internal/yamlite"
+)
+
+// ErrInvalid is wrapped by all recipe errors.
+var ErrInvalid = errors.New("grug: invalid recipe")
+
+// Node describes one level of the generation hierarchy: Count instances of
+// a Type-typed pool (each of Size units) per parent instance, each
+// containing the With sub-levels.
+type Node struct {
+	Type       string
+	Count      int64
+	Size       int64 // pool size per vertex; default 1
+	Unit       string
+	Properties map[string]string
+	With       []*Node
+}
+
+// Recipe is a named generation recipe rooted at a single vertex.
+type Recipe struct {
+	Name string
+	Root *Node
+}
+
+// N builds a recipe node with size 1.
+func N(typ string, count int64, with ...*Node) *Node {
+	return &Node{Type: typ, Count: count, Size: 1, With: with}
+}
+
+// NP builds a pool recipe node with the given per-vertex size.
+func NP(typ string, count, size int64, unit string, with ...*Node) *Node {
+	return &Node{Type: typ, Count: count, Size: size, Unit: unit, With: with}
+}
+
+// Validate checks the recipe for positive counts and sizes and a single
+// root instance.
+func (r *Recipe) Validate() error {
+	if r.Root == nil {
+		return fmt.Errorf("%w: missing root", ErrInvalid)
+	}
+	if r.Root.Count > 1 {
+		return fmt.Errorf("%w: root count must be 1", ErrInvalid)
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.Type == "" {
+			return fmt.Errorf("%w: node with empty type", ErrInvalid)
+		}
+		if n.Count < 0 || (n != r.Root && n.Count == 0) {
+			return fmt.Errorf("%w: node %q count %d", ErrInvalid, n.Type, n.Count)
+		}
+		if n.Size < 0 {
+			return fmt.Errorf("%w: node %q size %d", ErrInvalid, n.Type, n.Size)
+		}
+		for _, c := range n.With {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(r.Root)
+}
+
+// TotalVertices returns the number of vertices the recipe unrolls to.
+func (r *Recipe) TotalVertices() int64 {
+	var walk func(n *Node) int64
+	walk = func(n *Node) int64 {
+		var per int64 = 1
+		for _, c := range n.With {
+			per += walk(c)
+		}
+		count := n.Count
+		if count == 0 {
+			count = 1
+		}
+		return count * per
+	}
+	if r.Root == nil {
+		return 0
+	}
+	return walk(r.Root)
+}
+
+// Build unrolls the recipe into graph g (which must not be finalized). It
+// returns the created root vertex.
+func Build(g *resgraph.Graph, r *Recipe) (*resgraph.Vertex, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return buildNode(g, nil, r.Root)
+}
+
+func buildNode(g *resgraph.Graph, parent *resgraph.Vertex, n *Node) (*resgraph.Vertex, error) {
+	count := n.Count
+	if count == 0 {
+		count = 1
+	}
+	var first *resgraph.Vertex
+	for i := int64(0); i < count; i++ {
+		size := n.Size
+		if size == 0 {
+			size = 1
+		}
+		v, err := g.AddVertex(n.Type, -1, size)
+		if err != nil {
+			return nil, err
+		}
+		v.Unit = n.Unit
+		for k, val := range n.Properties {
+			v.SetProperty(k, val)
+		}
+		if parent != nil {
+			if err := g.AddContainment(parent, v); err != nil {
+				return nil, err
+			}
+		}
+		if first == nil {
+			first = v
+		}
+		for _, c := range n.With {
+			if _, err := buildNode(g, v, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return first, nil
+}
+
+// BuildGraph materializes a recipe into a fresh, finalized graph with the
+// given planner range and prune spec.
+func BuildGraph(r *Recipe, base, horizon int64, spec resgraph.PruneSpec) (*resgraph.Graph, error) {
+	g := resgraph.NewGraph(base, horizon)
+	if spec != nil {
+		if err := g.SetPruneSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := Build(g, r); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseYAML reads a recipe document:
+//
+//	name: my-cluster
+//	root:
+//	  type: cluster
+//	  with:
+//	    - type: node
+//	      count: 4
+//	      with:
+//	        - {type: core, count: 8}
+//	        - {type: memory, count: 4, size: 16, unit: GB}
+func ParseYAML(data []byte) (*Recipe, error) {
+	doc, err := yamlite.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("grug: %w", err)
+	}
+	r := &Recipe{}
+	if name, ok := yamlite.GetString(doc, "name"); ok {
+		r.Name = name
+	}
+	rootMap, ok := yamlite.GetMap(doc, "root")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing root section", ErrInvalid)
+	}
+	if r.Root, err = parseNode(rootMap); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseNode(m map[string]any) (*Node, error) {
+	n := &Node{Count: 1, Size: 1}
+	var ok bool
+	if n.Type, ok = yamlite.GetString(m, "type"); !ok {
+		return nil, fmt.Errorf("%w: node missing type", ErrInvalid)
+	}
+	if c, ok := yamlite.GetInt(m, "count"); ok {
+		n.Count = c
+	}
+	if s, ok := yamlite.GetInt(m, "size"); ok {
+		n.Size = s
+	}
+	if u, ok := yamlite.GetString(m, "unit"); ok {
+		n.Unit = u
+	}
+	if props, ok := yamlite.GetMap(m, "properties"); ok {
+		n.Properties = make(map[string]string, len(props))
+		for k, v := range props {
+			n.Properties[k] = fmt.Sprintf("%v", v)
+		}
+	}
+	if with, ok := yamlite.GetList(m, "with"); ok {
+		for _, item := range with {
+			cm, ok := item.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("%w: with entry is not a mapping", ErrInvalid)
+			}
+			c, err := parseNode(cm)
+			if err != nil {
+				return nil, err
+			}
+			n.With = append(n.With, c)
+		}
+	}
+	return n, nil
+}
+
+// YAML renders the recipe back to its document form.
+func (r *Recipe) YAML() []byte {
+	doc := map[string]any{"root": nodeToAny(r.Root)}
+	if r.Name != "" {
+		doc["name"] = r.Name
+	}
+	return yamlite.Marshal(doc)
+}
+
+func nodeToAny(n *Node) map[string]any {
+	m := map[string]any{"type": n.Type, "count": n.Count}
+	if n.Size > 1 {
+		m["size"] = n.Size
+	}
+	if n.Unit != "" {
+		m["unit"] = n.Unit
+	}
+	if len(n.Properties) > 0 {
+		p := make(map[string]any, len(n.Properties))
+		for k, v := range n.Properties {
+			p[k] = v
+		}
+		m["properties"] = p
+	}
+	if len(n.With) > 0 {
+		with := make([]any, len(n.With))
+		for i, c := range n.With {
+			with[i] = nodeToAny(c)
+		}
+		m["with"] = with
+	}
+	return m
+}

@@ -1,0 +1,142 @@
+package grug
+
+import "fmt"
+
+// Presets reproducing the systems evaluated in the paper.
+//
+// The four LOD recipes model the same 1008-node medium-size system (paper
+// §6.1) at decreasing levels of detail; all four expose identical total
+// capacity (40 cores, 4 GPUs, 256 GB memory, 1600 GB burst buffer per
+// node), differing only in how the capacity is factored into vertices.
+
+// HighLOD is the paper's High configuration: 1 cluster, 56 racks, 18 nodes
+// per rack, 2 sockets per node, each socket holding 20 cores, 2 GPUs,
+// 8 memory pools of 16 GB, and 8 burst-buffer pools of 100 GB.
+func HighLOD() *Recipe { return HighLODRacks(56) }
+
+// HighLODRacks is HighLOD scaled to the given rack count (18 nodes each).
+func HighLODRacks(racks int64) *Recipe {
+	return &Recipe{
+		Name: fmt.Sprintf("medium-%d-high", racks*18),
+		Root: N("cluster", 1,
+			N("rack", racks,
+				N("node", 18,
+					N("socket", 2,
+						N("core", 20),
+						N("gpu", 2),
+						NP("memory", 8, 16, "GB"),
+						NP("bb", 8, 100, "GB"))))),
+	}
+}
+
+// MedLOD coarsens the node-local level: sockets removed, 40 cores and 4
+// GPUs directly under each node, 8 memory pools of 32 GB, 8 burst-buffer
+// pools of 200 GB.
+func MedLOD() *Recipe { return MedLODRacks(56) }
+
+// MedLODRacks is MedLOD scaled to the given rack count.
+func MedLODRacks(racks int64) *Recipe {
+	return &Recipe{
+		Name: fmt.Sprintf("medium-%d-med", racks*18),
+		Root: N("cluster", 1,
+			N("rack", racks,
+				N("node", 18,
+					N("core", 40),
+					N("gpu", 4),
+					NP("memory", 8, 32, "GB"),
+					NP("bb", 8, 200, "GB")))),
+	}
+}
+
+// lowNode is the Low/Low2 node-local shape: cores federated into 8 pools
+// of 5, 4 memory pools of 64 GB, 4 burst-buffer pools of 400 GB.
+func lowNode(count int64) *Node {
+	return N("node", count,
+		NP("core", 8, 5, ""),
+		N("gpu", 4),
+		NP("memory", 4, 64, "GB"),
+		NP("bb", 4, 400, "GB"))
+}
+
+// LowLOD coarsens both levels: racks removed (1008 nodes directly under the
+// cluster) and the Low node-local shape.
+func LowLOD() *Recipe { return LowLODRacks(56) }
+
+// LowLODRacks is LowLOD scaled to the node count of the given rack count.
+func LowLODRacks(racks int64) *Recipe {
+	return &Recipe{
+		Name: fmt.Sprintf("medium-%d-low", racks*18),
+		Root: N("cluster", 1, lowNode(racks*18)),
+	}
+}
+
+// Low2LOD is identical to LowLOD except the rack level is kept, so pruning
+// filters can cut the search space at a higher level (§6.1).
+func Low2LOD() *Recipe { return Low2LODRacks(56) }
+
+// Low2LODRacks is Low2LOD scaled to the given rack count.
+func Low2LODRacks(racks int64) *Recipe {
+	return &Recipe{
+		Name: fmt.Sprintf("medium-%d-low2", racks*18),
+		Root: N("cluster", 1, N("rack", racks, lowNode(18))),
+	}
+}
+
+// LODPresets returns the four §6.1 recipes keyed by their paper labels in
+// evaluation order.
+func LODPresets() []*Recipe {
+	return []*Recipe{HighLOD(), MedLOD(), LowLOD(), Low2LOD()}
+}
+
+// LODPresetsScaled returns the four §6.1 recipes scaled to racks racks
+// (racks*18 nodes), preserving the per-node shapes.
+func LODPresetsScaled(racks int64) []*Recipe {
+	return []*Recipe{HighLODRacks(racks), MedLODRacks(racks), LowLODRacks(racks), Low2LODRacks(racks)}
+}
+
+// Quartz models the §6.3 case-study system: racks racks of nodesPerRack
+// Broadwell nodes with coresPerNode cores each. The paper uses 39 racks ×
+// 62 nodes × 36 cores (2418 nodes of the 2604-node quartz cluster).
+func Quartz(racks, nodesPerRack, coresPerNode int64) *Recipe {
+	return &Recipe{
+		Name: fmt.Sprintf("quartz-%d", racks*nodesPerRack),
+		Root: N("cluster", 1,
+			N("rack", racks,
+				N("node", nodesPerRack,
+					N("core", coresPerNode)))),
+	}
+}
+
+// QuartzPaper is the exact §6.3 configuration.
+func QuartzPaper() *Recipe { return Quartz(39, 62, 36) }
+
+// Small returns a tiny cluster for examples and tests: racks racks ×
+// nodesPerRack nodes × (cores cores, memGB GB of memory in 1 GB pools of
+// size memGB... a single pool of memGB units, bbGB of burst buffer).
+func Small(racks, nodesPerRack, cores, memGB, bbGB int64) *Recipe {
+	node := N("node", nodesPerRack, N("core", cores))
+	if memGB > 0 {
+		node.With = append(node.With, NP("memory", 1, memGB, "GB"))
+	}
+	if bbGB > 0 {
+		node.With = append(node.With, NP("bb", 1, bbGB, "GB"))
+	}
+	return &Recipe{
+		Name: "small",
+		Root: N("cluster", 1, N("rack", racks, node)),
+	}
+}
+
+// Disaggregated models the paper's §5.4 disaggregated supercomputer:
+// specialized racks for CPUs, GPUs, memory, and burst buffers connected to
+// one cluster vertex.
+func Disaggregated(cpuRacks, gpuRacks, memRacks, bbRacks int64) *Recipe {
+	return &Recipe{
+		Name: "disaggregated",
+		Root: N("cluster", 1,
+			N("cpu-rack", cpuRacks, N("cpu-sled", 16, N("core", 32))),
+			N("gpu-rack", gpuRacks, N("gpu-sled", 8, N("gpu", 8))),
+			N("mem-rack", memRacks, NP("memory", 64, 128, "GB")),
+			N("bb-rack", bbRacks, NP("bb", 32, 1024, "GB"))),
+	}
+}

@@ -1,0 +1,196 @@
+// Package hostlist implements the compressed hostname-range notation used
+// across HPC tooling ("node[0-17]", "rack[0-3]", "gpu[0,2,4-7]"): encoding
+// a set of numbered names into ranges and expanding the notation back.
+// resource-query and the rv1 emitter use it to render node sets compactly.
+package hostlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is wrapped by all decode errors.
+var ErrSyntax = errors.New("hostlist: syntax error")
+
+// Compress renders a list of names like ["node0","node1","node3"] as
+// "node[0-1,3]". Names are grouped by prefix; prefixes appear in first-use
+// order, indices ascending, duplicates removed. Names without a numeric
+// suffix pass through verbatim.
+func Compress(names []string) string {
+	type group struct {
+		prefix string
+		nums   []int64
+	}
+	var order []string
+	groups := make(map[string]*group)
+	var plain []string
+	for _, name := range names {
+		prefix, num, ok := splitNumericSuffix(name)
+		if !ok {
+			plain = append(plain, name)
+			continue
+		}
+		g := groups[prefix]
+		if g == nil {
+			g = &group{prefix: prefix}
+			groups[prefix] = g
+			order = append(order, prefix)
+		}
+		g.nums = append(g.nums, num)
+	}
+	var parts []string
+	for _, prefix := range order {
+		g := groups[prefix]
+		sort.Slice(g.nums, func(i, j int) bool { return g.nums[i] < g.nums[j] })
+		g.nums = dedupe(g.nums)
+		if len(g.nums) == 1 {
+			parts = append(parts, fmt.Sprintf("%s%d", prefix, g.nums[0]))
+			continue
+		}
+		parts = append(parts, prefix+"["+rangesOf(g.nums)+"]")
+	}
+	parts = append(parts, plain...)
+	return strings.Join(parts, ",")
+}
+
+func dedupe(nums []int64) []int64 {
+	out := nums[:0]
+	for i, n := range nums {
+		if i == 0 || n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func rangesOf(nums []int64) string {
+	var b strings.Builder
+	for i := 0; i < len(nums); {
+		j := i
+		for j+1 < len(nums) && nums[j+1] == nums[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case j == i:
+			fmt.Fprintf(&b, "%d", nums[i])
+		case j == i+1:
+			fmt.Fprintf(&b, "%d,%d", nums[i], nums[j])
+		default:
+			fmt.Fprintf(&b, "%d-%d", nums[i], nums[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// splitNumericSuffix splits "node42" into ("node", 42, true).
+func splitNumericSuffix(s string) (string, int64, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) || i == 0 {
+		return s, 0, false
+	}
+	n, err := strconv.ParseInt(s[i:], 10, 64)
+	if err != nil {
+		return s, 0, false
+	}
+	return s[:i], n, true
+}
+
+// Expand parses hostlist notation back into the full name list, e.g.
+// "node[0-2,5],login1" -> [node0 node1 node2 node5 login1]. Bracketed
+// ranges must be ascending and non-empty.
+func Expand(s string) ([]string, error) {
+	var out []string
+	for _, tok := range splitTop(s) {
+		if tok == "" {
+			return nil, fmt.Errorf("%w: empty element", ErrSyntax)
+		}
+		open := strings.IndexByte(tok, '[')
+		if open < 0 {
+			if strings.ContainsAny(tok, "]") {
+				return nil, fmt.Errorf("%w: stray ']' in %q", ErrSyntax, tok)
+			}
+			out = append(out, tok)
+			continue
+		}
+		if !strings.HasSuffix(tok, "]") {
+			return nil, fmt.Errorf("%w: unterminated range in %q", ErrSyntax, tok)
+		}
+		prefix := tok[:open]
+		body := tok[open+1 : len(tok)-1]
+		if body == "" {
+			return nil, fmt.Errorf("%w: empty range in %q", ErrSyntax, tok)
+		}
+		for _, r := range strings.Split(body, ",") {
+			lo, hi, err := parseRange(r)
+			if err != nil {
+				return nil, err
+			}
+			for n := lo; n <= hi; n++ {
+				out = append(out, fmt.Sprintf("%s%d", prefix, n))
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseRange(r string) (lo, hi int64, err error) {
+	if dash := strings.IndexByte(r, '-'); dash > 0 {
+		lo, err = strconv.ParseInt(r[:dash], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: bad range %q", ErrSyntax, r)
+		}
+		hi, err = strconv.ParseInt(r[dash+1:], 10, 64)
+		if err != nil || hi < lo {
+			return 0, 0, fmt.Errorf("%w: bad range %q", ErrSyntax, r)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.ParseInt(r, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad index %q", ErrSyntax, r)
+	}
+	return lo, lo, nil
+}
+
+// splitTop splits on commas that are outside brackets.
+func splitTop(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Count returns the number of names the notation expands to without
+// materializing them.
+func Count(s string) (int, error) {
+	names, err := Expand(s) // sets are small in practice; keep it simple
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}

@@ -1,0 +1,126 @@
+package hostlist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompress(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"node0"}, "node0"},
+		{[]string{"node0", "node1", "node2"}, "node[0-2]"},
+		{[]string{"node0", "node1"}, "node[0,1]"},
+		{[]string{"node2", "node0", "node1"}, "node[0-2]"},
+		{[]string{"node0", "node1", "node3"}, "node[0,1,3]"},
+		{[]string{"node0", "node2", "node3", "node4", "node9"}, "node[0,2-4,9]"},
+		{[]string{"node0", "node0", "node1"}, "node[0,1]"},
+		{[]string{"node0", "gpu1", "gpu2", "gpu3"}, "node0,gpu[1-3]"},
+		{[]string{"login", "node1"}, "node1,login"},
+		{[]string{"a10", "a9", "a11"}, "a[9-11]"},
+	}
+	for _, c := range cases {
+		if got := Compress(c.in); got != c.want {
+			t.Errorf("Compress(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"node0", []string{"node0"}},
+		{"node[0-2]", []string{"node0", "node1", "node2"}},
+		{"node[0,2-3]", []string{"node0", "node2", "node3"}},
+		{"node[0-1],rack[5]", []string{"node0", "node1", "rack5"}},
+		{"login,node[1,3]", []string{"login", "node1", "node3"}},
+	}
+	for _, c := range cases {
+		got, err := Expand(c.in)
+		if err != nil || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Expand(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	for _, in := range []string{"", "node[", "node[]", "node[3-1]", "node[x]", "node]", "a,,b", "node[1-]"} {
+		if _, err := Expand(in); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Expand(%q): want ErrSyntax, got %v", in, err)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	n, err := Count("node[0-9],login,gpu[0,5]")
+	if err != nil || n != 13 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	if _, err := Count("bad["); err == nil {
+		t.Fatal("Count of bad input")
+	}
+}
+
+// TestQuickRoundTrip property: Expand(Compress(names)) returns the sorted
+// deduplicated input for numbered names.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		set := make(map[string]bool)
+		for i := 0; i < count; i++ {
+			set[fmt.Sprintf("node%d", rng.Intn(100))] = true
+		}
+		var names []string
+		for name := range set {
+			names = append(names, name)
+		}
+		got, err := Expand(Compress(names))
+		if err != nil {
+			return false
+		}
+		sortByNum := func(xs []string) {
+			sort.Slice(xs, func(i, j int) bool {
+				_, a, _ := splitNumericSuffix(xs[i])
+				_, b, _ := splitNumericSuffix(xs[j])
+				return a < b
+			})
+		}
+		sortByNum(names)
+		sortByNum(got)
+		return reflect.DeepEqual(names, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNumericSuffix(t *testing.T) {
+	cases := []struct {
+		in     string
+		prefix string
+		num    int64
+		ok     bool
+	}{
+		{"node42", "node", 42, true},
+		{"node", "node", 0, false},
+		{"42", "42", 0, false},
+		{"a0b1", "a0b", 1, true},
+	}
+	for _, c := range cases {
+		p, n, ok := splitNumericSuffix(c.in)
+		if ok != c.ok || (ok && (p != c.prefix || n != c.num)) {
+			t.Errorf("splitNumericSuffix(%q) = (%q,%d,%v)", c.in, p, n, ok)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package idset implements Flux's idset notation: compact sets of
+// non-negative integer IDs rendered as ranges ("0-3,7,9-12"). Resource
+// sets (rv1), rank lists, and core/GPU grants all use it. The
+// representation is an ordered list of disjoint, non-adjacent ranges, so
+// membership and set algebra stay O(ranges).
+package idset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("idset: syntax error")
+
+type span struct{ lo, hi int64 } // inclusive
+
+// Set is a set of non-negative integers. The zero value is an empty set
+// ready to use. Sets are not safe for concurrent mutation.
+type Set struct {
+	spans []span // sorted, disjoint, non-adjacent
+}
+
+// New returns a set holding the given IDs.
+func New(ids ...int64) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Insert(id)
+	}
+	return s
+}
+
+// Parse decodes idset notation ("" is the empty set).
+func Parse(text string) (*Set, error) {
+	s := &Set{}
+	if text == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, ",") {
+		lo, hi, err := parseRange(part)
+		if err != nil {
+			return nil, err
+		}
+		s.InsertRange(lo, hi)
+	}
+	return s, nil
+}
+
+func parseRange(part string) (int64, int64, error) {
+	if dash := strings.IndexByte(part, '-'); dash > 0 {
+		lo, err1 := strconv.ParseInt(part[:dash], 10, 64)
+		hi, err2 := strconv.ParseInt(part[dash+1:], 10, 64)
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+			return 0, 0, fmt.Errorf("%w: bad range %q", ErrSyntax, part)
+		}
+		return lo, hi, nil
+	}
+	n, err := strconv.ParseInt(part, 10, 64)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("%w: bad id %q", ErrSyntax, part)
+	}
+	return n, n, nil
+}
+
+// Insert adds one ID.
+func (s *Set) Insert(id int64) { s.InsertRange(id, id) }
+
+// InsertRange adds every ID in [lo, hi] (inclusive); lo must be >= 0 and
+// <= hi or the call is a no-op.
+func (s *Set) InsertRange(lo, hi int64) {
+	if lo < 0 || hi < lo {
+		return
+	}
+	// Find insertion window: all spans overlapping or adjacent to
+	// [lo, hi].
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].hi >= lo-1 })
+	j := i
+	for j < len(s.spans) && s.spans[j].lo <= hi+1 {
+		j++
+	}
+	if i < j {
+		if s.spans[i].lo < lo {
+			lo = s.spans[i].lo
+		}
+		if s.spans[j-1].hi > hi {
+			hi = s.spans[j-1].hi
+		}
+	}
+	merged := append(s.spans[:i:i], span{lo, hi})
+	s.spans = append(merged, s.spans[j:]...)
+}
+
+// Delete removes one ID.
+func (s *Set) Delete(id int64) { s.DeleteRange(id, id) }
+
+// DeleteRange removes every ID in [lo, hi].
+func (s *Set) DeleteRange(lo, hi int64) {
+	if hi < lo {
+		return
+	}
+	var out []span
+	for _, sp := range s.spans {
+		if sp.hi < lo || sp.lo > hi {
+			out = append(out, sp)
+			continue
+		}
+		if sp.lo < lo {
+			out = append(out, span{sp.lo, lo - 1})
+		}
+		if sp.hi > hi {
+			out = append(out, span{hi + 1, sp.hi})
+		}
+	}
+	s.spans = out
+}
+
+// Contains reports membership.
+func (s *Set) Contains(id int64) bool {
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].hi >= id })
+	return i < len(s.spans) && s.spans[i].lo <= id
+}
+
+// Count returns the set's cardinality.
+func (s *Set) Count() int64 {
+	var n int64
+	for _, sp := range s.spans {
+		n += sp.hi - sp.lo + 1
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return len(s.spans) == 0 }
+
+// Min returns the smallest member (or -1 if empty).
+func (s *Set) Min() int64 {
+	if len(s.spans) == 0 {
+		return -1
+	}
+	return s.spans[0].lo
+}
+
+// Max returns the largest member (or -1 if empty).
+func (s *Set) Max() int64 {
+	if len(s.spans) == 0 {
+		return -1
+	}
+	return s.spans[len(s.spans)-1].hi
+}
+
+// Each calls fn on every member in ascending order until fn returns
+// false.
+func (s *Set) Each(fn func(id int64) bool) {
+	for _, sp := range s.spans {
+		for id := sp.lo; id <= sp.hi; id++ {
+			if !fn(id) {
+				return
+			}
+		}
+	}
+}
+
+// Slice returns all members ascending.
+func (s *Set) Slice() []int64 {
+	out := make([]int64, 0, s.Count())
+	s.Each(func(id int64) bool { out = append(out, id); return true })
+	return out
+}
+
+// Union returns a new set holding members of either set.
+func (s *Set) Union(o *Set) *Set {
+	out := s.Clone()
+	for _, sp := range o.spans {
+		out.InsertRange(sp.lo, sp.hi)
+	}
+	return out
+}
+
+// Intersect returns a new set holding members of both sets.
+func (s *Set) Intersect(o *Set) *Set {
+	out := &Set{}
+	i, j := 0, 0
+	for i < len(s.spans) && j < len(o.spans) {
+		a, b := s.spans[i], o.spans[j]
+		lo, hi := max64(a.lo, b.lo), min64(a.hi, b.hi)
+		if lo <= hi {
+			out.spans = append(out.spans, span{lo, hi})
+		}
+		if a.hi < b.hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns a new set holding members of s not in o.
+func (s *Set) Subtract(o *Set) *Set {
+	out := s.Clone()
+	for _, sp := range o.spans {
+		out.DeleteRange(sp.lo, sp.hi)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	return &Set{spans: append([]span(nil), s.spans...)}
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if len(s.spans) != len(o.spans) {
+		return false
+	}
+	for i, sp := range s.spans {
+		if sp != o.spans[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders idset notation ("" for the empty set). Pairs render as
+// "a,b" and longer runs as "a-b", matching flux's writer.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, sp := range s.spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case sp.lo == sp.hi:
+			fmt.Fprintf(&b, "%d", sp.lo)
+		case sp.lo+1 == sp.hi:
+			fmt.Fprintf(&b, "%d,%d", sp.lo, sp.hi)
+		default:
+			fmt.Fprintf(&b, "%d-%d", sp.lo, sp.hi)
+		}
+	}
+	return b.String()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package idset
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(3, 1, 2, 7)
+	if got := s.String(); got != "1-3,7" {
+		t.Fatalf("String = %q", got)
+	}
+	if s.Count() != 4 || s.Empty() {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 7 {
+		t.Fatalf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	for _, id := range []int64{1, 2, 3, 7} {
+		if !s.Contains(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	for _, id := range []int64{0, 4, 6, 8} {
+		if s.Contains(id) {
+			t.Fatalf("unexpected %d", id)
+		}
+	}
+	empty := New()
+	if !empty.Empty() || empty.Min() != -1 || empty.Max() != -1 || empty.String() != "" {
+		t.Fatal("empty set misbehaves")
+	}
+}
+
+func TestStringPairs(t *testing.T) {
+	// Two-element runs render "a,b" like flux; 3+ render "a-b".
+	if got := New(0, 1).String(); got != "0,1" {
+		t.Fatalf("pair = %q", got)
+	}
+	if got := New(0, 1, 2).String(); got != "0-2" {
+		t.Fatalf("run = %q", got)
+	}
+}
+
+func TestInsertMerging(t *testing.T) {
+	s := New()
+	s.InsertRange(10, 20)
+	s.InsertRange(30, 40)
+	s.InsertRange(21, 29) // bridges the gap
+	if got := s.String(); got != "10-40" {
+		t.Fatalf("merge = %q", got)
+	}
+	s.Insert(9) // adjacent below
+	s.Insert(41)
+	if got := s.String(); got != "9-41" {
+		t.Fatalf("adjacent = %q", got)
+	}
+	s.InsertRange(5, 50) // superset
+	if got := s.String(); got != "5-50" {
+		t.Fatalf("superset = %q", got)
+	}
+	s.InsertRange(7, 9) // fully inside
+	if got := s.String(); got != "5-50" {
+		t.Fatalf("inside = %q", got)
+	}
+	s.InsertRange(5, 3) // invalid: no-op
+	s.Insert(-1)
+	if got := s.String(); got != "5-50" {
+		t.Fatalf("invalid insert changed set: %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.InsertRange(0, 10)
+	s.Delete(5) // split
+	if got := s.String(); got != "0-4,6-10" {
+		t.Fatalf("split = %q", got)
+	}
+	s.DeleteRange(0, 2) // trim head
+	if got := s.String(); got != "3,4,6-10" {
+		t.Fatalf("trim = %q", got)
+	}
+	s.DeleteRange(8, 100) // trim tail across end
+	if got := s.String(); got != "3,4,6,7" {
+		t.Fatalf("tail = %q", got)
+	}
+	s.DeleteRange(0, 100)
+	if !s.Empty() {
+		t.Fatalf("clear = %q", s.String())
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("0-3,7,9-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 3, 7, 9, 10, 11, 12}
+	if !reflect.DeepEqual(s.Slice(), want) {
+		t.Fatalf("Slice = %v", s.Slice())
+	}
+	if s2, err := Parse(""); err != nil || !s2.Empty() {
+		t.Fatalf("empty parse: %v %v", s2, err)
+	}
+	for _, bad := range []string{"x", "3-1", "-1", "1-", "1,,2", "1, 2"} {
+		if _, err := Parse(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q): %v", bad, err)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, _ := Parse("0-9")
+	b, _ := Parse("5-14")
+	if got := a.Union(b).String(); got != "0-14" {
+		t.Fatalf("union = %q", got)
+	}
+	if got := a.Intersect(b).String(); got != "5-9" {
+		t.Fatalf("intersect = %q", got)
+	}
+	if got := a.Subtract(b).String(); got != "0-4" {
+		t.Fatalf("subtract = %q", got)
+	}
+	if got := b.Subtract(a).String(); got != "10-14" {
+		t.Fatalf("subtract2 = %q", got)
+	}
+	if !a.Clone().Equal(a) || a.Equal(b) {
+		t.Fatal("Equal/Clone broken")
+	}
+	disjoint, _ := Parse("20-30")
+	if !a.Intersect(disjoint).Empty() {
+		t.Fatal("disjoint intersect non-empty")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	s, _ := Parse("0-100")
+	n := 0
+	s.Each(func(int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("Each stopped at %d", n)
+	}
+}
+
+// TestRandomAgainstMap drives the set with random ops against a map
+// reference.
+func TestRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New()
+	ref := map[int64]bool{}
+	for op := 0; op < 20000; op++ {
+		id := int64(rng.Intn(300))
+		if rng.Intn(2) == 0 {
+			s.Insert(id)
+			ref[id] = true
+		} else {
+			s.Delete(id)
+			delete(ref, id)
+		}
+		if op%500 == 0 {
+			if int64(len(ref)) != s.Count() {
+				t.Fatalf("op %d: count %d vs %d", op, s.Count(), len(ref))
+			}
+			for id := int64(0); id < 300; id++ {
+				if s.Contains(id) != ref[id] {
+					t.Fatalf("op %d: Contains(%d) = %v", op, id, s.Contains(id))
+				}
+			}
+		}
+	}
+	// Round trip through notation.
+	back, err := Parse(s.String())
+	if err != nil || !back.Equal(s) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestQuickRoundTrip property: any ID slice round-trips through notation.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		for _, v := range raw {
+			s.Insert(int64(v))
+		}
+		back, err := Parse(s.String())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlgebraLaws property: set algebra agrees with map semantics.
+func TestQuickAlgebraLaws(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(), New()
+		am, bm := map[int64]bool{}, map[int64]bool{}
+		for _, v := range xs {
+			a.Insert(int64(v))
+			am[int64(v)] = true
+		}
+		for _, v := range ys {
+			b.Insert(int64(v))
+			bm[int64(v)] = true
+		}
+		u, i, d := a.Union(b), a.Intersect(b), a.Subtract(b)
+		for id := int64(0); id < 256; id++ {
+			if u.Contains(id) != (am[id] || bm[id]) {
+				return false
+			}
+			if i.Contains(id) != (am[id] && bm[id]) {
+				return false
+			}
+			if d.Contains(id) != (am[id] && !bm[id]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package jgf serializes resource graphs to and from the JSON Graph
+// Format, the interchange format flux-sched uses to ship concrete resource
+// sets and whole graph stores between components. It lets stores built with
+// GRUG be persisted and reloaded, and is the wire format resource-query's
+// "dump" command emits.
+package jgf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"fluxion/internal/resgraph"
+)
+
+// ErrFormat is wrapped by all decode errors.
+var ErrFormat = errors.New("jgf: bad format")
+
+// Document is the top-level JGF envelope.
+type Document struct {
+	Graph Graph `json:"graph"`
+}
+
+// Graph holds the node and edge lists.
+type Graph struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// Node is one serialized vertex.
+type Node struct {
+	ID       string       `json:"id"`
+	Metadata NodeMetadata `json:"metadata"`
+}
+
+// NodeMetadata mirrors flux-sched's vertex metadata.
+type NodeMetadata struct {
+	Type       string            `json:"type"`
+	Basename   string            `json:"basename"`
+	Name       string            `json:"name"`
+	ID         int64             `json:"id"`
+	UniqID     int64             `json:"uniq_id"`
+	Size       int64             `json:"size"`
+	Unit       string            `json:"unit,omitempty"`
+	Status     string            `json:"status,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+	Paths      map[string]string `json:"paths,omitempty"`
+}
+
+// Edge is one serialized edge.
+type Edge struct {
+	Source   string       `json:"source"`
+	Target   string       `json:"target"`
+	Metadata EdgeMetadata `json:"metadata"`
+}
+
+// EdgeMetadata carries the subsystem and relationship name.
+type EdgeMetadata struct {
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+}
+
+// Encode serializes a graph. Vertices appear in creation order, edges in
+// per-vertex subsystem order, so output is deterministic.
+func Encode(g *resgraph.Graph) ([]byte, error) {
+	doc := Document{}
+	for _, v := range g.Vertices() {
+		doc.Graph.Nodes = append(doc.Graph.Nodes, Node{
+			ID: strconv.FormatInt(v.UniqID, 10),
+			Metadata: NodeMetadata{
+				Type:       v.Type,
+				Basename:   v.Type,
+				Name:       v.Name,
+				ID:         v.ID,
+				UniqID:     v.UniqID,
+				Size:       v.Size,
+				Unit:       v.Unit,
+				Status:     v.Status.String(),
+				Properties: v.Properties,
+				Paths:      v.Paths,
+			},
+		})
+	}
+	subsystems := g.Subsystems()
+	for _, v := range g.Vertices() {
+		for _, sub := range subsystems {
+			for _, e := range v.OutEdges(sub) {
+				doc.Graph.Edges = append(doc.Graph.Edges, Edge{
+					Source:   strconv.FormatInt(e.From.UniqID, 10),
+					Target:   strconv.FormatInt(e.To.UniqID, 10),
+					Metadata: EdgeMetadata{Subsystem: e.Subsystem, Name: e.Type},
+				})
+			}
+		}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Decode reconstructs a graph from JGF into a fresh store with the given
+// planner range and prune spec, and finalizes it. Reciprocal containment
+// "in" edges are re-derived from "contains" edges, so both full dumps and
+// contains-only documents load.
+func Decode(data []byte, base, horizon int64, spec resgraph.PruneSpec) (*resgraph.Graph, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(doc.Graph.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrFormat)
+	}
+	g := resgraph.NewGraph(base, horizon)
+	if spec != nil {
+		if err := g.SetPruneSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	byID := make(map[string]*resgraph.Vertex, len(doc.Graph.Nodes))
+	// Preserve creation order by uniq_id so reassigned IDs stay stable.
+	nodes := append([]Node(nil), doc.Graph.Nodes...)
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return nodes[i].Metadata.UniqID < nodes[j].Metadata.UniqID
+	})
+	for _, n := range nodes {
+		md := n.Metadata
+		if md.Type == "" {
+			return nil, fmt.Errorf("%w: node %q missing type", ErrFormat, n.ID)
+		}
+		size := md.Size
+		if size == 0 {
+			size = 1
+		}
+		v, err := g.AddVertex(md.Type, md.ID, size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %q: %v", ErrFormat, n.ID, err)
+		}
+		v.Unit = md.Unit
+		if md.Status == "down" {
+			v.Status = resgraph.StatusDown
+		}
+		for k, val := range md.Properties {
+			v.SetProperty(k, val)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate node id %q", ErrFormat, n.ID)
+		}
+		byID[n.ID] = v
+	}
+	for _, e := range doc.Graph.Edges {
+		if e.Metadata.Subsystem == resgraph.Containment && e.Metadata.Name == resgraph.EdgeIn {
+			continue // re-derived below
+		}
+		from, ok := byID[e.Source]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge source %q unknown", ErrFormat, e.Source)
+		}
+		to, ok := byID[e.Target]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge target %q unknown", ErrFormat, e.Target)
+		}
+		if e.Metadata.Subsystem == resgraph.Containment {
+			if err := g.AddContainment(from, to); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			continue
+		}
+		if err := g.AddEdge(from, to, e.Metadata.Subsystem, e.Metadata.Name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,140 @@
+package jgf
+
+import (
+	"errors"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := grug.BuildGraph(grug.Small(2, 3, 4, 16, 100), 0, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.ByType("node")[1].SetProperty("perfclass", "2")
+	orig.ByType("node")[2].Status = resgraph.StatusDown
+
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data, 0, 1000, resgraph.PruneSpec{resgraph.ALL: {"core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len: %d vs %d", back.Len(), orig.Len())
+	}
+	// Aggregates identical.
+	a1 := orig.Root(resgraph.Containment).Aggregates()
+	a2 := back.Root(resgraph.Containment).Aggregates()
+	for typ, n := range a1 {
+		if a2[typ] != n {
+			t.Errorf("agg[%s] = %d, want %d", typ, a2[typ], n)
+		}
+	}
+	// Paths preserved.
+	v := back.ByPath("/cluster0/rack1/node4/core17")
+	if v == nil {
+		t.Fatal("deep path missing after round trip")
+	}
+	// Properties and status preserved.
+	if back.ByType("node")[1].Property("perfclass") != "2" {
+		t.Error("property lost")
+	}
+	if back.ByType("node")[2].Status != resgraph.StatusDown {
+		t.Error("status lost")
+	}
+	// Filters installed per the new spec.
+	if back.Root(resgraph.Containment).Filter() == nil {
+		t.Error("prune spec not applied on decode")
+	}
+	// Memory pool sizes preserved.
+	mem := back.ByType("memory")[0]
+	if mem.Size != 16 || mem.Unit != "GB" {
+		t.Errorf("memory pool = size %d unit %q", mem.Size, mem.Unit)
+	}
+}
+
+func TestRoundTripMultiSubsystem(t *testing.T) {
+	g := resgraph.NewGraph(0, 100)
+	cl := g.MustAddVertex("cluster", -1, 1)
+	nd := g.MustAddVertex("node", -1, 1)
+	pdu := g.MustAddVertex("pdu", -1, 50)
+	if err := g.AddContainment(cl, nd); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddContainment(cl, pdu); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(pdu, nd, "power", "supplies_to"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdus := back.ByType("pdu")
+	if len(pdus) != 1 || pdus[0].Size != 50 {
+		t.Fatalf("pdu = %v", pdus)
+	}
+	kids := pdus[0].Children("power")
+	if len(kids) != 1 || kids[0].Type != "node" {
+		t.Fatalf("power edge lost: %v", kids)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", "nope"},
+		{"empty", `{"graph":{"nodes":[],"edges":[]}}`},
+		{"missing type", `{"graph":{"nodes":[{"id":"0","metadata":{"name":"x"}}],"edges":[]}}`},
+		{"dup id", `{"graph":{"nodes":[
+			{"id":"0","metadata":{"type":"a","id":0}},
+			{"id":"0","metadata":{"type":"b","id":0,"uniq_id":1}}],"edges":[]}}`},
+		{"bad edge source", `{"graph":{"nodes":[{"id":"0","metadata":{"type":"a"}}],
+			"edges":[{"source":"9","target":"0","metadata":{"subsystem":"containment","name":"contains"}}]}}`},
+		{"bad edge target", `{"graph":{"nodes":[{"id":"0","metadata":{"type":"a"}}],
+			"edges":[{"source":"0","target":"9","metadata":{"subsystem":"containment","name":"contains"}}]}}`},
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c.data), 0, 100, nil); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestDecodeDeterministicIDOrder(t *testing.T) {
+	// Nodes listed out of uniq_id order still reconstruct with stable
+	// per-type IDs.
+	data := `{"graph":{"nodes":[
+		{"id":"b","metadata":{"type":"node","id":1,"uniq_id":2}},
+		{"id":"root","metadata":{"type":"cluster","id":0,"uniq_id":0}},
+		{"id":"a","metadata":{"type":"node","id":0,"uniq_id":1}}],
+	"edges":[
+		{"source":"root","target":"a","metadata":{"subsystem":"containment","name":"contains"}},
+		{"source":"root","target":"b","metadata":{"subsystem":"containment","name":"contains"}}]}}`
+	g, err := Decode([]byte(data), 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.ByType("node")
+	if len(nodes) != 2 || nodes[0].Name != "node0" || nodes[1].Name != "node1" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if g.ByPath("/cluster0/node1") == nil {
+		t.Fatal("paths not rebuilt")
+	}
+}

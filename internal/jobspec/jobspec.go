@@ -1,0 +1,447 @@
+// Package jobspec implements Flux's canonical job specification: the
+// abstract resource request graph that is Fluxion's matching input (paper
+// §4.2, Figure 4).
+//
+// A request is a small tree of typed resource vertices. Every vertex except
+// slot names a physical resource type and a per-parent-instance count; an
+// exclusive vertex must be allocated wholly to the job (the paper's
+// box-shaped vertices), a non-exclusive one may be shared (circles). The
+// slot vertex marks the resource shape the program's processes are
+// contained, bound, and executed in; everything beneath a slot is
+// implicitly exclusive.
+package jobspec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fluxion/internal/yamlite"
+)
+
+// Slot is the pseudo resource type marking the task container shape.
+const Slot = "slot"
+
+// ErrInvalid is wrapped by all jobspec validation errors.
+var ErrInvalid = errors.New("jobspec: invalid")
+
+// Resource is one vertex of the abstract resource request graph.
+type Resource struct {
+	// Type is the resource type name ("node", "core", "memory", ...) or
+	// Slot.
+	Type string
+	// Count is the number of units requested per parent instance: whole
+	// vertices for structural resources, pool units (e.g. GB) for
+	// pooled resources. For moldable requests Count is the desired
+	// maximum.
+	Count int64
+	// Min, when positive, makes the request moldable (paper §1, §5.5):
+	// the matcher grants as many units as fit, down to Min. Zero means
+	// rigid (exactly Count).
+	Min int64
+	// Exclusive marks the vertex for whole-vertex exclusive allocation.
+	Exclusive bool
+	// Label names a slot (optional).
+	Label string
+	// With holds the nested requests contained in each instance.
+	With []*Resource
+}
+
+// MinCount returns the smallest acceptable unit count: Min for moldable
+// requests, Count for rigid ones.
+func (r *Resource) MinCount() int64 {
+	if r.Min > 0 {
+		return r.Min
+	}
+	return r.Count
+}
+
+// Moldable constructs a moldable request vertex granting between min and
+// max units.
+func Moldable(typ string, min, max int64, with ...*Resource) *Resource {
+	return &Resource{Type: typ, Count: max, Min: min, With: with}
+}
+
+// Task describes what to execute inside a slot (the canonical jobspec
+// tasks section): a command bound to the slot label, replicated per slot.
+type Task struct {
+	// Command is the argv to execute.
+	Command []string
+	// Slot names the slot label the task binds to ("" binds to the
+	// unlabeled slot).
+	Slot string
+	// PerSlot is the number of task instances per matched slot
+	// (count.per_slot, default 1).
+	PerSlot int64
+}
+
+// Jobspec is a parsed canonical job specification.
+type Jobspec struct {
+	Version   int64
+	Resources []*Resource
+	// Tasks binds commands to slots; optional for pure resource
+	// allocations (e.g. storage-only grants).
+	Tasks []*Task
+	// Duration is the requested walltime in seconds
+	// (attributes.system.duration); 0 means unlimited.
+	Duration int64
+	// Name is an optional job name (attributes.system.job.name).
+	Name string
+}
+
+// New returns a jobspec with the given duration and request forest.
+func New(duration int64, resources ...*Resource) *Jobspec {
+	return &Jobspec{Version: 1, Duration: duration, Resources: resources}
+}
+
+// R is a convenience constructor for request vertices.
+func R(typ string, count int64, with ...*Resource) *Resource {
+	return &Resource{Type: typ, Count: count, With: with}
+}
+
+// RX is R with Exclusive set.
+func RX(typ string, count int64, with ...*Resource) *Resource {
+	return &Resource{Type: typ, Count: count, Exclusive: true, With: with}
+}
+
+// SlotR constructs a slot vertex containing the given shape.
+func SlotR(count int64, with ...*Resource) *Resource {
+	return &Resource{Type: Slot, Count: count, With: with}
+}
+
+// NodeLocal builds the paper's node-local request shape (Figure 4a and the
+// E1 workload): nodes shareable compute nodes, each holding slots slots of
+// cores cores, memGB memory units, and bb burst-buffer units. Zero counts
+// omit that resource.
+func NodeLocal(nodes, slots, cores, memGB, bb, duration int64) *Jobspec {
+	var shape []*Resource
+	if cores > 0 {
+		shape = append(shape, R("core", cores))
+	}
+	if memGB > 0 {
+		shape = append(shape, R("memory", memGB))
+	}
+	if bb > 0 {
+		shape = append(shape, R("bb", bb))
+	}
+	return New(duration, R("node", nodes, SlotR(slots, shape...)))
+}
+
+// Validate checks structural well-formedness: positive counts, non-empty
+// types, slots that contain a shape, and no nested slots.
+func (j *Jobspec) Validate() error {
+	if len(j.Resources) == 0 {
+		return fmt.Errorf("%w: empty resource section", ErrInvalid)
+	}
+	var walk func(r *Resource, inSlot bool) error
+	walk = func(r *Resource, inSlot bool) error {
+		if r.Type == "" {
+			return fmt.Errorf("%w: resource with empty type", ErrInvalid)
+		}
+		if r.Count <= 0 {
+			return fmt.Errorf("%w: resource %q has count %d", ErrInvalid, r.Type, r.Count)
+		}
+		if r.Min < 0 || r.Min > r.Count {
+			return fmt.Errorf("%w: resource %q has min %d outside [0, %d]", ErrInvalid, r.Type, r.Min, r.Count)
+		}
+		if r.Type == Slot {
+			if inSlot {
+				return fmt.Errorf("%w: nested slot", ErrInvalid)
+			}
+			if len(r.With) == 0 {
+				return fmt.Errorf("%w: slot without contained shape", ErrInvalid)
+			}
+			inSlot = true
+		}
+		for _, c := range r.With {
+			if err := walk(c, inSlot); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range j.Resources {
+		if err := walk(r, false); err != nil {
+			return err
+		}
+	}
+	if len(j.Tasks) > 0 {
+		labels := j.slotLabels()
+		for _, task := range j.Tasks {
+			if len(task.Command) == 0 {
+				return fmt.Errorf("%w: task with empty command", ErrInvalid)
+			}
+			if task.PerSlot < 0 {
+				return fmt.Errorf("%w: task per_slot %d", ErrInvalid, task.PerSlot)
+			}
+			if !labels[task.Slot] {
+				return fmt.Errorf("%w: task references unknown slot %q", ErrInvalid, task.Slot)
+			}
+		}
+	}
+	return nil
+}
+
+// slotLabels collects the labels of every slot in the request forest.
+func (j *Jobspec) slotLabels() map[string]bool {
+	out := make(map[string]bool)
+	var walk func(r *Resource)
+	walk = func(r *Resource) {
+		if r.Type == Slot {
+			out[r.Label] = true
+		}
+		for _, c := range r.With {
+			walk(c)
+		}
+	}
+	for _, r := range j.Resources {
+		walk(r)
+	}
+	return out
+}
+
+// TotalCounts returns the aggregate number of units of each physical
+// resource type the whole request needs (counts multiplied down the tree,
+// slots transparent). Moldable requests count at their minimum, so the
+// result is the floor a feasible allocation must reach — the conservative
+// bound the root pruning filter uses to find candidate scheduling times.
+func (j *Jobspec) TotalCounts() map[string]int64 {
+	agg := make(map[string]int64)
+	var walk func(r *Resource, mult int64)
+	walk = func(r *Resource, mult int64) {
+		n := mult * r.MinCount()
+		if r.Type != Slot {
+			agg[r.Type] += n
+		}
+		for _, c := range r.With {
+			walk(c, n)
+		}
+	}
+	for _, r := range j.Resources {
+		walk(r, 1)
+	}
+	return agg
+}
+
+// ParseYAML decodes a canonical jobspec document.
+func ParseYAML(data []byte) (*Jobspec, error) {
+	doc, err := yamlite.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("jobspec: %w", err)
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("%w: empty document", ErrInvalid)
+	}
+	j := &Jobspec{Version: 1}
+	if v, ok := yamlite.GetInt(doc, "version"); ok {
+		j.Version = v
+	}
+	resList, ok := yamlite.GetList(doc, "resources")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing resources section", ErrInvalid)
+	}
+	j.Resources, err = parseResources(resList)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := yamlite.GetPath(doc, "attributes.system.duration"); ok {
+		switch x := d.(type) {
+		case int64:
+			j.Duration = x
+		case float64:
+			j.Duration = int64(x)
+		default:
+			return nil, fmt.Errorf("%w: duration must be a number", ErrInvalid)
+		}
+	}
+	if n, ok := yamlite.GetPath(doc, "attributes.system.job.name"); ok {
+		if s, ok := n.(string); ok {
+			j.Name = s
+		}
+	}
+	if tasks, ok := yamlite.GetList(doc, "tasks"); ok {
+		j.Tasks, err = parseTasks(tasks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func parseTasks(list []any) ([]*Task, error) {
+	var out []*Task
+	for _, item := range list {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("%w: task entry is not a mapping", ErrInvalid)
+		}
+		task := &Task{PerSlot: 1}
+		cmd, ok := m["command"].([]any)
+		if !ok {
+			return nil, fmt.Errorf("%w: task missing command list", ErrInvalid)
+		}
+		for _, c := range cmd {
+			s, ok := c.(string)
+			if !ok {
+				s = fmt.Sprintf("%v", c)
+			}
+			task.Command = append(task.Command, s)
+		}
+		if s, ok := yamlite.GetString(m, "slot"); ok {
+			task.Slot = s
+		}
+		if count, ok := yamlite.GetMap(m, "count"); ok {
+			if ps, ok := yamlite.GetInt(count, "per_slot"); ok {
+				task.PerSlot = ps
+			}
+		}
+		out = append(out, task)
+	}
+	return out, nil
+}
+
+func parseResources(list []any) ([]*Resource, error) {
+	var out []*Resource
+	for _, item := range list {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("%w: resource entry is not a mapping", ErrInvalid)
+		}
+		r := &Resource{Count: 1}
+		if r.Type, ok = yamlite.GetString(m, "type"); !ok {
+			return nil, fmt.Errorf("%w: resource entry missing type", ErrInvalid)
+		}
+		switch c := m["count"].(type) {
+		case int64:
+			r.Count = c
+		case map[string]any:
+			// Moldable form: count: {min: 2, max: 8}.
+			if max, ok := yamlite.GetInt(c, "max"); ok {
+				r.Count = max
+			} else {
+				return nil, fmt.Errorf("%w: count object missing max", ErrInvalid)
+			}
+			if min, ok := yamlite.GetInt(c, "min"); ok {
+				r.Min = min
+			}
+		case nil:
+		default:
+			return nil, fmt.Errorf("%w: bad count %v", ErrInvalid, c)
+		}
+		if x, ok := yamlite.GetBool(m, "exclusive"); ok {
+			r.Exclusive = x
+		}
+		if l, ok := yamlite.GetString(m, "label"); ok {
+			r.Label = l
+		}
+		if with, ok := yamlite.GetList(m, "with"); ok {
+			children, err := parseResources(with)
+			if err != nil {
+				return nil, err
+			}
+			r.With = children
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// YAML renders the jobspec back to canonical YAML.
+func (j *Jobspec) YAML() []byte {
+	doc := map[string]any{
+		"version":   j.Version,
+		"resources": resourcesToAny(j.Resources),
+	}
+	system := map[string]any{}
+	if j.Duration > 0 {
+		system["duration"] = j.Duration
+	}
+	if j.Name != "" {
+		system["job"] = map[string]any{"name": j.Name}
+	}
+	if len(system) > 0 {
+		doc["attributes"] = map[string]any{"system": system}
+	}
+	if len(j.Tasks) > 0 {
+		tasks := make([]any, 0, len(j.Tasks))
+		for _, task := range j.Tasks {
+			cmd := make([]any, len(task.Command))
+			for i, c := range task.Command {
+				cmd[i] = c
+			}
+			m := map[string]any{"command": cmd}
+			if task.Slot != "" {
+				m["slot"] = task.Slot
+			}
+			if task.PerSlot != 1 {
+				m["count"] = map[string]any{"per_slot": task.PerSlot}
+			}
+			tasks = append(tasks, m)
+		}
+		doc["tasks"] = tasks
+	}
+	return yamlite.Marshal(doc)
+}
+
+func resourcesToAny(rs []*Resource) []any {
+	out := make([]any, 0, len(rs))
+	for _, r := range rs {
+		m := map[string]any{"type": r.Type, "count": r.Count}
+		if r.Min > 0 {
+			m["count"] = map[string]any{"min": r.Min, "max": r.Count}
+		}
+		if r.Exclusive {
+			m["exclusive"] = true
+		}
+		if r.Label != "" {
+			m["label"] = r.Label
+		}
+		if len(r.With) > 0 {
+			m["with"] = resourcesToAny(r.With)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// String renders a compact one-line summary like
+// "node[4]->slot[1]->{core[10],memory[8]}".
+func (j *Jobspec) String() string {
+	parts := make([]string, 0, len(j.Resources))
+	for _, r := range j.Resources {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders a compact summary of the request subtree.
+func (r *Resource) String() string {
+	var b strings.Builder
+	if r.Min > 0 {
+		b.WriteString(fmt.Sprintf("%s[%d-%d]", r.Type, r.Min, r.Count))
+	} else {
+		b.WriteString(fmt.Sprintf("%s[%d]", r.Type, r.Count))
+	}
+	if r.Exclusive {
+		b.WriteByte('!')
+	}
+	switch len(r.With) {
+	case 0:
+	case 1:
+		b.WriteString("->")
+		b.WriteString(r.With[0].String())
+	default:
+		b.WriteString("->{")
+		for i, c := range r.With {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

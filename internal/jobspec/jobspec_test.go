@@ -1,0 +1,339 @@
+package jobspec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// paperFig4a is the jobspec of paper Figure 4a: an exclusive slot with two
+// sockets of 5 cores, 1 gpu, and 16 memory units within a shareable node.
+const paperFig4a = `
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        label: default
+        with:
+          - type: socket
+            count: 2
+            with:
+              - type: core
+                count: 5
+              - type: gpu
+                count: 1
+              - type: memory
+                count: 16
+attributes:
+  system:
+    duration: 3600
+`
+
+func TestParsePaperFig4a(t *testing.T) {
+	j, err := ParseYAML([]byte(paperFig4a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Duration != 3600 {
+		t.Errorf("Duration = %d", j.Duration)
+	}
+	if len(j.Resources) != 1 {
+		t.Fatalf("Resources = %d", len(j.Resources))
+	}
+	node := j.Resources[0]
+	if node.Type != "node" || node.Count != 1 || node.Exclusive {
+		t.Fatalf("node = %+v", node)
+	}
+	slot := node.With[0]
+	if slot.Type != Slot || slot.Count != 1 || slot.Label != "default" {
+		t.Fatalf("slot = %+v", slot)
+	}
+	socket := slot.With[0]
+	if socket.Type != "socket" || socket.Count != 2 || len(socket.With) != 3 {
+		t.Fatalf("socket = %+v", socket)
+	}
+}
+
+func TestParsePaperFig4b(t *testing.T) {
+	// Figure 4b: slots pinned at rack level — slots of 2 nodes with at
+	// least 22 cores and 2 gpus, spread across 2 racks.
+	src := `
+version: 1
+resources:
+  - type: rack
+    count: 2
+    with:
+      - type: slot
+        count: 2
+        with:
+          - type: node
+            count: 2
+            with:
+              - type: core
+                count: 22
+              - type: gpu
+                count: 2
+`
+	j, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"rack": 2, "node": 8, "core": 176, "gpu": 16}
+	if got := j.TotalCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TotalCounts = %v, want %v", got, want)
+	}
+}
+
+func TestParsePaperFig4c(t *testing.T) {
+	// Figure 4c: 128 exclusive I/O bandwidth units within a shared pfs.
+	src := `
+version: 1
+resources:
+  - type: pfs
+    count: 1
+    with:
+      - type: bw
+        count: 128
+        exclusive: true
+`
+	j, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := j.Resources[0].With[0]
+	if !bw.Exclusive || bw.Count != 128 {
+		t.Fatalf("bw = %+v", bw)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no resources", "version: 1"},
+		{"missing type", "resources:\n  - count: 1"},
+		{"zero count", "resources:\n  - type: node\n    count: 0"},
+		{"negative count", "resources:\n  - type: node\n    count: -2"},
+		{"empty slot", "resources:\n  - type: slot\n    count: 1"},
+		{"nested slot", `
+resources:
+  - type: slot
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - type: core
+            count: 1
+`},
+		{"bad duration", `
+resources:
+  - type: node
+    count: 1
+attributes:
+  system:
+    duration: soon
+`},
+	}
+	for _, c := range cases {
+		if _, err := ParseYAML([]byte(c.src)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: want ErrInvalid, got %v", c.name, err)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	j := NodeLocal(1, 1, 10, 8, 1, 3600)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"node": 1, "core": 10, "memory": 8, "bb": 1}
+	if got := j.TotalCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TotalCounts = %v", got)
+	}
+	j2 := NodeLocal(4, 2, 36, 0, 0, 60)
+	want2 := map[string]int64{"node": 4, "core": 288}
+	if got := j2.TotalCounts(); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("TotalCounts = %v, want %v", got, want2)
+	}
+}
+
+func TestYAMLRoundTrip(t *testing.T) {
+	orig := New(7200,
+		R("cluster", 1,
+			SlotR(4,
+				RX("node", 2, R("core", 22), R("gpu", 2)))))
+	orig.Name = "roundtrip"
+	back, err := ParseYAML(orig.YAML())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, orig.YAML())
+	}
+	if back.Duration != 7200 || back.Name != "roundtrip" {
+		t.Fatalf("attributes lost: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Resources, orig.Resources) {
+		t.Fatalf("resources mismatch:\n%+v\n%+v", back.Resources[0], orig.Resources[0])
+	}
+}
+
+func TestString(t *testing.T) {
+	j := New(60, R("node", 4, SlotR(1, R("core", 10), R("memory", 8))))
+	got := j.String()
+	want := "node[4]->slot[1]->{core[10],memory[8]}"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	jx := New(60, RX("bw", 128))
+	if got := jx.String(); got != "bw[128]!" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTotalCountsSlotMultiplier(t *testing.T) {
+	// 3 slots each of 2 nodes with 4 cores: 6 nodes, 24 cores.
+	j := New(0, SlotR(3, R("node", 2, R("core", 4))))
+	want := map[string]int64{"node": 6, "core": 24}
+	if got := j.TotalCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TotalCounts = %v", got)
+	}
+}
+
+func TestDefaultCount(t *testing.T) {
+	j, err := ParseYAML([]byte("resources:\n  - type: node"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Resources[0].Count != 1 {
+		t.Fatalf("default count = %d", j.Resources[0].Count)
+	}
+}
+
+func TestParseTasks(t *testing.T) {
+	src := `
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 2
+        label: worker
+        with:
+          - {type: core, count: 4}
+tasks:
+  - command: [myapp, --verbose]
+    slot: worker
+    count:
+      per_slot: 2
+`
+	j, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(j.Tasks))
+	}
+	task := j.Tasks[0]
+	if !reflect.DeepEqual(task.Command, []string{"myapp", "--verbose"}) {
+		t.Fatalf("command = %v", task.Command)
+	}
+	if task.Slot != "worker" || task.PerSlot != 2 {
+		t.Fatalf("task = %+v", task)
+	}
+	// Round trip through YAML.
+	back, err := ParseYAML(j.YAML())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, j.YAML())
+	}
+	if !reflect.DeepEqual(back.Tasks, j.Tasks) {
+		t.Fatalf("tasks mismatch: %+v vs %+v", back.Tasks[0], j.Tasks[0])
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	base := func() *Jobspec {
+		return New(10, R("node", 1, SlotR(1, R("core", 1))))
+	}
+	j := base()
+	j.Tasks = []*Task{{Command: nil, PerSlot: 1}}
+	if err := j.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty command: %v", err)
+	}
+	j = base()
+	j.Tasks = []*Task{{Command: []string{"a"}, Slot: "nope", PerSlot: 1}}
+	if err := j.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown slot: %v", err)
+	}
+	j = base()
+	j.Tasks = []*Task{{Command: []string{"a"}, PerSlot: -1}}
+	if err := j.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative per_slot: %v", err)
+	}
+	j = base()
+	j.Tasks = []*Task{{Command: []string{"a"}, PerSlot: 1}}
+	if err := j.Validate(); err != nil {
+		t.Errorf("valid unlabeled-slot task: %v", err)
+	}
+	// Task missing a command list is a parse error.
+	if _, err := ParseYAML([]byte("resources:\n  - type: node\ntasks:\n  - slot: x")); !errors.Is(err, ErrInvalid) {
+		t.Errorf("missing command: %v", err)
+	}
+}
+
+func TestMoldableCountObject(t *testing.T) {
+	src := `
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - type: core
+            count: {min: 2, max: 8}
+`
+	j, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := j.Resources[0].With[0].With[0]
+	if core.Count != 8 || core.Min != 2 || core.MinCount() != 2 {
+		t.Fatalf("core = %+v", core)
+	}
+	// TotalCounts uses the floor.
+	if got := j.TotalCounts()["core"]; got != 2 {
+		t.Fatalf("TotalCounts core = %d", got)
+	}
+	// Round trip preserves the range.
+	back, err := ParseYAML(j.YAML())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, j.YAML())
+	}
+	bc := back.Resources[0].With[0].With[0]
+	if bc.Count != 8 || bc.Min != 2 {
+		t.Fatalf("round trip = %+v", bc)
+	}
+	// Bad forms.
+	for _, bad := range []string{
+		"resources:\n  - type: core\n    count: {min: 2}",
+		"resources:\n  - type: core\n    count: {min: 9, max: 8}",
+		"resources:\n  - type: core\n    count: soon",
+	} {
+		if _, err := ParseYAML([]byte(bad)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad count %q: %v", bad, err)
+		}
+	}
+}
+
+func TestMoldableString(t *testing.T) {
+	j := New(0, SlotR(1, Moldable("core", 2, 8)))
+	if got := j.String(); got != "slot[1]->core[2-8]" {
+		t.Fatalf("String = %q", got)
+	}
+}

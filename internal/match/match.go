@@ -1,0 +1,291 @@
+// Package match implements Fluxion's pluggable match policies (paper §3.2,
+// step 4): the scoring callbacks the traverser invokes to rank candidate
+// resource vertices. A policy only orders candidates; the traverser owns
+// feasibility, so policies and the resource model stay decoupled (paper
+// §3.5, separation of concerns).
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"fluxion/internal/resgraph"
+)
+
+// Policy orders candidate vertices into preference order.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Order sorts cands in place, most preferred first. needed is the
+	// number of units still required from the candidates; avail reports
+	// whether a candidate currently has capacity in the match window.
+	// Order may call avail at most once per candidate.
+	Order(cands []*resgraph.Vertex, needed int64, avail func(*resgraph.Vertex) bool)
+}
+
+// Lookup returns a registered policy by name: "first", "high", "low",
+// "locality", or "variation".
+func Lookup(name string) (Policy, error) {
+	switch name {
+	case "first", "":
+		return First{}, nil
+	case "high":
+		return HighID{}, nil
+	case "low":
+		return LowID{}, nil
+	case "locality":
+		return Locality{}, nil
+	case "variation":
+		return NewVariation(""), nil
+	default:
+		return nil, fmt.Errorf("match: unknown policy %q", name)
+	}
+}
+
+// Names lists the registered policy names.
+func Names() []string { return []string{"first", "high", "low", "locality", "variation"} }
+
+// First keeps candidates in traversal (creation) order: the first match
+// wins.
+type First struct{}
+
+// Name implements Policy.
+func (First) Name() string { return "first" }
+
+// Order implements Policy (no-op: traversal order is already preference
+// order).
+func (First) Order([]*resgraph.Vertex, int64, func(*resgraph.Vertex) bool) {}
+
+// HighID prefers vertices with higher logical IDs — the paper's first
+// baseline, mimicking production clusters that sort candidate nodes by ID
+// descending (§6.3).
+type HighID struct{}
+
+// Name implements Policy.
+func (HighID) Name() string { return "high" }
+
+// Order implements Policy.
+func (HighID) Order(cands []*resgraph.Vertex, _ int64, _ func(*resgraph.Vertex) bool) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ID > cands[j].ID })
+}
+
+// LowID prefers vertices with lower logical IDs — the paper's second
+// baseline.
+type LowID struct{}
+
+// Name implements Policy.
+func (LowID) Name() string { return "low" }
+
+// Order implements Policy.
+func (LowID) Order(cands []*resgraph.Vertex, _ int64, _ func(*resgraph.Vertex) bool) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+}
+
+// Locality keeps siblings together: candidates are grouped by containment
+// parent, fullest-first is approximated by preferring groups that appear
+// earlier in traversal order, and ordered by ID within a group.
+type Locality struct{}
+
+// Name implements Policy.
+func (Locality) Name() string { return "locality" }
+
+// Order implements Policy.
+func (Locality) Order(cands []*resgraph.Vertex, _ int64, _ func(*resgraph.Vertex) bool) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		pi, pj := parentUniq(cands[i]), parentUniq(cands[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return cands[i].ID < cands[j].ID
+	})
+}
+
+func parentUniq(v *resgraph.Vertex) int64 {
+	if p := v.Parent(); p != nil {
+		return p.UniqID
+	}
+	return -1
+}
+
+// Variation is the paper's variation-aware policy (§5.2, §6.3): every
+// compute node carries a performance-class property (1 = fastest bin), and
+// the policy packs each job's allocation into as few classes as possible
+// to minimize rank-to-rank manufacturing variation.
+//
+// Given the available candidates per class it prefers, in order:
+//  1. the single class with the fewest free candidates still >= needed
+//     (best fit, so large same-class pools survive for large jobs);
+//  2. otherwise the narrowest contiguous class window covering needed.
+//
+// Candidates without the property sort last (class MaxClass+1).
+type Variation struct {
+	// Key is the property holding the class ("perfclass" by default).
+	Key string
+}
+
+// PerfClassKey is the default vertex property consulted by Variation.
+const PerfClassKey = "perfclass"
+
+// NewVariation returns a Variation policy reading the given property key
+// ("" means PerfClassKey).
+func NewVariation(key string) Variation {
+	if key == "" {
+		key = PerfClassKey
+	}
+	return Variation{Key: key}
+}
+
+// Name implements Policy.
+func (Variation) Name() string { return "variation" }
+
+// ClassOf parses v's performance class, returning fallback when absent or
+// malformed.
+func (p Variation) ClassOf(v *resgraph.Vertex, fallback int) int {
+	s := v.Property(p.Key)
+	if s == "" {
+		return fallback
+	}
+	c, err := strconv.Atoi(s)
+	if err != nil {
+		return fallback
+	}
+	return c
+}
+
+// Order implements Policy.
+func (p Variation) Order(cands []*resgraph.Vertex, needed int64, avail func(*resgraph.Vertex) bool) {
+	if len(cands) == 0 {
+		return
+	}
+	// Bucket available candidates by class.
+	maxClass := 0
+	classes := make(map[int]int64)
+	classOf := make(map[*resgraph.Vertex]int, len(cands))
+	availOf := make(map[*resgraph.Vertex]bool, len(cands))
+	for _, v := range cands {
+		c := p.ClassOf(v, -1)
+		classOf[v] = c
+		if c > maxClass {
+			maxClass = c
+		}
+		ok := avail == nil || avail(v)
+		availOf[v] = ok
+		if ok && c >= 0 {
+			classes[c]++
+		}
+	}
+	for v, c := range classOf {
+		if c < 0 {
+			classOf[v] = maxClass + 1 // unclassified sorts last
+		}
+	}
+
+	rank := p.classRanks(classes, maxClass, needed)
+	sort.SliceStable(cands, func(i, j int) bool {
+		vi, vj := cands[i], cands[j]
+		ri, rj := rankOf(rank, classOf[vi]), rankOf(rank, classOf[vj])
+		if ri != rj {
+			return ri < rj
+		}
+		// Within a class, available candidates first, then by ID.
+		if availOf[vi] != availOf[vj] {
+			return availOf[vi]
+		}
+		return vi.ID < vj.ID
+	})
+}
+
+// classRanks computes the preference rank of each class.
+func (p Variation) classRanks(free map[int]int64, maxClass int, needed int64) map[int]int {
+	rank := make(map[int]int, len(free))
+	// 1. A single class can host the job: best fit, tie on lower class.
+	best := -1
+	var bestFree int64
+	for c, n := range free {
+		if n >= needed {
+			if best < 0 || n < bestFree || (n == bestFree && c < best) {
+				best, bestFree = c, n
+			}
+		}
+	}
+	if best >= 0 {
+		rank[best] = 0
+		// Remaining classes by distance from the chosen one, so any
+		// spill stays in adjacent performance bins.
+		next := 1
+		for d := 1; d <= maxClass+1; d++ {
+			for _, c := range []int{best + d, best - d} {
+				if _, ok := free[c]; ok {
+					rank[c] = next
+					next++
+				}
+			}
+		}
+		return rank
+	}
+	// 2. No single class suffices: narrowest contiguous window
+	// [a, b] whose free sum covers needed; tie on larger sum, then
+	// lower a.
+	bestA, bestB, bestSum := -1, -1, int64(-1)
+	for a := 1; a <= maxClass; a++ {
+		var sum int64
+		for b := a; b <= maxClass; b++ {
+			sum += free[b]
+			if sum < needed {
+				continue
+			}
+			width, bestWidth := b-a, bestB-bestA
+			if bestA < 0 || width < bestWidth || (width == bestWidth && sum > bestSum) {
+				bestA, bestB, bestSum = a, b, sum
+			}
+			break
+		}
+	}
+	if bestA < 0 {
+		// Not satisfiable from one window; fall back to fullest
+		// classes first to minimize spread pressure.
+		type cf struct {
+			c int
+			n int64
+		}
+		var all []cf
+		for c, n := range free {
+			all = append(all, cf{c, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].c < all[j].c
+		})
+		for i, x := range all {
+			rank[x.c] = i
+		}
+		return rank
+	}
+	next := 0
+	for c := bestA; c <= bestB; c++ {
+		rank[c] = next
+		next++
+	}
+	// Classes outside the window by distance from it.
+	for d := 1; d <= maxClass+1; d++ {
+		for _, c := range []int{bestB + d, bestA - d} {
+			if _, ok := free[c]; ok {
+				if _, done := rank[c]; !done {
+					rank[c] = next
+					next++
+				}
+			}
+		}
+	}
+	return rank
+}
+
+func rankOf(rank map[int]int, class int) int {
+	if r, ok := rank[class]; ok {
+		return r
+	}
+	return 1 << 30
+}

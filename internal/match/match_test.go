@@ -1,0 +1,194 @@
+package match
+
+import (
+	"testing"
+
+	"fluxion/internal/resgraph"
+)
+
+func mkNodes(t *testing.T, n int) (*resgraph.Graph, []*resgraph.Vertex) {
+	t.Helper()
+	g := resgraph.NewGraph(0, 1000)
+	cl := g.MustAddVertex("cluster", -1, 1)
+	var nodes []*resgraph.Vertex
+	for i := 0; i < n; i++ {
+		v := g.MustAddVertex("node", -1, 1)
+		if err := g.AddContainment(cl, v); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, v)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g, nodes
+}
+
+func names(vs []*resgraph.Vertex) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("Lookup(%q) = %v, %v", name, p, err)
+		}
+	}
+	if p, err := Lookup(""); err != nil || p.Name() != "first" {
+		t.Errorf("default policy: %v, %v", p, err)
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestHighLowFirstOrder(t *testing.T) {
+	_, nodes := mkNodes(t, 4)
+	cands := []*resgraph.Vertex{nodes[2], nodes[0], nodes[3], nodes[1]}
+
+	HighID{}.Order(cands, 1, nil)
+	if cands[0].Name != "node3" || cands[3].Name != "node0" {
+		t.Fatalf("high order = %v", names(cands))
+	}
+	LowID{}.Order(cands, 1, nil)
+	if cands[0].Name != "node0" || cands[3].Name != "node3" {
+		t.Fatalf("low order = %v", names(cands))
+	}
+	snapshot := names(cands)
+	First{}.Order(cands, 1, nil)
+	for i, n := range names(cands) {
+		if n != snapshot[i] {
+			t.Fatal("first must not reorder")
+		}
+	}
+}
+
+func TestLocalityGroupsSiblings(t *testing.T) {
+	g := resgraph.NewGraph(0, 1000)
+	cl := g.MustAddVertex("cluster", -1, 1)
+	var nodes []*resgraph.Vertex
+	for r := 0; r < 2; r++ {
+		rack := g.MustAddVertex("rack", -1, 1)
+		if err := g.AddContainment(cl, rack); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 2; n++ {
+			v := g.MustAddVertex("node", -1, 1)
+			if err := g.AddContainment(rack, v); err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, v)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	cands := []*resgraph.Vertex{nodes[3], nodes[0], nodes[2], nodes[1]}
+	Locality{}.Order(cands, 1, nil)
+	// rack0's nodes (0,1) first, then rack1's (2,3).
+	want := []string{"node0", "node1", "node2", "node3"}
+	for i, w := range want {
+		if cands[i].Name != w {
+			t.Fatalf("locality order = %v", names(cands))
+		}
+	}
+}
+
+func setClasses(nodes []*resgraph.Vertex, classes []int) {
+	for i, n := range nodes {
+		if classes[i] > 0 {
+			n.SetProperty(PerfClassKey, itoa(classes[i]))
+		}
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+func TestVariationSingleClassBestFit(t *testing.T) {
+	_, nodes := mkNodes(t, 6)
+	// classes: 1,1,1,2,2,3 — a 2-node job best-fits class 2.
+	setClasses(nodes, []int{1, 1, 1, 2, 2, 3})
+	cands := append([]*resgraph.Vertex(nil), nodes...)
+	NewVariation("").Order(cands, 2, nil)
+	v := NewVariation("")
+	if v.ClassOf(cands[0], -1) != 2 || v.ClassOf(cands[1], -1) != 2 {
+		t.Fatalf("order = %v", names(cands))
+	}
+}
+
+func TestVariationWindowWhenNoSingleClass(t *testing.T) {
+	_, nodes := mkNodes(t, 6)
+	// classes: 1,2,2,4,4,4 — a 5-node job needs window [2,4]; the
+	// narrowest covering window is classes 2..4 (2+0+3 = 5).
+	setClasses(nodes, []int{1, 2, 2, 4, 4, 4})
+	cands := append([]*resgraph.Vertex(nil), nodes...)
+	NewVariation("").Order(cands, 5, nil)
+	v := NewVariation("")
+	// The class-1 node must sort after all window members.
+	if v.ClassOf(cands[5], -1) != 1 {
+		t.Fatalf("order = %v (last should be class 1)", names(cands))
+	}
+}
+
+func TestVariationAvailabilityAware(t *testing.T) {
+	_, nodes := mkNodes(t, 4)
+	// All class 1, but nodes 0-1 are unavailable: a 2-node job should
+	// see availables first.
+	setClasses(nodes, []int{1, 1, 1, 1})
+	cands := append([]*resgraph.Vertex(nil), nodes...)
+	avail := func(v *resgraph.Vertex) bool { return v.ID >= 2 }
+	NewVariation("").Order(cands, 2, avail)
+	if cands[0].ID < 2 || cands[1].ID < 2 {
+		t.Fatalf("order = %v", names(cands))
+	}
+}
+
+func TestVariationUnclassifiedLast(t *testing.T) {
+	_, nodes := mkNodes(t, 3)
+	setClasses(nodes, []int{0, 2, 2}) // node0 unclassified
+	cands := append([]*resgraph.Vertex(nil), nodes...)
+	NewVariation("").Order(cands, 2, nil)
+	if cands[2].Name != "node0" {
+		t.Fatalf("order = %v", names(cands))
+	}
+}
+
+func TestVariationClassOf(t *testing.T) {
+	_, nodes := mkNodes(t, 2)
+	v := NewVariation("")
+	if v.ClassOf(nodes[0], 7) != 7 {
+		t.Fatal("fallback for missing class")
+	}
+	nodes[0].SetProperty(PerfClassKey, "junk")
+	if v.ClassOf(nodes[0], 7) != 7 {
+		t.Fatal("fallback for malformed class")
+	}
+	nodes[0].SetProperty(PerfClassKey, "3")
+	if v.ClassOf(nodes[0], 7) != 3 {
+		t.Fatal("parse class")
+	}
+}
+
+func TestVariationEmptyCandidates(t *testing.T) {
+	NewVariation("").Order(nil, 3, nil) // must not panic
+}
+
+func TestVariationFallbackNoWindow(t *testing.T) {
+	// Needed exceeds every contiguous window: the fallback orders by
+	// fullest class first.
+	_, nodes := mkNodes(t, 5)
+	setClasses(nodes, []int{1, 3, 3, 3, 5})
+	cands := append([]*resgraph.Vertex(nil), nodes...)
+	NewVariation("").Order(cands, 50, nil)
+	v := NewVariation("")
+	if v.ClassOf(cands[0], -1) != 3 {
+		t.Fatalf("fallback order = %v", names(cands))
+	}
+}

@@ -1,0 +1,240 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi aggregates one Planner per resource type over a common time range.
+// Fluxion attaches a Multi to high-level resource vertices (cluster, rack,
+// node) as a pruning filter: each member planner tracks the aggregate
+// amount of one low-level resource type available in the subtree (paper
+// §3.4), and the root's Multi drives PlannerMultiAvailTimeFirst when
+// searching for the earliest time a whole request can be satisfied.
+type Multi struct {
+	base    int64
+	horizon int64
+	types   []string // sorted, stable iteration order
+	byType  map[string]*Planner
+
+	spans      map[int64]map[string]int64 // multi-span ID -> member span IDs
+	nextSpanID int64
+}
+
+// NewMulti creates a Multi covering [base, base+horizon) with one member
+// planner per entry of totals (resource type -> pool size). Types with a
+// non-positive total are rejected.
+func NewMulti(base, horizon int64, totals map[string]int64) (*Multi, error) {
+	if len(totals) == 0 {
+		return nil, fmt.Errorf("%w: no resource types", ErrInvalid)
+	}
+	m := &Multi{
+		base:       base,
+		horizon:    horizon,
+		byType:     make(map[string]*Planner, len(totals)),
+		spans:      make(map[int64]map[string]int64),
+		nextSpanID: 1,
+	}
+	for rt, total := range totals {
+		p, err := New(base, horizon, total, rt)
+		if err != nil {
+			return nil, fmt.Errorf("type %q: %w", rt, err)
+		}
+		m.byType[rt] = p
+		m.types = append(m.types, rt)
+	}
+	sort.Strings(m.types)
+	return m, nil
+}
+
+// Types returns the member resource types in sorted order.
+func (m *Multi) Types() []string { return append([]string(nil), m.types...) }
+
+// Planner returns the member planner for rt, or nil.
+func (m *Multi) Planner(rt string) *Planner { return m.byType[rt] }
+
+// Total returns the pool size for rt (0 if absent).
+func (m *Multi) Total(rt string) int64 {
+	if p := m.byType[rt]; p != nil {
+		return p.Total()
+	}
+	return 0
+}
+
+// SpanCount returns the number of live multi-spans.
+func (m *Multi) SpanCount() int { return len(m.spans) }
+
+// checkRequest validates a request map against member planners. Types
+// absent from the Multi are an error; zero counts are ignored.
+func (m *Multi) checkRequest(request map[string]int64) error {
+	for rt, c := range request {
+		if c < 0 {
+			return fmt.Errorf("%w: negative count for %q", ErrInvalid, rt)
+		}
+		if c == 0 {
+			continue
+		}
+		if m.byType[rt] == nil {
+			return fmt.Errorf("%w: unknown resource type %q", ErrInvalid, rt)
+		}
+	}
+	return nil
+}
+
+// CanFit reports whether every requested amount fits throughout
+// [start, start+duration) in its member planner.
+func (m *Multi) CanFit(start, duration int64, request map[string]int64) bool {
+	if m.checkRequest(request) != nil {
+		return false
+	}
+	for rt, c := range request {
+		if c == 0 {
+			continue
+		}
+		if !m.byType[rt].CanFit(start, duration, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// AvailTimeFirst returns the earliest time t >= at at which every requested
+// amount is available for duration (paper: PlannerMultiAvailTimeFirst).
+// Candidate times are at itself and the availability change points of every
+// requested type; each candidate is validated against all member planners.
+func (m *Multi) AvailTimeFirst(at, duration int64, request map[string]int64) (int64, error) {
+	if err := m.checkRequest(request); err != nil {
+		return -1, err
+	}
+	if m.CanFit(at, duration, request) {
+		return at, nil
+	}
+	empty := true
+	for _, c := range request {
+		if c > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return at, nil
+	}
+	return m.nextCandidate(at, duration, request)
+}
+
+// nextCandidate walks the merged availability change points of all
+// requested types, strictly after `after`, and returns the first one at
+// which every member fits.
+func (m *Multi) nextCandidate(after, duration int64, request map[string]int64) (int64, error) {
+	t := after
+	for {
+		// Earliest next point among requested types where that type
+		// itself fits for duration.
+		var cand int64 = -1
+		for _, rt := range m.types {
+			c := request[rt]
+			if c == 0 {
+				continue
+			}
+			x, err := m.byType[rt].AvailPointTimeAfter(t, duration, c)
+			if err != nil {
+				continue // no more points for this type
+			}
+			if cand < 0 || x < cand {
+				cand = x
+			}
+		}
+		if cand < 0 {
+			return -1, ErrNoSpace
+		}
+		if m.CanFit(cand, duration, request) {
+			return cand, nil
+		}
+		t = cand
+	}
+}
+
+// AvailPointTimeAfter returns the earliest availability change point
+// strictly after `after` at which every requested amount fits for
+// duration. It drives reservation candidate-time iteration: each call with
+// the previous result advances to the next distinct point.
+func (m *Multi) AvailPointTimeAfter(after, duration int64, request map[string]int64) (int64, error) {
+	if err := m.checkRequest(request); err != nil {
+		return -1, err
+	}
+	empty := true
+	for _, c := range request {
+		if c > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return -1, fmt.Errorf("%w: empty request has no change points", ErrInvalid)
+	}
+	return m.nextCandidate(after, duration, request)
+}
+
+// AddSpan plans every requested amount during [start, start+duration) and
+// returns a multi-span ID. The operation is atomic: if any member fails,
+// already-added member spans are rolled back.
+func (m *Multi) AddSpan(start, duration int64, request map[string]int64) (int64, error) {
+	if err := m.checkRequest(request); err != nil {
+		return -1, err
+	}
+	members := make(map[string]int64)
+	for _, rt := range m.types {
+		c := request[rt]
+		if c == 0 {
+			continue
+		}
+		id, err := m.byType[rt].AddSpan(start, duration, c)
+		if err != nil {
+			for mrt, mid := range members {
+				_ = m.byType[mrt].RemoveSpan(mid)
+			}
+			return -1, fmt.Errorf("type %q: %w", rt, err)
+		}
+		members[rt] = id
+	}
+	id := m.nextSpanID
+	m.nextSpanID++
+	m.spans[id] = members
+	return id, nil
+}
+
+// RemoveSpan unplans a multi-span.
+func (m *Multi) RemoveSpan(id int64) error {
+	members, ok := m.spans[id]
+	if !ok {
+		return fmt.Errorf("%w: multi-span %d", ErrNotFound, id)
+	}
+	delete(m.spans, id)
+	var firstErr error
+	for rt, mid := range members {
+		if err := m.byType[rt].RemoveSpan(mid); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("type %q: %w", rt, err)
+		}
+	}
+	return firstErr
+}
+
+// Update grows or shrinks the pool of rt by delta units across the horizon,
+// creating the member planner on first growth of an unknown type.
+func (m *Multi) Update(rt string, delta int64) error {
+	p := m.byType[rt]
+	if p == nil {
+		if delta <= 0 {
+			return fmt.Errorf("%w: unknown resource type %q", ErrInvalid, rt)
+		}
+		np, err := New(m.base, m.horizon, delta, rt)
+		if err != nil {
+			return err
+		}
+		m.byType[rt] = np
+		m.types = append(m.types, rt)
+		sort.Strings(m.types)
+		return nil
+	}
+	return p.Update(delta)
+}

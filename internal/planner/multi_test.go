@@ -1,0 +1,237 @@
+package planner
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestMulti(t *testing.T) *Multi {
+	t.Helper()
+	m, err := NewMulti(0, 1000, map[string]int64{"core": 40, "memory": 256, "gpu": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiBasics(t *testing.T) {
+	m := newTestMulti(t)
+	if got := m.Types(); len(got) != 3 || got[0] != "core" || got[1] != "gpu" || got[2] != "memory" {
+		t.Fatalf("Types() = %v", got)
+	}
+	if m.Total("core") != 40 || m.Total("nope") != 0 {
+		t.Fatalf("Total mismatch")
+	}
+	if m.Planner("gpu") == nil || m.Planner("nope") != nil {
+		t.Fatalf("Planner accessor mismatch")
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := NewMulti(0, 100, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty totals: %v", err)
+	}
+	if _, err := NewMulti(0, 100, map[string]int64{"c": 0}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero total: %v", err)
+	}
+	m := newTestMulti(t)
+	if _, err := m.AddSpan(0, 10, map[string]int64{"disk": 1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, err := m.AddSpan(0, 10, map[string]int64{"core": -1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative: %v", err)
+	}
+}
+
+func TestMultiAddRemove(t *testing.T) {
+	m := newTestMulti(t)
+	req := map[string]int64{"core": 10, "memory": 64, "gpu": 1}
+	id, err := m.AddSpan(0, 100, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanFit(0, 100, map[string]int64{"core": 30, "memory": 192, "gpu": 3}) {
+		t.Error("remaining capacity should fit")
+	}
+	if m.CanFit(0, 100, map[string]int64{"core": 31}) {
+		t.Error("31 cores should not fit")
+	}
+	if err := m.RemoveSpan(id); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanFit(0, 100, map[string]int64{"core": 40, "memory": 256, "gpu": 4}) {
+		t.Error("full capacity should fit after removal")
+	}
+	if err := m.RemoveSpan(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestMultiAtomicRollback(t *testing.T) {
+	m := newTestMulti(t)
+	// Saturate gpus during [50, 60).
+	if _, err := m.AddSpan(50, 10, map[string]int64{"gpu": 4}); err != nil {
+		t.Fatal(err)
+	}
+	// This request fits cores/memory but not gpus: must roll back fully.
+	if _, err := m.AddSpan(40, 30, map[string]int64{"core": 10, "memory": 10, "gpu": 1}); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if !m.CanFit(40, 30, map[string]int64{"core": 40, "memory": 256}) {
+		t.Error("core/memory spans were not rolled back")
+	}
+}
+
+func TestMultiAvailTimeFirst(t *testing.T) {
+	m := newTestMulti(t)
+	// cores busy [0,100), gpus busy [50,150).
+	if _, err := m.AddSpan(0, 100, map[string]int64{"core": 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSpan(50, 100, map[string]int64{"gpu": 4}); err != nil {
+		t.Fatal(err)
+	}
+	// A request needing both becomes feasible only at 150.
+	got, err := m.AvailTimeFirst(0, 10, map[string]int64{"core": 1, "gpu": 1})
+	if err != nil || got != 150 {
+		t.Fatalf("AvailTimeFirst = %d, %v; want 150", got, err)
+	}
+	// Memory-only request fits immediately.
+	got, err = m.AvailTimeFirst(0, 10, map[string]int64{"memory": 256})
+	if err != nil || got != 0 {
+		t.Fatalf("memory-only = %d, %v; want 0", got, err)
+	}
+	// Empty request fits at the query time.
+	got, err = m.AvailTimeFirst(42, 10, nil)
+	if err != nil || got != 42 {
+		t.Fatalf("empty request = %d, %v; want 42", got, err)
+	}
+	// Impossible request.
+	if _, err := m.AvailTimeFirst(0, 10, map[string]int64{"gpu": 5}); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+}
+
+func TestMultiUpdate(t *testing.T) {
+	m := newTestMulti(t)
+	if err := m.Update("core", 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total("core") != 48 {
+		t.Fatalf("core total = %d, want 48", m.Total("core"))
+	}
+	// Growing an unknown type creates its planner.
+	if err := m.Update("ssd", 16); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total("ssd") != 16 {
+		t.Fatalf("ssd total = %d", m.Total("ssd"))
+	}
+	if got := m.Types(); len(got) != 4 {
+		t.Fatalf("Types() = %v", got)
+	}
+	// Shrinking an unknown type is an error.
+	if err := m.Update("tape", -1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("shrink unknown: %v", err)
+	}
+	// Shrink below usage fails.
+	if _, err := m.AddSpan(0, 10, map[string]int64{"gpu": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update("gpu", -1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("shrink busy gpu: %v", err)
+	}
+}
+
+func TestMultiSpanCount(t *testing.T) {
+	m := newTestMulti(t)
+	id1, _ := m.AddSpan(0, 10, map[string]int64{"core": 1})
+	id2, _ := m.AddSpan(0, 10, map[string]int64{"gpu": 1, "memory": 8})
+	if m.SpanCount() != 2 {
+		t.Fatalf("SpanCount = %d", m.SpanCount())
+	}
+	_ = m.RemoveSpan(id1)
+	_ = m.RemoveSpan(id2)
+	if m.SpanCount() != 0 {
+		t.Fatalf("SpanCount = %d after removals", m.SpanCount())
+	}
+}
+
+func TestMultiAvailTimeFirstNonAnchorBlocking(t *testing.T) {
+	// Regression: the earliest feasible time can be a change point of a
+	// type other than the scarcest one. Cores (huge slack) free at 100,
+	// gpus (scarce) free at 150 — but make cores the later-blocking
+	// type: cores busy [0,150), gpus busy [0,100).
+	m, err := NewMulti(0, 1000, map[string]int64{"core": 40, "gpu": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSpan(0, 150, map[string]int64{"core": 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSpan(0, 100, map[string]int64{"gpu": 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.AvailTimeFirst(0, 10, map[string]int64{"core": 1, "gpu": 1})
+	if err != nil || got != 150 {
+		t.Fatalf("AvailTimeFirst = %d, %v; want 150", got, err)
+	}
+}
+
+func TestMultiAvailPointTimeAfter(t *testing.T) {
+	m := newTestMulti(t)
+	if _, err := m.AddSpan(0, 100, map[string]int64{"core": 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSpan(200, 50, map[string]int64{"gpu": 4}); err != nil {
+		t.Fatal(err)
+	}
+	req := map[string]int64{"core": 1, "gpu": 1}
+	// First change point after 0 where both fit: 100.
+	got, err := m.AvailPointTimeAfter(0, 10, req)
+	if err != nil || got != 100 {
+		t.Fatalf("first = %d, %v; want 100", got, err)
+	}
+	// Next after 100: the gpu release point at 250.
+	got, err = m.AvailPointTimeAfter(100, 10, req)
+	if err != nil || got != 250 {
+		t.Fatalf("second = %d, %v; want 250", got, err)
+	}
+	// No more change points after 250.
+	if _, err := m.AvailPointTimeAfter(250, 10, req); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("third: %v", err)
+	}
+	// Empty request is rejected.
+	if _, err := m.AvailPointTimeAfter(0, 10, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestPlannerAvailPointTimeAfter(t *testing.T) {
+	p := MustNew(0, 1000, 8, "c")
+	mustAddMulti := func(start, dur, req int64) {
+		t.Helper()
+		if _, err := p.AddSpan(start, dur, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAddMulti(0, 100, 8)
+	mustAddMulti(150, 50, 8)
+	// Points: 0(0), 100(8), 150(0), 200(8).
+	got, err := p.AvailPointTimeAfter(0, 10, 4)
+	if err != nil || got != 100 {
+		t.Fatalf("after 0 = %d, %v; want 100", got, err)
+	}
+	got, err = p.AvailPointTimeAfter(100, 10, 4)
+	if err != nil || got != 200 {
+		t.Fatalf("after 100 = %d, %v; want 200", got, err)
+	}
+	// 40-long window from 100 hits the busy [150,200) stretch.
+	got, err = p.AvailPointTimeAfter(99, 60, 4)
+	if err != nil || got != 200 {
+		t.Fatalf("long window = %d, %v; want 200", got, err)
+	}
+	if _, err := p.AvailPointTimeAfter(200, 10, 4); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted: %v", err)
+	}
+}

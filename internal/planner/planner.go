@@ -1,0 +1,568 @@
+// Package planner implements Fluxion's scalable scheduled-time-point
+// management (paper §4.1).
+//
+// A Planner tracks the availability of a single resource pool over time,
+// like a physical calendar. Activities are spans: an amount of the resource
+// planned for a half-open time window [start, start+duration). Span
+// boundaries induce scheduled points; between two consecutive points the
+// amount in use is constant.
+//
+// Two red-black trees index the points:
+//
+//   - the scheduled-point (SP) tree, keyed by time, answers "how much is
+//     available at time t" and window-minimum queries in O(log N + K);
+//   - the earliest-time (ET) tree, keyed by remaining capacity and
+//     augmented with the subtree-minimum scheduled time, answers "what is
+//     the earliest point at which request r fits" in O(log N) (paper
+//     Algorithm 1).
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fluxion/internal/rbtree"
+)
+
+// Errors returned by Planner operations.
+var (
+	// ErrOutOfRange reports a time outside [Base, Base+Horizon).
+	ErrOutOfRange = errors.New("planner: time out of range")
+	// ErrInvalid reports an invalid argument (non-positive duration,
+	// negative or oversized request).
+	ErrInvalid = errors.New("planner: invalid argument")
+	// ErrNoSpace reports that the request cannot be satisfied in the
+	// queried window (or, for AvailTimeFirst, anywhere on the horizon).
+	ErrNoSpace = errors.New("planner: insufficient resources")
+	// ErrNotFound reports an unknown span ID.
+	ErrNotFound = errors.New("planner: span not found")
+)
+
+// schedPoint is one scheduled time point: the boundary of at least one span
+// (or the planner's base point). scheduled/remaining describe the interval
+// [at, nextPoint.at).
+type schedPoint struct {
+	at        int64
+	scheduled int64
+	remaining int64
+	refCount  int // spans starting or ending here; base point is pinned
+
+	// ET-tree augmentation: the point with the minimum at in the ET
+	// subtree rooted at this point's node.
+	subtreeMin *schedPoint
+
+	// SP-tree augmentation: the maximum remaining and maximum at in
+	// the SP subtree rooted at this point's node. They power the
+	// time-filtered candidate search (nextPointGE) that iterates
+	// qualifying scheduled points in O(log N) each.
+	spMaxRemaining int64
+	spMaxAt        int64
+
+	spNode *rbtree.Node[*schedPoint]
+	etNode *rbtree.Node[*schedPoint]
+	inET   bool
+}
+
+// Span is a planned activity: planned units reserved during [Start, Last).
+type Span struct {
+	ID      int64
+	Start   int64
+	Last    int64 // exclusive end
+	Planned int64
+}
+
+// Planner tracks one resource pool's availability over time.
+type Planner struct {
+	base         int64
+	horizon      int64
+	total        int64
+	resourceType string
+
+	sp *rbtree.Tree[*schedPoint]
+	et *rbtree.Tree[*schedPoint]
+
+	spans      map[int64]*Span
+	nextSpanID int64
+}
+
+func spLess(a, b *schedPoint) bool { return a.at < b.at }
+
+func etLess(a, b *schedPoint) bool {
+	if a.remaining != b.remaining {
+		return a.remaining < b.remaining
+	}
+	return a.at < b.at
+}
+
+func etUpdate(n *rbtree.Node[*schedPoint]) {
+	p := n.Item()
+	m := p
+	if l := n.Left(); l != nil && l.Item().subtreeMin.at < m.at {
+		m = l.Item().subtreeMin
+	}
+	if r := n.Right(); r != nil && r.Item().subtreeMin.at < m.at {
+		m = r.Item().subtreeMin
+	}
+	p.subtreeMin = m
+}
+
+func spUpdate(n *rbtree.Node[*schedPoint]) {
+	p := n.Item()
+	maxRem, maxAt := p.remaining, p.at
+	if l := n.Left(); l != nil {
+		if li := l.Item(); li.spMaxRemaining > maxRem {
+			maxRem = li.spMaxRemaining
+		}
+	}
+	if r := n.Right(); r != nil {
+		ri := r.Item()
+		if ri.spMaxRemaining > maxRem {
+			maxRem = ri.spMaxRemaining
+		}
+		if ri.spMaxAt > maxAt {
+			maxAt = ri.spMaxAt
+		}
+	}
+	p.spMaxRemaining = maxRem
+	p.spMaxAt = maxAt
+}
+
+// New creates a planner for a pool of total units of resourceType, covering
+// times in [base, base+horizon). horizon and total must be positive.
+func New(base, horizon, total int64, resourceType string) (*Planner, error) {
+	if horizon <= 0 || total <= 0 {
+		return nil, fmt.Errorf("%w: horizon=%d total=%d", ErrInvalid, horizon, total)
+	}
+	if base > (1<<62) || horizon > (1<<62) {
+		return nil, fmt.Errorf("%w: base/horizon too large", ErrInvalid)
+	}
+	p := &Planner{
+		base:         base,
+		horizon:      horizon,
+		total:        total,
+		resourceType: resourceType,
+		sp:           rbtree.New(spLess),
+		et:           rbtree.New(etLess),
+		spans:        make(map[int64]*Span),
+		nextSpanID:   1,
+	}
+	p.et.SetUpdate(etUpdate)
+	p.sp.SetUpdate(spUpdate)
+	p0 := &schedPoint{at: base, scheduled: 0, remaining: total}
+	p0.subtreeMin = p0
+	p0.spMaxRemaining, p0.spMaxAt = total, base
+	p0.spNode = p.sp.Insert(p0)
+	p0.etNode = p.et.Insert(p0)
+	p0.inET = true
+	return p, nil
+}
+
+// MustNew is New but panics on error; for tests and static configuration.
+func MustNew(base, horizon, total int64, resourceType string) *Planner {
+	p, err := New(base, horizon, total, resourceType)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Base returns the first schedulable time.
+func (p *Planner) Base() int64 { return p.base }
+
+// Horizon returns the schedulable duration from Base.
+func (p *Planner) Horizon() int64 { return p.horizon }
+
+// Total returns the pool size.
+func (p *Planner) Total() int64 { return p.total }
+
+// ResourceType returns the label given at construction.
+func (p *Planner) ResourceType() string { return p.resourceType }
+
+// SpanCount returns the number of live spans.
+func (p *Planner) SpanCount() int { return len(p.spans) }
+
+// PointCount returns the number of scheduled points (including the base
+// point).
+func (p *Planner) PointCount() int { return p.sp.Len() }
+
+// Span returns a copy of the span with the given ID.
+func (p *Planner) Span(id int64) (Span, error) {
+	s, ok := p.spans[id]
+	if !ok {
+		return Span{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return *s, nil
+}
+
+// end returns the exclusive end of the schedulable range.
+func (p *Planner) end() int64 { return p.base + p.horizon }
+
+// floorPoint returns the last point at or before t (nil if t < base).
+func (p *Planner) floorPoint(t int64) *schedPoint {
+	n := p.sp.Floor(&schedPoint{at: t})
+	if n == nil {
+		return nil
+	}
+	return n.Item()
+}
+
+// reposition refreshes both trees after a point's remaining value changed:
+// the ET tree is re-keyed (remaining is its key) and the SP tree's
+// max-remaining augmentation recomputed in place.
+func (p *Planner) reposition(pt *schedPoint) {
+	if pt.inET {
+		p.et.Delete(pt.etNode)
+	}
+	pt.subtreeMin = pt
+	pt.etNode = p.et.Insert(pt)
+	pt.inET = true
+	p.sp.Refresh(pt.spNode)
+}
+
+// getOrCreatePoint returns the point at exactly time t, creating it (with
+// the scheduled amount inherited from its predecessor) if needed.
+func (p *Planner) getOrCreatePoint(t int64) *schedPoint {
+	f := p.floorPoint(t)
+	if f.at == t {
+		return f
+	}
+	np := &schedPoint{at: t, scheduled: f.scheduled, remaining: f.remaining}
+	np.subtreeMin = np
+	np.spMaxRemaining, np.spMaxAt = np.remaining, np.at
+	np.spNode = p.sp.Insert(np)
+	np.etNode = p.et.Insert(np)
+	np.inET = true
+	return np
+}
+
+// dropPoint removes a point from both trees.
+func (p *Planner) dropPoint(pt *schedPoint) {
+	p.sp.Delete(pt.spNode)
+	if pt.inET {
+		p.et.Delete(pt.etNode)
+		pt.inET = false
+	}
+}
+
+// AvailAt returns the units available at instant t.
+func (p *Planner) AvailAt(t int64) (int64, error) {
+	if t < p.base || t >= p.end() {
+		return 0, fmt.Errorf("%w: t=%d", ErrOutOfRange, t)
+	}
+	return p.floorPoint(t).remaining, nil
+}
+
+// AvailDuring returns the minimum units available throughout
+// [start, start+duration).
+func (p *Planner) AvailDuring(start, duration int64) (int64, error) {
+	if duration <= 0 {
+		return 0, fmt.Errorf("%w: duration=%d", ErrInvalid, duration)
+	}
+	if start < p.base || start+duration > p.end() {
+		return 0, fmt.Errorf("%w: window [%d,%d)", ErrOutOfRange, start, start+duration)
+	}
+	f := p.floorPoint(start)
+	min := f.remaining
+	for n := f.spNode.Next(); n != nil; n = n.Next() {
+		pt := n.Item()
+		if pt.at >= start+duration {
+			break
+		}
+		if pt.remaining < min {
+			min = pt.remaining
+		}
+	}
+	return min, nil
+}
+
+// CanFit reports whether request units fit throughout [start, start+duration).
+func (p *Planner) CanFit(start, duration, request int64) bool {
+	avail, err := p.AvailDuring(start, duration)
+	return err == nil && avail >= request
+}
+
+// minTimeGE returns the scheduled point with the smallest at among points
+// whose remaining >= request (paper Algorithm 1: FINDANCHOR + FINDETPOINT,
+// realized by chasing the subtree-minimum augmentation).
+func (p *Planner) minTimeGE(request int64) *schedPoint {
+	var best *schedPoint
+	n := p.et.Root()
+	for n != nil {
+		pt := n.Item()
+		if pt.remaining >= request {
+			// This node and its whole right subtree satisfy the
+			// request: the right subtree's earliest time is a
+			// single augmented lookup (RIGHTET in the paper).
+			if best == nil || pt.at < best.at {
+				best = pt
+			}
+			if r := n.Right(); r != nil {
+				if m := r.Item().subtreeMin; best == nil || m.at < best.at {
+					best = m
+				}
+			}
+			n = n.Left() // earlier times may hide among smaller remainders
+		} else {
+			n = n.Right()
+		}
+	}
+	return best
+}
+
+// nextPointGE returns the earliest scheduled point strictly after `after`
+// whose remaining capacity is at least request, or nil. It descends the SP
+// tree pruning subtrees by the max-remaining and max-time augmentations,
+// so each call is O(log N) — the candidate iterator behind AvailTimeFirst
+// and AvailPointTimeAfter. (flux-sched iterates by temporarily unlinking
+// ET-tree nodes; the augmented search visits the same candidates without
+// mutating the trees.)
+func (p *Planner) nextPointGE(after, request int64) *schedPoint {
+	var rec func(n *rbtree.Node[*schedPoint]) *schedPoint
+	rec = func(n *rbtree.Node[*schedPoint]) *schedPoint {
+		if n == nil {
+			return nil
+		}
+		pt := n.Item()
+		if pt.spMaxRemaining < request || pt.spMaxAt <= after {
+			return nil
+		}
+		if pt.at > after {
+			if r := rec(n.Left()); r != nil {
+				return r
+			}
+			if pt.remaining >= request {
+				return pt
+			}
+		}
+		return rec(n.Right())
+	}
+	return rec(p.sp.Root())
+}
+
+// AvailTimeFirst returns the earliest time t >= at such that request units
+// are available throughout [t, t+duration). It first tries at itself;
+// afterwards the earliest candidate comes from the ET tree (paper
+// Algorithm 1) and subsequent candidates — points that qualify on
+// remaining capacity but fail the span check (SPANOK) — from the SP
+// tree's augmented time-filtered search.
+func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
+	if duration <= 0 || request < 0 {
+		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
+	}
+	if request > p.total {
+		return -1, fmt.Errorf("%w: request %d > total %d", ErrNoSpace, request, p.total)
+	}
+	if at < p.base {
+		at = p.base
+	}
+	if at+duration > p.end() {
+		return -1, fmt.Errorf("%w: window start %d", ErrOutOfRange, at)
+	}
+	if p.CanFit(at, duration, request) {
+		return at, nil
+	}
+	// First candidate via Algorithm 1 (FINDEARLIESTAT on the ET tree).
+	pt := p.minTimeGE(request)
+	for pt != nil {
+		t := pt.at
+		if t > at {
+			if t+duration > p.end() {
+				// Candidates arrive in increasing time order;
+				// all later ones overflow the horizon too.
+				return -1, ErrNoSpace
+			}
+			if p.CanFit(t, duration, request) {
+				return t, nil
+			}
+		}
+		pt = p.nextPointGE(max64(t, at), request)
+	}
+	return -1, ErrNoSpace
+}
+
+// AvailPointTimeAfter returns the earliest scheduled-point time strictly
+// greater than after at which request units are available throughout the
+// following duration. Unlike AvailTimeFirst it never returns `after`
+// itself, which makes it the candidate-time iterator for reservations:
+// repeated calls with the previous result walk distinct availability
+// change points (paper §3.4, Figure 2).
+func (p *Planner) AvailPointTimeAfter(after, duration, request int64) (int64, error) {
+	if duration <= 0 || request < 0 {
+		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
+	}
+	if request > p.total {
+		return -1, fmt.Errorf("%w: request %d > total %d", ErrNoSpace, request, p.total)
+	}
+	t := after
+	for {
+		pt := p.nextPointGE(t, request)
+		if pt == nil {
+			return -1, ErrNoSpace
+		}
+		if pt.at+duration > p.end() {
+			return -1, ErrNoSpace
+		}
+		if p.CanFit(pt.at, duration, request) {
+			return pt.at, nil
+		}
+		t = pt.at
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AddSpan plans request units during [start, start+duration) and returns
+// the span ID. It fails with ErrNoSpace if the window cannot hold the
+// request.
+func (p *Planner) AddSpan(start, duration, request int64) (int64, error) {
+	if duration <= 0 || request <= 0 {
+		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
+	}
+	avail, err := p.AvailDuring(start, duration)
+	if err != nil {
+		return -1, err
+	}
+	if avail < request {
+		return -1, fmt.Errorf("%w: want %d, have %d in [%d,%d)", ErrNoSpace, request, avail, start, start+duration)
+	}
+	p1 := p.getOrCreatePoint(start)
+	p2 := p.getOrCreatePoint(start + duration)
+	p1.refCount++
+	p2.refCount++
+	for n := p1.spNode; n != nil; n = n.Next() {
+		pt := n.Item()
+		if pt.at >= start+duration {
+			break
+		}
+		pt.scheduled += request
+		pt.remaining -= request
+		p.reposition(pt)
+	}
+	id := p.nextSpanID
+	p.nextSpanID++
+	p.spans[id] = &Span{ID: id, Start: start, Last: start + duration, Planned: request}
+	return id, nil
+}
+
+// RemoveSpan unplans the span with the given ID, releasing its resources
+// and garbage-collecting boundary points no span references anymore.
+func (p *Planner) RemoveSpan(id int64) error {
+	s, ok := p.spans[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	delete(p.spans, id)
+	start := p.floorPoint(s.Start)
+	var boundary [2]*schedPoint
+	for n := start.spNode; n != nil; {
+		pt := n.Item()
+		if pt.at > s.Last {
+			break
+		}
+		n = n.Next() // advance before any mutation of pt
+		if pt.at == s.Start {
+			pt.refCount--
+			boundary[0] = pt
+		}
+		if pt.at == s.Last {
+			pt.refCount--
+			boundary[1] = pt
+			break
+		}
+		if pt.at >= s.Start {
+			pt.scheduled -= s.Planned
+			pt.remaining += s.Planned
+			p.reposition(pt)
+		}
+	}
+	for _, pt := range boundary {
+		if pt != nil && pt.refCount <= 0 && pt.at != p.base {
+			p.dropPoint(pt)
+		}
+	}
+	return nil
+}
+
+// Update grows or shrinks the pool by delta units, applied uniformly across
+// the whole horizon. Shrinking fails with ErrNoSpace if any point would go
+// negative.
+func (p *Planner) Update(delta int64) error {
+	if delta == 0 {
+		return nil
+	}
+	if delta < 0 {
+		for n := p.sp.Min(); n != nil; n = n.Next() {
+			if n.Item().remaining+delta < 0 {
+				return fmt.Errorf("%w: shrink by %d leaves point %d negative", ErrNoSpace, -delta, n.Item().at)
+			}
+		}
+	}
+	p.total += delta
+	for n := p.sp.Min(); n != nil; n = n.Next() {
+		pt := n.Item()
+		pt.remaining += delta
+		p.reposition(pt)
+	}
+	return nil
+}
+
+// Points invokes fn for every scheduled point in time order with that
+// point's time and available amount, stopping early if fn returns false.
+func (p *Planner) Points(fn func(at, avail int64) bool) {
+	for n := p.sp.Min(); n != nil; n = n.Next() {
+		if !fn(n.Item().at, n.Item().remaining) {
+			return
+		}
+	}
+}
+
+// Spans invokes fn for every live span in ascending ID order, stopping
+// early if fn returns false.
+func (p *Planner) Spans(fn func(s Span) bool) {
+	ids := make([]int64, 0, len(p.spans))
+	for id := range p.spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(*p.spans[id]) {
+			return
+		}
+	}
+}
+
+// Utilization returns the fraction of unit-seconds in use over [from, to):
+// the integral of scheduled capacity divided by total * (to - from).
+func (p *Planner) Utilization(from, to int64) (float64, error) {
+	if to <= from {
+		return 0, fmt.Errorf("%w: window [%d,%d)", ErrInvalid, from, to)
+	}
+	if from < p.base || to > p.end() {
+		return 0, fmt.Errorf("%w: window [%d,%d)", ErrOutOfRange, from, to)
+	}
+	var used int64
+	cur := p.floorPoint(from)
+	curAt := from
+	for n := cur.spNode.Next(); ; n = n.Next() {
+		segEnd := to
+		var next *schedPoint
+		if n != nil {
+			next = n.Item()
+			if next.at < to {
+				segEnd = next.at
+			}
+		}
+		used += cur.scheduled * (segEnd - curAt)
+		if next == nil || next.at >= to {
+			break
+		}
+		cur, curAt = next, next.at
+	}
+	return float64(used) / float64(p.total*(to-from)), nil
+}

@@ -1,0 +1,533 @@
+package planner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fluxion/internal/rbtree"
+)
+
+func mustAdd(t *testing.T, p *Planner, start, dur, req int64) int64 {
+	t.Helper()
+	id, err := p.AddSpan(start, dur, req)
+	if err != nil {
+		t.Fatalf("AddSpan(%d,%d,%d): %v", start, dur, req, err)
+	}
+	return id
+}
+
+// TestPaperFigure3 replays the worked example from paper §4.1 / Figure 3:
+// an 8-unit pool with three jobs. The prose lists the second job as
+// <3,3,1>, but the stated query answers (earliest 6-for-1 at t5, earliest
+// 6-for-2 at t7) correspond to the figure's span covering [1,5), so the
+// second span here uses duration 4.
+func TestPaperFigure3(t *testing.T) {
+	p := MustNew(0, 100, 8, "memory")
+	mustAdd(t, p, 0, 1, 8) // <8,1,0>
+	mustAdd(t, p, 1, 4, 3) // figure span: 3 units over [1,5)
+	mustAdd(t, p, 6, 1, 7) // <7,1,6>
+
+	// Availability timeline: t0:0, t1..t4:5, t5:8, t6:1, t7+:8.
+	wantAvail := map[int64]int64{0: 0, 1: 5, 2: 5, 3: 5, 4: 5, 5: 8, 6: 1, 7: 8, 50: 8}
+	for at, want := range wantAvail {
+		got, err := p.AvailAt(at)
+		if err != nil || got != want {
+			t.Errorf("AvailAt(%d) = %d, %v; want %d", at, got, err, want)
+		}
+	}
+
+	// "Can a request of 5 resource units for a duration of 2 be planned
+	// at t1 or t6? Yes for t1, no for t6."
+	if !p.CanFit(1, 2, 5) {
+		t.Error("CanFit(1,2,5) = false, want true")
+	}
+	if p.CanFit(6, 2, 5) {
+		t.Error("CanFit(6,2,5) = true, want false")
+	}
+
+	// "Given a job with 6 resource units for 1 duration unit, the
+	// earliest point is t5; for a duration of 2 it is t7."
+	if got, err := p.AvailTimeFirst(0, 1, 6); err != nil || got != 5 {
+		t.Errorf("AvailTimeFirst(0,1,6) = %d, %v; want 5", got, err)
+	}
+	if got, err := p.AvailTimeFirst(0, 2, 6); err != nil || got != 7 {
+		t.Errorf("AvailTimeFirst(0,2,6) = %d, %v; want 7", got, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, 8, "x"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero horizon: err = %v", err)
+	}
+	if _, err := New(0, 10, 0, "x"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero total: err = %v", err)
+	}
+	if _, err := New(5, 10, 3, "x"); err != nil {
+		t.Errorf("valid: err = %v", err)
+	}
+}
+
+func TestAddSpanValidation(t *testing.T) {
+	p := MustNew(0, 100, 10, "core")
+	if _, err := p.AddSpan(-1, 5, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("before base: %v", err)
+	}
+	if _, err := p.AddSpan(98, 5, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past horizon: %v", err)
+	}
+	if _, err := p.AddSpan(0, 0, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero duration: %v", err)
+	}
+	if _, err := p.AddSpan(0, 5, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero request: %v", err)
+	}
+	if _, err := p.AddSpan(0, 5, 11); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("over capacity: %v", err)
+	}
+	mustAdd(t, p, 0, 10, 6)
+	if _, err := p.AddSpan(5, 10, 5); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("overlap overflow: %v", err)
+	}
+	if _, err := p.AddSpan(10, 10, 5); err != nil {
+		t.Errorf("adjacent span should fit: %v", err)
+	}
+}
+
+func TestSpanLookupAndRemove(t *testing.T) {
+	p := MustNew(0, 1000, 4, "gpu")
+	id := mustAdd(t, p, 10, 20, 3)
+	s, err := p.Span(id)
+	if err != nil || s.Start != 10 || s.Last != 30 || s.Planned != 3 {
+		t.Fatalf("Span(%d) = %+v, %v", id, s, err)
+	}
+	if avail, _ := p.AvailAt(15); avail != 1 {
+		t.Fatalf("AvailAt(15) = %d, want 1", avail)
+	}
+	if err := p.RemoveSpan(id); err != nil {
+		t.Fatal(err)
+	}
+	if avail, _ := p.AvailAt(15); avail != 4 {
+		t.Fatalf("after remove, AvailAt(15) = %d, want 4", avail)
+	}
+	if err := p.RemoveSpan(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if _, err := p.Span(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Span after remove: %v", err)
+	}
+	if p.PointCount() != 1 {
+		t.Fatalf("points not garbage collected: %d", p.PointCount())
+	}
+}
+
+func TestPointGarbageCollectionSharedBoundary(t *testing.T) {
+	p := MustNew(0, 100, 10, "core")
+	a := mustAdd(t, p, 0, 10, 2) // boundary at 10
+	b := mustAdd(t, p, 10, 10, 2)
+	if p.PointCount() != 3 { // 0, 10, 20
+		t.Fatalf("points = %d, want 3", p.PointCount())
+	}
+	if err := p.RemoveSpan(a); err != nil {
+		t.Fatal(err)
+	}
+	// Point 10 still referenced by span b.
+	if p.PointCount() != 3 {
+		t.Fatalf("points = %d, want 3 (10 still referenced)", p.PointCount())
+	}
+	if err := p.RemoveSpan(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.PointCount() != 1 {
+		t.Fatalf("points = %d, want 1", p.PointCount())
+	}
+}
+
+func TestAvailTimeFirstFromOffset(t *testing.T) {
+	p := MustNew(0, 1000, 8, "mem")
+	mustAdd(t, p, 0, 100, 8) // fully busy [0,100)
+	mustAdd(t, p, 200, 50, 6)
+
+	// Earliest 4-for-10 from 0 is 100.
+	if got, err := p.AvailTimeFirst(0, 10, 4); err != nil || got != 100 {
+		t.Fatalf("got %d, %v; want 100", got, err)
+	}
+	// From 150 (not a scheduled point), 150 itself qualifies.
+	if got, err := p.AvailTimeFirst(150, 10, 4); err != nil || got != 150 {
+		t.Fatalf("got %d, %v; want 150", got, err)
+	}
+	// 4-for-100 from 150 collides with [200,250) usage; earliest is 250.
+	if got, err := p.AvailTimeFirst(150, 100, 4); err != nil || got != 250 {
+		t.Fatalf("got %d, %v; want 250", got, err)
+	}
+	// Request exceeding total.
+	if _, err := p.AvailTimeFirst(0, 1, 9); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// Window longer than the remaining horizon.
+	if _, err := p.AvailTimeFirst(999, 5, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestAvailTimeFirstNoSpace(t *testing.T) {
+	p := MustNew(0, 100, 4, "c")
+	mustAdd(t, p, 0, 100, 3)
+	// 2 units never fit anywhere within the horizon.
+	if _, err := p.AvailTimeFirst(0, 10, 2); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// ET tree must be restored after the failed search.
+	if got, err := p.AvailTimeFirst(0, 10, 1); err != nil || got != 0 {
+		t.Fatalf("after failed search: got %d, %v; want 0", got, err)
+	}
+}
+
+func TestUpdateGrowShrink(t *testing.T) {
+	p := MustNew(0, 100, 10, "core")
+	mustAdd(t, p, 0, 50, 8)
+	if err := p.Update(-3); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("shrink below usage: %v", err)
+	}
+	if err := p.Update(-2); err != nil {
+		t.Fatalf("shrink to fit: %v", err)
+	}
+	if p.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", p.Total())
+	}
+	if avail, _ := p.AvailAt(10); avail != 0 {
+		t.Fatalf("AvailAt(10) = %d, want 0", avail)
+	}
+	if err := p.Update(4); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if avail, _ := p.AvailAt(10); avail != 4 {
+		t.Fatalf("AvailAt(10) = %d, want 4", avail)
+	}
+	if avail, _ := p.AvailAt(60); avail != 12 {
+		t.Fatalf("AvailAt(60) = %d, want 12", avail)
+	}
+}
+
+func TestPointsIteration(t *testing.T) {
+	p := MustNew(0, 100, 8, "m")
+	mustAdd(t, p, 10, 10, 5)
+	var ats, avails []int64
+	p.Points(func(at, avail int64) bool {
+		ats = append(ats, at)
+		avails = append(avails, avail)
+		return true
+	})
+	wantAts := []int64{0, 10, 20}
+	wantAv := []int64{8, 3, 8}
+	if len(ats) != 3 {
+		t.Fatalf("points: %v", ats)
+	}
+	for i := range wantAts {
+		if ats[i] != wantAts[i] || avails[i] != wantAv[i] {
+			t.Fatalf("point %d: (%d,%d), want (%d,%d)", i, ats[i], avails[i], wantAts[i], wantAv[i])
+		}
+	}
+}
+
+// refModel is a brute-force per-tick availability model used to validate
+// the planner under randomized workloads.
+type refModel struct {
+	total int64
+	use   []int64 // per tick
+}
+
+func newRef(total int64, horizon int) *refModel {
+	return &refModel{total: total, use: make([]int64, horizon)}
+}
+
+func (r *refModel) availDuring(start, dur int64) int64 {
+	min := r.total
+	for t := start; t < start+dur; t++ {
+		if a := r.total - r.use[t]; a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+func (r *refModel) add(start, dur, req int64) {
+	for t := start; t < start+dur; t++ {
+		r.use[t] += req
+	}
+}
+
+func (r *refModel) remove(start, dur, req int64) {
+	for t := start; t < start+dur; t++ {
+		r.use[t] -= req
+	}
+}
+
+func (r *refModel) availTimeFirst(at, dur, req int64) int64 {
+	for t := at; t+dur <= int64(len(r.use)); t++ {
+		if r.availDuring(t, dur) >= req {
+			return t
+		}
+	}
+	return -1
+}
+
+// TestRandomAgainstReference cross-checks every planner query against the
+// brute-force model across thousands of random add/remove operations.
+func TestRandomAgainstReference(t *testing.T) {
+	const (
+		horizon = 240
+		total   = 16
+	)
+	rng := rand.New(rand.NewSource(99))
+	p := MustNew(0, horizon, total, "x")
+	ref := newRef(total, horizon)
+	type live struct {
+		id              int64
+		start, dur, req int64
+	}
+	var spans []live
+
+	for op := 0; op < 6000; op++ {
+		switch {
+		case len(spans) == 0 || rng.Intn(100) < 50:
+			start := int64(rng.Intn(horizon - 1))
+			dur := int64(rng.Intn(int(int64(horizon)-start))) + 1
+			req := int64(rng.Intn(total)) + 1
+			wantOK := ref.availDuring(start, dur) >= req
+			id, err := p.AddSpan(start, dur, req)
+			if wantOK != (err == nil) {
+				t.Fatalf("op %d: AddSpan(%d,%d,%d) err=%v, ref ok=%v", op, start, dur, req, err, wantOK)
+			}
+			if err == nil {
+				ref.add(start, dur, req)
+				spans = append(spans, live{id, start, dur, req})
+			}
+		default:
+			i := rng.Intn(len(spans))
+			s := spans[i]
+			if err := p.RemoveSpan(s.id); err != nil {
+				t.Fatalf("op %d: RemoveSpan: %v", op, err)
+			}
+			ref.remove(s.start, s.dur, s.req)
+			spans = append(spans[:i], spans[i+1:]...)
+		}
+
+		// Cross-check queries.
+		at := int64(rng.Intn(horizon))
+		if got, err := p.AvailAt(at); err != nil || got != ref.availDuring(at, 1) {
+			t.Fatalf("op %d: AvailAt(%d) = %d, %v; ref %d", op, at, got, err, ref.availDuring(at, 1))
+		}
+		dur := int64(rng.Intn(horizon-int(at))) + 1
+		if got, err := p.AvailDuring(at, dur); err != nil || got != ref.availDuring(at, dur) {
+			t.Fatalf("op %d: AvailDuring(%d,%d) = %d, %v; ref %d", op, at, dur, got, err, ref.availDuring(at, dur))
+		}
+		req := int64(rng.Intn(total)) + 1
+		qdur := int64(rng.Intn(40)) + 1
+		qat := int64(rng.Intn(horizon - 40))
+		want := ref.availTimeFirst(qat, qdur, req)
+		got, err := p.AvailTimeFirst(qat, qdur, req)
+		if want == -1 {
+			if err == nil {
+				t.Fatalf("op %d: AvailTimeFirst(%d,%d,%d) = %d, ref says none", op, qat, qdur, req, got)
+			}
+		} else if err != nil || got != want {
+			t.Fatalf("op %d: AvailTimeFirst(%d,%d,%d) = %d, %v; ref %d", op, qat, qdur, req, got, err, want)
+		}
+	}
+}
+
+// TestETTreeRestoredAfterSearch verifies the stash-and-reinsert iteration
+// leaves the ET tree intact (point count preserved, subsequent queries
+// agree with a fresh scan).
+func TestETTreeRestoredAfterSearch(t *testing.T) {
+	p := MustNew(0, 10000, 32, "c")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		start := int64(rng.Intn(9000))
+		dur := int64(rng.Intn(500)) + 1
+		req := int64(rng.Intn(8)) + 1
+		_, _ = p.AddSpan(start, dur, req)
+	}
+	before := p.PointCount()
+	// Query from a late offset so many satisfying points get stashed.
+	t1, err1 := p.AvailTimeFirst(8000, 100, 30)
+	if p.PointCount() != before {
+		t.Fatalf("point count changed: %d -> %d", before, p.PointCount())
+	}
+	t2, err2 := p.AvailTimeFirst(8000, 100, 30)
+	if t1 != t2 || (err1 == nil) != (err2 == nil) {
+		t.Fatalf("repeat query disagrees: (%d,%v) vs (%d,%v)", t1, err1, t2, err2)
+	}
+}
+
+func TestManySpansLogarithmicShape(t *testing.T) {
+	// Smoke-check that a planner with many spans still answers queries;
+	// the benchmark harness measures the scaling shape (paper Fig. 6b).
+	p := MustNew(0, 43200, 128, "r")
+	rng := rand.New(rand.NewSource(1))
+	added := 0
+	for i := 0; i < 5000; i++ {
+		req := int64(rng.Intn(128)) + 1
+		dur := int64(rng.Intn(4000)) + 1
+		at, err := p.AvailTimeFirst(0, dur, req)
+		if err != nil {
+			continue
+		}
+		if _, err := p.AddSpan(at, dur, req); err != nil {
+			t.Fatalf("AddSpan after AvailTimeFirst: %v", err)
+		}
+		added++
+	}
+	if added < 100 {
+		t.Fatalf("only %d spans added", added)
+	}
+	if _, err := p.AvailAt(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpansIteration(t *testing.T) {
+	p := MustNew(0, 1000, 8, "m")
+	id1 := mustAdd(t, p, 0, 10, 2)
+	id2 := mustAdd(t, p, 5, 10, 3)
+	var got []Span
+	p.Spans(func(s Span) bool { got = append(got, s); return true })
+	if len(got) != 2 || got[0].ID != id1 || got[1].ID != id2 {
+		t.Fatalf("spans = %+v", got)
+	}
+	if got[1].Start != 5 || got[1].Last != 15 || got[1].Planned != 3 {
+		t.Fatalf("span2 = %+v", got[1])
+	}
+	n := 0
+	p.Spans(func(Span) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop: %d", n)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := MustNew(0, 1000, 10, "c")
+	mustAdd(t, p, 0, 10, 10) // 100 unit-seconds
+	mustAdd(t, p, 10, 10, 5) // 50
+	// [0,20): 150 of 200 = 0.75.
+	u, err := p.Utilization(0, 20)
+	if err != nil || u != 0.75 {
+		t.Fatalf("u = %v, %v", u, err)
+	}
+	// Window starting mid-span: [5,15): 50 + 25 = 75 of 100.
+	u, err = p.Utilization(5, 15)
+	if err != nil || u != 0.75 {
+		t.Fatalf("mid u = %v, %v", u, err)
+	}
+	// Idle tail.
+	u, err = p.Utilization(20, 1000)
+	if err != nil || u != 0 {
+		t.Fatalf("idle u = %v, %v", u, err)
+	}
+	// Errors.
+	if _, err := p.Utilization(10, 10); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty window: %v", err)
+	}
+	if _, err := p.Utilization(-1, 10); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+}
+
+// TestAvailPointTimeAfterAgainstReference cross-checks the augmented
+// SP-tree candidate iterator against brute force.
+func TestAvailPointTimeAfterAgainstReference(t *testing.T) {
+	const horizon, total = 300, 12
+	rng := rand.New(rand.NewSource(17))
+	p := MustNew(0, horizon, total, "x")
+	ref := newRef(total, horizon)
+	for i := 0; i < 120; i++ {
+		start := int64(rng.Intn(horizon - 1))
+		dur := int64(rng.Intn(int(int64(horizon)-start))) + 1
+		req := int64(rng.Intn(total)) + 1
+		if ref.availDuring(start, dur) >= req {
+			mustAdd(t, p, start, dur, req)
+			ref.add(start, dur, req)
+		}
+	}
+	// Collect the true point times.
+	pointTimes := map[int64]bool{}
+	p.Points(func(at, _ int64) bool { pointTimes[at] = true; return true })
+
+	for q := 0; q < 500; q++ {
+		after := int64(rng.Intn(horizon)) - 5
+		dur := int64(rng.Intn(40)) + 1
+		req := int64(rng.Intn(total)) + 1
+		got, err := p.AvailPointTimeAfter(after, dur, req)
+		// Reference: earliest point time > after where the window fits.
+		want := int64(-1)
+		for t2 := after + 1; t2+dur <= horizon; t2++ {
+			if pointTimes[t2] && ref.availDuring(t2, dur) >= req {
+				want = t2
+				break
+			}
+		}
+		if want == -1 {
+			if err == nil {
+				t.Fatalf("q%d: after=%d dur=%d req=%d: got %d, want none", q, after, dur, req, got)
+			}
+		} else if err != nil || got != want {
+			t.Fatalf("q%d: after=%d dur=%d req=%d: got %d (%v), want %d", q, after, dur, req, got, err, want)
+		}
+	}
+}
+
+// TestSPAugmentationValid verifies the max-remaining/max-at augmentation
+// after random mutations via an exhaustive subtree walk.
+func TestSPAugmentationValid(t *testing.T) {
+	p := MustNew(0, 500, 10, "x")
+	rng := rand.New(rand.NewSource(23))
+	var ids []int64
+	for op := 0; op < 2000; op++ {
+		if len(ids) == 0 || rng.Intn(100) < 55 {
+			start := int64(rng.Intn(400))
+			dur := int64(rng.Intn(99)) + 1
+			req := int64(rng.Intn(3)) + 1
+			if id, err := p.AddSpan(start, dur, req); err == nil {
+				ids = append(ids, id)
+			}
+		} else {
+			i := rng.Intn(len(ids))
+			if err := p.RemoveSpan(ids[i]); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids[:i], ids[i+1:]...)
+		}
+		if op%100 == 0 {
+			validateSPAug(t, p)
+		}
+	}
+	validateSPAug(t, p)
+}
+
+func validateSPAug(t *testing.T, p *Planner) {
+	t.Helper()
+	var walk func(n *rbtree.Node[*schedPoint]) (maxRem, maxAt int64)
+	walk = func(n *rbtree.Node[*schedPoint]) (int64, int64) {
+		if n == nil {
+			return -1 << 62, -1 << 62
+		}
+		pt := n.Item()
+		maxRem, maxAt := pt.remaining, pt.at
+		for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
+			r, a := walk(c)
+			if r > maxRem {
+				maxRem = r
+			}
+			if a > maxAt {
+				maxAt = a
+			}
+		}
+		if pt.spMaxRemaining != maxRem || pt.spMaxAt != maxAt {
+			t.Fatalf("aug stale at t=%d: (%d,%d) want (%d,%d)",
+				pt.at, pt.spMaxRemaining, pt.spMaxAt, maxRem, maxAt)
+		}
+		return maxRem, maxAt
+	}
+	walk(p.sp.Root())
+}

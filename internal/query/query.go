@@ -1,0 +1,187 @@
+// Package query implements the small predicate language behind Fluxion's
+// find operation: expressions like
+//
+//	type=node and status=up and perfclass=3
+//	(type=core or type=gpu) and not status=down
+//
+// evaluated against resource graph vertices. Terms match the vertex's
+// type, status, name, path prefix, or any property; `and` binds tighter
+// than `or`; `not` negates a term; parentheses group.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fluxion/internal/resgraph"
+)
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("query: syntax error")
+
+// Predicate evaluates to true when a vertex matches.
+type Predicate func(v *resgraph.Vertex) bool
+
+// Parse compiles an expression into a predicate. The empty expression
+// matches everything.
+func Parse(expr string) (Predicate, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return func(*resgraph.Vertex) bool { return true }, nil
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: unexpected %q", ErrSyntax, p.toks[p.pos])
+	}
+	return pred, nil
+}
+
+// Select returns the vertices of g matching expr, in creation order.
+func Select(g *resgraph.Graph, expr string) ([]*resgraph.Vertex, error) {
+	pred, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []*resgraph.Vertex
+	for _, v := range g.Vertices() {
+		if pred(v) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func lex(expr string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(expr) && !strings.ContainsRune(" \t()", rune(expr[j])) {
+				j++
+			}
+			toks = append(toks, expr[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(v *resgraph.Vertex) bool { return l(v) || right(v) }
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(v *resgraph.Vertex) bool { return l(v) && right(v) }
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Predicate, error) {
+	switch {
+	case strings.EqualFold(p.peek(), "not"):
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(v *resgraph.Vertex) bool { return !inner(v) }, nil
+	case p.peek() == "(":
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("%w: missing ')'", ErrSyntax)
+		}
+		p.pos++
+		return inner, nil
+	case p.peek() == "" || p.peek() == ")":
+		return nil, fmt.Errorf("%w: expected a term", ErrSyntax)
+	default:
+		return p.parseTerm()
+	}
+}
+
+// parseTerm compiles one key=value term.
+func (p *parser) parseTerm() (Predicate, error) {
+	tok := p.toks[p.pos]
+	p.pos++
+	eq := strings.IndexByte(tok, '=')
+	if eq <= 0 || eq == len(tok)-1 {
+		return nil, fmt.Errorf("%w: bad term %q (want key=value)", ErrSyntax, tok)
+	}
+	key, value := tok[:eq], tok[eq+1:]
+	switch key {
+	case "type":
+		return func(v *resgraph.Vertex) bool { return v.Type == value }, nil
+	case "status":
+		if value != "up" && value != "down" {
+			return nil, fmt.Errorf("%w: status must be up or down, got %q", ErrSyntax, value)
+		}
+		return func(v *resgraph.Vertex) bool { return v.Status.String() == value }, nil
+	case "name":
+		return func(v *resgraph.Vertex) bool { return v.Name == value }, nil
+	case "path":
+		// Prefix match: path=/cluster0/rack1 selects the subtree.
+		return func(v *resgraph.Vertex) bool {
+			path := v.Path()
+			return path == value || strings.HasPrefix(path, value+"/")
+		}, nil
+	default:
+		// Any other key matches a vertex property.
+		return func(v *resgraph.Vertex) bool { return v.Property(key) == value }, nil
+	}
+}

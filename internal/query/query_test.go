@@ -1,0 +1,99 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+)
+
+func testGraph(t *testing.T) *resgraph.Graph {
+	t.Helper()
+	g, err := grug.BuildGraph(grug.Small(2, 2, 2, 16, 0), 0, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.ByType("node")
+	nodes[0].SetProperty("perfclass", "1")
+	nodes[1].SetProperty("perfclass", "2")
+	nodes[2].SetProperty("perfclass", "2")
+	nodes[3].Status = resgraph.StatusDown
+	return g
+}
+
+func count(t *testing.T, g *resgraph.Graph, expr string) int {
+	t.Helper()
+	vs, err := Select(g, expr)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", expr, err)
+	}
+	return len(vs)
+}
+
+func TestSelect(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"", g.Len()},
+		{"type=node", 4},
+		{"type=core", 8},
+		{"type=node and status=down", 1},
+		{"type=node and status=up", 3},
+		{"type=node and perfclass=2", 2},
+		{"perfclass=2", 2},
+		{"type=node and not perfclass=2", 2},
+		{"type=core or type=gpu", 8},
+		{"(type=core or type=memory) and path=/cluster0/rack0", 6},
+		{"path=/cluster0/rack1", 9}, // rack + 2 nodes + 4 cores + 2 memory
+		{"name=node3", 1},
+		{"type=node and (perfclass=1 or perfclass=2)", 3},
+		{"not type=node and not type=core", 7}, // cluster + 2 racks + 4 memory
+		{"vendor=amd", 0},
+	}
+	for _, c := range cases {
+		if got := count(t, g, c.expr); got != c.want {
+			t.Errorf("Select(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestAndBindsTighterThanOr(t *testing.T) {
+	g := testGraph(t)
+	// type=node and perfclass=1 or type=core
+	// == (node&pc1) | core == 1 + 8 = 9.
+	if got := count(t, g, "type=node and perfclass=1 or type=core"); got != 9 {
+		t.Fatalf("precedence: %d", got)
+	}
+	// With explicit grouping the other way: node and (pc1 or core) == 1.
+	if got := count(t, g, "type=node and (perfclass=1 or type=core)"); got != 1 {
+		t.Fatalf("grouped: %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		"type", "=x", "type=", "type=node and", "and type=node",
+		"(type=node", "type=node)", "not", "status=sideways",
+		"type=node or or type=core",
+	} {
+		if _, err := Parse(expr); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q): %v", expr, err)
+		}
+	}
+}
+
+func TestPathSubtreePrefix(t *testing.T) {
+	g := testGraph(t)
+	// Exact-path match includes the vertex itself.
+	if got := count(t, g, "path=/cluster0/rack0/node0"); got != 4 { // node + 2 cores + 1 memory
+		t.Fatalf("node subtree = %d", got)
+	}
+	// A prefix that is not a path component boundary must not match
+	// (no accidental /cluster0/rack1 matching /cluster0/rack10).
+	if got := count(t, g, "path=/cluster0/rack"); got != 0 {
+		t.Fatalf("partial component matched: %d", got)
+	}
+}

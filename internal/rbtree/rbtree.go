@@ -1,0 +1,465 @@
+// Package rbtree implements a generic, augmented red-black binary search
+// tree with parent pointers.
+//
+// The tree is the foundation of the Planner (see internal/planner): the
+// scheduled-point tree keys nodes by time, and the earliest-time tree keys
+// nodes by remaining resource quantity and maintains a subtree aggregate
+// (the earliest scheduled time in the subtree) through every rotation,
+// insertion, and deletion. The aggregate is maintained via a caller-provided
+// update hook, so the tree itself stays policy free.
+//
+// All operations are O(log n). The tree permits duplicate keys; Delete takes
+// a node handle (not a key) so the caller always removes exactly the element
+// it intends to.
+package rbtree
+
+// Node is a tree node holding one item. Callers obtain nodes from Insert,
+// Search, Min, Max, Floor, Ceil, and the Next/Prev iterators, and may stash
+// aggregate (augmentation) data inside the item itself: the update hook
+// passed to SetUpdate is invoked bottom-up whenever a node's subtree
+// changes.
+type Node[T any] struct {
+	item     T
+	left     *Node[T]
+	right    *Node[T]
+	parent   *Node[T]
+	red      bool
+	sentinel bool
+}
+
+// Item returns the item stored at n.
+func (n *Node[T]) Item() T { return n.item }
+
+// Left returns the left child, or nil if none.
+func (n *Node[T]) Left() *Node[T] {
+	if n.left == nil || n.left.sentinel {
+		return nil
+	}
+	return n.left
+}
+
+// Right returns the right child, or nil if none.
+func (n *Node[T]) Right() *Node[T] {
+	if n.right == nil || n.right.sentinel {
+		return nil
+	}
+	return n.right
+}
+
+// Next returns the in-order successor of n, or nil if n is the maximum.
+func (n *Node[T]) Next() *Node[T] {
+	if n == nil || n.sentinel {
+		return nil
+	}
+	if !n.right.sentinel {
+		x := n.right
+		for !x.left.sentinel {
+			x = x.left
+		}
+		return x
+	}
+	x, p := n, n.parent
+	for !p.sentinel && x == p.right {
+		x, p = p, p.parent
+	}
+	if p.sentinel {
+		return nil
+	}
+	return p
+}
+
+// Prev returns the in-order predecessor of n, or nil if n is the minimum.
+func (n *Node[T]) Prev() *Node[T] {
+	if n == nil || n.sentinel {
+		return nil
+	}
+	if !n.left.sentinel {
+		x := n.left
+		for !x.right.sentinel {
+			x = x.right
+		}
+		return x
+	}
+	x, p := n, n.parent
+	for !p.sentinel && x == p.left {
+		x, p = p, p.parent
+	}
+	if p.sentinel {
+		return nil
+	}
+	return p
+}
+
+// Tree is a red-black tree ordered by a strict-weak less function.
+// The zero value is not usable; construct trees with New.
+type Tree[T any] struct {
+	nilNode *Node[T] // shared sentinel: black, self-referential
+	root    *Node[T]
+	size    int
+	less    func(a, b T) bool
+	update  func(n *Node[T]) // optional augmentation hook
+}
+
+// New returns an empty tree ordered by less.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	s := &Node[T]{sentinel: true}
+	s.left, s.right, s.parent = s, s, s
+	return &Tree[T]{nilNode: s, root: s, less: less}
+}
+
+// SetUpdate installs the augmentation hook. After any structural change the
+// tree invokes fn bottom-up on every node whose subtree contents changed, so
+// fn can recompute subtree aggregates from n.Item(), n.Left(), and
+// n.Right(). fn must not modify the tree.
+func (t *Tree[T]) SetUpdate(fn func(n *Node[T])) { t.update = fn }
+
+// Len reports the number of items in the tree.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Root returns the root node, or nil if the tree is empty.
+func (t *Tree[T]) Root() *Node[T] {
+	if t.root.sentinel {
+		return nil
+	}
+	return t.root
+}
+
+// Min returns the minimum node, or nil if the tree is empty.
+func (t *Tree[T]) Min() *Node[T] {
+	if t.root.sentinel {
+		return nil
+	}
+	x := t.root
+	for !x.left.sentinel {
+		x = x.left
+	}
+	return x
+}
+
+// Max returns the maximum node, or nil if the tree is empty.
+func (t *Tree[T]) Max() *Node[T] {
+	if t.root.sentinel {
+		return nil
+	}
+	x := t.root
+	for !x.right.sentinel {
+		x = x.right
+	}
+	return x
+}
+
+// Search returns a node whose item compares equal to item (neither less),
+// or nil if no such node exists. With duplicate keys any matching node may
+// be returned.
+func (t *Tree[T]) Search(item T) *Node[T] {
+	x := t.root
+	for !x.sentinel {
+		switch {
+		case t.less(item, x.item):
+			x = x.left
+		case t.less(x.item, item):
+			x = x.right
+		default:
+			return x
+		}
+	}
+	return nil
+}
+
+// Floor returns the greatest node whose item is <= item, or nil.
+func (t *Tree[T]) Floor(item T) *Node[T] {
+	x, best := t.root, (*Node[T])(nil)
+	for !x.sentinel {
+		if t.less(item, x.item) {
+			x = x.left
+		} else {
+			best = x
+			x = x.right
+		}
+	}
+	return best
+}
+
+// Ceil returns the smallest node whose item is >= item, or nil.
+func (t *Tree[T]) Ceil(item T) *Node[T] {
+	x, best := t.root, (*Node[T])(nil)
+	for !x.sentinel {
+		if t.less(x.item, item) {
+			x = x.right
+		} else {
+			best = x
+			x = x.left
+		}
+	}
+	return best
+}
+
+// Ascend calls fn on every item in ascending order until fn returns false.
+func (t *Tree[T]) Ascend(fn func(item T) bool) {
+	for n := t.Min(); n != nil; n = n.Next() {
+		if !fn(n.item) {
+			return
+		}
+	}
+}
+
+// AscendFrom calls fn on every item >= start in ascending order until fn
+// returns false.
+func (t *Tree[T]) AscendFrom(start T, fn func(item T) bool) {
+	for n := t.Ceil(start); n != nil; n = n.Next() {
+		if !fn(n.item) {
+			return
+		}
+	}
+}
+
+func (t *Tree[T]) doUpdate(n *Node[T]) {
+	if t.update != nil && !n.sentinel {
+		t.update(n)
+	}
+}
+
+// Refresh recomputes augmentation data from n up to the root. Call it
+// after mutating fields of n's item that the update hook reads.
+func (t *Tree[T]) Refresh(n *Node[T]) {
+	if n == nil || n.sentinel {
+		return
+	}
+	t.updatePath(n)
+}
+
+// updatePath recomputes aggregates from n up to the root.
+func (t *Tree[T]) updatePath(n *Node[T]) {
+	if t.update == nil {
+		return
+	}
+	for ; !n.sentinel; n = n.parent {
+		t.update(n)
+	}
+}
+
+func (t *Tree[T]) leftRotate(x *Node[T]) {
+	y := x.right
+	x.right = y.left
+	if !y.left.sentinel {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent.sentinel:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	// x is now y's child: recompute bottom-up.
+	t.doUpdate(x)
+	t.doUpdate(y)
+}
+
+func (t *Tree[T]) rightRotate(x *Node[T]) {
+	y := x.left
+	x.left = y.right
+	if !y.right.sentinel {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent.sentinel:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	t.doUpdate(x)
+	t.doUpdate(y)
+}
+
+// Insert adds item to the tree and returns its node. Duplicate keys are
+// allowed; a duplicate is placed after existing equal keys in iteration
+// order.
+func (t *Tree[T]) Insert(item T) *Node[T] {
+	z := &Node[T]{item: item, red: true, left: t.nilNode, right: t.nilNode, parent: t.nilNode}
+	y, x := t.nilNode, t.root
+	for !x.sentinel {
+		y = x
+		if t.less(z.item, x.item) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	switch {
+	case y.sentinel:
+		t.root = z
+	case t.less(z.item, y.item):
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.size++
+	t.updatePath(z)
+	t.insertFixup(z)
+	return z
+}
+
+func (t *Tree[T]) insertFixup(z *Node[T]) {
+	for z.parent.red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.red {
+				z.parent.red = false
+				y.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.red {
+				z.parent.red = false
+				y.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.red = false
+}
+
+func (t *Tree[T]) transplant(u, v *Node[T]) {
+	switch {
+	case u.parent.sentinel:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+// Delete removes node z from the tree. z must be a live node of this tree.
+func (t *Tree[T]) Delete(z *Node[T]) {
+	if z == nil || z.sentinel {
+		return
+	}
+	y := z
+	yWasRed := y.red
+	var x *Node[T]
+	switch {
+	case z.left.sentinel:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right.sentinel:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = z.right
+		for !y.left.sentinel {
+			y = y.left
+		}
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			x.parent = y // sentinel parent is meaningful for fixup
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+	}
+	t.size--
+	// Recompute aggregates along the spliced path before rebalancing;
+	// fixup rotations repair their own nodes locally.
+	t.updatePath(x.parent)
+	if !yWasRed {
+		t.deleteFixup(x)
+	}
+	// Detach z so stale handles fail fast.
+	z.left, z.right, z.parent = nil, nil, nil
+	// Restore the shared sentinel's self-references: transplant and the
+	// y.parent==z case can point it at interior nodes temporarily.
+	t.nilNode.left, t.nilNode.right, t.nilNode.parent = t.nilNode, t.nilNode, t.nilNode
+}
+
+func (t *Tree[T]) deleteFixup(x *Node[T]) {
+	for x != t.root && !x.red {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if !w.left.red && !w.right.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.right.red {
+					w.left.red = false
+					w.red = true
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.right.red = false
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if !w.right.red && !w.left.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.left.red {
+					w.right.red = false
+					w.red = true
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.left.red = false
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.red = false
+}

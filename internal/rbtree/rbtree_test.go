@@ -1,0 +1,456 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+// checkInvariants validates the red-black properties and returns the black
+// height of the tree.
+func checkInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	var walk func(n *Node[int]) int
+	walk = func(n *Node[int]) int {
+		if n == nil {
+			return 1
+		}
+		if n.red {
+			if l := n.Left(); l != nil && l.red {
+				t.Fatalf("red node %d has red left child %d", n.item, l.item)
+			}
+			if r := n.Right(); r != nil && r.red {
+				t.Fatalf("red node %d has red right child %d", n.item, r.item)
+			}
+		}
+		if l := n.Left(); l != nil {
+			if l.parent != n {
+				t.Fatalf("left child %d has wrong parent", l.item)
+			}
+			if n.item < l.item {
+				t.Fatalf("BST violation: parent %d < left child %d", n.item, l.item)
+			}
+		}
+		if r := n.Right(); r != nil {
+			if r.parent != n {
+				t.Fatalf("right child %d has wrong parent", r.item)
+			}
+			if r.item < n.item {
+				t.Fatalf("BST violation: right child %d < parent %d", r.item, n.item)
+			}
+		}
+		lh := walk(n.Left())
+		rh := walk(n.Right())
+		if lh != rh {
+			t.Fatalf("black-height mismatch at %d: %d vs %d", n.item, lh, rh)
+		}
+		if n.red {
+			return lh
+		}
+		return lh + 1
+	}
+	if root := tr.Root(); root != nil && root.red {
+		t.Fatal("root is red")
+	}
+	walk(tr.Root())
+}
+
+func collect(tr *Tree[int]) []int {
+	var out []int
+	tr.Ascend(func(v int) bool { out = append(out, v); return true })
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int](intLess)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.Min() != nil || tr.Max() != nil || tr.Root() != nil {
+		t.Fatal("empty tree should have nil Min/Max/Root")
+	}
+	if tr.Search(1) != nil || tr.Floor(1) != nil || tr.Ceil(1) != nil {
+		t.Fatal("empty tree should have nil Search/Floor/Ceil")
+	}
+	tr.Delete(nil) // must not panic
+}
+
+func TestInsertAscending(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(i)
+		if i%97 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+	got := collect(tr)
+	if len(got) != 1000 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestInsertDescending(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 999; i >= 0; i-- {
+		tr.Insert(i)
+	}
+	checkInvariants(t, tr)
+	if got := collect(tr); len(got) != 1000 || got[0] != 0 || got[999] != 999 {
+		t.Fatalf("unexpected order: len=%d", len(got))
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 0; i < 10; i++ {
+		tr.Insert(7)
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Delete them one handle at a time.
+	for i := 0; i < 10; i++ {
+		n := tr.Search(7)
+		if n == nil {
+			t.Fatalf("Search(7) nil with %d left", 10-i)
+		}
+		tr.Delete(n)
+		checkInvariants(t, tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tr := New[int](intLess)
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		tr.Insert(v)
+	}
+	cases := []struct {
+		q           int
+		floor, ceil int
+		floorNil    bool
+		ceilNil     bool
+	}{
+		{5, 0, 10, true, false},
+		{10, 10, 10, false, false},
+		{15, 10, 20, false, false},
+		{35, 30, 40, false, false},
+		{50, 50, 50, false, false},
+		{55, 50, 0, false, true},
+	}
+	for _, c := range cases {
+		f := tr.Floor(c.q)
+		if c.floorNil != (f == nil) || (f != nil && f.Item() != c.floor) {
+			t.Errorf("Floor(%d) = %v, want %d (nil=%v)", c.q, f, c.floor, c.floorNil)
+		}
+		g := tr.Ceil(c.q)
+		if c.ceilNil != (g == nil) || (g != nil && g.Item() != c.ceil) {
+			t.Errorf("Ceil(%d) = %v, want %d (nil=%v)", c.q, g, c.ceil, c.ceilNil)
+		}
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	tr := New[int](intLess)
+	rng := rand.New(rand.NewSource(42))
+	vals := rng.Perm(500)
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	i := 0
+	for n := tr.Min(); n != nil; n = n.Next() {
+		if n.Item() != i {
+			t.Fatalf("Next order broken at %d: got %d", i, n.Item())
+		}
+		i++
+	}
+	if i != 500 {
+		t.Fatalf("iterated %d", i)
+	}
+	i = 499
+	for n := tr.Max(); n != nil; n = n.Prev() {
+		if n.Item() != i {
+			t.Fatalf("Prev order broken at %d: got %d", i, n.Item())
+		}
+		i--
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 0; i < 100; i += 10 {
+		tr.Insert(i)
+	}
+	var got []int
+	tr.AscendFrom(35, func(v int) bool { got = append(got, v); return v < 60 })
+	want := []int{40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRandomOpsAgainstReference drives the tree with random inserts and
+// deletes and compares against a sorted-slice reference model.
+func TestRandomOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int](intLess)
+	var ref []int
+	for op := 0; op < 20000; op++ {
+		if len(ref) == 0 || rng.Intn(100) < 55 {
+			v := rng.Intn(2000)
+			tr.Insert(v)
+			ref = append(ref, v)
+			sort.Ints(ref)
+		} else {
+			i := rng.Intn(len(ref))
+			v := ref[i]
+			n := tr.Search(v)
+			if n == nil {
+				t.Fatalf("op %d: Search(%d) = nil but reference has it", op, v)
+			}
+			tr.Delete(n)
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(ref))
+		}
+		if op%500 == 0 {
+			checkInvariants(t, tr)
+			got := collect(tr)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("op %d: content mismatch at %d: %d vs %d", op, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+// augItem carries a secondary value and a subtree-minimum aggregate, the
+// same augmentation shape the planner's earliest-time tree uses.
+type augItem struct {
+	key        int
+	val        int64
+	subtreeMin int64
+}
+
+func TestAugmentationMaintained(t *testing.T) {
+	less := func(a, b *augItem) bool { return a.key < b.key }
+	tr := New[*augItem](less)
+	tr.SetUpdate(func(n *Node[*augItem]) {
+		m := n.Item().val
+		if l := n.Left(); l != nil && l.Item().subtreeMin < m {
+			m = l.Item().subtreeMin
+		}
+		if r := n.Right(); r != nil && r.Item().subtreeMin < m {
+			m = r.Item().subtreeMin
+		}
+		n.Item().subtreeMin = m
+	})
+
+	verify := func() {
+		var walk func(n *Node[*augItem]) int64
+		walk = func(n *Node[*augItem]) int64 {
+			if n == nil {
+				return int64(1) << 62
+			}
+			m := n.Item().val
+			if lm := walk(n.Left()); lm < m {
+				m = lm
+			}
+			if rm := walk(n.Right()); rm < m {
+				m = rm
+			}
+			if n.Item().subtreeMin != m {
+				t.Fatalf("aggregate stale at key %d: have %d want %d", n.Item().key, n.Item().subtreeMin, m)
+			}
+			return m
+		}
+		walk(tr.Root())
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	var live []*Node[*augItem]
+	for op := 0; op < 8000; op++ {
+		if len(live) == 0 || rng.Intn(100) < 60 {
+			it := &augItem{key: rng.Intn(500), val: int64(rng.Intn(100000))}
+			it.subtreeMin = it.val
+			live = append(live, tr.Insert(it))
+		} else {
+			i := rng.Intn(len(live))
+			tr.Delete(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if op%250 == 0 {
+			verify()
+		}
+	}
+	verify()
+}
+
+// TestQuickSortedIteration property: for any input slice, ascending
+// iteration yields the sorted slice.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(vals []int) bool {
+		tr := New[int](intLess)
+		for _, v := range vals {
+			tr.Insert(v)
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		got := collect(tr)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFloorCeil property: Floor/Ceil agree with a linear scan.
+func TestQuickFloorCeil(t *testing.T) {
+	f := func(vals []int, q int) bool {
+		tr := New[int](intLess)
+		for _, v := range vals {
+			tr.Insert(v)
+		}
+		var wantFloor, wantCeil *int
+		for i := range vals {
+			v := vals[i]
+			if v <= q && (wantFloor == nil || v > *wantFloor) {
+				wantFloor = &v
+			}
+			if v >= q && (wantCeil == nil || v < *wantCeil) {
+				wantCeil = &v
+			}
+		}
+		f2 := tr.Floor(q)
+		c2 := tr.Ceil(q)
+		if (wantFloor == nil) != (f2 == nil) || (wantCeil == nil) != (c2 == nil) {
+			return false
+		}
+		if wantFloor != nil && f2.Item() != *wantFloor {
+			return false
+		}
+		if wantCeil != nil && c2.Item() != *wantCeil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRootRepeatedly(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	for tr.Len() > 0 {
+		tr.Delete(tr.Root())
+		checkInvariants(t, tr)
+	}
+}
+
+func TestSearchMissing(t *testing.T) {
+	tr := New[int](intLess)
+	for i := 0; i < 50; i += 2 {
+		tr.Insert(i)
+	}
+	for i := 1; i < 50; i += 2 {
+		if tr.Search(i) != nil {
+			t.Fatalf("Search(%d) should be nil", i)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int](intLess)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int())
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := New[int](intLess)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		tr.Insert(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(rng.Intn(1 << 20))
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := New[int](intLess)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		tr.Insert(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := tr.Insert(rng.Intn(1 << 20))
+		tr.Delete(n)
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	type item struct {
+		key, val, subtreeMax int
+	}
+	tr := New[*item](func(a, b *item) bool { return a.key < b.key })
+	tr.SetUpdate(func(n *Node[*item]) {
+		m := n.Item().val
+		if l := n.Left(); l != nil && l.Item().subtreeMax > m {
+			m = l.Item().subtreeMax
+		}
+		if r := n.Right(); r != nil && r.Item().subtreeMax > m {
+			m = r.Item().subtreeMax
+		}
+		n.Item().subtreeMax = m
+	})
+	var nodes []*Node[*item]
+	for i := 0; i < 64; i++ {
+		nodes = append(nodes, tr.Insert(&item{key: i, val: i, subtreeMax: i}))
+	}
+	if tr.Root().Item().subtreeMax != 63 {
+		t.Fatalf("initial max = %d", tr.Root().Item().subtreeMax)
+	}
+	// Mutate a mid value and Refresh: the root aggregate must follow.
+	nodes[10].Item().val = 1000
+	tr.Refresh(nodes[10])
+	if tr.Root().Item().subtreeMax != 1000 {
+		t.Fatalf("after refresh max = %d", tr.Root().Item().subtreeMax)
+	}
+	tr.Refresh(nil) // must not panic
+}

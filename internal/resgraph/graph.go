@@ -1,0 +1,480 @@
+package resgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxion/internal/planner"
+)
+
+// Errors returned by graph operations.
+var (
+	// ErrInvalid reports a malformed graph or argument.
+	ErrInvalid = errors.New("resgraph: invalid")
+	// ErrNotFinalized reports use of an operation requiring Finalize.
+	ErrNotFinalized = errors.New("resgraph: graph not finalized")
+	// ErrBusy reports an elasticity operation on resources with live
+	// allocations.
+	ErrBusy = errors.New("resgraph: resources busy")
+)
+
+// PruneSpec configures pruning filters: which high-level vertex types carry
+// aggregate planners, and which low-level resource types each tracks
+// (paper §3.4). The pseudo vertex type ALL installs a filter on every
+// vertex that has containment children.
+type PruneSpec map[string][]string
+
+// ALL is the PruneSpec wildcard vertex type.
+const ALL = "ALL"
+
+// ParsePruneSpec parses flux-style filter configuration such as
+// "ALL:core" or "cluster:node,rack:node,node:core,core@gpu" — a
+// comma-separated list of high-type:low-type pairs (":" or "@" separator).
+func ParsePruneSpec(s string) (PruneSpec, error) {
+	spec := make(PruneSpec)
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		sep := strings.IndexAny(pair, ":@")
+		if sep <= 0 || sep == len(pair)-1 {
+			return nil, fmt.Errorf("%w: bad prune pair %q", ErrInvalid, pair)
+		}
+		hi, lo := pair[:sep], pair[sep+1:]
+		spec[hi] = append(spec[hi], lo)
+	}
+	return spec, nil
+}
+
+// Graph is the resource graph store. Build it with AddVertex/AddEdge (or
+// the grug package), then Finalize before matching.
+type Graph struct {
+	base    int64
+	horizon int64
+
+	vertices []*Vertex
+	nextUniq int64
+	perType  map[string]int64 // next auto ID per resource type
+
+	roots     map[string]*Vertex // subsystem -> root
+	byPath    map[string]*Vertex // containment path -> vertex
+	subsys    map[string]bool
+	prune     PruneSpec
+	finalized bool
+}
+
+// NewGraph creates an empty store whose planners cover times in
+// [base, base+horizon).
+func NewGraph(base, horizon int64) *Graph {
+	return &Graph{
+		base:    base,
+		horizon: horizon,
+		perType: make(map[string]int64),
+		roots:   make(map[string]*Vertex),
+		byPath:  make(map[string]*Vertex),
+		subsys:  make(map[string]bool),
+		prune:   make(PruneSpec),
+	}
+}
+
+// Base returns the planners' first schedulable time.
+func (g *Graph) Base() int64 { return g.base }
+
+// Horizon returns the planners' schedulable duration.
+func (g *Graph) Horizon() int64 { return g.horizon }
+
+// SetPruneSpec installs the pruning-filter configuration. It must be called
+// before Finalize.
+func (g *Graph) SetPruneSpec(spec PruneSpec) error {
+	if g.finalized {
+		return fmt.Errorf("%w: prune spec must be set before Finalize", ErrInvalid)
+	}
+	g.prune = spec
+	return nil
+}
+
+// AddVertex creates a pool vertex. id < 0 assigns the next per-type ID.
+// size < 1 is rejected.
+func (g *Graph) AddVertex(typ string, id, size int64) (*Vertex, error) {
+	if typ == "" || size < 1 {
+		return nil, fmt.Errorf("%w: type=%q size=%d", ErrInvalid, typ, size)
+	}
+	if id < 0 {
+		id = g.perType[typ]
+	}
+	if id >= g.perType[typ] {
+		g.perType[typ] = id + 1
+	}
+	v := &Vertex{
+		UniqID: g.nextUniq,
+		Type:   typ,
+		ID:     id,
+		Name:   fmt.Sprintf("%s%d", typ, id),
+		Size:   size,
+		Paths:  make(map[string]string),
+		out:    make(map[string][]*Edge),
+		in:     make(map[string][]*Edge),
+		graph:  g,
+	}
+	g.nextUniq++
+	g.vertices = append(g.vertices, v)
+	return v, nil
+}
+
+// MustAddVertex is AddVertex but panics on error; for tests and static
+// construction.
+func (g *Graph) MustAddVertex(typ string, id, size int64) *Vertex {
+	v, err := g.AddVertex(typ, id, size)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// AddEdge creates a directed edge in a subsystem.
+func (g *Graph) AddEdge(from, to *Vertex, subsystem, edgeType string) error {
+	if from == nil || to == nil || subsystem == "" {
+		return fmt.Errorf("%w: bad edge", ErrInvalid)
+	}
+	if from.graph != g || to.graph != g {
+		return fmt.Errorf("%w: edge endpoints from another graph", ErrInvalid)
+	}
+	e := &Edge{From: from, To: to, Subsystem: subsystem, Type: edgeType}
+	from.out[subsystem] = append(from.out[subsystem], e)
+	to.in[subsystem] = append(to.in[subsystem], e)
+	g.subsys[subsystem] = true
+	return nil
+}
+
+// AddContainment links parent and child in the containment subsystem with
+// the conventional contains/in edge pair.
+func (g *Graph) AddContainment(parent, child *Vertex) error {
+	if len(child.containmentParents()) > 0 {
+		return fmt.Errorf("%w: %s already has a containment parent", ErrInvalid, child.Name)
+	}
+	if err := g.AddEdge(parent, child, Containment, EdgeContains); err != nil {
+		return err
+	}
+	return g.AddEdge(child, parent, Containment, EdgeIn)
+}
+
+// Subsystems returns the subsystem names present in the graph, sorted.
+func (g *Graph) Subsystems() []string {
+	out := make([]string, 0, len(g.subsys))
+	for s := range g.subsys {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Root returns the root vertex of a subsystem (set by Finalize for
+// containment, or explicitly by SetRoot).
+func (g *Graph) Root(subsystem string) *Vertex { return g.roots[subsystem] }
+
+// SetRoot declares the root of a non-containment subsystem.
+func (g *Graph) SetRoot(subsystem string, v *Vertex) { g.roots[subsystem] = v }
+
+// Vertices returns all vertices in creation order. The slice is live; do
+// not modify.
+func (g *Graph) Vertices() []*Vertex { return g.vertices }
+
+// Len returns the vertex count.
+func (g *Graph) Len() int { return len(g.vertices) }
+
+// ByPath resolves a containment path such as "/cluster0/rack1/node3".
+func (g *Graph) ByPath(path string) *Vertex { return g.byPath[path] }
+
+// ByType returns all vertices of the given type, in creation order.
+func (g *Graph) ByType(typ string) []*Vertex {
+	var out []*Vertex
+	for _, v := range g.vertices {
+		if v.Type == typ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// containmentChildren yields children connected with EdgeContains or
+// untyped containment out-edges; the reciprocal EdgeIn edges are skipped.
+func containmentChildren(v *Vertex) []*Vertex {
+	var out []*Vertex
+	for _, e := range v.out[Containment] {
+		if e.Type != EdgeIn {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Finalize validates the containment tree, computes paths and subtree
+// aggregates, creates per-vertex planners, and installs pruning filters
+// per the PruneSpec. It must be called exactly once after construction.
+func (g *Graph) Finalize() error {
+	if g.finalized {
+		return fmt.Errorf("%w: already finalized", ErrInvalid)
+	}
+	if len(g.vertices) == 0 {
+		return fmt.Errorf("%w: empty graph", ErrInvalid)
+	}
+	// Identify the containment root: the unique vertex that has
+	// containment out-edges or no edges at all, and no containment
+	// parent.
+	var root *Vertex
+	for _, v := range g.vertices {
+		parents := v.containmentParents()
+		if len(parents) == 0 {
+			if root != nil {
+				return fmt.Errorf("%w: multiple containment roots (%s, %s)", ErrInvalid, root.Name, v.Name)
+			}
+			root = v
+		}
+		if len(parents) > 1 {
+			return fmt.Errorf("%w: %s has multiple containment parents", ErrInvalid, v.Name)
+		}
+	}
+	if root == nil {
+		return fmt.Errorf("%w: no containment root (cycle?)", ErrInvalid)
+	}
+	g.roots[Containment] = root
+	g.subsys[Containment] = true
+
+	seen := make(map[int64]bool, len(g.vertices))
+	if err := g.finalizeSubtree(root, "", seen); err != nil {
+		return err
+	}
+	if len(seen) != len(g.vertices) {
+		return fmt.Errorf("%w: %d vertices unreachable from containment root", ErrInvalid, len(g.vertices)-len(seen))
+	}
+	g.finalized = true
+	return nil
+}
+
+// finalizeSubtree computes the path, planner, aggregates, and filter for v
+// and its containment descendants.
+func (g *Graph) finalizeSubtree(v *Vertex, parentPath string, seen map[int64]bool) error {
+	if seen[v.UniqID] {
+		return fmt.Errorf("%w: containment cycle through %s", ErrInvalid, v.Name)
+	}
+	seen[v.UniqID] = true
+	path := parentPath + "/" + v.Name
+	v.Paths[Containment] = path
+	g.byPath[path] = v
+	if v.plan == nil {
+		p, err := planner.New(g.base, g.horizon, v.Size, v.Type)
+		if err != nil {
+			return fmt.Errorf("planner for %s: %w", v.Name, err)
+		}
+		v.plan = p
+	}
+	v.agg = map[string]int64{v.Type: v.Size}
+	for _, c := range containmentChildren(v) {
+		if err := g.finalizeSubtree(c, path, seen); err != nil {
+			return err
+		}
+		for t, n := range c.agg {
+			v.agg[t] += n
+		}
+	}
+	return g.installFilter(v)
+}
+
+// installFilter installs a pruning filter on v if the PruneSpec selects its
+// type, tracking the configured low types present in v's subtree.
+func (g *Graph) installFilter(v *Vertex) error {
+	if len(containmentChildren(v)) == 0 {
+		return nil // leaves carry no filters
+	}
+	tracked := make(map[string]int64)
+	for _, key := range []string{v.Type, ALL} {
+		for _, lo := range g.prune[key] {
+			if n := v.agg[lo]; n > 0 && lo != v.Type {
+				tracked[lo] = n
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		v.filter = nil
+		return nil
+	}
+	m, err := planner.NewMulti(g.base, g.horizon, tracked)
+	if err != nil {
+		return fmt.Errorf("filter for %s: %w", v.Name, err)
+	}
+	v.filter = m
+	return nil
+}
+
+// Attach grafts a subtree built after Finalize onto parent (elasticity,
+// paper §5.5): sub and its descendants get paths, planners, aggregates,
+// and filters, and every ancestor's aggregates and filters grow to match.
+func (g *Graph) Attach(parent, sub *Vertex) error {
+	if !g.finalized {
+		return ErrNotFinalized
+	}
+	if parent.graph != g || sub.graph != g {
+		return fmt.Errorf("%w: foreign vertex", ErrInvalid)
+	}
+	if parent.Paths[Containment] == "" {
+		return fmt.Errorf("%w: parent %s not attached", ErrInvalid, parent.Name)
+	}
+	if len(sub.containmentParents()) > 0 {
+		return fmt.Errorf("%w: %s already attached", ErrInvalid, sub.Name)
+	}
+	if err := g.AddContainment(parent, sub); err != nil {
+		return err
+	}
+	seen := make(map[int64]bool)
+	if err := g.finalizeSubtree(sub, parent.Paths[Containment], seen); err != nil {
+		return err
+	}
+	// Propagate aggregate growth to ancestors and their filters.
+	for a := parent; a != nil; a = a.Parent() {
+		for t, n := range sub.agg {
+			a.agg[t] += n
+		}
+		if err := g.growFilter(a, sub.agg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// growFilter updates (or installs) a's filter after its subtree gained the
+// given aggregates.
+func (g *Graph) growFilter(a *Vertex, delta map[string]int64) error {
+	if a.filter == nil {
+		// Install a filter if the spec now selects this vertex.
+		return g.installFilter(a)
+	}
+	for _, key := range []string{a.Type, ALL} {
+		for _, lo := range g.prune[key] {
+			if n := delta[lo]; n > 0 && lo != a.Type {
+				if err := a.filter.Update(lo, n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Detach prunes the subtree rooted at v from the graph (elasticity). It
+// fails with ErrBusy if any planner in the subtree holds live spans.
+func (g *Graph) Detach(v *Vertex) error {
+	if !g.finalized {
+		return ErrNotFinalized
+	}
+	parent := v.Parent()
+	if parent == nil {
+		return fmt.Errorf("%w: cannot detach the root", ErrInvalid)
+	}
+	var busy error
+	var walk func(x *Vertex)
+	walk = func(x *Vertex) {
+		if x.plan != nil && x.plan.SpanCount() > 0 {
+			busy = fmt.Errorf("%w: %s has %d live spans", ErrBusy, x.Name, x.plan.SpanCount())
+			return
+		}
+		for _, c := range containmentChildren(x) {
+			walk(c)
+		}
+	}
+	walk(v)
+	if busy != nil {
+		return busy
+	}
+	// Shrink ancestor aggregates and filters.
+	for a := parent; a != nil; a = a.Parent() {
+		for t, n := range v.agg {
+			a.agg[t] -= n
+		}
+		if a.filter != nil {
+			for _, rt := range a.filter.Types() {
+				if n := v.agg[rt]; n > 0 {
+					if err := a.filter.Update(rt, -n); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// Unlink the contains/in edge pair in both directions.
+	parent.out[Containment] = removeEdgesTo(parent.out[Containment], v)
+	parent.in[Containment] = removeEdgesTo2(parent.in[Containment], v)
+	v.in[Containment] = removeEdgesTo2(v.in[Containment], parent)
+	v.out[Containment] = removeEdgesTo(v.out[Containment], parent)
+	// Drop subtree path index entries and detach vertices.
+	var drop func(x *Vertex)
+	drop = func(x *Vertex) {
+		delete(g.byPath, x.Paths[Containment])
+		delete(x.Paths, Containment)
+		for _, c := range containmentChildren(x) {
+			drop(c)
+		}
+		x.graph = nil
+	}
+	drop(v)
+	kept := g.vertices[:0]
+	for _, x := range g.vertices {
+		if x.graph == g {
+			kept = append(kept, x)
+		}
+	}
+	g.vertices = kept
+	return nil
+}
+
+func removeEdgesTo(edges []*Edge, to *Vertex) []*Edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.To != to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func removeEdgesTo2(edges []*Edge, from *Vertex) []*Edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.From != from {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Finalized reports whether Finalize succeeded.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// Stats summarizes the store: vertex counts per type and filter count.
+func (g *Graph) Stats() string {
+	counts := make(map[string]int)
+	filters := 0
+	for _, v := range g.vertices {
+		counts[v.Type]++
+		if v.filter != nil {
+			filters++
+		}
+	}
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d vertices (", len(g.vertices))
+	for i, t := range types {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", t, counts[t])
+	}
+	fmt.Fprintf(&b, "), %d pruning filters", filters)
+	return b.String()
+}

@@ -1,0 +1,189 @@
+// Package resgraph implements Fluxion's graph-based resource store (paper
+// §3): a directed graph whose vertices are resource pools and whose typed
+// edges, grouped into named subsystems, express relationships such as
+// containment or power feeds.
+//
+// Each vertex carries a Planner tracking its pool's availability over time,
+// and selected vertices carry a PlannerMulti pruning filter summarizing the
+// aggregate availability of chosen lower-level resource types in their
+// containment subtree (paper §3.4). The containment subsystem must form a
+// tree; other subsystems may form arbitrary overlays sharing the same
+// vertices (paper §3.3, graph filtering).
+package resgraph
+
+import (
+	"fmt"
+
+	"fluxion/internal/planner"
+)
+
+// Containment is the default subsystem name: the physical containment
+// hierarchy every scheduler walks.
+const Containment = "containment"
+
+// Common edge type names.
+const (
+	EdgeContains = "contains" // parent -> child in containment
+	EdgeIn       = "in"       // child -> parent in containment
+)
+
+// Status describes whether a vertex is schedulable.
+type Status int
+
+const (
+	// StatusUp marks a schedulable vertex.
+	StatusUp Status = iota
+	// StatusDown excludes the vertex (and, for containment, its
+	// subtree) from matching.
+	StatusDown
+)
+
+func (s Status) String() string {
+	if s == StatusDown {
+		return "down"
+	}
+	return "up"
+}
+
+// Vertex is a resource pool: Size interchangeable units of one Type.
+// Singleton resources (a core, a node) are pools of size one.
+type Vertex struct {
+	// UniqID is the graph-wide unique identifier, assigned at AddVertex
+	// in creation order.
+	UniqID int64
+	// Type is the resource type name ("cluster", "rack", "node",
+	// "core", "memory", ...).
+	Type string
+	// ID is the logical per-type identifier (e.g. node 37). Match
+	// policies such as highest-ID-first order candidates by it.
+	ID int64
+	// Name is the display name, e.g. "node37".
+	Name string
+	// Size is the pool size in schedulable units (1 for singletons,
+	// e.g. 16 for a 16 GB memory pool).
+	Size int64
+	// Unit optionally names the unit ("GB").
+	Unit string
+	// Properties holds free-form labels, e.g. "perfclass" -> "3" for
+	// variation-aware scheduling (paper §5.2).
+	Properties map[string]string
+	// Status gates schedulability.
+	Status Status
+
+	// Paths maps subsystem name to this vertex's path from that
+	// subsystem's root, e.g. "/cluster0/rack2/node37". Only tree-shaped
+	// subsystems have paths.
+	Paths map[string]string
+
+	plan   *planner.Planner
+	filter *planner.Multi
+	agg    map[string]int64 // containment-subtree unit totals per type
+
+	out map[string][]*Edge // subsystem -> outgoing edges
+	in  map[string][]*Edge // subsystem -> incoming edges
+
+	graph *Graph
+}
+
+// Edge is a directed, typed relationship between two vertices within one
+// named subsystem.
+type Edge struct {
+	From, To  *Vertex
+	Subsystem string
+	Type      string
+}
+
+// Planner returns the vertex's availability planner (nil until the graph
+// is finalized).
+func (v *Vertex) Planner() *planner.Planner { return v.plan }
+
+// Filter returns the vertex's pruning filter, or nil if none is installed.
+func (v *Vertex) Filter() *planner.Multi { return v.filter }
+
+// Aggregates returns the containment-subtree unit totals per resource type
+// (including the vertex itself). The map is live; callers must not modify
+// it.
+func (v *Vertex) Aggregates() map[string]int64 { return v.agg }
+
+// Path returns the vertex's containment path.
+func (v *Vertex) Path() string { return v.Paths[Containment] }
+
+// String returns the vertex's containment path, or its name if the graph
+// is not finalized yet.
+func (v *Vertex) String() string {
+	if p := v.Path(); p != "" {
+		return p
+	}
+	return v.Name
+}
+
+// Children returns the vertices reachable by one downward outgoing edge in
+// the given subsystem (reciprocal "in" edges are skipped).
+func (v *Vertex) Children(subsystem string) []*Vertex {
+	var out []*Vertex
+	for _, e := range v.out[subsystem] {
+		if e.Type != EdgeIn {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// EachChild calls fn for every downward child in the subsystem, stopping
+// early if fn returns false. It avoids the allocation of Children for hot
+// paths.
+func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
+	for _, e := range v.out[subsystem] {
+		if e.Type == EdgeIn {
+			continue
+		}
+		if !fn(e.To) {
+			return
+		}
+	}
+}
+
+// containmentParents returns the From endpoints of incoming contains-typed
+// containment edges.
+func (v *Vertex) containmentParents() []*Vertex {
+	var out []*Vertex
+	for _, e := range v.in[Containment] {
+		if e.Type != EdgeIn {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Parent returns the vertex's unique containment parent, or nil for roots.
+// It panics if the containment subsystem is not a tree.
+func (v *Vertex) Parent() *Vertex {
+	in := v.containmentParents()
+	switch len(in) {
+	case 0:
+		return nil
+	case 1:
+		return in[0]
+	default:
+		panic(fmt.Sprintf("resgraph: vertex %s has %d containment parents", v.Name, len(in)))
+	}
+}
+
+// InEdges returns the incoming edges in the subsystem.
+func (v *Vertex) InEdges(subsystem string) []*Edge { return v.in[subsystem] }
+
+// OutEdges returns the outgoing edges in the subsystem.
+func (v *Vertex) OutEdges(subsystem string) []*Edge { return v.out[subsystem] }
+
+// Property returns a property value ("" if absent).
+func (v *Vertex) Property(key string) string {
+	return v.Properties[key]
+}
+
+// SetProperty sets a property value.
+func (v *Vertex) SetProperty(key, value string) {
+	if v.Properties == nil {
+		v.Properties = make(map[string]string)
+	}
+	v.Properties[key] = value
+}

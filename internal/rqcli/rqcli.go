@@ -1,0 +1,287 @@
+// Package rqcli implements the resource-query command interpreter: the
+// interactive loop of the paper's evaluation utility (§6.1), factored out
+// of cmd/resource-query so it can be driven by tests and embedded in other
+// tools.
+package rqcli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/rv1"
+)
+
+// Session interprets resource-query commands against one Fluxion instance.
+type Session struct {
+	F *fluxion.Fluxion
+	// Prompt is printed before each command when non-empty.
+	Prompt string
+	// ReadFile loads jobspec files; defaults to os.ReadFile.
+	ReadFile func(string) ([]byte, error)
+	// WriteFile stores dumps; defaults to os.WriteFile.
+	WriteFile func(string, []byte) error
+
+	now     int64
+	nextJob int64
+}
+
+// NewSession returns a session starting at job ID 1 and t = 0.
+func NewSession(f *fluxion.Fluxion) *Session {
+	return &Session{
+		F:         f,
+		ReadFile:  os.ReadFile,
+		WriteFile: func(path string, data []byte) error { return os.WriteFile(path, data, 0o644) },
+		nextJob:   1,
+	}
+}
+
+// Run reads commands from in until EOF or "quit", writing results to out.
+func (s *Session) Run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for {
+		if s.Prompt != "" {
+			fmt.Fprint(out, s.Prompt)
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		if quit := s.Exec(sc.Text(), out); quit {
+			return nil
+		}
+	}
+}
+
+// Exec interprets one command line, returning true on quit.
+func (s *Session) Exec(line string, out io.Writer) bool {
+	args := strings.Fields(line)
+	if len(args) == 0 || strings.HasPrefix(args[0], "#") {
+		return false
+	}
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Fprintln(out, "commands: match allocate|allocate_orelse_reserve|satisfy <jobspec.yaml>,")
+		fmt.Fprintln(out, "  cancel <id>, release <id> <path>..., info <id>, rv1 <id>, jobs,")
+		fmt.Fprintln(out, "  find <type|expr>, set-status <path> up|down, time [<t>],")
+		fmt.Fprintln(out, "  grow <parent> <recipe.yaml>, shrink <path>, stat, dump <out.json>, quit")
+	case "stat":
+		fmt.Fprintln(out, s.F.Stat())
+	case "jobs":
+		for _, id := range s.F.Jobs() {
+			alloc, _ := s.F.Info(id)
+			state := "allocated"
+			if alloc.Reserved {
+				state = "reserved"
+			}
+			fmt.Fprintf(out, "job %d: %s at=%d duration=%d\n", id, state, alloc.At, alloc.Duration)
+		}
+	case "time":
+		if len(args) == 2 {
+			t, err := strconv.ParseInt(args[1], 10, 64)
+			if s.report(out, err) {
+				return false
+			}
+			s.now = t
+		}
+		fmt.Fprintf(out, "t = %d\n", s.now)
+	case "match":
+		s.cmdMatch(args, out)
+	case "cancel":
+		if len(args) != 2 {
+			fmt.Fprintln(out, "usage: cancel <jobid>")
+			return false
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if s.report(out, err) {
+			return false
+		}
+		if s.report(out, s.F.Cancel(id)) {
+			return false
+		}
+		fmt.Fprintf(out, "canceled jobid=%d\n", id)
+	case "release":
+		if len(args) < 3 {
+			fmt.Fprintln(out, "usage: release <jobid> <path>...")
+			return false
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if s.report(out, err) {
+			return false
+		}
+		if s.report(out, s.F.Release(id, args[2:])) {
+			return false
+		}
+		fmt.Fprintf(out, "released %d vertices from jobid=%d\n", len(args[2:]), id)
+	case "info":
+		if len(args) != 2 {
+			fmt.Fprintln(out, "usage: info <jobid>")
+			return false
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if s.report(out, err) {
+			return false
+		}
+		alloc, ok := s.F.Info(id)
+		if !ok {
+			fmt.Fprintf(out, "no such job %d\n", id)
+			return false
+		}
+		state := "allocated"
+		if alloc.Reserved {
+			state = "reserved"
+		}
+		fmt.Fprintf(out, "jobid=%d %s at=%d duration=%d\n%s\n", id, state, alloc.At, alloc.Duration, alloc.Describe())
+	case "rv1":
+		if len(args) != 2 {
+			fmt.Fprintln(out, "usage: rv1 <jobid>")
+			return false
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if s.report(out, err) {
+			return false
+		}
+		alloc, ok := s.F.Info(id)
+		if !ok {
+			fmt.Fprintf(out, "no such job %d\n", id)
+			return false
+		}
+		data, err := rv1.Encode(alloc)
+		if s.report(out, err) {
+			return false
+		}
+		fmt.Fprintf(out, "%s\n", data)
+	case "find":
+		if len(args) < 2 {
+			fmt.Fprintln(out, "usage: find <type> [up|down]  |  find <expr> (e.g. type=node and status=up)")
+			return false
+		}
+		if strings.ContainsRune(strings.Join(args[1:], " "), '=') {
+			paths, err := s.F.FindExpr(strings.Join(args[1:], " "))
+			if s.report(out, err) {
+				return false
+			}
+			for _, p := range paths {
+				fmt.Fprintln(out, p)
+			}
+			return false
+		}
+		status := ""
+		if len(args) > 2 {
+			status = args[2]
+		}
+		for _, p := range s.F.Find(args[1], status) {
+			fmt.Fprintln(out, p)
+		}
+	case "set-status":
+		if len(args) != 3 || (args[2] != "up" && args[2] != "down") {
+			fmt.Fprintln(out, "usage: set-status <path> up|down")
+			return false
+		}
+		if s.report(out, s.F.SetStatus(args[1], args[2] == "up")) {
+			return false
+		}
+		fmt.Fprintf(out, "%s is now %s\n", args[1], args[2])
+	case "grow":
+		if len(args) != 3 {
+			fmt.Fprintln(out, "usage: grow <parent-path> <recipe.yaml>")
+			return false
+		}
+		data, err := s.ReadFile(args[2])
+		if s.report(out, err) {
+			return false
+		}
+		recipe, err := grug.ParseYAML(data)
+		if s.report(out, err) {
+			return false
+		}
+		v, err := s.F.Grow(args[1], recipe)
+		if s.report(out, err) {
+			return false
+		}
+		fmt.Fprintf(out, "grew %s\n", v.Path())
+	case "shrink":
+		if len(args) != 2 {
+			fmt.Fprintln(out, "usage: shrink <path>")
+			return false
+		}
+		if s.report(out, s.F.Shrink(args[1])) {
+			return false
+		}
+		fmt.Fprintf(out, "shrank %s\n", args[1])
+	case "dump":
+		if len(args) != 2 {
+			fmt.Fprintln(out, "usage: dump <out.json>")
+			return false
+		}
+		data, err := s.F.JGF()
+		if s.report(out, err) {
+			return false
+		}
+		if s.report(out, s.WriteFile(args[1], data)) {
+			return false
+		}
+		fmt.Fprintf(out, "wrote %d bytes to %s\n", len(data), args[1])
+	default:
+		fmt.Fprintf(out, "unknown command %q (try help)\n", args[0])
+	}
+	return false
+}
+
+func (s *Session) cmdMatch(args []string, out io.Writer) {
+	if len(args) != 3 {
+		fmt.Fprintln(out, "usage: match allocate|allocate_orelse_reserve|satisfy <jobspec.yaml>")
+		return
+	}
+	data, err := s.ReadFile(args[2])
+	if s.report(out, err) {
+		return
+	}
+	spec, err := fluxion.ParseJobspec(data)
+	if s.report(out, err) {
+		return
+	}
+	switch args[1] {
+	case "allocate":
+		alloc, err := s.F.MatchAllocate(s.nextJob, spec, s.now)
+		if s.report(out, err) {
+			return
+		}
+		fmt.Fprintf(out, "ALLOCATED jobid=%d at=%d duration=%d\n%s\n", s.nextJob, alloc.At, alloc.Duration, alloc.Describe())
+		s.nextJob++
+	case "allocate_orelse_reserve":
+		alloc, err := s.F.MatchAllocateOrReserve(s.nextJob, spec, s.now)
+		if s.report(out, err) {
+			return
+		}
+		verb := "ALLOCATED"
+		if alloc.Reserved {
+			verb = "RESERVED"
+		}
+		fmt.Fprintf(out, "%s jobid=%d at=%d duration=%d\n%s\n", verb, s.nextJob, alloc.At, alloc.Duration, alloc.Describe())
+		s.nextJob++
+	case "satisfy":
+		ok, err := s.F.MatchSatisfy(spec)
+		if s.report(out, err) {
+			return
+		}
+		fmt.Fprintf(out, "satisfiable: %v\n", ok)
+	default:
+		fmt.Fprintf(out, "unknown match subcommand %q\n", args[1])
+	}
+}
+
+func (s *Session) report(out io.Writer, err error) bool {
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+package rqcli
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fluxion"
+	"fluxion/internal/grug"
+)
+
+const testJobspec = `
+version: 1
+resources:
+  - type: node
+    count: 1
+    with:
+      - type: slot
+        count: 1
+        with:
+          - {type: core, count: 4}
+attributes:
+  system:
+    duration: 100
+`
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	f, err := fluxion.New(
+		fluxion.WithRecipe(grug.Small(1, 2, 4, 0, 0)),
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(f)
+	files := map[string][]byte{"job.yaml": []byte(testJobspec)}
+	s.ReadFile = func(path string) ([]byte, error) {
+		if data, ok := files[path]; ok {
+			return data, nil
+		}
+		return nil, fmt.Errorf("no such file %q", path)
+	}
+	return s
+}
+
+// run executes the command script and returns the combined output.
+func run(t *testing.T, s *Session, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := s.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestMatchAllocateFlow(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, `
+match satisfy job.yaml
+match allocate job.yaml
+match allocate job.yaml
+match allocate job.yaml
+info 1
+jobs
+cancel 1
+stat
+quit
+`)
+	for _, want := range []string{
+		"satisfiable: true",
+		"ALLOCATED jobid=1",
+		"ALLOCATED jobid=2",
+		"error:", // 3rd allocate fails: both nodes full
+		"jobid=1 allocated at=0 duration=100",
+		"canceled jobid=1",
+		"vertices",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReserveAndTime(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, `
+match allocate job.yaml
+match allocate job.yaml
+match allocate_orelse_reserve job.yaml
+time 100
+time
+`)
+	if !strings.Contains(out, "RESERVED jobid=3 at=100") {
+		t.Fatalf("reserve missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t = 100") {
+		t.Fatalf("time missing:\n%s", out)
+	}
+}
+
+func TestRV1Command(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, "match allocate job.yaml\nrv1 1\nrv1 99\n")
+	if !strings.Contains(out, `"R_lite"`) || !strings.Contains(out, `"nodelist": "node0"`) {
+		t.Fatalf("rv1 output:\n%s", out)
+	}
+	if !strings.Contains(out, "no such job 99") {
+		t.Fatalf("missing-job handling:\n%s", out)
+	}
+}
+
+func TestFindAndStatus(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, `
+set-status /cluster0/rack0/node1 down
+find node down
+find node up
+set-status /nope down
+`)
+	if !strings.Contains(out, "node1 is now down") {
+		t.Fatalf("set-status:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	downIdx, upIdx := -1, -1
+	for i, l := range lines {
+		if l == "/cluster0/rack0/node1" && downIdx < 0 {
+			downIdx = i
+		}
+		if l == "/cluster0/rack0/node0" {
+			upIdx = i
+		}
+	}
+	if downIdx < 0 || upIdx < 0 || upIdx < downIdx {
+		t.Fatalf("find output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("bad path not reported:\n%s", out)
+	}
+}
+
+func TestReleaseCommand(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, "match allocate job.yaml\nrelease 1 /cluster0/rack0/node0/core0\ninfo 1\n")
+	if !strings.Contains(out, "released 1 vertices from jobid=1") {
+		t.Fatalf("release:\n%s", out)
+	}
+	if strings.Contains(strings.SplitN(out, "released", 2)[1], "core0[1]") {
+		t.Fatalf("core0 still granted:\n%s", out)
+	}
+}
+
+func TestDump(t *testing.T) {
+	s := newSession(t)
+	var wrote []byte
+	s.WriteFile = func(path string, data []byte) error {
+		wrote = data
+		return nil
+	}
+	out := run(t, s, "dump store.json\n")
+	if !strings.Contains(out, "wrote") || !bytes.Contains(wrote, []byte(`"graph"`)) {
+		t.Fatalf("dump failed:\n%s", out)
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	s := newSession(t)
+	out := run(t, s, `
+bogus
+match
+match frobnicate job.yaml
+match allocate missing.yaml
+cancel
+cancel notanumber
+info
+release 1
+set-status x sideways
+dump
+find
+help
+
+# a comment
+`)
+	for _, want := range []string{
+		"unknown command", "usage: match", "unknown match subcommand",
+		"error:", "usage: cancel", "usage: info", "usage: release",
+		"usage: set-status", "usage: dump", "usage: find", "commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestPrompt(t *testing.T) {
+	s := newSession(t)
+	s.Prompt = "> "
+	var out bytes.Buffer
+	if err := s.Run(strings.NewReader("stat\nquit\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "> ") {
+		t.Fatalf("prompt missing: %q", out.String())
+	}
+}
+
+func TestFindExpression(t *testing.T) {
+	s := newSession(t)
+	s.F.Graph().ByType("node")[0].SetProperty("perfclass", "3")
+	out := run(t, s, "find type=node and perfclass=3\nfind type=node and\n")
+	if !strings.Contains(out, "/cluster0/rack0/node0") {
+		t.Fatalf("expression find:\n%s", out)
+	}
+	if strings.Contains(out, "node1") {
+		t.Fatalf("over-matched:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("bad expression not reported:\n%s", out)
+	}
+}
+
+func TestGrowShrinkCommands(t *testing.T) {
+	s := newSession(t)
+	recipe := []byte("root:\n  type: node\n  with:\n    - {type: core, count: 4}\n")
+	s.ReadFile = func(path string) ([]byte, error) {
+		if path == "node.yaml" {
+			return recipe, nil
+		}
+		return []byte(testJobspec), nil
+	}
+	out := run(t, s, `
+grow /cluster0/rack0 node.yaml
+find type=node
+shrink /cluster0/rack0/node2
+grow /nope node.yaml
+shrink /nope
+grow
+shrink
+`)
+	if !strings.Contains(out, "grew /cluster0/rack0/node2") {
+		t.Fatalf("grow:\n%s", out)
+	}
+	if !strings.Contains(out, "shrank /cluster0/rack0/node2") {
+		t.Fatalf("shrink:\n%s", out)
+	}
+	if !strings.Contains(out, "usage: grow") || !strings.Contains(out, "usage: shrink") {
+		t.Fatalf("usage:\n%s", out)
+	}
+	if strings.Count(out, "error:") < 2 {
+		t.Fatalf("bad paths not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,225 @@
+// Package rv1 emits and parses concrete resource sets in Flux's R version
+// 1 format — the JSON document a resource manager hands to the execution
+// system to contain, bind, and execute a job (paper §3.2 step 7).
+//
+// The execution section follows flux-core's schema: R_lite entries keyed
+// by node rank with idset-compressed children, a nodelist in hostlist
+// notation, and start/expiration times. Pooled resources (memory, burst
+// buffer, bandwidth) and resources outside any compute node (rabbits,
+// whole racks) do not fit R_lite's idset model, so they are carried in a
+// "fluxion" extension section as path[units] grants.
+package rv1
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxion/internal/hostlist"
+	"fluxion/internal/idset"
+	"fluxion/internal/traverser"
+)
+
+// ErrFormat is wrapped by all decode errors.
+var ErrFormat = errors.New("rv1: bad format")
+
+// R is the top-level R version 1 document.
+type R struct {
+	Version   int       `json:"version"`
+	Execution Execution `json:"execution"`
+	Fluxion   *Fluxion  `json:"fluxion,omitempty"`
+}
+
+// Execution mirrors flux-core's execution section.
+type Execution struct {
+	RLite      []RLite `json:"R_lite"`
+	StartTime  int64   `json:"starttime"`
+	Expiration int64   `json:"expiration"`
+	NodeList   string  `json:"nodelist"`
+}
+
+// RLite grants idset-compressed children on a set of node ranks.
+type RLite struct {
+	Rank     string            `json:"rank"`
+	Children map[string]string `json:"children"`
+}
+
+// Fluxion is the extension section for grants R_lite cannot express.
+type Fluxion struct {
+	// Pools grants pooled units within a node rank:
+	// "0" -> {"memory": 8}.
+	Pools map[string]map[string]int64 `json:"pools,omitempty"`
+	// Extra grants resources outside compute nodes as
+	// "path" -> units.
+	Extra map[string]int64 `json:"extra,omitempty"`
+	// Reserved marks a future reservation rather than a live
+	// allocation.
+	Reserved bool  `json:"reserved,omitempty"`
+	JobID    int64 `json:"jobid"`
+}
+
+// Encode renders an allocation as R version 1.
+func Encode(alloc *traverser.Allocation) ([]byte, error) {
+	doc := Build(alloc)
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Build constructs the R document for an allocation.
+func Build(alloc *traverser.Allocation) *R {
+	doc := &R{
+		Version: 1,
+		Execution: Execution{
+			StartTime:  alloc.At,
+			Expiration: alloc.At + alloc.Duration,
+		},
+		Fluxion: &Fluxion{JobID: alloc.JobID, Reserved: alloc.Reserved},
+	}
+
+	type rankInfo struct {
+		children map[string][]int64 // type -> singleton IDs
+		pools    map[string]int64   // type -> units
+	}
+	ranks := make(map[int64]*rankInfo)
+	var nodeNames []string
+	seenNode := make(map[int64]bool)
+
+	nodeOf := func(v *traverser.VertexAlloc) (int64, bool) {
+		for a := v.V; a != nil; a = a.Parent() {
+			if a.Type == "node" {
+				if !seenNode[a.ID] {
+					seenNode[a.ID] = true
+					nodeNames = append(nodeNames, a.Name)
+				}
+				return a.ID, true
+			}
+		}
+		return 0, false
+	}
+
+	for i := range alloc.Vertices {
+		va := &alloc.Vertices[i]
+		if va.Units == 0 {
+			nodeOf(va) // shared structural nodes still join the nodelist
+			continue
+		}
+		rank, ok := nodeOf(va)
+		if !ok || va.V.Type == "node" {
+			if va.V.Type == "node" {
+				// The node grant itself is implied by its rank
+				// entry; whole-node exclusivity shows as all
+				// children granted.
+				continue
+			}
+			if doc.Fluxion.Extra == nil {
+				doc.Fluxion.Extra = make(map[string]int64)
+			}
+			doc.Fluxion.Extra[va.V.Path()] += va.Units
+			continue
+		}
+		ri := ranks[rank]
+		if ri == nil {
+			ri = &rankInfo{children: make(map[string][]int64), pools: make(map[string]int64)}
+			ranks[rank] = ri
+		}
+		if va.V.Size == 1 {
+			ri.children[va.V.Type] = append(ri.children[va.V.Type], va.V.ID)
+		} else {
+			ri.pools[va.V.Type] += va.Units
+		}
+	}
+
+	// Merge ranks with identical children signatures, flux style.
+	type sigGroup struct {
+		ranks    []int64
+		children map[string]string
+	}
+	groups := make(map[string]*sigGroup)
+	var sigOrder []string
+	for rank, ri := range ranks {
+		children := make(map[string]string, len(ri.children))
+		for typ, ids := range ri.children {
+			children[typ] = idsetOf(ids)
+		}
+		sig := signature(children)
+		g := groups[sig]
+		if g == nil {
+			g = &sigGroup{children: children}
+			groups[sig] = g
+			sigOrder = append(sigOrder, sig)
+		}
+		g.ranks = append(g.ranks, rank)
+		if len(ri.pools) > 0 {
+			if doc.Fluxion.Pools == nil {
+				doc.Fluxion.Pools = make(map[string]map[string]int64)
+			}
+			doc.Fluxion.Pools[fmt.Sprintf("%d", rank)] = ri.pools
+		}
+	}
+	sort.Strings(sigOrder)
+	for _, sig := range sigOrder {
+		g := groups[sig]
+		if len(g.children) == 0 {
+			continue
+		}
+		doc.Execution.RLite = append(doc.Execution.RLite, RLite{
+			Rank:     idsetOf(g.ranks),
+			Children: g.children,
+		})
+	}
+	sort.Strings(nodeNames)
+	doc.Execution.NodeList = hostlist.Compress(nodeNames)
+	return doc
+}
+
+// idsetOf renders integer IDs as flux idset notation ("0-3,7").
+func idsetOf(ids []int64) string {
+	s := idset.New(ids...)
+	return s.String()
+}
+
+func signature(children map[string]string) string {
+	keys := make([]string, 0, len(children))
+	for k := range children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, children[k])
+	}
+	return b.String()
+}
+
+// Decode parses an R version 1 document.
+func Decode(data []byte) (*R, error) {
+	var doc R
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, doc.Version)
+	}
+	return &doc, nil
+}
+
+// NodeCount returns the number of nodes granted.
+func (r *R) NodeCount() (int, error) {
+	if r.Execution.NodeList == "" {
+		return 0, nil
+	}
+	return hostlist.Count(r.Execution.NodeList)
+}
+
+// ExpandIDSet expands idset notation to the ID list.
+func ExpandIDSet(s string) ([]int64, error) {
+	set, err := idset.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if set.Empty() {
+		return nil, nil
+	}
+	return set.Slice(), nil
+}

@@ -1,0 +1,206 @@
+package rv1
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/traverser"
+)
+
+func TestEncodeWholeNodes(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(1, 4, 4, 16, 0), 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.LowID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 exclusive nodes with all cores.
+	js := jobspec.New(3600, jobspec.RX("node", 2, jobspec.R("core", 4)))
+	alloc, err := tr.MatchAllocate(7, js, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Build(alloc)
+	if doc.Version != 1 || doc.Fluxion.JobID != 7 || doc.Fluxion.Reserved {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Execution.StartTime != 100 || doc.Execution.Expiration != 3700 {
+		t.Fatalf("times = %+v", doc.Execution)
+	}
+	if doc.Execution.NodeList != "node[0,1]" {
+		t.Fatalf("nodelist = %q", doc.Execution.NodeList)
+	}
+	if n, err := doc.NodeCount(); err != nil || n != 2 {
+		t.Fatalf("NodeCount = %d, %v", n, err)
+	}
+	// Both nodes grant cores; core IDs are global (node0: 0-3,
+	// node1: 4-7) so there are two R_lite groups.
+	totalCores := 0
+	for _, rl := range doc.Execution.RLite {
+		ids, err := ExpandIDSet(rl.Children["core"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalCores += len(ids)
+	}
+	if totalCores != 8 {
+		t.Fatalf("granted cores = %d; R_lite = %+v", totalCores, doc.Execution.RLite)
+	}
+}
+
+func TestEncodePoolsAndSharedNodes(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(1, 2, 4, 32, 0), 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.LowID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobspec.NodeLocal(1, 1, 2, 8, 0, 600)
+	alloc, err := tr.MatchAllocate(1, js, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Build(alloc)
+	// Shared node still appears in the nodelist.
+	if doc.Execution.NodeList != "node0" {
+		t.Fatalf("nodelist = %q", doc.Execution.NodeList)
+	}
+	// Memory is a pool grant, not an idset child.
+	pools := doc.Fluxion.Pools["0"]
+	if pools["memory"] != 8 {
+		t.Fatalf("pools = %+v", doc.Fluxion.Pools)
+	}
+	for _, rl := range doc.Execution.RLite {
+		if _, ok := rl.Children["memory"]; ok {
+			t.Fatal("pooled memory leaked into R_lite children")
+		}
+	}
+}
+
+func TestEncodeExtraResources(t *testing.T) {
+	// Storage-only allocation: rabbit SSD outside any node.
+	recipe := &grug.Recipe{Root: grug.N("cluster", 1,
+		grug.N("rabbit", 2, grug.NP("ssd", 1, 1024, "GB")))}
+	g, err := grug.BuildGraph(recipe, 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobspec.New(0, jobspec.R("rabbit", 1, jobspec.R("ssd", 100)))
+	alloc, err := tr.MatchAllocate(1, js, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Build(alloc)
+	if doc.Fluxion.Extra["/cluster0/rabbit0/ssd0"] != 100 {
+		t.Fatalf("extra = %+v", doc.Fluxion.Extra)
+	}
+	if doc.Execution.NodeList != "" || len(doc.Execution.RLite) != 0 {
+		t.Fatalf("unexpected node grants: %+v", doc.Execution)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(2, 4, 8, 0, 0), 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobspec.New(60, jobspec.RX("node", 3, jobspec.R("core", 8)))
+	alloc, err := tr.MatchAllocate(42, js, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Build(alloc)
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, want)
+	}
+	if !strings.Contains(string(data), "R_lite") {
+		t.Fatalf("JSON missing R_lite:\n%s", data)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("junk")); !errors.Is(err, ErrFormat) {
+		t.Errorf("junk: %v", err)
+	}
+	if _, err := Decode([]byte(`{"version": 9}`)); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestIDSet(t *testing.T) {
+	cases := []struct {
+		ids  []int64
+		want string
+	}{
+		{nil, ""},
+		{[]int64{3}, "3"},
+		{[]int64{0, 1, 2, 3}, "0-3"},
+		{[]int64{5, 0, 1, 3}, "0,1,3,5"},
+	}
+	for _, c := range cases {
+		if got := idsetOf(c.ids); got != c.want {
+			t.Errorf("idsetOf(%v) = %q, want %q", c.ids, got, c.want)
+		}
+	}
+	ids, err := ExpandIDSet("0-2,7")
+	if err != nil || !reflect.DeepEqual(ids, []int64{0, 1, 2, 7}) {
+		t.Fatalf("ExpandIDSet = %v, %v", ids, err)
+	}
+	for _, bad := range []string{"x", "3-1", "1-"} {
+		if _, err := ExpandIDSet(bad); !errors.Is(err, ErrFormat) {
+			t.Errorf("ExpandIDSet(%q): %v", bad, err)
+		}
+	}
+}
+
+func TestRankMerging(t *testing.T) {
+	// Two identical whole nodes on one rack produce distinct child
+	// idsets (global core IDs), but identical-shape grants on the same
+	// IDs merge. Build a custom graph where two nodes share core IDs.
+	g, err := grug.BuildGraph(grug.Small(1, 2, 2, 0, 0), 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobspec.New(60, jobspec.RX("node", 2, jobspec.R("core", 2)))
+	alloc, err := tr.MatchAllocate(1, js, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Build(alloc)
+	ranks := map[string]bool{}
+	for _, rl := range doc.Execution.RLite {
+		ranks[rl.Rank] = true
+	}
+	if len(doc.Execution.RLite) != 2 || !ranks["0"] || !ranks["1"] {
+		t.Fatalf("R_lite = %+v", doc.Execution.RLite)
+	}
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Metrics summarizes a scheduler run.
+type Metrics struct {
+	Completed     int
+	Unsatisfiable int
+	// Makespan is the simulated time between the earliest submit and
+	// the last completion.
+	Makespan int64
+	// MeanWait is the mean simulated queue wait (start - submit) over
+	// completed jobs.
+	MeanWait float64
+	// MaxWait is the maximum simulated wait.
+	MaxWait int64
+	// TotalMatch is the accumulated wall-clock matcher time.
+	TotalMatch time.Duration
+	// NodeSecondsUsed / NodeSecondsTotal approximate utilization for
+	// whole-node workloads: granted node-seconds over capacity
+	// node-seconds across the makespan.
+	NodeSecondsUsed  int64
+	NodeSecondsTotal int64
+}
+
+// Utilization returns NodeSecondsUsed / NodeSecondsTotal (0 when no
+// capacity elapsed).
+func (m Metrics) Utilization() float64 {
+	if m.NodeSecondsTotal == 0 {
+		return 0
+	}
+	return float64(m.NodeSecondsUsed) / float64(m.NodeSecondsTotal)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed=%d makespan=%ds meanWait=%.1fs maxWait=%ds match=%v",
+		m.Completed, m.Makespan, m.MeanWait, m.MaxWait, m.TotalMatch.Round(time.Millisecond))
+	if m.NodeSecondsTotal > 0 {
+		fmt.Fprintf(&b, " util=%.1f%%", 100*m.Utilization())
+	}
+	if m.Unsatisfiable > 0 {
+		fmt.Fprintf(&b, " unsatisfiable=%d", m.Unsatisfiable)
+	}
+	return b.String()
+}
+
+// Metrics computes run statistics from the scheduler's current state.
+// Call it after Run (or after draining manually).
+func (s *Scheduler) Metrics() Metrics {
+	var m Metrics
+	var firstSubmit, lastEnd int64 = 1 << 62, 0
+	var waits int64
+	nodeCapacity := int64(0)
+	if root := s.tr.Graph().Root("containment"); root != nil {
+		nodeCapacity = root.Aggregates()["node"]
+	}
+	for _, j := range s.jobs {
+		m.TotalMatch += j.MatchDuration
+		switch j.State {
+		case StateUnsatisfiable:
+			m.Unsatisfiable++
+			continue
+		case StateCompleted:
+			m.Completed++
+		default:
+			continue
+		}
+		if j.Submit < firstSubmit {
+			firstSubmit = j.Submit
+		}
+		if j.EndAt > lastEnd {
+			lastEnd = j.EndAt
+		}
+		wait := j.StartAt - j.Submit
+		waits += wait
+		if wait > m.MaxWait {
+			m.MaxWait = wait
+		}
+		if j.Alloc != nil {
+			m.NodeSecondsUsed += int64(len(j.Alloc.Nodes())) * (j.EndAt - j.StartAt)
+		}
+	}
+	if m.Completed > 0 {
+		m.Makespan = lastEnd - firstSubmit
+		m.MeanWait = float64(waits) / float64(m.Completed)
+		m.NodeSecondsTotal = nodeCapacity * m.Makespan
+	}
+	return m
+}

@@ -1,0 +1,354 @@
+// Package sched implements the queuing layer above the Fluxion traverser:
+// a discrete-event simulated clock and three queue policies — pure FCFS,
+// EASY backfilling, and conservative backfilling (the paper's evaluation
+// policy, §6.2/§6.3).
+//
+// The scheduler drives Fluxion exactly the way flux-sched's qmanager does:
+// each scheduling cycle drops all standing reservations and re-plans the
+// pending queue front to back with MatchAllocateOrReserve, so reservations
+// always reflect the current resource-time state (paper §3.4).
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/traverser"
+)
+
+// QueuePolicy selects how the pending queue is planned.
+type QueuePolicy string
+
+const (
+	// FCFS allocates strictly in order and stops at the first job that
+	// does not fit now (no backfilling, no reservations).
+	FCFS QueuePolicy = "fcfs"
+	// EASY reserves the queue head and backfills later jobs only if
+	// they fit immediately.
+	EASY QueuePolicy = "easy"
+	// Conservative reserves every pending job (the paper's setting).
+	Conservative QueuePolicy = "conservative"
+)
+
+// JobState is a job's lifecycle state.
+type JobState int
+
+// Job lifecycle states.
+const (
+	StatePending JobState = iota
+	StateReserved
+	StateRunning
+	StateCompleted
+	StateUnsatisfiable
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateReserved:
+		return "reserved"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateUnsatisfiable:
+		return "unsatisfiable"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is one schedulable unit of work.
+type Job struct {
+	ID     int64
+	Spec   *jobspec.Jobspec
+	Submit int64 // simulated submit time
+	// Priority orders the pending queue: higher runs first, ties by
+	// submit order. Set it before (or via) SubmitPriority.
+	Priority int
+
+	State   JobState
+	StartAt int64 // simulated start (allocation) time
+	EndAt   int64
+	// MatchDuration accumulates the wall-clock time spent inside the
+	// matcher for this job across scheduling cycles — the per-job
+	// scheduling overhead reported in paper Figure 7b.
+	MatchDuration time.Duration
+	// Alloc is the live or reserved selected resource set.
+	Alloc *traverser.Allocation
+}
+
+// ErrUnknownPolicy reports an unrecognized queue policy.
+var ErrUnknownPolicy = errors.New("sched: unknown queue policy")
+
+type event struct {
+	at    int64
+	jobID int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].jobID < h[j].jobID
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Scheduler runs jobs on a Fluxion traverser under a queue policy.
+type Scheduler struct {
+	tr     *traverser.Traverser
+	policy QueuePolicy
+
+	now      int64
+	pending  []*Job // submit order; includes reserved jobs
+	jobs     map[int64]*Job
+	reserved map[int64]*Job
+	events   eventHeap
+
+	// Cycles counts scheduling cycles run.
+	Cycles int
+	// queueDepth bounds how many pending jobs each cycle plans
+	// (flux-sched qmanager's queue-depth knob); 0 = unbounded.
+	queueDepth int
+}
+
+// SchedOption configures New.
+type SchedOption func(*Scheduler)
+
+// WithQueueDepth bounds how many pending jobs each scheduling cycle plans.
+// Deep queues trade reservation fidelity for cycle latency exactly as in
+// flux-sched's qmanager; 0 (the default) plans the whole queue.
+func WithQueueDepth(n int) SchedOption {
+	return func(s *Scheduler) { s.queueDepth = n }
+}
+
+// New creates a scheduler at simulated time = the graph's planner base.
+func New(tr *traverser.Traverser, policy QueuePolicy, opts ...SchedOption) (*Scheduler, error) {
+	switch policy {
+	case FCFS, EASY, Conservative:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, policy)
+	}
+	s := &Scheduler{
+		tr:       tr,
+		policy:   policy,
+		now:      tr.Graph().Base(),
+		jobs:     make(map[int64]*Job),
+		reserved: make(map[int64]*Job),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Now returns the simulated clock.
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Job returns a submitted job by ID.
+func (s *Scheduler) Job(id int64) (*Job, bool) {
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all submitted jobs keyed by ID. The map is live.
+func (s *Scheduler) Jobs() map[int64]*Job { return s.jobs }
+
+// Submit enqueues a job without scheduling it; call Schedule (or Run) to
+// plan the queue. Unsatisfiable jobs are rejected immediately, mirroring
+// Fluxion's satisfiability check at ingest.
+func (s *Scheduler) Submit(id int64, spec *jobspec.Jobspec) (*Job, error) {
+	return s.SubmitPriority(id, spec, 0)
+}
+
+// SubmitPriority is Submit with an explicit queue priority (higher runs
+// first; equal priorities keep submit order).
+func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int) (*Job, error) {
+	if _, dup := s.jobs[id]; dup {
+		return nil, fmt.Errorf("sched: job %d already submitted", id)
+	}
+	job := &Job{ID: id, Spec: spec, Submit: s.now, Priority: priority, State: StatePending}
+	ok, err := s.tr.MatchSatisfy(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		job.State = StateUnsatisfiable
+		s.jobs[id] = job
+		return job, nil
+	}
+	s.jobs[id] = job
+	// Insert in priority order (stable behind equal priorities).
+	i := len(s.pending)
+	for i > 0 && s.pending[i-1].Priority < priority {
+		i--
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = job
+	return job, nil
+}
+
+// Schedule runs one scheduling cycle at the current simulated time: all
+// standing reservations are dropped and the pending queue is re-planned in
+// submit order under the queue policy.
+func (s *Scheduler) Schedule() {
+	s.Cycles++
+	for id, job := range s.reserved {
+		_ = s.tr.Cancel(id)
+		job.State = StatePending
+		job.Alloc = nil
+	}
+	s.reserved = make(map[int64]*Job)
+
+	still := s.pending[:0]
+	blocked := false // FCFS: stop at first failure; EASY: head reserved
+	planned := 0
+	for _, job := range s.pending {
+		if job.State != StatePending {
+			continue
+		}
+		if s.queueDepth > 0 && planned >= s.queueDepth {
+			still = append(still, job)
+			continue
+		}
+		planned++
+		var alloc *traverser.Allocation
+		var err error
+		start := time.Now()
+		switch {
+		case s.policy == FCFS:
+			if blocked {
+				err = traverser.ErrNoMatch
+			} else {
+				alloc, err = s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+			}
+		case s.policy == EASY && blocked:
+			alloc, err = s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+		default: // Conservative always; EASY head
+			alloc, err = s.tr.MatchAllocateOrReserve(job.ID, job.Spec, s.now)
+		}
+		job.MatchDuration += time.Since(start)
+		switch {
+		case err != nil:
+			blocked = true
+			still = append(still, job)
+		case alloc.Reserved:
+			job.State = StateReserved
+			job.Alloc = alloc
+			s.reserved[job.ID] = job
+			blocked = true
+			still = append(still, job)
+		default:
+			s.start(job, alloc)
+		}
+	}
+	s.pending = still
+}
+
+// start transitions a job to running and schedules its completion.
+func (s *Scheduler) start(job *Job, alloc *traverser.Allocation) {
+	job.State = StateRunning
+	job.Alloc = alloc
+	job.StartAt = alloc.At
+	job.EndAt = alloc.At + alloc.Duration
+	heap.Push(&s.events, event{at: job.EndAt, jobID: job.ID})
+}
+
+// HasEvents reports whether completion events are pending.
+func (s *Scheduler) HasEvents() bool { return len(s.events) > 0 }
+
+// NextEventAt returns the time of the next completion event (only valid
+// when HasEvents).
+func (s *Scheduler) NextEventAt() int64 {
+	if len(s.events) == 0 {
+		return -1
+	}
+	return s.events[0].at
+}
+
+// AdvanceTo moves the simulated clock forward to t without processing
+// events; it fails if that would skip a pending completion or move
+// backwards. Use it to model job arrivals between completions.
+func (s *Scheduler) AdvanceTo(t int64) error {
+	if t < s.now {
+		return fmt.Errorf("sched: cannot move clock backwards (%d -> %d)", s.now, t)
+	}
+	if len(s.events) > 0 && s.events[0].at < t {
+		return fmt.Errorf("sched: advancing to %d would skip completion at %d", t, s.events[0].at)
+	}
+	s.now = t
+	return nil
+}
+
+// Step advances the clock to the next completion event, retires every job
+// completing at that instant, and runs a scheduling cycle. It returns
+// false when no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.complete(e.jobID)
+	for len(s.events) > 0 && s.events[0].at == s.now {
+		e := heap.Pop(&s.events).(event)
+		s.complete(e.jobID)
+	}
+	s.Schedule()
+	return true
+}
+
+func (s *Scheduler) complete(id int64) {
+	job := s.jobs[id]
+	if job == nil || job.State != StateRunning {
+		return
+	}
+	_ = s.tr.Cancel(id)
+	job.State = StateCompleted
+}
+
+// Run schedules the queue and steps the clock until every satisfiable job
+// has completed (or maxSteps cycles elapse; 0 means unbounded). It returns
+// the number of completed jobs.
+func (s *Scheduler) Run(maxSteps int) int {
+	s.Schedule()
+	steps := 0
+	for s.Step() {
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+	}
+	done := 0
+	for _, j := range s.jobs {
+		if j.State == StateCompleted {
+			done++
+		}
+	}
+	return done
+}
+
+// Counts tallies jobs per state.
+func (s *Scheduler) Counts() map[JobState]int {
+	out := make(map[JobState]int)
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}

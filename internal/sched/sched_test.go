@@ -1,0 +1,349 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+// newSched builds a scheduler over a racks×nodes×cores system.
+func newSched(t *testing.T, policy QueuePolicy, racks, nodes, cores int64) *Scheduler {
+	t.Helper()
+	g, err := grug.BuildGraph(grug.Small(racks, nodes, cores, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// nodeJob requests n whole nodes (all cores) for dur seconds.
+func nodeJob(n, cores, dur int64) *jobspec.Jobspec {
+	return jobspec.New(dur, jobspec.SlotR(n, jobspec.R("node", 1, jobspec.R("core", cores))))
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	s := newSched(t, Conservative, 1, 1, 1)
+	if _, err := New(s.tr, "bogus"); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("bogus policy: %v", err)
+	}
+}
+
+func TestConservativeBackfillTimeline(t *testing.T) {
+	// 1 rack × 2 nodes × 4 cores.
+	s := newSched(t, Conservative, 1, 2, 4)
+	// j1 takes both nodes for 100s; j2 (1 node, 50s) must wait; j3
+	// (1 node, 100s) queues behind.
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(1, 4, 50))
+	mustSubmit(t, s, 3, nodeJob(1, 4, 100))
+	s.Schedule()
+
+	j1, _ := s.Job(1)
+	j2, _ := s.Job(2)
+	j3, _ := s.Job(3)
+	if j1.State != StateRunning || j1.StartAt != 0 {
+		t.Fatalf("j1 = %v@%d", j1.State, j1.StartAt)
+	}
+	if j2.State != StateReserved || j2.Alloc.At != 100 {
+		t.Fatalf("j2 = %v@%d", j2.State, j2.Alloc.At)
+	}
+	// Conservative: j3 also holds a reservation (both nodes free at
+	// 100, so j3 runs alongside j2).
+	if j3.State != StateReserved || j3.Alloc.At != 100 {
+		t.Fatalf("j3 = %v@%d", j3.State, j3.Alloc.At)
+	}
+
+	done := s.Run(0)
+	if done != 3 {
+		t.Fatalf("completed = %d", done)
+	}
+	if j2.StartAt != 100 || j3.StartAt != 100 {
+		t.Fatalf("starts: j2=%d j3=%d", j2.StartAt, j3.StartAt)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("makespan end = %d", s.Now())
+	}
+}
+
+func TestEASYBackfillsAroundHead(t *testing.T) {
+	// 2 nodes. j1 runs on one node for 100s. j2 (head, needs both
+	// nodes) reserves at 100. j3 (1 node, 50s) backfills immediately
+	// because it completes before the head's reservation.
+	s := newSched(t, EASY, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(2, 4, 100))
+	mustSubmit(t, s, 3, nodeJob(1, 4, 50))
+	s.Schedule()
+
+	j1, _ := s.Job(1)
+	j2, _ := s.Job(2)
+	j3, _ := s.Job(3)
+	if j1.State != StateRunning {
+		t.Fatalf("j1 = %v", j1.State)
+	}
+	if j2.State != StateReserved || j2.Alloc.At != 100 {
+		t.Fatalf("j2 = %v@%d", j2.State, j2.Alloc.At)
+	}
+	if j3.State != StateRunning || j3.StartAt != 0 {
+		t.Fatalf("j3 should backfill: %v@%d", j3.State, j3.StartAt)
+	}
+	// j3 must not delay the head: j2 still starts at 100.
+	s.Run(0)
+	if j2.StartAt != 100 {
+		t.Fatalf("head delayed to %d", j2.StartAt)
+	}
+}
+
+func TestEASYDoesNotBackfillDelayingJob(t *testing.T) {
+	// Same as above but j3 runs 200s on the node j1 frees at 100 —
+	// that would delay the head, and the head's reservation spans
+	// prevent it.
+	s := newSched(t, EASY, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(2, 4, 100))
+	mustSubmit(t, s, 3, nodeJob(1, 4, 200))
+	s.Schedule()
+	j3, _ := s.Job(3)
+	if j3.State != StatePending {
+		t.Fatalf("j3 = %v, want pending", j3.State)
+	}
+	s.Run(0)
+	j2, _ := s.Job(2)
+	if j2.StartAt != 100 {
+		t.Fatalf("head start = %d", j2.StartAt)
+	}
+	if j3.StartAt < 200 {
+		t.Fatalf("j3 start = %d, want >= 200", j3.StartAt)
+	}
+}
+
+func TestFCFSNeverBackfills(t *testing.T) {
+	s := newSched(t, FCFS, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(2, 4, 100)) // blocks
+	mustSubmit(t, s, 3, nodeJob(1, 4, 50))  // would fit, must wait
+	s.Schedule()
+	j3, _ := s.Job(3)
+	if j3.State != StatePending {
+		t.Fatalf("FCFS backfilled j3: %v", j3.State)
+	}
+	done := s.Run(0)
+	if done != 3 {
+		t.Fatalf("completed = %d", done)
+	}
+	j2, _ := s.Job(2)
+	if j2.StartAt != 100 {
+		t.Fatalf("j2 start = %d", j2.StartAt)
+	}
+	if j3.StartAt < 200 {
+		t.Fatalf("j3 start = %d, want >= 200 (after j2)", j3.StartAt)
+	}
+}
+
+func TestUnsatisfiableRejectedAtSubmit(t *testing.T) {
+	s := newSched(t, Conservative, 1, 2, 4)
+	job, err := s.Submit(1, nodeJob(3, 4, 10)) // only 2 nodes exist
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateUnsatisfiable {
+		t.Fatalf("state = %v", job.State)
+	}
+	s.Schedule()
+	if c := s.Counts(); c[StateUnsatisfiable] != 1 || c[StateRunning] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestDuplicateSubmit(t *testing.T) {
+	s := newSched(t, Conservative, 1, 1, 1)
+	mustSubmit(t, s, 1, nodeJob(1, 1, 10))
+	if _, err := s.Submit(1, nodeJob(1, 1, 10)); err == nil {
+		t.Fatal("duplicate submit accepted")
+	}
+}
+
+func TestManyJobsDrainCompletely(t *testing.T) {
+	s := newSched(t, Conservative, 2, 4, 8)
+	for i := int64(1); i <= 40; i++ {
+		n := int64(1 + i%3) // 1..3 nodes
+		dur := int64(10 + (i%7)*13)
+		mustSubmit(t, s, i, nodeJob(n, 8, dur))
+	}
+	done := s.Run(0)
+	if done != 40 {
+		t.Fatalf("completed = %d, want 40; counts=%v", done, s.Counts())
+	}
+	// All planners drained: a full-system job fits right now.
+	full := nodeJob(8, 8, 10)
+	if _, err := s.tr.MatchAllocate(999, full, s.Now()); err != nil {
+		t.Fatalf("system not drained: %v", err)
+	}
+}
+
+func TestMatchDurationRecorded(t *testing.T) {
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 10))
+	s.Schedule()
+	j, _ := s.Job(1)
+	if j.MatchDuration <= 0 {
+		t.Fatal("MatchDuration not recorded")
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		StatePending: "pending", StateReserved: "reserved",
+		StateRunning: "running", StateCompleted: "completed",
+		StateUnsatisfiable: "unsatisfiable", JobState(99): "unknown",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func mustSubmit(t *testing.T, s *Scheduler, id int64, spec *jobspec.Jobspec) *Job {
+	t.Helper()
+	job, err := s.Submit(id, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestMetrics(t *testing.T) {
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100)) // both nodes [0,100)
+	mustSubmit(t, s, 2, nodeJob(1, 4, 50))  // waits until 100
+	mustSubmit(t, s, 3, nodeJob(4, 4, 50))  // unsatisfiable
+	done := s.Run(0)
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	m := s.Metrics()
+	if m.Completed != 2 || m.Unsatisfiable != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Makespan != 150 {
+		t.Fatalf("makespan = %d", m.Makespan)
+	}
+	if m.MeanWait != 50 || m.MaxWait != 100 {
+		t.Fatalf("waits = %.1f / %d", m.MeanWait, m.MaxWait)
+	}
+	// Node-seconds: j1 = 2*100, j2 = 1*50 => 250 of 2*150 = 83.3%.
+	if m.NodeSecondsUsed != 250 || m.NodeSecondsTotal != 300 {
+		t.Fatalf("node-seconds = %d/%d", m.NodeSecondsUsed, m.NodeSecondsTotal)
+	}
+	if u := m.Utilization(); u < 0.83 || u > 0.84 {
+		t.Fatalf("utilization = %f", u)
+	}
+	if s := m.String(); !strings.Contains(s, "completed=2") || !strings.Contains(s, "util=") {
+		t.Fatalf("String = %q", s)
+	}
+	if (Metrics{}).Utilization() != 0 {
+		t.Fatal("zero metrics utilization")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := newSched(t, FCFS, 1, 1, 4)
+	// Low-priority job submitted first; high-priority job jumps ahead.
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	if _, err := s.SubmitPriority(2, nodeJob(1, 4, 100), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitPriority(3, nodeJob(1, 4, 100), 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	j1, _ := s.Job(1)
+	j2, _ := s.Job(2)
+	j3, _ := s.Job(3)
+	if j2.StartAt != 0 {
+		t.Fatalf("high-priority j2 started at %d", j2.StartAt)
+	}
+	// Equal priorities keep submit order: j3 after j2.
+	if j3.StartAt != 100 {
+		t.Fatalf("j3 started at %d", j3.StartAt)
+	}
+	if j1.StartAt != 200 {
+		t.Fatalf("low-priority j1 started at %d", j1.StartAt)
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(1, 2, 4, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, Conservative, WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 (allocated) and job 2 (reserved) fill the depth-2 window,
+	// so jobs 3 and 4 are not even planned this cycle.
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(1, 4, 50))
+	mustSubmit(t, s, 3, nodeJob(1, 4, 50))
+	mustSubmit(t, s, 4, nodeJob(1, 4, 50))
+	s.Schedule()
+	j2, _ := s.Job(2)
+	j3, _ := s.Job(3)
+	j4, _ := s.Job(4)
+	if j2.State != StateReserved {
+		t.Fatalf("j2 = %v", j2.State)
+	}
+	if j3.State != StatePending || j4.State != StatePending || j4.Alloc != nil {
+		t.Fatalf("beyond-depth jobs planned: %v %v", j3.State, j4.State)
+	}
+	// The run still drains everything.
+	if done := s.Run(0); done != 4 {
+		t.Fatalf("completed = %d", done)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	s := newSched(t, Conservative, 1, 1, 4)
+	if s.HasEvents() || s.NextEventAt() != -1 {
+		t.Fatal("fresh scheduler has no events")
+	}
+	if err := s.AdvanceTo(100); err != nil || s.Now() != 100 {
+		t.Fatalf("advance: %v now=%d", err, s.Now())
+	}
+	if err := s.AdvanceTo(50); err == nil {
+		t.Fatal("backwards advance accepted")
+	}
+	mustSubmit(t, s, 1, nodeJob(1, 4, 10))
+	s.Schedule()
+	if !s.HasEvents() || s.NextEventAt() != 110 {
+		t.Fatalf("event at %d", s.NextEventAt())
+	}
+	if err := s.AdvanceTo(200); err == nil {
+		t.Fatal("advance past completion accepted")
+	}
+	if err := s.AdvanceTo(105); err != nil {
+		t.Fatalf("advance before completion: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package simcli implements the fluxion-sim driver: it replays a job
+// trace through the queuing scheduler on a GRUG-generated system and
+// reports the per-job timeline plus run metrics. It is the command-line
+// face of internal/sched, factored out of cmd/fluxion-sim for testing.
+package simcli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/trace"
+	"fluxion/internal/traverser"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Recipe      *grug.Recipe
+	PruneSpec   resgraph.PruneSpec
+	MatchPolicy string
+	QueuePolicy sched.QueuePolicy
+	// QueueDepth bounds how many pending jobs each scheduling cycle
+	// plans (0 = unbounded).
+	QueueDepth int
+	// Timeline prints one line per job when true.
+	Timeline bool
+	// MaxSteps bounds the event loop (0 = drain completely).
+	MaxSteps int
+}
+
+// Result carries the outcome for programmatic callers.
+type Result struct {
+	Completed int
+	Metrics   sched.Metrics
+	Scheduler *sched.Scheduler
+}
+
+// Run replays the trace and writes a report to out.
+func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
+	if cfg.Recipe == nil {
+		return nil, fmt.Errorf("simcli: recipe is required")
+	}
+	spec := cfg.PruneSpec
+	if spec == nil {
+		spec = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
+	}
+	g, err := grug.BuildGraph(cfg.Recipe, 0, 1<<40, spec)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := match.Lookup(cfg.MatchPolicy)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := traverser.New(g, policy)
+	if err != nil {
+		return nil, err
+	}
+	qp := cfg.QueuePolicy
+	if qp == "" {
+		qp = sched.Conservative
+	}
+	var sopts []sched.SchedOption
+	if cfg.QueueDepth > 0 {
+		sopts = append(sopts, sched.WithQueueDepth(cfg.QueueDepth))
+	}
+	s, err := sched.New(tr, qp, sopts...)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(out, "system: %s\n", g.Stats())
+	fmt.Fprintf(out, "policies: match=%s queue=%s; %d jobs\n", policy.Name(), qp, len(jobs))
+
+	// Jobs are submitted at their trace submit times: arrivals and
+	// completions interleave as discrete events.
+	start := time.Now()
+	i := 0
+	steps := 0
+	for i < len(jobs) || s.HasEvents() {
+		if i < len(jobs) && jobs[i].Submit <= s.Now() {
+			// Submit everything due and re-plan the queue.
+			for i < len(jobs) && jobs[i].Submit <= s.Now() {
+				if _, err := s.SubmitPriority(jobs[i].ID, jobs[i].Jobspec(), jobs[i].Priority); err != nil {
+					fmt.Fprintf(out, "job %d rejected: %v\n", jobs[i].ID, err)
+				}
+				i++
+			}
+			s.Schedule()
+			continue
+		}
+		// Next event: the earlier of the next arrival and the next
+		// completion.
+		if i < len(jobs) && (!s.HasEvents() || jobs[i].Submit < s.NextEventAt()) {
+			if err := s.AdvanceTo(jobs[i].Submit); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !s.Step() {
+			break
+		}
+		steps++
+		if cfg.MaxSteps > 0 && steps >= cfg.MaxSteps {
+			break
+		}
+	}
+	wall := time.Since(start)
+
+	if cfg.Timeline {
+		printTimeline(out, s, jobs)
+	}
+	m := s.Metrics()
+	fmt.Fprintf(out, "metrics: %s\n", m)
+	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), s.Cycles)
+	return &Result{Completed: m.Completed, Metrics: m, Scheduler: s}, nil
+}
+
+func printTimeline(out io.Writer, s *sched.Scheduler, jobs []trace.Job) {
+	ids := make([]int64, 0, len(jobs))
+	for _, j := range jobs {
+		ids = append(ids, j.ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	fmt.Fprintf(out, "%6s %8s %10s %10s %10s %8s %s\n", "job", "nodes", "submit", "start", "end", "wait", "state")
+	for _, id := range ids {
+		job, ok := s.Job(id)
+		if !ok {
+			continue
+		}
+		nodes := int64(0)
+		if job.Alloc != nil {
+			nodes = int64(len(job.Alloc.Nodes()))
+		}
+		wait := job.StartAt - job.Submit
+		if job.State != sched.StateCompleted && job.State != sched.StateRunning {
+			wait = 0
+		}
+		fmt.Fprintf(out, "%6d %8d %10d %10d %10d %8d %s\n",
+			id, nodes, job.Submit, job.StartAt, job.EndAt, wait, job.State)
+	}
+}

@@ -1,0 +1,138 @@
+package simcli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/sched"
+	"fluxion/internal/trace"
+)
+
+func smallRecipe() *grug.Recipe { return grug.Small(1, 4, 8, 0, 0) }
+
+func TestRunSnapshotTrace(t *testing.T) {
+	jobs := []trace.Job{
+		{ID: 1, Nodes: 4, CoresPerNode: 8, Duration: 100},
+		{ID: 2, Nodes: 2, CoresPerNode: 8, Duration: 50},
+		{ID: 3, Nodes: 8, CoresPerNode: 8, Duration: 50}, // unsatisfiable
+	}
+	var out bytes.Buffer
+	res, err := Run(Config{Recipe: smallRecipe(), Timeline: true}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d\n%s", res.Completed, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"system:", "metrics:", "completed=2", "unsatisfiable=1", "wall:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The timeline shows job 2 starting at 100 (after job 1 drains).
+	j2, _ := res.Scheduler.Job(2)
+	if j2.StartAt != 100 {
+		t.Fatalf("j2 start = %d", j2.StartAt)
+	}
+}
+
+func TestRunTimedArrivals(t *testing.T) {
+	// Job 2 arrives at t=30 while job 1 runs; job 3 arrives after
+	// everything drained (clock must jump forward).
+	jobs := []trace.Job{
+		{ID: 1, Submit: 0, Nodes: 4, CoresPerNode: 8, Duration: 100},
+		{ID: 2, Submit: 30, Nodes: 4, CoresPerNode: 8, Duration: 50},
+		{ID: 3, Submit: 500, Nodes: 1, CoresPerNode: 8, Duration: 10},
+	}
+	var out bytes.Buffer
+	res, err := Run(Config{Recipe: smallRecipe()}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed = %d\n%s", res.Completed, out.String())
+	}
+	j2, _ := res.Scheduler.Job(2)
+	if j2.Submit != 30 || j2.StartAt != 100 {
+		t.Fatalf("j2 = %+v", j2)
+	}
+	j3, _ := res.Scheduler.Job(3)
+	if j3.Submit != 500 || j3.StartAt != 500 {
+		t.Fatalf("j3 = %+v", j3)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	jobs := trace.Synthesize(20, 4, 8, 3)
+	for _, qp := range []sched.QueuePolicy{sched.FCFS, sched.EASY, sched.Conservative} {
+		var out bytes.Buffer
+		res, err := Run(Config{Recipe: smallRecipe(), QueuePolicy: qp, MatchPolicy: "low"}, jobs, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", qp, err)
+		}
+		if res.Completed != 20 {
+			t.Fatalf("%s: completed = %d", qp, res.Completed)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := Run(Config{}, nil, &out); err == nil {
+		t.Fatal("missing recipe accepted")
+	}
+	if _, err := Run(Config{Recipe: smallRecipe(), MatchPolicy: "bogus"}, nil, &out); err == nil {
+		t.Fatal("bad match policy accepted")
+	}
+	if _, err := Run(Config{Recipe: smallRecipe(), QueuePolicy: "bogus"}, nil, &out); err == nil {
+		t.Fatal("bad queue policy accepted")
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	jobs := trace.Synthesize(30, 4, 8, 5)
+	var out bytes.Buffer
+	res, err := Run(Config{Recipe: smallRecipe(), MaxSteps: 1}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed >= 30 {
+		t.Fatalf("MaxSteps ignored: completed = %d", res.Completed)
+	}
+}
+
+// TestSoak runs a sizeable trace to completion under queue-depth-limited
+// conservative backfilling and checks the invariants a long-lived
+// scheduler must keep: everything completes and the store fully drains.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	jobs := trace.Synthesize(300, 32, 16, 99)
+	var out bytes.Buffer
+	res, err := Run(Config{
+		Recipe:      grug.Small(8, 8, 16, 0, 0), // 64 nodes
+		QueuePolicy: sched.Conservative,
+		MatchPolicy: "first",
+		QueueDepth:  16,
+	}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 300 {
+		t.Fatalf("completed = %d\n%s", res.Completed, out.String())
+	}
+	m := res.Metrics
+	if m.Utilization() <= 0 || m.Makespan <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// The store drained: every planner is empty again.
+	for _, v := range res.Scheduler.Jobs() {
+		if v.State != sched.StateCompleted && v.State != sched.StateUnsatisfiable {
+			t.Fatalf("job %d stuck in %v", v.ID, v.State)
+		}
+	}
+}

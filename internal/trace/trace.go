@@ -1,0 +1,134 @@
+// Package trace defines the job-trace file format consumed by fluxion-sim:
+// one JSON object per line, each describing a whole-node job —
+//
+//	{"id":1,"submit":0,"nodes":4,"cores_per_node":36,"duration":600,"priority":0}
+//
+// The shorthand fields expand to a canonical jobspec (exclusive nodes with
+// cores, and optionally memory/GPUs per node). Traces are the interchange
+// between the synthetic workload generator and the simulator, standing in
+// for production queue snapshots like the paper's quartz trace (§6.3).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/workload"
+)
+
+// ErrFormat is wrapped by all decode errors.
+var ErrFormat = errors.New("trace: bad format")
+
+// Job is one trace record.
+type Job struct {
+	ID           int64 `json:"id"`
+	Submit       int64 `json:"submit"`
+	Nodes        int64 `json:"nodes"`
+	CoresPerNode int64 `json:"cores_per_node"`
+	MemPerNode   int64 `json:"mem_per_node,omitempty"`
+	GPUsPerNode  int64 `json:"gpus_per_node,omitempty"`
+	Duration     int64 `json:"duration"`
+	Priority     int   `json:"priority,omitempty"`
+}
+
+// Validate checks the record for schedulable values.
+func (j Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("%w: job id %d", ErrFormat, j.ID)
+	case j.Nodes <= 0:
+		return fmt.Errorf("%w: job %d: nodes %d", ErrFormat, j.ID, j.Nodes)
+	case j.CoresPerNode <= 0:
+		return fmt.Errorf("%w: job %d: cores_per_node %d", ErrFormat, j.ID, j.CoresPerNode)
+	case j.Duration <= 0:
+		return fmt.Errorf("%w: job %d: duration %d", ErrFormat, j.ID, j.Duration)
+	case j.Submit < 0:
+		return fmt.Errorf("%w: job %d: submit %d", ErrFormat, j.ID, j.Submit)
+	}
+	return nil
+}
+
+// Jobspec expands the record to its canonical request graph.
+func (j Job) Jobspec() *jobspec.Jobspec {
+	per := []*jobspec.Resource{jobspec.R("core", j.CoresPerNode)}
+	if j.MemPerNode > 0 {
+		per = append(per, jobspec.R("memory", j.MemPerNode))
+	}
+	if j.GPUsPerNode > 0 {
+		per = append(per, jobspec.R("gpu", j.GPUsPerNode))
+	}
+	return jobspec.New(j.Duration, jobspec.RX("node", j.Nodes, per...))
+}
+
+// Read parses a JSONL trace, validating every record and requiring unique
+// IDs and non-decreasing submit times.
+func Read(r io.Reader) ([]Job, error) {
+	var out []Job
+	seen := make(map[int64]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	lastSubmit := int64(0)
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(text, &j); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("%w: line %d: duplicate job id %d", ErrFormat, line, j.ID)
+		}
+		seen[j.ID] = true
+		if j.Submit < lastSubmit {
+			return nil, fmt.Errorf("%w: line %d: submit times must be non-decreasing", ErrFormat, line)
+		}
+		lastSubmit = j.Submit
+		out = append(out, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write renders a trace as JSONL.
+func Write(w io.Writer, jobs []Job) error {
+	enc := json.NewEncoder(w)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Synthesize converts the workload generator's output (paper §6.3
+// substitute trace) into trace records with all jobs submitted at t=0, as
+// in a queue snapshot.
+func Synthesize(n int, maxNodes, coresPerNode, seed int64) []Job {
+	src := workload.GenerateTrace(n, maxNodes, seed)
+	out := make([]Job, len(src))
+	for i, tj := range src {
+		out[i] = Job{
+			ID:           tj.ID,
+			Nodes:        tj.Nodes,
+			CoresPerNode: coresPerNode,
+			Duration:     tj.Duration,
+		}
+	}
+	return out
+}

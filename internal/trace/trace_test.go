@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 0, Nodes: 4, CoresPerNode: 36, Duration: 600},
+		{ID: 2, Submit: 10, Nodes: 1, CoresPerNode: 36, MemPerNode: 64, GPUsPerNode: 2, Duration: 60, Priority: 5},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, jobs) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, jobs)
+	}
+}
+
+func TestJobspecExpansion(t *testing.T) {
+	j := Job{ID: 1, Nodes: 2, CoresPerNode: 8, MemPerNode: 32, GPUsPerNode: 1, Duration: 300}
+	js := j.Jobspec()
+	if err := js.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := js.TotalCounts()
+	want := map[string]int64{"node": 2, "core": 16, "memory": 64, "gpu": 2}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	if js.Duration != 300 || !js.Resources[0].Exclusive {
+		t.Fatalf("jobspec = %+v", js.Resources[0])
+	}
+	// Minimal job: no memory/gpu vertices.
+	js2 := Job{ID: 2, Nodes: 1, CoresPerNode: 4, Duration: 10}.Jobspec()
+	if len(js2.Resources[0].With) != 1 {
+		t.Fatalf("minimal with = %+v", js2.Resources[0].With)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad json", "not json\n"},
+		{"zero id", `{"id":0,"nodes":1,"cores_per_node":1,"duration":1}` + "\n"},
+		{"zero nodes", `{"id":1,"nodes":0,"cores_per_node":1,"duration":1}` + "\n"},
+		{"zero cores", `{"id":1,"nodes":1,"cores_per_node":0,"duration":1}` + "\n"},
+		{"zero duration", `{"id":1,"nodes":1,"cores_per_node":1,"duration":0}` + "\n"},
+		{"negative submit", `{"id":1,"submit":-5,"nodes":1,"cores_per_node":1,"duration":1}` + "\n"},
+		{"dup id", `{"id":1,"nodes":1,"cores_per_node":1,"duration":1}
+{"id":1,"nodes":1,"cores_per_node":1,"duration":1}
+`},
+		{"decreasing submit", `{"id":1,"submit":10,"nodes":1,"cores_per_node":1,"duration":1}
+{"id":2,"submit":5,"nodes":1,"cores_per_node":1,"duration":1}
+`},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	// Blank lines are skipped.
+	jobs, err := Read(strings.NewReader("\n" + `{"id":1,"nodes":1,"cores_per_node":1,"duration":1}` + "\n\n"))
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("blank lines: %v, %v", jobs, err)
+	}
+}
+
+func TestWriteValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Job{{ID: 1, Nodes: 0, CoresPerNode: 1, Duration: 1}}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("Write invalid: %v", err)
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	jobs := Synthesize(50, 16, 36, 7)
+	if len(jobs) != 50 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Submit != 0 || j.CoresPerNode != 36 || j.Nodes > 16 {
+			t.Fatalf("job = %+v", j)
+		}
+	}
+	again := Synthesize(50, 16, 36, 7)
+	if !reflect.DeepEqual(jobs, again) {
+		t.Fatal("synthesis not deterministic")
+	}
+}

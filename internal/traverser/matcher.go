@@ -1,0 +1,266 @@
+package traverser
+
+import (
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+)
+
+// matcher holds the state of one match attempt at a fixed (at, duration)
+// window. Spans are committed eagerly and rolled back on failure, so
+// partially matched slots never leak.
+type matcher struct {
+	t     *Traverser
+	at    int64
+	dur   int64
+	dry   bool // capacity-only satisfiability check: no spans
+	alloc *Allocation
+
+	// tentative tracks per-vertex units claimed during a dry run, since
+	// no planner spans record them.
+	tentative map[int64]int64
+}
+
+// availUnits returns the units of v available throughout the window.
+func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
+	if m.dry {
+		return v.Size - m.tentative[v.UniqID]
+	}
+	avail, err := v.Planner().AvailDuring(m.at, m.dur)
+	if err != nil {
+		return 0
+	}
+	return avail
+}
+
+// claim plans units on v for the window and records the selection.
+func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
+	va := VertexAlloc{V: v, Units: units}
+	if units > 0 {
+		if m.dry {
+			m.tentative[v.UniqID] += units
+		} else {
+			id, err := v.Planner().AddSpan(m.at, m.dur, units)
+			if err != nil {
+				return false
+			}
+			va.span = id
+		}
+	}
+	m.alloc.Vertices = append(m.alloc.Vertices, va)
+	return true
+}
+
+// rollbackTo undoes every claim past mark (an index into alloc.Vertices).
+func (m *matcher) rollbackTo(mark int) {
+	for _, va := range m.alloc.Vertices[mark:] {
+		if va.Units == 0 {
+			continue
+		}
+		if m.dry {
+			m.tentative[va.V.UniqID] -= va.Units
+		} else {
+			_ = va.V.Planner().RemoveSpan(va.span)
+		}
+	}
+	m.alloc.Vertices = m.alloc.Vertices[:mark]
+}
+
+// matchForest satisfies every request in reqs under vertex v.
+func (m *matcher) matchForest(v *resgraph.Vertex, reqs []*jobspec.Resource, excl bool) bool {
+	for _, req := range reqs {
+		if !m.matchRequest(v, req, excl) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchRequest satisfies one request vertex under v.
+func (m *matcher) matchRequest(v *resgraph.Vertex, req *jobspec.Resource, excl bool) bool {
+	if req.Type == jobspec.Slot {
+		// A slot is a transparent grouping: its shape is matched
+		// Count times under the current vertex, each instance
+		// exclusively (paper §4.2). Moldable slots accept any
+		// instance count down to MinCount.
+		for i := int64(0); i < req.Count; i++ {
+			mark := len(m.alloc.Vertices)
+			if !m.matchForest(v, req.With, true) {
+				m.rollbackTo(mark)
+				return i >= req.MinCount()
+			}
+		}
+		return true
+	}
+
+	need := instanceNeeds(req)
+	var cands []*resgraph.Vertex
+	if v.Type == req.Type {
+		// Self-match (e.g. a cluster-typed request at the root).
+		cands = []*resgraph.Vertex{v}
+	} else {
+		cands = m.collect(v, req.Type, need)
+	}
+	needed := req.Count
+	m.t.policy.Order(cands, needed, func(c *resgraph.Vertex) bool {
+		return m.availUnits(c) > 0
+	})
+	for _, c := range cands {
+		if needed <= 0 {
+			break
+		}
+		needed -= m.tryCandidate(c, req, excl, needed)
+	}
+	// Moldable requests accept any grant down to MinCount.
+	return needed <= 0 || req.Count-needed >= req.MinCount()
+}
+
+// tryCandidate attempts to take (part of) req from candidate c, returning
+// the units of req.Type it contributed (0 on failure). Claims made for a
+// failed candidate are rolled back before returning.
+func (m *matcher) tryCandidate(c *resgraph.Vertex, req *jobspec.Resource, excl bool, needed int64) int64 {
+	if c.Status != resgraph.StatusUp {
+		return 0
+	}
+	exclusive := excl || req.Exclusive
+	avail := m.availUnits(c)
+
+	var units, contribution int64
+	if len(req.With) > 0 {
+		// Structural vertex: it hosts a nested shape. Exclusive use
+		// consumes the whole pool; shared use grants traversal only
+		// but requires the vertex not to be exclusively taken.
+		if exclusive {
+			if avail < c.Size {
+				return 0
+			}
+			units = c.Size
+		} else {
+			if avail <= 0 {
+				return 0
+			}
+			units = 0
+		}
+		contribution = 1
+	} else {
+		// Leaf pool: take up to `needed` units. Pool units are
+		// inherently dedicated, so exclusivity adds nothing for
+		// size>1 pools; for singletons it is the whole vertex
+		// either way.
+		units = min64(needed, avail)
+		if units <= 0 {
+			return 0
+		}
+		contribution = units
+	}
+
+	// The candidate's own pruning filter must clear the nested shape's
+	// aggregate needs before we descend (paper §3.4).
+	if !m.dry && len(req.With) > 0 && !m.filterAdmits(c, instanceNeeds(req)) {
+		return 0
+	}
+
+	mark := len(m.alloc.Vertices)
+	if len(req.With) > 0 && !m.matchForest(c, req.With, exclusive) {
+		m.rollbackTo(mark)
+		return 0
+	}
+	if !m.claim(c, units) {
+		m.rollbackTo(mark)
+		return 0
+	}
+	return contribution
+}
+
+// collect gathers candidate vertices of the requested type beneath v,
+// walking the subsystem's edges through transparent intermediate levels.
+// Descent is pruned at vertices that are exclusively allocated or whose
+// pruning filter cannot cover one instance's aggregate needs.
+func (m *matcher) collect(v *resgraph.Vertex, typ string, need map[string]int64) []*resgraph.Vertex {
+	var out []*resgraph.Vertex
+	var walk func(x *resgraph.Vertex)
+	walk = func(x *resgraph.Vertex) {
+		x.EachChild(m.t.subsystem, func(c *resgraph.Vertex) bool {
+			if c.Status != resgraph.StatusUp {
+				return true
+			}
+			if c.Type == typ {
+				out = append(out, c)
+				return true
+			}
+			if len(c.Children(m.t.subsystem)) == 0 {
+				return true // leaf of another type
+			}
+			if !m.dry {
+				// Exclusivity prune: a fully planned structural
+				// vertex hides its subtree.
+				if m.availUnits(c) <= 0 {
+					return true
+				}
+				if !m.filterAdmits(c, need) {
+					return true
+				}
+			}
+			walk(c)
+			return true
+		})
+	}
+	walk(v)
+	return out
+}
+
+// filterAdmits checks c's pruning filter (if any) against the aggregate
+// needs of one request instance.
+func (m *matcher) filterAdmits(c *resgraph.Vertex, need map[string]int64) bool {
+	f := c.Filter()
+	if f == nil {
+		return true
+	}
+	for rt, n := range need {
+		p := f.Planner(rt)
+		if p == nil {
+			continue // filter does not track this type
+		}
+		if !p.CanFit(m.at, m.dur, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// instanceNeeds returns the aggregate units per type one instance of req
+// requires: one unit of req.Type (or the nested shape for slots) plus its
+// subtree multiplied down.
+func instanceNeeds(req *jobspec.Resource) map[string]int64 {
+	agg := make(map[string]int64)
+	// Pruning is an over-approximation: moldable requests count at
+	// their minimum so a subtree able to host the smallest acceptable
+	// instance is never pruned.
+	var walk func(r *jobspec.Resource, mult int64)
+	walk = func(r *jobspec.Resource, mult int64) {
+		n := mult * r.MinCount()
+		if r.Type != jobspec.Slot {
+			agg[r.Type] += n
+		}
+		for _, c := range r.With {
+			walk(c, n)
+		}
+	}
+	if req.Type == jobspec.Slot {
+		for _, c := range req.With {
+			walk(c, 1)
+		}
+		return agg
+	}
+	agg[req.Type] = 1
+	for _, c := range req.With {
+		walk(c, 1)
+	}
+	return agg
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,502 @@
+// Package traverser implements Fluxion's depth-first-and-up (DFU) graph
+// traversal (paper §3.2): it matches an abstract resource request graph
+// (jobspec) against the resource graph store, scoring candidates through a
+// match policy, pruning descent with aggregate filters (§3.4), and — once
+// the best-matching subgraph is selected — propagating the allocation to
+// ancestor pruning filters via the Scheduler-Driven Filter Update (SDFU).
+//
+// The three match operations mirror flux-sched:
+//
+//   - MatchAllocate: allocate at a given time, or fail;
+//   - MatchAllocateOrReserve: allocate now or reserve the earliest future
+//     time the request fits (the building block of backfilling);
+//   - MatchSatisfy: check whether the request could ever be satisfied on
+//     an empty system (capacity-only).
+package traverser
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/planner"
+	"fluxion/internal/resgraph"
+)
+
+// Errors returned by traverser operations.
+var (
+	// ErrNoMatch reports that the request cannot be satisfied at the
+	// requested time (MatchAllocate) or at any future candidate time
+	// (MatchAllocateOrReserve).
+	ErrNoMatch = errors.New("traverser: no matching resources")
+	// ErrUnsatisfiable reports that the request exceeds the system's
+	// total capacity and can never be satisfied.
+	ErrUnsatisfiable = errors.New("traverser: request unsatisfiable")
+	// ErrExists reports a duplicate job ID.
+	ErrExists = errors.New("traverser: job already exists")
+	// ErrUnknownJob reports an unknown job ID.
+	ErrUnknownJob = errors.New("traverser: unknown job")
+	// ErrNoFilter reports a reservation attempt on a graph whose root
+	// carries no pruning filter to enumerate candidate times.
+	ErrNoFilter = errors.New("traverser: reservation requires a root pruning filter")
+)
+
+// Option configures a Traverser.
+type Option func(*Traverser)
+
+// WithSubsystem selects the subsystem to walk (default containment).
+func WithSubsystem(name string) Option {
+	return func(t *Traverser) { t.subsystem = name }
+}
+
+// WithMaxReserveDepth bounds how many candidate times
+// MatchAllocateOrReserve probes before giving up (default 4096).
+func WithMaxReserveDepth(n int) Option {
+	return func(t *Traverser) { t.maxReserveDepth = n }
+}
+
+// Traverser matches jobspecs against a finalized resource graph.
+type Traverser struct {
+	g               *resgraph.Graph
+	policy          match.Policy
+	subsystem       string
+	maxReserveDepth int
+
+	allocs map[int64]*Allocation
+}
+
+// New creates a traverser over g using the given match policy.
+func New(g *resgraph.Graph, policy match.Policy, opts ...Option) (*Traverser, error) {
+	if g == nil || !g.Finalized() {
+		return nil, fmt.Errorf("traverser: graph must be finalized")
+	}
+	if policy == nil {
+		policy = match.First{}
+	}
+	t := &Traverser{
+		g:               g,
+		policy:          policy,
+		subsystem:       resgraph.Containment,
+		maxReserveDepth: 4096,
+		allocs:          make(map[int64]*Allocation),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.g.Root(t.subsystem) == nil {
+		return nil, fmt.Errorf("traverser: subsystem %q has no root", t.subsystem)
+	}
+	return t, nil
+}
+
+// Graph returns the underlying store.
+func (t *Traverser) Graph() *resgraph.Graph { return t.g }
+
+// Policy returns the match policy in use.
+func (t *Traverser) Policy() match.Policy { return t.policy }
+
+// VertexAlloc records one selected vertex and the units planned on it.
+type VertexAlloc struct {
+	V     *resgraph.Vertex
+	Units int64
+	span  int64 // planner span ID; 0 when Units == 0
+}
+
+type filterSpan struct {
+	owner *resgraph.Vertex
+	id    int64 // Multi span ID
+}
+
+// Allocation is the selected resource set emitted for a matched job
+// (paper §3.2 step 7).
+type Allocation struct {
+	JobID    int64
+	At       int64
+	Duration int64
+	// Reserved is true when the allocation is a future reservation
+	// rather than an immediate allocation.
+	Reserved bool
+	// Vertices lists the selected vertices; entries with Units 0 are
+	// shared structural vertices granting traversal only.
+	Vertices []VertexAlloc
+
+	filterSpans []filterSpan
+}
+
+// Describe renders the selected resource set, one "path[units]" per
+// consuming vertex, sorted by path.
+func (a *Allocation) Describe() string {
+	parts := make([]string, 0, len(a.Vertices))
+	for _, va := range a.Vertices {
+		if va.Units > 0 {
+			parts = append(parts, fmt.Sprintf("%s[%d]", va.V.Path(), va.Units))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Nodes returns the distinct node-type vertices granted to the job,
+// including shared structural nodes.
+func (a *Allocation) Nodes() []*resgraph.Vertex {
+	var out []*resgraph.Vertex
+	seen := make(map[int64]bool)
+	for _, va := range a.Vertices {
+		if va.V.Type == "node" && !seen[va.V.UniqID] {
+			seen[va.V.UniqID] = true
+			out = append(out, va.V)
+		}
+	}
+	return out
+}
+
+// effectiveDuration clamps a jobspec duration (0 = unlimited) to the
+// planner horizon starting at `at`.
+func (t *Traverser) effectiveDuration(js *jobspec.Jobspec, at int64) int64 {
+	max := t.g.Base() + t.g.Horizon() - at
+	if js.Duration <= 0 || js.Duration > max {
+		return max
+	}
+	return js.Duration
+}
+
+// MatchAllocate matches js at time `at` and commits the allocation under
+// jobID. It fails with ErrNoMatch when the system cannot host the request
+// at that time.
+func (t *Traverser) MatchAllocate(jobID int64, js *jobspec.Jobspec, at int64) (*Allocation, error) {
+	if _, dup := t.allocs[jobID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	if err := js.Validate(); err != nil {
+		return nil, err
+	}
+	alloc, err := t.tryMatch(jobID, js, at, false)
+	if err != nil {
+		return nil, err
+	}
+	t.allocs[jobID] = alloc
+	return alloc, nil
+}
+
+// MatchAllocateOrReserve matches js at time `now`, or reserves the
+// earliest future time the request fits (paper §3.4: the root filter's
+// PlannerMulti enumerates candidate times, Figure 2).
+func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now int64) (*Allocation, error) {
+	if _, dup := t.allocs[jobID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	if err := js.Validate(); err != nil {
+		return nil, err
+	}
+	if alloc, err := t.tryMatch(jobID, js, now, false); err == nil {
+		t.allocs[jobID] = alloc
+		return alloc, nil
+	}
+	root := t.g.Root(t.subsystem)
+	rf := root.Filter()
+	if rf == nil {
+		return nil, ErrNoFilter
+	}
+	counts := trackedCounts(js, rf)
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("%w: root filter tracks none of the requested types", ErrNoFilter)
+	}
+	dur := t.effectiveDuration(js, now)
+	after := now
+	for i := 0; i < t.maxReserveDepth; i++ {
+		cand, err := rf.AvailPointTimeAfter(after, dur, counts)
+		if err != nil {
+			return nil, fmt.Errorf("%w: no candidate reservation time: %v", ErrNoMatch, err)
+		}
+		if alloc, err := t.tryMatch(jobID, js, cand, false); err == nil {
+			alloc.Reserved = true
+			t.allocs[jobID] = alloc
+			return alloc, nil
+		}
+		after = cand
+	}
+	return nil, fmt.Errorf("%w: gave up after %d candidate times", ErrNoMatch, t.maxReserveDepth)
+}
+
+// MatchSatisfy reports whether js could ever be satisfied by the system,
+// ignoring current allocations (capacity-only check).
+func (t *Traverser) MatchSatisfy(js *jobspec.Jobspec) (bool, error) {
+	if err := js.Validate(); err != nil {
+		return false, err
+	}
+	_, err := t.tryMatch(0, js, t.g.Base(), true)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNoMatch):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// trackedCounts restricts a jobspec's total counts to the types the root
+// filter tracks.
+func trackedCounts(js *jobspec.Jobspec, rf *planner.Multi) map[string]int64 {
+	counts := js.TotalCounts()
+	out := make(map[string]int64)
+	for _, rt := range rf.Types() {
+		if n := counts[rt]; n > 0 {
+			out[rt] = n
+		}
+	}
+	return out
+}
+
+// Cancel releases all resources held (or reserved) by jobID.
+func (t *Traverser) Cancel(jobID int64) error {
+	alloc, ok := t.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
+	}
+	delete(t.allocs, jobID)
+	var firstErr error
+	for _, va := range alloc.Vertices {
+		if va.Units == 0 {
+			continue
+		}
+		if err := va.V.Planner().RemoveSpan(va.span); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, fs := range alloc.filterSpans {
+		if err := fs.owner.Filter().RemoveSpan(fs.id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Grant names one vertex grant for Reinstall: the vertex's containment
+// path and the units planned on it (0 for shared structural vertices).
+type Grant struct {
+	Path  string `json:"path"`
+	Units int64  `json:"units"`
+}
+
+// Grants renders an allocation's selections as path/unit pairs, the
+// serializable form consumed by Reinstall.
+func (a *Allocation) Grants() []Grant {
+	out := make([]Grant, 0, len(a.Vertices))
+	for _, va := range a.Vertices {
+		out = append(out, Grant{Path: va.V.Path(), Units: va.Units})
+	}
+	return out
+}
+
+// Reinstall re-creates an allocation from its serialized grants without
+// matching — the restore path for checkpointed scheduler state. The grant
+// windows must still fit (a conflicting live allocation fails the call
+// atomically), and ancestor filters are updated exactly as a fresh match
+// would have (SDFU).
+func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, grants []Grant) (*Allocation, error) {
+	if _, dup := t.allocs[jobID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("%w: duration %d", ErrNoMatch, duration)
+	}
+	alloc := &Allocation{JobID: jobID, At: at, Duration: duration, Reserved: reserved}
+	rollback := func() {
+		for _, va := range alloc.Vertices {
+			if va.Units > 0 {
+				_ = va.V.Planner().RemoveSpan(va.span)
+			}
+		}
+	}
+	for _, gr := range grants {
+		v := t.g.ByPath(gr.Path)
+		if v == nil {
+			rollback()
+			return nil, fmt.Errorf("%w: no vertex at %q", ErrNoMatch, gr.Path)
+		}
+		va := VertexAlloc{V: v, Units: gr.Units}
+		if gr.Units > 0 {
+			id, err := v.Planner().AddSpan(at, duration, gr.Units)
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("%w: %q: %v", ErrNoMatch, gr.Path, err)
+			}
+			va.span = id
+		}
+		alloc.Vertices = append(alloc.Vertices, va)
+	}
+	if err := t.updateFilters(alloc); err != nil {
+		rollback()
+		return nil, err
+	}
+	t.allocs[jobID] = alloc
+	return alloc, nil
+}
+
+// Release shrinks a malleable job (paper §5.5): the grants whose vertex
+// paths appear in paths are removed from the job's allocation and their
+// capacity freed, while the rest of the allocation stays intact. Ancestor
+// pruning filters are rebuilt from the remaining grants. Releasing every
+// consuming vertex is equivalent to Cancel.
+func (t *Traverser) Release(jobID int64, paths []string) error {
+	alloc, ok := t.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
+	}
+	drop := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		drop[p] = true
+	}
+	// Validate first so a bad path changes nothing.
+	matched := make(map[string]bool, len(paths))
+	for _, va := range alloc.Vertices {
+		if drop[va.V.Path()] {
+			matched[va.V.Path()] = true
+		}
+	}
+	for _, p := range paths {
+		if !matched[p] {
+			return fmt.Errorf("%w: job %d holds nothing at %q", ErrUnknownJob, jobID, p)
+		}
+	}
+	kept := alloc.Vertices[:0]
+	remaining := int64(0)
+	for _, va := range alloc.Vertices {
+		if drop[va.V.Path()] {
+			if va.Units > 0 {
+				if err := va.V.Planner().RemoveSpan(va.span); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		kept = append(kept, va)
+		remaining += va.Units
+	}
+	alloc.Vertices = kept
+	// Rebuild the filter spans from the surviving grants (SDFU over the
+	// reduced selection).
+	for _, fs := range alloc.filterSpans {
+		if err := fs.owner.Filter().RemoveSpan(fs.id); err != nil {
+			return err
+		}
+	}
+	alloc.filterSpans = nil
+	if remaining == 0 && len(alloc.Vertices) == 0 {
+		delete(t.allocs, jobID)
+		return nil
+	}
+	return t.updateFilters(alloc)
+}
+
+// Info returns the allocation for jobID.
+func (t *Traverser) Info(jobID int64) (*Allocation, bool) {
+	a, ok := t.allocs[jobID]
+	return a, ok
+}
+
+// Jobs returns all live job IDs in ascending order.
+func (t *Traverser) Jobs() []int64 {
+	out := make([]int64, 0, len(t.allocs))
+	for id := range t.allocs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// tryMatch runs one full match attempt at time `at`. On success the
+// vertex spans are committed and ancestor filters updated (SDFU); on
+// failure everything is rolled back and ErrNoMatch returned.
+func (t *Traverser) tryMatch(jobID int64, js *jobspec.Jobspec, at int64, dry bool) (*Allocation, error) {
+	dur := t.effectiveDuration(js, at)
+	if dur <= 0 {
+		return nil, fmt.Errorf("%w: time %d outside horizon", ErrNoMatch, at)
+	}
+	root := t.g.Root(t.subsystem)
+
+	// Fast fail: the root filter's aggregates must fit first (paper
+	// §3.2: the traversal begins at the graph store root, where the
+	// aggregate counts of all requested resources are checked).
+	if !dry {
+		if rf := root.Filter(); rf != nil {
+			if counts := trackedCounts(js, rf); len(counts) > 0 && !rf.CanFit(at, dur, counts) {
+				return nil, fmt.Errorf("%w: root filter rejects at t=%d", ErrNoMatch, at)
+			}
+		}
+	}
+
+	m := &matcher{
+		t:   t,
+		at:  at,
+		dur: dur,
+		dry: dry,
+		alloc: &Allocation{
+			JobID:    jobID,
+			At:       at,
+			Duration: dur,
+		},
+	}
+	if dry {
+		m.tentative = make(map[int64]int64)
+	}
+	if !m.matchForest(root, js.Resources, false) {
+		m.rollbackTo(0)
+		return nil, fmt.Errorf("%w: at t=%d", ErrNoMatch, at)
+	}
+	if !dry {
+		if err := t.updateFilters(m.alloc); err != nil {
+			m.rollbackTo(0)
+			return nil, err
+		}
+	} else {
+		m.rollbackTo(0)
+	}
+	return m.alloc, nil
+}
+
+// updateFilters is the Scheduler-Driven Filter Update (paper §3.4): for
+// every selected consuming vertex, walk its containment ancestors and add
+// one aggregate span per filter-carrying ancestor, covering exactly the
+// units selected beneath it.
+func (t *Traverser) updateFilters(alloc *Allocation) error {
+	type key = *resgraph.Vertex
+	pending := make(map[key]map[string]int64)
+	var order []key // deterministic application order
+	for _, va := range alloc.Vertices {
+		if va.Units == 0 {
+			continue
+		}
+		for a := va.V.Parent(); a != nil; a = a.Parent() {
+			f := a.Filter()
+			if f == nil || f.Planner(va.V.Type) == nil {
+				continue
+			}
+			m, ok := pending[a]
+			if !ok {
+				m = make(map[string]int64)
+				pending[a] = m
+				order = append(order, a)
+			}
+			m[va.V.Type] += va.Units
+		}
+	}
+	for _, owner := range order {
+		id, err := owner.Filter().AddSpan(alloc.At, alloc.Duration, pending[owner])
+		if err != nil {
+			// Roll back filter spans added so far; vertex spans
+			// are rolled back by the caller.
+			for _, fs := range alloc.filterSpans {
+				_ = fs.owner.Filter().RemoveSpan(fs.id)
+			}
+			alloc.filterSpans = nil
+			return fmt.Errorf("traverser: SDFU failed at %s: %w", owner.Path(), err)
+		}
+		alloc.filterSpans = append(alloc.filterSpans, filterSpan{owner: owner, id: id})
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+func TestEq1Boundaries(t *testing.T) {
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 1}, {0.10, 1}, {0.1001, 2}, {0.25, 2}, {0.26, 3},
+		{0.40, 3}, {0.41, 4}, {0.60, 4}, {0.61, 5}, {1.0, 5},
+	}
+	for _, c := range cases {
+		if got := Eq1Class(c.t); got != c.want {
+			t.Errorf("Eq1Class(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestGenerateVariationSpreads(t *testing.T) {
+	m := GenerateVariation(2418, 42)
+	for name, xs := range map[string][]float64{"MG": m.MG, "LULESH": m.LULESH} {
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		spread := hi / lo
+		want := MGSpread
+		if name == "LULESH" {
+			want = LULESHSpread
+		}
+		if math.Abs(spread-want) > 1e-9 {
+			t.Errorf("%s spread = %g, want %g", name, spread, want)
+		}
+	}
+}
+
+func TestGenerateVariationDeterministic(t *testing.T) {
+	a := GenerateVariation(100, 7)
+	b := GenerateVariation(100, 7)
+	for i := range a.Class {
+		if a.Class[i] != b.Class[i] || a.TNorm[i] != b.TNorm[i] {
+			t.Fatal("same seed must reproduce the model")
+		}
+	}
+	c := GenerateVariation(100, 8)
+	same := true
+	for i := range a.TNorm {
+		if a.TNorm[i] != c.TNorm[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical models")
+	}
+}
+
+func TestClassHistogramMatchesEq1Fractions(t *testing.T) {
+	// Percentile binning means the histogram follows Eq. 1's ranges:
+	// 10%, 15%, 15%, 20%, 40% of 2418 nodes.
+	m := GenerateVariation(2418, 1)
+	h := m.ClassHistogram()
+	want := map[int]float64{1: 0.10, 2: 0.15, 3: 0.15, 4: 0.20, 5: 0.40}
+	total := 0
+	for c := 1; c <= NumClasses; c++ {
+		total += h[c]
+	}
+	if total != 2418 {
+		t.Fatalf("total = %d", total)
+	}
+	for c, frac := range want {
+		got := float64(h[c]) / 2418
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("class %d fraction = %.3f, want ~%.2f", c, got, frac)
+		}
+	}
+}
+
+func TestApplyLabelsNodes(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(2, 3, 2, 0, 0), 0, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GenerateVariation(6, 3)
+	if n := m.Apply(g); n != 6 {
+		t.Fatalf("labeled %d nodes", n)
+	}
+	pol := match.NewVariation("")
+	for i, v := range g.ByType("node") {
+		if c := pol.ClassOf(v, -1); c != m.Class[i] && v.ID == int64(i) {
+			t.Fatalf("node %d class %d, want %d", v.ID, c, m.Class[i])
+		}
+	}
+	// Model larger than graph: labels all nodes, returns node count.
+	g2, _ := grug.BuildGraph(grug.Small(1, 2, 2, 0, 0), 0, 1000, nil)
+	if n := GenerateVariation(50, 3).Apply(g2); n != 2 {
+		t.Fatalf("labeled %d", n)
+	}
+}
+
+func TestGenerateTraceBounds(t *testing.T) {
+	jobs := GenerateTrace(200, 256, 9)
+	if len(jobs) != 200 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	small := 0
+	for _, j := range jobs {
+		if j.Nodes < 1 || j.Nodes > 256 {
+			t.Fatalf("job %d nodes = %d", j.ID, j.Nodes)
+		}
+		if j.Duration < 300 || j.Duration > 43200 {
+			t.Fatalf("job %d duration = %d", j.ID, j.Duration)
+		}
+		if j.Nodes <= 16 {
+			small++
+		}
+	}
+	// Log-uniform: most jobs are small.
+	if small < 100 {
+		t.Fatalf("only %d/200 jobs <= 16 nodes; distribution skewed large", small)
+	}
+}
+
+func TestTraceJobspec(t *testing.T) {
+	tj := TraceJob{ID: 1, Nodes: 4, Duration: 600}
+	js := tj.Jobspec(36)
+	if err := js.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := js.TotalCounts()
+	if counts["node"] != 4 || counts["core"] != 144 || js.Duration != 600 {
+		t.Fatalf("counts = %v, dur = %d", counts, js.Duration)
+	}
+}
+
+func TestFigureOfMerit(t *testing.T) {
+	g, err := grug.BuildGraph(grug.Small(1, 4, 2, 0, 0), 0, 1<<30,
+		resgraph.PruneSpec{resgraph.ALL: {"core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []string{"1", "1", "3", "5"}
+	for i, v := range g.ByType("node") {
+		v.SetProperty(match.PerfClassKey, classes[i])
+	}
+	tr, err := traverser.New(g, match.LowID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := match.NewVariation("")
+
+	// Job on nodes 0,1 (both class 1): fom 0.
+	a1, err := tr.MatchAllocate(1, jobspec.New(10, jobspec.SlotR(2, jobspec.R("node", 1, jobspec.R("core", 2)))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := FigureOfMerit(a1, pol); f != 0 {
+		t.Fatalf("fom = %d, want 0", f)
+	}
+	// Job on nodes 2,3 (classes 3 and 5): fom 2.
+	a2, err := tr.MatchAllocate(2, jobspec.New(10, jobspec.SlotR(2, jobspec.R("node", 1, jobspec.R("core", 2)))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := FigureOfMerit(a2, pol); f != 2 {
+		t.Fatalf("fom = %d, want 2", f)
+	}
+	hist := FomHistogram([]*traverser.Allocation{a1, a2}, pol)
+	if hist[0] != 1 || hist[2] != 1 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+// TestQuickEq1Monotonic property: class is monotone in the score.
+func TestQuickEq1Monotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Eq1Class(a) <= Eq1Class(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		w string
+	}{{0, "0"}, {5, "5"}, {42, "42"}, {2418, "2418"}} {
+		if got := itoa(c.n); got != c.w {
+			t.Errorf("itoa(%d) = %q", c.n, got)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package yamlite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Accessors for destructuring parsed documents. Each returns the zero value
+// and false when the path is absent or the type does not match.
+
+// GetMap returns v[key] as a mapping.
+func GetMap(v any, key string) (map[string]any, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, false
+	}
+	child, ok := m[key].(map[string]any)
+	return child, ok
+}
+
+// GetList returns v[key] as a sequence.
+func GetList(v any, key string) ([]any, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, false
+	}
+	child, ok := m[key].([]any)
+	return child, ok
+}
+
+// GetString returns v[key] as a string.
+func GetString(v any, key string) (string, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return "", false
+	}
+	s, ok := m[key].(string)
+	return s, ok
+}
+
+// GetInt returns v[key] as an int64, converting from float64 when the
+// value is integral.
+func GetInt(v any, key string) (int64, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return 0, false
+	}
+	switch n := m[key].(type) {
+	case int64:
+		return n, true
+	case float64:
+		if n == float64(int64(n)) {
+			return int64(n), true
+		}
+	}
+	return 0, false
+}
+
+// GetFloat returns v[key] as a float64, converting from int64.
+func GetFloat(v any, key string) (float64, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return 0, false
+	}
+	switch n := m[key].(type) {
+	case float64:
+		return n, true
+	case int64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// GetBool returns v[key] as a bool.
+func GetBool(v any, key string) (bool, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return false, false
+	}
+	b, ok := m[key].(bool)
+	return b, ok
+}
+
+// GetPath walks a dotted path ("attributes.system.duration") through
+// nested mappings.
+func GetPath(v any, path string) (any, bool) {
+	cur := v
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// Marshal renders a value in the same YAML subset Parse accepts. Mapping
+// keys are emitted in sorted order for deterministic output.
+func Marshal(v any) []byte {
+	var b strings.Builder
+	marshalValue(&b, v, 0, false)
+	return []byte(b.String())
+}
+
+func marshalValue(b *strings.Builder, v any, indent int, inline bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		if len(x) == 0 {
+			b.WriteString("{}\n")
+			return
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if !inline || i > 0 {
+				b.WriteString(strings.Repeat(" ", indent))
+			}
+			b.WriteString(quoteIfNeeded(k))
+			child := x[k]
+			if isScalar(child) {
+				b.WriteString(": ")
+				b.WriteString(scalarString(child))
+				b.WriteByte('\n')
+			} else {
+				b.WriteString(":\n")
+				marshalValue(b, child, indent+2, false)
+			}
+		}
+	case []any:
+		if len(x) == 0 {
+			b.WriteString("[]\n")
+			return
+		}
+		for _, item := range x {
+			b.WriteString(strings.Repeat(" ", indent))
+			b.WriteString("- ")
+			if isScalar(item) {
+				b.WriteString(scalarString(item))
+				b.WriteByte('\n')
+			} else {
+				marshalValue(b, item, indent+2, true)
+			}
+		}
+	default:
+		b.WriteString(strings.Repeat(" ", indent))
+		b.WriteString(scalarString(v))
+		b.WriteByte('\n')
+	}
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case map[string]any, []any:
+		return false
+	}
+	return true
+}
+
+func scalarString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return quoteIfNeeded(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case int:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// quoteIfNeeded quotes strings that would not round-trip as plain scalars.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if plain, ok := plainScalar(s).(string); ok && plain == s &&
+		!strings.ContainsAny(s, ":#\"'[]{}\n\t") &&
+		!strings.HasPrefix(s, "- ") && s != "-" &&
+		s == strings.TrimSpace(s) {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\t", `\t`, "\r", `\r`)
+	return `"` + r.Replace(s) + `"`
+}

@@ -1,0 +1,483 @@
+// Package yamlite is a small, dependency-free reader and writer for the
+// YAML subset used by Flux's canonical jobspec and by GRUG resource-graph
+// recipes.
+//
+// Supported constructs: block mappings and sequences nested by indentation,
+// inline flow sequences ([a, b]) and mappings ({k: v}), single- and
+// double-quoted strings, plain scalars (null, booleans, integers, floats,
+// strings), and # comments. Unsupported YAML (anchors, aliases, tags,
+// multi-document streams, block scalars) is rejected with an error rather
+// than misparsed.
+//
+// Parse returns map[string]any, []any, string, int64, float64, bool, or
+// nil. The companion accessors (GetMap, GetList, GetString, GetInt, ...)
+// make destructuring terse for the jobspec and GRUG readers.
+package yamlite
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("yamlite: syntax error")
+
+type line struct {
+	indent int
+	text   string // content without indentation or trailing comment
+	num    int    // 1-based physical line number
+}
+
+// Parse decodes one YAML document.
+func Parse(data []byte) (any, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(0, false)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("%w: line %d: unexpected content %q (bad indentation?)", ErrSyntax, l.num, l.text)
+	}
+	return v, nil
+}
+
+// ParseString decodes one YAML document from a string.
+func ParseString(s string) (any, error) { return Parse([]byte(s)) }
+
+// splitLines strips comments and blank lines and computes indentation.
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for num, raw := range strings.Split(src, "\n") {
+		// Strip document markers.
+		trimmed := strings.TrimRight(raw, " \t\r")
+		if trimmed == "---" || trimmed == "..." {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if indent < len(trimmed) && trimmed[indent] == '\t' {
+			return nil, fmt.Errorf("%w: line %d: tab indentation is not allowed", ErrSyntax, num+1)
+		}
+		text := trimmed[indent:]
+		text = stripComment(text)
+		text = strings.TrimRight(text, " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*") || strings.HasPrefix(text, "|") || strings.HasPrefix(text, ">") {
+			return nil, fmt.Errorf("%w: line %d: unsupported YAML construct %q", ErrSyntax, num+1, text[:1])
+		}
+		out = append(out, line{indent: indent, text: text, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment that is outside quotes. A '#'
+// only starts a comment at the beginning of the line or after whitespace.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if inDouble && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inDouble = !inDouble
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func isSeqEntry(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// isMapEntry reports whether text begins a "key: value" mapping entry.
+func isMapEntry(text string) bool {
+	if text[0] == '{' || text[0] == '[' {
+		return false // flow collection, not a block mapping
+	}
+	if text[0] == '"' || text[0] == '\'' {
+		_, n, err := scanQuoted(text, 0)
+		if err != nil {
+			return false
+		}
+		for n < len(text) && text[n] == ' ' {
+			n++
+		}
+		return n < len(text) && text[n] == ':'
+	}
+	for j := 0; j < len(text); j++ {
+		if text[j] == ':' && (j+1 == len(text) || text[j+1] == ' ') {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBlock parses the block starting at the current line, which must be
+// indented at least minIndent. It consumes all lines belonging to the
+// block. allowScalar permits a bare scalar block (a sequence entry like
+// "- 42"); elsewhere a scalar without a key is a syntax error.
+func (p *parser) parseBlock(minIndent int, allowScalar bool) (any, error) {
+	l, ok := p.peek()
+	if !ok || l.indent < minIndent {
+		return nil, nil
+	}
+	switch {
+	case isSeqEntry(l.text):
+		return p.parseSequence(l.indent)
+	case isMapEntry(l.text):
+		return p.parseMapping(l.indent)
+	case allowScalar:
+		v, err := parseScalarOrFlow(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		if next, ok := p.peek(); ok && next.indent > l.indent {
+			return nil, fmt.Errorf("%w: line %d: unexpected indentation after scalar", ErrSyntax, next.num)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("%w: line %d: expected \"key: value\", got %q", ErrSyntax, l.num, l.text)
+	}
+}
+
+func (p *parser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if ok && l.indent > indent {
+				return nil, fmt.Errorf("%w: line %d: bad indentation in sequence", ErrSyntax, l.num)
+			}
+			return seq, nil
+		}
+		rest := strings.TrimPrefix(l.text, "-")
+		trimmedRest := strings.TrimLeft(rest, " ")
+		pad := len(l.text) - len(trimmedRest) // offset of payload within the line
+		if trimmedRest == "" {
+			// "-" alone: value is the following deeper block.
+			p.pos++
+			v, err := p.parseBlock(indent+1, true)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		// Rewrite the entry as a synthetic line so "- key: value" with
+		// continuation keys parses as a nested mapping.
+		p.lines[p.pos] = line{indent: indent + pad, text: trimmedRest, num: l.num}
+		v, err := p.parseBlock(indent+1, true)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+}
+
+func (p *parser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent {
+			if ok && l.indent > indent {
+				return nil, fmt.Errorf("%w: line %d: bad indentation in mapping", ErrSyntax, l.num)
+			}
+			return m, nil
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("%w: line %d: sequence entry inside mapping", ErrSyntax, l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("%w: line %d: duplicate key %q", ErrSyntax, l.num, key)
+		}
+		if rest == "" {
+			p.pos++
+			v, err := p.parseBlock(indent+1, false)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		v, err := parseScalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+		p.pos++
+	}
+}
+
+// splitKey splits "key: value" handling quoted keys. rest is "" when the
+// value is a nested block.
+func splitKey(l line) (key, rest string, err error) {
+	s := l.text
+	var i int
+	switch {
+	case s[0] == '"' || s[0] == '\'':
+		q, n, err := scanQuoted(s, 0)
+		if err != nil {
+			return "", "", fmt.Errorf("%w: line %d: %v", ErrSyntax, l.num, err)
+		}
+		key, i = q, n
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) || s[i] != ':' {
+			return "", "", fmt.Errorf("%w: line %d: expected ':' after quoted key", ErrSyntax, l.num)
+		}
+	default:
+		idx := -1
+		for j := 0; j < len(s); j++ {
+			if s[j] == ':' && (j+1 == len(s) || s[j+1] == ' ') {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return "", "", fmt.Errorf("%w: line %d: expected \"key: value\", got %q", ErrSyntax, l.num, s)
+		}
+		key = strings.TrimSpace(s[:idx])
+		if key == "" {
+			return "", "", fmt.Errorf("%w: line %d: empty key", ErrSyntax, l.num)
+		}
+		i = idx
+	}
+	rest = strings.TrimSpace(s[i+1:])
+	return key, rest, nil
+}
+
+// scanQuoted scans a quoted string starting at s[i] and returns its decoded
+// value and the index just past the closing quote.
+func scanQuoted(s string, i int) (string, int, error) {
+	quote := s[i]
+	var b strings.Builder
+	j := i + 1
+	for j < len(s) {
+		c := s[j]
+		switch {
+		case quote == '\'' && c == '\'':
+			if j+1 < len(s) && s[j+1] == '\'' { // '' escape
+				b.WriteByte('\'')
+				j += 2
+				continue
+			}
+			return b.String(), j + 1, nil
+		case quote == '"' && c == '\\':
+			if j+1 >= len(s) {
+				return "", 0, errors.New("dangling escape")
+			}
+			switch e := s[j+1]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\', '/':
+				b.WriteByte(e)
+			case '0':
+				b.WriteByte(0)
+			default:
+				return "", 0, fmt.Errorf("unsupported escape \\%c", e)
+			}
+			j += 2
+		case quote == '"' && c == '"':
+			return b.String(), j + 1, nil
+		default:
+			b.WriteByte(c)
+			j++
+		}
+	}
+	return "", 0, errors.New("unterminated quoted string")
+}
+
+// parseScalarOrFlow parses an inline value: a flow collection or a scalar.
+func parseScalarOrFlow(s string, lineNum int) (any, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s[0] == '&' || s[0] == '*' || s[0] == '|' || s[0] == '>' || s[0] == '!' {
+		return nil, fmt.Errorf("%w: line %d: unsupported YAML construct %q", ErrSyntax, lineNum, s[:1])
+	}
+	if s[0] == '[' || s[0] == '{' {
+		v, n, err := parseFlow(s, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNum, err)
+		}
+		if rest := strings.TrimSpace(s[n:]); rest != "" {
+			return nil, fmt.Errorf("%w: line %d: trailing content %q after flow value", ErrSyntax, lineNum, rest)
+		}
+		return v, nil
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		q, n, err := scanQuoted(s, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNum, err)
+		}
+		if rest := strings.TrimSpace(s[n:]); rest != "" {
+			return nil, fmt.Errorf("%w: line %d: trailing content %q after string", ErrSyntax, lineNum, rest)
+		}
+		return q, nil
+	}
+	return plainScalar(s), nil
+}
+
+// plainScalar interprets an unquoted scalar.
+func plainScalar(s string) any {
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// parseFlow parses a flow collection starting at s[i]; returns the value
+// and the index just past it.
+func parseFlow(s string, i int) (any, int, error) {
+	switch s[i] {
+	case '[':
+		var seq []any
+		j := skipSpace(s, i+1)
+		if j < len(s) && s[j] == ']' {
+			return seq, j + 1, nil
+		}
+		for {
+			v, n, err := parseFlowValue(s, j)
+			if err != nil {
+				return nil, 0, err
+			}
+			seq = append(seq, v)
+			j = skipSpace(s, n)
+			if j >= len(s) {
+				return nil, 0, errors.New("unterminated flow sequence")
+			}
+			switch s[j] {
+			case ',':
+				j = skipSpace(s, j+1)
+			case ']':
+				return seq, j + 1, nil
+			default:
+				return nil, 0, fmt.Errorf("expected ',' or ']' at %q", s[j:])
+			}
+		}
+	case '{':
+		m := make(map[string]any)
+		j := skipSpace(s, i+1)
+		if j < len(s) && s[j] == '}' {
+			return m, j + 1, nil
+		}
+		for {
+			var key string
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				q, n, err := scanQuoted(s, j)
+				if err != nil {
+					return nil, 0, err
+				}
+				key, j = q, skipSpace(s, n)
+			} else {
+				n := j
+				for n < len(s) && s[n] != ':' && s[n] != ',' && s[n] != '}' {
+					n++
+				}
+				key = strings.TrimSpace(s[j:n])
+				j = n
+			}
+			if j >= len(s) || s[j] != ':' {
+				return nil, 0, errors.New("expected ':' in flow mapping")
+			}
+			v, n, err := parseFlowValue(s, skipSpace(s, j+1))
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+			j = skipSpace(s, n)
+			if j >= len(s) {
+				return nil, 0, errors.New("unterminated flow mapping")
+			}
+			switch s[j] {
+			case ',':
+				j = skipSpace(s, j+1)
+			case '}':
+				return m, j + 1, nil
+			default:
+				return nil, 0, fmt.Errorf("expected ',' or '}' at %q", s[j:])
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("not a flow collection at %q", s[i:])
+}
+
+func parseFlowValue(s string, i int) (any, int, error) {
+	if i >= len(s) {
+		return nil, 0, errors.New("unexpected end of flow value")
+	}
+	switch s[i] {
+	case '[', '{':
+		return parseFlow(s, i)
+	case '"', '\'':
+		v, n, err := scanQuoted(s, i)
+		return v, n, err
+	}
+	n := i
+	for n < len(s) && s[n] != ',' && s[n] != ']' && s[n] != '}' {
+		n++
+	}
+	return plainScalar(strings.TrimSpace(s[i:n])), n, nil
+}
+
+func skipSpace(s string, i int) int {
+	for i < len(s) && s[i] == ' ' {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,425 @@
+package yamlite
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func parse(t *testing.T, src string) any {
+	t.Helper()
+	v, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestScalars(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"a: 1", map[string]any{"a": int64(1)}},
+		{"a: -17", map[string]any{"a": int64(-17)}},
+		{"a: 0x10", map[string]any{"a": int64(16)}},
+		{"a: 3.5", map[string]any{"a": 3.5}},
+		{"a: true", map[string]any{"a": true}},
+		{"a: false", map[string]any{"a": false}},
+		{"a: null", map[string]any{"a": nil}},
+		{"a: ~", map[string]any{"a": nil}},
+		{"a: hello", map[string]any{"a": "hello"}},
+		{"a: hello world", map[string]any{"a": "hello world"}},
+		{`a: "quoted: string"`, map[string]any{"a": "quoted: string"}},
+		{`a: 'single ''quoted'''`, map[string]any{"a": "single 'quoted'"}},
+		{`a: "tab\there"`, map[string]any{"a": "tab\there"}},
+		{`a: "123"`, map[string]any{"a": "123"}},
+	}
+	for _, c := range cases {
+		if got := parse(t, c.src); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNestedMapping(t *testing.T) {
+	src := `
+version: 1
+attributes:
+  system:
+    duration: 3600
+    queue: batch
+`
+	want := map[string]any{
+		"version": int64(1),
+		"attributes": map[string]any{
+			"system": map[string]any{
+				"duration": int64(3600),
+				"queue":    "batch",
+			},
+		},
+	}
+	if got := parse(t, src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	src := `
+items:
+  - 1
+  - two
+  - true
+`
+	want := map[string]any{"items": []any{int64(1), "two", true}}
+	if got := parse(t, src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestSequenceOfMappings(t *testing.T) {
+	src := `
+resources:
+  - type: node
+    count: 4
+    with:
+      - type: core
+        count: 10
+      - type: memory
+        count: 8
+`
+	got := parse(t, src)
+	res, ok := GetList(got, "resources")
+	if !ok || len(res) != 1 {
+		t.Fatalf("resources = %#v", got)
+	}
+	node := res[0]
+	if typ, _ := GetString(node, "type"); typ != "node" {
+		t.Fatalf("type = %v", node)
+	}
+	if c, _ := GetInt(node, "count"); c != 4 {
+		t.Fatalf("count = %v", node)
+	}
+	with, ok := GetList(node, "with")
+	if !ok || len(with) != 2 {
+		t.Fatalf("with = %#v", with)
+	}
+	if typ, _ := GetString(with[1], "type"); typ != "memory" {
+		t.Fatalf("with[1] = %#v", with[1])
+	}
+}
+
+func TestNestedSequences(t *testing.T) {
+	src := `
+matrix:
+  -
+    - 1
+    - 2
+  -
+    - 3
+    - 4
+`
+	want := map[string]any{"matrix": []any{[]any{int64(1), int64(2)}, []any{int64(3), int64(4)}}}
+	if got := parse(t, src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestTopLevelSequence(t *testing.T) {
+	src := `
+- type: a
+- type: b
+`
+	got := parse(t, src)
+	seq, ok := got.([]any)
+	if !ok || len(seq) != 2 {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestFlowCollections(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"a: [1, 2, 3]", map[string]any{"a": []any{int64(1), int64(2), int64(3)}}},
+		{"a: []", map[string]any{"a": []any(nil)}},
+		{"a: {}", map[string]any{"a": map[string]any{}}},
+		{"a: {x: 1, y: two}", map[string]any{"a": map[string]any{"x": int64(1), "y": "two"}}},
+		{"a: [[1], [2, 3]]", map[string]any{"a": []any{[]any{int64(1)}, []any{int64(2), int64(3)}}}},
+		{`a: {k: [1, {z: "s"}]}`, map[string]any{"a": map[string]any{"k": []any{int64(1), map[string]any{"z": "s"}}}}},
+	}
+	for _, c := range cases {
+		if got := parse(t, c.src); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+# leading comment
+a: 1 # trailing comment
+b: "hash # inside quotes"
+# whole-line comment
+c: 3
+`
+	want := map[string]any{"a": int64(1), "b": "hash # inside quotes", "c": int64(3)}
+	if got := parse(t, src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestQuotedKeys(t *testing.T) {
+	src := `"key with: colon": 1`
+	want := map[string]any{"key with: colon": int64(1)}
+	if got := parse(t, src); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	for _, src := range []string{"", "\n", "# only a comment\n", "---\n"} {
+		v, err := ParseString(src)
+		if err != nil || v != nil {
+			t.Errorf("Parse(%q) = %#v, %v; want nil, nil", src, v, err)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"\tindented: with tab",
+		"a: &anchor 1",
+		"just a scalar without key",
+		"a: [1, 2",
+		"a: {x: 1",
+		"a: \"unterminated",
+		"a: 1\n  b: 2",           // over-indented child of a scalar-valued key
+		"a: 1\na: 2",             // duplicate key
+		"a: 1\n- seq in mapping", // sequence entry inside mapping
+		"a: [1] trailing",        // trailing content after flow
+		"a: 'x' y",               // trailing content after quoted string
+		"items:\n  - 1\n    - 2", // bad nested indentation
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q): want ErrSyntax, got %v", src, err)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	doc := parse(t, `
+top:
+  n: 42
+  f: 2.5
+  s: str
+  b: true
+  list: [1]
+`)
+	topM, ok := GetMap(doc, "top")
+	if !ok || topM == nil {
+		t.Fatal("GetMap failed")
+	}
+	if n, ok := GetInt(topM, "n"); !ok || n != 42 {
+		t.Errorf("GetInt = %d, %v", n, ok)
+	}
+	if f, ok := GetFloat(topM, "f"); !ok || f != 2.5 {
+		t.Errorf("GetFloat = %g, %v", f, ok)
+	}
+	if f, ok := GetFloat(topM, "n"); !ok || f != 42 {
+		t.Errorf("GetFloat(int) = %g, %v", f, ok)
+	}
+	if s, ok := GetString(topM, "s"); !ok || s != "str" {
+		t.Errorf("GetString = %q, %v", s, ok)
+	}
+	if b, ok := GetBool(topM, "b"); !ok || !b {
+		t.Errorf("GetBool = %v, %v", b, ok)
+	}
+	if l, ok := GetList(topM, "list"); !ok || len(l) != 1 {
+		t.Errorf("GetList = %v, %v", l, ok)
+	}
+	if _, ok := GetInt(topM, "missing"); ok {
+		t.Error("GetInt on missing key should fail")
+	}
+	if _, ok := GetInt(topM, "s"); ok {
+		t.Error("GetInt on string should fail")
+	}
+	if v, ok := GetPath(doc, "top.n"); !ok || v != int64(42) {
+		t.Errorf("GetPath = %v, %v", v, ok)
+	}
+	if _, ok := GetPath(doc, "top.n.deeper"); ok {
+		t.Error("GetPath through scalar should fail")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	docs := []any{
+		map[string]any{"a": int64(1), "b": "two", "c": true, "d": nil},
+		map[string]any{
+			"resources": []any{
+				map[string]any{"type": "node", "count": int64(4), "with": []any{
+					map[string]any{"type": "core", "count": int64(10)},
+				}},
+			},
+		},
+		map[string]any{"weird": "has: colon", "empty": "", "num": "007", "neg": int64(-3), "f": 1.25},
+		[]any{int64(1), "x", []any{map[string]any{"k": "v"}}},
+		map[string]any{"nested": map[string]any{"deep": map[string]any{"leaf": int64(9)}}},
+	}
+	for _, doc := range docs {
+		out := Marshal(doc)
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("round-trip parse failed for %#v:\n%s\n%v", doc, out, err)
+		}
+		if !reflect.DeepEqual(normalize(back), normalize(doc)) {
+			t.Fatalf("round-trip mismatch:\nin:  %#v\nout: %#v\nyaml:\n%s", doc, back, out)
+		}
+	}
+}
+
+// normalize converts nil slices vs empty slices consistently for DeepEqual.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		m := make(map[string]any, len(x))
+		for k, vv := range x {
+			m[k] = normalize(vv)
+		}
+		return m
+	case []any:
+		if len(x) == 0 {
+			return []any(nil)
+		}
+		s := make([]any, len(x))
+		for i, vv := range x {
+			s[i] = normalize(vv)
+		}
+		return s
+	default:
+		return v
+	}
+}
+
+// TestQuickStringRoundTrip property: any string survives a
+// Marshal/Parse round trip as a mapping value.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// The subset does not preserve non-UTF8 or exotic control
+		// chars; restrict to printable-ish input plus the escapes we
+		// support.
+		for _, r := range s {
+			if r != '\n' && r != '\t' && r != '\r' && (r < 32 || r == 127) {
+				return true // skip
+			}
+		}
+		doc := map[string]any{"v": s}
+		back, err := Parse(Marshal(doc))
+		if err != nil {
+			return false
+		}
+		m, ok := back.(map[string]any)
+		return ok && m["v"] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntRoundTrip property: any int64 survives a round trip.
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		back, err := Parse(Marshal(map[string]any{"v": n}))
+		if err != nil {
+			return false
+		}
+		m, ok := back.(map[string]any)
+		return ok && m["v"] == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `
+l1:
+  l2:
+    l3:
+      l4:
+        - deep: true
+          list:
+            - a
+            - b
+`
+	got := parse(t, src)
+	v, ok := GetPath(got, "l1.l2.l3.l4")
+	if !ok {
+		t.Fatalf("path missing: %#v", got)
+	}
+	seq := v.([]any)
+	if d, _ := GetBool(seq[0], "deep"); !d {
+		t.Fatalf("deep = %#v", seq[0])
+	}
+	l, _ := GetList(seq[0], "list")
+	if len(l) != 2 || l[0] != "a" {
+		t.Fatalf("list = %#v", l)
+	}
+}
+
+func TestGetIntFloatConversions(t *testing.T) {
+	doc := parse(t, "a: 2.0\nb: 2.5\nc: 7")
+	if n, ok := GetInt(doc, "a"); !ok || n != 2 {
+		t.Errorf("GetInt(2.0) = %d, %v", n, ok)
+	}
+	if _, ok := GetInt(doc, "b"); ok {
+		t.Error("GetInt(2.5) should fail")
+	}
+	if f, ok := GetFloat(doc, "c"); !ok || f != 7 {
+		t.Errorf("GetFloat(7) = %g, %v", f, ok)
+	}
+	if _, ok := GetInt(nil, "a"); ok {
+		t.Error("GetInt on non-map")
+	}
+	if _, ok := GetMap(nil, "a"); ok {
+		t.Error("GetMap on non-map")
+	}
+	if _, ok := GetList(nil, "a"); ok {
+		t.Error("GetList on non-map")
+	}
+	if _, ok := GetString(nil, "a"); ok {
+		t.Error("GetString on non-map")
+	}
+	if _, ok := GetBool(nil, "a"); ok {
+		t.Error("GetBool on non-map")
+	}
+}
+
+func TestMarshalScalarEdgeCases(t *testing.T) {
+	doc := map[string]any{
+		"int":     42, // plain int, not int64
+		"null":    nil,
+		"empty":   "",
+		"colon":   "a: b",
+		"dashy":   "- listish",
+		"spacey":  " padded ",
+		"boolstr": "true",
+		"numstr":  "12",
+	}
+	back, err := Parse(Marshal(doc))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, Marshal(doc))
+	}
+	m := back.(map[string]any)
+	if m["int"] != int64(42) || m["null"] != nil || m["empty"] != "" {
+		t.Fatalf("scalars: %#v", m)
+	}
+	for _, k := range []string{"colon", "dashy", "spacey", "boolstr", "numstr"} {
+		if m[k] != doc[k] {
+			t.Errorf("%s: %#v != %#v", k, m[k], doc[k])
+		}
+	}
+}
