@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench repro cover fmt vet clean
+.PHONY: all build test test-race race bench repro cover fmt vet clean
 
 all: build test
 
@@ -10,8 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+# test-race is what CI runs: the full suite under the race detector.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -70,7 +70,7 @@ func Restore(data []byte, opts ...Option) (*Fluxion, error) {
 	}
 	f, err := New(append(opts, WithJGF(doc.Graph))...)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
 	}
 	for _, job := range doc.Jobs {
 		if _, err := f.tr.Reinstall(job.ID, job.At, job.Duration, job.Reserved, job.Grants); err != nil {

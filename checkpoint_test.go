@@ -124,3 +124,63 @@ func mustMarshal(t *testing.T, v any) []byte {
 	}
 	return data
 }
+
+// TestRestoreCorruptedCheckpoints table-drives Restore over damaged
+// documents: every case must fail with a wrapped ErrCheckpoint — never a
+// panic, and never a silently partial install.
+func TestRestoreCorruptedCheckpoints(t *testing.T) {
+	f := newFluxion(t)
+	if _, err := f.MatchAllocate(1, jobspec.NodeLocal(2, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	good, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(doc map[string]any)) []byte {
+		var doc map[string]any
+		mustJSON(t, good, &doc)
+		fn(doc)
+		return mustMarshal(t, doc)
+	}
+	firstGrant := func(doc map[string]any) map[string]any {
+		job := doc["jobs"].([]any)[0].(map[string]any)
+		return job["grants"].([]any)[0].(map[string]any)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", good[:len(good)/2]},
+		{"empty", nil},
+		{"graph is array", mutate(func(d map[string]any) { d["graph"] = []any{} })},
+		{"grant references absent vertex", mutate(func(d map[string]any) {
+			firstGrant(d)["path"] = "/no/such/vertex"
+		})},
+		{"grant has negative units", mutate(func(d map[string]any) {
+			firstGrant(d)["units"] = float64(-4)
+		})},
+		{"duplicate job id", mutate(func(d map[string]any) {
+			jobs := d["jobs"].([]any)
+			d["jobs"] = append(jobs, jobs[0])
+		})},
+		{"non-positive duration", mutate(func(d map[string]any) {
+			d["jobs"].([]any)[0].(map[string]any)["duration"] = float64(0)
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Restore(tc.data, WithPruneFilters("ALL:core,ALL:node,ALL:memory"))
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("err = %v", err)
+			}
+			if got != nil {
+				t.Fatal("Restore returned a partially installed instance alongside an error")
+			}
+		})
+	}
+	// The undamaged document still restores.
+	if _, err := Restore(good, WithPruneFilters("ALL:core,ALL:node,ALL:memory")); err != nil {
+		t.Fatalf("pristine restore: %v", err)
+	}
+}

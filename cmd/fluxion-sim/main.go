@@ -36,6 +36,11 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "plan at most N pending jobs per cycle (0 = all)")
 		prune      = flag.String("prune", "ALL:core,ALL:node", "pruning filter spec")
 		timeline   = flag.Bool("timeline", false, "print the per-job timeline")
+		mtbf       = flag.Int64("mtbf", 0, "mean seconds between node failures (0 = no fault injection)")
+		mttr       = flag.Int64("mttr", 0, "mean seconds to repair a failed node")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed; same seed, same failures")
+		maxRetries = flag.Int("max-retries", 0, "failure requeues per job before it fails (0 = default)")
+		drill      = flag.Bool("drill", false, "run the crash-recovery drill: checkpoint mid-run, restore, verify convergence")
 	)
 	flag.Parse()
 
@@ -93,15 +98,23 @@ func main() {
 
 	spec, err := resgraph.ParsePruneSpec(*prune)
 	fail(err)
-	_, err = simcli.Run(simcli.Config{
+	res, err := simcli.Run(simcli.Config{
 		Recipe:      recipe,
 		PruneSpec:   spec,
 		MatchPolicy: *matchPol,
 		QueuePolicy: sched.QueuePolicy(*queuePol),
 		QueueDepth:  *queueDepth,
 		Timeline:    *timeline,
+		MTBF:        *mtbf,
+		MTTR:        *mttr,
+		FaultSeed:   *faultSeed,
+		MaxRetries:  *maxRetries,
+		Drill:       *drill,
 	}, jobs, os.Stdout)
 	fail(err)
+	if res.DrillRan && !res.DrillOK {
+		os.Exit(1)
+	}
 }
 
 func fail(err error) {

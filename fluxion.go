@@ -53,6 +53,8 @@ import (
 type (
 	// Allocation is a selected resource set (immediate or reserved).
 	Allocation = traverser.Allocation
+	// Grant is one path/units pair inside an allocation.
+	Grant = traverser.Grant
 	// Jobspec is a parsed canonical job specification.
 	Jobspec = jobspec.Jobspec
 	// Graph is the resource graph store.
@@ -82,6 +84,7 @@ type config struct {
 	horizon   int64
 	policy    string
 	prune     string
+	pruneSpec resgraph.PruneSpec
 	subsystem string
 
 	recipe      *grug.Recipe
@@ -130,6 +133,13 @@ func WithPolicy(name string) Option {
 // "ALL:core" or "cluster:node,rack:node,node:core".
 func WithPruneFilters(spec string) Option {
 	return func(c *config) error { c.prune = spec; return nil }
+}
+
+// WithPruneSpec installs pruning filters from an already-parsed spec map.
+// It is the programmatic twin of WithPruneFilters; the two are mutually
+// exclusive.
+func WithPruneSpec(spec PruneSpec) Option {
+	return func(c *config) error { c.pruneSpec = spec; return nil }
 }
 
 // WithBase sets the planners' first schedulable time (default 0).
@@ -185,11 +195,19 @@ func New(opts ...Option) (*Fluxion, error) {
 	if sources != 1 {
 		return nil, errors.New("fluxion: exactly one of WithRecipe/WithRecipeYAML/WithJGF/WithGraphML/WithGraph is required")
 	}
-	spec, err := resgraph.ParsePruneSpec(c.prune)
-	if err != nil {
-		return nil, err
+	spec := c.pruneSpec
+	if c.prune != "" {
+		if spec != nil {
+			return nil, errors.New("fluxion: WithPruneFilters and WithPruneSpec are mutually exclusive")
+		}
+		parsed, err := resgraph.ParsePruneSpec(c.prune)
+		if err != nil {
+			return nil, err
+		}
+		spec = parsed
 	}
 	var g *resgraph.Graph
+	var err error
 	switch {
 	case c.recipeYAML != nil:
 		r, err := grug.ParseYAML(c.recipeYAML)
@@ -241,7 +259,7 @@ func (f *Fluxion) Stat() string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return fmt.Sprintf("%s; %d jobs; %d matches in %v",
-		f.g.Stats(), len(f.tr.Jobs()), f.matches, f.matchTime)
+		f.g.Stats(), f.tr.JobCount(), f.matches, f.matchTime)
 }
 
 // MatchStats returns the cumulative number of match operations and the
@@ -359,20 +377,37 @@ func (f *Fluxion) Shrink(path string) error {
 	return f.g.Detach(v)
 }
 
-// SetStatus marks the vertex at path up or down.
-func (f *Fluxion) SetStatus(path string, up bool) error {
+// MarkDown takes the containment subtree rooted at path out of service:
+// every job holding a grant inside it is evicted (its resources released
+// everywhere), and the subtree's capacity is subtracted from every
+// ancestor pruning filter so subsequent matches route around the failure.
+// It returns the evicted allocations so a scheduler can requeue them.
+// Marking an already-down subtree is a no-op.
+func (f *Fluxion) MarkDown(path string) ([]*Allocation, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	v := f.g.ByPath(path)
-	if v == nil {
-		return fmt.Errorf("fluxion: no vertex at %q", path)
-	}
+	return f.tr.MarkDown(path)
+}
+
+// MarkUp returns the subtree rooted at path to service, restoring its
+// capacity in every ancestor pruning filter. Previously evicted jobs are
+// not replayed; resubmit them through the scheduler.
+func (f *Fluxion) MarkUp(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tr.MarkUp(path)
+}
+
+// SetStatus marks the vertex at path up or down. It routes through
+// MarkUp/MarkDown, so downing a subtree evicts the jobs inside it and
+// updates ancestor pruning filters; use MarkDown directly to learn which
+// jobs were displaced.
+func (f *Fluxion) SetStatus(path string, up bool) error {
 	if up {
-		v.Status = resgraph.StatusUp
-	} else {
-		v.Status = resgraph.StatusDown
+		return f.MarkUp(path)
 	}
-	return nil
+	_, err := f.MarkDown(path)
+	return err
 }
 
 // Find returns the containment paths of vertices matching the given type

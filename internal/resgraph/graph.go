@@ -250,7 +250,102 @@ func (g *Graph) Finalize() error {
 	if len(seen) != len(g.vertices) {
 		return fmt.Errorf("%w: %d vertices unreachable from containment root", ErrInvalid, len(g.vertices)-len(seen))
 	}
+	// Filters are installed with the subtree's structural capacity; any
+	// vertex loaded already down (e.g. from a JGF/GraphML dump of a
+	// degraded system) must have its units excluded from ancestor
+	// aggregates, exactly as a live MarkDown would have done.
+	for _, v := range g.vertices {
+		if v.Status == StatusDown {
+			if err := g.propagateStatusDelta(v.Parent(), map[string]int64{v.Type: -v.Size}); err != nil {
+				return err
+			}
+		}
+	}
 	g.finalized = true
+	return nil
+}
+
+// MarkDown marks the containment subtree rooted at v down and subtracts the
+// transitioned capacity from every ancestor pruning filter, mirroring the
+// scheduler-driven filter update (paper §3.4, §5.5). Vertices already down
+// contribute nothing, so nested failure domains never double-count. It
+// returns the per-type units newly taken out of service.
+//
+// Callers must first release any allocations whose grants lie in the
+// subtree (see traverser.Evict); live spans there would leave an ancestor
+// filter with less headroom than the capacity being removed.
+func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
+	return g.setSubtreeStatus(v, StatusDown)
+}
+
+// MarkUp marks the containment subtree rooted at v up and re-adds the
+// transitioned capacity to every ancestor pruning filter. It is the inverse
+// of MarkDown; repairing a vertex repairs everything it contains. It
+// returns the per-type units newly returned to service.
+func (g *Graph) MarkUp(v *Vertex) (map[string]int64, error) {
+	return g.setSubtreeStatus(v, StatusUp)
+}
+
+// setSubtreeStatus flips every vertex in v's subtree whose status differs
+// from want and propagates the net capacity change to ancestor filters.
+func (g *Graph) setSubtreeStatus(v *Vertex, want Status) (map[string]int64, error) {
+	if !g.finalized {
+		return nil, ErrNotFinalized
+	}
+	if v == nil || v.graph != g {
+		return nil, fmt.Errorf("%w: foreign or nil vertex", ErrInvalid)
+	}
+	delta := make(map[string]int64)
+	var flipped []*Vertex
+	var walk func(x *Vertex)
+	walk = func(x *Vertex) {
+		if x.Status != want {
+			x.Status = want
+			delta[x.Type] += x.Size
+			flipped = append(flipped, x)
+		}
+		for _, c := range containmentChildren(x) {
+			walk(c)
+		}
+	}
+	walk(v)
+	if len(delta) == 0 {
+		return delta, nil // already in the requested state
+	}
+	sign := int64(1)
+	if want == StatusDown {
+		sign = -1
+	}
+	// Propagate each transitioned vertex individually so filters interior
+	// to the subtree (a node's own core aggregate, a rack's node
+	// aggregate) stay consistent too. This makes nested transitions
+	// compose — MarkDown(node) then MarkUp(rack) restores the rack's own
+	// filter exactly — and matches what Finalize computes when a dump of
+	// a degraded system is reloaded.
+	for _, x := range flipped {
+		if err := g.propagateStatusDelta(x.Parent(), map[string]int64{x.Type: sign * x.Size}); err != nil {
+			return nil, err
+		}
+	}
+	return delta, nil
+}
+
+// propagateStatusDelta applies a per-type capacity change to every filter on
+// the ancestor chain starting at a (inclusive). Types a filter does not
+// track are skipped.
+func (g *Graph) propagateStatusDelta(a *Vertex, delta map[string]int64) error {
+	for ; a != nil; a = a.Parent() {
+		if a.filter == nil {
+			continue
+		}
+		for _, rt := range a.filter.Types() {
+			if n := delta[rt]; n != 0 {
+				if err := a.filter.Update(rt, n); err != nil {
+					return fmt.Errorf("resgraph: status update at %s: %w", a.Name, err)
+				}
+			}
+		}
+	}
 	return nil
 }
 

@@ -403,3 +403,205 @@ func TestAttachErrors(t *testing.T) {
 		t.Fatalf("detached parent: %v", err)
 	}
 }
+
+// filterAvail returns the amount of rt available in v's filter at t=0 for
+// one second, or -1 when the filter does not track rt.
+func filterAvail(t *testing.T, v *Vertex, rt string) int64 {
+	t.Helper()
+	f := v.Filter()
+	if f == nil {
+		t.Fatalf("%s has no filter", v.Name)
+	}
+	p := f.Planner(rt)
+	if p == nil {
+		return -1
+	}
+	avail, err := p.AvailDuring(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return avail
+}
+
+func TestMarkDownPropagatesToAncestorFilters(t *testing.T) {
+	g := buildTiny(t, PruneSpec{ALL: {"core", "node"}})
+	root := g.Root(Containment)
+	rack := g.ByPath("/cluster0/rack0")
+	node := g.ByPath("/cluster0/rack0/node0")
+
+	if got := filterAvail(t, root, "core"); got != 16 {
+		t.Fatalf("root cores = %d", got)
+	}
+	delta, err := g.MarkDown(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"node": 1, "core": 4, "memory": 16}
+	if !reflect.DeepEqual(delta, want) {
+		t.Fatalf("delta = %v", delta)
+	}
+	// The whole subtree is down.
+	if node.Status != StatusDown || g.ByPath("/cluster0/rack0/node0/core2").Status != StatusDown {
+		t.Fatal("subtree not down")
+	}
+	// Ancestor filters exclude the downed subtree; sibling rack intact.
+	if got := filterAvail(t, root, "core"); got != 12 {
+		t.Fatalf("root cores after down = %d", got)
+	}
+	if got := filterAvail(t, root, "node"); got != 3 {
+		t.Fatalf("root nodes after down = %d", got)
+	}
+	if got := filterAvail(t, rack, "core"); got != 4 {
+		t.Fatalf("rack cores after down = %d", got)
+	}
+	if got := filterAvail(t, g.ByPath("/cluster0/rack1"), "core"); got != 8 {
+		t.Fatalf("sibling rack cores = %d", got)
+	}
+
+	// MarkDown is idempotent.
+	delta2, err := g.MarkDown(node)
+	if err != nil || len(delta2) != 0 {
+		t.Fatalf("second MarkDown: %v, %v", delta2, err)
+	}
+	if got := filterAvail(t, root, "core"); got != 12 {
+		t.Fatalf("root cores after repeat = %d", got)
+	}
+
+	// MarkUp restores everything.
+	up, err := g.MarkUp(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up, want) {
+		t.Fatalf("up delta = %v", up)
+	}
+	if got := filterAvail(t, root, "core"); got != 16 {
+		t.Fatalf("root cores after up = %d", got)
+	}
+	if node.Status != StatusUp || g.ByPath("/cluster0/rack0/node0/core3").Status != StatusUp {
+		t.Fatal("subtree not restored")
+	}
+}
+
+func TestMarkDownNestedDomainsNeverDoubleCount(t *testing.T) {
+	g := buildTiny(t, PruneSpec{ALL: {"core", "node"}})
+	root := g.Root(Containment)
+	node := g.ByPath("/cluster0/rack0/node0")
+	rack := g.ByPath("/cluster0/rack0")
+
+	if _, err := g.MarkDown(node); err != nil {
+		t.Fatal(err)
+	}
+	// Downing the rack counts only the still-up remainder.
+	delta, err := g.MarkDown(rack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta["core"] != 4 || delta["node"] != 1 || delta["rack"] != 1 {
+		t.Fatalf("rack delta = %v", delta)
+	}
+	if got := filterAvail(t, root, "core"); got != 8 {
+		t.Fatalf("root cores = %d", got)
+	}
+	// Repairing the rack repairs the nested node too.
+	up, err := g.MarkUp(rack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up["core"] != 8 || up["node"] != 2 {
+		t.Fatalf("up delta = %v", up)
+	}
+	if got := filterAvail(t, root, "core"); got != 16 {
+		t.Fatalf("root cores restored = %d", got)
+	}
+	if node.Status != StatusUp {
+		t.Fatal("nested node still down")
+	}
+}
+
+func TestMarkDownErrors(t *testing.T) {
+	g := NewGraph(0, 100)
+	a := g.MustAddVertex("a", -1, 1)
+	if _, err := g.MarkDown(a); !errors.Is(err, ErrNotFinalized) {
+		t.Fatalf("unfinalized: %v", err)
+	}
+	fin := buildTiny(t, nil)
+	if _, err := fin.MarkDown(nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil vertex: %v", err)
+	}
+	if _, err := fin.MarkDown(a); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("foreign vertex: %v", err)
+	}
+}
+
+func TestFinalizeExcludesLoadedDownVertices(t *testing.T) {
+	// A graph whose vertices arrive already down (the JGF/GraphML load
+	// path) must finalize with filters that exclude them.
+	g := NewGraph(0, 1<<20)
+	if err := g.SetPruneSpec(PruneSpec{ALL: {"core"}}); err != nil {
+		t.Fatal(err)
+	}
+	cluster := g.MustAddVertex("cluster", -1, 1)
+	for n := 0; n < 2; n++ {
+		node := g.MustAddVertex("node", -1, 1)
+		if err := g.AddContainment(cluster, node); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 4; c++ {
+			core := g.MustAddVertex("core", -1, 1)
+			if n == 1 {
+				core.Status = StatusDown
+			}
+			if err := g.AddContainment(node, core); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.ByType("node")[1].Status = StatusDown // node1 itself
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := filterAvail(t, g.Root(Containment), "core"); got != 4 {
+		t.Fatalf("root cores = %d", got)
+	}
+}
+
+// TestNestedMarkDownThenSubtreeMarkUpRestoresInteriorFilters pins the
+// composition bug where MarkDown(node) followed by MarkUp(rack) leaked
+// capacity from the rack's own filter: per-vertex propagation must leave
+// every filter — interior ones included — exactly as before the failures.
+func TestNestedMarkDownThenSubtreeMarkUpRestoresInteriorFilters(t *testing.T) {
+	g := buildTiny(t, PruneSpec{ALL: {"core", "node"}})
+	root := g.Root(Containment)
+	rack := g.ByPath("/cluster0/rack0")
+	node := g.ByPath("/cluster0/rack0/node0")
+
+	before := func(v *Vertex) [2]int64 {
+		return [2]int64{filterAvail(t, v, "core"), filterAvail(t, v, "node")}
+	}
+	wantRoot, wantRack, wantNode := before(root), before(rack), before(node)
+
+	// Inner domain fails first, then the whole rack, then the rack is
+	// repaired wholesale (covering the node downed separately).
+	if _, err := g.MarkDown(node); err != nil {
+		t.Fatal(err)
+	}
+	// The rack's own filter excludes the downed node's capacity.
+	if got := filterAvail(t, rack, "core"); got != wantRack[0]-4 {
+		t.Fatalf("rack cores after node down = %d, want %d", got, wantRack[0]-4)
+	}
+	if _, err := g.MarkDown(rack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MarkUp(rack); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		v    *Vertex
+		want [2]int64
+	}{{root, wantRoot}, {rack, wantRack}, {node, wantNode}} {
+		if got := before(tc.v); got != tc.want {
+			t.Errorf("%s filter = %v, want %v after full repair", tc.v.Name, got, tc.want)
+		}
+	}
+}

@@ -185,8 +185,18 @@ func (s *Session) Exec(line string, out io.Writer) bool {
 			fmt.Fprintln(out, "usage: set-status <path> up|down")
 			return false
 		}
-		if s.report(out, s.F.SetStatus(args[1], args[2] == "up")) {
-			return false
+		if args[2] == "up" {
+			if s.report(out, s.F.MarkUp(args[1])) {
+				return false
+			}
+		} else {
+			evicted, err := s.F.MarkDown(args[1])
+			if s.report(out, err) {
+				return false
+			}
+			for _, alloc := range evicted {
+				fmt.Fprintf(out, "evicted jobid=%d\n", alloc.JobID)
+			}
 		}
 		fmt.Fprintf(out, "%s is now %s\n", args[1], args[2])
 	case "grow":

@@ -25,6 +25,14 @@ type Metrics struct {
 	// node-seconds across the makespan.
 	NodeSecondsUsed  int64
 	NodeSecondsTotal int64
+	// Requeues counts failure-driven evictions of running jobs that sent
+	// the job back to the pending queue (or to StateFailed).
+	Requeues int
+	// LostCoreSeconds is the core-time evicted jobs had already consumed
+	// and must redo — the direct cost of resource failures.
+	LostCoreSeconds int64
+	// Failed counts jobs that exhausted their failure-requeue budget.
+	Failed int
 }
 
 // Utilization returns NodeSecondsUsed / NodeSecondsTotal (0 when no
@@ -47,6 +55,12 @@ func (m Metrics) String() string {
 	if m.Unsatisfiable > 0 {
 		fmt.Fprintf(&b, " unsatisfiable=%d", m.Unsatisfiable)
 	}
+	if m.Requeues > 0 || m.LostCoreSeconds > 0 {
+		fmt.Fprintf(&b, " requeues=%d lostCoreSec=%d", m.Requeues, m.LostCoreSeconds)
+	}
+	if m.Failed > 0 {
+		fmt.Fprintf(&b, " failed=%d", m.Failed)
+	}
 	return b.String()
 }
 
@@ -60,9 +74,14 @@ func (s *Scheduler) Metrics() Metrics {
 	if root := s.tr.Graph().Root("containment"); root != nil {
 		nodeCapacity = root.Aggregates()["node"]
 	}
+	m.Requeues = s.requeues
+	m.LostCoreSeconds = s.lostCoreSec
 	for _, j := range s.jobs {
 		m.TotalMatch += j.MatchDuration
 		switch j.State {
+		case StateFailed:
+			m.Failed++
+			continue
 		case StateUnsatisfiable:
 			m.Unsatisfiable++
 			continue

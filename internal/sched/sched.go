@@ -43,6 +43,9 @@ const (
 	StateRunning
 	StateCompleted
 	StateUnsatisfiable
+	// StateFailed marks a job evicted by resource failures more times
+	// than MaxRetries allows; it will not be requeued again.
+	StateFailed
 )
 
 func (s JobState) String() string {
@@ -57,9 +60,22 @@ func (s JobState) String() string {
 		return "completed"
 	case StateUnsatisfiable:
 		return "unsatisfiable"
+	case StateFailed:
+		return "failed"
 	default:
 		return "unknown"
 	}
+}
+
+// parseJobState is the inverse of JobState.String, for checkpoint decode.
+func parseJobState(s string) (JobState, error) {
+	for _, st := range []JobState{StatePending, StateReserved, StateRunning,
+		StateCompleted, StateUnsatisfiable, StateFailed} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown job state %q", s)
 }
 
 // Job is one schedulable unit of work.
@@ -74,6 +90,10 @@ type Job struct {
 	State   JobState
 	StartAt int64 // simulated start (allocation) time
 	EndAt   int64
+	// Retries counts how many times the job was evicted by a resource
+	// failure and requeued. Exceeding the scheduler's MaxRetries moves
+	// the job to StateFailed.
+	Retries int
 	// MatchDuration accumulates the wall-clock time spent inside the
 	// matcher for this job across scheduling cycles — the per-job
 	// scheduling overhead reported in paper Figure 7b.
@@ -85,9 +105,39 @@ type Job struct {
 // ErrUnknownPolicy reports an unrecognized queue policy.
 var ErrUnknownPolicy = errors.New("sched: unknown queue policy")
 
+// eventKind discriminates scheduler events: job completions and resource
+// failure/repair events share one simulated-time event queue so a fault
+// timeline interleaves deterministically with the workload.
+type eventKind int
+
+const (
+	// evComplete retires a running job.
+	evComplete eventKind = iota
+	// evNodeUp returns a containment subtree to service.
+	evNodeUp
+	// evNodeDown takes a containment subtree out of service, evicting
+	// and requeueing the jobs running on it.
+	evNodeDown
+)
+
+func (k eventKind) String() string {
+	switch k {
+	case evComplete:
+		return "complete"
+	case evNodeUp:
+		return "node-up"
+	case evNodeDown:
+		return "node-down"
+	default:
+		return "unknown"
+	}
+}
+
 type event struct {
 	at    int64
-	jobID int64
+	kind  eventKind
+	jobID int64  // evComplete
+	path  string // evNodeUp / evNodeDown
 }
 
 type eventHeap []event
@@ -95,10 +145,19 @@ type eventHeap []event
 func (h eventHeap) Len() int      { return len(h) }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h eventHeap) Less(i, j int) bool {
+	// Same-instant ordering is part of the deterministic contract:
+	// completions first (a job finishing the moment its node dies is not
+	// a casualty), then repairs, then failures.
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].jobID < h[j].jobID
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	if h[i].jobID != h[j].jobID {
+		return h[i].jobID < h[j].jobID
+	}
+	return h[i].path < h[j].path
 }
 func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
@@ -125,6 +184,18 @@ type Scheduler struct {
 	// queueDepth bounds how many pending jobs each cycle plans
 	// (flux-sched qmanager's queue-depth knob); 0 = unbounded.
 	queueDepth int
+	// maxRetries bounds failure-driven requeues per job; exceeding it
+	// moves the job to StateFailed. 0 = unbounded retries.
+	maxRetries int
+
+	// Failure-domain accounting, surfaced through Metrics.
+	requeues    int
+	lostCoreSec int64
+
+	// resourceHook, when set, observes every node-down/node-up event the
+	// event loop dispatches; fault injectors use it to schedule the
+	// follow-up repair or next failure.
+	resourceHook func(at int64, path string, down bool)
 }
 
 // SchedOption configures New.
@@ -137,6 +208,23 @@ func WithQueueDepth(n int) SchedOption {
 	return func(s *Scheduler) { s.queueDepth = n }
 }
 
+// WithMaxRetries bounds how many times a job evicted by resource failures
+// is requeued before landing in StateFailed. 0 retries forever; the
+// default is DefaultMaxRetries.
+func WithMaxRetries(n int) SchedOption {
+	return func(s *Scheduler) { s.maxRetries = n }
+}
+
+// DefaultMaxRetries is the default failure-requeue bound per job.
+const DefaultMaxRetries = 3
+
+// SetResourceEventHook registers fn to observe every node-down/node-up
+// event dispatched from the event queue (not direct NodeDown/NodeUp
+// calls). Fault injectors use it to schedule follow-up events.
+func (s *Scheduler) SetResourceEventHook(fn func(at int64, path string, down bool)) {
+	s.resourceHook = fn
+}
+
 // New creates a scheduler at simulated time = the graph's planner base.
 func New(tr *traverser.Traverser, policy QueuePolicy, opts ...SchedOption) (*Scheduler, error) {
 	switch policy {
@@ -145,11 +233,12 @@ func New(tr *traverser.Traverser, policy QueuePolicy, opts ...SchedOption) (*Sch
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, policy)
 	}
 	s := &Scheduler{
-		tr:       tr,
-		policy:   policy,
-		now:      tr.Graph().Base(),
-		jobs:     make(map[int64]*Job),
-		reserved: make(map[int64]*Job),
+		tr:         tr,
+		policy:     policy,
+		now:        tr.Graph().Base(),
+		jobs:       make(map[int64]*Job),
+		reserved:   make(map[int64]*Job),
+		maxRetries: DefaultMaxRetries,
 	}
 	for _, o := range opts {
 		o(s)
@@ -193,15 +282,21 @@ func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int
 		return job, nil
 	}
 	s.jobs[id] = job
-	// Insert in priority order (stable behind equal priorities).
+	s.enqueue(job)
+	return job, nil
+}
+
+// enqueue inserts a job into the pending queue in priority order (stable
+// behind equal priorities). Requeued jobs re-enter here, behind peers of
+// their priority.
+func (s *Scheduler) enqueue(job *Job) {
 	i := len(s.pending)
-	for i > 0 && s.pending[i-1].Priority < priority {
+	for i > 0 && s.pending[i-1].Priority < job.Priority {
 		i--
 	}
 	s.pending = append(s.pending, nil)
 	copy(s.pending[i+1:], s.pending[i:])
 	s.pending[i] = job
-	return job, nil
 }
 
 // Schedule runs one scheduling cycle at the current simulated time: all
@@ -267,15 +362,38 @@ func (s *Scheduler) start(job *Job, alloc *traverser.Allocation) {
 	job.Alloc = alloc
 	job.StartAt = alloc.At
 	job.EndAt = alloc.At + alloc.Duration
-	heap.Push(&s.events, event{at: job.EndAt, jobID: job.ID})
+	heap.Push(&s.events, event{at: job.EndAt, kind: evComplete, jobID: job.ID})
 }
 
-// HasEvents reports whether completion events are pending.
-func (s *Scheduler) HasEvents() bool { return len(s.events) > 0 }
+// stale reports whether an event no longer applies: a completion whose job
+// was evicted (and possibly restarted with a different end time) must not
+// fire. Resource events are never stale.
+func (s *Scheduler) stale(e event) bool {
+	if e.kind != evComplete {
+		return false
+	}
+	job := s.jobs[e.jobID]
+	return job == nil || job.State != StateRunning || job.EndAt != e.at
+}
 
-// NextEventAt returns the time of the next completion event (only valid
-// when HasEvents).
+// skim drops stale events from the head of the queue so HasEvents,
+// NextEventAt, and AdvanceTo see only events that will actually fire.
+func (s *Scheduler) skim() {
+	for len(s.events) > 0 && s.stale(s.events[0]) {
+		heap.Pop(&s.events)
+	}
+}
+
+// HasEvents reports whether completion or resource events are pending.
+func (s *Scheduler) HasEvents() bool {
+	s.skim()
+	return len(s.events) > 0
+}
+
+// NextEventAt returns the time of the next live event (only valid when
+// HasEvents).
 func (s *Scheduler) NextEventAt() int64 {
+	s.skim()
 	if len(s.events) == 0 {
 		return -1
 	}
@@ -283,35 +401,58 @@ func (s *Scheduler) NextEventAt() int64 {
 }
 
 // AdvanceTo moves the simulated clock forward to t without processing
-// events; it fails if that would skip a pending completion or move
-// backwards. Use it to model job arrivals between completions.
+// events; it fails if that would skip a pending event or move backwards.
+// Use it to model job arrivals between completions.
 func (s *Scheduler) AdvanceTo(t int64) error {
 	if t < s.now {
 		return fmt.Errorf("sched: cannot move clock backwards (%d -> %d)", s.now, t)
 	}
+	s.skim()
 	if len(s.events) > 0 && s.events[0].at < t {
-		return fmt.Errorf("sched: advancing to %d would skip completion at %d", t, s.events[0].at)
+		return fmt.Errorf("sched: advancing to %d would skip event at %d", t, s.events[0].at)
 	}
 	s.now = t
 	return nil
 }
 
-// Step advances the clock to the next completion event, retires every job
-// completing at that instant, and runs a scheduling cycle. It returns
-// false when no events remain.
+// Step advances the clock to the next event, dispatches every event firing
+// at that instant (completions before repairs before failures), and runs a
+// scheduling cycle. It returns false when no events remain.
 func (s *Scheduler) Step() bool {
+	s.skim()
 	if len(s.events) == 0 {
 		return false
 	}
 	e := heap.Pop(&s.events).(event)
 	s.now = e.at
-	s.complete(e.jobID)
-	for len(s.events) > 0 && s.events[0].at == s.now {
-		e := heap.Pop(&s.events).(event)
-		s.complete(e.jobID)
+	s.dispatch(e)
+	for {
+		s.skim()
+		if len(s.events) == 0 || s.events[0].at != s.now {
+			break
+		}
+		s.dispatch(heap.Pop(&s.events).(event))
 	}
 	s.Schedule()
 	return true
+}
+
+// dispatch applies one event at the current clock.
+func (s *Scheduler) dispatch(e event) {
+	switch e.kind {
+	case evComplete:
+		s.complete(e.jobID)
+	case evNodeDown:
+		_, _ = s.NodeDown(e.path)
+		if s.resourceHook != nil {
+			s.resourceHook(e.at, e.path, true)
+		}
+	case evNodeUp:
+		_ = s.NodeUp(e.path)
+		if s.resourceHook != nil {
+			s.resourceHook(e.at, e.path, false)
+		}
+	}
 }
 
 func (s *Scheduler) complete(id int64) {
@@ -321,6 +462,88 @@ func (s *Scheduler) complete(id int64) {
 	}
 	_ = s.tr.Cancel(id)
 	job.State = StateCompleted
+}
+
+// ScheduleNodeDown enqueues a failure of the containment subtree at path
+// for simulated time at.
+func (s *Scheduler) ScheduleNodeDown(at int64, path string) error {
+	return s.scheduleResource(at, path, evNodeDown)
+}
+
+// ScheduleNodeUp enqueues a repair of the containment subtree at path for
+// simulated time at.
+func (s *Scheduler) ScheduleNodeUp(at int64, path string) error {
+	return s.scheduleResource(at, path, evNodeUp)
+}
+
+func (s *Scheduler) scheduleResource(at int64, path string, kind eventKind) error {
+	if at < s.now {
+		return fmt.Errorf("sched: %s at %d is in the past (now %d)", kind, at, s.now)
+	}
+	heap.Push(&s.events, event{at: at, kind: kind, path: path})
+	return nil
+}
+
+// NodeDown takes the containment subtree at path out of service now: jobs
+// running or reserved on it are evicted and requeued with their retry
+// counter bumped (running jobs only); a job evicted more than MaxRetries
+// times moves to StateFailed. Lost core-seconds — work the evicted jobs
+// had completed and must redo — are accumulated for Metrics. The evicted
+// job IDs are returned. Callers driving the scheduler directly should run
+// Schedule afterwards; event-loop dispatch does so automatically.
+func (s *Scheduler) NodeDown(path string) ([]int64, error) {
+	evicted, err := s.tr.MarkDown(path)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(evicted))
+	for _, alloc := range evicted {
+		ids = append(ids, alloc.JobID)
+		job := s.jobs[alloc.JobID]
+		if job == nil {
+			continue
+		}
+		switch job.State {
+		case StateRunning:
+			s.requeues++
+			s.lostCoreSec += alloc.Units("core") * (s.now - job.StartAt)
+			job.Retries++
+			job.Alloc = nil
+			if s.maxRetries > 0 && job.Retries > s.maxRetries {
+				job.State = StateFailed
+				continue
+			}
+			job.State = StatePending
+			s.enqueue(job)
+		case StateReserved:
+			// A reservation on failed resources is just re-planned;
+			// the job never started, so it costs no retry.
+			delete(s.reserved, job.ID)
+			job.State = StatePending
+			job.Alloc = nil
+		}
+	}
+	return ids, nil
+}
+
+// NodeUp returns the containment subtree at path to service now. The
+// restored capacity is used from the next scheduling cycle on.
+func (s *Scheduler) NodeUp(path string) error {
+	return s.tr.MarkUp(path)
+}
+
+// Unfinished counts jobs still pending, reserved, or running — the signal
+// fault injectors use to stop scheduling new failures once the workload
+// has drained.
+func (s *Scheduler) Unfinished() int {
+	n := 0
+	for _, j := range s.jobs {
+		switch j.State {
+		case StatePending, StateReserved, StateRunning:
+			n++
+		}
+	}
+	return n
 }
 
 // Run schedules the queue and steps the clock until every satisfiable job

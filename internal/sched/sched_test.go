@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -345,5 +346,273 @@ func TestAdvanceTo(t *testing.T) {
 	}
 	if err := s.AdvanceTo(105); err != nil {
 		t.Fatalf("advance before completion: %v", err)
+	}
+}
+
+func TestNodeDownEvictsAndRequeues(t *testing.T) {
+	// 1 rack × 2 nodes × 4 cores; j1 runs on one node for 100s.
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	s.Schedule()
+	j1, _ := s.Job(1)
+	if j1.State != StateRunning {
+		t.Fatalf("j1 = %v", j1.State)
+	}
+	victim := j1.Alloc.Nodes()[0].Path()
+
+	// Fail the node at t=40.
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := s.NodeDown(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if j1.State != StatePending || j1.Retries != 1 {
+		t.Fatalf("j1 = %v retries=%d", j1.State, j1.Retries)
+	}
+	s.Schedule()
+	// The job restarts on the surviving node at t=40.
+	if j1.State != StateRunning || j1.StartAt != 40 {
+		t.Fatalf("restart: %v @%d", j1.State, j1.StartAt)
+	}
+	if j1.Alloc.Nodes()[0].Path() == victim {
+		t.Fatal("restarted on the failed node")
+	}
+	if s.Run(0) != 1 {
+		t.Fatal("job did not complete")
+	}
+	if j1.EndAt != 140 {
+		t.Fatalf("end = %d", j1.EndAt)
+	}
+	m := s.Metrics()
+	if m.Requeues != 1 || m.LostCoreSeconds != 4*40 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if !strings.Contains(m.String(), "requeues=1 lostCoreSec=160") {
+		t.Fatalf("metrics string = %s", m)
+	}
+}
+
+func TestNodeDownStaleCompletionSkipped(t *testing.T) {
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	s.Schedule()
+	j1, _ := s.Job(1)
+	victim := j1.Alloc.Nodes()[0].Path()
+	if err := s.AdvanceTo(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NodeDown(victim); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule() // restarts at 40, new completion at 140
+	// The stale completion event at t=100 must not surface.
+	if at := s.NextEventAt(); at != 140 {
+		t.Fatalf("next event = %d", at)
+	}
+	if err := s.AdvanceTo(120); err != nil {
+		t.Fatalf("advance past stale event: %v", err)
+	}
+}
+
+func TestMaxRetriesMovesJobToFailed(t *testing.T) {
+	// Single node: every restart lands on the same node, which we keep
+	// killing. With MaxRetries=2 the third eviction fails the job.
+	g, err := grug.BuildGraph(grug.Small(1, 1, 4, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, Conservative, WithMaxRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, s, 1, nodeJob(1, 4, 100))
+	s.Schedule()
+	j1, _ := s.Job(1)
+	node := j1.Alloc.Nodes()[0].Path()
+	for i := 0; i < 3; i++ {
+		if _, err := s.NodeDown(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.NodeUp(node); err != nil {
+			t.Fatal(err)
+		}
+		s.Schedule()
+	}
+	if j1.State != StateFailed || j1.Retries != 3 {
+		t.Fatalf("j1 = %v retries=%d", j1.State, j1.Retries)
+	}
+	// Failed jobs never reschedule.
+	if s.Run(0) != 0 {
+		t.Fatal("failed job completed")
+	}
+	m := s.Metrics()
+	if m.Failed != 1 || m.Requeues != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestNodeDownReleasesReservation(t *testing.T) {
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100)) // fills the system
+	mustSubmit(t, s, 2, nodeJob(2, 4, 50))  // reserved at t=100
+	s.Schedule()
+	j2, _ := s.Job(2)
+	if j2.State != StateReserved {
+		t.Fatalf("j2 = %v", j2.State)
+	}
+	node := j2.Alloc.Nodes()[0].Path()
+	evicted, err := s.NodeDown(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the running job and the reservation touch the node.
+	if len(evicted) != 2 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if j2.State != StatePending || j2.Retries != 0 {
+		t.Fatalf("j2 = %v retries=%d (reservations cost no retry)", j2.State, j2.Retries)
+	}
+}
+
+func TestScheduledResourceEventsInterleave(t *testing.T) {
+	// j1 runs 0-100 on node A; node B fails at t=10 and repairs at
+	// t=30; j2 (submitted at the start) can then run on B from t=30.
+	s := newSched(t, Conservative, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100)) // both nodes 0-100
+	mustSubmit(t, s, 2, nodeJob(1, 4, 20))
+	s.Schedule()
+	j1, _ := s.Job(1)
+	nodeB := j1.Alloc.Nodes()[1].Path()
+
+	var hookEvents []string
+	s.SetResourceEventHook(func(at int64, path string, down bool) {
+		hookEvents = append(hookEvents, fmt.Sprintf("%d:%v:%s", at, down, path))
+	})
+	if err := s.ScheduleNodeDown(10, nodeB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleNodeUp(30, nodeB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleNodeDown(5, nodeB); err == nil {
+		_ = err // t=5 is still in the future here; fine
+	}
+	done := s.Run(0)
+	if done != 2 {
+		t.Fatalf("completed = %d", done)
+	}
+	if len(hookEvents) < 2 || !strings.Contains(hookEvents[0], "true") {
+		t.Fatalf("hook = %v", hookEvents)
+	}
+	// j1 was evicted at 10 (lost both nodes' grant on B? no — j1 holds
+	// both nodes, so it requeues and restarts once B repairs).
+	if j1.Retries != 1 || j1.State != StateCompleted {
+		t.Fatalf("j1 = %v retries=%d", j1.State, j1.Retries)
+	}
+	if s.ScheduleNodeDown(0, nodeB) == nil {
+		t.Fatal("past event accepted")
+	}
+}
+
+func TestSchedulerCheckpointResume(t *testing.T) {
+	// Run A: uninterrupted. Run B: checkpoint mid-run, rebuild, resume.
+	// Terminal states and times must agree.
+	type runResult struct {
+		states map[int64]JobState
+		ends   map[int64]int64
+	}
+	terminal := func(s *Scheduler) runResult {
+		r := runResult{states: map[int64]JobState{}, ends: map[int64]int64{}}
+		for id, j := range s.Jobs() {
+			r.states[id] = j.State
+			r.ends[id] = j.EndAt
+		}
+		return r
+	}
+	specs := map[int64]*jobspec.Jobspec{
+		1: nodeJob(2, 4, 100), 2: nodeJob(1, 4, 50), 3: nodeJob(1, 4, 100), 4: nodeJob(2, 4, 30),
+	}
+	build := func() *Scheduler {
+		s := newSched(t, Conservative, 1, 2, 4)
+		for id := int64(1); id <= 4; id++ {
+			mustSubmit(t, s, id, specs[id])
+		}
+		s.Schedule()
+		return s
+	}
+
+	sA := build()
+	sA.Run(0)
+	want := terminal(sA)
+
+	sB := build()
+	if !sB.Step() { // partially drain
+		t.Fatal("no events")
+	}
+	data, err := sB.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the resource side the way fluxion.Restore would: fresh
+	// graph, reinstall the live allocations, then resume the scheduler.
+	g, err := grug.BuildGraph(grug.Small(1, 2, 4, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sB.tr.Jobs() {
+		a, _ := sB.tr.Info(id)
+		if _, err := tr2.Reinstall(id, a.At, a.Duration, a.Reserved, a.Grants()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sC, err := Resume(tr2, data, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sC.Now() != sB.Now() {
+		t.Fatalf("clock: %d vs %d", sC.Now(), sB.Now())
+	}
+	sC.Run(0)
+	got := terminal(sC)
+	for id := range want.states {
+		if want.states[id] != got.states[id] || want.ends[id] != got.ends[id] {
+			t.Fatalf("job %d: want %v@%d got %v@%d", id,
+				want.states[id], want.ends[id], got.states[id], got.ends[id])
+		}
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	s := newSched(t, Conservative, 1, 1, 4)
+	if _, err := Resume(s.tr, []byte("junk"), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("junk: %v", err)
+	}
+	if _, err := Resume(s.tr, []byte(`{"version":9}`), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("version: %v", err)
+	}
+	// A pending job without a jobspec cannot resume.
+	mustSubmit(t, s, 1, nodeJob(1, 4, 10))
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(s.tr, data, nil); !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("missing spec: %v", err)
 	}
 }

@@ -2,6 +2,12 @@
 // trace through the queuing scheduler on a GRUG-generated system and
 // reports the per-job timeline plus run metrics. It is the command-line
 // face of internal/sched, factored out of cmd/fluxion-sim for testing.
+//
+// Beyond plain replay it supports seeded per-node fault injection
+// (exponential MTBF/MTTR, deterministic for a given seed) and a
+// crash-recovery drill that checkpoints mid-run, rebuilds the scheduler
+// from the checkpoint, and verifies the resumed run converges to the same
+// terminal state as the uninterrupted one.
 package simcli
 
 import (
@@ -10,13 +16,17 @@ import (
 	"sort"
 	"time"
 
+	"fluxion"
 	"fluxion/internal/grug"
-	"fluxion/internal/match"
+	"fluxion/internal/jobspec"
 	"fluxion/internal/resgraph"
 	"fluxion/internal/sched"
 	"fluxion/internal/trace"
-	"fluxion/internal/traverser"
 )
+
+// simHorizon is the planner horizon for simulation runs: effectively
+// unbounded simulated seconds.
+const simHorizon = int64(1) << 40
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -31,6 +41,22 @@ type Config struct {
 	Timeline bool
 	// MaxSteps bounds the event loop (0 = drain completely).
 	MaxSteps int
+
+	// MTBF/MTTR (mean simulated seconds between node failures / to
+	// repair) enable seeded per-node fault injection when both are
+	// positive.
+	MTBF int64
+	MTTR int64
+	// FaultSeed seeds the fault timeline; the same seed reproduces the
+	// same failures event for event.
+	FaultSeed int64
+	// MaxRetries bounds failure-driven requeues per job (0 = scheduler
+	// default).
+	MaxRetries int
+	// Drill checkpoints the run midway, rebuilds a scheduler from the
+	// checkpoint, and verifies the resumed run reaches the same terminal
+	// state.
+	Drill bool
 }
 
 // Result carries the outcome for programmatic callers.
@@ -38,6 +64,62 @@ type Result struct {
 	Completed int
 	Metrics   sched.Metrics
 	Scheduler *sched.Scheduler
+	// DrillRan/DrillOK report the crash-recovery drill (Config.Drill).
+	DrillRan bool
+	DrillOK  bool
+}
+
+// looper is the discrete-event loop: trace arrivals interleave with
+// completion and node up/down events on the scheduler clock.
+type looper struct {
+	s     *sched.Scheduler
+	jobs  []trace.Job
+	i     int // next arrival index
+	steps int
+	max   int
+	out   io.Writer
+}
+
+// drive advances the simulation until arrivals and events drain. When
+// pause is non-nil it is consulted after every event step; returning true
+// suspends the loop (resume by calling drive again).
+func (l *looper) drive(pause func() bool) error {
+	if l.max > 0 && l.steps >= l.max {
+		return nil
+	}
+	for l.i < len(l.jobs) || l.s.HasEvents() {
+		if l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
+			// Submit everything due and re-plan the queue.
+			for l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
+				j := l.jobs[l.i]
+				if _, err := l.s.SubmitPriority(j.ID, j.Jobspec(), j.Priority); err != nil {
+					fmt.Fprintf(l.out, "job %d rejected: %v\n", j.ID, err)
+				}
+				l.i++
+			}
+			l.s.Schedule()
+			continue
+		}
+		// Next event: the earlier of the next arrival and the next
+		// scheduler event.
+		if l.i < len(l.jobs) && (!l.s.HasEvents() || l.jobs[l.i].Submit < l.s.NextEventAt()) {
+			if err := l.s.AdvanceTo(l.jobs[l.i].Submit); err != nil {
+				return err
+			}
+			continue
+		}
+		if !l.s.Step() {
+			break
+		}
+		l.steps++
+		if l.max > 0 && l.steps >= l.max {
+			break
+		}
+		if pause != nil && pause() {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Run replays the trace and writes a report to out.
@@ -45,19 +127,18 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.Recipe == nil {
 		return nil, fmt.Errorf("simcli: recipe is required")
 	}
+	if (cfg.MTBF > 0) != (cfg.MTTR > 0) {
+		return nil, fmt.Errorf("simcli: MTBF and MTTR must be set together")
+	}
 	spec := cfg.PruneSpec
 	if spec == nil {
 		spec = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
 	}
-	g, err := grug.BuildGraph(cfg.Recipe, 0, 1<<40, spec)
+	g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := match.Lookup(cfg.MatchPolicy)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := traverser.New(g, policy)
+	f, err := fluxion.New(fluxion.WithGraph(g), fluxion.WithPolicy(cfg.MatchPolicy))
 	if err != nil {
 		return nil, err
 	}
@@ -69,46 +150,56 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.QueueDepth > 0 {
 		sopts = append(sopts, sched.WithQueueDepth(cfg.QueueDepth))
 	}
-	s, err := sched.New(tr, qp, sopts...)
+	if cfg.MaxRetries > 0 {
+		sopts = append(sopts, sched.WithMaxRetries(cfg.MaxRetries))
+	}
+	s, err := sched.New(f.Traverser(), qp, sopts...)
 	if err != nil {
 		return nil, err
 	}
 
+	mp := cfg.MatchPolicy
+	if mp == "" {
+		mp = "first"
+	}
 	fmt.Fprintf(out, "system: %s\n", g.Stats())
-	fmt.Fprintf(out, "policies: match=%s queue=%s; %d jobs\n", policy.Name(), qp, len(jobs))
+	fmt.Fprintf(out, "policies: match=%s queue=%s; %d jobs\n", mp, qp, len(jobs))
 
-	// Jobs are submitted at their trace submit times: arrivals and
-	// completions interleave as discrete events.
-	start := time.Now()
-	i := 0
-	steps := 0
-	for i < len(jobs) || s.HasEvents() {
-		if i < len(jobs) && jobs[i].Submit <= s.Now() {
-			// Submit everything due and re-plan the queue.
-			for i < len(jobs) && jobs[i].Submit <= s.Now() {
-				if _, err := s.SubmitPriority(jobs[i].ID, jobs[i].Jobspec(), jobs[i].Priority); err != nil {
-					fmt.Fprintf(out, "job %d rejected: %v\n", jobs[i].ID, err)
-				}
-				i++
-			}
-			s.Schedule()
-			continue
+	l := &looper{s: s, jobs: jobs, out: out, max: cfg.MaxSteps}
+	var inj *injector
+	if cfg.MTBF > 0 {
+		inj = newInjector(s, cfg.FaultSeed, cfg.MTBF, cfg.MTTR)
+		inj.more = func() bool { return l.i < len(l.jobs) || s.Unfinished() > 0 }
+		if err := inj.start(g); err != nil {
+			return nil, err
 		}
-		// Next event: the earlier of the next arrival and the next
-		// completion.
-		if i < len(jobs) && (!s.HasEvents() || jobs[i].Submit < s.NextEventAt()) {
-			if err := s.AdvanceTo(jobs[i].Submit); err != nil {
+		fmt.Fprintf(out, "faults: seed=%d mtbf=%ds mttr=%ds over %d nodes\n",
+			cfg.FaultSeed, cfg.MTBF, cfg.MTTR, len(g.ByType("node")))
+	}
+
+	start := time.Now()
+	var cp *drillCheckpoint
+	if cfg.Drill {
+		// Pause midway — after roughly half the jobs' worth of events —
+		// and snapshot both state layers at the same instant.
+		trigger := (len(jobs) + 1) / 2
+		if err := l.drive(func() bool { return l.steps >= trigger }); err != nil {
+			return nil, err
+		}
+		if l.i < len(jobs) || s.HasEvents() {
+			cp = &drillCheckpoint{i: l.i, steps: l.steps}
+			if cp.resource, err = f.Checkpoint(); err != nil {
 				return nil, err
 			}
-			continue
+			if cp.sched, err = s.Checkpoint(); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(out, "drill: checkpoint at t=%d (%d arrivals in, %d events done)\n",
+				s.Now(), cp.i, cp.steps)
 		}
-		if !s.Step() {
-			break
-		}
-		steps++
-		if cfg.MaxSteps > 0 && steps >= cfg.MaxSteps {
-			break
-		}
+	}
+	if err := l.drive(nil); err != nil {
+		return nil, err
 	}
 	wall := time.Since(start)
 
@@ -117,8 +208,94 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	}
 	m := s.Metrics()
 	fmt.Fprintf(out, "metrics: %s\n", m)
+	if inj != nil {
+		fmt.Fprintf(out, "faults injected: downs=%d ups=%d\n", inj.downs, inj.ups)
+	}
 	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), s.Cycles)
-	return &Result{Completed: m.Completed, Metrics: m, Scheduler: s}, nil
+
+	res := &Result{Completed: m.Completed, Metrics: m, Scheduler: s}
+	if cp != nil {
+		res.DrillRan = true
+		res.DrillOK, err = runDrill(cfg, spec, jobs, cp, s, out)
+		if err != nil {
+			return nil, err
+		}
+		if !res.DrillOK {
+			fmt.Fprintf(out, "drill: FAIL — resumed run diverged from the uninterrupted run\n")
+		} else {
+			fmt.Fprintf(out, "drill: PASS — resumed run converged to the same terminal state\n")
+		}
+	} else if cfg.Drill {
+		fmt.Fprintf(out, "drill: skipped — run drained before the checkpoint trigger\n")
+	}
+	return res, nil
+}
+
+// drillCheckpoint is the paired mid-run snapshot: resource-graph state
+// (allocations, statuses) and scheduler state (queue, clock, events).
+type drillCheckpoint struct {
+	resource []byte
+	sched    []byte
+	i, steps int
+}
+
+// runDrill rebuilds scheduler + store from the checkpoint, replays the
+// remainder of the trace on the rebuilt instance, and compares every
+// job's terminal state against the uninterrupted run.
+func runDrill(cfg Config, spec resgraph.PruneSpec, jobs []trace.Job,
+	cp *drillCheckpoint, orig *sched.Scheduler, out io.Writer) (bool, error) {
+	f2, err := fluxion.Restore(cp.resource,
+		fluxion.WithPolicy(cfg.MatchPolicy),
+		fluxion.WithPruneSpec(spec),
+		fluxion.WithHorizon(simHorizon))
+	if err != nil {
+		return false, fmt.Errorf("simcli: drill restore: %w", err)
+	}
+	specs := make(map[int64]*jobspec.Jobspec, len(jobs))
+	for _, j := range jobs {
+		specs[j.ID] = j.Jobspec()
+	}
+	s2, err := sched.Resume(f2.Traverser(), cp.sched, specs)
+	if err != nil {
+		return false, fmt.Errorf("simcli: drill resume: %w", err)
+	}
+	l2 := &looper{s: s2, jobs: jobs, i: cp.i, steps: cp.steps, out: io.Discard, max: cfg.MaxSteps}
+	if cfg.MTBF > 0 {
+		// Re-attach a fresh injector; pending node events were restored
+		// from the checkpoint and future delays are pure functions of
+		// (seed, node, time), so the fault timeline replays exactly.
+		inj := newInjector(s2, cfg.FaultSeed, cfg.MTBF, cfg.MTTR)
+		inj.more = func() bool { return l2.i < len(l2.jobs) || s2.Unfinished() > 0 }
+	}
+	if err := l2.drive(nil); err != nil {
+		return false, err
+	}
+
+	a, b := orig.Jobs(), s2.Jobs()
+	if len(a) != len(b) {
+		fmt.Fprintf(out, "drill: job count %d vs %d\n", len(a), len(b))
+		return false, nil
+	}
+	ok := true
+	for id, ja := range a {
+		jb, exists := b[id]
+		if !exists {
+			fmt.Fprintf(out, "drill: job %d missing after resume\n", id)
+			ok = false
+			continue
+		}
+		if ja.State != jb.State || ja.StartAt != jb.StartAt || ja.EndAt != jb.EndAt {
+			fmt.Fprintf(out, "drill: job %d diverged: %v@[%d,%d] vs %v@[%d,%d]\n",
+				id, ja.State, ja.StartAt, ja.EndAt, jb.State, jb.StartAt, jb.EndAt)
+			ok = false
+		}
+	}
+	ma, mb := orig.Metrics(), s2.Metrics()
+	if ma.Requeues != mb.Requeues || ma.LostCoreSeconds != mb.LostCoreSeconds || ma.Failed != mb.Failed {
+		fmt.Fprintf(out, "drill: metrics diverged: %s vs %s\n", ma, mb)
+		ok = false
+	}
+	return ok, nil
 }
 
 func printTimeline(out io.Writer, s *sched.Scheduler, jobs []trace.Job) {

@@ -139,6 +139,18 @@ func (a *Allocation) Describe() string {
 	return strings.Join(parts, " ")
 }
 
+// Units returns the total units of the given resource type granted to the
+// job (e.g. Units("core") for core-seconds accounting).
+func (a *Allocation) Units(typ string) int64 {
+	var n int64
+	for _, va := range a.Vertices {
+		if va.V.Type == typ {
+			n += va.Units
+		}
+	}
+	return n
+}
+
 // Nodes returns the distinct node-type vertices granted to the job,
 // including shared structural nodes.
 func (a *Allocation) Nodes() []*resgraph.Vertex {
@@ -253,9 +265,23 @@ func trackedCounts(js *jobspec.Jobspec, rf *planner.Multi) map[string]int64 {
 
 // Cancel releases all resources held (or reserved) by jobID.
 func (t *Traverser) Cancel(jobID int64) error {
+	_, err := t.remove(jobID)
+	return err
+}
+
+// Evict forcibly releases a job's grants after a resource failure, without
+// treating it as a normal cancel: the allocation is returned (detached from
+// the traverser) so the queuing layer can account for the work lost and
+// requeue the job. Resource-wise it is equivalent to Cancel.
+func (t *Traverser) Evict(jobID int64) (*Allocation, error) {
+	return t.remove(jobID)
+}
+
+// remove uninstalls an allocation's planner spans and filter spans.
+func (t *Traverser) remove(jobID int64) (*Allocation, error) {
 	alloc, ok := t.allocs[jobID]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
 	}
 	delete(t.allocs, jobID)
 	var firstErr error
@@ -272,7 +298,77 @@ func (t *Traverser) Cancel(jobID int64) error {
 			firstErr = err
 		}
 	}
-	return firstErr
+	return alloc, firstErr
+}
+
+// AffectedJobs returns, in ascending order, the IDs of jobs holding any
+// grant (consuming or shared-structural) on a vertex in the containment
+// subtree rooted at root. These are the jobs a failure of that subtree
+// strands.
+func (t *Traverser) AffectedJobs(root *resgraph.Vertex) []int64 {
+	if root == nil {
+		return nil
+	}
+	prefix := root.Path()
+	var out []int64
+	for id, alloc := range t.allocs {
+		for _, va := range alloc.Vertices {
+			if pathWithin(va.V.Path(), prefix) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pathWithin reports whether path lies at or beneath root in the
+// containment hierarchy ("/a/b" is within "/a" but "/ab" is not).
+func pathWithin(path, root string) bool {
+	if root == "" || path == "" {
+		return false
+	}
+	if path == root {
+		return true
+	}
+	return strings.HasPrefix(path, root) && len(path) > len(root) && path[len(root)] == '/'
+}
+
+// MarkDown takes the containment subtree at path out of service: every job
+// with a grant in the subtree is evicted, the subtree's status bits are
+// flipped down, and the transitioned capacity is subtracted from every
+// ancestor pruning filter (paper §5.5 status dynamism). It returns the
+// evicted allocations in ascending job-ID order so the queuing layer can
+// requeue them. Marking an already-down subtree is a no-op.
+func (t *Traverser) MarkDown(path string) ([]*Allocation, error) {
+	v := t.g.ByPath(path)
+	if v == nil {
+		return nil, fmt.Errorf("traverser: no vertex at %q", path)
+	}
+	var evicted []*Allocation
+	for _, id := range t.AffectedJobs(v) {
+		alloc, err := t.Evict(id)
+		if err != nil {
+			return evicted, err
+		}
+		evicted = append(evicted, alloc)
+	}
+	if _, err := t.g.MarkDown(v); err != nil {
+		return evicted, err
+	}
+	return evicted, nil
+}
+
+// MarkUp returns the containment subtree at path to service, restoring the
+// transitioned capacity to every ancestor pruning filter.
+func (t *Traverser) MarkUp(path string) error {
+	v := t.g.ByPath(path)
+	if v == nil {
+		return fmt.Errorf("traverser: no vertex at %q", path)
+	}
+	_, err := t.g.MarkUp(v)
+	return err
 }
 
 // Grant names one vertex grant for Reinstall: the vertex's containment
@@ -317,6 +413,10 @@ func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, gr
 		if v == nil {
 			rollback()
 			return nil, fmt.Errorf("%w: no vertex at %q", ErrNoMatch, gr.Path)
+		}
+		if gr.Units < 0 {
+			rollback()
+			return nil, fmt.Errorf("%w: negative units %d at %q", ErrNoMatch, gr.Units, gr.Path)
 		}
 		va := VertexAlloc{V: v, Units: gr.Units}
 		if gr.Units > 0 {
@@ -398,6 +498,10 @@ func (t *Traverser) Info(jobID int64) (*Allocation, bool) {
 	a, ok := t.allocs[jobID]
 	return a, ok
 }
+
+// JobCount returns the number of live jobs without materializing the ID
+// slice Jobs builds.
+func (t *Traverser) JobCount() int { return len(t.allocs) }
 
 // Jobs returns all live job IDs in ascending order.
 func (t *Traverser) Jobs() []int64 {

@@ -852,3 +852,156 @@ func TestNewErrors(t *testing.T) {
 		t.Fatalf("nil policy: %v", err)
 	}
 }
+
+func TestAffectedJobsAndEvict(t *testing.T) {
+	g := buildSmall(t, 2, 2, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	// j1 on node0+node1 (rack0), j2 on node2 (rack1).
+	if _, err := tr.MatchAllocate(1, jobspec.NodeLocal(2, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MatchAllocate(2, jobspec.NodeLocal(1, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := tr.Info(1)
+	a2, _ := tr.Info(2)
+	if len(a1.Nodes()) != 2 || len(a2.Nodes()) != 1 {
+		t.Fatalf("layout: j1=%s j2=%s", a1.Describe(), a2.Describe())
+	}
+	n0 := a1.Nodes()[0]
+	other := a2.Nodes()[0]
+
+	got := tr.AffectedJobs(n0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("affected(%s) = %v", n0.Path(), got)
+	}
+	if got := tr.AffectedJobs(g.Root(resgraph.Containment)); len(got) != 2 {
+		t.Fatalf("affected(root) = %v", got)
+	}
+	// "/...node0" must not swallow a hypothetical sibling prefix.
+	if !pathWithin("/a/node1/core0", "/a/node1") || pathWithin("/a/node10", "/a/node1") {
+		t.Fatal("pathWithin prefix semantics")
+	}
+
+	if tr.JobCount() != 2 {
+		t.Fatalf("JobCount = %d", tr.JobCount())
+	}
+	evicted, err := tr.Evict(1)
+	if err != nil || evicted == nil || evicted.JobID != 1 {
+		t.Fatalf("evict: %+v, %v", evicted, err)
+	}
+	if tr.JobCount() != 1 {
+		t.Fatalf("JobCount after evict = %d", tr.JobCount())
+	}
+	if _, err := tr.Evict(1); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("double evict: %v", err)
+	}
+	// Evicted capacity is reusable immediately.
+	if _, err := tr.MatchAllocate(3, jobspec.NodeLocal(2, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatalf("reuse after evict: %v", err)
+	}
+	_ = other
+}
+
+func TestMarkDownEvictsAndExcludesCapacity(t *testing.T) {
+	g := buildSmall(t, 2, 2, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	root := g.Root(resgraph.Containment)
+
+	// Fill one node with j1; leave the rest idle.
+	if _, err := tr.MatchAllocate(1, jobspec.NodeLocal(1, 1, 4, 0, 0, 1000), 0); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := tr.Info(1)
+	victim := a1.Nodes()[0].Path()
+
+	evicted, err := tr.MarkDown(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].JobID != 1 {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	if tr.JobCount() != 0 {
+		t.Fatal("job survived MarkDown")
+	}
+	// The job's core units are reported for lost-work accounting.
+	if evicted[0].Units("core") != 4 {
+		t.Fatalf("units = %d", evicted[0].Units("core"))
+	}
+
+	// Regression: the root filter aggregates exclude the downed subtree,
+	// so a request needing all 4 nodes is rejected at the fast-fail
+	// check rather than after a deep traversal.
+	rf := root.Filter()
+	if avail, _ := rf.Planner("node").AvailDuring(0, 1); avail != 3 {
+		t.Fatalf("root node aggregate = %d", avail)
+	}
+	if avail, _ := rf.Planner("core").AvailDuring(0, 1); avail != 12 {
+		t.Fatalf("root core aggregate = %d", avail)
+	}
+	if _, err := tr.MatchAllocate(2, jobspec.NodeLocal(4, 1, 4, 0, 0, 10), 0); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("4-node job on 3-node system: %v", err)
+	}
+	// MatchSatisfy sees only surviving capacity.
+	if ok, _ := tr.MatchSatisfy(jobspec.NodeLocal(4, 1, 4, 0, 0, 10)); ok {
+		t.Fatal("satisfy ignored downed node")
+	}
+	if ok, _ := tr.MatchSatisfy(jobspec.NodeLocal(3, 1, 4, 0, 0, 10)); !ok {
+		t.Fatal("3 nodes should remain satisfiable")
+	}
+
+	// Reservations route around the downed node.
+	if _, err := tr.MatchAllocate(3, jobspec.NodeLocal(3, 1, 4, 0, 0, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.MatchAllocateOrReserve(4, jobspec.NodeLocal(3, 1, 4, 0, 0, 10), 0)
+	if err != nil || !res.Reserved || res.At != 50 {
+		t.Fatalf("reserve around failure: %+v, %v", res, err)
+	}
+
+	// Repair: capacity returns and the 4-node job fits again.
+	if err := tr.MarkUp(victim); err != nil {
+		t.Fatal(err)
+	}
+	if avail, _ := rf.Planner("node").AvailDuring(0, 1); avail != 4 {
+		t.Fatalf("restored node aggregate = %d", avail)
+	}
+	if ok, _ := tr.MatchSatisfy(jobspec.NodeLocal(4, 1, 4, 0, 0, 10)); !ok {
+		t.Fatal("repair did not restore satisfiability")
+	}
+}
+
+func TestMarkDownSubtreeWithMultiNodeJob(t *testing.T) {
+	// A rack failure evicts a job spanning nodes in that rack even when
+	// the job also holds grants elsewhere? (Jobs are placed per-policy;
+	// here j1 spans both racks, so downing either rack evicts it.)
+	g := buildSmall(t, 2, 2, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	if _, err := tr.MatchAllocate(1, jobspec.NodeLocal(3, 1, 4, 0, 0, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := tr.MarkDown("/cluster0/rack1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].JobID != 1 {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	// Only rack0's 2 nodes remain.
+	if ok, _ := tr.MatchSatisfy(jobspec.NodeLocal(3, 1, 4, 0, 0, 10)); ok {
+		t.Fatal("3 nodes satisfiable with a rack down")
+	}
+	if _, err := tr.MatchAllocate(2, jobspec.NodeLocal(2, 1, 4, 0, 0, 10), 0); err != nil {
+		t.Fatalf("surviving rack unusable: %v", err)
+	}
+	if err := tr.MarkUp("/cluster0/rack1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MarkDown("/nowhere"); err == nil {
+		t.Fatal("unknown path accepted")
+	}
+	if err := tr.MarkUp("/nowhere"); err == nil {
+		t.Fatal("unknown path accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package fluxion
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fluxion/internal/jobspec"
+)
+
+// TestDownSubtreesSkippedAcrossPoliciesAndFormats checks, for every match
+// policy, that matching routes around a downed node, and that down status
+// round-trips through both JGF and GraphML into identical match results.
+func TestDownSubtreesSkippedAcrossPoliciesAndFormats(t *testing.T) {
+	policies := []string{"first", "high", "low", "locality", "variation"}
+	for _, policy := range policies {
+		t.Run(policy, func(t *testing.T) {
+			f := newFluxion(t, WithPolicy(policy))
+			nodes := f.Find("node", "")
+			if len(nodes) != 4 {
+				t.Fatalf("nodes = %v", nodes)
+			}
+			down := nodes[1]
+			if _, err := f.MarkDown(down); err != nil {
+				t.Fatal(err)
+			}
+
+			// A job needing every surviving node must avoid the downed one.
+			spec := jobspec.NodeLocal(3, 1, 4, 0, 0, 100)
+			alloc, err := f.MatchAllocate(1, spec, 0)
+			if err != nil {
+				t.Fatalf("3-node match under %s: %v", policy, err)
+			}
+			for _, gr := range alloc.Grants() {
+				if gr.Path == down || strings.HasPrefix(gr.Path, down+"/") {
+					t.Fatalf("%s granted %s inside down subtree %s", policy, gr.Path, down)
+				}
+			}
+			if err := f.Cancel(1); err != nil {
+				t.Fatal(err)
+			}
+
+			// With one of four nodes down, a 4-node job is unsatisfiable.
+			if _, err := f.MatchAllocate(2, jobspec.NodeLocal(4, 1, 4, 0, 0, 100), 0); !errors.Is(err, ErrNoMatch) {
+				t.Fatalf("4-node match under %s: %v", policy, err)
+			}
+			if ok, err := f.MatchSatisfy(jobspec.NodeLocal(4, 1, 4, 0, 0, 100)); err != nil || ok {
+				t.Fatalf("satisfy 4 nodes under %s: %v %v", policy, ok, err)
+			}
+
+			want := matchGrants(t, f, policy, spec)
+
+			// Round-trip the downed store through both formats; matches
+			// must be grant-for-grant identical.
+			jgfDoc, err := f.JGF()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gmlDoc, err := f.GraphML()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, opt := range map[string]Option{
+				"jgf":     WithJGF(jgfDoc),
+				"graphml": WithGraphML(gmlDoc),
+			} {
+				f2, err := New(opt, WithPolicy(policy),
+					WithPruneFilters("ALL:core,ALL:node,ALL:memory"))
+				if err != nil {
+					t.Fatalf("%s reload: %v", name, err)
+				}
+				if got := f2.Find("node", "down"); len(got) != 1 || got[0] != down {
+					t.Fatalf("%s: down nodes = %v", name, got)
+				}
+				got := matchGrants(t, f2, policy, spec)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: %d grants, want %d", name, policy, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s grant %d: got %+v want %+v", name, policy, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// matchGrants matches spec on a scratch job and returns the grants,
+// cancelling afterwards so the store is left untouched.
+func matchGrants(t *testing.T, f *Fluxion, policy string, spec *Jobspec) []Grant {
+	t.Helper()
+	alloc, err := f.MatchAllocate(999, spec, 0)
+	if err != nil {
+		t.Fatalf("match under %s: %v", policy, err)
+	}
+	grants := alloc.Grants()
+	if err := f.Cancel(999); err != nil {
+		t.Fatal(err)
+	}
+	return grants
+}
