@@ -1,6 +1,17 @@
 GO ?= go
 
-.PHONY: all build test test-race race bench repro cover fmt vet clean
+# Coverage floor enforced by `make cover-check` (and CI). Raise it when
+# coverage grows; never lower it to merge.
+COVER_FLOOR ?= 78.0
+
+# The benchmark families gated against BENCH_BASELINE.json. -cpu is
+# pinned so sub-benchmark names (and the -N suffix) are identical across
+# machines; -count 5 lets benchdiff take the noise-resistant median.
+BENCH_GATE  ?= BenchmarkLODMatch|BenchmarkPlanner
+BENCH_FLAGS  = -run NONE -bench '$(BENCH_GATE)' -benchtime 0.5s -count 5 -cpu 4
+
+.PHONY: all build test test-race race bench repro cover cover-check \
+	lint bench-baseline bench-regress fmt vet clean
 
 all: build test
 
@@ -27,6 +38,30 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# cover-check fails when total statement coverage drops below
+# COVER_FLOOR. CI runs this on every push.
+cover-check:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+lint:
+	golangci-lint run
+
+# bench-baseline refreshes BENCH_BASELINE.json from a fresh run of the
+# gated benchmarks. Commit the result when a perf change is intended.
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) . > bench-current.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -input bench-current.txt -write
+
+# bench-regress is the CI perf gate: fails when a gated benchmark is
+# >20% slower than BENCH_BASELINE.json after machine-speed calibration.
+bench-regress:
+	$(GO) test $(BENCH_FLAGS) . > bench-current.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -input bench-current.txt
+
 fmt:
 	gofmt -w .
 
@@ -34,5 +69,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f cover.out
+	rm -f cover.out bench-current.txt
 	rm -rf repro-csv

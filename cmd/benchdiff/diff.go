@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_BASELINE.json shape: benchmark name
+// (with the -GOMAXPROCS suffix stripped, so runs from machines with
+// different core counts compare) to the median ns/op of the -count
+// repeats, plus each benchmark's observed relative sample spread
+// ((max-min)/median). The spread records how noisy a benchmark was
+// when the baseline was taken; the gate widens that benchmark's
+// tolerance by it, so stable benchmarks are held to the tight
+// threshold while inherently jittery ones don't flake.
+type Baseline struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Spread  map[string]float64 `json:"spread,omitempty"`
+}
+
+// ParseBench extracts ns/op samples per benchmark from `go test -bench`
+// text output. Sub-benchmarks keep their full slash path; the trailing
+// -GOMAXPROCS suffix is stripped. Repeated runs (-count>1) append.
+func ParseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines look like:
+		//   BenchmarkLODMatch/High_pruned-8  100  123456 ns/op  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var nsPerOp float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				nsPerOp = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		samples[name] = append(samples[name], nsPerOp)
+	}
+	return samples, sc.Err()
+}
+
+// Medians reduces each benchmark's samples to the median: unlike the
+// minimum it is robust to lucky-fast outliers (a single quiet-machine
+// sample would otherwise set an unrepeatable baseline), and unlike the
+// mean it ignores slow tails.
+func Medians(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		out[name] = median(s)
+	}
+	return out
+}
+
+// Spreads computes each benchmark's relative sample spread,
+// (max-min)/median — 0 for a single sample.
+func Spreads(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		m := median(s)
+		if len(s) < 2 || m <= 0 {
+			out[name] = 0
+			continue
+		}
+		lo, hi := s[0], s[0]
+		for _, v := range s[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		out[name] = (hi - lo) / m
+	}
+	return out
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS marker go test
+// appends to benchmark names ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
+// On GOMAXPROCS=1 machines go test omits the marker entirely, so a
+// numeric tail might instead be part of the sub-benchmark name (e.g.
+// "spans-1000"); only values that look like CPU counts are stripped.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 || n > 256 {
+		return name
+	}
+	return name[:i]
+}
+
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.NsPerOp) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return &b, nil
+}
+
+func WriteBaseline(path string, samples map[string][]float64) error {
+	b := Baseline{NsPerOp: Medians(samples), Spread: roundMap(Spreads(samples))}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// roundMap trims spreads to three decimals so the committed JSON stays
+// readable and diffs stay small.
+func roundMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(int(v*1000+0.5)) / 1000
+	}
+	return out
+}
+
+// Row is one benchmark's comparison outcome.
+type Row struct {
+	Name       string
+	BaseNs     float64
+	CurrentNs  float64
+	Ratio      float64 // current/base
+	Calibrated float64 // ratio normalized by the machine-speed median
+	Limit      float64 // calibrated ratio above which this row fails
+	Gated      bool
+	Regressed  bool
+}
+
+// Report is the full comparison: per-benchmark rows plus the median
+// machine-speed factor used for calibration.
+type Report struct {
+	Rows      []Row
+	Median    float64
+	Threshold float64
+	Missing   []string // gated baseline entries absent from the current run
+}
+
+// Compare calibrates current against baseline and flags gated
+// regressions. Every benchmark present in both sets feeds the median;
+// only benchmarks matching a gate prefix can fail the build. A gated
+// row fails when its calibrated ratio exceeds 1 + threshold + the
+// benchmark's recorded baseline spread.
+func Compare(base *Baseline, currentSamples map[string][]float64, gates []string, threshold float64) (*Report, error) {
+	current := Medians(currentSamples)
+	var ratios []float64
+	var rows []Row
+	for name, cur := range current {
+		b, ok := base.NsPerOp[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		r := cur / b
+		ratios = append(ratios, r)
+		rows = append(rows, Row{
+			Name: name, BaseNs: b, CurrentNs: cur, Ratio: r,
+			Limit: 1 + threshold + base.Spread[name],
+			Gated: gated(name, gates),
+		})
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("no overlap between baseline and current results")
+	}
+	med := median(ratios)
+	if med <= 0 {
+		return nil, fmt.Errorf("degenerate median ratio %v", med)
+	}
+	for i := range rows {
+		rows[i].Calibrated = rows[i].Ratio / med
+		rows[i].Regressed = rows[i].Gated && rows[i].Calibrated > rows[i].Limit
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+
+	var missing []string
+	for name := range base.NsPerOp {
+		if _, ok := current[name]; !ok && gated(name, gates) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return &Report{Rows: rows, Median: med, Threshold: threshold, Missing: missing}, nil
+}
+
+func gated(name string, gates []string) bool {
+	for _, g := range gates {
+		if strings.HasPrefix(name, g) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) Failed() bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, row := range r.Rows {
+		if row.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchdiff: machine-speed median ratio %.3f, gate threshold +%.0f%% (+ per-benchmark baseline spread)\n",
+		r.Median, r.Threshold*100)
+	fmt.Fprintf(&sb, "%-44s %14s %14s %9s %9s %7s  %s\n",
+		"benchmark", "base ns/op", "curr ns/op", "ratio", "calib", "limit", "verdict")
+	for _, row := range r.Rows {
+		verdict := "-"
+		switch {
+		case row.Regressed:
+			verdict = "REGRESSED"
+		case row.Gated:
+			verdict = "ok"
+		}
+		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %9.3f %9.3f %7.3f  %s\n",
+			row.Name, row.BaseNs, row.CurrentNs, row.Ratio, row.Calibrated, row.Limit, verdict)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(&sb, "%-44s MISSING from current run (gated)\n", name)
+	}
+	return sb.String()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: fluxion
+BenchmarkLODMatch/High-8         	     100	  12000000 ns/op	  500 B/op	 3 allocs/op
+BenchmarkLODMatch/High-8         	     100	  11000000 ns/op	  500 B/op	 3 allocs/op
+BenchmarkPlannerSatAt/1000-8     	 1000000	      1100 ns/op
+BenchmarkSDFU-8                  	    5000	    300000 ns/op
+PASS
+ok  	fluxion	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	samples, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Medians(samples)
+	want := map[string]float64{
+		"BenchmarkLODMatch/High":     11500000, // median of the two runs
+		"BenchmarkPlannerSatAt/1000": 1100,
+		"BenchmarkSDFU":              300000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+	spreads := Spreads(samples)
+	if s := spreads["BenchmarkLODMatch/High"]; s <= 0.08 || s >= 0.1 {
+		t.Errorf("spread = %v, want ~1e6/11.5e6", s) // (12M-11M)/11.5M
+	}
+	if s := spreads["BenchmarkSDFU"]; s != 0 {
+		t.Errorf("single-sample spread = %v, want 0", s)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX/sub-16":     "BenchmarkX/sub",
+		"BenchmarkX/n-1-4":      "BenchmarkX/n-1",
+		"BenchmarkNoSuffix":     "BenchmarkNoSuffix",
+		"BenchmarkX/tail-words": "BenchmarkX/tail-words",
+		// Numeric tails beyond any plausible CPU count are part of the
+		// sub-benchmark name, not a GOMAXPROCS marker.
+		"BenchmarkY/spans-1000": "BenchmarkY/spans-1000",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func one(m map[string]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(m))
+	for k, v := range m {
+		out[k] = []float64{v}
+	}
+	return out
+}
+
+// A uniformly 2x-slower machine must not trip the gate: calibration
+// divides out the shared factor.
+func TestCompareCalibratesMachineSpeed(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkPlannerSatAt":  2000,
+		"BenchmarkSDFU":          3000,
+	}}
+	current := one(map[string]float64{
+		"BenchmarkLODMatch/High": 2000,
+		"BenchmarkPlannerSatAt":  4000,
+		"BenchmarkSDFU":          6000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch", "BenchmarkPlanner"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("uniform slowdown flagged as regression:\n%s", rep)
+	}
+	if rep.Median != 2.0 {
+		t.Fatalf("median = %v, want 2.0", rep.Median)
+	}
+}
+
+// One gated benchmark regressing beyond the threshold while the rest
+// hold steady must fail, and an ungated one must not.
+func TestCompareFlagsRealRegression(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkPlannerSatAt":  2000,
+		"BenchmarkSDFU":          3000,
+	}}
+	current := one(map[string]float64{
+		"BenchmarkLODMatch/High": 1500, // +50%, gated -> fail
+		"BenchmarkPlannerSatAt":  2000,
+		"BenchmarkSDFU":          3000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch", "BenchmarkPlanner"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("regression not flagged:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		wantRegressed := row.Name == "BenchmarkLODMatch/High"
+		if row.Regressed != wantRegressed {
+			t.Errorf("%s regressed=%v, want %v", row.Name, row.Regressed, wantRegressed)
+		}
+	}
+
+	// The same slowdown on the ungated BenchmarkSDFU must pass.
+	current = one(map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkPlannerSatAt":  2000,
+		"BenchmarkSDFU":          4500,
+	})
+	rep, err = Compare(base, current, []string{"BenchmarkLODMatch", "BenchmarkPlanner"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("ungated slowdown failed the gate:\n%s", rep)
+	}
+}
+
+// A benchmark whose baseline recorded a wide sample spread gets that
+// much extra tolerance; one with a tight spread does not.
+func TestCompareSpreadWidensLimit(t *testing.T) {
+	base := &Baseline{
+		NsPerOp: map[string]float64{
+			"BenchmarkLODMatch/Jittery": 1000,
+			"BenchmarkLODMatch/Stable":  1000,
+			"BenchmarkSDFU":             3000,
+		},
+		Spread: map[string]float64{
+			"BenchmarkLODMatch/Jittery": 0.40,
+			"BenchmarkLODMatch/Stable":  0.02,
+		},
+	}
+	current := one(map[string]float64{
+		"BenchmarkLODMatch/Jittery": 1500, // +50% < 1+0.20+0.40 -> ok
+		"BenchmarkLODMatch/Stable":  1000,
+		"BenchmarkSDFU":             3000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("slowdown within recorded spread failed the gate:\n%s", rep)
+	}
+	current = one(map[string]float64{
+		"BenchmarkLODMatch/Jittery": 1000,
+		"BenchmarkLODMatch/Stable":  1500, // +50% > 1+0.20+0.02 -> fail
+		"BenchmarkSDFU":             3000,
+	})
+	rep, err = Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("slowdown beyond spread passed the gate:\n%s", rep)
+	}
+}
+
+// A gated benchmark silently disappearing from the run (renamed or
+// deleted) must fail rather than pass vacuously.
+func TestCompareMissingGatedBenchmark(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}}
+	current := one(map[string]float64{
+		"BenchmarkSDFU": 3000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("missing gated benchmark did not fail the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkLODMatch/High" {
+		t.Fatalf("Missing = %v", rep.Missing)
+	}
+}

@@ -1,0 +1,89 @@
+// benchdiff gates performance regressions in CI.
+//
+// It parses `go test -bench` output, compares the gated benchmark
+// families against a committed baseline (BENCH_BASELINE.json), and
+// exits non-zero when any gated benchmark regressed by more than the
+// threshold.
+//
+// CI runners and developer laptops differ in raw speed, so a naive
+// ns/op comparison would flag every run on a slower machine. benchdiff
+// calibrates instead: it computes the median current/baseline ratio
+// across every benchmark present in both sets and treats that as the
+// machine-speed factor. A gated benchmark only fails when its own
+// ratio exceeds the median by more than the threshold — i.e. when it
+// slowed down relative to the rest of the suite, which is what a code
+// regression looks like. Each benchmark's tolerance is additionally
+// widened by the sample spread recorded when its baseline was taken,
+// so inherently jittery benchmarks don't flake while stable ones stay
+// tightly gated.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'LODMatch|Planner' . > bench.txt
+//	benchdiff -baseline BENCH_BASELINE.json -input bench.txt          # gate
+//	benchdiff -baseline BENCH_BASELINE.json -input bench.txt -write   # refresh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+		inputPath    = flag.String("input", "-", "go test -bench output to compare ('-' for stdin)")
+		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner", "comma-separated benchmark name prefixes that are gated")
+		threshold    = flag.Float64("threshold", 0.20, "maximum tolerated calibrated slowdown (0.20 = +20%)")
+		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		fail(err)
+		defer f.Close()
+		in = f
+	}
+	current, err := ParseBench(in)
+	fail(err)
+	if len(current) == 0 {
+		fail(fmt.Errorf("no benchmark results found in %s", *inputPath))
+	}
+
+	if *write {
+		fail(WriteBaseline(*baselinePath, current))
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	baseline, err := ReadBaseline(*baselinePath)
+	fail(err)
+	report, err := Compare(baseline, current, splitGates(*gates), *threshold)
+	fail(err)
+	fmt.Print(report.String())
+	if report.Failed() {
+		os.Exit(1)
+	}
+}
+
+func splitGates(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}

@@ -5,6 +5,7 @@
 //	fluxion-bench -experiment planner   # Fig. 6b  (Planner scaling)
 //	fluxion-bench -experiment classes   # Fig. 7a  (performance classes)
 //	fluxion-bench -experiment varaware  # Fig. 7b, Table 1, Fig. 8
+//	fluxion-bench -experiment parmatch  # parallel match pipeline sweep
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -27,13 +28,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
 		jobs       = flag.Int("jobs", 200, "trace length for the variation-aware study")
 		nodes      = flag.Int64("quartz-nodes", 2418, "variation-aware system size (racks of 62)")
 		seed       = flag.Int64("seed", 2023, "workload seed")
+		workers    = flag.String("workers", "1,2,4,8", "parallel-match worker sweep")
+		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
@@ -99,8 +102,19 @@ func main() {
 		writeCSV("varaware_perjob.csv", func(w *os.File) error { return experiments.WritePerJobCSV(w, runs) })
 		fmt.Printf("(varaware experiment wall time: %v)\n", time.Since(start).Round(time.Second))
 	}
+	if run("parmatch") {
+		ran = true
+		sweep, err := parseInts(*workers)
+		fail(err)
+		start := time.Now()
+		results, err := experiments.RunParMatch(*racks, sweep, *parOps)
+		fail(err)
+		experiments.PrintParMatch(os.Stdout, results, *racks)
+		writeCSV("parmatch.csv", func(w *os.File) error { return experiments.WriteParMatchCSV(w, results) })
+		fmt.Printf("(parmatch experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

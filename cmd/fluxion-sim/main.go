@@ -34,6 +34,7 @@ func main() {
 		matchPol   = flag.String("match", "first", "match policy: first | high | low | locality | variation")
 		queuePol   = flag.String("queue", "conservative", "queue policy: fcfs | easy | conservative")
 		queueDepth = flag.Int("queue-depth", 0, "plan at most N pending jobs per cycle (0 = all)")
+		matchWork  = flag.Int("match-workers", 1, "parallel match workers per cycle (1 = sequential)")
 		prune      = flag.String("prune", "ALL:core,ALL:node", "pruning filter spec")
 		timeline   = flag.Bool("timeline", false, "print the per-job timeline")
 		mtbf       = flag.Int64("mtbf", 0, "mean seconds between node failures (0 = no fault injection)")
@@ -99,17 +100,18 @@ func main() {
 	spec, err := resgraph.ParsePruneSpec(*prune)
 	fail(err)
 	res, err := simcli.Run(simcli.Config{
-		Recipe:      recipe,
-		PruneSpec:   spec,
-		MatchPolicy: *matchPol,
-		QueuePolicy: sched.QueuePolicy(*queuePol),
-		QueueDepth:  *queueDepth,
-		Timeline:    *timeline,
-		MTBF:        *mtbf,
-		MTTR:        *mttr,
-		FaultSeed:   *faultSeed,
-		MaxRetries:  *maxRetries,
-		Drill:       *drill,
+		Recipe:       recipe,
+		PruneSpec:    spec,
+		MatchPolicy:  *matchPol,
+		QueuePolicy:  sched.QueuePolicy(*queuePol),
+		QueueDepth:   *queueDepth,
+		MatchWorkers: *matchWork,
+		Timeline:     *timeline,
+		MTBF:         *mtbf,
+		MTTR:         *mttr,
+		FaultSeed:    *faultSeed,
+		MaxRetries:   *maxRetries,
+		Drill:        *drill,
 	}, jobs, os.Stdout)
 	fail(err)
 	if res.DrillRan && !res.DrillOK {

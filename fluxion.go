@@ -80,12 +80,13 @@ const DefaultHorizon = int64(1) << 31
 
 // config collects construction options.
 type config struct {
-	base      int64
-	horizon   int64
-	policy    string
-	prune     string
-	pruneSpec resgraph.PruneSpec
-	subsystem string
+	base         int64
+	horizon      int64
+	policy       string
+	prune        string
+	pruneSpec    resgraph.PruneSpec
+	subsystem    string
+	matchWorkers int
 
 	recipe      *grug.Recipe
 	recipeYAML  []byte
@@ -165,12 +166,30 @@ func WithSubsystem(name string) Option {
 	return func(c *config) error { c.subsystem = name; return nil }
 }
 
+// WithMatchWorkers sets the parallel match pipeline's worker count: how
+// many traverser workers a queuing layer built on this instance should use
+// to speculatively match pending jobs concurrently (see internal/sched).
+// n <= 1 (the default) selects the sequential match loop. The value is a
+// hint surfaced through MatchWorkers; the speculation primitives
+// themselves (MatchSpeculate/Commit/Abandon) are always available.
+func WithMatchWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("fluxion: match workers must be >= 0")
+		}
+		c.matchWorkers = n
+		return nil
+	}
+}
+
 // Fluxion is the top-level scheduler-facing handle: a resource graph store
 // plus a traverser. It is safe for concurrent use.
 type Fluxion struct {
 	mu sync.Mutex
 	g  *resgraph.Graph
 	tr *traverser.Traverser
+	// matchWorkers is the configured parallel-match worker count.
+	matchWorkers int
 	// MatchTime accumulates wall-clock time spent matching, for
 	// benchmark harnesses.
 	matchTime time.Duration
@@ -248,7 +267,16 @@ func New(opts ...Option) (*Fluxion, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fluxion{g: g, tr: tr}, nil
+	return &Fluxion{g: g, tr: tr, matchWorkers: c.matchWorkers}, nil
+}
+
+// MatchWorkers returns the configured parallel-match worker count
+// (minimum 1).
+func (f *Fluxion) MatchWorkers() int {
+	if f.matchWorkers < 1 {
+		return 1
+	}
+	return f.matchWorkers
 }
 
 // Graph returns the underlying resource graph store.
@@ -303,6 +331,31 @@ func (f *Fluxion) MatchAllocateOrReserve(jobID int64, spec *Jobspec, now int64) 
 	f.note(start)
 	return alloc, err
 }
+
+// MatchSpeculate matches a jobspec at time `at` against a read snapshot
+// without committing anything. It deliberately bypasses the Fluxion-level
+// lock — the traverser is safe for concurrent speculation — so callers can
+// fan speculations across goroutines. The returned allocation must be
+// handed to exactly one of Commit or Abandon.
+func (f *Fluxion) MatchSpeculate(jobID int64, spec *Jobspec, at int64) (*Allocation, error) {
+	return f.tr.MatchSpeculate(jobID, spec, at)
+}
+
+// Commit validates a speculative allocation against committed state and
+// installs it; it fails with traverser.ErrConflict when a concurrent
+// commit took the capacity first, in which case the job must be
+// re-matched.
+func (f *Fluxion) Commit(alloc *Allocation) error {
+	start := time.Now()
+	err := f.tr.Commit(alloc)
+	f.mu.Lock()
+	f.note(start)
+	f.mu.Unlock()
+	return err
+}
+
+// Abandon releases a speculative allocation without committing it.
+func (f *Fluxion) Abandon(alloc *Allocation) { f.tr.Abandon(alloc) }
 
 // MatchSatisfy reports whether the request could ever be satisfied
 // (capacity-only check).

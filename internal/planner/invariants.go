@@ -1,0 +1,160 @@
+package planner
+
+import (
+	"fmt"
+
+	"fluxion/internal/rbtree"
+)
+
+// CheckInvariants validates the planner's internal consistency: the SP and
+// ET trees agree, every scheduled point's amounts are exactly what the live
+// spans imply, and the tree augmentations (ET subtree-minimum time, SP
+// max-remaining/max-time) are correct. It is the oracle behind the
+// concurrency stress tests — after any interleaving of AddSpan/RemoveSpan
+// and queries, a planner must still satisfy all of these.
+func (p *Planner) CheckInvariants() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+
+	if p.sp.Len() != p.et.Len() {
+		return fmt.Errorf("planner: SP tree has %d points, ET tree %d", p.sp.Len(), p.et.Len())
+	}
+
+	// Walk the SP tree in time order, recomputing the expected profile
+	// from the span set.
+	prev := int64(-1 << 62)
+	sawBase := false
+	points := 0
+	for n := p.sp.Min(); n != nil; n = n.Next() {
+		pt := n.Item()
+		points++
+		if pt.at <= prev {
+			return fmt.Errorf("planner: SP points out of order (%d after %d)", pt.at, prev)
+		}
+		prev = pt.at
+		if pt.at == p.base {
+			sawBase = true
+		}
+		if pt.scheduled+pt.remaining != p.total {
+			return fmt.Errorf("planner: point %d: scheduled %d + remaining %d != total %d",
+				pt.at, pt.scheduled, pt.remaining, p.total)
+		}
+		if pt.remaining < 0 {
+			return fmt.Errorf("planner: point %d double-booked: remaining %d", pt.at, pt.remaining)
+		}
+		var want int64
+		var bounds int
+		for _, s := range p.spans {
+			if s.Start <= pt.at && pt.at < s.Last {
+				want += s.Planned
+			}
+			if s.Start == pt.at || s.Last == pt.at {
+				bounds++
+			}
+		}
+		if pt.scheduled != want {
+			return fmt.Errorf("planner: point %d: scheduled %d but spans imply %d", pt.at, pt.scheduled, want)
+		}
+		if pt.refCount != bounds {
+			return fmt.Errorf("planner: point %d: refCount %d but %d span boundaries", pt.at, pt.refCount, bounds)
+		}
+		if pt.at != p.base && bounds == 0 {
+			return fmt.Errorf("planner: point %d is unreferenced garbage", pt.at)
+		}
+		if !pt.inET {
+			return fmt.Errorf("planner: point %d missing from ET tree", pt.at)
+		}
+	}
+	if !sawBase {
+		return fmt.Errorf("planner: base point %d missing", p.base)
+	}
+
+	// Every span's boundaries must exist as scheduled points.
+	for id, s := range p.spans {
+		if f := p.floorPoint(s.Start); f == nil || f.at != s.Start {
+			return fmt.Errorf("planner: span %d start %d has no scheduled point", id, s.Start)
+		}
+		if f := p.floorPoint(s.Last); f == nil || f.at != s.Last {
+			return fmt.Errorf("planner: span %d end %d has no scheduled point", id, s.Last)
+		}
+	}
+
+	if err := checkETAug(p.et.Root()); err != nil {
+		return err
+	}
+	return checkSPAug(p.sp.Root())
+}
+
+// checkETAug verifies the subtree-minimum-time augmentation of the ET tree.
+func checkETAug(n *rbtree.Node[*schedPoint]) error {
+	if n == nil {
+		return nil
+	}
+	pt := n.Item()
+	min := pt
+	for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
+		if c == nil {
+			continue
+		}
+		if err := checkETAug(c); err != nil {
+			return err
+		}
+		if m := c.Item().subtreeMin; m.at < min.at {
+			min = m
+		}
+	}
+	if pt.subtreeMin != min {
+		return fmt.Errorf("planner: ET point %d: subtreeMin %d, want %d", pt.at, pt.subtreeMin.at, min.at)
+	}
+	return nil
+}
+
+// checkSPAug verifies the max-remaining / max-time augmentations of the SP
+// tree.
+func checkSPAug(n *rbtree.Node[*schedPoint]) error {
+	if n == nil {
+		return nil
+	}
+	pt := n.Item()
+	maxRem, maxAt := pt.remaining, pt.at
+	for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
+		if c == nil {
+			continue
+		}
+		if err := checkSPAug(c); err != nil {
+			return err
+		}
+		ci := c.Item()
+		if ci.spMaxRemaining > maxRem {
+			maxRem = ci.spMaxRemaining
+		}
+		if ci.spMaxAt > maxAt {
+			maxAt = ci.spMaxAt
+		}
+	}
+	if pt.spMaxRemaining != maxRem || pt.spMaxAt != maxAt {
+		return fmt.Errorf("planner: SP point %d: aug (%d,%d), want (%d,%d)",
+			pt.at, pt.spMaxRemaining, pt.spMaxAt, maxRem, maxAt)
+	}
+	return nil
+}
+
+// CheckInvariants validates every member planner.
+func (m *Multi) CheckInvariants() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, rt := range m.types {
+		if err := m.byType[rt].CheckInvariants(); err != nil {
+			return fmt.Errorf("multi member %q: %w", rt, err)
+		}
+	}
+	// Every multi-span's members must still exist in their planners.
+	for id, members := range m.spans {
+		for rt, mid := range members {
+			if _, err := m.byType[rt].Span(mid); err != nil {
+				return fmt.Errorf("multi-span %d member %q/%d: %w", id, rt, mid, err)
+			}
+		}
+	}
+	return nil
+}

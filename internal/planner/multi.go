@@ -3,6 +3,7 @@ package planner
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Multi aggregates one Planner per resource type over a common time range.
@@ -11,7 +12,12 @@ import (
 // amount of one low-level resource type available in the subtree (paper
 // §3.4), and the root's Multi drives PlannerMultiAvailTimeFirst when
 // searching for the earliest time a whole request can be satisfied.
+// A Multi is safe for concurrent use: queries run under a reader lock and
+// member planners additionally lock themselves, while AddSpan/RemoveSpan/
+// Update serialize under the writer lock so multi-span registration stays
+// atomic with respect to concurrent readers.
 type Multi struct {
+	mu      sync.RWMutex
 	base    int64
 	horizon int64
 	types   []string // sorted, stable iteration order
@@ -48,21 +54,36 @@ func NewMulti(base, horizon int64, totals map[string]int64) (*Multi, error) {
 }
 
 // Types returns the member resource types in sorted order.
-func (m *Multi) Types() []string { return append([]string(nil), m.types...) }
+func (m *Multi) Types() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.types...)
+}
 
 // Planner returns the member planner for rt, or nil.
-func (m *Multi) Planner(rt string) *Planner { return m.byType[rt] }
+func (m *Multi) Planner(rt string) *Planner {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.byType[rt]
+}
 
 // Total returns the pool size for rt (0 if absent).
 func (m *Multi) Total(rt string) int64 {
-	if p := m.byType[rt]; p != nil {
+	m.mu.RLock()
+	p := m.byType[rt]
+	m.mu.RUnlock()
+	if p != nil {
 		return p.Total()
 	}
 	return 0
 }
 
 // SpanCount returns the number of live multi-spans.
-func (m *Multi) SpanCount() int { return len(m.spans) }
+func (m *Multi) SpanCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.spans)
+}
 
 // checkRequest validates a request map against member planners. Types
 // absent from the Multi are an error; zero counts are ignored.
@@ -84,6 +105,13 @@ func (m *Multi) checkRequest(request map[string]int64) error {
 // CanFit reports whether every requested amount fits throughout
 // [start, start+duration) in its member planner.
 func (m *Multi) CanFit(start, duration int64, request map[string]int64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.canFit(start, duration, request)
+}
+
+// canFit is CanFit without locking; callers hold m.mu.
+func (m *Multi) canFit(start, duration int64, request map[string]int64) bool {
 	if m.checkRequest(request) != nil {
 		return false
 	}
@@ -103,10 +131,12 @@ func (m *Multi) CanFit(start, duration int64, request map[string]int64) bool {
 // Candidate times are at itself and the availability change points of every
 // requested type; each candidate is validated against all member planners.
 func (m *Multi) AvailTimeFirst(at, duration int64, request map[string]int64) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if err := m.checkRequest(request); err != nil {
 		return -1, err
 	}
-	if m.CanFit(at, duration, request) {
+	if m.canFit(at, duration, request) {
 		return at, nil
 	}
 	empty := true
@@ -147,7 +177,7 @@ func (m *Multi) nextCandidate(after, duration int64, request map[string]int64) (
 		if cand < 0 {
 			return -1, ErrNoSpace
 		}
-		if m.CanFit(cand, duration, request) {
+		if m.canFit(cand, duration, request) {
 			return cand, nil
 		}
 		t = cand
@@ -159,6 +189,8 @@ func (m *Multi) nextCandidate(after, duration int64, request map[string]int64) (
 // duration. It drives reservation candidate-time iteration: each call with
 // the previous result advances to the next distinct point.
 func (m *Multi) AvailPointTimeAfter(after, duration int64, request map[string]int64) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if err := m.checkRequest(request); err != nil {
 		return -1, err
 	}
@@ -179,6 +211,8 @@ func (m *Multi) AvailPointTimeAfter(after, duration int64, request map[string]in
 // returns a multi-span ID. The operation is atomic: if any member fails,
 // already-added member spans are rolled back.
 func (m *Multi) AddSpan(start, duration int64, request map[string]int64) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.checkRequest(request); err != nil {
 		return -1, err
 	}
@@ -205,6 +239,8 @@ func (m *Multi) AddSpan(start, duration int64, request map[string]int64) (int64,
 
 // RemoveSpan unplans a multi-span.
 func (m *Multi) RemoveSpan(id int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	members, ok := m.spans[id]
 	if !ok {
 		return fmt.Errorf("%w: multi-span %d", ErrNotFound, id)
@@ -222,6 +258,8 @@ func (m *Multi) RemoveSpan(id int64) error {
 // Update grows or shrinks the pool of rt by delta units across the horizon,
 // creating the member planner on first growth of an unknown type.
 func (m *Multi) Update(rt string, delta int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p := m.byType[rt]
 	if p == nil {
 		if delta <= 0 {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"fluxion/internal/rbtree"
 )
@@ -73,7 +74,15 @@ type Span struct {
 }
 
 // Planner tracks one resource pool's availability over time.
+//
+// A Planner is safe for concurrent use: availability queries (AvailAt,
+// AvailDuring, CanFit, AvailTimeFirst, AvailPointTimeAfter, Points, Spans,
+// Utilization) run concurrently under a reader lock, while mutations
+// (AddSpan, RemoveSpan, Update) serialize under the writer lock. This is
+// the per-vertex lock of the parallel match pipeline: many traverser
+// workers may probe one pool's calendar while at most one commits to it.
 type Planner struct {
+	mu           sync.RWMutex
 	base         int64
 	horizon      int64
 	total        int64
@@ -174,20 +183,34 @@ func (p *Planner) Base() int64 { return p.base }
 func (p *Planner) Horizon() int64 { return p.horizon }
 
 // Total returns the pool size.
-func (p *Planner) Total() int64 { return p.total }
+func (p *Planner) Total() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.total
+}
 
 // ResourceType returns the label given at construction.
 func (p *Planner) ResourceType() string { return p.resourceType }
 
 // SpanCount returns the number of live spans.
-func (p *Planner) SpanCount() int { return len(p.spans) }
+func (p *Planner) SpanCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.spans)
+}
 
 // PointCount returns the number of scheduled points (including the base
 // point).
-func (p *Planner) PointCount() int { return p.sp.Len() }
+func (p *Planner) PointCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sp.Len()
+}
 
 // Span returns a copy of the span with the given ID.
 func (p *Planner) Span(id int64) (Span, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	s, ok := p.spans[id]
 	if !ok {
 		return Span{}, fmt.Errorf("%w: %d", ErrNotFound, id)
@@ -247,6 +270,8 @@ func (p *Planner) dropPoint(pt *schedPoint) {
 
 // AvailAt returns the units available at instant t.
 func (p *Planner) AvailAt(t int64) (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if t < p.base || t >= p.end() {
 		return 0, fmt.Errorf("%w: t=%d", ErrOutOfRange, t)
 	}
@@ -256,6 +281,13 @@ func (p *Planner) AvailAt(t int64) (int64, error) {
 // AvailDuring returns the minimum units available throughout
 // [start, start+duration).
 func (p *Planner) AvailDuring(start, duration int64) (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.availDuring(start, duration)
+}
+
+// availDuring is AvailDuring without locking; callers hold p.mu.
+func (p *Planner) availDuring(start, duration int64) (int64, error) {
 	if duration <= 0 {
 		return 0, fmt.Errorf("%w: duration=%d", ErrInvalid, duration)
 	}
@@ -278,7 +310,14 @@ func (p *Planner) AvailDuring(start, duration int64) (int64, error) {
 
 // CanFit reports whether request units fit throughout [start, start+duration).
 func (p *Planner) CanFit(start, duration, request int64) bool {
-	avail, err := p.AvailDuring(start, duration)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.canFit(start, duration, request)
+}
+
+// canFit is CanFit without locking; callers hold p.mu.
+func (p *Planner) canFit(start, duration, request int64) bool {
+	avail, err := p.availDuring(start, duration)
 	return err == nil && avail >= request
 }
 
@@ -347,6 +386,8 @@ func (p *Planner) nextPointGE(after, request int64) *schedPoint {
 // remaining capacity but fail the span check (SPANOK) — from the SP
 // tree's augmented time-filtered search.
 func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if duration <= 0 || request < 0 {
 		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
 	}
@@ -359,7 +400,7 @@ func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
 	if at+duration > p.end() {
 		return -1, fmt.Errorf("%w: window start %d", ErrOutOfRange, at)
 	}
-	if p.CanFit(at, duration, request) {
+	if p.canFit(at, duration, request) {
 		return at, nil
 	}
 	// First candidate via Algorithm 1 (FINDEARLIESTAT on the ET tree).
@@ -372,7 +413,7 @@ func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
 				// all later ones overflow the horizon too.
 				return -1, ErrNoSpace
 			}
-			if p.CanFit(t, duration, request) {
+			if p.canFit(t, duration, request) {
 				return t, nil
 			}
 		}
@@ -388,6 +429,8 @@ func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
 // repeated calls with the previous result walk distinct availability
 // change points (paper §3.4, Figure 2).
 func (p *Planner) AvailPointTimeAfter(after, duration, request int64) (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if duration <= 0 || request < 0 {
 		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
 	}
@@ -403,7 +446,7 @@ func (p *Planner) AvailPointTimeAfter(after, duration, request int64) (int64, er
 		if pt.at+duration > p.end() {
 			return -1, ErrNoSpace
 		}
-		if p.CanFit(pt.at, duration, request) {
+		if p.canFit(pt.at, duration, request) {
 			return pt.at, nil
 		}
 		t = pt.at
@@ -421,10 +464,12 @@ func max64(a, b int64) int64 {
 // the span ID. It fails with ErrNoSpace if the window cannot hold the
 // request.
 func (p *Planner) AddSpan(start, duration, request int64) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if duration <= 0 || request <= 0 {
 		return -1, fmt.Errorf("%w: duration=%d request=%d", ErrInvalid, duration, request)
 	}
-	avail, err := p.AvailDuring(start, duration)
+	avail, err := p.availDuring(start, duration)
 	if err != nil {
 		return -1, err
 	}
@@ -453,6 +498,8 @@ func (p *Planner) AddSpan(start, duration, request int64) (int64, error) {
 // RemoveSpan unplans the span with the given ID, releasing its resources
 // and garbage-collecting boundary points no span references anymore.
 func (p *Planner) RemoveSpan(id int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, ok := p.spans[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
@@ -496,6 +543,8 @@ func (p *Planner) Update(delta int64) error {
 	if delta == 0 {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if delta < 0 {
 		for n := p.sp.Min(); n != nil; n = n.Next() {
 			if n.Item().remaining+delta < 0 {
@@ -515,6 +564,8 @@ func (p *Planner) Update(delta int64) error {
 // Points invokes fn for every scheduled point in time order with that
 // point's time and available amount, stopping early if fn returns false.
 func (p *Planner) Points(fn func(at, avail int64) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	for n := p.sp.Min(); n != nil; n = n.Next() {
 		if !fn(n.Item().at, n.Item().remaining) {
 			return
@@ -525,6 +576,8 @@ func (p *Planner) Points(fn func(at, avail int64) bool) {
 // Spans invokes fn for every live span in ascending ID order, stopping
 // early if fn returns false.
 func (p *Planner) Spans(fn func(s Span) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	ids := make([]int64, 0, len(p.spans))
 	for id := range p.spans {
 		ids = append(ids, id)
@@ -540,6 +593,8 @@ func (p *Planner) Spans(fn func(s Span) bool) {
 // Utilization returns the fraction of unit-seconds in use over [from, to):
 // the integral of scheduled capacity divided by total * (to - from).
 func (p *Planner) Utilization(from, to int64) (float64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if to <= from {
 		return 0, fmt.Errorf("%w: window [%d,%d)", ErrInvalid, from, to)
 	}

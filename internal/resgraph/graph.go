@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fluxion/internal/planner"
 )
@@ -51,7 +52,15 @@ func ParsePruneSpec(s string) (PruneSpec, error) {
 
 // Graph is the resource graph store. Build it with AddVertex/AddEdge (or
 // the grug package), then Finalize before matching.
+//
+// A finalized Graph is safe for concurrent use: the topology (vertices,
+// edges, paths, status bits) is read-mostly and guarded by an RWMutex —
+// lookups and traversals take the reader side, while structural mutations
+// (Attach, Detach, MarkDown, MarkUp) take the writer side. Allocation
+// state lives in the per-vertex planners, which carry their own locks, so
+// concurrent matches only serialize where they touch the same pool.
 type Graph struct {
+	mu      sync.RWMutex
 	base    int64
 	horizon int64
 
@@ -86,9 +95,22 @@ func (g *Graph) Base() int64 { return g.base }
 // Horizon returns the planners' schedulable duration.
 func (g *Graph) Horizon() int64 { return g.horizon }
 
+// RLock takes the store's reader lock. Use it to bracket a multi-step
+// sequence of topology reads that must observe a consistent graph — the
+// traverser holds it for the duration of one match attempt so concurrent
+// MarkDown/Attach/Detach cannot mutate the tree mid-walk. Single-call
+// accessors (ByPath, Vertices, ...) lock themselves and must not be called
+// while holding it.
+func (g *Graph) RLock() { g.mu.RLock() }
+
+// RUnlock releases the reader lock taken by RLock.
+func (g *Graph) RUnlock() { g.mu.RUnlock() }
+
 // SetPruneSpec installs the pruning-filter configuration. It must be called
 // before Finalize.
 func (g *Graph) SetPruneSpec(spec PruneSpec) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.finalized {
 		return fmt.Errorf("%w: prune spec must be set before Finalize", ErrInvalid)
 	}
@@ -99,6 +121,8 @@ func (g *Graph) SetPruneSpec(spec PruneSpec) error {
 // AddVertex creates a pool vertex. id < 0 assigns the next per-type ID.
 // size < 1 is rejected.
 func (g *Graph) AddVertex(typ string, id, size int64) (*Vertex, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if typ == "" || size < 1 {
 		return nil, fmt.Errorf("%w: type=%q size=%d", ErrInvalid, typ, size)
 	}
@@ -136,6 +160,13 @@ func (g *Graph) MustAddVertex(typ string, id, size int64) *Vertex {
 
 // AddEdge creates a directed edge in a subsystem.
 func (g *Graph) AddEdge(from, to *Vertex, subsystem, edgeType string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addEdge(from, to, subsystem, edgeType)
+}
+
+// addEdge is AddEdge without locking; callers hold g.mu.
+func (g *Graph) addEdge(from, to *Vertex, subsystem, edgeType string) error {
 	if from == nil || to == nil || subsystem == "" {
 		return fmt.Errorf("%w: bad edge", ErrInvalid)
 	}
@@ -152,17 +183,26 @@ func (g *Graph) AddEdge(from, to *Vertex, subsystem, edgeType string) error {
 // AddContainment links parent and child in the containment subsystem with
 // the conventional contains/in edge pair.
 func (g *Graph) AddContainment(parent, child *Vertex) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addContainment(parent, child)
+}
+
+// addContainment is AddContainment without locking; callers hold g.mu.
+func (g *Graph) addContainment(parent, child *Vertex) error {
 	if len(child.containmentParents()) > 0 {
 		return fmt.Errorf("%w: %s already has a containment parent", ErrInvalid, child.Name)
 	}
-	if err := g.AddEdge(parent, child, Containment, EdgeContains); err != nil {
+	if err := g.addEdge(parent, child, Containment, EdgeContains); err != nil {
 		return err
 	}
-	return g.AddEdge(child, parent, Containment, EdgeIn)
+	return g.addEdge(child, parent, Containment, EdgeIn)
 }
 
 // Subsystems returns the subsystem names present in the graph, sorted.
 func (g *Graph) Subsystems() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]string, 0, len(g.subsys))
 	for s := range g.subsys {
 		out = append(out, s)
@@ -173,23 +213,48 @@ func (g *Graph) Subsystems() []string {
 
 // Root returns the root vertex of a subsystem (set by Finalize for
 // containment, or explicitly by SetRoot).
-func (g *Graph) Root(subsystem string) *Vertex { return g.roots[subsystem] }
+func (g *Graph) Root(subsystem string) *Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.roots[subsystem]
+}
 
 // SetRoot declares the root of a non-containment subsystem.
-func (g *Graph) SetRoot(subsystem string, v *Vertex) { g.roots[subsystem] = v }
+func (g *Graph) SetRoot(subsystem string, v *Vertex) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.roots[subsystem] = v
+}
 
 // Vertices returns all vertices in creation order. The slice is live; do
 // not modify.
-func (g *Graph) Vertices() []*Vertex { return g.vertices }
+func (g *Graph) Vertices() []*Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vertices
+}
 
 // Len returns the vertex count.
-func (g *Graph) Len() int { return len(g.vertices) }
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices)
+}
 
 // ByPath resolves a containment path such as "/cluster0/rack1/node3".
-func (g *Graph) ByPath(path string) *Vertex { return g.byPath[path] }
+func (g *Graph) ByPath(path string) *Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.byPath[path]
+}
+
+// byPathLocked resolves a containment path; callers hold g.mu.
+func (g *Graph) byPathLocked(path string) *Vertex { return g.byPath[path] }
 
 // ByType returns all vertices of the given type, in creation order.
 func (g *Graph) ByType(typ string) []*Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var out []*Vertex
 	for _, v := range g.vertices {
 		if v.Type == typ {
@@ -215,6 +280,8 @@ func containmentChildren(v *Vertex) []*Vertex {
 // aggregates, creates per-vertex planners, and installs pruning filters
 // per the PruneSpec. It must be called exactly once after construction.
 func (g *Graph) Finalize() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.finalized {
 		return fmt.Errorf("%w: already finalized", ErrInvalid)
 	}
@@ -275,6 +342,8 @@ func (g *Graph) Finalize() error {
 // subtree (see traverser.Evict); live spans there would leave an ancestor
 // filter with less headroom than the capacity being removed.
 func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.setSubtreeStatus(v, StatusDown)
 }
 
@@ -283,6 +352,8 @@ func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
 // of MarkDown; repairing a vertex repairs everything it contains. It
 // returns the per-type units newly returned to service.
 func (g *Graph) MarkUp(v *Vertex) (map[string]int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.setSubtreeStatus(v, StatusUp)
 }
 
@@ -408,6 +479,8 @@ func (g *Graph) installFilter(v *Vertex) error {
 // paper §5.5): sub and its descendants get paths, planners, aggregates,
 // and filters, and every ancestor's aggregates and filters grow to match.
 func (g *Graph) Attach(parent, sub *Vertex) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if !g.finalized {
 		return ErrNotFinalized
 	}
@@ -420,7 +493,7 @@ func (g *Graph) Attach(parent, sub *Vertex) error {
 	if len(sub.containmentParents()) > 0 {
 		return fmt.Errorf("%w: %s already attached", ErrInvalid, sub.Name)
 	}
-	if err := g.AddContainment(parent, sub); err != nil {
+	if err := g.addContainment(parent, sub); err != nil {
 		return err
 	}
 	seen := make(map[int64]bool)
@@ -461,6 +534,8 @@ func (g *Graph) growFilter(a *Vertex, delta map[string]int64) error {
 // Detach prunes the subtree rooted at v from the graph (elasticity). It
 // fails with ErrBusy if any planner in the subtree holds live spans.
 func (g *Graph) Detach(v *Vertex) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if !g.finalized {
 		return ErrNotFinalized
 	}
@@ -545,10 +620,16 @@ func removeEdgesTo2(edges []*Edge, from *Vertex) []*Edge {
 }
 
 // Finalized reports whether Finalize succeeded.
-func (g *Graph) Finalized() bool { return g.finalized }
+func (g *Graph) Finalized() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.finalized
+}
 
 // Stats summarizes the store: vertex counts per type and filter count.
 func (g *Graph) Stats() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	counts := make(map[string]int)
 	filters := 0
 	for _, v := range g.vertices {

@@ -13,6 +13,7 @@ package resgraph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fluxion/internal/planner"
 )
@@ -81,6 +82,13 @@ type Vertex struct {
 
 	out map[string][]*Edge // subsystem -> outgoing edges
 	in  map[string][]*Edge // subsystem -> incoming edges
+
+	// specClaims counts units tentatively claimed by in-flight
+	// speculative match attempts that have not yet committed spans into
+	// the planner. Speculating traversers subtract it from planner
+	// availability so concurrent first-fit searches diverge onto
+	// different pools instead of all racing for the same one.
+	specClaims atomic.Int64
 
 	graph *Graph
 }
@@ -168,6 +176,16 @@ func (v *Vertex) Parent() *Vertex {
 		panic(fmt.Sprintf("resgraph: vertex %s has %d containment parents", v.Name, len(in)))
 	}
 }
+
+// AddSpecClaim adjusts the vertex's speculative-claim counter by delta
+// units. Speculating match workers publish positive deltas while they hold
+// tentative allocations and negative deltas when those are committed or
+// abandoned.
+func (v *Vertex) AddSpecClaim(delta int64) { v.specClaims.Add(delta) }
+
+// SpecClaims returns the units currently claimed by in-flight speculative
+// match attempts on this vertex.
+func (v *Vertex) SpecClaims() int64 { return v.specClaims.Load() }
 
 // InEdges returns the incoming edges in the subsystem.
 func (v *Vertex) InEdges(subsystem string) []*Edge { return v.in[subsystem] }

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"fluxion/internal/traverser"
+)
+
+// This file implements the parallel match pipeline: each scheduling cycle,
+// batches of pending jobs are speculatively matched against a read
+// snapshot by a pool of traverser workers, then their allocations are
+// committed strictly in queue order (priority, then submit/job order).
+//
+// The determinism contract is the commit stage, not the speculation stage:
+// whatever the workers race to find, a job's allocation is only accepted
+// in its queue position and only if the queue policy would have admitted
+// the job there (FCFS stops at the first failure, EASY backfills only
+// immediate fits behind the reserved head, Conservative reserves
+// everything). A speculation that lost its capacity to an earlier commit
+// fails Commit with ErrConflict and the job falls back to the sequential
+// match path at its queue position, so the scheduling decisions — which
+// jobs start, which block, which reserve — match the policy exactly.
+// Vertex placement may differ from a sequential run (speculators steer
+// around each other's claims), but every placement is validated against
+// committed planner state before it becomes visible.
+
+// scheduleParallel plans the pending queue with a pool of speculative
+// match workers, committing in queue order.
+func (s *Scheduler) scheduleParallel() {
+	// Classify the queue: jobs this cycle plans (in order) vs. jobs kept
+	// pending untouched. keep preserves the original queue order for
+	// everything that remains pending after the cycle.
+	keep := make([]bool, len(s.pending))
+	var work []*Job
+	var workIdx []int
+	planned := 0
+	for i, job := range s.pending {
+		if job.State != StatePending {
+			continue
+		}
+		if s.queueDepth > 0 && planned >= s.queueDepth {
+			keep[i] = true
+			continue
+		}
+		planned++
+		work = append(work, job)
+		workIdx = append(workIdx, i)
+	}
+
+	blocked := false // FCFS: stop at first failure; EASY: head reserved
+	for off := 0; off < len(work); off += s.matchWorkers {
+		end := off + s.matchWorkers
+		if end > len(work) {
+			end = len(work)
+		}
+		batch := work[off:end]
+		if s.policy == FCFS && blocked {
+			// Nothing behind a blocked FCFS head can start; skip the
+			// speculation round-trip entirely.
+			for i := range batch {
+				keep[workIdx[off+i]] = true
+			}
+			continue
+		}
+		specs := s.speculateBatch(batch)
+		for i, job := range batch {
+			spec := specs[i]
+			if s.policy == FCFS && blocked {
+				if spec != nil {
+					s.tr.Abandon(spec)
+				}
+				keep[workIdx[off+i]] = true
+				continue
+			}
+			start := time.Now()
+			alloc, err := s.commitOrFallback(job, spec, blocked)
+			job.MatchDuration += time.Since(start)
+			switch {
+			case err != nil:
+				blocked = true
+				keep[workIdx[off+i]] = true
+			case alloc.Reserved:
+				job.State = StateReserved
+				job.Alloc = alloc
+				s.reserved[job.ID] = job
+				blocked = true
+				keep[workIdx[off+i]] = true
+			default:
+				s.start(job, alloc)
+			}
+		}
+	}
+
+	still := s.pending[:0]
+	for i, job := range s.pending {
+		if keep[i] {
+			still = append(still, job)
+		}
+	}
+	s.pending = still
+}
+
+// speculateBatch fans one batch out across the worker pool. Each worker
+// speculatively matches its job at the current time against a read
+// snapshot; failed speculations are nil. Per-job match time is charged to
+// MatchDuration after the barrier.
+func (s *Scheduler) speculateBatch(batch []*Job) []*traverser.Allocation {
+	specs := make([]*traverser.Allocation, len(batch))
+	durs := make([]time.Duration, len(batch))
+	var wg sync.WaitGroup
+	for i, job := range batch {
+		wg.Add(1)
+		go func(i int, job *Job) {
+			defer wg.Done()
+			start := time.Now()
+			if a, err := s.tr.MatchSpeculate(job.ID, job.Spec, s.now); err == nil {
+				specs[i] = a
+			}
+			durs[i] = time.Since(start)
+		}(i, job)
+	}
+	wg.Wait()
+	for i, job := range batch {
+		job.MatchDuration += durs[i]
+	}
+	return specs
+}
+
+// commitOrFallback turns a job's speculation into a committed allocation,
+// or re-matches it sequentially under the queue-policy rules for its
+// position (blocked carries the FCFS/EASY head state).
+func (s *Scheduler) commitOrFallback(job *Job, spec *traverser.Allocation, blocked bool) (*traverser.Allocation, error) {
+	if spec != nil {
+		if err := s.tr.Commit(spec); err == nil {
+			return spec, nil
+		}
+		// Conflict: an earlier commit took the capacity. Fall through to
+		// a fresh match at this queue position. (Commit consumed the
+		// speculation's claims.)
+	}
+	switch {
+	case s.policy == FCFS:
+		if blocked {
+			return nil, traverser.ErrNoMatch
+		}
+		return s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+	case s.policy == EASY && blocked:
+		return s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+	default: // Conservative always; EASY head
+		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, s.now)
+	}
+}

@@ -184,6 +184,10 @@ type Scheduler struct {
 	// queueDepth bounds how many pending jobs each cycle plans
 	// (flux-sched qmanager's queue-depth knob); 0 = unbounded.
 	queueDepth int
+	// matchWorkers sets how many traverser workers speculatively match
+	// pending jobs concurrently per cycle; <= 1 keeps the sequential
+	// loop.
+	matchWorkers int
 	// maxRetries bounds failure-driven requeues per job; exceeding it
 	// moves the job to StateFailed. 0 = unbounded retries.
 	maxRetries int
@@ -213,6 +217,22 @@ func WithQueueDepth(n int) SchedOption {
 // default is DefaultMaxRetries.
 func WithMaxRetries(n int) SchedOption {
 	return func(s *Scheduler) { s.maxRetries = n }
+}
+
+// WithMatchWorkers sets how many traverser workers speculatively match
+// pending jobs concurrently during each scheduling cycle (the parallel
+// match pipeline). n <= 1 (the default) keeps the sequential loop. See
+// parallel.go for the commit-ordering semantics.
+func WithMatchWorkers(n int) SchedOption {
+	return func(s *Scheduler) { s.matchWorkers = n }
+}
+
+// MatchWorkers returns the configured match worker count (minimum 1).
+func (s *Scheduler) MatchWorkers() int {
+	if s.matchWorkers < 1 {
+		return 1
+	}
+	return s.matchWorkers
 }
 
 // DefaultMaxRetries is the default failure-requeue bound per job.
@@ -301,7 +321,9 @@ func (s *Scheduler) enqueue(job *Job) {
 
 // Schedule runs one scheduling cycle at the current simulated time: all
 // standing reservations are dropped and the pending queue is re-planned in
-// submit order under the queue policy.
+// submit order under the queue policy. With WithMatchWorkers(n > 1) the
+// immediate-fit matching fans out across a worker pool (parallel.go);
+// otherwise the queue is planned sequentially.
 func (s *Scheduler) Schedule() {
 	s.Cycles++
 	for id, job := range s.reserved {
@@ -311,6 +333,16 @@ func (s *Scheduler) Schedule() {
 	}
 	s.reserved = make(map[int64]*Job)
 
+	if s.matchWorkers > 1 {
+		s.scheduleParallel()
+		return
+	}
+	s.scheduleSequential()
+}
+
+// scheduleSequential plans the pending queue front to back on the calling
+// goroutine.
+func (s *Scheduler) scheduleSequential() {
 	still := s.pending[:0]
 	blocked := false // FCFS: stop at first failure; EASY: head reserved
 	planned := 0

@@ -37,6 +37,9 @@ type Config struct {
 	// QueueDepth bounds how many pending jobs each scheduling cycle
 	// plans (0 = unbounded).
 	QueueDepth int
+	// MatchWorkers sets how many traverser workers speculatively match
+	// pending jobs concurrently per cycle (<= 1 = sequential loop).
+	MatchWorkers int
 	// Timeline prints one line per job when true.
 	Timeline bool
 	// MaxSteps bounds the event loop (0 = drain completely).
@@ -130,6 +133,13 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if (cfg.MTBF > 0) != (cfg.MTTR > 0) {
 		return nil, fmt.Errorf("simcli: MTBF and MTTR must be set together")
 	}
+	if cfg.Drill && cfg.MatchWorkers > 1 {
+		// The drill asserts bit-exact convergence between the original
+		// and resumed runs; parallel matching guarantees policy
+		// decisions, not identical vertex placement, so the comparison
+		// would false-fail.
+		return nil, fmt.Errorf("simcli: the crash-recovery drill requires sequential matching (match workers <= 1)")
+	}
 	spec := cfg.PruneSpec
 	if spec == nil {
 		spec = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
@@ -153,6 +163,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.MaxRetries > 0 {
 		sopts = append(sopts, sched.WithMaxRetries(cfg.MaxRetries))
 	}
+	if cfg.MatchWorkers > 1 {
+		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
+	}
 	s, err := sched.New(f.Traverser(), qp, sopts...)
 	if err != nil {
 		return nil, err
@@ -164,6 +177,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	}
 	fmt.Fprintf(out, "system: %s\n", g.Stats())
 	fmt.Fprintf(out, "policies: match=%s queue=%s; %d jobs\n", mp, qp, len(jobs))
+	if cfg.MatchWorkers > 1 {
+		fmt.Fprintf(out, "match workers: %d (parallel match pipeline)\n", cfg.MatchWorkers)
+	}
 
 	l := &looper{s: s, jobs: jobs, out: out, max: cfg.MaxSteps}
 	var inj *injector

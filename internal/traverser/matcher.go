@@ -13,6 +13,7 @@ type matcher struct {
 	at    int64
 	dur   int64
 	dry   bool // capacity-only satisfiability check: no spans
+	snap  bool // speculative run: per-vertex claims instead of spans
 	alloc *Allocation
 
 	// tentative tracks per-vertex units claimed during a dry run, since
@@ -20,7 +21,10 @@ type matcher struct {
 	tentative map[int64]int64
 }
 
-// availUnits returns the units of v available throughout the window.
+// availUnits returns the units of v available throughout the window. A
+// speculative run additionally subtracts the units claimed by in-flight
+// speculations (its own included) so concurrent first-fit searches diverge
+// onto disjoint pools instead of colliding at commit.
 func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
 	if m.dry {
 		return v.Size - m.tentative[v.UniqID]
@@ -29,6 +33,9 @@ func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
 	if err != nil {
 		return 0
 	}
+	if m.snap {
+		avail -= v.SpecClaims()
+	}
 	return avail
 }
 
@@ -36,9 +43,12 @@ func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
 func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
 	va := VertexAlloc{V: v, Units: units}
 	if units > 0 {
-		if m.dry {
+		switch {
+		case m.dry:
 			m.tentative[v.UniqID] += units
-		} else {
+		case m.snap:
+			v.AddSpecClaim(units)
+		default:
 			id, err := v.Planner().AddSpan(m.at, m.dur, units)
 			if err != nil {
 				return false
@@ -56,9 +66,12 @@ func (m *matcher) rollbackTo(mark int) {
 		if va.Units == 0 {
 			continue
 		}
-		if m.dry {
+		switch {
+		case m.dry:
 			m.tentative[va.V.UniqID] -= va.Units
-		} else {
+		case m.snap:
+			va.V.AddSpecClaim(-va.Units)
+		default:
 			_ = va.V.Planner().RemoveSpan(va.span)
 		}
 	}

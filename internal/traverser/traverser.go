@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fluxion/internal/jobspec"
 	"fluxion/internal/match"
@@ -42,6 +43,10 @@ var (
 	// ErrNoFilter reports a reservation attempt on a graph whose root
 	// carries no pruning filter to enumerate candidate times.
 	ErrNoFilter = errors.New("traverser: reservation requires a root pruning filter")
+	// ErrConflict reports that a speculative allocation lost the race: by
+	// commit time another job had taken some of its selected capacity.
+	// The speculation is consumed; the caller should re-match.
+	ErrConflict = errors.New("traverser: speculative allocation conflicts with committed state")
 )
 
 // Option configures a Traverser.
@@ -59,12 +64,22 @@ func WithMaxReserveDepth(n int) Option {
 }
 
 // Traverser matches jobspecs against a finalized resource graph.
+//
+// A Traverser is safe for concurrent use. Committing operations
+// (MatchAllocate, Commit, Cancel, ...) serialize under a writer lock, while
+// MatchSpeculate and the read-only queries run concurrently under a reader
+// lock; speculative matches coordinate through per-vertex claim counters
+// and are validated against committed planner state at Commit time.
+// Lock ordering is t.mu, then the graph's lock, then per-vertex planner
+// locks.
 type Traverser struct {
 	g               *resgraph.Graph
 	policy          match.Policy
 	subsystem       string
 	maxReserveDepth int
+	root            *resgraph.Vertex // cached: Graph.Root self-locks
 
+	mu     sync.RWMutex
 	allocs map[int64]*Allocation
 }
 
@@ -86,7 +101,8 @@ func New(g *resgraph.Graph, policy match.Policy, opts ...Option) (*Traverser, er
 	for _, o := range opts {
 		o(t)
 	}
-	if t.g.Root(t.subsystem) == nil {
+	t.root = t.g.Root(t.subsystem)
+	if t.root == nil {
 		return nil, fmt.Errorf("traverser: subsystem %q has no root", t.subsystem)
 	}
 	return t, nil
@@ -179,13 +195,15 @@ func (t *Traverser) effectiveDuration(js *jobspec.Jobspec, at int64) int64 {
 // jobID. It fails with ErrNoMatch when the system cannot host the request
 // at that time.
 func (t *Traverser) MatchAllocate(jobID int64, js *jobspec.Jobspec, at int64) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
 	if err := js.Validate(); err != nil {
 		return nil, err
 	}
-	alloc, err := t.tryMatch(jobID, js, at, false)
+	alloc, err := t.tryMatch(jobID, js, at, modeCommit)
 	if err != nil {
 		return nil, err
 	}
@@ -197,18 +215,19 @@ func (t *Traverser) MatchAllocate(jobID int64, js *jobspec.Jobspec, at int64) (*
 // earliest future time the request fits (paper §3.4: the root filter's
 // PlannerMulti enumerates candidate times, Figure 2).
 func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now int64) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
 	if err := js.Validate(); err != nil {
 		return nil, err
 	}
-	if alloc, err := t.tryMatch(jobID, js, now, false); err == nil {
+	if alloc, err := t.tryMatch(jobID, js, now, modeCommit); err == nil {
 		t.allocs[jobID] = alloc
 		return alloc, nil
 	}
-	root := t.g.Root(t.subsystem)
-	rf := root.Filter()
+	rf := t.root.Filter()
 	if rf == nil {
 		return nil, ErrNoFilter
 	}
@@ -223,7 +242,7 @@ func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now
 		if err != nil {
 			return nil, fmt.Errorf("%w: no candidate reservation time: %v", ErrNoMatch, err)
 		}
-		if alloc, err := t.tryMatch(jobID, js, cand, false); err == nil {
+		if alloc, err := t.tryMatch(jobID, js, cand, modeCommit); err == nil {
 			alloc.Reserved = true
 			t.allocs[jobID] = alloc
 			return alloc, nil
@@ -239,7 +258,7 @@ func (t *Traverser) MatchSatisfy(js *jobspec.Jobspec) (bool, error) {
 	if err := js.Validate(); err != nil {
 		return false, err
 	}
-	_, err := t.tryMatch(0, js, t.g.Base(), true)
+	_, err := t.tryMatch(0, js, t.g.Base(), modeDry)
 	switch {
 	case err == nil:
 		return true, nil
@@ -265,6 +284,8 @@ func trackedCounts(js *jobspec.Jobspec, rf *planner.Multi) map[string]int64 {
 
 // Cancel releases all resources held (or reserved) by jobID.
 func (t *Traverser) Cancel(jobID int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	_, err := t.remove(jobID)
 	return err
 }
@@ -274,10 +295,13 @@ func (t *Traverser) Cancel(jobID int64) error {
 // the traverser) so the queuing layer can account for the work lost and
 // requeue the job. Resource-wise it is equivalent to Cancel.
 func (t *Traverser) Evict(jobID int64) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.remove(jobID)
 }
 
 // remove uninstalls an allocation's planner spans and filter spans.
+// Callers hold t.mu.
 func (t *Traverser) remove(jobID int64) (*Allocation, error) {
 	alloc, ok := t.allocs[jobID]
 	if !ok {
@@ -306,6 +330,13 @@ func (t *Traverser) remove(jobID int64) (*Allocation, error) {
 // subtree rooted at root. These are the jobs a failure of that subtree
 // strands.
 func (t *Traverser) AffectedJobs(root *resgraph.Vertex) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.affectedJobs(root)
+}
+
+// affectedJobs is AffectedJobs without locking; callers hold t.mu.
+func (t *Traverser) affectedJobs(root *resgraph.Vertex) []int64 {
 	if root == nil {
 		return nil
 	}
@@ -342,13 +373,15 @@ func pathWithin(path, root string) bool {
 // evicted allocations in ascending job-ID order so the queuing layer can
 // requeue them. Marking an already-down subtree is a no-op.
 func (t *Traverser) MarkDown(path string) ([]*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	v := t.g.ByPath(path)
 	if v == nil {
 		return nil, fmt.Errorf("traverser: no vertex at %q", path)
 	}
 	var evicted []*Allocation
-	for _, id := range t.AffectedJobs(v) {
-		alloc, err := t.Evict(id)
+	for _, id := range t.affectedJobs(v) {
+		alloc, err := t.remove(id)
 		if err != nil {
 			return evicted, err
 		}
@@ -394,6 +427,8 @@ func (a *Allocation) Grants() []Grant {
 // atomically), and ancestor filters are updated exactly as a fresh match
 // would have (SDFU).
 func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, grants []Grant) (*Allocation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
@@ -443,6 +478,8 @@ func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, gr
 // pruning filters are rebuilt from the remaining grants. Releasing every
 // consuming vertex is equivalent to Cancel.
 func (t *Traverser) Release(jobID int64, paths []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	alloc, ok := t.allocs[jobID]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownJob, jobID)
@@ -495,16 +532,24 @@ func (t *Traverser) Release(jobID int64, paths []string) error {
 
 // Info returns the allocation for jobID.
 func (t *Traverser) Info(jobID int64) (*Allocation, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, ok := t.allocs[jobID]
 	return a, ok
 }
 
 // JobCount returns the number of live jobs without materializing the ID
 // slice Jobs builds.
-func (t *Traverser) JobCount() int { return len(t.allocs) }
+func (t *Traverser) JobCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.allocs)
+}
 
 // Jobs returns all live job IDs in ascending order.
 func (t *Traverser) Jobs() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]int64, 0, len(t.allocs))
 	for id := range t.allocs {
 		out = append(out, id)
@@ -513,20 +558,38 @@ func (t *Traverser) Jobs() []int64 {
 	return out
 }
 
-// tryMatch runs one full match attempt at time `at`. On success the
-// vertex spans are committed and ancestor filters updated (SDFU); on
-// failure everything is rolled back and ErrNoMatch returned.
-func (t *Traverser) tryMatch(jobID int64, js *jobspec.Jobspec, at int64, dry bool) (*Allocation, error) {
+// matchMode selects what a match attempt does with its selections.
+type matchMode int
+
+const (
+	// modeCommit plans spans eagerly and installs filter spans (SDFU).
+	modeCommit matchMode = iota
+	// modeDry checks capacity only: no spans, no claims.
+	modeDry
+	// modeSnap speculates: selections are published as per-vertex claim
+	// counters against a read snapshot, to be validated and committed
+	// later by Commit (or released by Abandon).
+	modeSnap
+)
+
+// tryMatch runs one full match attempt at time `at`. In commit mode the
+// vertex spans are committed and ancestor filters updated (SDFU) on
+// success; on failure everything is rolled back and ErrNoMatch returned.
+// The graph's reader lock is held for the whole traversal so topology
+// mutations (attach/detach, status flips) never interleave with a match.
+func (t *Traverser) tryMatch(jobID int64, js *jobspec.Jobspec, at int64, mode matchMode) (*Allocation, error) {
 	dur := t.effectiveDuration(js, at)
 	if dur <= 0 {
 		return nil, fmt.Errorf("%w: time %d outside horizon", ErrNoMatch, at)
 	}
-	root := t.g.Root(t.subsystem)
+	t.g.RLock()
+	defer t.g.RUnlock()
+	root := t.root
 
 	// Fast fail: the root filter's aggregates must fit first (paper
 	// §3.2: the traversal begins at the graph store root, where the
 	// aggregate counts of all requested resources are checked).
-	if !dry {
+	if mode != modeDry {
 		if rf := root.Filter(); rf != nil {
 			if counts := trackedCounts(js, rf); len(counts) > 0 && !rf.CanFit(at, dur, counts) {
 				return nil, fmt.Errorf("%w: root filter rejects at t=%d", ErrNoMatch, at)
@@ -535,32 +598,126 @@ func (t *Traverser) tryMatch(jobID int64, js *jobspec.Jobspec, at int64, dry boo
 	}
 
 	m := &matcher{
-		t:   t,
-		at:  at,
-		dur: dur,
-		dry: dry,
+		t:    t,
+		at:   at,
+		dur:  dur,
+		dry:  mode == modeDry,
+		snap: mode == modeSnap,
 		alloc: &Allocation{
 			JobID:    jobID,
 			At:       at,
 			Duration: dur,
 		},
 	}
-	if dry {
+	if m.dry {
 		m.tentative = make(map[int64]int64)
 	}
 	if !m.matchForest(root, js.Resources, false) {
 		m.rollbackTo(0)
 		return nil, fmt.Errorf("%w: at t=%d", ErrNoMatch, at)
 	}
-	if !dry {
+	switch mode {
+	case modeCommit:
 		if err := t.updateFilters(m.alloc); err != nil {
 			m.rollbackTo(0)
 			return nil, err
 		}
-	} else {
+	case modeDry:
 		m.rollbackTo(0)
+	case modeSnap:
+		// Claims stay published until Commit or Abandon.
 	}
 	return m.alloc, nil
+}
+
+// MatchSpeculate matches js at time `at` against a read snapshot without
+// committing anything. Selected units are published to per-vertex claim
+// counters so concurrent speculations steer around each other, but no
+// planner spans are written: the returned Allocation is tentative and MUST
+// be handed to exactly one of Commit or Abandon. Multiple goroutines may
+// speculate concurrently, and concurrently with read queries.
+func (t *Traverser) MatchSpeculate(jobID int64, js *jobspec.Jobspec, at int64) (*Allocation, error) {
+	t.mu.RLock()
+	_, dup := t.allocs[jobID]
+	t.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	if err := js.Validate(); err != nil {
+		return nil, err
+	}
+	return t.tryMatch(jobID, js, at, modeSnap)
+}
+
+// Commit validates a speculative allocation against committed planner
+// state and installs it. Conflict detection is inherent: each selection is
+// re-planned with AddSpan, which fails if a concurrent commit took the
+// capacity first; shared structural vertices are re-checked for exclusive
+// takeover. On any conflict every span added so far is rolled back and
+// ErrConflict returned — the job must be re-matched. The speculation's
+// claims are consumed either way; do not call Abandon afterwards.
+func (t *Traverser) Commit(alloc *Allocation) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Release claims before unlocking but after spans are in place, so
+	// concurrent speculators never observe the capacity as free.
+	defer t.releaseClaims(alloc)
+	if _, dup := t.allocs[alloc.JobID]; dup {
+		return fmt.Errorf("%w: %d", ErrExists, alloc.JobID)
+	}
+	t.g.RLock()
+	defer t.g.RUnlock()
+	rollback := func(n int) {
+		for _, va := range alloc.Vertices[:n] {
+			if va.Units > 0 {
+				_ = va.V.Planner().RemoveSpan(va.span)
+			}
+		}
+	}
+	for i := range alloc.Vertices {
+		va := &alloc.Vertices[i]
+		if va.V.Status != resgraph.StatusUp {
+			rollback(i)
+			return fmt.Errorf("%w: %s went down", ErrConflict, va.V.Path())
+		}
+		if va.Units == 0 {
+			// Shared structural grant: the vertex must not have been
+			// exclusively taken since speculation.
+			if avail, err := va.V.Planner().AvailDuring(alloc.At, alloc.Duration); err != nil || avail <= 0 {
+				rollback(i)
+				return fmt.Errorf("%w: %s exclusively taken", ErrConflict, va.V.Path())
+			}
+			continue
+		}
+		id, err := va.V.Planner().AddSpan(alloc.At, alloc.Duration, va.Units)
+		if err != nil {
+			rollback(i)
+			return fmt.Errorf("%w: %s: %v", ErrConflict, va.V.Path(), err)
+		}
+		va.span = id
+	}
+	if err := t.updateFilters(alloc); err != nil {
+		rollback(len(alloc.Vertices))
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	t.allocs[alloc.JobID] = alloc
+	return nil
+}
+
+// Abandon releases a speculative allocation's claims without committing
+// it. Safe to call from any goroutine; must not be called after Commit.
+func (t *Traverser) Abandon(alloc *Allocation) {
+	t.releaseClaims(alloc)
+}
+
+// releaseClaims retracts the per-vertex claim counters a speculation
+// published.
+func (t *Traverser) releaseClaims(alloc *Allocation) {
+	for _, va := range alloc.Vertices {
+		if va.Units > 0 {
+			va.V.AddSpecClaim(-va.Units)
+		}
+	}
 }
 
 // updateFilters is the Scheduler-Driven Filter Update (paper §3.4): for
