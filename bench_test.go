@@ -66,6 +66,7 @@ func BenchmarkLODMatch(b *testing.B) {
 				name += "Prune"
 			}
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				tr := lodTraverser(b, recipe, prune)
 				js := experiments.LODJobspec()
 				b.ResetTimer()
@@ -83,6 +84,44 @@ func BenchmarkLODMatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSlotMatch sweeps the slot count of a slot[N]{core[2]}
+// request on a 1024-core system. Matching a count-N slot repeats its
+// shape N times under the same parent, which is exactly what the match
+// kernel's candidate-list cache and first-fit cursor accelerate: the
+// subtree is collected once and each instance resumes past the
+// candidates its predecessors exhausted.
+func BenchmarkSlotMatch(b *testing.B) {
+	for _, slots := range []int64{1, 16, 256} {
+		b.Run(fmt.Sprintf("slots-%d", slots), func(b *testing.B) {
+			b.ReportAllocs()
+			g, err := grug.BuildGraph(grug.Small(4, 16, 16, 0, 0), 0, 1<<31,
+				resgraph.PruneSpec{resgraph.ALL: {"core"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := traverser.New(g, match.First{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			js := jobspec.New(0, jobspec.SlotR(slots, jobspec.R("core", 2)))
+			cjs, err := tr.Compile(js)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				id := int64(1_000_000 + n)
+				if _, err := tr.MatchAllocateCompiled(id, cjs, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := tr.Cancel(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelMatch measures aggregate match throughput of the
 // parallel match pipeline: W workers each drive speculate -> commit ->
 // cancel cycles against the half-loaded Fig. 6a High-Prune system. b.N is
@@ -94,6 +133,7 @@ func BenchmarkParallelMatch(b *testing.B) {
 	recipes := grug.LODPresetsScaled(benchRacks)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			tr := lodTraverser(b, recipes[0], true)
 			js := experiments.LODJobspec()
 			var ids atomic.Int64
@@ -148,6 +188,7 @@ func BenchmarkParallelMatch(b *testing.B) {
 func BenchmarkLODFill(b *testing.B) {
 	for _, cfg := range experiments.LODConfigs(2) {
 		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				r, err := experiments.RunLODConfig(cfg)
 				if err != nil {
@@ -178,6 +219,7 @@ func prepopulated(b *testing.B, spans int) *planner.Planner {
 func BenchmarkPlannerSatAt(b *testing.B) {
 	for _, spans := range plannerSizes {
 		b.Run(fmt.Sprintf("spans-%d", spans), func(b *testing.B) {
+			b.ReportAllocs()
 			p := prepopulated(b, spans)
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -193,6 +235,7 @@ func BenchmarkPlannerSatAt(b *testing.B) {
 func BenchmarkPlannerSatDuring(b *testing.B) {
 	for _, spans := range plannerSizes {
 		b.Run(fmt.Sprintf("spans-%d", spans), func(b *testing.B) {
+			b.ReportAllocs()
 			p := prepopulated(b, spans)
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -209,6 +252,7 @@ func BenchmarkPlannerSatDuring(b *testing.B) {
 func BenchmarkPlannerEarliestAt(b *testing.B) {
 	for _, spans := range plannerSizes {
 		b.Run(fmt.Sprintf("spans-%d", spans), func(b *testing.B) {
+			b.ReportAllocs()
 			p := prepopulated(b, spans)
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -226,6 +270,7 @@ func BenchmarkPlannerEarliestAt(b *testing.B) {
 func BenchmarkPlannerAddRemoveSpan(b *testing.B) {
 	for _, spans := range plannerSizes {
 		b.Run(fmt.Sprintf("spans-%d", spans), func(b *testing.B) {
+			b.ReportAllocs()
 			p := prepopulated(b, spans)
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
@@ -255,6 +300,7 @@ func BenchmarkVarAwareSchedule(b *testing.B) {
 	}
 	for _, policy := range experiments.VarAwarePolicies {
 		b.Run(policy, func(b *testing.B) {
+			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				run, err := experiments.RunVarAwarePolicy(cfg, policy)
 				if err != nil {
@@ -272,6 +318,7 @@ func BenchmarkVarAwareSchedule(b *testing.B) {
 // the root-filter candidate-time search plus a full match (paper §3.4,
 // Fig. 2).
 func BenchmarkReserve(b *testing.B) {
+	b.ReportAllocs()
 	g, err := grug.BuildGraph(grug.Small(4, 16, 16, 0, 0), 0, 1<<40,
 		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
 	if err != nil {
@@ -311,6 +358,7 @@ func BenchmarkReserve(b *testing.B) {
 func BenchmarkSDFU(b *testing.B) {
 	for _, filters := range []string{"none", "ALL:core"} {
 		b.Run(filters, func(b *testing.B) {
+			b.ReportAllocs()
 			var spec resgraph.PruneSpec
 			if filters != "none" {
 				spec = resgraph.PruneSpec{resgraph.ALL: {"core"}}
@@ -341,6 +389,7 @@ func BenchmarkSDFU(b *testing.B) {
 // BenchmarkSpawnInstance measures hierarchical child-instance creation
 // from a 16-node grant (paper §5.6).
 func BenchmarkSpawnInstance(b *testing.B) {
+	b.ReportAllocs()
 	parent, err := New(
 		WithRecipe(grug.Small(4, 8, 16, 0, 0)),
 		WithPruneFilters("ALL:core,ALL:node"),
@@ -363,6 +412,7 @@ func BenchmarkSpawnInstance(b *testing.B) {
 // BenchmarkCheckpointRestore measures full state serialization round
 // trips with 64 live allocations.
 func BenchmarkCheckpointRestore(b *testing.B) {
+	b.ReportAllocs()
 	f, err := New(
 		WithRecipe(grug.Small(4, 16, 8, 0, 0)),
 		WithPruneFilters("ALL:core,ALL:node"),

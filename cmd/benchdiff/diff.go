@@ -22,40 +22,60 @@ import (
 type Baseline struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 	Spread  map[string]float64 `json:"spread,omitempty"`
+	// AllocsPerOp is the median allocations per op recorded with the
+	// baseline. Unlike ns/op it is deterministic per machine, so the
+	// gate compares it directly, without calibration or spread.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
-// ParseBench extracts ns/op samples per benchmark from `go test -bench`
-// text output. Sub-benchmarks keep their full slash path; the trailing
-// -GOMAXPROCS suffix is stripped. Repeated runs (-count>1) append.
-func ParseBench(r io.Reader) (map[string][]float64, error) {
-	samples := make(map[string][]float64)
+// Samples holds the per-benchmark measurements of one `go test -bench`
+// run: ns/op always, allocs/op when the run reported allocations
+// (b.ReportAllocs or -benchmem).
+type Samples struct {
+	Ns     map[string][]float64
+	Allocs map[string][]float64
+}
+
+// ParseBench extracts ns/op and allocs/op samples per benchmark from
+// `go test -bench` text output. Sub-benchmarks keep their full slash
+// path; the trailing -GOMAXPROCS suffix is stripped. Repeated runs
+// (-count>1) append.
+func ParseBench(r io.Reader) (*Samples, error) {
+	samples := &Samples{
+		Ns:     make(map[string][]float64),
+		Allocs: make(map[string][]float64),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		// Benchmark lines look like:
-		//   BenchmarkLODMatch/High_pruned-8  100  123456 ns/op  [...]
+		//   BenchmarkLODMatch/High_pruned-8  100  123456 ns/op  500 B/op  3 allocs/op
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		var nsPerOp float64
-		found := false
+		var nsPerOp, allocsPerOp float64
+		foundNs, foundAllocs := false, false
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
-				}
-				nsPerOp = v
-				found = true
-				break
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				nsPerOp, foundNs = v, true
+			case "allocs/op":
+				allocsPerOp, foundAllocs = v, true
 			}
 		}
-		if !found {
+		if !foundNs {
 			continue
 		}
 		name := stripProcSuffix(fields[0])
-		samples[name] = append(samples[name], nsPerOp)
+		samples.Ns[name] = append(samples.Ns[name], nsPerOp)
+		if foundAllocs {
+			samples.Allocs[name] = append(samples.Allocs[name], allocsPerOp)
+		}
 	}
 	return samples, sc.Err()
 }
@@ -128,8 +148,12 @@ func ReadBaseline(path string) (*Baseline, error) {
 	return &b, nil
 }
 
-func WriteBaseline(path string, samples map[string][]float64) error {
-	b := Baseline{NsPerOp: Medians(samples), Spread: roundMap(Spreads(samples))}
+func WriteBaseline(path string, samples *Samples) error {
+	b := Baseline{
+		NsPerOp:     Medians(samples.Ns),
+		Spread:      roundMap(Spreads(samples.Ns)),
+		AllocsPerOp: Medians(samples.Allocs),
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -157,6 +181,14 @@ type Row struct {
 	Limit      float64 // calibrated ratio above which this row fails
 	Gated      bool
 	Regressed  bool
+
+	// Allocation gate: deterministic per machine, compared raw. HasAllocs
+	// is set when both the baseline and the current run report allocs/op
+	// for this benchmark; without either side the row is alloc-ungated.
+	HasAllocs      bool
+	BaseAllocs     float64
+	CurrentAllocs  float64
+	AllocRegressed bool
 }
 
 // Report is the full comparison: per-benchmark rows plus the median
@@ -171,10 +203,16 @@ type Report struct {
 // Compare calibrates current against baseline and flags gated
 // regressions. Every benchmark present in both sets feeds the median;
 // only benchmarks matching a gate prefix can fail the build. A gated
-// row fails when its calibrated ratio exceeds 1 + threshold + the
-// benchmark's recorded baseline spread.
-func Compare(base *Baseline, currentSamples map[string][]float64, gates []string, threshold float64) (*Report, error) {
-	current := Medians(currentSamples)
+// row fails its time gate when its calibrated ns/op ratio exceeds
+// 1 + threshold + the benchmark's recorded baseline spread, and its
+// allocation gate when allocs/op grew by more than threshold AND by
+// more than two allocations (the absolute floor keeps tiny counts,
+// where one allocation is a huge ratio, from flaking). Benchmarks with
+// no allocs/op on either side — pre-migration baselines or runs without
+// -benchmem/ReportAllocs — are alloc-ungated.
+func Compare(base *Baseline, currentSamples *Samples, gates []string, threshold float64) (*Report, error) {
+	current := Medians(currentSamples.Ns)
+	currentAllocs := Medians(currentSamples.Allocs)
 	var ratios []float64
 	var rows []Row
 	for name, cur := range current {
@@ -184,11 +222,21 @@ func Compare(base *Baseline, currentSamples map[string][]float64, gates []string
 		}
 		r := cur / b
 		ratios = append(ratios, r)
-		rows = append(rows, Row{
+		row := Row{
 			Name: name, BaseNs: b, CurrentNs: cur, Ratio: r,
 			Limit: 1 + threshold + base.Spread[name],
 			Gated: gated(name, gates),
-		})
+		}
+		if ba, ok := base.AllocsPerOp[name]; ok {
+			if ca, ok := currentAllocs[name]; ok {
+				row.HasAllocs = true
+				row.BaseAllocs = ba
+				row.CurrentAllocs = ca
+				row.AllocRegressed = row.Gated &&
+					ca > ba*(1+threshold) && ca-ba > 2
+			}
+		}
+		rows = append(rows, row)
 	}
 	if len(ratios) == 0 {
 		return nil, fmt.Errorf("no overlap between baseline and current results")
@@ -227,7 +275,7 @@ func (r *Report) Failed() bool {
 		return true
 	}
 	for _, row := range r.Rows {
-		if row.Regressed {
+		if row.Regressed || row.AllocRegressed {
 			return true
 		}
 	}
@@ -236,20 +284,30 @@ func (r *Report) Failed() bool {
 
 func (r *Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "benchdiff: machine-speed median ratio %.3f, gate threshold +%.0f%% (+ per-benchmark baseline spread)\n",
+	fmt.Fprintf(&sb, "benchdiff: machine-speed median ratio %.3f, gate threshold +%.0f%% (+ per-benchmark baseline spread; allocs/op gated raw)\n",
 		r.Median, r.Threshold*100)
-	fmt.Fprintf(&sb, "%-44s %14s %14s %9s %9s %7s  %s\n",
-		"benchmark", "base ns/op", "curr ns/op", "ratio", "calib", "limit", "verdict")
+	fmt.Fprintf(&sb, "%-44s %14s %14s %9s %9s %7s %12s %12s  %s\n",
+		"benchmark", "base ns/op", "curr ns/op", "ratio", "calib", "limit", "base allocs", "curr allocs", "verdict")
 	for _, row := range r.Rows {
 		verdict := "-"
 		switch {
+		case row.Regressed && row.AllocRegressed:
+			verdict = "REGRESSED (time, allocs)"
 		case row.Regressed:
-			verdict = "REGRESSED"
+			verdict = "REGRESSED (time)"
+		case row.AllocRegressed:
+			verdict = "REGRESSED (allocs)"
 		case row.Gated:
 			verdict = "ok"
 		}
-		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %9.3f %9.3f %7.3f  %s\n",
-			row.Name, row.BaseNs, row.CurrentNs, row.Ratio, row.Calibrated, row.Limit, verdict)
+		baseAllocs, currAllocs := "-", "-"
+		if row.HasAllocs {
+			baseAllocs = strconv.FormatFloat(row.BaseAllocs, 'f', 0, 64)
+			currAllocs = strconv.FormatFloat(row.CurrentAllocs, 'f', 0, 64)
+		}
+		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %9.3f %9.3f %7.3f %12s %12s  %s\n",
+			row.Name, row.BaseNs, row.CurrentNs, row.Ratio, row.Calibrated, row.Limit,
+			baseAllocs, currAllocs, verdict)
 	}
 	for _, name := range r.Missing {
 		fmt.Fprintf(&sb, "%-44s MISSING from current run (gated)\n", name)

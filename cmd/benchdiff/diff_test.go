@@ -21,7 +21,7 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := Medians(samples)
+	got := Medians(samples.Ns)
 	want := map[string]float64{
 		"BenchmarkLODMatch/High":     11500000, // median of the two runs
 		"BenchmarkPlannerSatAt/1000": 1100,
@@ -35,12 +35,20 @@ func TestParseBench(t *testing.T) {
 			t.Errorf("%s = %v, want %v", name, got[name], ns)
 		}
 	}
-	spreads := Spreads(samples)
+	spreads := Spreads(samples.Ns)
 	if s := spreads["BenchmarkLODMatch/High"]; s <= 0.08 || s >= 0.1 {
 		t.Errorf("spread = %v, want ~1e6/11.5e6", s) // (12M-11M)/11.5M
 	}
 	if s := spreads["BenchmarkSDFU"]; s != 0 {
 		t.Errorf("single-sample spread = %v, want 0", s)
+	}
+	// allocs/op is captured where reported and absent where not.
+	allocs := Medians(samples.Allocs)
+	if allocs["BenchmarkLODMatch/High"] != 3 {
+		t.Errorf("allocs = %v, want 3", allocs["BenchmarkLODMatch/High"])
+	}
+	if _, ok := allocs["BenchmarkPlannerSatAt/1000"]; ok {
+		t.Error("allocs recorded for a benchmark that did not report them")
 	}
 }
 
@@ -62,12 +70,20 @@ func TestStripProcSuffix(t *testing.T) {
 	}
 }
 
-func one(m map[string]float64) map[string][]float64 {
+func one(m map[string]float64) *Samples {
 	out := make(map[string][]float64, len(m))
 	for k, v := range m {
 		out[k] = []float64{v}
 	}
-	return out
+	return &Samples{Ns: out, Allocs: make(map[string][]float64)}
+}
+
+// withAllocs attaches single-sample allocs/op measurements to s.
+func withAllocs(s *Samples, m map[string]float64) *Samples {
+	for k, v := range m {
+		s.Allocs[k] = []float64{v}
+	}
+	return s
 }
 
 // A uniformly 2x-slower machine must not trip the gate: calibration
@@ -196,5 +212,107 @@ func TestCompareMissingGatedBenchmark(t *testing.T) {
 	}
 	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkLODMatch/High" {
 		t.Fatalf("Missing = %v", rep.Missing)
+	}
+}
+
+// Allocation growth on a gated benchmark fails raw — machine speed
+// can't mask it — while staying within threshold passes.
+func TestCompareAllocGate(t *testing.T) {
+	base := &Baseline{
+		NsPerOp: map[string]float64{
+			"BenchmarkLODMatch/High": 1000,
+			"BenchmarkSDFU":          3000,
+		},
+		AllocsPerOp: map[string]float64{
+			"BenchmarkLODMatch/High": 100,
+			"BenchmarkSDFU":          100,
+		},
+	}
+	// +50% allocations on the gated benchmark: fail even though ns/op
+	// held steady.
+	current := withAllocs(one(map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}), map[string]float64{
+		"BenchmarkLODMatch/High": 150,
+		"BenchmarkSDFU":          150, // ungated: must not fail
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("alloc regression not flagged:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		want := row.Name == "BenchmarkLODMatch/High"
+		if row.AllocRegressed != want {
+			t.Errorf("%s AllocRegressed=%v, want %v", row.Name, row.AllocRegressed, want)
+		}
+	}
+
+	// Within threshold: pass.
+	current = withAllocs(one(map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}), map[string]float64{
+		"BenchmarkLODMatch/High": 110,
+		"BenchmarkSDFU":          100,
+	})
+	rep, err = Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("alloc growth within threshold failed the gate:\n%s", rep)
+	}
+}
+
+// Tiny allocation counts need the absolute floor: 1 -> 3 allocations is
+// +200% but only two allocations, which must not flake the gate.
+func TestCompareAllocGateAbsoluteFloor(t *testing.T) {
+	base := &Baseline{
+		NsPerOp:     map[string]float64{"BenchmarkLODMatch/High": 1000, "BenchmarkSDFU": 3000},
+		AllocsPerOp: map[string]float64{"BenchmarkLODMatch/High": 1},
+	}
+	current := withAllocs(one(map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}), map[string]float64{
+		"BenchmarkLODMatch/High": 3,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("two extra allocations tripped the gate:\n%s", rep)
+	}
+}
+
+// A baseline written before allocation tracking (no allocs_per_op) must
+// leave the allocation gate off rather than fail every benchmark.
+func TestCompareAllocGateMigration(t *testing.T) {
+	base := &Baseline{NsPerOp: map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}}
+	current := withAllocs(one(map[string]float64{
+		"BenchmarkLODMatch/High": 1000,
+		"BenchmarkSDFU":          3000,
+	}), map[string]float64{
+		"BenchmarkLODMatch/High": 5000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkLODMatch"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("pre-migration baseline tripped the alloc gate:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.HasAllocs {
+			t.Errorf("%s HasAllocs=true without baseline allocs", row.Name)
+		}
 	}
 }

@@ -17,6 +17,12 @@
 // so inherently jittery benchmarks don't flake while stable ones stay
 // tightly gated.
 //
+// Allocations per op are gated too, but raw: allocs/op is deterministic
+// on a given build regardless of machine speed, so a gated benchmark
+// fails when its allocs/op exceeds the baseline by the threshold AND by
+// more than two allocations. Baselines recorded before allocation
+// tracking (no allocs_per_op field) leave the allocation gate off.
+//
 // Usage:
 //
 //	go test -run XXX -bench 'LODMatch|Planner' . > bench.txt
@@ -36,7 +42,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
 		inputPath    = flag.String("input", "-", "go test -bench output to compare ('-' for stdin)")
-		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner", "comma-separated benchmark name prefixes that are gated")
+		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch", "comma-separated benchmark name prefixes that are gated")
 		threshold    = flag.Float64("threshold", 0.20, "maximum tolerated calibrated slowdown (0.20 = +20%)")
 		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
 	)
@@ -51,13 +57,13 @@ func main() {
 	}
 	current, err := ParseBench(in)
 	fail(err)
-	if len(current) == 0 {
+	if len(current.Ns) == 0 {
 		fail(fmt.Errorf("no benchmark results found in %s", *inputPath))
 	}
 
 	if *write {
 		fail(WriteBaseline(*baselinePath, current))
-		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current.Ns), *baselinePath)
 		return
 	}
 

@@ -11,6 +11,10 @@
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
 // planner, 2418-node quartz with 200 jobs for the case study) run in a few
 // minutes; use -racks/-spans/-jobs to scale down.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever
+// experiments ran, for drilling into a perf regression (see
+// EXPERIMENTS.md, "Profiling a match regression").
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,8 +44,31 @@ func main() {
 		workers    = flag.String("workers", "1,2,4,8", "parallel-match worker sweep")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+			fmt.Printf("(wrote CPU profile to %s)\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fail(err)
+			runtime.GC() // settle live heap so the profile shows retained, not transient, memory
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+			fmt.Printf("(wrote heap profile to %s)\n", *memProfile)
+		}()
+	}
 
 	writeCSV := func(name string, fn func(w *os.File) error) {
 		if *csvDir == "" {

@@ -57,6 +57,9 @@ type (
 	Grant = traverser.Grant
 	// Jobspec is a parsed canonical job specification.
 	Jobspec = jobspec.Jobspec
+	// CompiledJobspec is a jobspec precompiled against an instance's
+	// graph for repeated zero-allocation matching.
+	CompiledJobspec = jobspec.Compiled
 	// Graph is the resource graph store.
 	Graph = resgraph.Graph
 	// Vertex is one resource pool in the store.
@@ -312,6 +315,42 @@ func (f *Fluxion) MatchAllocate(jobID int64, spec *Jobspec, at int64) (*Allocati
 	return alloc, err
 }
 
+// CompileJobspec precompiles a jobspec against this instance's graph for
+// repeated matching through the *Compiled entry points: validation,
+// request-tree flattening, and type interning happen once instead of on
+// every match call. The result is immutable and safe to share across
+// goroutines, but only valid for this instance.
+func (f *Fluxion) CompileJobspec(spec *Jobspec) (*CompiledJobspec, error) {
+	return f.tr.Compile(spec)
+}
+
+// MatchAllocateCompiled is MatchAllocate for a precompiled jobspec.
+func (f *Fluxion) MatchAllocateCompiled(jobID int64, spec *CompiledJobspec, at int64) (*Allocation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := time.Now()
+	alloc, err := f.tr.MatchAllocateCompiled(jobID, spec, at)
+	f.note(start)
+	return alloc, err
+}
+
+// MatchAllocateOrReserveCompiled is MatchAllocateOrReserve for a
+// precompiled jobspec.
+func (f *Fluxion) MatchAllocateOrReserveCompiled(jobID int64, spec *CompiledJobspec, now int64) (*Allocation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := time.Now()
+	alloc, err := f.tr.MatchAllocateOrReserveCompiled(jobID, spec, now)
+	f.note(start)
+	return alloc, err
+}
+
+// MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec; like
+// MatchSpeculate it bypasses the Fluxion-level lock.
+func (f *Fluxion) MatchSpeculateCompiled(jobID int64, spec *CompiledJobspec, at int64) (*Allocation, error) {
+	return f.tr.MatchSpeculateCompiled(jobID, spec, at)
+}
+
 // MatchAllocateYAML is MatchAllocate for a raw jobspec document.
 func (f *Fluxion) MatchAllocateYAML(jobID int64, specYAML []byte, at int64) (*Allocation, error) {
 	spec, err := jobspec.ParseYAML(specYAML)
@@ -363,6 +402,13 @@ func (f *Fluxion) MatchSatisfy(spec *Jobspec) (bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.tr.MatchSatisfy(spec)
+}
+
+// MatchSatisfyCompiled is MatchSatisfy for a precompiled jobspec.
+func (f *Fluxion) MatchSatisfyCompiled(spec *CompiledJobspec) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tr.MatchSatisfyCompiled(spec)
 }
 
 // Cancel releases a job's resources or reservation.

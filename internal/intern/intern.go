@@ -1,0 +1,72 @@
+// Package intern provides a concurrency-safe string interning table
+// mapping resource type names to dense int32 IDs.
+//
+// Fluxion's match hot path compares and aggregates resource types
+// millions of times per scheduling cycle; interning turns those string
+// map lookups into array indexing. The resource graph owns one Table,
+// assigns every vertex its TypeID at AddVertex time, and compiled
+// jobspecs (jobspec.Compile) intern their request types against the
+// same table so the matcher can compare dense IDs directly.
+package intern
+
+import "sync"
+
+// Table maps strings to dense IDs, assigned in first-seen order
+// starting at 0. It is safe for concurrent use: readers (Lookup, Name,
+// Len) take a reader lock while ID serializes insertions.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]int32
+	names []string
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]int32)}
+}
+
+// ID returns the dense ID for name, interning it on first use.
+func (t *Table) ID(name string) int32 {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok = t.ids[name]; ok {
+		return id
+	}
+	id = int32(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// Lookup returns the ID for name without interning; ok is false when
+// the name has never been interned.
+func (t *Table) Lookup(name string) (id int32, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok = t.ids[name]
+	return id, ok
+}
+
+// Name returns the string for id, or "" when id was never assigned.
+func (t *Table) Name(id int32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.names) {
+		return ""
+	}
+	return t.names[id]
+}
+
+// Len returns the number of interned strings. IDs are always in
+// [0, Len), so Len bounds dense arrays indexed by ID.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}

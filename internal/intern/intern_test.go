@@ -1,0 +1,79 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable()
+	if tab.Len() != 0 {
+		t.Fatalf("new table has Len %d", tab.Len())
+	}
+	a := tab.ID("node")
+	b := tab.ID("core")
+	if a == b {
+		t.Fatalf("distinct names share ID %d", a)
+	}
+	if got := tab.ID("node"); got != a {
+		t.Fatalf("re-interning changed ID: %d vs %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if id, ok := tab.Lookup("core"); !ok || id != b {
+		t.Fatalf("Lookup(core) = %d,%v want %d,true", id, ok, b)
+	}
+	if _, ok := tab.Lookup("gpu"); ok {
+		t.Fatal("Lookup of unseen name succeeded")
+	}
+	if got := tab.Name(a); got != "node" {
+		t.Fatalf("Name(%d) = %q", a, got)
+	}
+	if got := tab.Name(99); got != "" {
+		t.Fatalf("Name(99) = %q, want empty", got)
+	}
+	if got := tab.Name(-1); got != "" {
+		t.Fatalf("Name(-1) = %q, want empty", got)
+	}
+}
+
+func TestTableDenseIDs(t *testing.T) {
+	tab := NewTable()
+	for i := 0; i < 100; i++ {
+		id := tab.ID(fmt.Sprintf("type%d", i))
+		if id != int32(i) {
+			t.Fatalf("ID %d assigned for insertion %d", id, i)
+		}
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tab := NewTable()
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]int32, 64)
+			for i := range out {
+				out[i] = tab.ID(fmt.Sprintf("t%d", i))
+			}
+			ids[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got ID %d for t%d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if tab.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tab.Len())
+	}
+}

@@ -1,0 +1,136 @@
+package jobspec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fluxion/internal/intern"
+)
+
+func TestCompileFlattening(t *testing.T) {
+	tab := intern.NewTable()
+	js := New(3600, R("node", 2, SlotR(3, R("core", 4), R("memory", 8))))
+	c, err := Compile(js, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec() != js || c.Table() != tab {
+		t.Fatal("Spec/Table accessors do not round-trip")
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("len(nodes) = %d, want 4", len(nodes))
+	}
+	if !reflect.DeepEqual(c.Roots(), []int32{0}) {
+		t.Fatalf("roots = %v", c.Roots())
+	}
+	// Pre-order: node, slot, core, memory.
+	wantTypes := []string{"node", Slot, "core", "memory"}
+	wantCounts := []int64{2, 3, 4, 8}
+	for i, n := range nodes {
+		if n.Type != wantTypes[i] || n.Count != wantCounts[i] {
+			t.Fatalf("node %d = %s[%d], want %s[%d]", i, n.Type, n.Count, wantTypes[i], wantCounts[i])
+		}
+		if n.TypeID != tab.ID(n.Type) {
+			t.Fatalf("node %d TypeID %d != interned %d", i, n.TypeID, tab.ID(n.Type))
+		}
+		if n.Min != n.Count {
+			t.Fatalf("rigid node %d has Min %d != Count %d", i, n.Min, n.Count)
+		}
+	}
+	if !nodes[1].IsSlot || nodes[0].IsSlot {
+		t.Fatal("IsSlot mis-flagged")
+	}
+	if !reflect.DeepEqual(nodes[0].With, []int32{1}) || !reflect.DeepEqual(nodes[1].With, []int32{2, 3}) {
+		t.Fatalf("With links wrong: %v / %v", nodes[0].With, nodes[1].With)
+	}
+}
+
+func TestCompileNeeds(t *testing.T) {
+	tab := intern.NewTable()
+	js := New(0, R("node", 2, SlotR(3, R("core", 4), R("memory", 8))))
+	c, err := Compile(js, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	// One node instance: itself + 3 slots × (4 cores + 8 memory).
+	wantNode := []TypeCount{
+		{Type: "core", ID: tab.ID("core"), Units: 12},
+		{Type: "memory", ID: tab.ID("memory"), Units: 24},
+		{Type: "node", ID: tab.ID("node"), Units: 1},
+	}
+	if !reflect.DeepEqual(nodes[0].Needs, wantNode) {
+		t.Fatalf("node Needs = %v, want %v", nodes[0].Needs, wantNode)
+	}
+	// One slot instance: the contained shape, slot itself transparent.
+	wantSlot := []TypeCount{
+		{Type: "core", ID: tab.ID("core"), Units: 4},
+		{Type: "memory", ID: tab.ID("memory"), Units: 8},
+	}
+	if !reflect.DeepEqual(nodes[1].Needs, wantSlot) {
+		t.Fatalf("slot Needs = %v, want %v", nodes[1].Needs, wantSlot)
+	}
+	// A leaf needs one unit of its own type per instance.
+	wantCore := []TypeCount{{Type: "core", ID: tab.ID("core"), Units: 1}}
+	if !reflect.DeepEqual(nodes[2].Needs, wantCore) {
+		t.Fatalf("core Needs = %v", nodes[2].Needs)
+	}
+}
+
+func TestCompileMoldableNeedsUseMin(t *testing.T) {
+	tab := intern.NewTable()
+	js := New(0, SlotR(2, Moldable("core", 2, 8)))
+	c, err := Compile(js, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	if nodes[1].Min != 2 || nodes[1].Count != 8 {
+		t.Fatalf("moldable core Min/Count = %d/%d", nodes[1].Min, nodes[1].Count)
+	}
+	// Needs bound at the floor a feasible grant must reach.
+	want := []TypeCount{{Type: "core", ID: tab.ID("core"), Units: 2}}
+	if !reflect.DeepEqual(nodes[0].Needs, want) {
+		t.Fatalf("slot Needs = %v, want %v", nodes[0].Needs, want)
+	}
+}
+
+func TestCompileTotalsMatchTotalCounts(t *testing.T) {
+	tab := intern.NewTable()
+	js := New(0, R("node", 2, SlotR(3, Moldable("core", 2, 4), R("memory", 8))))
+	c, err := Compile(js, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := js.TotalCounts()
+	got := make(map[string]int64)
+	prev := ""
+	for _, tc := range c.Totals() {
+		if tc.Type < prev {
+			t.Fatalf("Totals not sorted: %q after %q", tc.Type, prev)
+		}
+		prev = tc.Type
+		if tc.ID != tab.ID(tc.Type) {
+			t.Fatalf("%s: ID %d != interned %d", tc.Type, tc.ID, tab.ID(tc.Type))
+		}
+		got[tc.Type] = tc.Units
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Totals = %v, want TotalCounts = %v", got, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tab := intern.NewTable()
+	if _, err := Compile(New(0, R("core", 1)), nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("nil table: err = %v, want ErrInvalid", err)
+	}
+	if _, err := Compile(New(0, R("core", 0)), tab); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("invalid spec: err = %v, want ErrInvalid", err)
+	}
+	if _, err := Compile(New(0), tab); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty spec: err = %v, want ErrInvalid", err)
+	}
+}

@@ -46,6 +46,15 @@ func Lookup(name string) (Policy, error) {
 // Names lists the registered policy names.
 func Names() []string { return []string{"first", "high", "low", "locality", "variation"} }
 
+// IsTraversalOrder reports whether p preserves traversal order (its
+// Order is a no-op). The traverser exploits this: under a
+// traversal-order policy a candidate list never needs re-sorting, so
+// first-fit scans can resume from a cursor instead of rescanning.
+func IsTraversalOrder(p Policy) bool {
+	_, ok := p.(First)
+	return ok
+}
+
 // First keeps candidates in traversal (creation) order: the first match
 // wins.
 type First struct{}

@@ -1,0 +1,113 @@
+package planner
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for the dense type index (IndexTypes/PlannerByID) and the
+// list-form span entry point (AddSpanList) the match kernel's SDFU
+// update uses.
+
+func testIDOf() func(string) int32 {
+	ids := map[string]int32{"core": 3, "memory": 7, "gpu": 1}
+	return func(rt string) int32 {
+		if id, ok := ids[rt]; ok {
+			return id
+		}
+		return -1
+	}
+}
+
+func TestIndexTypesPlannerByID(t *testing.T) {
+	m := newTestMulti(t)
+	if m.PlannerByID(3) != nil {
+		t.Fatal("PlannerByID indexed before IndexTypes")
+	}
+	m.IndexTypes(testIDOf())
+	for rt, id := range map[string]int32{"core": 3, "memory": 7, "gpu": 1} {
+		if m.PlannerByID(id) != m.Planner(rt) {
+			t.Fatalf("PlannerByID(%d) != Planner(%q)", id, rt)
+		}
+	}
+	// Untracked IDs, negatives, and out-of-range IDs return nil.
+	for _, id := range []int32{-1, 0, 2, 6, 100} {
+		if m.PlannerByID(id) != nil {
+			t.Fatalf("PlannerByID(%d) = non-nil for untracked type", id)
+		}
+	}
+}
+
+func TestIndexTypesSurvivesUpdate(t *testing.T) {
+	m := newTestMulti(t)
+	idOf := func(rt string) int32 {
+		switch rt {
+		case "core":
+			return 0
+		case "memory":
+			return 1
+		case "gpu":
+			return 2
+		case "bb":
+			return 5
+		}
+		return -1
+	}
+	m.IndexTypes(idOf)
+	// Update creating a new member type must reindex with the retained
+	// idOf so PlannerByID keeps working.
+	if err := m.Update("bb", 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.PlannerByID(5) == nil || m.PlannerByID(5) != m.Planner("bb") {
+		t.Fatal("new member type not indexed after Update")
+	}
+	if m.PlannerByID(0) != m.Planner("core") {
+		t.Fatal("existing index lost after Update")
+	}
+}
+
+func TestAddSpanListClaimsAndRemoves(t *testing.T) {
+	m := newTestMulti(t) // core: 40, memory: 256, gpu: 4
+	id, err := m.AddSpanList(10, 100, []string{"core", "memory", "gpu"}, []int64{8, 32, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Planner("core").AvailDuring(10, 100); got != 32 {
+		t.Fatalf("core avail = %d, want 32", got)
+	}
+	if got, _ := m.Planner("memory").AvailDuring(10, 100); got != 224 {
+		t.Fatalf("memory avail = %d, want 224", got)
+	}
+	// Zero-count entries must not claim anything.
+	if got, _ := m.Planner("gpu").AvailDuring(10, 100); got != 4 {
+		t.Fatalf("gpu avail = %d, want 4 (zero-count entry claimed)", got)
+	}
+	if err := m.RemoveSpan(id); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Planner("core").AvailDuring(10, 100); got != 40 {
+		t.Fatalf("core avail after remove = %d, want 40", got)
+	}
+}
+
+func TestAddSpanListErrors(t *testing.T) {
+	m := newTestMulti(t)
+	if _, err := m.AddSpanList(0, 10, []string{"core"}, []int64{1, 2}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	if _, err := m.AddSpanList(0, 10, []string{"nope"}, []int64{1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown type: err = %v", err)
+	}
+	if _, err := m.AddSpanList(0, 10, []string{"core"}, []int64{-1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative count: err = %v", err)
+	}
+	// Partial failure must roll back the members already added: memory
+	// request exceeds its pool, so the preceding core claim must revert.
+	if _, err := m.AddSpanList(0, 10, []string{"core", "memory"}, []int64{8, 1000}); err == nil {
+		t.Fatal("over-capacity span list accepted")
+	}
+	if got, _ := m.Planner("core").AvailDuring(0, 10); got != 40 {
+		t.Fatalf("core avail = %d after failed list, want 40 (rollback)", got)
+	}
+}

@@ -150,9 +150,9 @@ func (m *Multi) CheckInvariants() error {
 	}
 	// Every multi-span's members must still exist in their planners.
 	for id, members := range m.spans {
-		for rt, mid := range members {
-			if _, err := m.byType[rt].Span(mid); err != nil {
-				return fmt.Errorf("multi-span %d member %q/%d: %w", id, rt, mid, err)
+		for _, ms := range members {
+			if _, err := m.byType[ms.rt].Span(ms.id); err != nil {
+				return fmt.Errorf("multi-span %d member %q/%d: %w", id, ms.rt, ms.id, err)
 			}
 		}
 	}

@@ -23,8 +23,20 @@ type Multi struct {
 	types   []string // sorted, stable iteration order
 	byType  map[string]*Planner
 
-	spans      map[int64]map[string]int64 // multi-span ID -> member span IDs
+	// byID is the dense member-planner index built by IndexTypes: the
+	// match kernel resolves interned type IDs through it instead of the
+	// string map. idOf re-indexes types created later by Update.
+	byID []*Planner
+	idOf func(string) int32
+
+	spans      map[int64][]memberSpan // multi-span ID -> member spans
 	nextSpanID int64
+}
+
+// memberSpan records one member planner's span inside a multi-span.
+type memberSpan struct {
+	rt string
+	id int64
 }
 
 // NewMulti creates a Multi covering [base, base+horizon) with one member
@@ -38,7 +50,7 @@ func NewMulti(base, horizon int64, totals map[string]int64) (*Multi, error) {
 		base:       base,
 		horizon:    horizon,
 		byType:     make(map[string]*Planner, len(totals)),
-		spans:      make(map[int64]map[string]int64),
+		spans:      make(map[int64][]memberSpan),
 		nextSpanID: 1,
 	}
 	for rt, total := range totals {
@@ -65,6 +77,48 @@ func (m *Multi) Planner(rt string) *Planner {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.byType[rt]
+}
+
+// IndexTypes builds the dense member-planner index consulted by
+// PlannerByID, assigning each member type the ID idOf returns. idOf is
+// retained so member planners created later by Update are indexed too.
+// The resource graph calls this at filter-install time with its intern
+// table's ID function.
+func (m *Multi) IndexTypes(idOf func(string) int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.idOf = idOf
+	m.reindex()
+}
+
+// reindex rebuilds byID from byType; callers hold m.mu.
+func (m *Multi) reindex() {
+	if m.idOf == nil {
+		return
+	}
+	max := int32(-1)
+	ids := make([]int32, len(m.types))
+	for i, rt := range m.types {
+		ids[i] = m.idOf(rt)
+		if ids[i] > max {
+			max = ids[i]
+		}
+	}
+	m.byID = make([]*Planner, max+1)
+	for i, rt := range m.types {
+		m.byID[ids[i]] = m.byType[rt]
+	}
+}
+
+// PlannerByID returns the member planner for an interned type ID, or
+// nil when the type is untracked (or IndexTypes was never called).
+func (m *Multi) PlannerByID(id int32) *Planner {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id < 0 || int(id) >= len(m.byID) {
+		return nil
+	}
+	return m.byID[id]
 }
 
 // Total returns the pool size for rt (0 if absent).
@@ -216,7 +270,7 @@ func (m *Multi) AddSpan(start, duration int64, request map[string]int64) (int64,
 	if err := m.checkRequest(request); err != nil {
 		return -1, err
 	}
-	members := make(map[string]int64)
+	var members []memberSpan
 	for _, rt := range m.types {
 		c := request[rt]
 		if c == 0 {
@@ -224,17 +278,61 @@ func (m *Multi) AddSpan(start, duration int64, request map[string]int64) (int64,
 		}
 		id, err := m.byType[rt].AddSpan(start, duration, c)
 		if err != nil {
-			for mrt, mid := range members {
-				_ = m.byType[mrt].RemoveSpan(mid)
-			}
+			m.rollbackMembers(members)
 			return -1, fmt.Errorf("type %q: %w", rt, err)
 		}
-		members[rt] = id
+		members = append(members, memberSpan{rt: rt, id: id})
 	}
 	id := m.nextSpanID
 	m.nextSpanID++
 	m.spans[id] = members
 	return id, nil
+}
+
+// AddSpanList is AddSpan with the request given as parallel type/count
+// slices instead of a map, for callers (SDFU) that accumulate requests
+// in reusable scratch buffers. Zero counts are skipped; unknown types
+// and negative counts fail with nothing planned. The operation is
+// atomic like AddSpan.
+func (m *Multi) AddSpanList(start, duration int64, types []string, counts []int64) (int64, error) {
+	if len(types) != len(counts) {
+		return -1, fmt.Errorf("%w: %d types vs %d counts", ErrInvalid, len(types), len(counts))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, rt := range types {
+		if counts[i] < 0 {
+			return -1, fmt.Errorf("%w: negative count for %q", ErrInvalid, rt)
+		}
+		if counts[i] > 0 && m.byType[rt] == nil {
+			return -1, fmt.Errorf("%w: unknown resource type %q", ErrInvalid, rt)
+		}
+	}
+	var members []memberSpan
+	for i, rt := range types {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		id, err := m.byType[rt].AddSpan(start, duration, c)
+		if err != nil {
+			m.rollbackMembers(members)
+			return -1, fmt.Errorf("type %q: %w", rt, err)
+		}
+		members = append(members, memberSpan{rt: rt, id: id})
+	}
+	id := m.nextSpanID
+	m.nextSpanID++
+	m.spans[id] = members
+	return id, nil
+}
+
+// rollbackMembers removes already-added member spans after a partial
+// failure; callers hold m.mu.
+func (m *Multi) rollbackMembers(members []memberSpan) {
+	for _, ms := range members {
+		_ = m.byType[ms.rt].RemoveSpan(ms.id)
+	}
 }
 
 // RemoveSpan unplans a multi-span.
@@ -247,9 +345,9 @@ func (m *Multi) RemoveSpan(id int64) error {
 	}
 	delete(m.spans, id)
 	var firstErr error
-	for rt, mid := range members {
-		if err := m.byType[rt].RemoveSpan(mid); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("type %q: %w", rt, err)
+	for _, ms := range members {
+		if err := m.byType[ms.rt].RemoveSpan(ms.id); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("type %q: %w", ms.rt, err)
 		}
 	}
 	return firstErr
@@ -272,6 +370,7 @@ func (m *Multi) Update(rt string, delta int64) error {
 		m.byType[rt] = np
 		m.types = append(m.types, rt)
 		sort.Strings(m.types)
+		m.reindex()
 		return nil
 	}
 	return p.Update(delta)

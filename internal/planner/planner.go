@@ -223,7 +223,9 @@ func (p *Planner) end() int64 { return p.base + p.horizon }
 
 // floorPoint returns the last point at or before t (nil if t < base).
 func (p *Planner) floorPoint(t int64) *schedPoint {
-	n := p.sp.Floor(&schedPoint{at: t})
+	// Predicate search: building a probe schedPoint for Floor would put
+	// one heap allocation on every availability query.
+	n := p.sp.FloorFunc(func(pt *schedPoint) bool { return pt.at > t })
 	if n == nil {
 		return nil
 	}

@@ -1,0 +1,51 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FloorFunc(above) must agree with Floor(q) when above(item) == item > q:
+// both return the greatest item <= q. The predicate form exists so hot
+// paths can query without allocating a probe item.
+func TestFloorFuncMatchesFloor(t *testing.T) {
+	tr := New[int](intLess)
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		tr.Insert(v)
+	}
+	for q := 0; q <= 60; q++ {
+		want := tr.Floor(q)
+		got := tr.FloorFunc(func(item int) bool { return item > q })
+		switch {
+		case (want == nil) != (got == nil):
+			t.Fatalf("FloorFunc(>%d) nil-ness mismatch: floor=%v funcfloor=%v", q, want, got)
+		case want != nil && want.Item() != got.Item():
+			t.Fatalf("FloorFunc(>%d) = %d, Floor = %d", q, got.Item(), want.Item())
+		}
+	}
+}
+
+func TestFloorFuncEmptyTree(t *testing.T) {
+	tr := New[int](intLess)
+	if n := tr.FloorFunc(func(int) bool { return false }); n != nil {
+		t.Fatalf("FloorFunc on empty tree = %v", n)
+	}
+}
+
+func TestFloorFuncRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int](intLess)
+	present := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		v := rng.Intn(1000)
+		if !present[v] {
+			tr.Insert(v)
+			present[v] = true
+		}
+		q := rng.Intn(1100) - 50
+		want, got := tr.Floor(q), tr.FloorFunc(func(item int) bool { return item > q })
+		if (want == nil) != (got == nil) || (want != nil && want.Item() != got.Item()) {
+			t.Fatalf("step %d: Floor(%d)=%v FloorFunc=%v", i, q, want, got)
+		}
+	}
+}

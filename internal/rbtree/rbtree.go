@@ -180,6 +180,22 @@ func (t *Tree[T]) Floor(item T) *Node[T] {
 	return best
 }
 
+// FloorFunc is Floor with the search key expressed as a predicate:
+// above(x) must report whether x sorts strictly after the key. It lets
+// callers on hot paths search without materializing a probe item.
+func (t *Tree[T]) FloorFunc(above func(item T) bool) *Node[T] {
+	x, best := t.root, (*Node[T])(nil)
+	for !x.sentinel {
+		if above(x.item) {
+			x = x.left
+		} else {
+			best = x
+			x = x.right
+		}
+	}
+	return best
+}
+
 // Ceil returns the smallest node whose item is >= item, or nil.
 func (t *Tree[T]) Ceil(item T) *Node[T] {
 	x, best := t.root, (*Node[T])(nil)

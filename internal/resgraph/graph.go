@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"fluxion/internal/intern"
 	"fluxion/internal/planner"
 )
 
@@ -67,6 +68,7 @@ type Graph struct {
 	vertices []*Vertex
 	nextUniq int64
 	perType  map[string]int64 // next auto ID per resource type
+	types    *intern.Table    // resource type name -> dense TypeID
 
 	roots     map[string]*Vertex // subsystem -> root
 	byPath    map[string]*Vertex // containment path -> vertex
@@ -82,6 +84,7 @@ func NewGraph(base, horizon int64) *Graph {
 		base:    base,
 		horizon: horizon,
 		perType: make(map[string]int64),
+		types:   intern.NewTable(),
 		roots:   make(map[string]*Vertex),
 		byPath:  make(map[string]*Vertex),
 		subsys:  make(map[string]bool),
@@ -94,6 +97,19 @@ func (g *Graph) Base() int64 { return g.base }
 
 // Horizon returns the planners' schedulable duration.
 func (g *Graph) Horizon() int64 { return g.horizon }
+
+// Types returns the graph's resource type intern table. Every vertex's
+// TypeID is assigned from it, and jobspecs compiled for matching
+// against this graph must intern their types through it. The table is
+// self-locking and never shrinks.
+func (g *Graph) Types() *intern.Table { return g.types }
+
+// UniqBound returns the exclusive upper bound of assigned vertex
+// UniqIDs: every vertex satisfies 0 <= UniqID < UniqBound. The match
+// kernel sizes its per-vertex scratch arrays with it. Callers must hold
+// the reader lock (RLock) — the traverser reads it at the start of each
+// match attempt, after taking the lock it holds for the whole walk.
+func (g *Graph) UniqBound() int64 { return g.nextUniq }
 
 // RLock takes the store's reader lock. Use it to bracket a multi-step
 // sequence of topology reads that must observe a consistent graph — the
@@ -135,6 +151,7 @@ func (g *Graph) AddVertex(typ string, id, size int64) (*Vertex, error) {
 	v := &Vertex{
 		UniqID: g.nextUniq,
 		Type:   typ,
+		TypeID: g.types.ID(typ),
 		ID:     id,
 		Name:   fmt.Sprintf("%s%d", typ, id),
 		Size:   size,
@@ -328,8 +345,33 @@ func (g *Graph) Finalize() error {
 			}
 		}
 	}
+	g.renumberTree()
 	g.finalized = true
 	return nil
+}
+
+// renumberTree assigns pre-order interval labels (treeIn/treeOut) over
+// the containment tree for O(1) InSubtreeOf tests. Finalize and Attach
+// call it under the writer lock; Detach leaves labels intact (removing
+// a subtree cannot invalidate the remaining intervals).
+func (g *Graph) renumberTree() {
+	root := g.roots[Containment]
+	if root == nil {
+		return
+	}
+	var n int32
+	var walk func(v *Vertex)
+	walk = func(v *Vertex) {
+		v.treeIn = n
+		n++
+		for _, e := range v.out[Containment] {
+			if e.Type != EdgeIn {
+				walk(e.To)
+			}
+		}
+		v.treeOut = n
+	}
+	walk(root)
 }
 
 // MarkDown marks the containment subtree rooted at v down and subtracts the
@@ -452,7 +494,7 @@ func (g *Graph) finalizeSubtree(v *Vertex, parentPath string, seen map[int64]boo
 // installFilter installs a pruning filter on v if the PruneSpec selects its
 // type, tracking the configured low types present in v's subtree.
 func (g *Graph) installFilter(v *Vertex) error {
-	if len(containmentChildren(v)) == 0 {
+	if !v.HasChildren(Containment) {
 		return nil // leaves carry no filters
 	}
 	tracked := make(map[string]int64)
@@ -471,6 +513,9 @@ func (g *Graph) installFilter(v *Vertex) error {
 	if err != nil {
 		return fmt.Errorf("filter for %s: %w", v.Name, err)
 	}
+	// Index member planners by interned type ID so the match kernel can
+	// resolve them without string lookups.
+	m.IndexTypes(g.types.ID)
 	v.filter = m
 	return nil
 }
@@ -509,6 +554,7 @@ func (g *Graph) Attach(parent, sub *Vertex) error {
 			return err
 		}
 	}
+	g.renumberTree()
 	return nil
 }
 

@@ -1,0 +1,112 @@
+package resgraph
+
+import "testing"
+
+// Tests for the allocation-free topology helpers the match kernel relies
+// on: ChildCount/HasChildren (leaf tests without materializing slices),
+// TypeID interning, and the pre-order interval labels behind InSubtreeOf.
+
+func TestChildCountAndHasChildren(t *testing.T) {
+	g := buildTiny(t, nil)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/cluster0", 2},
+		{"/cluster0/rack0", 2},
+		{"/cluster0/rack0/node0", 5}, // 4 cores + 1 memory
+		{"/cluster0/rack0/node0/core0", 0},
+		{"/cluster0/rack0/node0/memory0", 0},
+	}
+	for _, c := range cases {
+		v := g.ByPath(c.path)
+		if v == nil {
+			t.Fatalf("missing %s", c.path)
+		}
+		if got := v.ChildCount(Containment); got != c.want {
+			t.Errorf("%s ChildCount = %d, want %d", c.path, got, c.want)
+		}
+		if got := len(v.Children(Containment)); got != c.want {
+			t.Errorf("%s len(Children) = %d, want %d", c.path, got, c.want)
+		}
+		if got := v.HasChildren(Containment); got != (c.want > 0) {
+			t.Errorf("%s HasChildren = %v, want %v", c.path, got, c.want > 0)
+		}
+	}
+}
+
+func TestTypeIDInterning(t *testing.T) {
+	g := buildTiny(t, nil)
+	tbl := g.Types()
+	if tbl == nil {
+		t.Fatal("nil type table")
+	}
+	for _, v := range g.Vertices() {
+		if got := tbl.ID(v.Type); got != v.TypeID {
+			t.Fatalf("%s: TypeID %d but table says %d", v, v.TypeID, got)
+		}
+		if got := tbl.Name(v.TypeID); got != v.Type {
+			t.Fatalf("%s: Name(%d) = %q, want %q", v, v.TypeID, got, v.Type)
+		}
+	}
+	a := g.ByPath("/cluster0/rack0/node0/core0")
+	b := g.ByPath("/cluster0/rack1/node3/core12")
+	if a.TypeID != b.TypeID {
+		t.Fatalf("same-type vertices have different TypeIDs: %d vs %d", a.TypeID, b.TypeID)
+	}
+	if a.TypeID == g.ByPath("/cluster0/rack0/node0").TypeID {
+		t.Fatal("core and node share a TypeID")
+	}
+}
+
+// inSubtreeSlow is the reference implementation: walk parents upward.
+func inSubtreeSlow(v, root *Vertex) bool {
+	for x := v; x != nil; x = x.Parent() {
+		if x == root {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInSubtreeOfMatchesParentWalk(t *testing.T) {
+	g := buildTiny(t, nil)
+	vs := g.Vertices()
+	for _, v := range vs {
+		for _, root := range vs {
+			want := inSubtreeSlow(v, root)
+			if got := v.InSubtreeOf(root); got != want {
+				t.Fatalf("InSubtreeOf(%s, %s) = %v, want %v", v, root, got, want)
+			}
+		}
+	}
+}
+
+func TestInSubtreeOfAfterAttach(t *testing.T) {
+	g := buildTiny(t, nil)
+	rack := g.ByPath("/cluster0/rack1")
+	node := g.MustAddVertex("node", -1, 1)
+	for i := 0; i < 2; i++ {
+		c := g.MustAddVertex("core", -1, 1)
+		if err := g.AddContainment(node, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Attach(rack, node); err != nil {
+		t.Fatal(err)
+	}
+	// Attach renumbers the interval labels; the O(1) test must agree with
+	// the parent walk for every pair, old vertices and new alike.
+	vs := g.Vertices()
+	for _, v := range vs {
+		for _, root := range vs {
+			want := inSubtreeSlow(v, root)
+			if got := v.InSubtreeOf(root); got != want {
+				t.Fatalf("after Attach: InSubtreeOf(%s, %s) = %v, want %v", v, root, got, want)
+			}
+		}
+	}
+	if !node.InSubtreeOf(rack) || node.InSubtreeOf(g.ByPath("/cluster0/rack0")) {
+		t.Fatal("attached node labeled under the wrong rack")
+	}
+}

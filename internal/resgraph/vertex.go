@@ -55,6 +55,10 @@ type Vertex struct {
 	// Type is the resource type name ("cluster", "rack", "node",
 	// "core", "memory", ...).
 	Type string
+	// TypeID is Type interned in the graph's type table (Graph.Types),
+	// assigned at AddVertex. The match kernel compares it instead of
+	// Type so type checks are integer compares.
+	TypeID int32
 	// ID is the logical per-type identifier (e.g. node 37). Match
 	// policies such as highest-ID-first order candidates by it.
 	ID int64
@@ -89,6 +93,12 @@ type Vertex struct {
 	// availability so concurrent first-fit searches diverge onto
 	// different pools instead of all racing for the same one.
 	specClaims atomic.Int64
+
+	// treeIn/treeOut are pre-order interval labels over the containment
+	// tree, maintained by Finalize and Attach: u contains v exactly when
+	// treeIn[u] <= treeIn[v] < treeOut[u]. The match kernel uses them
+	// for O(1) subtree tests when invalidating cached candidate lists.
+	treeIn, treeOut int32
 
 	graph *Graph
 }
@@ -149,6 +159,37 @@ func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
 			return
 		}
 	}
+}
+
+// ChildCount returns the number of downward children in the subsystem
+// without materializing the slice Children builds.
+func (v *Vertex) ChildCount(subsystem string) int {
+	n := 0
+	for _, e := range v.out[subsystem] {
+		if e.Type != EdgeIn {
+			n++
+		}
+	}
+	return n
+}
+
+// HasChildren reports whether v has at least one downward child in the
+// subsystem — the allocation-free leaf test used by the match kernel.
+func (v *Vertex) HasChildren(subsystem string) bool {
+	for _, e := range v.out[subsystem] {
+		if e.Type != EdgeIn {
+			return true
+		}
+	}
+	return false
+}
+
+// InSubtreeOf reports whether v lies in the containment subtree rooted
+// at root (inclusive), in O(1) via the pre-order interval labels
+// maintained by Finalize and Attach. Before Finalize all labels are
+// zero and the result is meaningless.
+func (v *Vertex) InSubtreeOf(root *Vertex) bool {
+	return root.treeIn <= v.treeIn && v.treeIn < root.treeOut
 }
 
 // containmentParents returns the From endpoints of incoming contains-typed

@@ -114,7 +114,7 @@ func (s *Scheduler) speculateBatch(batch []*Job) []*traverser.Allocation {
 		go func(i int, job *Job) {
 			defer wg.Done()
 			start := time.Now()
-			if a, err := s.tr.MatchSpeculate(job.ID, job.Spec, s.now); err == nil {
+			if a, err := s.matchSpeculate(job, s.now); err == nil {
 				specs[i] = a
 			}
 			durs[i] = time.Since(start)
@@ -144,10 +144,10 @@ func (s *Scheduler) commitOrFallback(job *Job, spec *traverser.Allocation, block
 		if blocked {
 			return nil, traverser.ErrNoMatch
 		}
-		return s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+		return s.matchAllocate(job, s.now)
 	case s.policy == EASY && blocked:
-		return s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+		return s.matchAllocate(job, s.now)
 	default: // Conservative always; EASY head
-		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, s.now)
+		return s.matchAllocateOrReserve(job, s.now)
 	}
 }

@@ -100,6 +100,11 @@ type Job struct {
 	MatchDuration time.Duration
 	// Alloc is the live or reserved selected resource set.
 	Alloc *traverser.Allocation
+
+	// compiled caches Spec compiled against the scheduler's graph, so
+	// the job is flattened and interned once at submit instead of on
+	// every match attempt across scheduling cycles.
+	compiled *jobspec.Compiled
 }
 
 // ErrUnknownPolicy reports an unrecognized queue policy.
@@ -292,7 +297,12 @@ func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int
 		return nil, fmt.Errorf("sched: job %d already submitted", id)
 	}
 	job := &Job{ID: id, Spec: spec, Submit: s.now, Priority: priority, State: StatePending}
-	ok, err := s.tr.MatchSatisfy(spec)
+	cjs, err := s.tr.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	job.compiled = cjs
+	ok, err := s.tr.MatchSatisfyCompiled(cjs)
 	if err != nil {
 		return nil, err
 	}
@@ -304,6 +314,46 @@ func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int
 	s.jobs[id] = job
 	s.enqueue(job)
 	return job, nil
+}
+
+// compiledSpec returns job.Spec compiled against the scheduler's graph,
+// compiling lazily and caching on the job (jobs restored from a
+// checkpoint reach here without passing through Submit). It returns nil
+// when compilation fails; callers fall back to the per-call path.
+func (s *Scheduler) compiledSpec(job *Job) *jobspec.Compiled {
+	if job.compiled == nil {
+		c, err := s.tr.Compile(job.Spec)
+		if err != nil {
+			return nil
+		}
+		job.compiled = c
+	}
+	return job.compiled
+}
+
+// matchAllocate matches job at time `at` through the traverser's
+// compiled fast path when the job's spec compiles.
+func (s *Scheduler) matchAllocate(job *Job, at int64) (*traverser.Allocation, error) {
+	if cjs := s.compiledSpec(job); cjs != nil {
+		return s.tr.MatchAllocateCompiled(job.ID, cjs, at)
+	}
+	return s.tr.MatchAllocate(job.ID, job.Spec, at)
+}
+
+// matchAllocateOrReserve is matchAllocate's allocate-else-reserve form.
+func (s *Scheduler) matchAllocateOrReserve(job *Job, at int64) (*traverser.Allocation, error) {
+	if cjs := s.compiledSpec(job); cjs != nil {
+		return s.tr.MatchAllocateOrReserveCompiled(job.ID, cjs, at)
+	}
+	return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
+}
+
+// matchSpeculate is matchAllocate's speculative form (parallel pipeline).
+func (s *Scheduler) matchSpeculate(job *Job, at int64) (*traverser.Allocation, error) {
+	if cjs := s.compiledSpec(job); cjs != nil {
+		return s.tr.MatchSpeculateCompiled(job.ID, cjs, at)
+	}
+	return s.tr.MatchSpeculate(job.ID, job.Spec, at)
 }
 
 // enqueue inserts a job into the pending queue in priority order (stable
@@ -363,12 +413,12 @@ func (s *Scheduler) scheduleSequential() {
 			if blocked {
 				err = traverser.ErrNoMatch
 			} else {
-				alloc, err = s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+				alloc, err = s.matchAllocate(job, s.now)
 			}
 		case s.policy == EASY && blocked:
-			alloc, err = s.tr.MatchAllocate(job.ID, job.Spec, s.now)
+			alloc, err = s.matchAllocate(job, s.now)
 		default: // Conservative always; EASY head
-			alloc, err = s.tr.MatchAllocateOrReserve(job.ID, job.Spec, s.now)
+			alloc, err = s.matchAllocateOrReserve(job, s.now)
 		}
 		job.MatchDuration += time.Since(start)
 		switch {

@@ -5,47 +5,83 @@ import (
 	"fluxion/internal/resgraph"
 )
 
+// This file is the allocation-free match kernel. One match attempt walks
+// the graph with a matcher backed by a reusable matchScratch:
+//
+//   - requests come precompiled (jobspec.Compiled): interned type IDs,
+//     flattened nodes, and per-node aggregate needs, so no maps are
+//     built while matching;
+//   - per-vertex window availability (AvailDuring) is memoized for the
+//     attempt in dense generation-stamped arrays, so the Order predicate
+//     and tryCandidate never repeat a planner query;
+//   - collect results are cached per (vertex, request node) for the
+//     attempt, so a count-N slot walks the subtree once instead of N
+//     times; under the first-fit policy a cursor additionally resumes
+//     each scan past candidates proven exhausted;
+//   - selections accumulate in a scratch log and are copied into the
+//     returned Allocation only on success.
+//
+// Cache correctness: within one attempt the graph topology and status
+// bits are frozen (the traverser holds the graph's reader lock) and
+// pruning filters only change after the walk (SDFU runs at commit), so
+// a cached candidate list can only be invalidated by a claim — or a
+// rollback of a claim — of units on a vertex the collection descended
+// through: a vertex with children that is not of the list's target type
+// (collect never descends through target-type vertices). Such
+// structural changes invalidate exactly the lists whose collection
+// subtree contains the vertex; first-fit cursors are reset on any
+// rollback, since restored capacity can revive a skipped candidate.
+
 // matcher holds the state of one match attempt at a fixed (at, duration)
 // window. Spans are committed eagerly and rolled back on failure, so
 // partially matched slots never leak.
 type matcher struct {
 	t     *Traverser
+	s     *matchScratch
+	nodes []jobspec.CNode // compiled request vertices
 	at    int64
 	dur   int64
 	dry   bool // capacity-only satisfiability check: no spans
 	snap  bool // speculative run: per-vertex claims instead of spans
-	alloc *Allocation
-
-	// tentative tracks per-vertex units claimed during a dry run, since
-	// no planner spans record them.
-	tentative map[int64]int64
 }
 
-// availUnits returns the units of v available throughout the window. A
-// speculative run additionally subtracts the units claimed by in-flight
-// speculations (its own included) so concurrent first-fit searches diverge
-// onto disjoint pools instead of colliding at commit.
+// availUnits returns the units of v available throughout the window,
+// memoized per vertex for the attempt (claims and rollbacks invalidate
+// the vertex's entry). A speculative run additionally subtracts the
+// units claimed by in-flight speculations (its own included) so
+// concurrent first-fit searches diverge onto disjoint pools instead of
+// colliding at commit.
 func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
+	s := m.s
+	uid := v.UniqID
+	if s.availGen[uid] == s.gen {
+		return s.avail[uid]
+	}
+	var a int64
 	if m.dry {
-		return v.Size - m.tentative[v.UniqID]
+		a = v.Size - s.tentative[uid]
+	} else {
+		avail, err := v.Planner().AvailDuring(m.at, m.dur)
+		if err == nil {
+			a = avail
+		}
+		if m.snap {
+			a -= v.SpecClaims()
+		}
 	}
-	avail, err := v.Planner().AvailDuring(m.at, m.dur)
-	if err != nil {
-		return 0
-	}
-	if m.snap {
-		avail -= v.SpecClaims()
-	}
-	return avail
+	s.avail[uid] = a
+	s.availGen[uid] = s.gen
+	return a
 }
 
-// claim plans units on v for the window and records the selection.
+// claim plans units on v for the window and records the selection in the
+// scratch log.
 func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
 	va := VertexAlloc{V: v, Units: units}
 	if units > 0 {
 		switch {
 		case m.dry:
-			m.tentative[v.UniqID] += units
+			m.s.tentative[v.UniqID] += units
 		case m.snap:
 			v.AddSpecClaim(units)
 		default:
@@ -55,90 +91,141 @@ func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
 			}
 			va.span = id
 		}
+		m.s.availGen[v.UniqID] = 0 // drop the memoized availability
+		if v.HasChildren(m.t.subsystem) {
+			m.s.cands.structuralChange(v, m.t.containment)
+		}
 	}
-	m.alloc.Vertices = append(m.alloc.Vertices, va)
+	m.s.verts = append(m.s.verts, va)
 	return true
 }
 
-// rollbackTo undoes every claim past mark (an index into alloc.Vertices).
+// rollbackTo undoes every claim past mark (an index into the scratch
+// selection log) and resets first-fit cursors, since restored capacity
+// can revive candidates a cursor skipped.
 func (m *matcher) rollbackTo(mark int) {
-	for _, va := range m.alloc.Vertices[mark:] {
+	undo := m.s.verts[mark:]
+	if len(undo) == 0 {
+		return
+	}
+	for _, va := range undo {
 		if va.Units == 0 {
 			continue
 		}
 		switch {
 		case m.dry:
-			m.tentative[va.V.UniqID] -= va.Units
+			m.s.tentative[va.V.UniqID] -= va.Units
 		case m.snap:
 			va.V.AddSpecClaim(-va.Units)
 		default:
 			_ = va.V.Planner().RemoveSpan(va.span)
 		}
+		m.s.availGen[va.V.UniqID] = 0
+		if va.V.HasChildren(m.t.subsystem) {
+			m.s.cands.structuralChange(va.V, m.t.containment)
+		}
 	}
-	m.alloc.Vertices = m.alloc.Vertices[:mark]
+	m.s.verts = m.s.verts[:mark]
+	m.s.cands.resetCursors()
 }
 
-// matchForest satisfies every request in reqs under vertex v.
-func (m *matcher) matchForest(v *resgraph.Vertex, reqs []*jobspec.Resource, excl bool) bool {
-	for _, req := range reqs {
-		if !m.matchRequest(v, req, excl) {
+// matchForest satisfies every request in reqs (compiled node indexes)
+// under vertex v.
+func (m *matcher) matchForest(v *resgraph.Vertex, reqs []int32, excl bool) bool {
+	for _, ri := range reqs {
+		if !m.matchRequest(v, ri, excl) {
 			return false
 		}
 	}
 	return true
 }
 
-// matchRequest satisfies one request vertex under v.
-func (m *matcher) matchRequest(v *resgraph.Vertex, req *jobspec.Resource, excl bool) bool {
-	if req.Type == jobspec.Slot {
+// matchRequest satisfies one compiled request vertex under v.
+func (m *matcher) matchRequest(v *resgraph.Vertex, ni int32, excl bool) bool {
+	cn := &m.nodes[ni]
+	if cn.IsSlot {
 		// A slot is a transparent grouping: its shape is matched
 		// Count times under the current vertex, each instance
 		// exclusively (paper §4.2). Moldable slots accept any
 		// instance count down to MinCount.
-		for i := int64(0); i < req.Count; i++ {
-			mark := len(m.alloc.Vertices)
-			if !m.matchForest(v, req.With, true) {
+		for i := int64(0); i < cn.Count; i++ {
+			mark := len(m.s.verts)
+			if !m.matchForest(v, cn.With, true) {
 				m.rollbackTo(mark)
-				return i >= req.MinCount()
+				return i >= cn.Min
 			}
 		}
 		return true
 	}
 
-	need := instanceNeeds(req)
-	var cands []*resgraph.Vertex
-	if v.Type == req.Type {
+	needed := cn.Count
+	if v.TypeID == cn.TypeID {
 		// Self-match (e.g. a cluster-typed request at the root).
-		cands = []*resgraph.Vertex{v}
-	} else {
-		cands = m.collect(v, req.Type, need)
+		needed -= m.tryCandidate(v, cn, excl, needed)
+		return needed <= 0 || cn.Count-needed >= cn.Min
 	}
-	needed := req.Count
-	m.t.policy.Order(cands, needed, func(c *resgraph.Vertex) bool {
-		return m.availUnits(c) > 0
-	})
-	for _, c := range cands {
-		if needed <= 0 {
-			break
+
+	key := candKey{vertex: v.UniqID, node: ni}
+	e := m.s.cands.lookup(key)
+	if e == nil {
+		buf := m.s.cands.getBuf()
+		buf = m.collect(buf[:0], v, cn)
+		e = m.s.cands.put(key, v, cn.TypeID, buf)
+	}
+
+	if m.t.staticOrder {
+		// First-fit: scan the cached traversal-order list from the
+		// cursor, then advance the cursor past the leading run of
+		// candidates now proven dead (failed, or drained to zero
+		// availability) — without a rollback they stay dead, so the
+		// next slot instance resumes where this one got traction.
+		cands := e.cands
+		start := int(e.cursor)
+		dead := 0
+		for j := start; j < len(cands) && needed > 0; j++ {
+			c := cands[j]
+			contrib := m.tryCandidate(c, cn, excl, needed)
+			needed -= contrib
+			if j == start+dead && (contrib == 0 || m.availUnits(c) <= 0) {
+				dead++
+			}
 		}
-		needed -= m.tryCandidate(c, req, excl, needed)
+		if dead > 0 {
+			m.s.cands.advanceCursor(key, int32(start+dead))
+		}
+	} else {
+		// Ranking policy: re-order a scratch copy of the cached list
+		// every scan, exactly as the interpreted kernel re-ordered
+		// each fresh collect (avail-dependent comparators may rank
+		// differently as capacity drains).
+		buf := m.s.pushOrdered(e.cands)
+		m.t.policy.Order(buf, needed, func(c *resgraph.Vertex) bool {
+			return m.availUnits(c) > 0
+		})
+		for _, c := range buf {
+			if needed <= 0 {
+				break
+			}
+			needed -= m.tryCandidate(c, cn, excl, needed)
+		}
+		m.s.popOrdered()
 	}
 	// Moldable requests accept any grant down to MinCount.
-	return needed <= 0 || req.Count-needed >= req.MinCount()
+	return needed <= 0 || cn.Count-needed >= cn.Min
 }
 
-// tryCandidate attempts to take (part of) req from candidate c, returning
-// the units of req.Type it contributed (0 on failure). Claims made for a
-// failed candidate are rolled back before returning.
-func (m *matcher) tryCandidate(c *resgraph.Vertex, req *jobspec.Resource, excl bool, needed int64) int64 {
+// tryCandidate attempts to take (part of) request cn from candidate c,
+// returning the units of cn's type it contributed (0 on failure). Claims
+// made for a failed candidate are rolled back before returning.
+func (m *matcher) tryCandidate(c *resgraph.Vertex, cn *jobspec.CNode, excl bool, needed int64) int64 {
 	if c.Status != resgraph.StatusUp {
 		return 0
 	}
-	exclusive := excl || req.Exclusive
+	exclusive := excl || cn.Exclusive
 	avail := m.availUnits(c)
 
 	var units, contribution int64
-	if len(req.With) > 0 {
+	if len(cn.With) > 0 {
 		// Structural vertex: it hosts a nested shape. Exclusive use
 		// consumes the whole pool; shared use grants traversal only
 		// but requires the vertex not to be exclusively taken.
@@ -159,7 +246,7 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, req *jobspec.Resource, excl b
 		// inherently dedicated, so exclusivity adds nothing for
 		// size>1 pools; for singletons it is the whole vertex
 		// either way.
-		units = min64(needed, avail)
+		units = min(needed, avail)
 		if units <= 0 {
 			return 0
 		}
@@ -168,12 +255,12 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, req *jobspec.Resource, excl b
 
 	// The candidate's own pruning filter must clear the nested shape's
 	// aggregate needs before we descend (paper §3.4).
-	if !m.dry && len(req.With) > 0 && !m.filterAdmits(c, instanceNeeds(req)) {
+	if !m.dry && len(cn.With) > 0 && !m.filterAdmits(c, cn.Needs) {
 		return 0
 	}
 
-	mark := len(m.alloc.Vertices)
-	if len(req.With) > 0 && !m.matchForest(c, req.With, exclusive) {
+	mark := len(m.s.verts)
+	if len(cn.With) > 0 && !m.matchForest(c, cn.With, exclusive) {
 		m.rollbackTo(mark)
 		return 0
 	}
@@ -184,96 +271,57 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, req *jobspec.Resource, excl b
 	return contribution
 }
 
-// collect gathers candidate vertices of the requested type beneath v,
+// collect gathers candidate vertices of cn's type beneath v into out,
 // walking the subsystem's edges through transparent intermediate levels.
 // Descent is pruned at vertices that are exclusively allocated or whose
 // pruning filter cannot cover one instance's aggregate needs.
-func (m *matcher) collect(v *resgraph.Vertex, typ string, need map[string]int64) []*resgraph.Vertex {
-	var out []*resgraph.Vertex
-	var walk func(x *resgraph.Vertex)
-	walk = func(x *resgraph.Vertex) {
-		x.EachChild(m.t.subsystem, func(c *resgraph.Vertex) bool {
-			if c.Status != resgraph.StatusUp {
-				return true
+func (m *matcher) collect(out []*resgraph.Vertex, v *resgraph.Vertex, cn *jobspec.CNode) []*resgraph.Vertex {
+	for _, e := range v.OutEdges(m.t.subsystem) {
+		if e.Type == resgraph.EdgeIn {
+			continue
+		}
+		c := e.To
+		if c.Status != resgraph.StatusUp {
+			continue
+		}
+		if c.TypeID == cn.TypeID {
+			out = append(out, c)
+			continue
+		}
+		if !c.HasChildren(m.t.subsystem) {
+			continue // leaf of another type
+		}
+		if !m.dry {
+			// Exclusivity prune: a fully planned structural
+			// vertex hides its subtree.
+			if m.availUnits(c) <= 0 {
+				continue
 			}
-			if c.Type == typ {
-				out = append(out, c)
-				return true
+			if !m.filterAdmits(c, cn.Needs) {
+				continue
 			}
-			if len(c.Children(m.t.subsystem)) == 0 {
-				return true // leaf of another type
-			}
-			if !m.dry {
-				// Exclusivity prune: a fully planned structural
-				// vertex hides its subtree.
-				if m.availUnits(c) <= 0 {
-					return true
-				}
-				if !m.filterAdmits(c, need) {
-					return true
-				}
-			}
-			walk(c)
-			return true
-		})
+		}
+		out = m.collect(out, c, cn)
 	}
-	walk(v)
 	return out
 }
 
 // filterAdmits checks c's pruning filter (if any) against the aggregate
-// needs of one request instance.
-func (m *matcher) filterAdmits(c *resgraph.Vertex, need map[string]int64) bool {
+// needs of one request instance, resolving member planners by interned
+// type ID.
+func (m *matcher) filterAdmits(c *resgraph.Vertex, needs []jobspec.TypeCount) bool {
 	f := c.Filter()
 	if f == nil {
 		return true
 	}
-	for rt, n := range need {
-		p := f.Planner(rt)
+	for i := range needs {
+		p := f.PlannerByID(needs[i].ID)
 		if p == nil {
 			continue // filter does not track this type
 		}
-		if !p.CanFit(m.at, m.dur, n) {
+		if !p.CanFit(m.at, m.dur, needs[i].Units) {
 			return false
 		}
 	}
 	return true
-}
-
-// instanceNeeds returns the aggregate units per type one instance of req
-// requires: one unit of req.Type (or the nested shape for slots) plus its
-// subtree multiplied down.
-func instanceNeeds(req *jobspec.Resource) map[string]int64 {
-	agg := make(map[string]int64)
-	// Pruning is an over-approximation: moldable requests count at
-	// their minimum so a subtree able to host the smallest acceptable
-	// instance is never pruned.
-	var walk func(r *jobspec.Resource, mult int64)
-	walk = func(r *jobspec.Resource, mult int64) {
-		n := mult * r.MinCount()
-		if r.Type != jobspec.Slot {
-			agg[r.Type] += n
-		}
-		for _, c := range r.With {
-			walk(c, n)
-		}
-	}
-	if req.Type == jobspec.Slot {
-		for _, c := range req.With {
-			walk(c, 1)
-		}
-		return agg
-	}
-	agg[req.Type] = 1
-	for _, c := range req.With {
-		walk(c, 1)
-	}
-	return agg
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

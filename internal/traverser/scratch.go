@@ -1,0 +1,247 @@
+package traverser
+
+import (
+	"fluxion/internal/resgraph"
+)
+
+// matchScratch is the reusable working memory of one match attempt. A
+// traverser keeps one instance for the serialized paths (the write lock
+// is held) and a sync.Pool for the lock-free ones (MatchSatisfy,
+// MatchSpeculate), so steady-state matching allocates nothing.
+//
+// The dense per-vertex arrays are indexed by Vertex.UniqID and
+// generation-stamped: begin bumps gen, and a slot is live only when its
+// stamp equals the current generation, so reuse needs no clearing.
+type matchScratch struct {
+	// verts is the selection log of the attempt; successful matches copy
+	// it into the returned Allocation.
+	verts []VertexAlloc
+
+	// avail memoizes availUnits per vertex; availGen stamps validity.
+	avail    []int64
+	availGen []uint32
+	gen      uint32
+
+	// tentative carries dry-run claims per vertex. It is kept zeroed
+	// between attempts (dry runs always roll back fully) rather than
+	// generation-stamped, so claims survive availability invalidation.
+	tentative []int64
+
+	// ordered holds per-recursion-depth copies of cached candidate lists
+	// for ranking policies, which reorder destructively per scan.
+	ordered [][]*resgraph.Vertex
+	depth   int
+
+	cands candCache
+	sdfu  sdfuScratch
+}
+
+// begin readies the scratch for an attempt over vertices with UniqID in
+// [0, n).
+func (s *matchScratch) begin(n int64) {
+	s.gen++
+	if s.gen == 0 { // uint32 wrap: stale stamps could read as live
+		for i := range s.availGen {
+			s.availGen[i] = 0
+		}
+		s.gen = 1
+	}
+	if int64(len(s.avail)) < n {
+		s.avail = make([]int64, n)
+		s.availGen = make([]uint32, n)
+		s.tentative = make([]int64, n)
+	}
+	s.verts = s.verts[:0]
+	s.depth = 0
+	s.cands.reset()
+}
+
+// pushOrdered returns a scratch copy of cands for a ranking-policy scan,
+// using the buffer for the current recursion depth (nested matchRequest
+// calls during the scan use deeper buffers).
+func (s *matchScratch) pushOrdered(cands []*resgraph.Vertex) []*resgraph.Vertex {
+	for len(s.ordered) <= s.depth {
+		s.ordered = append(s.ordered, nil)
+	}
+	buf := append(s.ordered[s.depth][:0], cands...)
+	s.ordered[s.depth] = buf // keep any growth
+	s.depth++
+	return buf
+}
+
+// popOrdered releases the buffer taken by the matching pushOrdered.
+func (s *matchScratch) popOrdered() { s.depth-- }
+
+// candKey identifies a cached candidate list: the vertex the collection
+// started from and the compiled request node it collected for.
+type candKey struct {
+	vertex int64 // Vertex.UniqID
+	node   int32 // compiled node index
+}
+
+// candEntry is one cached candidate list. root/typeID support
+// invalidation (which claims can affect this list); cursor is the
+// first-fit resume point.
+type candEntry struct {
+	key    candKey
+	root   *resgraph.Vertex
+	typeID int32 // target type: claims on this type never invalidate
+	valid  bool
+	cursor int32
+	cands  []*resgraph.Vertex
+}
+
+// candCache caches collect results within one match attempt. Entries
+// live in a slice (reused across attempts) with a map index; candidate
+// buffers are recycled through a free list at reset.
+type candCache struct {
+	entries []candEntry
+	index   map[candKey]int32
+	free    [][]*resgraph.Vertex
+}
+
+// reset clears the cache for a new attempt, recycling the candidate
+// buffers of surviving entries.
+func (c *candCache) reset() {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.cands != nil {
+			c.free = append(c.free, e.cands)
+		}
+		e.cands = nil
+	}
+	c.entries = c.entries[:0]
+	if c.index == nil {
+		c.index = make(map[candKey]int32)
+	} else {
+		clear(c.index)
+	}
+}
+
+// getBuf returns a recycled candidate buffer (or nil; append grows it).
+func (c *candCache) getBuf() []*resgraph.Vertex {
+	if n := len(c.free); n > 0 {
+		buf := c.free[n-1]
+		c.free = c.free[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// lookup returns the live entry for key, or nil.
+func (c *candCache) lookup(key candKey) *candEntry {
+	i, ok := c.index[key]
+	if !ok {
+		return nil
+	}
+	e := &c.entries[i]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// put stores a fresh candidate list for key, reusing the key's
+// invalidated slot when one exists. The returned pointer is valid until
+// the next put (the entries slice may grow).
+func (c *candCache) put(key candKey, root *resgraph.Vertex, typeID int32, cands []*resgraph.Vertex) *candEntry {
+	if i, ok := c.index[key]; ok {
+		e := &c.entries[i]
+		*e = candEntry{key: key, root: root, typeID: typeID, valid: true, cands: cands}
+		return e
+	}
+	i := int32(len(c.entries))
+	c.entries = append(c.entries, candEntry{key: key, root: root, typeID: typeID, valid: true, cands: cands})
+	c.index[key] = i
+	return &c.entries[i]
+}
+
+// structuralChange invalidates every cached list whose collection walked
+// through v: a claim (or rollback) on a vertex with children changes
+// intermediate availability and filter admission, which pruned the
+// collect descent. Lists targeting v's own type are immune — collect
+// stops at target-type vertices and never descends through them. For
+// the containment subsystem, v's pre-order interval restricts the sweep
+// to lists rooted above v; other subsystems conservatively invalidate
+// all.
+//
+// Invalidated buffers are dropped to the garbage collector rather than
+// recycled: a scan higher up the recursion stack may still be iterating
+// the slice, so handing it to a later collect would alias live state.
+func (c *candCache) structuralChange(v *resgraph.Vertex, containment bool) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid || e.typeID == v.TypeID {
+			continue
+		}
+		if containment && !v.InSubtreeOf(e.root) {
+			continue
+		}
+		e.valid = false
+		e.cands = nil
+	}
+}
+
+// resetCursors rewinds every first-fit cursor; called on rollback, since
+// restored capacity can revive candidates a cursor skipped.
+func (c *candCache) resetCursors() {
+	for i := range c.entries {
+		c.entries[i].cursor = 0
+	}
+}
+
+// advanceCursor moves key's cursor forward. It re-resolves the entry
+// through the index because entry pointers go stale when the slice
+// grows.
+func (c *candCache) advanceCursor(key candKey, cursor int32) {
+	if i, ok := c.index[key]; ok {
+		e := &c.entries[i]
+		if e.valid && cursor > e.cursor {
+			e.cursor = cursor
+		}
+	}
+}
+
+// sdfuScratch accumulates the per-filter-owner type/count lists of the
+// scheduler-driven filter update (paper §3.4) in reusable buffers, in
+// place of the per-commit map-of-maps the interpreted path built.
+type sdfuScratch struct {
+	owners []*resgraph.Vertex
+	idx    map[*resgraph.Vertex]int32
+	types  [][]string
+	counts [][]int64
+}
+
+// begin readies the accumulator for one allocation's filter updates.
+func (s *sdfuScratch) begin() {
+	s.owners = s.owners[:0]
+	if s.idx == nil {
+		s.idx = make(map[*resgraph.Vertex]int32)
+	} else {
+		clear(s.idx)
+	}
+}
+
+// add accumulates units of rt against owner's filter.
+func (s *sdfuScratch) add(owner *resgraph.Vertex, rt string, units int64) {
+	i, ok := s.idx[owner]
+	if !ok {
+		i = int32(len(s.owners))
+		s.owners = append(s.owners, owner)
+		s.idx[owner] = i
+		for len(s.types) <= int(i) {
+			s.types = append(s.types, nil)
+			s.counts = append(s.counts, nil)
+		}
+		s.types[i] = s.types[i][:0]
+		s.counts[i] = s.counts[i][:0]
+	}
+	for j, t := range s.types[i] {
+		if t == rt {
+			s.counts[i][j] += units
+			return
+		}
+	}
+	s.types[i] = append(s.types[i], rt)
+	s.counts[i] = append(s.counts[i], units)
+}

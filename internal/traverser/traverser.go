@@ -78,9 +78,17 @@ type Traverser struct {
 	subsystem       string
 	maxReserveDepth int
 	root            *resgraph.Vertex // cached: Graph.Root self-locks
+	containment     bool             // subsystem is containment: subtree intervals are valid
+	staticOrder     bool             // policy keeps traversal order: first-fit cursors apply
 
 	mu     sync.RWMutex
 	allocs map[int64]*Allocation
+
+	// scratch is the match working memory for paths serialized under
+	// t.mu; scratchPool serves the lock-free paths (MatchSatisfy,
+	// MatchSpeculate), which may run concurrently.
+	scratch     *matchScratch
+	scratchPool sync.Pool
 }
 
 // New creates a traverser over g using the given match policy.
@@ -105,7 +113,33 @@ func New(g *resgraph.Graph, policy match.Policy, opts ...Option) (*Traverser, er
 	if t.root == nil {
 		return nil, fmt.Errorf("traverser: subsystem %q has no root", t.subsystem)
 	}
+	t.containment = t.subsystem == resgraph.Containment
+	t.staticOrder = match.IsTraversalOrder(t.policy)
+	t.scratch = &matchScratch{}
+	t.scratchPool.New = func() any { return &matchScratch{} }
 	return t, nil
+}
+
+// Compile precompiles js against this traverser's graph for repeated
+// matching through the *Compiled entry points: the request tree is
+// flattened with resource types interned into the graph's type table and
+// per-node pruning aggregates precomputed once, instead of on every
+// attempt. The result is immutable and safe to share across goroutines;
+// it is only valid for traversers over the same graph.
+func (t *Traverser) Compile(js *jobspec.Jobspec) (*jobspec.Compiled, error) {
+	return jobspec.Compile(js, t.g.Types())
+}
+
+// checkCompiled guards the *Compiled entry points against specs compiled
+// for another graph, whose interned type IDs would be meaningless here.
+func (t *Traverser) checkCompiled(cjs *jobspec.Compiled) error {
+	if cjs == nil {
+		return fmt.Errorf("traverser: nil compiled jobspec")
+	}
+	if cjs.Table() != t.g.Types() {
+		return fmt.Errorf("traverser: jobspec compiled against a different graph")
+	}
+	return nil
 }
 
 // Graph returns the underlying store.
@@ -200,10 +234,30 @@ func (t *Traverser) MatchAllocate(jobID int64, js *jobspec.Jobspec, at int64) (*
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	if err := js.Validate(); err != nil {
+	cjs, err := t.Compile(js)
+	if err != nil {
 		return nil, err
 	}
-	alloc, err := t.tryMatch(jobID, js, at, modeCommit)
+	return t.allocate(jobID, cjs, at)
+}
+
+// MatchAllocateCompiled is MatchAllocate for a precompiled jobspec,
+// skipping the per-call validation and compilation pass.
+func (t *Traverser) MatchAllocateCompiled(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
+	if err := t.checkCompiled(cjs); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.allocs[jobID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	return t.allocate(jobID, cjs, at)
+}
+
+// allocate matches and registers; callers hold t.mu and have dup-checked.
+func (t *Traverser) allocate(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
+	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit)
 	if err != nil {
 		return nil, err
 	}
@@ -220,10 +274,31 @@ func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	if err := js.Validate(); err != nil {
+	cjs, err := t.Compile(js)
+	if err != nil {
 		return nil, err
 	}
-	if alloc, err := t.tryMatch(jobID, js, now, modeCommit); err == nil {
+	return t.allocateOrReserve(jobID, cjs, now)
+}
+
+// MatchAllocateOrReserveCompiled is MatchAllocateOrReserve for a
+// precompiled jobspec.
+func (t *Traverser) MatchAllocateOrReserveCompiled(jobID int64, cjs *jobspec.Compiled, now int64) (*Allocation, error) {
+	if err := t.checkCompiled(cjs); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.allocs[jobID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	return t.allocateOrReserve(jobID, cjs, now)
+}
+
+// allocateOrReserve implements the allocate-else-reserve probe loop;
+// callers hold t.mu and have dup-checked.
+func (t *Traverser) allocateOrReserve(jobID int64, cjs *jobspec.Compiled, now int64) (*Allocation, error) {
+	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit); err == nil {
 		t.allocs[jobID] = alloc
 		return alloc, nil
 	}
@@ -231,18 +306,18 @@ func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now
 	if rf == nil {
 		return nil, ErrNoFilter
 	}
-	counts := trackedCounts(js, rf)
+	counts := trackedCounts(cjs, rf)
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("%w: root filter tracks none of the requested types", ErrNoFilter)
 	}
-	dur := t.effectiveDuration(js, now)
+	dur := t.effectiveDuration(cjs.Spec(), now)
 	after := now
 	for i := 0; i < t.maxReserveDepth; i++ {
 		cand, err := rf.AvailPointTimeAfter(after, dur, counts)
 		if err != nil {
 			return nil, fmt.Errorf("%w: no candidate reservation time: %v", ErrNoMatch, err)
 		}
-		if alloc, err := t.tryMatch(jobID, js, cand, modeCommit); err == nil {
+		if alloc, err := t.tryMatch(jobID, cjs, cand, modeCommit); err == nil {
 			alloc.Reserved = true
 			t.allocs[jobID] = alloc
 			return alloc, nil
@@ -255,10 +330,23 @@ func (t *Traverser) MatchAllocateOrReserve(jobID int64, js *jobspec.Jobspec, now
 // MatchSatisfy reports whether js could ever be satisfied by the system,
 // ignoring current allocations (capacity-only check).
 func (t *Traverser) MatchSatisfy(js *jobspec.Jobspec) (bool, error) {
-	if err := js.Validate(); err != nil {
+	cjs, err := t.Compile(js)
+	if err != nil {
 		return false, err
 	}
-	_, err := t.tryMatch(0, js, t.g.Base(), modeDry)
+	return t.satisfy(cjs)
+}
+
+// MatchSatisfyCompiled is MatchSatisfy for a precompiled jobspec.
+func (t *Traverser) MatchSatisfyCompiled(cjs *jobspec.Compiled) (bool, error) {
+	if err := t.checkCompiled(cjs); err != nil {
+		return false, err
+	}
+	return t.satisfy(cjs)
+}
+
+func (t *Traverser) satisfy(cjs *jobspec.Compiled) (bool, error) {
+	_, err := t.tryMatch(0, cjs, t.g.Base(), modeDry)
 	switch {
 	case err == nil:
 		return true, nil
@@ -269,14 +357,16 @@ func (t *Traverser) MatchSatisfy(js *jobspec.Jobspec) (bool, error) {
 	}
 }
 
-// trackedCounts restricts a jobspec's total counts to the types the root
-// filter tracks.
-func trackedCounts(js *jobspec.Jobspec, rf *planner.Multi) map[string]int64 {
-	counts := js.TotalCounts()
+// trackedCounts restricts a compiled jobspec's total counts to the types
+// the root filter tracks, in the map form the reservation probe's
+// candidate-time queries take. Reservation probing is the cold path, so
+// member planners are resolved by name: it stays correct even for a
+// filter that never had its type IDs indexed.
+func trackedCounts(cjs *jobspec.Compiled, rf *planner.Multi) map[string]int64 {
 	out := make(map[string]int64)
-	for _, rt := range rf.Types() {
-		if n := counts[rt]; n > 0 {
-			out[rt] = n
+	for _, tc := range cjs.Totals() {
+		if tc.Units > 0 && rf.Planner(tc.Type) != nil {
+			out[tc.Type] = tc.Units
 		}
 	}
 	return out
@@ -576,58 +666,85 @@ const (
 // vertex spans are committed and ancestor filters updated (SDFU) on
 // success; on failure everything is rolled back and ErrNoMatch returned.
 // The graph's reader lock is held for the whole traversal so topology
-// mutations (attach/detach, status flips) never interleave with a match.
-func (t *Traverser) tryMatch(jobID int64, js *jobspec.Jobspec, at int64, mode matchMode) (*Allocation, error) {
-	dur := t.effectiveDuration(js, at)
+// mutations (attach/detach, status flips) never interleave with a match —
+// which is also what freezes the topology and status bits the match
+// kernel's candidate cache relies on.
+func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode matchMode) (*Allocation, error) {
+	dur := t.effectiveDuration(cjs.Spec(), at)
 	if dur <= 0 {
 		return nil, fmt.Errorf("%w: time %d outside horizon", ErrNoMatch, at)
 	}
+
+	// Commit mode runs under t.mu, so the traverser's own scratch is
+	// free; the lock-free modes (dry, snap) draw from the pool.
+	var s *matchScratch
+	if mode == modeCommit {
+		s = t.scratch
+	} else {
+		s = t.scratchPool.Get().(*matchScratch)
+		defer t.scratchPool.Put(s)
+	}
+
 	t.g.RLock()
 	defer t.g.RUnlock()
 	root := t.root
+	s.begin(t.g.UniqBound())
 
 	// Fast fail: the root filter's aggregates must fit first (paper
 	// §3.2: the traversal begins at the graph store root, where the
 	// aggregate counts of all requested resources are checked).
 	if mode != modeDry {
 		if rf := root.Filter(); rf != nil {
-			if counts := trackedCounts(js, rf); len(counts) > 0 && !rf.CanFit(at, dur, counts) {
+			tracked, fit := false, true
+			for _, tc := range cjs.Totals() {
+				if tc.Units <= 0 {
+					continue
+				}
+				p := rf.PlannerByID(tc.ID)
+				if p == nil {
+					continue
+				}
+				tracked = true
+				if !p.CanFit(at, dur, tc.Units) {
+					fit = false
+					break
+				}
+			}
+			if tracked && !fit {
 				return nil, fmt.Errorf("%w: root filter rejects at t=%d", ErrNoMatch, at)
 			}
 		}
 	}
 
-	m := &matcher{
-		t:    t,
-		at:   at,
-		dur:  dur,
-		dry:  mode == modeDry,
-		snap: mode == modeSnap,
-		alloc: &Allocation{
-			JobID:    jobID,
-			At:       at,
-			Duration: dur,
-		},
+	m := matcher{
+		t:     t,
+		s:     s,
+		nodes: cjs.Nodes(),
+		at:    at,
+		dur:   dur,
+		dry:   mode == modeDry,
+		snap:  mode == modeSnap,
 	}
-	if m.dry {
-		m.tentative = make(map[int64]int64)
-	}
-	if !m.matchForest(root, js.Resources, false) {
+	if !m.matchForest(root, cjs.Roots(), false) {
 		m.rollbackTo(0)
 		return nil, fmt.Errorf("%w: at t=%d", ErrNoMatch, at)
 	}
+	alloc := &Allocation{JobID: jobID, At: at, Duration: dur}
 	switch mode {
 	case modeCommit:
-		if err := t.updateFilters(m.alloc); err != nil {
+		alloc.Vertices = append(make([]VertexAlloc, 0, len(s.verts)), s.verts...)
+		if err := t.updateFilters(alloc); err != nil {
 			m.rollbackTo(0)
 			return nil, err
 		}
 	case modeDry:
 		m.rollbackTo(0)
 	case modeSnap:
-		// Claims stay published until Commit or Abandon.
+		// Claims stay published until Commit or Abandon; the selection
+		// must outlive this attempt's scratch.
+		alloc.Vertices = append(make([]VertexAlloc, 0, len(s.verts)), s.verts...)
 	}
-	return m.alloc, nil
+	return alloc, nil
 }
 
 // MatchSpeculate matches js at time `at` against a read snapshot without
@@ -643,10 +760,25 @@ func (t *Traverser) MatchSpeculate(jobID int64, js *jobspec.Jobspec, at int64) (
 	if dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	if err := js.Validate(); err != nil {
+	cjs, err := t.Compile(js)
+	if err != nil {
 		return nil, err
 	}
-	return t.tryMatch(jobID, js, at, modeSnap)
+	return t.tryMatch(jobID, cjs, at, modeSnap)
+}
+
+// MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec.
+func (t *Traverser) MatchSpeculateCompiled(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
+	if err := t.checkCompiled(cjs); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	_, dup := t.allocs[jobID]
+	t.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+	}
+	return t.tryMatch(jobID, cjs, at, modeSnap)
 }
 
 // Commit validates a speculative allocation against committed planner
@@ -723,31 +855,26 @@ func (t *Traverser) releaseClaims(alloc *Allocation) {
 // updateFilters is the Scheduler-Driven Filter Update (paper §3.4): for
 // every selected consuming vertex, walk its containment ancestors and add
 // one aggregate span per filter-carrying ancestor, covering exactly the
-// units selected beneath it.
+// units selected beneath it. The per-owner requests accumulate in the
+// traverser's SDFU scratch (all callers hold t.mu) instead of a freshly
+// built map of maps.
 func (t *Traverser) updateFilters(alloc *Allocation) error {
-	type key = *resgraph.Vertex
-	pending := make(map[key]map[string]int64)
-	var order []key // deterministic application order
+	s := &t.scratch.sdfu
+	s.begin()
 	for _, va := range alloc.Vertices {
 		if va.Units == 0 {
 			continue
 		}
 		for a := va.V.Parent(); a != nil; a = a.Parent() {
 			f := a.Filter()
-			if f == nil || f.Planner(va.V.Type) == nil {
+			if f == nil || f.PlannerByID(va.V.TypeID) == nil {
 				continue
 			}
-			m, ok := pending[a]
-			if !ok {
-				m = make(map[string]int64)
-				pending[a] = m
-				order = append(order, a)
-			}
-			m[va.V.Type] += va.Units
+			s.add(a, va.V.Type, va.Units)
 		}
 	}
-	for _, owner := range order {
-		id, err := owner.Filter().AddSpan(alloc.At, alloc.Duration, pending[owner])
+	for i, owner := range s.owners {
+		id, err := owner.Filter().AddSpanList(alloc.At, alloc.Duration, s.types[i], s.counts[i])
 		if err != nil {
 			// Roll back filter spans added so far; vertex spans
 			// are rolled back by the caller.
