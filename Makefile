@@ -7,8 +7,10 @@ COVER_FLOOR ?= 78.0
 # The benchmark families gated against BENCH_BASELINE.json. -cpu is
 # pinned so sub-benchmark names (and the -N suffix) are identical across
 # machines; -count 5 lets benchdiff take the noise-resistant median.
-BENCH_GATE  ?= BenchmarkLODMatch|BenchmarkPlanner|BenchmarkSlotMatch
+BENCH_GATE  ?= BenchmarkLODMatch|BenchmarkPlanner|BenchmarkSlotMatch|BenchmarkSchedCycle
 BENCH_FLAGS  = -run NONE -bench '$(BENCH_GATE)' -benchtime 0.5s -count 5 -cpu 4
+# Packages holding gated benchmarks.
+BENCH_PKGS   = . ./internal/sched
 
 .PHONY: all build test test-race race bench repro cover cover-check \
 	lint bench-baseline bench-regress fmt vet clean
@@ -53,13 +55,13 @@ lint:
 # bench-baseline refreshes BENCH_BASELINE.json from a fresh run of the
 # gated benchmarks. Commit the result when a perf change is intended.
 bench-baseline:
-	$(GO) test $(BENCH_FLAGS) . > bench-current.txt
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) > bench-current.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -input bench-current.txt -write
 
 # bench-regress is the CI perf gate: fails when a gated benchmark is
 # >20% slower than BENCH_BASELINE.json after machine-speed calibration.
 bench-regress:
-	$(GO) test $(BENCH_FLAGS) . > bench-current.txt
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) > bench-current.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -input bench-current.txt
 
 fmt:

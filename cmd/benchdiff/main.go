@@ -42,7 +42,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
 		inputPath    = flag.String("input", "-", "go test -bench output to compare ('-' for stdin)")
-		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch", "comma-separated benchmark name prefixes that are gated")
+		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch,BenchmarkSchedCycle", "comma-separated benchmark name prefixes that are gated")
 		threshold    = flag.Float64("threshold", 0.20, "maximum tolerated calibrated slowdown (0.20 = +20%)")
 		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
 	)

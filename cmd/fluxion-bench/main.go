@@ -6,6 +6,7 @@
 //	fluxion-bench -experiment classes   # Fig. 7a  (performance classes)
 //	fluxion-bench -experiment varaware  # Fig. 7b, Table 1, Fig. 8
 //	fluxion-bench -experiment parmatch  # parallel match pipeline sweep
+//	fluxion-bench -experiment increment # incremental vs full-requeue engines
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -42,6 +43,7 @@ func main() {
 		nodes      = flag.Int64("quartz-nodes", 2418, "variation-aware system size (racks of 62)")
 		seed       = flag.Int64("seed", 2023, "workload seed")
 		workers    = flag.String("workers", "1,2,4,8", "parallel-match worker sweep")
+		incJobs    = flag.Int("increment-jobs", 512, "queue depth for the incremental-scheduling study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -142,8 +144,19 @@ func main() {
 		writeCSV("parmatch.csv", func(w *os.File) error { return experiments.WriteParMatchCSV(w, results) })
 		fmt.Printf("(parmatch experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("increment") {
+		ran = true
+		cfg := experiments.DefaultIncrement()
+		cfg.Jobs = *incJobs
+		start := time.Now()
+		results, err := experiments.RunIncrement(cfg)
+		fail(err)
+		experiments.PrintIncrement(os.Stdout, results, cfg)
+		writeCSV("increment.csv", func(w *os.File) error { return experiments.WriteIncrementCSV(w, results) })
+		fmt.Printf("(increment experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

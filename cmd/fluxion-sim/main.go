@@ -42,6 +42,7 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed; same seed, same failures")
 		maxRetries = flag.Int("max-retries", 0, "failure requeues per job before it fails (0 = default)")
 		drill      = flag.Bool("drill", false, "run the crash-recovery drill: checkpoint mid-run, restore, verify convergence")
+		increment  = flag.Bool("incremental", true, "event-driven incremental scheduling (false = full requeue every cycle)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,7 @@ func main() {
 		FaultSeed:    *faultSeed,
 		MaxRetries:   *maxRetries,
 		Drill:        *drill,
+		FullRequeue:  !*increment,
 	}, jobs, os.Stdout)
 	fail(err)
 	if res.DrillRan && !res.DrillOK {

@@ -68,6 +68,17 @@ type (
 	Recipe = grug.Recipe
 	// PruneSpec configures pruning-filter placement.
 	PruneSpec = resgraph.PruneSpec
+	// BlockSignature records why a match attempt failed: the pruning
+	// subtree intervals, interned resource types, unit shortfalls, and the
+	// root aggregates' earliest-fit hint. An event-driven scheduler
+	// re-attempts a blocked job only when a capacity delta intersects its
+	// signature (see internal/sched).
+	BlockSignature = traverser.BlockSig
+	// BlockReason is one recorded rejection inside a BlockSignature.
+	BlockReason = traverser.BlockReason
+	// ResourceDelta is one published capacity change: a free, a claim, or
+	// a structural event, tagged with the touched subtree interval.
+	ResourceDelta = resgraph.Delta
 )
 
 // Errors re-exported from the matching layer.
@@ -344,6 +355,38 @@ func (f *Fluxion) MatchAllocateOrReserveCompiled(jobID int64, spec *CompiledJobs
 	f.note(start)
 	return alloc, err
 }
+
+// MatchAllocateCompiledSig is MatchAllocateCompiled that, on ErrNoMatch,
+// captures the attempt's blocking signature into sig (see BlockSignature;
+// sig may be nil to skip capture).
+func (f *Fluxion) MatchAllocateCompiledSig(jobID int64, spec *CompiledJobspec, at int64, sig *BlockSignature) (*Allocation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := time.Now()
+	alloc, err := f.tr.MatchAllocateCompiledSig(jobID, spec, at, sig)
+	f.note(start)
+	return alloc, err
+}
+
+// MatchAllocateOrReserveCompiledSig is MatchAllocateOrReserveCompiled with
+// blocking-signature capture on failure.
+func (f *Fluxion) MatchAllocateOrReserveCompiledSig(jobID int64, spec *CompiledJobspec, now int64, sig *BlockSignature) (*Allocation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := time.Now()
+	alloc, err := f.tr.MatchAllocateOrReserveCompiledSig(jobID, spec, now, sig)
+	f.note(start)
+	return alloc, err
+}
+
+// SetDeltaSink registers fn to receive every capacity delta the store
+// publishes (frees on cancel/release, claims on reservation, structural
+// events on grow/shrink/up/down). One sink at a time; nil unregisters. The
+// sink runs synchronously on the publishing goroutine, possibly under
+// graph locks: it must be fast and must not call back into the store. The
+// sched package registers its wakeup index here; external callers can tap
+// the same stream for monitoring.
+func (f *Fluxion) SetDeltaSink(fn func(ResourceDelta)) { f.g.SetDeltaSink(fn) }
 
 // MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec; like
 // MatchSpeculate it bypasses the Fluxion-level lock.

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+)
+
+// IncrementConfig parameterizes the E7 incremental-scheduling study: a
+// deep queue of identical single-node jobs on a small system, the
+// steady-state scenario where full requeue degenerates to O(pending ×
+// match) per cycle.
+type IncrementConfig struct {
+	Nodes    int64 // nodes in the (single-rack) system
+	Cores    int64 // cores per node
+	Jobs     int   // queue depth at t=0
+	Duration int64 // per-job runtime in simulated seconds
+}
+
+// DefaultIncrement is the paper-style configuration: a 512-deep queue on
+// 8 nodes, i.e. 64 jobs' worth of work per node.
+func DefaultIncrement() IncrementConfig {
+	return IncrementConfig{Nodes: 8, Cores: 4, Jobs: 512, Duration: 100}
+}
+
+// IncrementResult is one engine × policy run of the study.
+type IncrementResult struct {
+	Policy        sched.QueuePolicy
+	Engine        string // "full" or "incremental"
+	Completed     int
+	Cycles        int64
+	MatchAttempts int64
+	SkippedJobs   int64
+	Wall          time.Duration
+	// AttemptsPerCycle is the average matching work per scheduling event.
+	AttemptsPerCycle float64
+	// Reduction is the full engine's attempts divided by this run's (1.0
+	// for the full rows themselves).
+	Reduction float64
+	// Parity reports whether every job's terminal decision (state, start,
+	// end) matched the full engine's run under the same policy.
+	Parity bool
+}
+
+// runIncrementOnce drives one deep-queue run to completion.
+func runIncrementOnce(cfg IncrementConfig, policy sched.QueuePolicy, incremental bool) (*sched.Scheduler, IncrementResult, error) {
+	res := IncrementResult{Policy: policy, Engine: "full"}
+	if incremental {
+		res.Engine = "incremental"
+	}
+	g, err := grug.BuildGraph(grug.Small(1, cfg.Nodes, cfg.Cores, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		return nil, res, err
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		return nil, res, err
+	}
+	s, err := sched.New(tr, policy, sched.WithIncremental(incremental))
+	if err != nil {
+		return nil, res, err
+	}
+	spec := jobspec.New(cfg.Duration,
+		jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", cfg.Cores))))
+	for i := 1; i <= cfg.Jobs; i++ {
+		if _, err := s.Submit(int64(i), spec); err != nil {
+			return nil, res, err
+		}
+	}
+	start := time.Now()
+	res.Completed = s.Run(0)
+	res.Wall = time.Since(start)
+	st := s.Stats()
+	res.Cycles = st.Cycles
+	res.MatchAttempts = st.MatchAttempts
+	res.SkippedJobs = st.SkippedJobs
+	if st.Cycles > 0 {
+		res.AttemptsPerCycle = float64(st.MatchAttempts) / float64(st.Cycles)
+	}
+	return s, res, nil
+}
+
+// RunIncrement runs the full-requeue and incremental engines over the same
+// deep queue for each queue policy, reporting matching work and verifying
+// decision parity row by row.
+func RunIncrement(cfg IncrementConfig) ([]IncrementResult, error) {
+	var out []IncrementResult
+	for _, policy := range []sched.QueuePolicy{sched.FCFS, sched.EASY, sched.Conservative} {
+		full, fullRes, err := runIncrementOnce(cfg, policy, false)
+		if err != nil {
+			return nil, fmt.Errorf("increment %s/full: %w", policy, err)
+		}
+		inc, incRes, err := runIncrementOnce(cfg, policy, true)
+		if err != nil {
+			return nil, fmt.Errorf("increment %s/incremental: %w", policy, err)
+		}
+		fullRes.Reduction = 1
+		fullRes.Parity = true
+		incRes.Parity = true
+		for id, fj := range full.Jobs() {
+			ij, ok := inc.Job(id)
+			if !ok || fj.State != ij.State || fj.StartAt != ij.StartAt || fj.EndAt != ij.EndAt {
+				incRes.Parity = false
+				break
+			}
+		}
+		if incRes.MatchAttempts > 0 {
+			incRes.Reduction = float64(fullRes.MatchAttempts) / float64(incRes.MatchAttempts)
+		}
+		out = append(out, fullRes, incRes)
+	}
+	return out, nil
+}
+
+// PrintIncrement renders the engine comparison as a table.
+func PrintIncrement(w io.Writer, results []IncrementResult, cfg IncrementConfig) {
+	fmt.Fprintf(w, "Event-driven incremental scheduling — %d jobs on %d nodes, engine comparison per policy\n",
+		cfg.Jobs, cfg.Nodes)
+	fmt.Fprintf(w, "%-14s %-12s %7s %8s %10s %9s %11s %10s %7s\n",
+		"policy", "engine", "cycles", "matches", "match/cyc", "skipped", "wall", "reduction", "parity")
+	for _, r := range results {
+		parity := "ok"
+		if !r.Parity {
+			parity = "FAIL"
+		}
+		fmt.Fprintf(w, "%-14s %-12s %7d %8d %10.1f %9d %11v %9.1fx %7s\n",
+			r.Policy, r.Engine, r.Cycles, r.MatchAttempts, r.AttemptsPerCycle,
+			r.SkippedJobs, r.Wall.Round(time.Millisecond), r.Reduction, parity)
+	}
+}

@@ -121,6 +121,17 @@ func (m *Multi) PlannerByID(id int32) *Planner {
 	return m.byID[id]
 }
 
+// ShortfallByID returns the missing units for an interned type ID over
+// [start, start+duration) — max(0, request - avail). Untracked types
+// have no shortfall: this filter cannot be what rejected them.
+func (m *Multi) ShortfallByID(id int32, start, duration, request int64) int64 {
+	p := m.PlannerByID(id)
+	if p == nil {
+		return 0
+	}
+	return p.ShortfallDuring(start, duration, request)
+}
+
 // Total returns the pool size for rt (0 if absent).
 func (m *Multi) Total(rt string) int64 {
 	m.mu.RLock()

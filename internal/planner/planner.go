@@ -323,6 +323,24 @@ func (p *Planner) canFit(start, duration, request int64) bool {
 	return err == nil && avail >= request
 }
 
+// ShortfallDuring returns how many of the requested units are missing
+// throughout [start, start+duration): max(0, request - AvailDuring). A
+// window that falls outside the planner's range is fully short. Blocking
+// signatures record this so a wakeup index can tell whether enough
+// capacity was freed to make a re-match worthwhile.
+func (p *Planner) ShortfallDuring(start, duration, request int64) int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	avail, err := p.availDuring(start, duration)
+	if err != nil || avail < 0 {
+		return request
+	}
+	if avail >= request {
+		return 0
+	}
+	return request - avail
+}
+
 // minTimeGE returns the scheduled point with the smallest at among points
 // whose remaining >= request (paper Algorithm 1: FINDANCHOR + FINDETPOINT,
 // realized by chasing the subtree-minimum augmentation).

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"fluxion/internal/intern"
 	"fluxion/internal/planner"
@@ -75,6 +76,11 @@ type Graph struct {
 	subsys    map[string]bool
 	prune     PruneSpec
 	finalized bool
+
+	// Capacity-change sink (see delta.go). Atomic so the no-sink check on
+	// publish hot paths (one delta per vertex on Cancel/Release) is a
+	// single load, and registration never contends with topology reads.
+	deltaSink atomic.Pointer[func(Delta)]
 }
 
 // NewGraph creates an empty store whose planners cover times in
@@ -386,7 +392,11 @@ func (g *Graph) renumberTree() {
 func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.setSubtreeStatus(v, StatusDown)
+	delta, err := g.setSubtreeStatus(v, StatusDown)
+	if err == nil && len(delta) > 0 {
+		g.publishStructural(v)
+	}
+	return delta, err
 }
 
 // MarkUp marks the containment subtree rooted at v up and re-adds the
@@ -396,7 +406,11 @@ func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
 func (g *Graph) MarkUp(v *Vertex) (map[string]int64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.setSubtreeStatus(v, StatusUp)
+	delta, err := g.setSubtreeStatus(v, StatusUp)
+	if err == nil && len(delta) > 0 {
+		g.publishStructural(v)
+	}
+	return delta, err
 }
 
 // setSubtreeStatus flips every vertex in v's subtree whose status differs
@@ -555,6 +569,7 @@ func (g *Graph) Attach(parent, sub *Vertex) error {
 		}
 	}
 	g.renumberTree()
+	g.publishStructural(parent)
 	return nil
 }
 
@@ -642,6 +657,7 @@ func (g *Graph) Detach(v *Vertex) error {
 		}
 	}
 	g.vertices = kept
+	g.publishStructural(parent)
 	return nil
 }
 

@@ -97,8 +97,9 @@ func (s *Scheduler) Checkpoint() ([]byte, error) {
 // already been restored (its allocations reinstalled, e.g. by
 // fluxion.Restore). specs supplies the jobspec for every job that may
 // still be scheduled (pending, reserved, or running); completed, failed,
-// and unsatisfiable jobs resume without one.
-func Resume(tr *traverser.Traverser, data []byte, specs map[int64]*jobspec.Jobspec) (*Scheduler, error) {
+// and unsatisfiable jobs resume without one. opts (e.g. WithIncremental,
+// WithMatchWorkers) are applied on top of the checkpointed configuration.
+func Resume(tr *traverser.Traverser, data []byte, specs map[int64]*jobspec.Jobspec, opts ...SchedOption) (*Scheduler, error) {
 	var cp Checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
@@ -106,10 +107,15 @@ func Resume(tr *traverser.Traverser, data []byte, specs map[int64]*jobspec.Jobsp
 	if cp.Version != 1 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpoint, cp.Version)
 	}
-	s, err := New(tr, cp.Policy, WithQueueDepth(cp.QueueDepth), WithMaxRetries(cp.MaxRetries))
+	allOpts := append([]SchedOption{WithQueueDepth(cp.QueueDepth), WithMaxRetries(cp.MaxRetries)}, opts...)
+	s, err := New(tr, cp.Policy, allOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
 	}
+	// Blocking signatures and wakeup deltas are transient and were lost
+	// with the process: force the first post-resume cycle to re-plan
+	// everything, which is always decision-safe.
+	s.wakeup.forceFullWake()
 	s.now = cp.Now
 	s.Cycles = cp.Cycles
 	s.requeues = cp.Requeues

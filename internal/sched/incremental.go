@@ -1,0 +1,368 @@
+package sched
+
+import (
+	"time"
+
+	"fluxion/internal/traverser"
+)
+
+// This file implements the event-driven incremental scheduling engine.
+// The full-requeue loop (scheduleSequential / scheduleParallel with
+// WithIncremental(false)) re-plans the whole pending queue every cycle:
+// O(pending × match). The incremental engine keeps the same decisions —
+// which jobs start, when, and in what state — while doing only O(woken ×
+// match) work in steady state:
+//
+//   - a blocked job carries the blocking signature of its last failed
+//     attempt (traverser.BlockSig); it is re-attempted only when the
+//     cycle's drained deltas intersect the signature (wakeup.go), when
+//     its root-aggregate hint matures, or when the environment changed
+//     in a way signatures cannot track (structural events, demotions);
+//   - standing EASY/conservative reservations are carried across cycles
+//     instead of being cancelled and re-planned; a reservation is
+//     dropped only when a delta touches its claim window, its queue
+//     position's policy branch changes, or any demotion happened ahead
+//     of it in the cycle;
+//   - a reservation whose start time matures (Alloc.At == now) converts
+//     to running in place, with no match at all.
+//
+// Decision parity with the full loop rests on a replay argument: an
+// incremental cycle is a resume of the full loop's deterministic walk.
+// A job's outcome at its queue position depends only on the running
+// allocations and the decisions of jobs ahead of it (reservations behind
+// it are cancelled upfront by the full loop and never exist at its
+// replay position). Skips are sound because the environment at a skipped
+// job's position is never better than when its signature was captured:
+// attempts only claim capacity, kept reservations re-create the full
+// loop's own re-plan, and everything that can add capacity — frees,
+// structural changes, demotions — either wakes the job or clears its
+// signature. Before the first real match of a cycle, every reservation
+// behind that queue position is demoted (dropSuffix) so the attempt sees
+// exactly the full loop's environment; demotions in turn clear the
+// signatures of every job behind them, since their muted cancel frees
+// capacity signatures cannot see.
+
+// dirKind is the per-job action a cycle's classification pass decides.
+type dirKind uint8
+
+const (
+	// dirDepth keeps a job pending past the queue-depth bound, unmatched.
+	dirDepth dirKind = iota
+	// dirFail synthesizes the FCFS behind-blocked-head failure (the full
+	// loop does not match these either).
+	dirFail
+	// dirSkip keeps a blocked job pending without matching: its
+	// signature proves the full loop's attempt would fail.
+	dirSkip
+	// dirSkipIfBlocked resolves at process time: behind a blocked head
+	// the signature justifies skipping, at the head the job must attempt
+	// (its signature does not cover the reservation probe).
+	dirSkipIfBlocked
+	// dirKeep carries a standing reservation across the cycle.
+	dirKeep
+	// dirConvert starts a matured reservation (Alloc.At == now) in place.
+	dirConvert
+	// dirAttempt re-matches the job under the policy branch.
+	dirAttempt
+)
+
+// directive is one classified queue entry, in queue order.
+type directive struct {
+	job  *Job
+	kind dirKind
+	// specIdx indexes the cycle's attempt list for parallel speculation;
+	// -1 when the job is resolved without a speculative match.
+	specIdx int32
+}
+
+// blockState is the classification pass's three-valued view of the full
+// loop's `blocked` flag: attempts have unknown outcomes until process
+// time, so the flag may be provably false, provably true, or unknown.
+type blockState uint8
+
+const (
+	bNo blockState = iota
+	bYes
+	bUnknown
+)
+
+// scheduleIncremental runs one incremental cycle. The wakeup index has
+// been drained into s.plan and the delta sink is muted for the duration.
+func (s *Scheduler) scheduleIncremental() {
+	now := s.now
+	horizonEnd := s.tr.Graph().Base() + s.tr.Graph().Horizon()
+
+	// Wake pre-pass: apply the cycle's deltas to every blocked job's
+	// signature exactly once (wakes decrements shortfalls in place), and
+	// test every standing reservation for invalidation. A job whose
+	// attempt window would be horizon-clamped is never skipped or kept:
+	// its effective duration shrinks as the clock advances, which the
+	// signature's fixed window cannot model.
+	for _, job := range s.pending {
+		job.woken = false
+		job.invalidated = false
+		clamped := job.Spec == nil || job.Spec.Duration <= 0 ||
+			now+job.Spec.Duration > horizonEnd
+		switch job.State {
+		case StatePending:
+			if job.sigOK {
+				if clamped {
+					job.sigOK = false
+				} else if s.plan.wakes(&job.sig, now) {
+					// A spent signature no longer certifies failure;
+					// the job attempts every cycle until re-captured.
+					job.woken = true
+					job.sigOK = false
+				}
+			}
+		case StateReserved:
+			job.invalidated = clamped || s.plan.invalidates(job, now)
+		}
+	}
+
+	// Classification pass: walk the queue in order and decide each job's
+	// directive, tracking the provable blocked state and demoting
+	// reservations the full loop would not have re-created.
+	resAhead := 0
+	for _, job := range s.pending {
+		if job.State == StateReserved {
+			resAhead++
+		}
+	}
+
+	dirs := s.directives[:0]
+	var attempts []*Job
+	blockedSt := bNo
+	wakeAll := false // a demotion happened: signatures behind it are void
+	planned := 0
+
+	for i, job := range s.pending {
+		switch job.State {
+		case StatePending, StateReserved:
+		default:
+			continue // dropped from the queue, as in the full loop
+		}
+
+		if s.queueDepth > 0 && planned >= s.queueDepth {
+			if job.State == StateReserved {
+				// The full loop would not re-create a reservation past
+				// the depth bound.
+				resAhead--
+				s.demote(job)
+				wakeAll = true
+			}
+			if wakeAll {
+				job.sigOK = false
+			}
+			dirs = append(dirs, directive{job: job, kind: dirDepth, specIdx: -1})
+			continue
+		}
+		planned++
+
+		if job.State == StateReserved {
+			resAhead--
+			branchOK := s.policy == Conservative || (s.policy == EASY && blockedSt == bNo)
+			switch {
+			case branchOK && job.Alloc != nil && job.Alloc.At == now:
+				// Matured: the full loop's re-match at this position
+				// succeeds at `now` (the reservation's own claims prove
+				// feasibility), so start it without matching.
+				dirs = append(dirs, directive{job: job, kind: dirConvert, specIdx: -1})
+				continue
+			case branchOK && !wakeAll && !job.invalidated &&
+				job.Alloc != nil && job.Alloc.At > now:
+				dirs = append(dirs, directive{job: job, kind: dirKeep, specIdx: -1})
+				blockedSt = bYes
+				continue
+			default:
+				s.demote(job)
+				wakeAll = true
+				// Re-classify as pending below.
+			}
+		}
+
+		if s.policy == FCFS && blockedSt == bYes {
+			if wakeAll {
+				job.sigOK = false
+			}
+			dirs = append(dirs, directive{job: job, kind: dirFail, specIdx: -1})
+			continue
+		}
+		if wakeAll {
+			job.sigOK = false
+		}
+
+		if job.sigOK {
+			skip := false
+			switch {
+			case s.policy == FCFS:
+				// Both FCFS branches fail under a valid signature
+				// (behind a blocked head nothing matches; at the head
+				// the signature certifies the immediate match fails).
+				skip = true
+				blockedSt = bYes
+			case s.policy == EASY && blockedSt == bYes:
+				skip = true // backfill branch: immediate match fails
+			case job.sigReserve:
+				// Conservative, or EASY at/possibly-at the head: the
+				// signature covers the reservation probe too.
+				skip = true
+				blockedSt = bYes
+			case s.policy == EASY && blockedSt == bUnknown:
+				// Skippable behind a blocked head, must attempt at the
+				// head; resolved when the process pass knows.
+				dirs = append(dirs, directive{job: job, kind: dirSkipIfBlocked, specIdx: -1})
+				continue
+			}
+			if skip {
+				dirs = append(dirs, directive{job: job, kind: dirSkip, specIdx: -1})
+				continue
+			}
+		}
+
+		// Attempt. The full loop's match at this position runs with no
+		// reservation behind it in the planners; demote any that stand.
+		if resAhead > 0 {
+			s.dropSuffix(i)
+			resAhead = 0
+			wakeAll = true
+		}
+		dirs = append(dirs, directive{job: job, kind: dirAttempt, specIdx: int32(len(attempts))})
+		attempts = append(attempts, job)
+		if !(s.policy == EASY && blockedSt == bYes) {
+			blockedSt = bUnknown
+		}
+	}
+	s.directives = dirs
+
+	// Process pass: execute the directives in queue order with the real
+	// blocked flag, exactly mirroring the full loop's outcome handling.
+	blocked := false
+	still := s.pending[:0]
+	parallel := s.matchWorkers > 1
+	var specs []*traverser.Allocation
+	specDone := 0
+
+	for _, d := range dirs {
+		job := d.job
+		var spec *traverser.Allocation
+		switch d.kind {
+		case dirDepth:
+			still = append(still, job)
+			continue
+		case dirFail:
+			blocked = true
+			still = append(still, job)
+			continue
+		case dirSkip, dirKeep:
+			blocked = true
+			still = append(still, job)
+			s.stats.SkippedJobs++
+			continue
+		case dirConvert:
+			s.convert(job)
+			continue
+		case dirSkipIfBlocked:
+			if blocked {
+				still = append(still, job)
+				s.stats.SkippedJobs++
+				continue
+			}
+			// Head position: attempt sequentially (no speculation).
+		case dirAttempt:
+			if parallel && int(d.specIdx) >= specDone && !(s.policy == FCFS && blocked) {
+				end := specDone + s.matchWorkers
+				if end > len(attempts) {
+					end = len(attempts)
+				}
+				specs = append(specs, s.speculateBatch(attempts[specDone:end])...)
+				specDone = end
+			}
+			if int(d.specIdx) >= 0 && int(d.specIdx) < len(specs) {
+				spec = specs[d.specIdx]
+			}
+		}
+
+		if job.woken {
+			s.stats.WokenJobs++
+		}
+		start := time.Now()
+		alloc, err := s.resolveAttempt(job, spec, blocked)
+		job.MatchDuration += time.Since(start)
+		switch {
+		case err != nil:
+			blocked = true
+			still = append(still, job)
+		case alloc.Reserved:
+			job.State = StateReserved
+			job.Alloc = alloc
+			s.reserved[job.ID] = job
+			blocked = true
+			still = append(still, job)
+		default:
+			s.start(job, alloc)
+		}
+	}
+	s.pending = still
+}
+
+// resolveAttempt turns one attempt directive into an allocation under the
+// policy branch for its position, committing a speculation when one is
+// available (parallel pipeline) and capturing a fresh blocking signature
+// on failure.
+func (s *Scheduler) resolveAttempt(job *Job, spec *traverser.Allocation, blocked bool) (*traverser.Allocation, error) {
+	if spec != nil {
+		if s.policy == FCFS && blocked {
+			s.tr.Abandon(spec)
+			spec = nil
+		} else if err := s.tr.Commit(spec); err == nil {
+			job.sigOK = false
+			return spec, nil
+		}
+		// Conflict: an earlier commit took the capacity; fall through to
+		// a fresh match at this queue position.
+	}
+	switch {
+	case s.policy == FCFS:
+		if blocked {
+			// The signature (if any) survives: nothing matched, so it
+			// still certifies the last real attempt's failure.
+			return nil, traverser.ErrNoMatch
+		}
+		return s.matchAllocateSig(job, s.now)
+	case s.policy == EASY && blocked:
+		return s.matchAllocateSig(job, s.now)
+	default: // Conservative always; EASY head
+		return s.matchAllocateOrReserveSig(job, s.now)
+	}
+}
+
+// convert starts a matured reservation in place: its planner spans are
+// already exactly a running allocation's, so only the bookkeeping flips.
+func (s *Scheduler) convert(job *Job) {
+	delete(s.reserved, job.ID)
+	job.Alloc.Reserved = false
+	job.sigOK = false
+	s.start(job, job.Alloc)
+}
+
+// demote cancels a standing reservation back to pending (the full loop
+// does this for every reservation at the top of each cycle). The cancel's
+// frees are muted: within the cycle the queue walk itself accounts for
+// them, and signatures behind the demotion point are cleared by wakeAll.
+func (s *Scheduler) demote(job *Job) {
+	_ = s.tr.Cancel(job.ID)
+	delete(s.reserved, job.ID)
+	job.State = StatePending
+	job.Alloc = nil
+	job.sigOK = false
+}
+
+// dropSuffix demotes every standing reservation behind queue position i.
+func (s *Scheduler) dropSuffix(i int) {
+	for _, job := range s.pending[i+1:] {
+		if job.State == StateReserved {
+			s.demote(job)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+// newSchedOpts builds a scheduler over a racks×nodes×cores system with
+// arbitrary options.
+func newSchedOpts(t *testing.T, policy QueuePolicy, racks, nodes, cores int64, opts ...SchedOption) *Scheduler {
+	t.Helper()
+	g, err := grug.BuildGraph(grug.Small(racks, nodes, cores, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, policy, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// arrival is one workload entry for the randomized parity driver.
+type arrival struct {
+	at       int64
+	id       int64
+	priority int
+	spec     *jobspec.Jobspec
+}
+
+// randomWorkload generates a reproducible arrival sequence: mixed node
+// and core requests, staggered arrival times, and occasional priority
+// jumps (which insert ahead of standing reservations).
+func randomWorkload(seed int64, n int) []arrival {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]arrival, 0, n)
+	at := int64(0)
+	for i := 0; i < n; i++ {
+		at += rng.Int63n(40)
+		nodes := 1 + rng.Int63n(3)
+		cores := int64(4)
+		if rng.Intn(3) == 0 {
+			cores = 1 + rng.Int63n(4) // fragmenting core-level requests
+		}
+		dur := 20 + rng.Int63n(150)
+		prio := 0
+		if rng.Intn(5) == 0 {
+			prio = 1 + rng.Intn(3)
+		}
+		out = append(out, arrival{
+			at: at, id: int64(i + 1), priority: prio,
+			spec: nodeJob(nodes, cores, dur),
+		})
+	}
+	return out
+}
+
+// drive replays an arrival sequence through the scheduler: events fire in
+// order, each arrival triggers a scheduling cycle, and the run drains.
+func drive(t *testing.T, s *Scheduler, work []arrival) {
+	t.Helper()
+	s.Schedule()
+	for _, a := range work {
+		for s.HasEvents() && s.NextEventAt() <= a.at {
+			s.Step()
+		}
+		if err := s.AdvanceTo(a.at); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SubmitPriority(a.id, a.spec, a.priority); err != nil {
+			t.Fatal(err)
+		}
+		s.Schedule()
+	}
+	s.Run(0)
+}
+
+// TestIncrementalMatchesFullDecisions is the decision-parity property
+// test: random workloads run through the incremental engine must produce
+// identical per-job decisions (state, start, end) to the sequential
+// full-requeue loop, for every policy, both sequentially and with match
+// workers. The sequential full loop is the reference even for the
+// parallel runs: the parallel pipeline's own placements may drift from
+// sequential across cycles (speculators steer around each other — see
+// parallel.go), so full-parallel start times are not canonical, while the
+// incremental engine's sparse attempt batches reproduce the sequential
+// placements exactly.
+func TestIncrementalMatchesFullDecisions(t *testing.T) {
+	for _, policy := range []QueuePolicy{FCFS, EASY, Conservative} {
+		for seed := int64(1); seed <= 5; seed++ {
+			full := newSchedOpts(t, policy, 1, 4, 4, WithIncremental(false))
+			drive(t, full, randomWorkload(seed, 40))
+			for _, workers := range []int{1, 3} {
+				inc := newSchedOpts(t, policy, 1, 4, 4,
+					WithIncremental(true), WithMatchWorkers(workers))
+				drive(t, inc, randomWorkload(seed, 40))
+
+				for id, fj := range full.Jobs() {
+					ij, ok := inc.Job(id)
+					if !ok {
+						t.Fatalf("%s/w%d/seed%d: job %d missing", policy, workers, seed, id)
+					}
+					if fj.State != ij.State || fj.StartAt != ij.StartAt || fj.EndAt != ij.EndAt {
+						t.Errorf("%s/w%d/seed%d: job %d diverged: full %v@[%d,%d] vs inc %v@[%d,%d]",
+							policy, workers, seed, id,
+							fj.State, fj.StartAt, fj.EndAt, ij.State, ij.StartAt, ij.EndAt)
+					}
+				}
+				if full.Now() != inc.Now() {
+					t.Errorf("%s/w%d/seed%d: makespan diverged: %d vs %d",
+						policy, workers, seed, full.Now(), inc.Now())
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalParityUnderFaults repeats the parity check with a
+// node-down/node-up drill interleaved into the timeline (structural
+// deltas must wake everything both modes would re-plan).
+func TestIncrementalParityUnderFaults(t *testing.T) {
+	for _, policy := range []QueuePolicy{FCFS, EASY, Conservative} {
+		for seed := int64(1); seed <= 3; seed++ {
+			run := func(incremental bool) *Scheduler {
+				s := newSchedOpts(t, policy, 1, 4, 4, WithIncremental(incremental))
+				node := s.tr.Graph().ByType("node")[1].Path()
+				if err := s.ScheduleNodeDown(60, node); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.ScheduleNodeUp(200, node); err != nil {
+					t.Fatal(err)
+				}
+				drive(t, s, randomWorkload(seed, 30))
+				return s
+			}
+			full := run(false)
+			inc := run(true)
+			for id, fj := range full.Jobs() {
+				ij, _ := inc.Job(id)
+				if ij == nil || fj.State != ij.State || fj.StartAt != ij.StartAt || fj.EndAt != ij.EndAt {
+					t.Fatalf("%s/seed%d: job %d diverged under faults", policy, seed, id)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchAttemptReduction is the headline perf property: on
+// a deep conservative queue the incremental engine must do at least 5×
+// fewer match attempts than full requeue, with identical decisions.
+func TestIncrementalMatchAttemptReduction(t *testing.T) {
+	const pendingJobs = 520
+	run := func(incremental bool) *Scheduler {
+		s := newSchedOpts(t, Conservative, 1, 8, 4, WithIncremental(incremental))
+		for i := int64(1); i <= pendingJobs; i++ {
+			mustSubmit(t, s, i, nodeJob(1, 4, 100))
+		}
+		s.Run(0)
+		return s
+	}
+	full := run(false)
+	inc := run(true)
+
+	for id, fj := range full.Jobs() {
+		ij, _ := inc.Job(id)
+		if ij == nil || fj.State != ij.State || fj.StartAt != ij.StartAt || fj.EndAt != ij.EndAt {
+			t.Fatalf("deep queue: job %d diverged", id)
+		}
+	}
+	fa, ia := full.Stats().MatchAttempts, inc.Stats().MatchAttempts
+	if ia == 0 || fa < 5*ia {
+		t.Fatalf("incremental saved too little: full=%d incremental=%d (want >= 5x)", fa, ia)
+	}
+	if inc.Stats().SkippedJobs == 0 {
+		t.Fatal("no jobs were skipped on a deep queue")
+	}
+	t.Logf("attempts: full=%d incremental=%d (%.1fx), woken=%d skipped=%d",
+		fa, ia, float64(fa)/float64(ia), inc.Stats().WokenJobs, inc.Stats().SkippedJobs)
+}
+
+// TestIncrementalEASYSkipsBackfill checks the EASY steady state: blocked
+// backfill candidates are signature-skipped instead of re-matched.
+func TestIncrementalEASYSkipsBackfill(t *testing.T) {
+	s := newSchedOpts(t, EASY, 1, 2, 4)
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100)) // fills the system
+	mustSubmit(t, s, 2, nodeJob(2, 4, 100)) // head: reserves at 100
+	mustSubmit(t, s, 3, nodeJob(2, 4, 100)) // blocked backfill candidate
+	mustSubmit(t, s, 4, nodeJob(2, 4, 100)) // blocked backfill candidate
+	s.Schedule()
+	base := s.Stats()
+	// An empty-delta cycle must re-attempt nothing: the head reservation
+	// is carried, the backfill candidates are signature-skipped.
+	s.Schedule()
+	st := s.Stats()
+	if got := st.MatchAttempts - base.MatchAttempts; got != 0 {
+		t.Fatalf("idle cycle did %d match attempts", got)
+	}
+	if st.SkippedJobs <= base.SkippedJobs {
+		t.Fatal("idle cycle skipped nothing")
+	}
+	if done := s.Run(0); done != 4 {
+		t.Fatalf("completed = %d", done)
+	}
+}
+
+// TestIncrementalPlannerInvariants runs a workload under the incremental
+// engine and validates every vertex planner and pruning filter afterward.
+func TestIncrementalPlannerInvariants(t *testing.T) {
+	s := newSchedOpts(t, Conservative, 2, 4, 4)
+	drive(t, s, randomWorkload(7, 60))
+	g := s.tr.Graph()
+	for _, v := range g.Vertices() {
+		if p := v.Planner(); p != nil {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("vertex %s planner: %v", v.Path(), err)
+			}
+		}
+		if f := v.Filter(); f != nil {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("vertex %s filter: %v", v.Path(), err)
+			}
+		}
+	}
+}
+
+// TestIncrementalDeltaPublicationRace hammers the wakeup index from
+// concurrent publishers while the scheduler runs cycles; run with -race.
+// Spurious deltas are always sound (they can only cause extra wakes), so
+// the assertion is just completion plus data-race freedom.
+func TestIncrementalDeltaPublicationRace(t *testing.T) {
+	s := newSchedOpts(t, EASY, 1, 4, 4)
+	g := s.tr.Graph()
+	nodes := g.ByType("node")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := nodes[(i+w)%len(nodes)]
+				switch i % 3 {
+				case 0:
+					g.PublishSpanDelta(resgraph.DeltaFree, v, 1, int64(i), int64(i+100))
+				case 1:
+					g.PublishSpanDelta(resgraph.DeltaClaim, v, 1, int64(i), int64(i+100))
+				default:
+					g.PublishSpanDelta(resgraph.DeltaFree, v, 2, int64(i+50), int64(i+200))
+				}
+				i++
+			}
+		}(w)
+	}
+	for i := int64(1); i <= 40; i++ {
+		mustSubmit(t, s, i, nodeJob(1+i%3, 4, 30+(i%5)*20))
+	}
+	done := s.Run(0)
+	close(stop)
+	wg.Wait()
+	if done != 40 {
+		t.Fatalf("completed = %d", done)
+	}
+}
+
+// TestIncrementalCheckpointResume verifies a checkpoint taken mid-run
+// resumes under the incremental engine: the first post-resume cycle
+// re-plans everything (signatures are transient) and the run completes.
+func TestIncrementalCheckpointResume(t *testing.T) {
+	s := newSchedOpts(t, Conservative, 1, 2, 4)
+	specs := map[int64]*jobspec.Jobspec{}
+	for i := int64(1); i <= 6; i++ {
+		sp := nodeJob(1+i%2, 4, 50)
+		specs[i] = sp
+		mustSubmit(t, s, i, sp)
+	}
+	s.Schedule()
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the scheduler over the same (still-live) traverser, as a
+	// crash-recovery drill would over a restored one.
+	r, err := Resume(s.tr, data, specs, WithIncremental(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := r.Run(0); done != 6 {
+		t.Fatalf("completed = %d", done)
+	}
+	if r.Stats().MatchAttempts == 0 {
+		t.Fatal("post-resume run did no matching")
+	}
+}
+
+// TestWithIncrementalOffRestoresFullLoop sanity-checks the escape hatch:
+// the full loop re-matches the whole queue every cycle.
+func TestWithIncrementalOffRestoresFullLoop(t *testing.T) {
+	s := newSchedOpts(t, Conservative, 1, 2, 4, WithIncremental(false))
+	mustSubmit(t, s, 1, nodeJob(2, 4, 100))
+	mustSubmit(t, s, 2, nodeJob(2, 4, 100))
+	s.Schedule()
+	before := s.Stats().MatchAttempts
+	s.Schedule()
+	if got := s.Stats().MatchAttempts - before; got == 0 {
+		t.Fatal("full loop did not re-match on an idle cycle")
+	}
+	if s.Stats().SkippedJobs != 0 {
+		t.Fatal("full loop should never skip")
+	}
+}
+
+// TestStatsCycles checks the cycle counter mirrors Cycles.
+func TestStatsCycles(t *testing.T) {
+	s := newSchedOpts(t, FCFS, 1, 1, 1)
+	s.Schedule()
+	s.Schedule()
+	if st := s.Stats(); st.Cycles != 2 || int(st.Cycles) != s.Cycles {
+		t.Fatalf("stats = %+v, Cycles = %d", st, s.Cycles)
+	}
+}

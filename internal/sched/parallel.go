@@ -121,6 +121,7 @@ func (s *Scheduler) speculateBatch(batch []*Job) []*traverser.Allocation {
 		}(i, job)
 	}
 	wg.Wait()
+	s.stats.MatchAttempts += int64(len(batch))
 	for i, job := range batch {
 		job.MatchDuration += durs[i]
 	}

@@ -105,6 +105,18 @@ type Job struct {
 	// the job is flattened and interned once at submit instead of on
 	// every match attempt across scheduling cycles.
 	compiled *jobspec.Compiled
+
+	// Incremental-engine state (transient; never checkpointed). sig is
+	// the blocking signature of the job's last failed attempt, valid
+	// while sigOK; sigReserve records that the failed attempt included a
+	// reservation probe (allocate-or-reserve), so the signature also
+	// justifies skipping reservation re-attempts. woken and invalidated
+	// are per-cycle scratch set by the wake pre-pass.
+	sig         traverser.BlockSig
+	sigOK       bool
+	sigReserve  bool
+	woken       bool
+	invalidated bool
 }
 
 // ErrUnknownPolicy reports an unrecognized queue policy.
@@ -197,6 +209,19 @@ type Scheduler struct {
 	// moves the job to StateFailed. 0 = unbounded retries.
 	maxRetries int
 
+	// incremental enables the event-driven engine: blocked jobs are
+	// skipped until a capacity delta intersects their blocking signature,
+	// and reservations are carried across cycles (incremental.go). Off,
+	// every cycle re-plans the whole queue (flux-sched qmanager style).
+	incremental bool
+	// wakeup buffers capacity deltas between cycles; plan and directives
+	// are reusable per-cycle scratch.
+	wakeup     wakeupIndex
+	plan       cyclePlan
+	directives []directive
+	// stats tallies incremental-engine effectiveness (see Stats).
+	stats Stats
+
 	// Failure-domain accounting, surfaced through Metrics.
 	requeues    int
 	lostCoreSec int64
@@ -232,6 +257,30 @@ func WithMatchWorkers(n int) SchedOption {
 	return func(s *Scheduler) { s.matchWorkers = n }
 }
 
+// WithIncremental toggles the event-driven incremental engine (default
+// on). Off restores the full-requeue loop: every cycle cancels all
+// reservations and re-plans the entire pending queue. Scheduling
+// decisions (which jobs start, when, and in what state) are identical
+// either way; only the work per cycle differs.
+func WithIncremental(on bool) SchedOption {
+	return func(s *Scheduler) { s.incremental = on }
+}
+
+// Stats counts scheduling work, surfacing what the incremental engine
+// saves: MatchAttempts is every traverser match call (allocate, reserve,
+// or speculate); WokenJobs counts blocked jobs re-attempted because a
+// delta intersected their signature; SkippedJobs counts blocked jobs a
+// cycle proved undisturbed and did not re-match.
+type Stats struct {
+	Cycles        int64
+	MatchAttempts int64
+	WokenJobs     int64
+	SkippedJobs   int64
+}
+
+// Stats returns the scheduler's cumulative work counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
 // MatchWorkers returns the configured match worker count (minimum 1).
 func (s *Scheduler) MatchWorkers() int {
 	if s.matchWorkers < 1 {
@@ -258,15 +307,22 @@ func New(tr *traverser.Traverser, policy QueuePolicy, opts ...SchedOption) (*Sch
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, policy)
 	}
 	s := &Scheduler{
-		tr:         tr,
-		policy:     policy,
-		now:        tr.Graph().Base(),
-		jobs:       make(map[int64]*Job),
-		reserved:   make(map[int64]*Job),
-		maxRetries: DefaultMaxRetries,
+		tr:          tr,
+		policy:      policy,
+		now:         tr.Graph().Base(),
+		jobs:        make(map[int64]*Job),
+		reserved:    make(map[int64]*Job),
+		maxRetries:  DefaultMaxRetries,
+		incremental: true,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.incremental {
+		// Subscribe to the store's capacity deltas. Publication is
+		// synchronous and the sink only buffers, so this is safe under
+		// graph locks.
+		tr.Graph().SetDeltaSink(s.wakeup.publish)
 	}
 	return s, nil
 }
@@ -334,6 +390,7 @@ func (s *Scheduler) compiledSpec(job *Job) *jobspec.Compiled {
 // matchAllocate matches job at time `at` through the traverser's
 // compiled fast path when the job's spec compiles.
 func (s *Scheduler) matchAllocate(job *Job, at int64) (*traverser.Allocation, error) {
+	s.stats.MatchAttempts++
 	if cjs := s.compiledSpec(job); cjs != nil {
 		return s.tr.MatchAllocateCompiled(job.ID, cjs, at)
 	}
@@ -342,6 +399,7 @@ func (s *Scheduler) matchAllocate(job *Job, at int64) (*traverser.Allocation, er
 
 // matchAllocateOrReserve is matchAllocate's allocate-else-reserve form.
 func (s *Scheduler) matchAllocateOrReserve(job *Job, at int64) (*traverser.Allocation, error) {
+	s.stats.MatchAttempts++
 	if cjs := s.compiledSpec(job); cjs != nil {
 		return s.tr.MatchAllocateOrReserveCompiled(job.ID, cjs, at)
 	}
@@ -349,11 +407,50 @@ func (s *Scheduler) matchAllocateOrReserve(job *Job, at int64) (*traverser.Alloc
 }
 
 // matchSpeculate is matchAllocate's speculative form (parallel pipeline).
+// It runs on worker goroutines: the attempt counter is charged by
+// speculateBatch after the barrier, not here.
 func (s *Scheduler) matchSpeculate(job *Job, at int64) (*traverser.Allocation, error) {
 	if cjs := s.compiledSpec(job); cjs != nil {
 		return s.tr.MatchSpeculateCompiled(job.ID, cjs, at)
 	}
 	return s.tr.MatchSpeculate(job.ID, job.Spec, at)
+}
+
+// matchAllocateSig is matchAllocate with blocking-signature capture: on
+// ErrNoMatch the job's signature reflects why, arming the skip test for
+// later cycles. Non-compiled specs fall back to plain matching (no
+// signature — the job then attempts every cycle, which is always sound).
+func (s *Scheduler) matchAllocateSig(job *Job, at int64) (*traverser.Allocation, error) {
+	s.stats.MatchAttempts++
+	job.sigOK = false
+	cjs := s.compiledSpec(job)
+	if cjs == nil {
+		return s.tr.MatchAllocate(job.ID, job.Spec, at)
+	}
+	alloc, err := s.tr.MatchAllocateCompiledSig(job.ID, cjs, at, &job.sig)
+	if err != nil && errors.Is(err, traverser.ErrNoMatch) {
+		job.sigOK = true
+		job.sigReserve = false
+	}
+	return alloc, err
+}
+
+// matchAllocateOrReserveSig is matchAllocateOrReserve with signature
+// capture; a captured signature additionally covers the reservation probe
+// (sigReserve), so conservative-mode skips are justified too.
+func (s *Scheduler) matchAllocateOrReserveSig(job *Job, at int64) (*traverser.Allocation, error) {
+	s.stats.MatchAttempts++
+	job.sigOK = false
+	cjs := s.compiledSpec(job)
+	if cjs == nil {
+		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
+	}
+	alloc, err := s.tr.MatchAllocateOrReserveCompiledSig(job.ID, cjs, at, &job.sig)
+	if err != nil && errors.Is(err, traverser.ErrNoMatch) {
+		job.sigOK = true
+		job.sigReserve = true
+	}
+	return alloc, err
 }
 
 // enqueue inserts a job into the pending queue in priority order (stable
@@ -369,13 +466,29 @@ func (s *Scheduler) enqueue(job *Job) {
 	s.pending[i] = job
 }
 
-// Schedule runs one scheduling cycle at the current simulated time: all
-// standing reservations are dropped and the pending queue is re-planned in
-// submit order under the queue policy. With WithMatchWorkers(n > 1) the
-// immediate-fit matching fans out across a worker pool (parallel.go);
-// otherwise the queue is planned sequentially.
+// Schedule runs one scheduling cycle at the current simulated time under
+// the queue policy. With the incremental engine (the default) the cycle
+// re-attempts only jobs whose blocking signature intersects a capacity
+// delta since the last cycle, carrying valid reservations over
+// (incremental.go). With WithIncremental(false) all standing reservations
+// are dropped and the pending queue is re-planned front to back. Either
+// way, with WithMatchWorkers(n > 1) the immediate-fit matching fans out
+// across a worker pool (parallel.go); otherwise the queue is planned
+// sequentially.
 func (s *Scheduler) Schedule() {
 	s.Cycles++
+	s.stats.Cycles++
+
+	if s.incremental {
+		s.wakeup.drain(s.now, &s.plan)
+		// Mute the sink for the cycle: our own cancels and matches are
+		// ordered by the queue walk and must not wake next cycle.
+		s.wakeup.mute(true)
+		defer s.wakeup.mute(false)
+		s.scheduleIncremental()
+		return
+	}
+
 	for id, job := range s.reserved {
 		_ = s.tr.Cancel(id)
 		job.State = StatePending
@@ -591,6 +704,7 @@ func (s *Scheduler) NodeDown(path string) ([]int64, error) {
 			s.lostCoreSec += alloc.Units("core") * (s.now - job.StartAt)
 			job.Retries++
 			job.Alloc = nil
+			job.sigOK = false
 			if s.maxRetries > 0 && job.Retries > s.maxRetries {
 				job.State = StateFailed
 				continue
@@ -603,6 +717,7 @@ func (s *Scheduler) NodeDown(path string) ([]int64, error) {
 			delete(s.reserved, job.ID)
 			job.State = StatePending
 			job.Alloc = nil
+			job.sigOK = false
 		}
 	}
 	return ids, nil

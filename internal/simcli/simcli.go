@@ -60,6 +60,11 @@ type Config struct {
 	// checkpoint, and verifies the resumed run reaches the same terminal
 	// state.
 	Drill bool
+	// FullRequeue disables the event-driven incremental engine: every
+	// cycle cancels all reservations and re-plans the whole pending queue
+	// (the pre-incremental behavior, kept as an escape hatch and as the
+	// baseline for experiments).
+	FullRequeue bool
 }
 
 // Result carries the outcome for programmatic callers.
@@ -166,6 +171,7 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.MatchWorkers > 1 {
 		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
 	}
+	sopts = append(sopts, sched.WithIncremental(!cfg.FullRequeue))
 	s, err := sched.New(f.Traverser(), qp, sopts...)
 	if err != nil {
 		return nil, err
@@ -175,8 +181,12 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if mp == "" {
 		mp = "first"
 	}
+	engine := "incremental"
+	if cfg.FullRequeue {
+		engine = "full-requeue"
+	}
 	fmt.Fprintf(out, "system: %s\n", g.Stats())
-	fmt.Fprintf(out, "policies: match=%s queue=%s; %d jobs\n", mp, qp, len(jobs))
+	fmt.Fprintf(out, "policies: match=%s queue=%s engine=%s; %d jobs\n", mp, qp, engine, len(jobs))
 	if cfg.MatchWorkers > 1 {
 		fmt.Fprintf(out, "match workers: %d (parallel match pipeline)\n", cfg.MatchWorkers)
 	}
@@ -227,6 +237,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if inj != nil {
 		fmt.Fprintf(out, "faults injected: downs=%d ups=%d\n", inj.downs, inj.ups)
 	}
+	st := s.Stats()
+	fmt.Fprintf(out, "sched: %d cycles, %d match attempts, %d woken, %d skipped\n",
+		st.Cycles, st.MatchAttempts, st.WokenJobs, st.SkippedJobs)
 	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), s.Cycles)
 
 	res := &Result{Completed: m.Completed, Metrics: m, Scheduler: s}
@@ -271,7 +284,8 @@ func runDrill(cfg Config, spec resgraph.PruneSpec, jobs []trace.Job,
 	for _, j := range jobs {
 		specs[j.ID] = j.Jobspec()
 	}
-	s2, err := sched.Resume(f2.Traverser(), cp.sched, specs)
+	s2, err := sched.Resume(f2.Traverser(), cp.sched, specs,
+		sched.WithIncremental(!cfg.FullRequeue))
 	if err != nil {
 		return false, fmt.Errorf("simcli: drill resume: %w", err)
 	}

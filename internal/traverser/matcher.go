@@ -43,6 +43,18 @@ type matcher struct {
 	dur   int64
 	dry   bool // capacity-only satisfiability check: no spans
 	snap  bool // speculative run: per-vertex claims instead of spans
+	// sig, when non-nil, accumulates blocking reasons as the walk prunes
+	// or rejects candidates (see signature.go). Reasons survive
+	// rollbacks on purpose: a rolled-back claim was still a real
+	// constraint the job ran into.
+	sig *BlockSig
+}
+
+// note records a blocking reason at v when signature capture is on.
+func (m *matcher) note(v *resgraph.Vertex, typeID int32, shortfall int64) {
+	if m.sig != nil {
+		m.sig.noteVertex(v, typeID, shortfall)
+	}
 }
 
 // availUnits returns the units of v available throughout the window,
@@ -211,7 +223,13 @@ func (m *matcher) matchRequest(v *resgraph.Vertex, ni int32, excl bool) bool {
 		m.s.popOrdered()
 	}
 	// Moldable requests accept any grant down to MinCount.
-	return needed <= 0 || cn.Count-needed >= cn.Min
+	if needed <= 0 || cn.Count-needed >= cn.Min {
+		return true
+	}
+	// The request fell short under v: at least the units past the
+	// moldable floor must come free somewhere beneath it.
+	m.note(v, cn.TypeID, needed-(cn.Count-cn.Min))
+	return false
 }
 
 // tryCandidate attempts to take (part of) request cn from candidate c,
@@ -231,11 +249,13 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, cn *jobspec.CNode, excl bool,
 		// but requires the vertex not to be exclusively taken.
 		if exclusive {
 			if avail < c.Size {
+				m.note(c, AnyType, c.Size-avail)
 				return 0
 			}
 			units = c.Size
 		} else {
 			if avail <= 0 {
+				m.note(c, AnyType, 1)
 				return 0
 			}
 			units = 0
@@ -248,6 +268,7 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, cn *jobspec.CNode, excl bool,
 		// either way.
 		units = min(needed, avail)
 		if units <= 0 {
+			m.note(c, cn.TypeID, needed-max(avail, 0))
 			return 0
 		}
 		contribution = units
@@ -295,6 +316,7 @@ func (m *matcher) collect(out []*resgraph.Vertex, v *resgraph.Vertex, cn *jobspe
 			// Exclusivity prune: a fully planned structural
 			// vertex hides its subtree.
 			if m.availUnits(c) <= 0 {
+				m.note(c, AnyType, 1)
 				continue
 			}
 			if !m.filterAdmits(c, cn.Needs) {
@@ -320,6 +342,11 @@ func (m *matcher) filterAdmits(c *resgraph.Vertex, needs []jobspec.TypeCount) bo
 			continue // filter does not track this type
 		}
 		if !p.CanFit(m.at, m.dur, needs[i].Units) {
+			// Only pay for the shortfall query when a signature is
+			// actually being captured: this is the pruning hot path.
+			if m.sig != nil {
+				m.sig.noteVertex(c, needs[i].ID, p.ShortfallDuring(m.at, m.dur, needs[i].Units))
+			}
 			return false
 		}
 	}

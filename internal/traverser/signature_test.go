@@ -1,0 +1,186 @@
+package traverser
+
+import (
+	"errors"
+	"testing"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+)
+
+func TestBlockSigRecordDedupKeepsMinShortfall(t *testing.T) {
+	var s BlockSig
+	s.reset(10, 100)
+	if !s.Valid || s.At != 10 || s.Dur != 100 || s.HintAt != 10 {
+		t.Fatalf("reset: %+v", s)
+	}
+	s.record(1, 5, 7, 4)
+	s.record(1, 5, 7, 2) // same (TreeIn, TypeID): keep the smaller
+	s.record(1, 5, 7, 9)
+	s.record(1, 5, 8, 3) // different type: separate reason
+	s.record(2, 3, 7, 0) // shortfall clamps to >= 1
+	if len(s.Reasons) != 3 {
+		t.Fatalf("reasons = %+v", s.Reasons)
+	}
+	if s.Reasons[0].Shortfall != 2 {
+		t.Fatalf("dedup kept %d, want 2", s.Reasons[0].Shortfall)
+	}
+	if s.Reasons[2].Shortfall != 1 {
+		t.Fatalf("zero shortfall recorded as %d, want 1", s.Reasons[2].Shortfall)
+	}
+}
+
+func TestBlockSigOverflow(t *testing.T) {
+	var s BlockSig
+	s.reset(0, 10)
+	for i := int32(0); i < maxSigReasons+5; i++ {
+		s.record(i, i+1, 7, 1)
+	}
+	if !s.Overflow {
+		t.Fatal("no overflow")
+	}
+	if len(s.Reasons) != maxSigReasons {
+		t.Fatalf("len = %d", len(s.Reasons))
+	}
+	s.record(1, 2, 7, 1) // post-overflow records are dropped
+	if len(s.Reasons) != maxSigReasons {
+		t.Fatal("record after overflow grew the list")
+	}
+	s.reset(5, 10)
+	if s.Overflow || len(s.Reasons) != 0 {
+		t.Fatalf("reset did not clear: %+v", s)
+	}
+}
+
+// TestSigCaptureOnFullSystem checks that a failed immediate match captures
+// a localized signature whose hint points at the blocking job's end.
+func TestSigCaptureOnFullSystem(t *testing.T) {
+	g := buildSmall(t, 1, 2, 4, 0, resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	tr := newT(t, g, match.First{})
+	fill := jobspec.New(100, jobspec.SlotR(2, jobspec.R("node", 1, jobspec.R("core", 4))))
+	if _, err := tr.MatchAllocate(1, fill, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cjs, err := tr.Compile(jobspec.New(50, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig BlockSig
+	if _, err := tr.MatchAllocateCompiledSig(2, cjs, 0, &sig); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if !sig.Valid || sig.At != 0 || sig.Dur != 50 {
+		t.Fatalf("sig = %+v", sig)
+	}
+	if len(sig.Reasons) == 0 {
+		t.Fatal("no reasons captured")
+	}
+	for _, r := range sig.Reasons {
+		if r.Shortfall < 1 || r.TreeOut <= r.TreeIn {
+			t.Fatalf("malformed reason %+v", r)
+		}
+	}
+	if sig.HintAt != 100 {
+		t.Fatalf("HintAt = %d, want 100 (the filling job's end)", sig.HintAt)
+	}
+
+	// The signature must intersect the frees the filling job's cancel
+	// publishes — otherwise the waking contract is broken.
+	var frees []resgraph.Delta
+	g.SetDeltaSink(func(d resgraph.Delta) {
+		if d.Kind == resgraph.DeltaFree {
+			frees = append(frees, d)
+		}
+	})
+	if err := tr.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(frees) == 0 {
+		t.Fatal("cancel published no frees")
+	}
+	hit := false
+	for _, f := range frees {
+		for _, r := range sig.Reasons {
+			if (f.TypeID == r.TypeID || r.TypeID == AnyType) &&
+				f.TreeIn < r.TreeOut && r.TreeIn < f.TreeOut {
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("no free intersects the signature: frees=%+v reasons=%+v", frees, sig.Reasons)
+	}
+}
+
+// TestSigReserveProbeFailureMarksWakeAnyFree checks the unlocalizable
+// branch: when even the reservation probe fails, the signature degrades
+// to wake-on-any-free.
+func TestSigReserveProbeFailureMarksWakeAnyFree(t *testing.T) {
+	g := buildSmall(t, 1, 2, 4, 0, resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	tr := newT(t, g, match.First{})
+	// 3 nodes can never exist in a 2-node system: immediate match and
+	// every probe candidate fail.
+	cjs, err := tr.Compile(jobspec.New(50, jobspec.SlotR(3, jobspec.R("node", 1, jobspec.R("core", 1)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig BlockSig
+	if _, err := tr.MatchAllocateOrReserveCompiledSig(1, cjs, 0, &sig); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if !sig.Valid || !sig.WakeAnyFree {
+		t.Fatalf("sig = %+v", sig)
+	}
+}
+
+// TestSigReservationPublishesClaims checks that a successful reservation
+// probe announces its future claims as deltas.
+func TestSigReservationPublishesClaims(t *testing.T) {
+	g := buildSmall(t, 1, 1, 4, 0, resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	tr := newT(t, g, match.First{})
+	var claims []resgraph.Delta
+	g.SetDeltaSink(func(d resgraph.Delta) {
+		if d.Kind == resgraph.DeltaClaim {
+			claims = append(claims, d)
+		}
+	})
+	fill := jobspec.New(100, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4))))
+	if _, err := tr.MatchAllocate(1, fill, 0); err != nil {
+		t.Fatal(err)
+	}
+	cjs, err := tr.Compile(jobspec.New(50, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig BlockSig
+	alloc, err := tr.MatchAllocateOrReserveCompiledSig(2, cjs, 0, &sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Reserved || alloc.At != 100 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	if len(claims) == 0 {
+		t.Fatal("reservation published no claims")
+	}
+	for _, c := range claims {
+		if c.From != 100 || c.To != 150 {
+			t.Fatalf("claim window [%d,%d), want [100,150)", c.From, c.To)
+		}
+	}
+}
+
+// TestSigNilSkipsCapture checks the sig-less compiled path still works.
+func TestSigNilSkipsCapture(t *testing.T) {
+	g := buildSmall(t, 1, 1, 2, 0, resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	tr := newT(t, g, match.First{})
+	cjs, err := tr.Compile(jobspec.New(50, jobspec.SlotR(2, jobspec.R("node", 1, jobspec.R("core", 1)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MatchAllocateCompiledSig(1, cjs, 0, nil); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v", err)
+	}
+}

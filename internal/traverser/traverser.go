@@ -257,7 +257,7 @@ func (t *Traverser) MatchAllocateCompiled(jobID int64, cjs *jobspec.Compiled, at
 
 // allocate matches and registers; callers hold t.mu and have dup-checked.
 func (t *Traverser) allocate(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
-	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit)
+	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -298,33 +298,11 @@ func (t *Traverser) MatchAllocateOrReserveCompiled(jobID int64, cjs *jobspec.Com
 // allocateOrReserve implements the allocate-else-reserve probe loop;
 // callers hold t.mu and have dup-checked.
 func (t *Traverser) allocateOrReserve(jobID int64, cjs *jobspec.Compiled, now int64) (*Allocation, error) {
-	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit); err == nil {
+	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit, nil); err == nil {
 		t.allocs[jobID] = alloc
 		return alloc, nil
 	}
-	rf := t.root.Filter()
-	if rf == nil {
-		return nil, ErrNoFilter
-	}
-	counts := trackedCounts(cjs, rf)
-	if len(counts) == 0 {
-		return nil, fmt.Errorf("%w: root filter tracks none of the requested types", ErrNoFilter)
-	}
-	dur := t.effectiveDuration(cjs.Spec(), now)
-	after := now
-	for i := 0; i < t.maxReserveDepth; i++ {
-		cand, err := rf.AvailPointTimeAfter(after, dur, counts)
-		if err != nil {
-			return nil, fmt.Errorf("%w: no candidate reservation time: %v", ErrNoMatch, err)
-		}
-		if alloc, err := t.tryMatch(jobID, cjs, cand, modeCommit); err == nil {
-			alloc.Reserved = true
-			t.allocs[jobID] = alloc
-			return alloc, nil
-		}
-		after = cand
-	}
-	return nil, fmt.Errorf("%w: gave up after %d candidate times", ErrNoMatch, t.maxReserveDepth)
+	return t.reserveProbe(jobID, cjs, now)
 }
 
 // MatchSatisfy reports whether js could ever be satisfied by the system,
@@ -346,7 +324,7 @@ func (t *Traverser) MatchSatisfyCompiled(cjs *jobspec.Compiled) (bool, error) {
 }
 
 func (t *Traverser) satisfy(cjs *jobspec.Compiled) (bool, error) {
-	_, err := t.tryMatch(0, cjs, t.g.Base(), modeDry)
+	_, err := t.tryMatch(0, cjs, t.g.Base(), modeDry, nil)
 	switch {
 	case err == nil:
 		return true, nil
@@ -412,6 +390,7 @@ func (t *Traverser) remove(jobID int64) (*Allocation, error) {
 			firstErr = err
 		}
 	}
+	t.publishFrees(alloc)
 	return alloc, firstErr
 }
 
@@ -598,6 +577,7 @@ func (t *Traverser) Release(jobID int64, paths []string) error {
 				if err := va.V.Planner().RemoveSpan(va.span); err != nil {
 					return err
 				}
+				t.g.PublishSpanDelta(resgraph.DeltaFree, va.V, va.Units, alloc.At, alloc.At+alloc.Duration)
 			}
 			continue
 		}
@@ -669,10 +649,17 @@ const (
 // mutations (attach/detach, status flips) never interleave with a match —
 // which is also what freezes the topology and status bits the match
 // kernel's candidate cache relies on.
-func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode matchMode) (*Allocation, error) {
+func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode matchMode, sig *BlockSig) (*Allocation, error) {
 	dur := t.effectiveDuration(cjs.Spec(), at)
 	if dur <= 0 {
+		if sig != nil {
+			sig.reset(at, 0)
+			sig.WakeAnyFree = true
+		}
 		return nil, fmt.Errorf("%w: time %d outside horizon", ErrNoMatch, at)
+	}
+	if sig != nil {
+		sig.reset(at, dur)
 	}
 
 	// Commit mode runs under t.mu, so the traverser's own scratch is
@@ -707,6 +694,9 @@ func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode 
 				tracked = true
 				if !p.CanFit(at, dur, tc.Units) {
 					fit = false
+					if sig != nil {
+						sig.noteVertex(root, tc.ID, p.ShortfallDuring(at, dur, tc.Units))
+					}
 					break
 				}
 			}
@@ -724,9 +714,15 @@ func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode 
 		dur:   dur,
 		dry:   mode == modeDry,
 		snap:  mode == modeSnap,
+		sig:   sig,
 	}
 	if !m.matchForest(root, cjs.Roots(), false) {
 		m.rollbackTo(0)
+		if sig != nil && len(sig.Reasons) == 0 && !sig.Overflow {
+			// Backstop: a failure the walk did not localize (e.g. every
+			// candidate was status-down). Wake on any free in the system.
+			sig.noteVertex(root, AnyType, 1)
+		}
 		return nil, fmt.Errorf("%w: at t=%d", ErrNoMatch, at)
 	}
 	alloc := &Allocation{JobID: jobID, At: at, Duration: dur}
@@ -764,7 +760,7 @@ func (t *Traverser) MatchSpeculate(jobID int64, js *jobspec.Jobspec, at int64) (
 	if err != nil {
 		return nil, err
 	}
-	return t.tryMatch(jobID, cjs, at, modeSnap)
+	return t.tryMatch(jobID, cjs, at, modeSnap, nil)
 }
 
 // MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec.
@@ -778,7 +774,7 @@ func (t *Traverser) MatchSpeculateCompiled(jobID int64, cjs *jobspec.Compiled, a
 	if dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	return t.tryMatch(jobID, cjs, at, modeSnap)
+	return t.tryMatch(jobID, cjs, at, modeSnap, nil)
 }
 
 // Commit validates a speculative allocation against committed planner
