@@ -1,4 +1,4 @@
-package fluxion
+package fluxion_test
 
 // Benchmarks mirroring the paper's evaluation (§6). Each testing.B target
 // measures the code path behind one figure:
@@ -12,6 +12,7 @@ package fluxion
 
 import (
 	"errors"
+	"fluxion"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -390,9 +391,9 @@ func BenchmarkSDFU(b *testing.B) {
 // from a 16-node grant (paper §5.6).
 func BenchmarkSpawnInstance(b *testing.B) {
 	b.ReportAllocs()
-	parent, err := New(
-		WithRecipe(grug.Small(4, 8, 16, 0, 0)),
-		WithPruneFilters("ALL:core,ALL:node"),
+	parent, err := fluxion.New(
+		fluxion.WithRecipe(grug.Small(4, 8, 16, 0, 0)),
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -403,7 +404,7 @@ func BenchmarkSpawnInstance(b *testing.B) {
 	}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		if _, err := parent.SpawnInstance(1, WithPruneFilters("ALL:core")); err != nil {
+		if _, err := parent.SpawnInstance(1, fluxion.WithPruneFilters("ALL:core")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -413,9 +414,9 @@ func BenchmarkSpawnInstance(b *testing.B) {
 // trips with 64 live allocations.
 func BenchmarkCheckpointRestore(b *testing.B) {
 	b.ReportAllocs()
-	f, err := New(
-		WithRecipe(grug.Small(4, 16, 8, 0, 0)),
-		WithPruneFilters("ALL:core,ALL:node"),
+	f, err := fluxion.New(
+		fluxion.WithRecipe(grug.Small(4, 16, 8, 0, 0)),
+		fluxion.WithPruneFilters("ALL:core,ALL:node"),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -431,7 +432,7 @@ func BenchmarkCheckpointRestore(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Restore(data, WithPruneFilters("ALL:core,ALL:node")); err != nil {
+		if _, err := fluxion.Restore(data, fluxion.WithPruneFilters("ALL:core,ALL:node")); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 //	fluxion-bench -experiment varaware  # Fig. 7b, Table 1, Fig. 8
 //	fluxion-bench -experiment parmatch  # parallel match pipeline sweep
 //	fluxion-bench -experiment increment # incremental vs full-requeue engines
+//	fluxion-bench -experiment recovery  # WAL crash-recovery time vs log length
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | recovery | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -44,6 +45,8 @@ func main() {
 		seed       = flag.Int64("seed", 2023, "workload seed")
 		workers    = flag.String("workers", "1,2,4,8", "parallel-match worker sweep")
 		incJobs    = flag.Int("increment-jobs", 512, "queue depth for the incremental-scheduling study")
+		recJobs    = flag.Int("recovery-jobs", 512, "queue depth for the WAL recovery study")
+		recPoints  = flag.Int("recovery-points", 8, "log-length sample points for the WAL recovery study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -155,8 +158,20 @@ func main() {
 		writeCSV("increment.csv", func(w *os.File) error { return experiments.WriteIncrementCSV(w, results) })
 		fmt.Printf("(increment experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("recovery") {
+		ran = true
+		cfg := experiments.DefaultRecovery()
+		cfg.Jobs = *recJobs
+		cfg.Points = *recPoints
+		start := time.Now()
+		results, err := experiments.RunRecovery(cfg)
+		fail(err)
+		experiments.PrintRecovery(os.Stdout, results, cfg)
+		writeCSV("recovery.csv", func(w *os.File) error { return experiments.WriteRecoveryCSV(w, results) })
+		fmt.Printf("(recovery experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, recovery, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

@@ -43,6 +43,9 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "failure requeues per job before it fails (0 = default)")
 		drill      = flag.Bool("drill", false, "run the crash-recovery drill: checkpoint mid-run, restore, verify convergence")
 		increment  = flag.Bool("incremental", true, "event-driven incremental scheduling (false = full requeue every cycle)")
+		walDir     = flag.String("wal-dir", "", "durable state directory: journal every mutation to a write-ahead log and recover prior state on start")
+		walSync    = flag.Duration("wal-sync-interval", 0, "WAL group-commit fsync cadence (0 = 10ms default; negative = fsync every command)")
+		snapEvery  = flag.Int("snapshot-every", 0, "commands between WAL snapshots (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -114,6 +117,10 @@ func main() {
 		MaxRetries:   *maxRetries,
 		Drill:        *drill,
 		FullRequeue:  !*increment,
+
+		WALDir:          *walDir,
+		WALSyncInterval: *walSync,
+		SnapshotEvery:   *snapEvery,
 	}, jobs, os.Stdout)
 	fail(err)
 	if res.DrillRan && !res.DrillOK {

@@ -1,0 +1,20 @@
+package fluxion
+
+// Root-level surface of the durability subsystem. The implementation
+// lives in internal/wal (segmented CRC-framed log, snapshots, recovery
+// scan) and internal/durable (the snapshot-plus-log store coupling the
+// WAL to this package's checkpoints and the scheduler's effect journal);
+// drivers reach it through fluxion-sim's -wal-dir / -wal-sync-interval /
+// -snapshot-every flags. These aliases let API users match storage
+// errors and read recovery telemetry without importing internals.
+
+import "fluxion/internal/wal"
+
+// ErrWAL is wrapped by every write-ahead-log storage and recovery error
+// (including injected faults in tests).
+var ErrWAL = wal.ErrWAL
+
+// WALRecoveryStats reports what a WAL recovery scan did: segments
+// scanned, records replayed, bytes truncated from torn or corrupt
+// tails, and the age and LSN of the snapshot recovery started from.
+type WALRecoveryStats = wal.RecoveryStats

@@ -388,6 +388,25 @@ func (f *Fluxion) MatchAllocateOrReserveCompiledSig(jobID int64, spec *CompiledJ
 // the same stream for monitoring.
 func (f *Fluxion) SetDeltaSink(fn func(ResourceDelta)) { f.g.SetDeltaSink(fn) }
 
+// TapDeltas registers fn as an additional observer of the delta stream,
+// chaining in front of whatever sink is already installed (typically the
+// sched package's wakeup index) instead of displacing it. It returns an
+// untap function that restores the previous sink. Taps compose; untap in
+// reverse registration order. The durability layer taps the stream to
+// notice out-of-band store mutations that must force a snapshot.
+func (f *Fluxion) TapDeltas(fn func(ResourceDelta)) (untap func()) {
+	prev := f.g.DeltaSink()
+	if prev == nil {
+		f.g.SetDeltaSink(fn)
+	} else {
+		f.g.SetDeltaSink(func(d ResourceDelta) {
+			prev(d)
+			fn(d)
+		})
+	}
+	return func() { f.g.SetDeltaSink(prev) }
+}
+
 // MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec; like
 // MatchSpeculate it bypasses the Fluxion-level lock.
 func (f *Fluxion) MatchSpeculateCompiled(jobID int64, spec *CompiledJobspec, at int64) (*Allocation, error) {

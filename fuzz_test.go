@@ -1,0 +1,74 @@
+package fluxion
+
+// Fuzz target for the checkpoint restore path: arbitrary (and
+// seeded-then-mutated real) checkpoint bytes must either restore to a
+// working instance or fail with an error wrapping ErrCheckpoint —
+// never panic. Recovery feeds snapshot payloads through Restore, so
+// this is the durability subsystem's outermost parser.
+
+import (
+	"errors"
+	"testing"
+
+	"fluxion/internal/jobspec"
+)
+
+func FuzzRestore(f *testing.F) {
+	// Seed with real checkpoint bytes: empty system, allocated system,
+	// allocation + reservation, and a down node.
+	fx, err := New(
+		WithRecipeYAML([]byte(testRecipe)),
+		WithPruneFilters("ALL:core,ALL:node,ALL:memory"),
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := func() {
+		data, err := fx.Checkpoint()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed()
+	if _, err := fx.MatchAllocate(1, jobspec.NodeLocal(4, 1, 4, 0, 0, 100), 0); err != nil {
+		f.Fatal(err)
+	}
+	seed()
+	if _, err := fx.MatchAllocateOrReserve(2, jobspec.NodeLocal(2, 1, 4, 8, 0, 50), 0); err != nil {
+		f.Fatal(err)
+	}
+	seed()
+	if _, err := fx.MarkDown(firstNodePath(f, fx)); err != nil {
+		f.Fatal(err)
+	}
+	seed()
+	// Structurally near-miss documents.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"graph":{},"jobs":[{"id":1}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := Restore(data, WithPruneFilters("ALL:core,ALL:node,ALL:memory"))
+		if err != nil {
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("restore error does not wrap ErrCheckpoint: %v", err)
+			}
+			return
+		}
+		// A successful restore must yield a usable instance.
+		if _, err := restored.Checkpoint(); err != nil {
+			t.Fatalf("restored instance cannot checkpoint: %v", err)
+		}
+		_ = restored.Jobs()
+	})
+}
+
+func firstNodePath(f *testing.F, fx *Fluxion) string {
+	nodes := fx.Find("node", "up")
+	if len(nodes) == 0 {
+		f.Fatal("no nodes in test recipe")
+	}
+	return nodes[0]
+}

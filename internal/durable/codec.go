@@ -1,0 +1,187 @@
+package durable
+
+// Binary codec for sched journal records. One journal record becomes one
+// WAL frame: the frame's type byte is the RecKind, the payload encodes
+// the record's fields in a fixed varint layout. RecSubmit additionally
+// carries the job's canonical jobspec YAML guarded by an FNV-1a hash, so
+// a bit flip inside the spec body is caught even though the frame CRC
+// already covers the payload (the hash also travels into snapshots and
+// cross-checks the spec table there).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+	"fluxion/internal/wal"
+)
+
+// recFlag bits in the payload's flag byte.
+const (
+	recFlagUnsat = 1 << iota
+	recFlagDown
+	recFlagSpec
+)
+
+// specHash is the integrity hash over a canonical jobspec document.
+func specHash(yaml []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(yaml)
+	return h.Sum64()
+}
+
+// appendRec encodes r into buf (appending) and returns the extended
+// slice. With a warm buffer the encode path does not allocate, except for
+// RecSubmit's one-time YAML rendering.
+func appendRec(buf []byte, r *sched.Rec) []byte {
+	buf = binary.AppendVarint(buf, r.ID)
+	buf = binary.AppendVarint(buf, r.At)
+	buf = binary.AppendVarint(buf, r.Duration)
+	buf = binary.AppendVarint(buf, int64(r.Priority))
+	var flags byte
+	if r.Unsat {
+		flags |= recFlagUnsat
+	}
+	if r.Down {
+		flags |= recFlagDown
+	}
+	var yaml []byte
+	if r.Kind == sched.RecSubmit && r.Spec != nil {
+		yaml = r.Spec.YAML()
+		flags |= recFlagSpec
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Path)))
+	buf = append(buf, r.Path...)
+	buf = binary.AppendVarint(buf, int64(r.Retries))
+	buf = binary.AppendVarint(buf, r.LostCore)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Grants)))
+	for _, g := range r.Grants {
+		buf = binary.AppendUvarint(buf, uint64(len(g.Path)))
+		buf = append(buf, g.Path...)
+		buf = binary.AppendVarint(buf, g.Units)
+	}
+	if flags&recFlagSpec != 0 {
+		buf = binary.AppendUvarint(buf, specHash(yaml))
+		buf = binary.AppendUvarint(buf, uint64(len(yaml)))
+		buf = append(buf, yaml...)
+	}
+	return buf
+}
+
+// recReader walks an encoded payload.
+type recReader struct {
+	data []byte
+	err  error
+}
+
+func (p *recReader) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.data)
+	if n <= 0 {
+		p.err = fmt.Errorf("%w: truncated varint in record payload", wal.ErrWAL)
+		return 0
+	}
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *recReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.data)
+	if n <= 0 {
+		p.err = fmt.Errorf("%w: truncated uvarint in record payload", wal.ErrWAL)
+		return 0
+	}
+	p.data = p.data[n:]
+	return v
+}
+
+func (p *recReader) byte() byte {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.data) < 1 {
+		p.err = fmt.Errorf("%w: truncated record payload", wal.ErrWAL)
+		return 0
+	}
+	b := p.data[0]
+	p.data = p.data[1:]
+	return b
+}
+
+func (p *recReader) bytes(n uint64) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if uint64(len(p.data)) < n {
+		p.err = fmt.Errorf("%w: truncated record payload", wal.ErrWAL)
+		return nil
+	}
+	b := p.data[:n]
+	p.data = p.data[n:]
+	return b
+}
+
+// decodeRec decodes one WAL frame (type byte + payload) into r. Errors
+// wrap wal.ErrWAL; a RecSubmit whose spec bytes fail their hash or do not
+// parse is an error, never a panic.
+func decodeRec(typ byte, payload []byte, r *sched.Rec) error {
+	kind := sched.RecKind(typ)
+	if kind == sched.RecInvalid || kind > sched.RecCommit {
+		return fmt.Errorf("%w: unknown record kind %d", wal.ErrWAL, typ)
+	}
+	*r = sched.Rec{Kind: kind}
+	if kind == sched.RecCommit {
+		return nil
+	}
+	p := recReader{data: payload}
+	r.ID = p.varint()
+	r.At = p.varint()
+	r.Duration = p.varint()
+	r.Priority = int(p.varint())
+	flags := p.byte()
+	r.Unsat = flags&recFlagUnsat != 0
+	r.Down = flags&recFlagDown != 0
+	r.Path = string(p.bytes(p.uvarint()))
+	r.Retries = int(p.varint())
+	r.LostCore = p.varint()
+	if n := p.uvarint(); n > 0 && p.err == nil {
+		if n > uint64(len(p.data)) {
+			return fmt.Errorf("%w: grant count %d exceeds payload", wal.ErrWAL, n)
+		}
+		r.Grants = make([]traverser.Grant, 0, n)
+		for i := uint64(0); i < n && p.err == nil; i++ {
+			path := string(p.bytes(p.uvarint()))
+			r.Grants = append(r.Grants, traverser.Grant{Path: path, Units: p.varint()})
+		}
+	}
+	if flags&recFlagSpec != 0 {
+		sum := p.uvarint()
+		yaml := p.bytes(p.uvarint())
+		if p.err == nil {
+			if specHash(yaml) != sum {
+				return fmt.Errorf("%w: jobspec hash mismatch in submit of job %d", wal.ErrWAL, r.ID)
+			}
+			spec, err := jobspec.ParseYAML(yaml)
+			if err != nil {
+				return fmt.Errorf("%w: jobspec in submit of job %d: %v", wal.ErrWAL, r.ID, err)
+			}
+			r.Spec = spec
+		}
+	}
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %s record", wal.ErrWAL, len(p.data), kind)
+	}
+	return nil
+}

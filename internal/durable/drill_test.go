@@ -1,0 +1,283 @@
+package durable_test
+
+// The crash-drill property test: the central acceptance gate of the
+// durability subsystem. It runs a fault-injected simulation with the WAL
+// enabled, then simulates a crash at EVERY record boundary in the
+// resulting log (plus sampled torn mid-frame tails), recovers each
+// truncated copy, resumes the run, and requires the final state of both
+// layers — the resource-graph checkpoint and the scheduler checkpoint —
+// to be byte-identical to the uncrashed run. It lives outside package
+// durable so it can drive the full fluxion-sim pipeline via simcli.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/sched"
+	"fluxion/internal/simcli"
+	"fluxion/internal/trace"
+	"fluxion/internal/wal"
+)
+
+// drillConfig is the shared run shape: small cluster, fault injection
+// on, full log retention. The sync interval is long on purpose: the
+// drill simulates crashes by truncating a finished log copy, so
+// per-commit fsync would only slow the many re-runs without changing a
+// single byte of what they see (Close flushes everything); the
+// fsync/torn-write failure paths get their own fault-injection tests.
+func drillConfig(policy sched.QueuePolicy, dir string) simcli.Config {
+	return simcli.Config{
+		Recipe:          grug.Small(1, 2, 4, 0, 0),
+		MatchPolicy:     "first",
+		QueuePolicy:     policy,
+		MTBF:            1500,
+		MTTR:            80,
+		FaultSeed:       7,
+		MaxRetries:      3,
+		WALDir:          dir,
+		WALSyncInterval: time.Hour,
+		SnapshotEvery:   6,    // several mid-run snapshots: drills cross them
+		WALKeepAll:      true, // retain full history so every boundary is drillable
+	}
+}
+
+func finalState(res *simcli.Result) (fc, sc []byte, err error) {
+	if fc, err = res.Fluxion.Checkpoint(); err != nil {
+		return nil, nil, err
+	}
+	if sc, err = res.Scheduler.Checkpoint(); err != nil {
+		return nil, nil, err
+	}
+	return fc, sc, nil
+}
+
+func TestCrashDrillEveryBoundary(t *testing.T) {
+	jobs := trace.Synthesize(10, 2, 4, 42)
+	for _, policy := range []sched.QueuePolicy{sched.FCFS, sched.EASY, sched.Conservative} {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			t.Parallel()
+			base := filepath.Join(t.TempDir(), "wal")
+			res, err := simcli.Run(drillConfig(policy, base), jobs, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantF, wantS, err := finalState(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames, err := wal.Frames(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(frames) < 20 {
+				t.Fatalf("only %d frames in the base log; the drill needs a real workload", len(frames))
+			}
+
+			// -short samples boundaries (always including the last);
+			// the full sweep drills every single one.
+			stride := 1
+			if testing.Short() {
+				stride = 7
+			}
+			// Each boundary run is fully isolated (own dirs, own
+			// scheduler), so drill them concurrently.
+			var (
+				mu                sync.Mutex
+				replayedSomething bool
+				snapshotUsed      bool
+				sem               = make(chan struct{}, runtime.GOMAXPROCS(0))
+				wg                sync.WaitGroup
+			)
+			for i, fr := range frames {
+				if i%stride != 0 && i != len(frames)-1 {
+					continue
+				}
+				i, fr := i, fr
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					crash, err := crashCopy(t, base, fr.Path, fr.End, fr.LSN)
+					if err != nil {
+						t.Errorf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+						return
+					}
+					rres, err := simcli.Run(drillConfig(policy, crash), jobs, io.Discard)
+					if err != nil {
+						t.Errorf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+						return
+					}
+					gotF, gotS, err := finalState(rres)
+					if err != nil {
+						t.Errorf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+						return
+					}
+					if !bytes.Equal(gotF, wantF) {
+						t.Errorf("boundary %d (lsn %d, %s): resource state diverged", i, fr.LSN, sched.RecKind(fr.Type))
+						return
+					}
+					if !bytes.Equal(gotS, wantS) {
+						t.Errorf("boundary %d (lsn %d, %s): scheduler state diverged", i, fr.LSN, sched.RecKind(fr.Type))
+						return
+					}
+					mu.Lock()
+					replayedSomething = replayedSomething || rres.Recovery.RecordsReplayed > 0
+					snapshotUsed = snapshotUsed || rres.Recovery.SnapshotLSN > 0
+					mu.Unlock()
+
+					// Sampled torn tails: a crash mid-frame must truncate
+					// the torn bytes and recover to the previous boundary.
+					if i%5 == 0 && fr.End-fr.Start > 2 {
+						torn, err := crashCopy(t, base, fr.Path, fr.End-1, fr.LSN)
+						if err != nil {
+							t.Errorf("torn frame %d (lsn %d): %v", i, fr.LSN, err)
+							return
+						}
+						tres, err := simcli.Run(drillConfig(policy, torn), jobs, io.Discard)
+						if err != nil {
+							t.Errorf("torn frame %d (lsn %d): %v", i, fr.LSN, err)
+							return
+						}
+						gotF, gotS, err = finalState(tres)
+						if err != nil {
+							t.Errorf("torn frame %d (lsn %d): %v", i, fr.LSN, err)
+							return
+						}
+						if !bytes.Equal(gotF, wantF) || !bytes.Equal(gotS, wantS) {
+							t.Errorf("torn frame %d (lsn %d): state diverged", i, fr.LSN)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if !replayedSomething {
+				t.Fatal("no drill iteration exercised record replay")
+			}
+			if !snapshotUsed {
+				t.Fatal("no drill iteration recovered from a snapshot")
+			}
+		})
+	}
+}
+
+// TestDrillDecisionParity re-runs the recovered simulation with the
+// timeline on and checks the job-level decisions (start/end times),
+// not just checkpoint bytes, for one mid-log boundary.
+func TestDrillDecisionParity(t *testing.T) {
+	jobs := trace.Synthesize(10, 2, 4, 11)
+	base := filepath.Join(t.TempDir(), "wal")
+	var want bytes.Buffer
+	cfg := drillConfig(sched.Conservative, base)
+	cfg.Timeline = true
+	res, err := simcli.Run(cfg, jobs, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, wantS, err := finalState(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames, err := wal.Frames(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frames[len(frames)/2]
+	crash, err := crashCopy(t, base, fr.Path, fr.End, fr.LSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = drillConfig(sched.Conservative, crash)
+	cfg.Timeline = true
+	var got bytes.Buffer
+	rres, err := simcli.Run(cfg, jobs, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rres.Recovered {
+		t.Fatal("mid-log crash copy did not recover")
+	}
+	gotF, gotS, err := finalState(rres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotF, wantF) || !bytes.Equal(gotS, wantS) {
+		t.Fatal("recovered run diverged from uncrashed run")
+	}
+	wantTL, gotTL := timelineLines(want.String()), timelineLines(got.String())
+	if wantTL != gotTL {
+		t.Fatalf("job timelines diverged\nuncrashed:\n%s\nrecovered:\n%s", wantTL, gotTL)
+	}
+	wm, gm := res.Metrics, rres.Metrics
+	// TotalMatch is wall-clock; the node-seconds tallies accrue from live
+	// allocations, which jobs completed before the crash no longer have.
+	// All simulated decisions (makespan, waits, requeues, completions)
+	// must match exactly.
+	wm.TotalMatch, gm.TotalMatch = 0, 0
+	wm.NodeSecondsUsed, gm.NodeSecondsUsed = 0, 0
+	wm.NodeSecondsTotal, gm.NodeSecondsTotal = 0, 0
+	if wm != gm {
+		t.Fatalf("metrics diverged: uncrashed %+v, recovered %+v", wm, gm)
+	}
+}
+
+// timelineLines extracts the per-job decision rows from a run report:
+// lines whose first field is a job ID. The nodes column (field 2) is
+// dropped — jobs that completed before the crash are restored without a
+// live allocation, so their node count reads zero after recovery; every
+// scheduling decision (submit/start/end/wait/state) must still match.
+func timelineLines(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			continue
+		}
+		if _, err := strconv.ParseInt(f[0], 10, 64); err != nil {
+			continue
+		}
+		b.WriteString(f[0] + " " + strings.Join(f[2:], " ") + "\n")
+	}
+	return b.String()
+}
+
+// crashCopy clones the log directory and truncates the clone at the
+// given frame boundary, dropping segments and snapshots past it.
+// Goroutine-safe (t.TempDir and t.Error are; t.Fatal would not be).
+func crashCopy(t *testing.T, src, framePath string, at int64, boundLSN uint64) (string, error) {
+	dst := filepath.Join(t.TempDir(), "crash")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	if err := wal.TruncateAt(dst, filepath.Join(dst, filepath.Base(framePath)), at, boundLSN); err != nil {
+		return "", err
+	}
+	return dst, nil
+}

@@ -1,0 +1,386 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fluxion"
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+	"fluxion/internal/wal"
+)
+
+const testHorizon = int64(1) << 40
+
+// newPair builds the fixed 1-rack/2-node/4-core pair every store test
+// drives. Both the original and the recovery fresh-build path use it, so
+// genesis replay sees an identical starting graph.
+func newPair(t testing.TB) (*fluxion.Fluxion, *sched.Scheduler) {
+	t.Helper()
+	f, s, err := buildPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, s
+}
+
+func buildPair() (*fluxion.Fluxion, *sched.Scheduler, error) {
+	g, err := grug.BuildGraph(grug.Small(1, 2, 4, 0, 0), 0, testHorizon,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fluxion.New(fluxion.WithGraph(g), fluxion.WithPolicy("first"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.New(f.Traverser(), sched.Conservative)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, s, nil
+}
+
+func restoreOpts() []fluxion.Option {
+	return []fluxion.Option{
+		fluxion.WithPolicy("first"),
+		fluxion.WithPruneSpec(resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}),
+		fluxion.WithHorizon(testHorizon),
+	}
+}
+
+func nodeJob(n, cores, dur int64) *jobspec.Jobspec {
+	return jobspec.New(dur, jobspec.SlotR(n, jobspec.R("node", 1, jobspec.R("core", cores))))
+}
+
+// drive pushes a failure-laden workload through the scheduler: submits,
+// starts, reservations, an eviction cascade, a repair, and clock moves.
+func drive(t testing.TB, s *sched.Scheduler) {
+	t.Helper()
+	s.Atomic(func() {
+		for id := int64(1); id <= 3; id++ {
+			if _, err := s.Submit(id, nodeJob(1, 4, 50*id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Submit(4, nodeJob(100, 4, 10)); err != nil {
+			t.Fatal(err)
+		}
+		s.Schedule()
+	})
+	if err := s.ScheduleNodeDown(20, "/cluster0/rack0/node0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleNodeUp(45, "/cluster0/rack0/node0"); err != nil {
+		t.Fatal(err)
+	}
+	for s.Step() {
+	}
+}
+
+// checkpoints returns both layers' serialized state.
+func checkpoints(t testing.TB, f *fluxion.Fluxion, s *sched.Scheduler) ([]byte, []byte) {
+	t.Helper()
+	fc, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fc, sc
+}
+
+func openStore(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	o.Dir = dir
+	if o.SyncInterval == 0 {
+		o.SyncInterval = -1 // deterministic: every command durable at commit
+	}
+	if o.Warn == nil {
+		o.Warn = os.Stderr
+	}
+	st, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{SnapshotEvery: 3})
+	f, s := newPair(t)
+	st.Attach(f, s)
+	drive(t, s)
+	wantF, wantS := checkpoints(t, f, s)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	if !st2.Recovered() {
+		t.Fatal("reopened store reports no prior state")
+	}
+	f2, s2, err := st2.Restore(buildPair, restoreOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, gotS := checkpoints(t, f2, s2)
+	if !bytes.Equal(gotF, wantF) {
+		t.Fatalf("resource checkpoint diverged after recovery\nwant:\n%s\ngot:\n%s", wantF, gotF)
+	}
+	if !bytes.Equal(gotS, wantS) {
+		t.Fatalf("scheduler checkpoint diverged after recovery\nwant:\n%s\ngot:\n%s", wantS, gotS)
+	}
+}
+
+// TestGenesisRecovery recovers from a log with no snapshot at all (the
+// run crashed before the first snapshot): replay starts from the fresh
+// build and reproduces everything.
+func TestGenesisRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{SnapshotEvery: 1 << 30})
+	f, s := newPair(t)
+	st.Attach(f, s)
+	drive(t, s)
+	wantF, wantS := checkpoints(t, f, s)
+
+	// Simulate the crash: copy the synced files, never Close (a Close
+	// would write the shutdown snapshot).
+	crash := t.TempDir()
+	copyDir(t, dir, crash)
+
+	st2 := openStore(t, crash, Options{})
+	defer st2.Close()
+	if !st2.Recovered() {
+		t.Fatal("crash copy reports no prior state")
+	}
+	if lsn := st2.Log().SnapshotLSN(); lsn != 0 {
+		t.Fatalf("crash copy has a snapshot at %d, want none", lsn)
+	}
+	f2, s2, err := st2.Restore(buildPair, restoreOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, gotS := checkpoints(t, f2, s2)
+	if !bytes.Equal(gotF, wantF) || !bytes.Equal(gotS, wantS) {
+		t.Fatal("genesis replay diverged from the live run")
+	}
+	_ = st.Close()
+}
+
+// TestOutOfBandMutationForcesSnapshot: a store mutation outside any
+// journaled command (direct MarkDown on the fluxion handle) cannot be
+// replayed, so the next commit must snapshot — and recovery must see it.
+func TestOutOfBandMutationForcesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{SnapshotEvery: 1 << 30})
+	f, s := newPair(t)
+	st.Attach(f, s)
+	drive(t, s)
+
+	// Out-of-band: down a node directly, bypassing the scheduler.
+	if _, err := f.MarkDown("/cluster0/rack0/node1"); err != nil {
+		t.Fatal(err)
+	}
+	if !st.extDirty {
+		t.Fatal("out-of-band mutation did not mark the snapshot dirty")
+	}
+	// The next journaled command triggers the snapshot.
+	if _, err := s.Submit(50, nodeJob(1, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if st.extDirty {
+		t.Fatal("commit did not flush the dirty snapshot")
+	}
+	snapLSN := st.Log().SnapshotLSN()
+	if snapLSN == 0 {
+		t.Fatal("no snapshot written")
+	}
+	wantF, wantS := checkpoints(t, f, s)
+
+	crash := t.TempDir()
+	copyDir(t, dir, crash)
+	st2 := openStore(t, crash, Options{})
+	defer st2.Close()
+	f2, s2, err := st2.Restore(buildPair, restoreOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, gotS := checkpoints(t, f2, s2)
+	if !bytes.Equal(gotF, wantF) || !bytes.Equal(gotS, wantS) {
+		t.Fatal("recovery lost the out-of-band mutation")
+	}
+	_ = st.Close()
+}
+
+// TestDegradedMode: a storage fault mid-run disables durability with one
+// clear report, the error wraps ErrWAL + ErrInjected, and the scheduler
+// finishes the run non-durably.
+func TestDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	var warn strings.Builder
+	st := openStore(t, dir, Options{
+		Faults: &wal.FaultPlan{FailSyncAt: 3},
+		Warn:   &warn,
+	})
+	f, s := newPair(t)
+	st.Attach(f, s)
+	drive(t, s) // must complete despite the injected fsync failure
+
+	if !st.Degraded() {
+		t.Fatal("store not degraded after injected fsync failure")
+	}
+	if err := st.Err(); !errors.Is(err, wal.ErrWAL) || !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("degraded error = %v, want ErrWAL+ErrInjected", err)
+	}
+	if !strings.Contains(warn.String(), "durability disabled") {
+		t.Fatalf("degraded mode not reported: %q", warn.String())
+	}
+	if strings.Count(warn.String(), "durability disabled") != 1 {
+		t.Fatalf("degraded mode reported more than once: %q", warn.String())
+	}
+	// The run itself finished: completed jobs exist.
+	if s.Metrics().Completed == 0 {
+		t.Fatal("scheduler did not finish the run in degraded mode")
+	}
+	if err := st.Close(); !errors.Is(err, wal.ErrWAL) {
+		t.Fatalf("Close() = %v, want the sticky wrapped error", err)
+	}
+}
+
+// TestSnapshotRetirement: frequent snapshots retire old segments so
+// reopen replays only the post-snapshot tail.
+func TestSnapshotRetirement(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{SnapshotEvery: 2, SegmentBytes: 1, KeepSnapshots: 2})
+	f, s := newPair(t)
+	st.Attach(f, s)
+	drive(t, s)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	stats := st2.Stats()
+	if stats.SnapshotLSN == 0 {
+		t.Fatal("no snapshot survived")
+	}
+	if stats.RecordsReplayed != 0 {
+		t.Fatalf("shutdown snapshot should cover the whole log, %d records replayed", stats.RecordsReplayed)
+	}
+	snaps, err := wal.Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) > 2 {
+		t.Fatalf("%d snapshots retained, want <= 2", len(snaps))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	spec := nodeJob(2, 3, 77)
+	recs := []sched.Rec{
+		{Kind: sched.RecSubmit, ID: 7, At: 11, Priority: -2, Spec: spec},
+		{Kind: sched.RecSubmit, ID: 8, At: 11, Unsat: true, Spec: spec},
+		{Kind: sched.RecCycle},
+		{Kind: sched.RecClock, At: 99},
+		{Kind: sched.RecStart, ID: 7, At: 12, Duration: 77, Grants: []traverser.Grant{
+			{Path: "/cluster0/rack0/node0/core0", Units: 1},
+			{Path: "/cluster0/rack0/node0", Units: 0},
+		}},
+		{Kind: sched.RecReserve, ID: 9, At: 40, Duration: 10, Grants: []traverser.Grant{{Path: "/a", Units: 3}}},
+		{Kind: sched.RecConvert, ID: 9, At: 40, Duration: 10},
+		{Kind: sched.RecUnreserve, ID: 9},
+		{Kind: sched.RecDrop, ID: 9},
+		{Kind: sched.RecComplete, ID: 7},
+		{Kind: sched.RecRequeue, ID: 7, Retries: 2, LostCore: 123},
+		{Kind: sched.RecFail, ID: 7, Retries: 3, LostCore: -1},
+		{Kind: sched.RecDown, Path: "/cluster0/rack0/node0"},
+		{Kind: sched.RecUp, Path: "/cluster0/rack0/node0"},
+		{Kind: sched.RecEvent, At: 60, Down: true, Path: "/n"},
+		{Kind: sched.RecEventPop, At: 60, Down: false, Path: "/n"},
+		{Kind: sched.RecCommit},
+	}
+	var buf []byte
+	var got sched.Rec
+	for _, want := range recs {
+		buf = appendRec(buf[:0], &want)
+		if err := decodeRec(byte(want.Kind), buf, &got); err != nil {
+			t.Fatalf("%s: decode: %v", want.Kind, err)
+		}
+		// Spec pointers differ; compare canonical YAML, then blank them.
+		if (want.Spec == nil) != (got.Spec == nil) {
+			t.Fatalf("%s: spec presence mismatch", want.Kind)
+		}
+		if want.Spec != nil && !bytes.Equal(want.Spec.YAML(), got.Spec.YAML()) {
+			t.Fatalf("%s: spec did not round-trip", want.Kind)
+		}
+		w := want
+		w.Spec, got.Spec = nil, nil
+		if want.Kind == sched.RecCommit {
+			w = sched.Rec{Kind: sched.RecCommit} // commit frames carry no payload fields
+		}
+		if len(got.Grants) == 0 && len(w.Grants) == 0 {
+			got.Grants, w.Grants = nil, nil // normalize nil vs empty
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("%s: round-trip mismatch\nwant %+v\ngot  %+v", want.Kind, w, got)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	spec := nodeJob(1, 2, 30)
+	rec := sched.Rec{Kind: sched.RecSubmit, ID: 3, At: 5, Spec: spec}
+	good := appendRec(nil, &rec)
+
+	var out sched.Rec
+	// Bit flip inside the spec body: the spec hash must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-2] ^= 0x40
+	if err := decodeRec(byte(rec.Kind), bad, &out); !errors.Is(err, wal.ErrWAL) {
+		t.Fatalf("flipped spec byte: err = %v, want ErrWAL", err)
+	}
+	// Truncations at every boundary: error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if err := decodeRec(byte(rec.Kind), good[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		} else if !errors.Is(err, wal.ErrWAL) {
+			t.Fatalf("truncation at %d: err = %v, want ErrWAL", cut, err)
+		}
+	}
+	// Unknown kind byte.
+	if err := decodeRec(200, nil, &out); !errors.Is(err, wal.ErrWAL) {
+		t.Fatalf("unknown kind: err = %v, want ErrWAL", err)
+	}
+}
+
+func copyDir(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

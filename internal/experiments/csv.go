@@ -153,6 +153,28 @@ func WritePerJobCSV(w io.Writer, runs []PolicyRun) error {
 	return cw.Error()
 }
 
+// WriteRecoveryCSV renders the E8 recovery-time-vs-log-length sweep.
+func WriteRecoveryCSV(w io.Writer, results []RecoveryResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"records", "log_bytes", "replay_ns", "snapshot_ns", "snapshot_bytes"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.Records),
+			strconv.FormatInt(r.LogBytes, 10),
+			strconv.FormatInt(r.ReplayWall.Nanoseconds(), 10),
+			strconv.FormatInt(r.SnapWall.Nanoseconds(), 10),
+			strconv.FormatInt(r.SnapshotBytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteIncrementCSV renders the E7 engine-comparison rows.
 func WriteIncrementCSV(w io.Writer, results []IncrementResult) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,251 @@
+package experiments
+
+// E8 — durable-state recovery drill: how long crash recovery takes as a
+// function of surviving log length, with and without a snapshot. One
+// long deep-queue run is journaled to a WAL with snapshots suppressed,
+// then the finished log is truncated (on copies) at evenly spaced record
+// boundaries. At each point the experiment times full replay-from-
+// genesis recovery, then writes a snapshot at that boundary and times
+// recovery again. The two series expose the snapshot-plus-log tradeoff:
+// replay cost grows with the committed log length, while snapshot
+// recovery cost tracks the live-state size (queue depth, allocations) at
+// the crash point — independent of how much history preceded it.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fluxion"
+	"fluxion/internal/durable"
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/wal"
+)
+
+// RecoveryConfig parameterizes the E8 recovery study.
+type RecoveryConfig struct {
+	Nodes    int64 // nodes in the (single-rack) system
+	Cores    int64 // cores per node
+	Jobs     int   // queue depth at t=0
+	Duration int64 // per-job runtime in simulated seconds
+	Points   int   // log-length sample points
+}
+
+// DefaultRecovery mirrors the E7 system with a deep enough queue to
+// produce a multi-thousand-record log.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{Nodes: 8, Cores: 4, Jobs: 512, Duration: 100, Points: 8}
+}
+
+// RecoveryResult is one log-length sample point.
+type RecoveryResult struct {
+	// Records is the journal length recovery replayed (no snapshot).
+	Records int
+	// LogBytes is the surviving log size at this truncation point.
+	LogBytes int64
+	// ReplayWall is full recovery time from genesis: open + scan +
+	// fresh build + replay of every record.
+	ReplayWall time.Duration
+	// SnapWall is recovery time when a snapshot covers the whole log.
+	SnapWall time.Duration
+	// SnapshotBytes is the size of that snapshot document.
+	SnapshotBytes int64
+}
+
+type recoverySystem struct {
+	cfg RecoveryConfig
+}
+
+func (rs recoverySystem) fresh() (*fluxion.Fluxion, *sched.Scheduler, error) {
+	g, err := grug.BuildGraph(grug.Small(1, rs.cfg.Nodes, rs.cfg.Cores, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fluxion.New(fluxion.WithGraph(g), fluxion.WithPolicy("first"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.New(f.Traverser(), sched.Conservative)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, s, nil
+}
+
+// RunRecovery journals one deep-queue run, then times recovery at
+// Points evenly spaced log lengths.
+func RunRecovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
+	if cfg.Points <= 0 {
+		cfg.Points = 8
+	}
+	rs := recoverySystem{cfg: cfg}
+	root, err := os.MkdirTemp("", "fluxion-e8-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	// The journaled base run: snapshots suppressed so the full record
+	// history survives for truncation.
+	base := filepath.Join(root, "wal")
+	st, err := durable.Open(durable.Options{
+		Dir:           base,
+		SyncInterval:  -1,
+		SnapshotEvery: 1 << 30,
+		KeepAll:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, s, err := rs.fresh()
+	if err != nil {
+		return nil, err
+	}
+	st.Attach(f, s)
+	// One command per submit: dense commit boundaries, so truncation
+	// points spread evenly over the history (an uncommitted tail rolls
+	// recovery back to the last commit).
+	spec := jobspec.New(cfg.Duration,
+		jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", cfg.Cores))))
+	for i := 1; i <= cfg.Jobs; i++ {
+		if _, err := s.Submit(int64(i), spec); err != nil {
+			return nil, err
+		}
+	}
+	if done := s.Run(0); done != cfg.Jobs {
+		return nil, fmt.Errorf("recovery experiment: %d of %d jobs completed", done, cfg.Jobs)
+	}
+	// Detach without Close so no shutdown snapshot is written; every
+	// record is already on disk (sync-per-commit).
+	s.SetJournal(nil)
+
+	frames, err := wal.Frames(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) < cfg.Points {
+		return nil, fmt.Errorf("recovery experiment: only %d records journaled", len(frames))
+	}
+
+	out := make([]RecoveryResult, 0, cfg.Points)
+	for p := 1; p <= cfg.Points; p++ {
+		fr := frames[p*len(frames)/cfg.Points-1]
+		dir := filepath.Join(root, fmt.Sprintf("cut-%d", p))
+		if err := copyLogDir(base, dir); err != nil {
+			return nil, err
+		}
+		if err := wal.TruncateAt(dir, filepath.Join(dir, filepath.Base(fr.Path)), fr.End, fr.LSN); err != nil {
+			return nil, err
+		}
+		res, err := rs.measure(dir)
+		if err != nil {
+			return nil, fmt.Errorf("recovery point %d (lsn %d): %w", p, fr.LSN, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// measure times replay-from-genesis recovery of dir, then snapshots at
+// the recovered state and times snapshot recovery of the same log.
+func (rs recoverySystem) measure(dir string) (RecoveryResult, error) {
+	var res RecoveryResult
+	res.LogBytes = dirBytes(dir, ".wal")
+
+	start := time.Now()
+	st, err := durable.Open(durable.Options{Dir: dir, SyncInterval: -1, KeepAll: true})
+	if err != nil {
+		return res, err
+	}
+	f, s, err := st.Restore(rs.fresh, nil, nil)
+	if err != nil {
+		return res, err
+	}
+	res.ReplayWall = time.Since(start)
+	res.Records = st.Stats().RecordsReplayed
+
+	// Write the covering snapshot, then time recovery through it.
+	st.Attach(f, s)
+	if err := st.Snapshot(); err != nil {
+		return res, err
+	}
+	if err := st.Close(); err != nil {
+		return res, err
+	}
+	res.SnapshotBytes = dirBytes(dir, ".snap")
+
+	start = time.Now()
+	st2, err := durable.Open(durable.Options{Dir: dir, SyncInterval: -1, KeepAll: true})
+	if err != nil {
+		return res, err
+	}
+	fopts := []fluxion.Option{
+		fluxion.WithPolicy("first"),
+		fluxion.WithPruneSpec(resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}),
+		fluxion.WithHorizon(1 << 40),
+	}
+	if _, _, err := st2.Restore(rs.fresh, fopts, nil); err != nil {
+		return res, err
+	}
+	res.SnapWall = time.Since(start)
+	if got := st2.Stats().RecordsReplayed; got != 0 {
+		return res, fmt.Errorf("snapshot recovery still replayed %d records", got)
+	}
+	return res, st2.Close()
+}
+
+func copyLogDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dirBytes(dir, ext string) int64 {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ext {
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// PrintRecovery renders the E8 sweep as a table.
+func PrintRecovery(w io.Writer, results []RecoveryResult, cfg RecoveryConfig) {
+	fmt.Fprintf(w, "Durable-state recovery — %d jobs on %d nodes, recovery time vs. surviving log length\n",
+		cfg.Jobs, cfg.Nodes)
+	fmt.Fprintf(w, "%8s %10s %12s %14s %10s\n",
+		"records", "log_bytes", "replay", "with_snapshot", "snap_bytes")
+	for _, r := range results {
+		fmt.Fprintf(w, "%8d %10d %12v %14v %10d\n",
+			r.Records, r.LogBytes, r.ReplayWall.Round(10*time.Microsecond),
+			r.SnapWall.Round(10*time.Microsecond), r.SnapshotBytes)
+	}
+}

@@ -70,6 +70,17 @@ func (g *Graph) SetDeltaSink(fn func(Delta)) {
 	g.deltaSink.Store(&fn)
 }
 
+// DeltaSink returns the currently registered sink (nil if none). Callers
+// that need to observe the stream without displacing an existing
+// subscriber read the current sink, then register a wrapper that calls
+// both (see fluxion.TapDeltas).
+func (g *Graph) DeltaSink() func(Delta) {
+	if sink := g.deltaSink.Load(); sink != nil {
+		return *sink
+	}
+	return nil
+}
+
 // publishDelta forwards d to the registered sink, if any. The sink is held
 // behind an atomic pointer so the common no-sink case costs one load on
 // hot paths (Cancel/Release publish one delta per allocated vertex).

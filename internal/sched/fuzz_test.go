@@ -1,0 +1,44 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzResume feeds arbitrary bytes to Resume: corrupted checkpoints must
+// come back as wrapped ErrCheckpoint — never a panic — and anything that
+// resumes must yield a working scheduler.
+func FuzzResume(f *testing.F) {
+	// Seed with real checkpoint bytes from a driven scheduler so the
+	// fuzzer starts from the actual wire format.
+	seed := journalSched(f, Conservative)
+	driveJournalWorkload(f, seed)
+	data, err := seed.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	empty := journalSched(f, FCFS)
+	if data, err = empty.Checkpoint(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"policy":"conservative","jobs":[{"id":1,"state":"running"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := journalSched(t, Conservative)
+		resumed, err := Resume(s.tr, data, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("resume error does not wrap ErrCheckpoint: %v", err)
+			}
+			return
+		}
+		// A resumed scheduler must be drivable.
+		resumed.Schedule()
+		for i := 0; i < 64 && resumed.Step(); i++ {
+		}
+	})
+}

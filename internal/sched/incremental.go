@@ -294,9 +294,7 @@ func (s *Scheduler) scheduleIncremental() {
 			blocked = true
 			still = append(still, job)
 		case alloc.Reserved:
-			job.State = StateReserved
-			job.Alloc = alloc
-			s.reserved[job.ID] = job
+			s.reserve(job, alloc)
 			blocked = true
 			still = append(still, job)
 		default:
@@ -351,6 +349,7 @@ func (s *Scheduler) convert(job *Job) {
 // frees are muted: within the cycle the queue walk itself accounts for
 // them, and signatures behind the demotion point are cleared by wakeAll.
 func (s *Scheduler) demote(job *Job) {
+	s.jrec(Rec{Kind: RecUnreserve, ID: job.ID})
 	_ = s.tr.Cancel(job.ID)
 	delete(s.reserved, job.ID)
 	job.State = StatePending

@@ -14,7 +14,7 @@ import (
 
 // newSchedOpts builds a scheduler over a racks×nodes×cores system with
 // arbitrary options.
-func newSchedOpts(t *testing.T, policy QueuePolicy, racks, nodes, cores int64, opts ...SchedOption) *Scheduler {
+func newSchedOpts(t testing.TB, policy QueuePolicy, racks, nodes, cores int64, opts ...SchedOption) *Scheduler {
 	t.Helper()
 	g, err := grug.BuildGraph(grug.Small(racks, nodes, cores, 0, 0), 0, 1<<40,
 		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})

@@ -81,9 +81,7 @@ func (s *Scheduler) scheduleParallel() {
 				blocked = true
 				keep[workIdx[off+i]] = true
 			case alloc.Reserved:
-				job.State = StateReserved
-				job.Alloc = alloc
-				s.reserved[job.ID] = job
+				s.reserve(job, alloc)
 				blocked = true
 				keep[workIdx[off+i]] = true
 			default:

@@ -230,6 +230,14 @@ type Scheduler struct {
 	// event loop dispatches; fault injectors use it to schedule the
 	// follow-up repair or next failure.
 	resourceHook func(at int64, path string, down bool)
+
+	// journal, when set, receives one effect record before every state
+	// mutation (journal.go); jbuf is the reused record buffer, and
+	// jDepth/jDirty track the open command unit for commit markers.
+	journal func(*Rec)
+	jbuf    Rec
+	jDepth  int
+	jDirty  bool
 }
 
 // SchedOption configures New.
@@ -362,6 +370,11 @@ func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int
 	if err != nil {
 		return nil, err
 	}
+	if s.journal != nil {
+		s.jBegin()
+		defer s.jEnd()
+		s.jrec(Rec{Kind: RecSubmit, ID: id, At: s.now, Priority: priority, Unsat: !ok, Spec: spec})
+	}
 	if !ok {
 		job.State = StateUnsatisfiable
 		s.jobs[id] = job
@@ -476,8 +489,11 @@ func (s *Scheduler) enqueue(job *Job) {
 // across a worker pool (parallel.go); otherwise the queue is planned
 // sequentially.
 func (s *Scheduler) Schedule() {
+	s.jBegin()
+	defer s.jEnd()
 	s.Cycles++
 	s.stats.Cycles++
+	s.jrec(Rec{Kind: RecCycle})
 
 	if s.incremental {
 		s.wakeup.drain(s.now, &s.plan)
@@ -489,12 +505,9 @@ func (s *Scheduler) Schedule() {
 		return
 	}
 
-	for id, job := range s.reserved {
-		_ = s.tr.Cancel(id)
-		job.State = StatePending
-		job.Alloc = nil
+	for id := range s.reserved {
+		s.demote(s.reserved[id])
 	}
-	s.reserved = make(map[int64]*Job)
 
 	if s.matchWorkers > 1 {
 		s.scheduleParallel()
@@ -539,9 +552,7 @@ func (s *Scheduler) scheduleSequential() {
 			blocked = true
 			still = append(still, job)
 		case alloc.Reserved:
-			job.State = StateReserved
-			job.Alloc = alloc
-			s.reserved[job.ID] = job
+			s.reserve(job, alloc)
 			blocked = true
 			still = append(still, job)
 		default:
@@ -551,13 +562,37 @@ func (s *Scheduler) scheduleSequential() {
 	s.pending = still
 }
 
-// start transitions a job to running and schedules its completion.
+// start transitions a job to running and schedules its completion. A
+// job arriving here in StateReserved is a maturing reservation
+// (convert): its allocation is already installed, so the journal records
+// the flip instead of the placement.
 func (s *Scheduler) start(job *Job, alloc *traverser.Allocation) {
+	if s.journal != nil {
+		if job.State == StateReserved {
+			s.jrec(Rec{Kind: RecConvert, ID: job.ID, At: alloc.At, Duration: alloc.Duration})
+		} else {
+			s.jrec(Rec{Kind: RecStart, ID: job.ID, At: alloc.At, Duration: alloc.Duration,
+				Grants: alloc.Grants()})
+		}
+	}
 	job.State = StateRunning
 	job.Alloc = alloc
 	job.StartAt = alloc.At
 	job.EndAt = alloc.At + alloc.Duration
 	heap.Push(&s.events, event{at: job.EndAt, kind: evComplete, jobID: job.ID})
+}
+
+// reserve records a future reservation: the single chokepoint behind the
+// sequential, parallel, and incremental planners. The job keeps its
+// queue position (callers append it to the surviving pending list).
+func (s *Scheduler) reserve(job *Job, alloc *traverser.Allocation) {
+	if s.journal != nil {
+		s.jrec(Rec{Kind: RecReserve, ID: job.ID, At: alloc.At, Duration: alloc.Duration,
+			Grants: alloc.Grants()})
+	}
+	job.State = StateReserved
+	job.Alloc = alloc
+	s.reserved[job.ID] = job
 }
 
 // stale reports whether an event no longer applies: a completion whose job
@@ -606,6 +641,9 @@ func (s *Scheduler) AdvanceTo(t int64) error {
 	if len(s.events) > 0 && s.events[0].at < t {
 		return fmt.Errorf("sched: advancing to %d would skip event at %d", t, s.events[0].at)
 	}
+	s.jBegin()
+	defer s.jEnd()
+	s.jrec(Rec{Kind: RecClock, At: t})
 	s.now = t
 	return nil
 }
@@ -618,8 +656,11 @@ func (s *Scheduler) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
+	s.jBegin()
+	defer s.jEnd()
 	e := heap.Pop(&s.events).(event)
 	s.now = e.at
+	s.jrec(Rec{Kind: RecClock, At: e.at})
 	s.dispatch(e)
 	for {
 		s.skim()
@@ -632,17 +673,21 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
-// dispatch applies one event at the current clock.
+// dispatch applies one event at the current clock. Node events journal
+// their removal from the heap (completions need not: a replayed
+// completion leaves its event stale, and stale events never fire).
 func (s *Scheduler) dispatch(e event) {
 	switch e.kind {
 	case evComplete:
 		s.complete(e.jobID)
 	case evNodeDown:
+		s.jrec(Rec{Kind: RecEventPop, At: e.at, Down: true, Path: e.path})
 		_, _ = s.NodeDown(e.path)
 		if s.resourceHook != nil {
 			s.resourceHook(e.at, e.path, true)
 		}
 	case evNodeUp:
+		s.jrec(Rec{Kind: RecEventPop, At: e.at, Down: false, Path: e.path})
 		_ = s.NodeUp(e.path)
 		if s.resourceHook != nil {
 			s.resourceHook(e.at, e.path, false)
@@ -655,6 +700,7 @@ func (s *Scheduler) complete(id int64) {
 	if job == nil || job.State != StateRunning {
 		return
 	}
+	s.jrec(Rec{Kind: RecComplete, ID: id})
 	_ = s.tr.Cancel(id)
 	job.State = StateCompleted
 }
@@ -675,6 +721,9 @@ func (s *Scheduler) scheduleResource(at int64, path string, kind eventKind) erro
 	if at < s.now {
 		return fmt.Errorf("sched: %s at %d is in the past (now %d)", kind, at, s.now)
 	}
+	s.jBegin()
+	defer s.jEnd()
+	s.jrec(Rec{Kind: RecEvent, At: at, Down: kind == evNodeDown, Path: path})
 	heap.Push(&s.events, event{at: at, kind: kind, path: path})
 	return nil
 }
@@ -687,10 +736,18 @@ func (s *Scheduler) scheduleResource(at int64, path string, kind eventKind) erro
 // job IDs are returned. Callers driving the scheduler directly should run
 // Schedule afterwards; event-loop dispatch does so automatically.
 func (s *Scheduler) NodeDown(path string) ([]int64, error) {
+	s.jBegin()
+	defer s.jEnd()
 	evicted, err := s.tr.MarkDown(path)
 	if err != nil {
 		return nil, err
 	}
+	// Journal the mark ahead of the per-job eviction records; replay
+	// re-runs MarkDown (reproducing graph status and traverser-side
+	// evictions) and the records below reproduce the job handling.
+	// MarkDown returns evictions in ascending job-ID order, so the
+	// record stream is deterministic.
+	s.jrec(Rec{Kind: RecDown, Path: path})
 	ids := make([]int64, 0, len(evicted))
 	for _, alloc := range evicted {
 		ids = append(ids, alloc.JobID)
@@ -701,19 +758,23 @@ func (s *Scheduler) NodeDown(path string) ([]int64, error) {
 		switch job.State {
 		case StateRunning:
 			s.requeues++
-			s.lostCoreSec += alloc.Units("core") * (s.now - job.StartAt)
+			lost := alloc.Units("core") * (s.now - job.StartAt)
+			s.lostCoreSec += lost
 			job.Retries++
 			job.Alloc = nil
 			job.sigOK = false
 			if s.maxRetries > 0 && job.Retries > s.maxRetries {
+				s.jrec(Rec{Kind: RecFail, ID: job.ID, Retries: job.Retries, LostCore: lost})
 				job.State = StateFailed
 				continue
 			}
+			s.jrec(Rec{Kind: RecRequeue, ID: job.ID, Retries: job.Retries, LostCore: lost})
 			job.State = StatePending
 			s.enqueue(job)
 		case StateReserved:
 			// A reservation on failed resources is just re-planned;
 			// the job never started, so it costs no retry.
+			s.jrec(Rec{Kind: RecDrop, ID: job.ID})
 			delete(s.reserved, job.ID)
 			job.State = StatePending
 			job.Alloc = nil
@@ -726,7 +787,13 @@ func (s *Scheduler) NodeDown(path string) ([]int64, error) {
 // NodeUp returns the containment subtree at path to service now. The
 // restored capacity is used from the next scheduling cycle on.
 func (s *Scheduler) NodeUp(path string) error {
-	return s.tr.MarkUp(path)
+	s.jBegin()
+	defer s.jEnd()
+	if err := s.tr.MarkUp(path); err != nil {
+		return err
+	}
+	s.jrec(Rec{Kind: RecUp, Path: path})
+	return nil
 }
 
 // Unfinished counts jobs still pending, reserved, or running — the signal

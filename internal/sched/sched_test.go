@@ -220,7 +220,7 @@ func TestJobStateStrings(t *testing.T) {
 	}
 }
 
-func mustSubmit(t *testing.T, s *Scheduler, id int64, spec *jobspec.Jobspec) *Job {
+func mustSubmit(t testing.TB, s *Scheduler, id int64, spec *jobspec.Jobspec) *Job {
 	t.Helper()
 	job, err := s.Submit(id, spec)
 	if err != nil {

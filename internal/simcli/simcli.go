@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"fluxion"
+	"fluxion/internal/durable"
 	"fluxion/internal/grug"
 	"fluxion/internal/jobspec"
 	"fluxion/internal/resgraph"
 	"fluxion/internal/sched"
 	"fluxion/internal/trace"
+	"fluxion/internal/wal"
 )
 
 // simHorizon is the planner horizon for simulation runs: effectively
@@ -65,6 +67,25 @@ type Config struct {
 	// (the pre-incremental behavior, kept as an escape hatch and as the
 	// baseline for experiments).
 	FullRequeue bool
+
+	// WALDir enables durable state when non-empty: every scheduler
+	// mutation is journaled to a write-ahead log under this directory and
+	// periodic snapshots bound replay. When the directory already holds
+	// state from a crashed run, Run recovers it and resumes the trace
+	// where the log ends instead of starting over.
+	WALDir string
+	// WALSyncInterval is the WAL group-commit fsync cadence (0 = the WAL
+	// default of 10ms; negative = fsync every command).
+	WALSyncInterval time.Duration
+	// SnapshotEvery is how many journal command units elapse between
+	// automatic snapshots (0 = durable.DefaultSnapshotEvery).
+	SnapshotEvery int
+	// WALFaults injects storage failures into the WAL (tests).
+	WALFaults *wal.FaultPlan
+	// WALKeepAll retains every WAL segment and snapshot instead of
+	// compacting (archival mode; the crash drill truncates the full
+	// history at every record boundary).
+	WALKeepAll bool
 }
 
 // Result carries the outcome for programmatic callers.
@@ -72,9 +93,18 @@ type Result struct {
 	Completed int
 	Metrics   sched.Metrics
 	Scheduler *sched.Scheduler
+	// Fluxion is the resource-layer handle the run scheduled against.
+	Fluxion *fluxion.Fluxion
 	// DrillRan/DrillOK report the crash-recovery drill (Config.Drill).
 	DrillRan bool
 	DrillOK  bool
+	// Recovered reports that WAL state from a prior run was restored;
+	// Recovery describes what the scan replayed and truncated.
+	Recovered bool
+	Recovery  wal.RecoveryStats
+	// WALDegraded reports that a storage fault disabled durability
+	// mid-run (the run completed non-durably).
+	WALDegraded bool
 }
 
 // looper is the discrete-event loop: trace arrivals interleave with
@@ -97,15 +127,19 @@ func (l *looper) drive(pause func() bool) error {
 	}
 	for l.i < len(l.jobs) || l.s.HasEvents() {
 		if l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
-			// Submit everything due and re-plan the queue.
-			for l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
-				j := l.jobs[l.i]
-				if _, err := l.s.SubmitPriority(j.ID, j.Jobspec(), j.Priority); err != nil {
-					fmt.Fprintf(l.out, "job %d rejected: %v\n", j.ID, err)
+			// Submit everything due and re-plan the queue, as one journal
+			// command unit: crash recovery lands before or after the whole
+			// arrival batch, never between a submit and its cycle.
+			l.s.Atomic(func() {
+				for l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
+					j := l.jobs[l.i]
+					if _, err := l.s.SubmitPriority(j.ID, j.Jobspec(), j.Priority); err != nil {
+						fmt.Fprintf(l.out, "job %d rejected: %v\n", j.ID, err)
+					}
+					l.i++
 				}
-				l.i++
-			}
-			l.s.Schedule()
+				l.s.Schedule()
+			})
 			continue
 		}
 		// Next event: the earlier of the next arrival and the next
@@ -149,14 +183,6 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if spec == nil {
 		spec = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
 	}
-	g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
-	if err != nil {
-		return nil, err
-	}
-	f, err := fluxion.New(fluxion.WithGraph(g), fluxion.WithPolicy(cfg.MatchPolicy))
-	if err != nil {
-		return nil, err
-	}
 	qp := cfg.QueuePolicy
 	if qp == "" {
 		qp = sched.Conservative
@@ -172,9 +198,63 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
 	}
 	sopts = append(sopts, sched.WithIncremental(!cfg.FullRequeue))
-	s, err := sched.New(f.Traverser(), qp, sopts...)
-	if err != nil {
-		return nil, err
+
+	fresh := func() (*fluxion.Fluxion, *sched.Scheduler, error) {
+		g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := fluxion.New(fluxion.WithGraph(g), fluxion.WithPolicy(cfg.MatchPolicy))
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sched.New(f.Traverser(), qp, sopts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, s, nil
+	}
+
+	var st *durable.Store
+	var f *fluxion.Fluxion
+	var s *sched.Scheduler
+	recovered := false
+	if cfg.WALDir != "" {
+		var err error
+		st, err = durable.Open(durable.Options{
+			Dir:           cfg.WALDir,
+			SyncInterval:  cfg.WALSyncInterval,
+			SnapshotEvery: cfg.SnapshotEvery,
+			KeepAll:       cfg.WALKeepAll,
+			Faults:        cfg.WALFaults,
+			Warn:          out,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		if st.Recovered() {
+			f, s, err = st.Restore(fresh, []fluxion.Option{
+				fluxion.WithPolicy(cfg.MatchPolicy),
+				fluxion.WithPruneSpec(spec),
+				fluxion.WithHorizon(simHorizon),
+			}, sopts)
+			if err != nil {
+				return nil, fmt.Errorf("simcli: wal recovery: %w", err)
+			}
+			recovered = true
+			fmt.Fprintf(out, "wal: recovered %s\n", st.Stats())
+		}
+	}
+	if s == nil {
+		var err error
+		if f, s, err = fresh(); err != nil {
+			return nil, err
+		}
+	}
+	g := f.Graph()
+	if st != nil {
+		st.Attach(f, s)
 	}
 
 	mp := cfg.MatchPolicy
@@ -192,12 +272,33 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	}
 
 	l := &looper{s: s, jobs: jobs, out: out, max: cfg.MaxSteps}
+	if recovered {
+		// Skip the trace prefix the recovered state already ingested: an
+		// arrival batch commits atomically, so the submitted prefix is
+		// contiguous.
+		for l.i < len(jobs) {
+			if _, ok := s.Job(jobs[l.i].ID); !ok {
+				break
+			}
+			l.i++
+		}
+		fmt.Fprintf(out, "wal: resuming at t=%d with %d of %d arrivals ingested\n",
+			s.Now(), l.i, len(jobs))
+	}
 	var inj *injector
 	if cfg.MTBF > 0 {
 		inj = newInjector(s, cfg.FaultSeed, cfg.MTBF, cfg.MTTR)
 		inj.more = func() bool { return l.i < len(l.jobs) || s.Unfinished() > 0 }
-		if err := inj.start(g); err != nil {
-			return nil, err
+		if !recovered {
+			// Seed each node's first failure as one journal command; a
+			// recovered run's pending events travel in the checkpoint and
+			// replay, and future delays are pure functions of (seed, node,
+			// time), so the fault timeline continues exactly.
+			var ierr error
+			s.Atomic(func() { ierr = inj.start(g) })
+			if ierr != nil {
+				return nil, ierr
+			}
 		}
 		fmt.Fprintf(out, "faults: seed=%d mtbf=%ds mttr=%ds over %d nodes\n",
 			cfg.FaultSeed, cfg.MTBF, cfg.MTTR, len(g.ByType("node")))
@@ -214,6 +315,7 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		}
 		if l.i < len(jobs) || s.HasEvents() {
 			cp = &drillCheckpoint{i: l.i, steps: l.steps}
+			var err error
 			if cp.resource, err = f.Checkpoint(); err != nil {
 				return nil, err
 			}
@@ -237,14 +339,23 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if inj != nil {
 		fmt.Fprintf(out, "faults injected: downs=%d ups=%d\n", inj.downs, inj.ups)
 	}
-	st := s.Stats()
+	ss := s.Stats()
 	fmt.Fprintf(out, "sched: %d cycles, %d match attempts, %d woken, %d skipped\n",
-		st.Cycles, st.MatchAttempts, st.WokenJobs, st.SkippedJobs)
+		ss.Cycles, ss.MatchAttempts, ss.WokenJobs, ss.SkippedJobs)
 	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), s.Cycles)
 
-	res := &Result{Completed: m.Completed, Metrics: m, Scheduler: s}
+	res := &Result{Completed: m.Completed, Metrics: m, Scheduler: s, Fluxion: f}
+	if st != nil {
+		res.Recovered = recovered
+		res.Recovery = st.Stats()
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(out, "wal: %v\n", err)
+		}
+		res.WALDegraded = st.Degraded()
+	}
 	if cp != nil {
 		res.DrillRan = true
+		var err error
 		res.DrillOK, err = runDrill(cfg, spec, jobs, cp, s, out)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// nullSyncer discards writes so the benchmark measures the append path
+// (framing, CRC, buffering), not the disk.
+type nullSyncer struct{}
+
+func (nullSyncer) Write(p []byte) (int, error) { return len(p), nil }
+func (nullSyncer) Sync() error                 { return nil }
+func (nullSyncer) Close() error                { return nil }
+
+// BenchmarkWALAppend gates the per-record append path: group commit
+// means the hot scheduling loop only frames and buffers, so this must
+// stay allocation-free and in the tens of nanoseconds.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	o := Options{
+		SyncInterval: time.Hour, // flusher never fires during the run
+		SegmentBytes: 1 << 40,
+		NewSyncer:    func(string) (WriteSyncer, error) { return nullSyncer{}, nil },
+	}
+	l, err := Open(dir, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(byte(i%7+1), i%8 == 7, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package wal
+
+// Offline inspection of a closed log directory, used by the crash-drill
+// harness: Frames enumerates every committed record boundary with its
+// file offset so a drill can truncate the directory at each one and
+// assert that recovery from the truncated copy reproduces the uncrashed
+// run exactly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FramePos locates one record in a log directory.
+type FramePos struct {
+	// Path is the segment file holding the record.
+	Path string
+	// LSN is the record's log sequence number.
+	LSN uint64
+	// Start and End are the record's byte offsets within Path;
+	// truncating Path at End (and removing later segments) simulates a
+	// crash immediately after this record reached disk.
+	Start, End int64
+	// Type and Commit echo the frame header.
+	Type   byte
+	Commit bool
+}
+
+// Frames lists every valid record in dir's segments in LSN order. It
+// reads the files as they are — no truncation or repair — stopping each
+// segment at its first invalid frame. Intended for tests and drills.
+func Frames(dir string) ([]FramePos, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	var out []FramePos
+	for _, p := range names {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		if len(data) < segHeaderSize || string(data[:8]) != segMagic {
+			continue
+		}
+		lsn := binary.LittleEndian.Uint64(data[8:16])
+		off := segHeaderSize
+		for off < len(data) {
+			typ, commit, _, next, ok := parseFrame(data, off, DefaultMaxRecord)
+			if !ok {
+				break
+			}
+			out = append(out, FramePos{Path: p, LSN: lsn, Start: int64(off),
+				End: int64(next), Type: typ, Commit: commit})
+			off = next
+			lsn++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out, nil
+}
+
+// SnapshotPos locates one snapshot file.
+type SnapshotPos struct {
+	Path string
+	LSN  uint64
+}
+
+// Snapshots lists the valid snapshots in dir, newest first.
+func Snapshots(dir string) ([]SnapshotPos, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	var out []SnapshotPos
+	for _, p := range names {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		if lsn, _, ok := parseSnapshot(data); ok {
+			out = append(out, SnapshotPos{Path: p, LSN: lsn})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN > out[j].LSN })
+	return out, nil
+}
+
+// TruncateAt simulates a crash at frame boundary (or mid-frame) offset
+// `at` in file path, removing every segment and snapshot in dir that
+// could let recovery see past that point: later segments, and snapshots
+// covering an LSN beyond boundLSN. Drills call this on a copy of a live
+// log directory.
+func TruncateAt(dir, path string, at int64, boundLSN uint64) error {
+	if err := os.Truncate(path, at); err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	var cutFirst uint64
+	if data, err := os.ReadFile(path); err == nil && len(data) >= segHeaderSize {
+		cutFirst = binary.LittleEndian.Uint64(data[8:16])
+	}
+	for _, p := range segs {
+		if p == path {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), "%016x.wal", &first); err != nil {
+			continue
+		}
+		if first > cutFirst {
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("%w: %v", ErrWAL, err)
+			}
+		}
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if s.LSN > boundLSN {
+			if err := os.Remove(s.Path); err != nil {
+				return fmt.Errorf("%w: %v", ErrWAL, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package wal
+
+// Snapshot files are the checkpoint half of the snapshot-plus-log
+// scheme. Each is a single self-checking blob:
+//
+//	8 bytes  magic "FXSNAP01"
+//	u64 LE   LSN the snapshot covers through
+//	u32 LE   payload length
+//	u32 LE   CRC32C of the payload
+//	...      payload (opaque to this package)
+//
+// Files are named snap-%016x.snap by covered LSN and written to a
+// temporary name first, then renamed, so a crash mid-write leaves
+// either no file or a torn temp file — never a half-valid snapshot
+// under the final name. A torn or CRC-failing snapshot is removed at
+// Open and recovery falls back to the next-newest one, which is why
+// retention keeps at least two.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+const (
+	snapMagic      = "FXSNAP01" // 8 bytes
+	snapHeaderSize = 24         // magic + u64 lsn + u32 len + u32 crc
+)
+
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+// parseSnapshot validates a snapshot blob and returns its covered LSN
+// and payload.
+func parseSnapshot(data []byte) (lsn uint64, payload []byte, ok bool) {
+	if len(data) < snapHeaderSize || string(data[:8]) != snapMagic {
+		return 0, nil, false
+	}
+	lsn = binary.LittleEndian.Uint64(data[8:16])
+	n := int(binary.LittleEndian.Uint32(data[16:20]))
+	want := binary.LittleEndian.Uint32(data[20:24])
+	if len(data) != snapHeaderSize+n {
+		return 0, nil, false
+	}
+	payload = data[snapHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, false
+	}
+	return lsn, payload, true
+}
+
+// loadSnapshots scans the directory for snapshot files, removes invalid
+// ones (counting their bytes as truncated), and loads the newest valid
+// payload.
+func (l *Log) loadSnapshots() error {
+	names, err := filepath.Glob(filepath.Join(l.dir, "snap-*.snap"))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	// Stray temp files from a crashed SaveSnapshot.
+	if tmps, err := filepath.Glob(filepath.Join(l.dir, "snap-*.tmp")); err == nil {
+		for _, p := range tmps {
+			if fi, err := os.Stat(p); err == nil {
+				l.stats.TruncatedBytes += fi.Size()
+			}
+			_ = os.Remove(p)
+		}
+	}
+	for _, p := range names {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		lsn, payload, ok := parseSnapshot(data)
+		if !ok || snapName(lsn) != filepath.Base(p) {
+			l.stats.TruncatedBytes += int64(len(data))
+			_ = os.Remove(p)
+			continue
+		}
+		l.snaps = append(l.snaps, snapInfo{path: p, lsn: lsn})
+		if lsn > l.snapLSN {
+			l.snapLSN = lsn
+			l.snapshot = payload
+		}
+	}
+	sort.Slice(l.snaps, func(i, j int) bool { return l.snaps[i].lsn > l.snaps[j].lsn })
+	if l.snapLSN > 0 {
+		if fi, err := os.Stat(filepath.Join(l.dir, snapName(l.snapLSN))); err == nil {
+			l.stats.SnapshotAge = time.Since(fi.ModTime())
+		}
+		l.nextLSN = l.snapLSN + 1
+	}
+	return nil
+}
+
+// SaveSnapshot durably writes payload as a snapshot covering every
+// record appended so far, then retires snapshots and segments made
+// redundant by it: the newest KeepSnapshots snapshots survive, plus any
+// segment that may still hold records after the oldest survivor's LSN.
+// The active segment is rotated first so retirement can consider it.
+func (l *Log) SaveSnapshot(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	lsn := l.nextLSN - 1
+	final := filepath.Join(l.dir, snapName(lsn))
+	tmp := final + ".tmp"
+	w, err := l.o.NewSyncer(tmp)
+	if err != nil {
+		return l.fail(err)
+	}
+	hdr := make([]byte, snapHeaderSize, snapHeaderSize+len(payload))
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, castagnoli))
+	blob := append(hdr, payload...)
+	n, werr := w.Write(blob)
+	if werr == nil && n < len(blob) {
+		werr = fmt.Errorf("short write (%d of %d bytes)", n, len(blob))
+	}
+	if werr == nil {
+		werr = w.Sync()
+	}
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return l.fail(werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return l.fail(err)
+	}
+	l.snaps = append([]snapInfo{{path: final, lsn: lsn}}, l.snaps...)
+	l.snapLSN = lsn
+	l.snapshot = append([]byte(nil), payload...)
+	l.compactLocked()
+	return nil
+}
+
+// compactLocked deletes snapshots beyond the retention count and
+// segments whose records are all covered by the oldest retained
+// snapshot. Deletion failures are ignored: a leftover file replays as a
+// no-op or is retried next time.
+func (l *Log) compactLocked() {
+	if l.o.KeepAll {
+		return
+	}
+	for len(l.snaps) > l.o.KeepSnapshots {
+		last := l.snaps[len(l.snaps)-1]
+		_ = os.Remove(last.path)
+		l.snaps = l.snaps[:len(l.snaps)-1]
+	}
+	oldest := l.snaps[len(l.snaps)-1].lsn
+	// A closed segment holds records [first, nextSegFirst); it is
+	// redundant when every one of them is ≤ the oldest retained
+	// snapshot's LSN, i.e. when the *next* segment starts at or before
+	// oldest+1.
+	keep := l.segs[:0]
+	for i, s := range l.segs {
+		next := l.curFirst
+		if i+1 < len(l.segs) {
+			next = l.segs[i+1].first
+		}
+		if next <= oldest+1 {
+			_ = os.Remove(s.path)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	l.segs = keep
+}

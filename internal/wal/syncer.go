@@ -1,0 +1,75 @@
+package wal
+
+// Storage fault injection. FaultPlan wraps the default file syncer with
+// deterministic failure triggers — short writes, write errors, fsync
+// errors — counted globally across every file the log opens, so a test
+// can say "the 3rd write anywhere fails" and exercise the sticky-error
+// degradation path regardless of segment rotation timing. Bit flips and
+// torn tails are applied to files at rest by test helpers instead (see
+// Frames), since they model post-crash on-disk damage rather than
+// failing syscalls.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// ErrInjected marks failures produced by a FaultPlan.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultPlan builds WriteSyncers that fail on demand. Counters are
+// global across all files created through the plan and start at 1.
+// Zero-valued triggers never fire.
+type FaultPlan struct {
+	// FailWriteAt makes the Nth Write call return an error.
+	FailWriteAt int64
+	// ShortWriteAt makes the Nth Write call write only half its input
+	// (to the underlying file) and report the truncated count.
+	ShortWriteAt int64
+	// FailSyncAt makes the Nth Sync call return an error.
+	FailSyncAt int64
+
+	writes int64
+	syncs  int64
+}
+
+// NewSyncer is an Options.NewSyncer implementation applying the plan.
+func (p *FaultPlan) NewSyncer(path string) (WriteSyncer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, plan: p}, nil
+}
+
+type faultFile struct {
+	f    *os.File
+	plan *FaultPlan
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	n := atomic.AddInt64(&w.plan.writes, 1)
+	if w.plan.FailWriteAt != 0 && n == w.plan.FailWriteAt {
+		return 0, fmt.Errorf("%w: write #%d", ErrInjected, n)
+	}
+	if w.plan.ShortWriteAt != 0 && n == w.plan.ShortWriteAt {
+		half := len(p) / 2
+		if _, err := w.f.Write(p[:half]); err != nil {
+			return 0, err
+		}
+		return half, nil
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	n := atomic.AddInt64(&w.plan.syncs, 1)
+	if w.plan.FailSyncAt != 0 && n == w.plan.FailSyncAt {
+		return fmt.Errorf("%w: fsync #%d", ErrInjected, n)
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -1,0 +1,547 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testOptions syncs on every commit (no background flusher) so tests
+// are deterministic about what reached disk.
+func testOptions() Options {
+	return Options{SyncInterval: -1}
+}
+
+func mustOpen(t *testing.T, dir string, o Options) *Log {
+	t.Helper()
+	l, err := Open(dir, o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, commitEvery int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d", i))
+		commit := commitEvery > 0 && (i+1)%commitEvery == 0
+		if _, err := l.Append(byte(i%7+1), commit, payload); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(r Record) error { out = append(out, r); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	appendN(t, l, 10, 2)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Errorf("record %d: LSN %d, want %d", i, r.LSN, i+1)
+		}
+		want := fmt.Sprintf("record-%03d", i)
+		if string(r.Payload) != want {
+			t.Errorf("record %d: payload %q, want %q", i, r.Payload, want)
+		}
+		if r.Commit != ((i+1)%2 == 0) {
+			t.Errorf("record %d: commit %v", i, r.Commit)
+		}
+		if r.Type != byte(i%7+1) {
+			t.Errorf("record %d: type %d", i, r.Type)
+		}
+	}
+	st := l2.Stats()
+	if st.RecordsReplayed != 10 || st.TruncatedBytes != 0 || st.LastLSN != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUncommittedTailRollback(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	appendN(t, l, 6, 3) // commits at 3 and 6
+	// Three trailing records with no commit flag.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, false, []byte("uncommitted")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6 (uncommitted tail dropped)", len(recs))
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("expected TruncatedBytes > 0 for rolled-back tail")
+	}
+	// New appends continue the LSN sequence from the last commit.
+	lsn, err := l2.Append(1, true, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 7 {
+		t.Errorf("post-recovery LSN = %d, want 7", lsn)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 3, frameHeaderSize - 1} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, testOptions())
+			appendN(t, l, 5, 1)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("segments: %v %v", segs, err)
+			}
+			// Tear the tail of the only populated segment.
+			p := segs[0]
+			fi, _ := os.Stat(p)
+			if err := os.Truncate(p, fi.Size()-int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := mustOpen(t, dir, testOptions())
+			defer l2.Close()
+			recs := collect(t, l2)
+			if len(recs) != 4 {
+				t.Fatalf("replayed %d records, want 4 after torn tail", len(recs))
+			}
+			if st := l2.Stats(); st.TruncatedBytes == 0 {
+				t.Error("expected TruncatedBytes > 0")
+			}
+		})
+	}
+}
+
+func TestBitFlipTruncatesFromCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	appendN(t, l, 8, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := Frames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 8 {
+		t.Fatalf("Frames = %d, want 8", len(frames))
+	}
+	// Flip one payload byte in the 5th record: records 5..8 must go.
+	f := frames[4]
+	data, _ := os.ReadFile(f.Path)
+	data[f.Start+frameHeaderSize] ^= 0x40
+	if err := os.WriteFile(f.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4 after bit flip in record 5", len(recs))
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("expected TruncatedBytes > 0")
+	}
+}
+
+func TestSegmentRotationAndContinuity(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.SegmentBytes = 1 // rotate after every commit
+	l := mustOpen(t, dir, o)
+	appendN(t, l, 9, 3) // three commit units -> three populated segments
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want >= 3", len(segs))
+	}
+	l2 := mustOpen(t, dir, o)
+	defer l2.Close()
+	if recs := collect(t, l2); len(recs) != 9 {
+		t.Fatalf("replayed %d records across segments, want 9", len(recs))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	appendN(t, l, 6, 3)
+	payload := []byte(`{"state":"through-6"}`)
+	if err := l.SaveSnapshot(payload); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	appendN(t, l, 4, 2) // LSNs 7..10
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	lsn, got, ok := l2.Snapshot()
+	if !ok || lsn != 6 || !bytes.Equal(got, payload) {
+		t.Fatalf("Snapshot = (%d, %q, %v), want (6, %q, true)", lsn, got, ok, payload)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 4 || recs[0].LSN != 7 {
+		t.Fatalf("replay after snapshot: %d records first LSN %d, want 4 from 7",
+			len(recs), recs[0].LSN)
+	}
+	st := l2.Stats()
+	if st.SnapshotLSN != 6 || st.RecordsReplayed != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTornSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, testOptions())
+	appendN(t, l, 4, 2)
+	if err := l.SaveSnapshot([]byte("old-snap")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4, 2)
+	if err := l.SaveSnapshot([]byte("new-snap")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot.
+	newest := filepath.Join(dir, snapName(8))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	lsn, got, ok := l2.Snapshot()
+	if !ok || lsn != 4 || string(got) != "old-snap" {
+		t.Fatalf("Snapshot = (%d, %q, %v), want fallback to (4, old-snap)", lsn, got, ok)
+	}
+	// Records 5..8 must still replay on top of the older snapshot.
+	if recs := collect(t, l2); len(recs) != 4 || recs[0].LSN != 5 {
+		t.Fatalf("replay = %d records from LSN %v, want 4 from 5", len(recs), recs)
+	}
+}
+
+func TestSnapshotCompactionRetiresSegments(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.SegmentBytes = 1 // segment per commit
+	l := mustOpen(t, dir, o)
+	for round := 0; round < 4; round++ {
+		appendN(t, l, 3, 3)
+		if err := l.SaveSnapshot([]byte(fmt.Sprintf("snap-%d", round))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != DefaultKeepSnapshots {
+		t.Fatalf("kept %d snapshots, want %d", len(snaps), DefaultKeepSnapshots)
+	}
+	// Segments covered by the oldest kept snapshot (LSN 6) are gone.
+	frames, err := Frames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if f.LSN <= snaps[len(snaps)-1].LSN {
+			t.Errorf("segment record LSN %d survived compaction below snapshot %d",
+				f.LSN, snaps[len(snaps)-1].LSN)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted directory still recovers to the same state.
+	l2 := mustOpen(t, dir, o)
+	defer l2.Close()
+	if lsn, got, ok := l2.Snapshot(); !ok || lsn != 12 || string(got) != "snap-3" {
+		t.Fatalf("Snapshot after compaction = (%d, %q, %v)", lsn, got, ok)
+	}
+	if recs := collect(t, l2); len(recs) != 0 {
+		t.Fatalf("replay = %d records, want 0 (snapshot current)", len(recs))
+	}
+}
+
+func TestMissingPrefixIsError(t *testing.T) {
+	// A gap between the snapshot and the oldest surviving post-snapshot
+	// record is unrecoverable: the surviving records cannot be applied
+	// consistently on top of the snapshot, so Open must refuse rather
+	// than silently skip committed state.
+	dir := t.TempDir()
+	o := testOptions()
+	o.SegmentBytes = 1 // rotate after every commit: one record per segment
+	l := mustOpen(t, dir, o)
+	appendN(t, l, 2, 1)
+	if err := l.SaveSnapshot([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4, 1) // LSNs 3..6, one segment each
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segName(3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, o); err == nil || !errors.Is(err, ErrWAL) {
+		t.Fatalf("Open = %v, want wrapped ErrWAL for missing log prefix", err)
+	}
+}
+
+func TestIntraLogHoleDropsSuffix(t *testing.T) {
+	// A hole in the middle of the log (a deleted segment) truncates
+	// everything at and after the hole, like tail corruption would.
+	dir := t.TempDir()
+	o := testOptions()
+	o.SegmentBytes = 1
+	l := mustOpen(t, dir, o)
+	appendN(t, l, 6, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, segName(3))); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, o)
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 2 {
+		t.Fatalf("replay = %d records, want 2 (suffix past hole dropped)", len(recs))
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("expected TruncatedBytes > 0 for dropped suffix")
+	}
+}
+
+func TestFaultInjectionStickyError(t *testing.T) {
+	t.Run("fsync", func(t *testing.T) {
+		plan := &FaultPlan{FailSyncAt: 2}
+		o := testOptions()
+		o.NewSyncer = plan.NewSyncer
+		l := mustOpen(t, t.TempDir(), o)
+		defer l.Close()
+		var appendErr error
+		for i := 0; i < 10 && appendErr == nil; i++ {
+			_, appendErr = l.Append(1, true, []byte("x"))
+		}
+		if appendErr == nil {
+			t.Fatal("no error after injected fsync failure")
+		}
+		if !errors.Is(appendErr, ErrWAL) {
+			t.Errorf("error %v does not wrap ErrWAL", appendErr)
+		}
+		if l.Err() == nil {
+			t.Error("error not sticky")
+		}
+		if _, err := l.Append(1, true, []byte("y")); !errors.Is(err, ErrWAL) {
+			t.Errorf("append after failure = %v, want wrapped ErrWAL", err)
+		}
+	})
+	t.Run("short-write", func(t *testing.T) {
+		plan := &FaultPlan{ShortWriteAt: 3}
+		o := testOptions()
+		o.NewSyncer = plan.NewSyncer
+		l := mustOpen(t, t.TempDir(), o)
+		defer l.Close()
+		var appendErr error
+		for i := 0; i < 10 && appendErr == nil; i++ {
+			_, appendErr = l.Append(1, true, []byte("payload-payload-payload"))
+		}
+		if !errors.Is(appendErr, ErrWAL) {
+			t.Fatalf("error %v, want wrapped ErrWAL after short write", appendErr)
+		}
+	})
+	t.Run("write", func(t *testing.T) {
+		plan := &FaultPlan{FailWriteAt: 2}
+		o := testOptions()
+		o.NewSyncer = plan.NewSyncer
+		l := mustOpen(t, t.TempDir(), o)
+		defer l.Close()
+		var appendErr error
+		for i := 0; i < 10 && appendErr == nil; i++ {
+			_, appendErr = l.Append(1, true, []byte("x"))
+		}
+		if !errors.Is(appendErr, ErrWAL) || !errors.Is(appendErr, ErrInjected) {
+			t.Fatalf("error %v, want wrapped ErrWAL+ErrInjected", appendErr)
+		}
+	})
+}
+
+// TestShortWriteRecovers proves a crash after a short write still
+// recovers: the torn frame truncates away and committed records before
+// it survive.
+func TestShortWriteRecovers(t *testing.T) {
+	dir := t.TempDir()
+	plan := &FaultPlan{ShortWriteAt: 3}
+	o := testOptions()
+	o.NewSyncer = plan.NewSyncer
+	l := mustOpen(t, dir, o)
+	n := 0
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(1, true, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			break
+		}
+		n++
+	}
+	_ = l.Close() // may report the sticky error; the files are what matter
+
+	l2 := mustOpen(t, dir, testOptions())
+	defer l2.Close()
+	recs := collect(t, l2)
+	// The torn half-frame was the failed append: everything that
+	// succeeded survives, the tear truncates away.
+	if len(recs) != n || n == 0 {
+		t.Fatalf("recovered %d records after short write, want the %d successful appends", len(recs), n)
+	}
+	if st := l2.Stats(); st.TruncatedBytes == 0 {
+		t.Error("expected TruncatedBytes > 0 for the torn half-frame")
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("rec-%d", i); string(r.Payload) != want {
+			t.Errorf("record %d = %q, want %q", i, r.Payload, want)
+		}
+	}
+}
+
+func TestAppendAllocationFree(t *testing.T) {
+	o := Options{SyncInterval: 1e9, SegmentBytes: 1 << 40}
+	l := mustOpen(t, t.TempDir(), o)
+	defer l.Close()
+	payload := bytes.Repeat([]byte("p"), 64)
+	// Warm the buffer past its high-water mark.
+	for i := 0; i < 100; i++ {
+		if _, err := l.Append(1, i%8 == 7, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := l.Append(1, false, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.1 {
+		t.Errorf("Append allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestMaxRecordRejected(t *testing.T) {
+	o := testOptions()
+	o.MaxRecord = 16
+	l := mustOpen(t, t.TempDir(), o)
+	defer l.Close()
+	if _, err := l.Append(1, true, make([]byte, 17)); !errors.Is(err, ErrWAL) {
+		t.Fatalf("oversized append = %v, want wrapped ErrWAL", err)
+	}
+	if l.Err() != nil {
+		t.Error("oversized append must not poison the log")
+	}
+}
+
+func TestTruncateAtEveryBoundary(t *testing.T) {
+	// For every committed frame boundary, truncating there and
+	// recovering yields exactly the records up to the last commit at or
+	// before the boundary.
+	refDir := t.TempDir()
+	o := testOptions()
+	o.SegmentBytes = 256
+	l := mustOpen(t, refDir, o)
+	appendN(t, l, 20, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := Frames(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 20 {
+		t.Fatalf("Frames = %d, want 20", len(frames))
+	}
+	for _, f := range frames {
+		f := f
+		t.Run(fmt.Sprintf("lsn-%d", f.LSN), func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, refDir, dir)
+			if err := TruncateAt(dir, filepath.Join(dir, filepath.Base(f.Path)), f.End, f.LSN); err != nil {
+				t.Fatal(err)
+			}
+			l2 := mustOpen(t, dir, o)
+			defer l2.Close()
+			recs := collect(t, l2)
+			wantLast := f.LSN - f.LSN%2 // commits every 2nd record
+			if f.Commit {
+				wantLast = f.LSN
+			}
+			if uint64(len(recs)) != wantLast {
+				t.Fatalf("boundary %d: recovered %d records, want %d", f.LSN, len(recs), wantLast)
+			}
+		})
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
