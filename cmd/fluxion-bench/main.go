@@ -8,6 +8,7 @@
 //	fluxion-bench -experiment parmatch  # parallel match pipeline sweep
 //	fluxion-bench -experiment increment # incremental vs full-requeue engines
 //	fluxion-bench -experiment recovery  # WAL crash-recovery time vs log length
+//	fluxion-bench -experiment chaos     # self-defense survival vs fault intensity
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | recovery | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | recovery | chaos | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -47,6 +48,7 @@ func main() {
 		incJobs    = flag.Int("increment-jobs", 512, "queue depth for the incremental-scheduling study")
 		recJobs    = flag.Int("recovery-jobs", 512, "queue depth for the WAL recovery study")
 		recPoints  = flag.Int("recovery-points", 8, "log-length sample points for the WAL recovery study")
+		chaosJobs  = flag.Int("chaos-jobs", 200, "trace length for the chaos self-defense study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -170,8 +172,19 @@ func main() {
 		writeCSV("recovery.csv", func(w *os.File) error { return experiments.WriteRecoveryCSV(w, results) })
 		fmt.Printf("(recovery experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("chaos") {
+		ran = true
+		cfg := experiments.DefaultChaos()
+		cfg.Jobs = *chaosJobs
+		start := time.Now()
+		results, err := experiments.RunChaos(cfg)
+		fail(err)
+		experiments.PrintChaos(os.Stdout, results, cfg)
+		writeCSV("chaos.csv", func(w *os.File) error { return experiments.WriteChaosCSV(w, results) })
+		fmt.Printf("(chaos experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, recovery, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, recovery, chaos, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"fluxion/internal/chaos"
 	"fluxion/internal/grug"
 	"fluxion/internal/resgraph"
 	"fluxion/internal/sched"
@@ -46,6 +48,19 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "durable state directory: journal every mutation to a write-ahead log and recover prior state on start")
 		walSync    = flag.Duration("wal-sync-interval", 0, "WAL group-commit fsync cadence (0 = 10ms default; negative = fsync every command)")
 		snapEvery  = flag.Int("snapshot-every", 0, "commands between WAL snapshots (0 = default 4096)")
+
+		chaosSeed      = flag.Int64("chaos-seed", 1, "chaos schedule seed; same seed, same faults")
+		chaosPanics    = flag.Float64("chaos-panics", 0, "fraction of jobs whose match attempts panic")
+		chaosSlow      = flag.Float64("chaos-slow", 0, "fraction of jobs whose match attempts stall")
+		chaosSlowDelay = flag.Duration("chaos-slow-delay", time.Millisecond, "stall per slow match attempt")
+		chaosMalformed = flag.Float64("chaos-malformed", 0, "fraction of jobs submitted with malformed specs")
+		chaosDry       = flag.Bool("chaos-dry", false, "defense-free parity baseline: filter the chaos plan's poisoned jobs out of the trace and inject nothing")
+		defense        = flag.Bool("defense", true, "scheduler self-defense layer (panic fences, quarantine, watchdog, backpressure)")
+		matchDeadline  = flag.Duration("match-deadline", 0, "quarantine a job when a failed match attempt exceeds this (0 = off)")
+		cycleDeadline  = flag.Duration("cycle-deadline", 0, "cycle watchdog deadline driving the degradation ladder (0 = off)")
+		conflictLimit  = flag.Int("conflict-limit", 0, "quarantine a job after N consecutive commit conflicts (0 = off)")
+		admitHigh      = flag.Int("admit-high", 0, "refuse submits above this pending-queue depth (0 = off)")
+		admitLow       = flag.Int("admit-low", 0, "re-admit below this depth (0 = admit-high/2)")
 	)
 	flag.Parse()
 
@@ -103,6 +118,26 @@ func main() {
 
 	spec, err := resgraph.ParsePruneSpec(*prune)
 	fail(err)
+	var plan *chaos.Plan
+	if *chaosPanics > 0 || *chaosSlow > 0 || *chaosMalformed > 0 {
+		plan = &chaos.Plan{
+			Seed:          *chaosSeed,
+			PanicFrac:     *chaosPanics,
+			SlowFrac:      *chaosSlow,
+			SlowDelay:     *chaosSlowDelay,
+			MalformedFrac: *chaosMalformed,
+		}
+	}
+	var dcfg *sched.DefenseConfig
+	if *defense && !*chaosDry {
+		dcfg = &sched.DefenseConfig{
+			MatchDeadline: *matchDeadline,
+			ConflictLimit: *conflictLimit,
+			CycleDeadline: *cycleDeadline,
+			AdmitHigh:     *admitHigh,
+			AdmitLow:      *admitLow,
+		}
+	}
 	res, err := simcli.Run(simcli.Config{
 		Recipe:       recipe,
 		PruneSpec:    spec,
@@ -121,6 +156,10 @@ func main() {
 		WALDir:          *walDir,
 		WALSyncInterval: *walSync,
 		SnapshotEvery:   *snapEvery,
+
+		Chaos:    plan,
+		ChaosDry: *chaosDry,
+		Defense:  dcfg,
 	}, jobs, os.Stdout)
 	fail(err)
 	if res.DrillRan && !res.DrillOK {

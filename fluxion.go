@@ -86,6 +86,9 @@ var (
 	ErrNoMatch    = traverser.ErrNoMatch
 	ErrUnknownJob = traverser.ErrUnknownJob
 	ErrExists     = traverser.ErrExists
+	// ErrUnknownType reports a jobspec requesting a resource type absent
+	// from this instance's graph (see ValidateSpec).
+	ErrUnknownType = traverser.ErrUnknownType
 )
 
 // DefaultHorizon is the planner horizon used unless WithHorizon overrides
@@ -506,6 +509,19 @@ func (f *Fluxion) Jobs() []int64 {
 // Traverser exposes the underlying traverser for advanced callers (e.g.
 // the sched package).
 func (f *Fluxion) Traverser() *traverser.Traverser { return f.tr }
+
+// ValidateSpec checks a jobspec against this instance before it reaches
+// the match kernel: structural well-formedness (positive counts, slot
+// shape, the nesting-depth cap) plus graph-aware checks — every
+// requested resource type must exist in the graph. Rejections wrap
+// jobspec.ErrInvalid or ErrUnknownType. Submitting through
+// internal/sched runs this automatically; direct Match callers can
+// screen hostile specs with it first.
+func (f *Fluxion) ValidateSpec(js *Jobspec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tr.ValidateSpec(js)
+}
 
 // Grow materializes a recipe subtree and attaches it beneath the vertex at
 // parentPath (elasticity, paper §5.5). It returns the new subtree root.

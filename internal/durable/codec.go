@@ -135,7 +135,7 @@ func (p *recReader) bytes(n uint64) []byte {
 // parse is an error, never a panic.
 func decodeRec(typ byte, payload []byte, r *sched.Rec) error {
 	kind := sched.RecKind(typ)
-	if kind == sched.RecInvalid || kind > sched.RecCommit {
+	if kind == sched.RecInvalid || kind > sched.RecUnquarantine {
 		return fmt.Errorf("%w: unknown record kind %d", wal.ErrWAL, typ)
 	}
 	*r = sched.Rec{Kind: kind}

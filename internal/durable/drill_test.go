@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"fluxion/internal/chaos"
 	"fluxion/internal/grug"
 	"fluxion/internal/sched"
 	"fluxion/internal/simcli"
@@ -280,4 +281,95 @@ func crashCopy(t *testing.T, src, framePath string, at int64, boundLSN uint64) (
 		return "", err
 	}
 	return dst, nil
+}
+
+// TestCrashDrillChaosQuarantine composes the chaos harness with the WAL:
+// a run whose jobs panic and submit malformed specs is crashed at
+// sampled record boundaries and recovered. Quarantine must survive
+// recovery — every panicking job is quarantined in the recovered run,
+// never resurrected into the pending queue — and the final state of
+// both layers must converge byte-for-byte with the uncrashed run.
+func TestCrashDrillChaosQuarantine(t *testing.T) {
+	jobs := trace.Synthesize(14, 2, 4, 23)
+	plan := &chaos.Plan{Seed: 13, PanicFrac: 0.25, MalformedFrac: 0.15}
+	mkCfg := func(dir string) simcli.Config {
+		cfg := drillConfig(sched.Conservative, dir)
+		cfg.Chaos = plan
+		return cfg
+	}
+	base := filepath.Join(t.TempDir(), "wal")
+	var want bytes.Buffer
+	cfg := mkCfg(base)
+	cfg.Timeline = true
+	res, err := simcli.Run(cfg, jobs, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler.Stats().Quarantined == 0 {
+		t.Fatal("chaos plan quarantined nothing; the drill proves nothing")
+	}
+	wantF, wantS, err := finalState(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := wal.Frames(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawQuarantineRec := false
+	for _, fr := range frames {
+		if sched.RecKind(fr.Type) == sched.RecQuarantine {
+			sawQuarantineRec = true
+		}
+	}
+	if !sawQuarantineRec {
+		t.Fatal("no RecQuarantine frame in the log")
+	}
+
+	stride := 3
+	if testing.Short() {
+		stride = 11
+	}
+	for i, fr := range frames {
+		if i%stride != 0 && i != len(frames)-1 {
+			continue
+		}
+		crash, err := crashCopy(t, base, fr.Path, fr.End, fr.LSN)
+		if err != nil {
+			t.Fatalf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+		}
+		ccfg := mkCfg(crash)
+		ccfg.Timeline = true
+		var got bytes.Buffer
+		rres, err := simcli.Run(ccfg, jobs, &got)
+		if err != nil {
+			t.Fatalf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+		}
+		gotF, gotS, err := finalState(rres)
+		if err != nil {
+			t.Fatalf("boundary %d (lsn %d): %v", i, fr.LSN, err)
+		}
+		if !bytes.Equal(gotF, wantF) || !bytes.Equal(gotS, wantS) {
+			t.Fatalf("boundary %d (lsn %d, %s): recovered state diverged",
+				i, fr.LSN, sched.RecKind(fr.Type))
+		}
+		if wantTL, gotTL := timelineLines(want.String()), timelineLines(got.String()); wantTL != gotTL {
+			t.Fatalf("boundary %d: timelines diverged\nuncrashed:\n%s\nrecovered:\n%s", i, wantTL, gotTL)
+		}
+		// Belt and suspenders beyond byte equality: poisoned jobs are
+		// quarantined, and quarantine never leaks back into the queue.
+		for _, j := range jobs {
+			rj, ok := rres.Scheduler.Job(j.ID)
+			switch {
+			case plan.Malformed(j.ID):
+				if ok {
+					t.Fatalf("boundary %d: malformed job %d present after recovery", i, j.ID)
+				}
+			case plan.Panics(j.ID):
+				if !ok || rj.State != sched.StateQuarantined {
+					t.Fatalf("boundary %d: panicking job %d not quarantined after recovery", i, j.ID)
+				}
+			}
+		}
+	}
 }

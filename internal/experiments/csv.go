@@ -175,6 +175,36 @@ func WriteRecoveryCSV(w io.Writer, results []RecoveryResult) error {
 	return cw.Error()
 }
 
+// WriteChaosCSV renders the E9 fault-intensity sweep.
+func WriteChaosCSV(w io.Writer, results []ChaosResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"intensity", "clean", "survived", "survival_rate",
+		"quarantined", "invalid_rejects", "overload_rejects",
+		"cycles", "degraded_cycles", "degraded_frac", "wall_ns"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.FormatFloat(r.Intensity, 'f', 2, 64),
+			strconv.Itoa(r.Clean),
+			strconv.Itoa(r.Survived),
+			strconv.FormatFloat(r.SurvivalRate, 'f', 4, 64),
+			strconv.FormatInt(r.Quarantined, 10),
+			strconv.FormatInt(r.InvalidRejects, 10),
+			strconv.FormatInt(r.OverloadRejects, 10),
+			strconv.FormatInt(r.Cycles, 10),
+			strconv.FormatInt(r.DegradedCycles, 10),
+			strconv.FormatFloat(r.DegradedFrac, 'f', 4, 64),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteIncrementCSV renders the E7 engine-comparison rows.
 func WriteIncrementCSV(w io.Writer, results []IncrementResult) error {
 	cw := csv.NewWriter(w)

@@ -251,6 +251,57 @@ func TestRecoverySmallScale(t *testing.T) {
 	}
 }
 
+func TestChaosSmallScale(t *testing.T) {
+	cfg := DefaultChaos()
+	cfg.Jobs = 40
+	cfg.Intensities = []float64{0, 0.3}
+	results, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cfg.Intensities) {
+		t.Fatalf("rows = %d", len(results))
+	}
+	calm, hostile := results[0], results[1]
+	if calm.Clean != cfg.Jobs || calm.Quarantined != 0 || calm.InvalidRejects != 0 {
+		t.Fatalf("intensity 0 not calm: %+v", calm)
+	}
+	// The headline contract: every clean job survives at every intensity.
+	for _, r := range results {
+		if r.SurvivalRate != 1.0 {
+			t.Errorf("intensity %.2f: survival %.3f (%d of %d clean)",
+				r.Intensity, r.SurvivalRate, r.Survived, r.Clean)
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("intensity %.2f: no cycles recorded", r.Intensity)
+		}
+	}
+	// At 0.3 the plan must actually have poisoned something, and the
+	// defenses must have absorbed it one way or the other.
+	if hostile.Clean >= cfg.Jobs {
+		t.Fatalf("intensity 0.3 poisoned nothing")
+	}
+	if hostile.Quarantined+hostile.InvalidRejects == 0 {
+		t.Fatalf("intensity 0.3 absorbed no offenders: %+v", hostile)
+	}
+
+	var buf bytes.Buffer
+	PrintChaos(&buf, results, cfg)
+	if !strings.Contains(buf.String(), "quarantined") {
+		t.Fatalf("table: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteChaosCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1+len(results) {
+		t.Fatalf("chaos csv lines = %d\n%s", lines, buf.String())
+	}
+	if !strings.HasPrefix(buf.String(), "intensity,clean,survived,survival_rate") {
+		t.Fatalf("chaos header: %s", buf.String())
+	}
+}
+
 func TestIncrementSmallScale(t *testing.T) {
 	cfg := IncrementConfig{Nodes: 4, Cores: 4, Jobs: 64, Duration: 50}
 	results, err := RunIncrement(cfg)

@@ -22,6 +22,12 @@ import (
 // Slot is the pseudo resource type marking the task container shape.
 const Slot = "slot"
 
+// MaxNestingDepth bounds how deep a request tree may nest. Real request
+// shapes are a handful of levels (cluster→rack→node→slot→core); the cap
+// stops adversarial or cycle-inducing nesting from driving the recursive
+// validator and compiler to unbounded depth.
+const MaxNestingDepth = 64
+
 // ErrInvalid is wrapped by all jobspec validation errors.
 var ErrInvalid = errors.New("jobspec: invalid")
 
@@ -128,13 +134,18 @@ func NodeLocal(nodes, slots, cores, memGB, bb, duration int64) *Jobspec {
 }
 
 // Validate checks structural well-formedness: positive counts, non-empty
-// types, slots that contain a shape, and no nested slots.
+// types, slots that contain a shape, no nested slots, and nesting no
+// deeper than MaxNestingDepth (a cyclic resource graph would otherwise
+// recurse forever).
 func (j *Jobspec) Validate() error {
 	if len(j.Resources) == 0 {
 		return fmt.Errorf("%w: empty resource section", ErrInvalid)
 	}
-	var walk func(r *Resource, inSlot bool) error
-	walk = func(r *Resource, inSlot bool) error {
+	var walk func(r *Resource, inSlot bool, depth int) error
+	walk = func(r *Resource, inSlot bool, depth int) error {
+		if depth > MaxNestingDepth {
+			return fmt.Errorf("%w: resource nesting exceeds depth %d", ErrInvalid, MaxNestingDepth)
+		}
 		if r.Type == "" {
 			return fmt.Errorf("%w: resource with empty type", ErrInvalid)
 		}
@@ -154,14 +165,14 @@ func (j *Jobspec) Validate() error {
 			inSlot = true
 		}
 		for _, c := range r.With {
-			if err := walk(c, inSlot); err != nil {
+			if err := walk(c, inSlot, depth+1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	for _, r := range j.Resources {
-		if err := walk(r, false); err != nil {
+		if err := walk(r, false, 1); err != nil {
 			return err
 		}
 	}

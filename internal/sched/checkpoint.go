@@ -43,6 +43,9 @@ type jobCheckpoint struct {
 	StartAt  int64  `json:"start_at,omitempty"`
 	EndAt    int64  `json:"end_at,omitempty"`
 	Retries  int    `json:"retries,omitempty"`
+	// Quarantine reason and message, present only for quarantined jobs.
+	Quarantine    string `json:"quarantine,omitempty"`
+	QuarantineMsg string `json:"quarantine_msg,omitempty"`
 }
 
 type eventCheckpoint struct {
@@ -71,11 +74,16 @@ func (s *Scheduler) Checkpoint() ([]byte, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		j := s.jobs[id]
-		cp.Jobs = append(cp.Jobs, jobCheckpoint{
+		jc := jobCheckpoint{
 			ID: j.ID, Submit: j.Submit, Priority: j.Priority,
 			State: j.State.String(), StartAt: j.StartAt, EndAt: j.EndAt,
 			Retries: j.Retries,
-		})
+		}
+		if j.State == StateQuarantined {
+			jc.Quarantine = j.Quarantine.String()
+			jc.QuarantineMsg = j.QuarantineMsg
+		}
+		cp.Jobs = append(cp.Jobs, jc)
 	}
 	for _, j := range s.pending {
 		cp.Pending = append(cp.Pending, j.ID)
@@ -131,10 +139,25 @@ func Resume(tr *traverser.Traverser, data []byte, specs map[int64]*jobspec.Jobsp
 			Retries: jc.Retries, Spec: specs[jc.ID],
 		}
 		switch state {
-		case StatePending, StateReserved, StateRunning:
+		case StatePending, StateReserved, StateRunning, StateQuarantined:
 			if job.Spec == nil {
 				return nil, fmt.Errorf("%w: job %d (%s) has no jobspec", ErrCheckpoint, jc.ID, state)
 			}
+		}
+		if state == StateQuarantined {
+			// Quarantine metadata must round-trip so the release API
+			// and inspection survive a restart. An absent reason (a
+			// hand-edited document) decodes as manual.
+			if jc.Quarantine == "" {
+				job.Quarantine = QuarantineManual
+			} else {
+				reason, err := parseQuarantineReason(jc.Quarantine)
+				if err != nil {
+					return nil, fmt.Errorf("%w: job %d: %v", ErrCheckpoint, jc.ID, err)
+				}
+				job.Quarantine = reason
+			}
+			job.QuarantineMsg = jc.QuarantineMsg
 		}
 		switch state {
 		case StateReserved, StateRunning:
@@ -151,10 +174,24 @@ func Resume(tr *traverser.Traverser, data []byte, specs map[int64]*jobspec.Jobsp
 		}
 		s.jobs[jc.ID] = job
 	}
+	seen := make(map[int64]bool, len(cp.Pending))
 	for _, id := range cp.Pending {
 		job, ok := s.jobs[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: pending queue references unknown job %d", ErrCheckpoint, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: pending queue lists job %d twice", ErrCheckpoint, id)
+		}
+		seen[id] = true
+		// Only schedulable jobs may sit in the queue: an adversarial or
+		// corrupted checkpoint must not resurrect quarantined (or
+		// terminal) jobs into pending.
+		switch job.State {
+		case StatePending, StateReserved:
+		default:
+			return nil, fmt.Errorf("%w: pending queue references job %d in state %s",
+				ErrCheckpoint, id, job.State)
 		}
 		s.pending = append(s.pending, job)
 	}

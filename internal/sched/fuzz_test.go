@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"testing"
+
+	"fluxion/internal/jobspec"
 )
 
 // FuzzResume feeds arbitrary bytes to Resume: corrupted checkpoints must
@@ -39,6 +41,50 @@ func FuzzResume(f *testing.F) {
 		// A resumed scheduler must be drivable.
 		resumed.Schedule()
 		for i := 0; i < 64 && resumed.Step(); i++ {
+		}
+	})
+}
+
+// FuzzSubmitSpec feeds arbitrary jobspec documents to Submit: the
+// validator must either accept the job or reject it with a typed error
+// (ErrInvalidSpec / ErrOverload) — never panic, and never let a hostile
+// spec reach the match kernel. The corpus seeds the rejection classes
+// the chaos harness's malformed-spec stream generates.
+func FuzzSubmitSpec(f *testing.F) {
+	seed := func(js *jobspec.Jobspec) { f.Add(js.YAML()) }
+	seed(nodeJob(1, 4, 50))                                                         // valid
+	seed(jobspec.New(60, jobspec.R("node", 0, jobspec.R("core", 1))))               // zero count
+	seed(jobspec.New(60, jobspec.R("node", 1, jobspec.R("core", -4))))              // negative count
+	seed(jobspec.New(60, jobspec.R("node", 1, jobspec.R("quantum-fpga", 2))))       // unknown type
+	seed(jobspec.New(60, jobspec.Moldable("node", 8, 2, jobspec.R("core", 1))))     // min > max
+	seed(jobspec.New(60, jobspec.R("node", 1, jobspec.SlotR(1))))                   // empty slot
+	seed(jobspec.New(60, jobspec.SlotR(1, jobspec.SlotR(1, jobspec.R("core", 1))))) // nested slot
+	seed(jobspec.New(60))                                                           // no resources
+	deep := jobspec.R("core", 1)
+	for i := 0; i < jobspec.MaxNestingDepth+8; i++ {
+		deep = jobspec.R("node", 1, deep)
+	}
+	seed(jobspec.New(60, deep)) // depth bomb
+	f.Add([]byte("version: 9999\nresources: []\n"))
+
+	s := journalSched(f, Conservative,
+		WithDefense(DefenseConfig{AdmitHigh: 64}))
+	id := int64(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		js, err := jobspec.ParseYAML(data)
+		if err != nil {
+			return
+		}
+		id++
+		if _, err := s.Submit(id, js); err != nil {
+			if !errors.Is(err, ErrInvalidSpec) && !errors.Is(err, ErrOverload) {
+				t.Fatalf("submit rejected with untyped error: %v", err)
+			}
+			return
+		}
+		// Accepted specs must survive a scheduling cycle and some draining.
+		s.Schedule()
+		for i := 0; i < 4 && s.Step(); i++ {
 		}
 	})
 }

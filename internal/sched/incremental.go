@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"time"
 
 	"fluxion/internal/traverser"
@@ -181,7 +182,10 @@ func (s *Scheduler) scheduleIncremental() {
 			}
 		}
 
-		if s.policy == FCFS && blockedSt == bYes {
+		if blockedSt == bYes && (s.policy == FCFS || s.shedBackfill()) {
+			// Behind a provably blocked head nothing matches under FCFS;
+			// the shed-backfill ladder rung extends the same fail-fast to
+			// EASY/conservative backfill probes.
 			if wakeAll {
 				job.sigOK = false
 			}
@@ -220,6 +224,14 @@ func (s *Scheduler) scheduleIncremental() {
 			}
 		}
 
+		if bound := s.attemptBound(); bound > 0 && len(attempts) >= bound {
+			// Degraded bounded wake: the cycle's attempt budget is
+			// spent. Keep the job pending untouched — valid reservations
+			// ahead stay installed, so shedding causes no demotion churn.
+			dirs = append(dirs, directive{job: job, kind: dirDepth, specIdx: -1})
+			continue
+		}
+
 		// Attempt. The full loop's match at this position runs with no
 		// reservation behind it in the planners; demote any that stand.
 		if resAhead > 0 {
@@ -239,7 +251,8 @@ func (s *Scheduler) scheduleIncremental() {
 	// blocked flag, exactly mirroring the full loop's outcome handling.
 	blocked := false
 	still := s.pending[:0]
-	parallel := s.matchWorkers > 1
+	workers := s.cycleWorkers() // sequential ladder rung forces 1
+	parallel := workers > 1
 	var specs []*traverser.Allocation
 	specDone := 0
 
@@ -271,7 +284,7 @@ func (s *Scheduler) scheduleIncremental() {
 			// Head position: attempt sequentially (no speculation).
 		case dirAttempt:
 			if parallel && int(d.specIdx) >= specDone && !(s.policy == FCFS && blocked) {
-				end := specDone + s.matchWorkers
+				end := specDone + workers
 				if end > len(attempts) {
 					end = len(attempts)
 				}
@@ -290,6 +303,10 @@ func (s *Scheduler) scheduleIncremental() {
 		alloc, err := s.resolveAttempt(job, spec, blocked)
 		job.MatchDuration += time.Since(start)
 		switch {
+		case job.poisoned:
+			// Quarantine without touching `blocked`: jobs behind see the
+			// schedule of a run where this job never existed.
+			s.quarantinePoisoned(job)
 		case err != nil:
 			blocked = true
 			still = append(still, job)
@@ -309,13 +326,25 @@ func (s *Scheduler) scheduleIncremental() {
 // available (parallel pipeline) and capturing a fresh blocking signature
 // on failure.
 func (s *Scheduler) resolveAttempt(job *Job, spec *traverser.Allocation, blocked bool) (*traverser.Allocation, error) {
+	if job.poisoned {
+		// The speculation worker's fence caught a panic for this job;
+		// release its claims and let the cycle loop quarantine it.
+		if spec != nil {
+			s.tr.Abandon(spec)
+		}
+		return nil, fmt.Errorf("%w: job %d: %s", ErrPoisoned, job.ID, job.QuarantineMsg)
+	}
 	if spec != nil {
 		if s.policy == FCFS && blocked {
 			s.tr.Abandon(spec)
 			spec = nil
 		} else if err := s.tr.Commit(spec); err == nil {
 			job.sigOK = false
+			job.conflicts = 0
 			return spec, nil
+		} else if s.noteConflict(job) {
+			// Conflict budget exhausted: quarantine at this position.
+			return nil, fmt.Errorf("%w: job %d: %s", ErrPoisoned, job.ID, job.QuarantineMsg)
 		}
 		// Conflict: an earlier commit took the capacity; fall through to
 		// a fresh match at this queue position.
@@ -328,6 +357,9 @@ func (s *Scheduler) resolveAttempt(job *Job, spec *traverser.Allocation, blocked
 			return nil, traverser.ErrNoMatch
 		}
 		return s.matchAllocateSig(job, s.now)
+	case blocked && s.shedBackfill():
+		// Degraded: shed the backfill probe behind the blocked head.
+		return nil, traverser.ErrNoMatch
 	case s.policy == EASY && blocked:
 		return s.matchAllocateSig(job, s.now)
 	default: // Conservative always; EASY head

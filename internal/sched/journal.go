@@ -78,6 +78,13 @@ const (
 	RecClock
 	// RecCommit marks the end of an atomic command unit.
 	RecCommit
+	// RecQuarantine records a job moved to StateQuarantined by the
+	// defense layer (Retries carries the QuarantineReason code, Path the
+	// human-readable message), so quarantine survives crash recovery.
+	RecQuarantine
+	// RecUnquarantine records a quarantined job released back to the
+	// pending queue.
+	RecUnquarantine
 )
 
 func (k RecKind) String() string {
@@ -114,6 +121,10 @@ func (k RecKind) String() string {
 		return "clock"
 	case RecCommit:
 		return "commit"
+	case RecQuarantine:
+		return "quarantine"
+	case RecUnquarantine:
+		return "unquarantine"
 	default:
 		return "invalid"
 	}
@@ -325,6 +336,28 @@ func (s *Scheduler) Apply(r *Rec) error {
 			}
 		}
 		return fmt.Errorf("%w: no %s event at %d for %q to pop", ErrReplay, kind, r.At, r.Path)
+	case RecQuarantine:
+		job, err := s.replayJob(r)
+		if err != nil {
+			return err
+		}
+		if job.State == StateReserved {
+			// Defensive: the live path demotes (journaling RecUnreserve)
+			// before quarantining, so a reserved job here means a
+			// hand-built log; demote to release the traverser claim.
+			s.demote(job)
+		}
+		s.unqueue(job)
+		s.quarantine(job, QuarantineReason(r.Retries), r.Path)
+	case RecUnquarantine:
+		job, err := s.replayJob(r)
+		if err != nil {
+			return err
+		}
+		if job.State != StateQuarantined {
+			return fmt.Errorf("%w: unquarantine of job %d in state %s", ErrReplay, r.ID, job.State)
+		}
+		s.release(job)
 	case RecCommit:
 		// Command boundary; no state change.
 	default:

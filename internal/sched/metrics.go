@@ -33,6 +33,9 @@ type Metrics struct {
 	LostCoreSeconds int64
 	// Failed counts jobs that exhausted their failure-requeue budget.
 	Failed int
+	// Quarantined counts jobs currently in StateQuarantined (poisoned
+	// work the defense layer set aside; see defense.go).
+	Quarantined int
 }
 
 // Utilization returns NodeSecondsUsed / NodeSecondsTotal (0 when no
@@ -61,6 +64,9 @@ func (m Metrics) String() string {
 	if m.Failed > 0 {
 		fmt.Fprintf(&b, " failed=%d", m.Failed)
 	}
+	if m.Quarantined > 0 {
+		fmt.Fprintf(&b, " quarantined=%d", m.Quarantined)
+	}
 	return b.String()
 }
 
@@ -81,6 +87,9 @@ func (s *Scheduler) Metrics() Metrics {
 		switch j.State {
 		case StateFailed:
 			m.Failed++
+			continue
+		case StateQuarantined:
+			m.Quarantined++
 			continue
 		case StateUnsatisfiable:
 			m.Unsatisfiable++

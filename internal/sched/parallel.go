@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -35,11 +36,12 @@ func (s *Scheduler) scheduleParallel() {
 	var work []*Job
 	var workIdx []int
 	planned := 0
+	depth := s.planBound()
 	for i, job := range s.pending {
 		if job.State != StatePending {
 			continue
 		}
-		if s.queueDepth > 0 && planned >= s.queueDepth {
+		if depth > 0 && planned >= depth {
 			keep[i] = true
 			continue
 		}
@@ -55,9 +57,10 @@ func (s *Scheduler) scheduleParallel() {
 			end = len(work)
 		}
 		batch := work[off:end]
-		if s.policy == FCFS && blocked {
-			// Nothing behind a blocked FCFS head can start; skip the
-			// speculation round-trip entirely.
+		if blocked && (s.policy == FCFS || s.shedBackfill()) {
+			// Nothing behind a blocked FCFS head can start (and the shed
+			// rung skips backfill probes); skip the speculation
+			// round-trip entirely.
 			for i := range batch {
 				keep[workIdx[off+i]] = true
 			}
@@ -66,7 +69,17 @@ func (s *Scheduler) scheduleParallel() {
 		specs := s.speculateBatch(batch)
 		for i, job := range batch {
 			spec := specs[i]
-			if s.policy == FCFS && blocked {
+			if job.poisoned {
+				// A worker's fence caught a panic (or deadline) for this
+				// job: quarantine it without touching `blocked`, so jobs
+				// behind see the schedule of a run without it.
+				if spec != nil {
+					s.tr.Abandon(spec)
+				}
+				s.quarantinePoisoned(job)
+				continue
+			}
+			if blocked && (s.policy == FCFS || s.shedBackfill()) {
 				if spec != nil {
 					s.tr.Abandon(spec)
 				}
@@ -77,6 +90,10 @@ func (s *Scheduler) scheduleParallel() {
 			alloc, err := s.commitOrFallback(job, spec, blocked)
 			job.MatchDuration += time.Since(start)
 			switch {
+			case job.poisoned:
+				// Poisoned during the fallback match or by the conflict
+				// budget.
+				s.quarantinePoisoned(job)
 			case err != nil:
 				blocked = true
 				keep[workIdx[off+i]] = true
@@ -132,11 +149,15 @@ func (s *Scheduler) speculateBatch(batch []*Job) []*traverser.Allocation {
 func (s *Scheduler) commitOrFallback(job *Job, spec *traverser.Allocation, blocked bool) (*traverser.Allocation, error) {
 	if spec != nil {
 		if err := s.tr.Commit(spec); err == nil {
+			job.conflicts = 0
 			return spec, nil
 		}
 		// Conflict: an earlier commit took the capacity. Fall through to
 		// a fresh match at this queue position. (Commit consumed the
 		// speculation's claims.)
+		if s.noteConflict(job) {
+			return nil, fmt.Errorf("%w: job %d: %s", ErrPoisoned, job.ID, job.QuarantineMsg)
+		}
 	}
 	switch {
 	case s.policy == FCFS:
@@ -144,6 +165,8 @@ func (s *Scheduler) commitOrFallback(job *Job, spec *traverser.Allocation, block
 			return nil, traverser.ErrNoMatch
 		}
 		return s.matchAllocate(job, s.now)
+	case blocked && s.shedBackfill():
+		return nil, traverser.ErrNoMatch
 	case s.policy == EASY && blocked:
 		return s.matchAllocate(job, s.now)
 	default: // Conservative always; EASY head

@@ -46,6 +46,10 @@ const (
 	// StateFailed marks a job evicted by resource failures more times
 	// than MaxRetries allows; it will not be requeued again.
 	StateFailed
+	// StateQuarantined marks a poisoned job set aside by the defense
+	// layer (defense.go): out of the pending queue, never retried, until
+	// an operator calls ReleaseQuarantined.
+	StateQuarantined
 )
 
 func (s JobState) String() string {
@@ -62,6 +66,8 @@ func (s JobState) String() string {
 		return "unsatisfiable"
 	case StateFailed:
 		return "failed"
+	case StateQuarantined:
+		return "quarantined"
 	default:
 		return "unknown"
 	}
@@ -70,7 +76,7 @@ func (s JobState) String() string {
 // parseJobState is the inverse of JobState.String, for checkpoint decode.
 func parseJobState(s string) (JobState, error) {
 	for _, st := range []JobState{StatePending, StateReserved, StateRunning,
-		StateCompleted, StateUnsatisfiable, StateFailed} {
+		StateCompleted, StateUnsatisfiable, StateFailed, StateQuarantined} {
 		if st.String() == s {
 			return st, nil
 		}
@@ -101,6 +107,14 @@ type Job struct {
 	// Alloc is the live or reserved selected resource set.
 	Alloc *traverser.Allocation
 
+	// QuarantineMsg and Quarantine (packed below with the scratch flags)
+	// record why a quarantined job was set aside (defense.go); meaningful
+	// only in StateQuarantined. The match fence stages the pending
+	// reason/message in the same fields (with poisoned set) between the
+	// attempt and the cycle loop's quarantine, which always lands within
+	// the same cycle.
+	QuarantineMsg string
+
 	// compiled caches Spec compiled against the scheduler's graph, so
 	// the job is flattened and interned once at submit instead of on
 	// every match attempt across scheduling cycles.
@@ -117,6 +131,18 @@ type Job struct {
 	sigReserve  bool
 	woken       bool
 	invalidated bool
+
+	// Defense scratch (transient): poisoned flags the job for quarantine
+	// at its cycle position — set by the match fence, possibly on a
+	// speculation worker, and consumed by the cycle loop after the
+	// barrier. conflicts counts consecutive speculative-commit rollbacks
+	// toward DefenseConfig.ConflictLimit. Kept narrow on purpose: the
+	// classification loop walks every pending job each cycle, so Job
+	// size is cycle-time (the quarantine reason/message stage in the
+	// exported fields above rather than a second copy here).
+	poisoned   bool
+	Quarantine QuarantineReason
+	conflicts  int32
 }
 
 // ErrUnknownPolicy reports an unrecognized queue policy.
@@ -222,6 +248,12 @@ type Scheduler struct {
 	// stats tallies incremental-engine effectiveness (see Stats).
 	stats Stats
 
+	// defense, when non-nil, is the self-defense layer (defense.go):
+	// panic fences, quarantine, the cycle watchdog, and admission
+	// backpressure. Nil keeps every match on the raw zero-allocation
+	// path.
+	defense *defenseState
+
 	// Failure-domain accounting, surfaced through Metrics.
 	requeues    int
 	lostCoreSec int64
@@ -278,12 +310,25 @@ func WithIncremental(on bool) SchedOption {
 // saves: MatchAttempts is every traverser match call (allocate, reserve,
 // or speculate); WokenJobs counts blocked jobs re-attempted because a
 // delta intersected their signature; SkippedJobs counts blocked jobs a
-// cycle proved undisturbed and did not re-match.
+// cycle proved undisturbed and did not re-match. The defense counters
+// (defense.go) tally quarantined jobs, cycles run with the degradation
+// ladder engaged, submits rejected by admission backpressure, and
+// jobspecs rejected as invalid at submit.
 type Stats struct {
 	Cycles        int64
 	MatchAttempts int64
 	WokenJobs     int64
 	SkippedJobs   int64
+	// Quarantined counts jobs moved to StateQuarantined (including
+	// re-quarantines after a release).
+	Quarantined int64
+	// DegradedCycles counts scheduling cycles that started with the
+	// degradation ladder above normal.
+	DegradedCycles int64
+	// OverloadRejects counts submits rejected with ErrOverload.
+	OverloadRejects int64
+	// InvalidSpecRejects counts submits rejected with ErrInvalidSpec.
+	InvalidSpecRejects int64
 }
 
 // Stats returns the scheduler's cumulative work counters.
@@ -360,6 +405,16 @@ func (s *Scheduler) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int
 	if _, dup := s.jobs[id]; dup {
 		return nil, fmt.Errorf("sched: job %d already submitted", id)
 	}
+	// Structural and unknown-type validation happens before anything
+	// else: a hostile spec must not reach the match kernel, the intern
+	// table, or the journal.
+	if err := s.tr.ValidateSpec(spec); err != nil {
+		s.stats.InvalidSpecRejects++
+		return nil, fmt.Errorf("%w: job %d: %v", ErrInvalidSpec, id, err)
+	}
+	if err := s.admit(); err != nil {
+		return nil, fmt.Errorf("job %d: %w", id, err)
+	}
 	job := &Job{ID: id, Spec: spec, Submit: s.now, Priority: priority, State: StatePending}
 	cjs, err := s.tr.Compile(spec)
 	if err != nil {
@@ -400,70 +455,112 @@ func (s *Scheduler) compiledSpec(job *Job) *jobspec.Compiled {
 	return job.compiled
 }
 
+// matchOp enumerates the traverser match entry points so the defense
+// fence can dispatch by value — a closure per attempt would allocate on
+// the zero-alloc hot path.
+type matchOp uint8
+
+const (
+	opAllocate matchOp = iota
+	opAllocateOrReserve
+	opSpeculate
+	opAllocateSig
+	opAllocateOrReserveSig
+)
+
+// dispatchMatch routes one match attempt through the defense fence when
+// a defense layer is configured, or straight to the traverser otherwise
+// (the zero-allocation hot path).
+func (s *Scheduler) dispatchMatch(op matchOp, job *Job, at int64) (*traverser.Allocation, error) {
+	if s.defense != nil {
+		return s.fencedMatch(op, job, at)
+	}
+	return s.rawMatch(op, job, at)
+}
+
+// rawMatch is the unfenced dispatch across the match entry points,
+// preferring the compiled fast path when the job's spec compiles (jobs
+// restored from a checkpoint reach here without passing through Submit).
+// The Sig forms capture a blocking signature on ErrNoMatch, arming the
+// incremental engine's skip test for later cycles; a captured
+// reservation-probe signature additionally justifies conservative-mode
+// skips (sigReserve).
+func (s *Scheduler) rawMatch(op matchOp, job *Job, at int64) (*traverser.Allocation, error) {
+	cjs := s.compiledSpec(job)
+	switch op {
+	case opAllocate:
+		if cjs != nil {
+			return s.tr.MatchAllocateCompiled(job.ID, cjs, at)
+		}
+		return s.tr.MatchAllocate(job.ID, job.Spec, at)
+	case opAllocateOrReserve:
+		if cjs != nil {
+			return s.tr.MatchAllocateOrReserveCompiled(job.ID, cjs, at)
+		}
+		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
+	case opSpeculate:
+		if cjs != nil {
+			return s.tr.MatchSpeculateCompiled(job.ID, cjs, at)
+		}
+		return s.tr.MatchSpeculate(job.ID, job.Spec, at)
+	case opAllocateSig:
+		job.sigOK = false
+		if cjs == nil {
+			return s.tr.MatchAllocate(job.ID, job.Spec, at)
+		}
+		alloc, err := s.tr.MatchAllocateCompiledSig(job.ID, cjs, at, &job.sig)
+		if err != nil && errors.Is(err, traverser.ErrNoMatch) {
+			job.sigOK = true
+			job.sigReserve = false
+		}
+		return alloc, err
+	default: // opAllocateOrReserveSig
+		job.sigOK = false
+		if cjs == nil {
+			return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
+		}
+		alloc, err := s.tr.MatchAllocateOrReserveCompiledSig(job.ID, cjs, at, &job.sig)
+		if err != nil && errors.Is(err, traverser.ErrNoMatch) {
+			job.sigOK = true
+			job.sigReserve = true
+		}
+		return alloc, err
+	}
+}
+
 // matchAllocate matches job at time `at` through the traverser's
 // compiled fast path when the job's spec compiles.
 func (s *Scheduler) matchAllocate(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	if cjs := s.compiledSpec(job); cjs != nil {
-		return s.tr.MatchAllocateCompiled(job.ID, cjs, at)
-	}
-	return s.tr.MatchAllocate(job.ID, job.Spec, at)
+	return s.dispatchMatch(opAllocate, job, at)
 }
 
 // matchAllocateOrReserve is matchAllocate's allocate-else-reserve form.
 func (s *Scheduler) matchAllocateOrReserve(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	if cjs := s.compiledSpec(job); cjs != nil {
-		return s.tr.MatchAllocateOrReserveCompiled(job.ID, cjs, at)
-	}
-	return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
+	return s.dispatchMatch(opAllocateOrReserve, job, at)
 }
 
 // matchSpeculate is matchAllocate's speculative form (parallel pipeline).
 // It runs on worker goroutines: the attempt counter is charged by
-// speculateBatch after the barrier, not here.
+// speculateBatch after the barrier, not here. With a defense layer the
+// fence runs on the worker, so a panicking speculation poisons its job
+// instead of killing the process.
 func (s *Scheduler) matchSpeculate(job *Job, at int64) (*traverser.Allocation, error) {
-	if cjs := s.compiledSpec(job); cjs != nil {
-		return s.tr.MatchSpeculateCompiled(job.ID, cjs, at)
-	}
-	return s.tr.MatchSpeculate(job.ID, job.Spec, at)
+	return s.dispatchMatch(opSpeculate, job, at)
 }
 
-// matchAllocateSig is matchAllocate with blocking-signature capture: on
-// ErrNoMatch the job's signature reflects why, arming the skip test for
-// later cycles. Non-compiled specs fall back to plain matching (no
-// signature — the job then attempts every cycle, which is always sound).
+// matchAllocateSig is matchAllocate with blocking-signature capture.
 func (s *Scheduler) matchAllocateSig(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	job.sigOK = false
-	cjs := s.compiledSpec(job)
-	if cjs == nil {
-		return s.tr.MatchAllocate(job.ID, job.Spec, at)
-	}
-	alloc, err := s.tr.MatchAllocateCompiledSig(job.ID, cjs, at, &job.sig)
-	if err != nil && errors.Is(err, traverser.ErrNoMatch) {
-		job.sigOK = true
-		job.sigReserve = false
-	}
-	return alloc, err
+	return s.dispatchMatch(opAllocateSig, job, at)
 }
 
 // matchAllocateOrReserveSig is matchAllocateOrReserve with signature
-// capture; a captured signature additionally covers the reservation probe
-// (sigReserve), so conservative-mode skips are justified too.
+// capture covering the reservation probe.
 func (s *Scheduler) matchAllocateOrReserveSig(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	job.sigOK = false
-	cjs := s.compiledSpec(job)
-	if cjs == nil {
-		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
-	}
-	alloc, err := s.tr.MatchAllocateOrReserveCompiledSig(job.ID, cjs, at, &job.sig)
-	if err != nil && errors.Is(err, traverser.ErrNoMatch) {
-		job.sigOK = true
-		job.sigReserve = true
-	}
-	return alloc, err
+	return s.dispatchMatch(opAllocateOrReserveSig, job, at)
 }
 
 // enqueue inserts a job into the pending queue in priority order (stable
@@ -494,6 +591,17 @@ func (s *Scheduler) Schedule() {
 	s.Cycles++
 	s.stats.Cycles++
 	s.jrec(Rec{Kind: RecCycle})
+	if d := s.defense; d != nil {
+		if d.level > ladderNormal {
+			s.stats.DegradedCycles++
+		}
+		if d.cfg.CycleDeadline > 0 {
+			// Watchdog: args to a deferred call evaluate now, so the
+			// ladder observes this cycle's true duration on every exit
+			// path below.
+			defer d.observeCycle(time.Now())
+		}
+	}
 
 	if s.incremental {
 		s.wakeup.drain(s.now, &s.plan)
@@ -509,7 +617,7 @@ func (s *Scheduler) Schedule() {
 		s.demote(s.reserved[id])
 	}
 
-	if s.matchWorkers > 1 {
+	if s.cycleWorkers() > 1 {
 		s.scheduleParallel()
 		return
 	}
@@ -522,11 +630,12 @@ func (s *Scheduler) scheduleSequential() {
 	still := s.pending[:0]
 	blocked := false // FCFS: stop at first failure; EASY: head reserved
 	planned := 0
+	depth := s.planBound()
 	for _, job := range s.pending {
 		if job.State != StatePending {
 			continue
 		}
-		if s.queueDepth > 0 && planned >= s.queueDepth {
+		if depth > 0 && planned >= depth {
 			still = append(still, job)
 			continue
 		}
@@ -541,6 +650,10 @@ func (s *Scheduler) scheduleSequential() {
 			} else {
 				alloc, err = s.matchAllocate(job, s.now)
 			}
+		case blocked && s.shedBackfill():
+			// Degraded: shed the backfill probe behind the blocked head
+			// (the cycle watchdog's first ladder rung).
+			err = traverser.ErrNoMatch
 		case s.policy == EASY && blocked:
 			alloc, err = s.matchAllocate(job, s.now)
 		default: // Conservative always; EASY head
@@ -548,6 +661,10 @@ func (s *Scheduler) scheduleSequential() {
 		}
 		job.MatchDuration += time.Since(start)
 		switch {
+		case job.poisoned:
+			// Quarantine without touching `blocked`: jobs behind see the
+			// schedule of a run where this job never existed.
+			s.quarantinePoisoned(job)
 		case err != nil:
 			blocked = true
 			still = append(still, job)
@@ -579,6 +696,7 @@ func (s *Scheduler) start(job *Job, alloc *traverser.Allocation) {
 	job.Alloc = alloc
 	job.StartAt = alloc.At
 	job.EndAt = alloc.At + alloc.Duration
+	job.conflicts = 0
 	heap.Push(&s.events, event{at: job.EndAt, kind: evComplete, jobID: job.ID})
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fluxion"
+	"fluxion/internal/chaos"
 	"fluxion/internal/durable"
 	"fluxion/internal/grug"
 	"fluxion/internal/jobspec"
@@ -86,6 +87,22 @@ type Config struct {
 	// compacting (archival mode; the crash drill truncates the full
 	// history at every record boundary).
 	WALKeepAll bool
+
+	// Chaos composes every fault source behind one seeded plan: node
+	// MTBF/MTTR (fills the fields above when they are unset), WAL storage
+	// faults, and the hostile-job streams (match panics, slow matches,
+	// malformed specs). When the plan injects job-level faults the
+	// scheduler self-defense layer auto-enables unless ChaosDry is set.
+	Chaos *chaos.Plan
+	// ChaosDry runs the defense-free parity baseline: the plan's
+	// poisoned jobs are filtered out of the trace up front and no faults
+	// or defenses are installed. A chaos run and its dry twin must agree
+	// on every surviving job's schedule.
+	ChaosDry bool
+	// Defense enables the scheduler self-defense layer (panic fences,
+	// quarantine, cycle watchdog, admission backpressure) with the given
+	// tuning. Set automatically for active chaos runs.
+	Defense *sched.DefenseConfig
 }
 
 // Result carries the outcome for programmatic callers.
@@ -116,6 +133,9 @@ type looper struct {
 	steps int
 	max   int
 	out   io.Writer
+	// spec overrides jobspec construction per arrival (chaos malformed-
+	// spec substitution); nil means the job's own spec.
+	spec func(trace.Job) *jobspec.Jobspec
 }
 
 // drive advances the simulation until arrivals and events drain. When
@@ -129,16 +149,29 @@ func (l *looper) drive(pause func() bool) error {
 		if l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
 			// Submit everything due and re-plan the queue, as one journal
 			// command unit: crash recovery lands before or after the whole
-			// arrival batch, never between a submit and its cycle.
+			// arrival batch, never between a submit and its cycle. A batch
+			// whose submits were all rejected runs no cycle — rejections
+			// leave no journal trace, so a recovered run that re-offers
+			// them must not diverge by an extra cycle (Step schedules
+			// after every event regardless).
 			l.s.Atomic(func() {
+				accepted := 0
 				for l.i < len(l.jobs) && l.jobs[l.i].Submit <= l.s.Now() {
 					j := l.jobs[l.i]
-					if _, err := l.s.SubmitPriority(j.ID, j.Jobspec(), j.Priority); err != nil {
+					js := j.Jobspec()
+					if l.spec != nil {
+						js = l.spec(j)
+					}
+					if _, err := l.s.SubmitPriority(j.ID, js, j.Priority); err != nil {
 						fmt.Fprintf(l.out, "job %d rejected: %v\n", j.ID, err)
+					} else {
+						accepted++
 					}
 					l.i++
 				}
-				l.s.Schedule()
+				if accepted > 0 {
+					l.s.Schedule()
+				}
 			})
 			continue
 		}
@@ -169,6 +202,27 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.Recipe == nil {
 		return nil, fmt.Errorf("simcli: recipe is required")
 	}
+	plan := cfg.Chaos
+	chaosLive := plan.Active() && !cfg.ChaosDry
+	if plan != nil {
+		if cfg.ChaosDry {
+			// Parity baseline: the poisoned set never existed.
+			jobs = plan.FilterTrace(jobs)
+		} else {
+			if plan.NodeMTBF > 0 && cfg.MTBF == 0 {
+				cfg.MTBF, cfg.MTTR, cfg.FaultSeed = plan.NodeMTBF, plan.NodeMTTR, plan.Seed
+			}
+			if plan.Storage != nil && cfg.WALFaults == nil {
+				cfg.WALFaults = plan.Storage
+			}
+			if chaosLive && cfg.Defense == nil {
+				// Hostile jobs are incoming: enable the self-defense layer
+				// with defaults (fences and quarantine active; deadline,
+				// watchdog, and backpressure stay off until tuned).
+				cfg.Defense = &sched.DefenseConfig{}
+			}
+		}
+	}
 	if (cfg.MTBF > 0) != (cfg.MTTR > 0) {
 		return nil, fmt.Errorf("simcli: MTBF and MTTR must be set together")
 	}
@@ -198,6 +252,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
 	}
 	sopts = append(sopts, sched.WithIncremental(!cfg.FullRequeue))
+	if cfg.Defense != nil {
+		sopts = append(sopts, sched.WithDefense(*cfg.Defense))
+	}
 
 	fresh := func() (*fluxion.Fluxion, *sched.Scheduler, error) {
 		g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
@@ -256,6 +313,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if st != nil {
 		st.Attach(f, s)
 	}
+	if chaosLive {
+		s.SetMatchHook(plan.MatchHook())
+	}
 
 	mp := cfg.MatchPolicy
 	if mp == "" {
@@ -270,17 +330,34 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.MatchWorkers > 1 {
 		fmt.Fprintf(out, "match workers: %d (parallel match pipeline)\n", cfg.MatchWorkers)
 	}
+	if plan != nil && plan.Active() {
+		mode := "defended"
+		if cfg.ChaosDry {
+			mode = "dry (defense-free parity baseline)"
+		}
+		fmt.Fprintf(out, "chaos: %s mode=%s\n", plan, mode)
+	}
 
 	l := &looper{s: s, jobs: jobs, out: out, max: cfg.MaxSteps}
-	if recovered {
-		// Skip the trace prefix the recovered state already ingested: an
-		// arrival batch commits atomically, so the submitted prefix is
-		// contiguous.
-		for l.i < len(jobs) {
-			if _, ok := s.Job(jobs[l.i].ID); !ok {
-				break
+	if chaosLive && plan.MalformedFrac > 0 {
+		l.spec = func(j trace.Job) *jobspec.Jobspec {
+			if plan.Malformed(j.ID) {
+				return plan.MalformedSpec(j.ID)
 			}
-			l.i++
+			return j.Jobspec()
+		}
+	}
+	if recovered {
+		// Skip the trace prefix the recovered state already ingested.
+		// Arrival batches commit atomically, so ingestion is a prefix of
+		// the trace — but rejected submits (malformed specs, overload)
+		// leave holes in it, so resume after the LAST present job.
+		// Trailing rejected arrivals of an executed batch are re-offered
+		// and rejected again, which is state-neutral.
+		for i, j := range jobs {
+			if _, ok := s.Job(j.ID); ok {
+				l.i = i + 1
+			}
 		}
 		fmt.Fprintf(out, "wal: resuming at t=%d with %d of %d arrivals ingested\n",
 			s.Now(), l.i, len(jobs))
@@ -342,6 +419,10 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	ss := s.Stats()
 	fmt.Fprintf(out, "sched: %d cycles, %d match attempts, %d woken, %d skipped\n",
 		ss.Cycles, ss.MatchAttempts, ss.WokenJobs, ss.SkippedJobs)
+	if cfg.Defense != nil {
+		fmt.Fprintf(out, "defense: quarantined=%d degraded=%d overload-rejects=%d invalid-rejects=%d level=%d\n",
+			ss.Quarantined, ss.DegradedCycles, ss.OverloadRejects, ss.InvalidSpecRejects, s.DefenseLevel())
+	}
 	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), s.Cycles)
 
 	res := &Result{Completed: m.Completed, Metrics: m, Scheduler: s, Fluxion: f}
@@ -395,12 +476,28 @@ func runDrill(cfg Config, spec resgraph.PruneSpec, jobs []trace.Job,
 	for _, j := range jobs {
 		specs[j.ID] = j.Jobspec()
 	}
-	s2, err := sched.Resume(f2.Traverser(), cp.sched, specs,
-		sched.WithIncremental(!cfg.FullRequeue))
+	sopts := []sched.SchedOption{sched.WithIncremental(!cfg.FullRequeue)}
+	if cfg.Defense != nil {
+		sopts = append(sopts, sched.WithDefense(*cfg.Defense))
+	}
+	s2, err := sched.Resume(f2.Traverser(), cp.sched, specs, sopts...)
 	if err != nil {
 		return false, fmt.Errorf("simcli: drill resume: %w", err)
 	}
+	if cfg.Chaos.Active() && !cfg.ChaosDry {
+		// Re-arm the fault streams: jobs poisoned after the checkpoint
+		// must poison identically in the resumed run.
+		s2.SetMatchHook(cfg.Chaos.MatchHook())
+	}
 	l2 := &looper{s: s2, jobs: jobs, i: cp.i, steps: cp.steps, out: io.Discard, max: cfg.MaxSteps}
+	if cfg.Chaos.Active() && !cfg.ChaosDry && cfg.Chaos.MalformedFrac > 0 {
+		l2.spec = func(j trace.Job) *jobspec.Jobspec {
+			if cfg.Chaos.Malformed(j.ID) {
+				return cfg.Chaos.MalformedSpec(j.ID)
+			}
+			return j.Jobspec()
+		}
+	}
 	if cfg.MTBF > 0 {
 		// Re-attach a fresh injector; pending node events were restored
 		// from the checkpoint and future delays are pure functions of

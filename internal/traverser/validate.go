@@ -1,0 +1,57 @@
+package traverser
+
+import (
+	"errors"
+	"fmt"
+
+	"fluxion/internal/jobspec"
+)
+
+// ErrUnknownType reports a jobspec requesting a resource type that does
+// not exist anywhere in the traverser's graph.
+var ErrUnknownType = errors.New("traverser: unknown resource type")
+
+// ValidateSpec checks a jobspec against this traverser before it is
+// allowed anywhere near the match kernel: structural well-formedness
+// (jobspec.Validate — positive counts, slot shape, the nesting-depth
+// cap that defuses cycle-inducing request graphs) plus graph-aware
+// checks the jobspec package cannot do alone. Every requested resource
+// type must already exist in the graph's intern table; the check uses
+// Lookup, not ID, so probing with hostile specs cannot pollute the
+// shared type table. Schedulers call this at submit time and reject
+// failures with a typed error, keeping poison specs out of the compile
+// and match paths.
+func (t *Traverser) ValidateSpec(js *jobspec.Jobspec) error {
+	if js == nil {
+		return fmt.Errorf("%w: nil jobspec", jobspec.ErrInvalid)
+	}
+	if err := js.Validate(); err != nil {
+		return err
+	}
+	if js.Duration < 0 {
+		return fmt.Errorf("%w: negative duration %d", jobspec.ErrInvalid, js.Duration)
+	}
+	tab := t.g.Types()
+	// Validate bounded the depth, so this walk terminates even on the
+	// shapes it rejected short of the cap.
+	var walk func(r *jobspec.Resource) error
+	walk = func(r *jobspec.Resource) error {
+		if r.Type != jobspec.Slot {
+			if _, ok := tab.Lookup(r.Type); !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownType, r.Type)
+			}
+		}
+		for _, c := range r.With {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range js.Resources {
+		if err := walk(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
