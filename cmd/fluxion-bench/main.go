@@ -6,6 +6,7 @@
 //	fluxion-bench -experiment classes   # Fig. 7a  (performance classes)
 //	fluxion-bench -experiment varaware  # Fig. 7b, Table 1, Fig. 8
 //	fluxion-bench -experiment parmatch  # parallel match pipeline sweep
+//	fluxion-bench -experiment epochscale # lock-free epoch-snapshot match scaling
 //	fluxion-bench -experiment increment # incremental vs full-requeue engines
 //	fluxion-bench -experiment recovery  # WAL crash-recovery time vs log length
 //	fluxion-bench -experiment chaos     # self-defense survival vs fault intensity
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | increment | recovery | chaos | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -50,6 +51,7 @@ func main() {
 		recPoints  = flag.Int("recovery-points", 8, "log-length sample points for the WAL recovery study")
 		chaosJobs  = flag.Int("chaos-jobs", 200, "trace length for the chaos self-defense study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
+		epochOps   = flag.Int("epochscale-ops", 8192, "epoch speculate+abandon cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments")
@@ -149,6 +151,17 @@ func main() {
 		writeCSV("parmatch.csv", func(w *os.File) error { return experiments.WriteParMatchCSV(w, results) })
 		fmt.Printf("(parmatch experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("epochscale") {
+		ran = true
+		sweep, err := parseInts(*workers)
+		fail(err)
+		start := time.Now()
+		results, err := experiments.RunEpochScale(*racks, sweep, *epochOps)
+		fail(err)
+		experiments.PrintEpochScale(os.Stdout, results, *racks)
+		writeCSV("epochscale.csv", func(w *os.File) error { return experiments.WriteEpochScaleCSV(w, results) })
+		fmt.Printf("(epochscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if run("increment") {
 		ran = true
 		cfg := experiments.DefaultIncrement()
@@ -184,7 +197,7 @@ func main() {
 		fmt.Printf("(chaos experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, increment, recovery, chaos, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

@@ -59,6 +59,29 @@ func WriteParMatchCSV(w io.Writer, results []ParMatchResult) error {
 	return cw.Error()
 }
 
+// WriteEpochScaleCSV renders the E10 epoch-snapshot scaling sweep.
+func WriteEpochScaleCSV(w io.Writer, results []EpochScaleResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workers", "matches", "total_ns", "per_match_ns", "match_per_sec", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.Workers),
+			strconv.Itoa(r.Matches),
+			strconv.FormatInt(r.Total.Nanoseconds(), 10),
+			strconv.FormatInt(r.PerMatch.Nanoseconds(), 10),
+			strconv.FormatFloat(r.Throughput, 'f', 1, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WritePlannerCSV renders Figure 6b series points.
 func WritePlannerCSV(w io.Writer, results []PlannerResult) error {
 	cw := csv.NewWriter(w)

@@ -84,10 +84,24 @@ func (g *Graph) DeltaSink() func(Delta) {
 // publishDelta forwards d to the registered sink, if any. The sink is held
 // behind an atomic pointer so the common no-sink case costs one load on
 // hot paths (Cancel/Release publish one delta per allocated vertex).
+//
+// Once the graph publishes MVCC epochs (after Finalize), deltas are not
+// delivered immediately: they buffer until the next epoch transition and
+// flush with it, in order, so the sink observes exactly one consistent
+// boundary per transition — the wakeup index and the WAL never see a
+// capacity change that readers of the current epoch cannot.
 func (g *Graph) publishDelta(d Delta) {
-	if sink := g.deltaSink.Load(); sink != nil {
-		(*sink)(d)
+	sink := g.deltaSink.Load()
+	if sink == nil {
+		return
 	}
+	if g.epoch.Load() != nil {
+		g.epochMu.Lock()
+		g.pendingDeltas = append(g.pendingDeltas, d)
+		g.epochMu.Unlock()
+		return
+	}
+	(*sink)(d)
 }
 
 // PublishSpanDelta publishes a free or claim of units of v's type over

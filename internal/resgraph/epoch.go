@@ -1,0 +1,347 @@
+package resgraph
+
+import "fluxion/internal/planner"
+
+// This file implements the MVCC epoch layer: immutable, atomically
+// published snapshots of the graph's match-relevant state. Match workers
+// pin an epoch with a single atomic load and read it with zero
+// synchronization — no graph RWMutex, no per-vertex claim atomics — while
+// writers batch their mutations into copy-on-write epoch transitions.
+//
+// The single-writer rule: mutations themselves still serialize under the
+// existing locks (the traverser's writer lock, the graph's writer lock),
+// and each mutating operation ends by publishing one epoch transition.
+// Publication is serialized under epochMu, so at any instant there is
+// exactly one current epoch and transitions are totally ordered; readers
+// never block writers and writers never block readers.
+//
+// An epoch holds one vertexSnap per vertex — status, pre-order interval
+// labels, a planner.Snapshot of the vertex's availability calendar, and a
+// planner.MultiSnapshot of its pruning filter — stored in fixed-size
+// chunks. A transition copies the chunk directory and only the chunks
+// containing re-snapshotted vertices; everything else is shared with the
+// previous epoch. Structural changes (attach/detach, which renumber the
+// pre-order labels) rebuild every chunk and bump the epoch's structural
+// version, which the match scratch arenas use to drop cached candidate
+// buffers that may pin dead vertices.
+//
+// Capacity deltas (delta.go) are buffered while an epoch transition is
+// pending and flushed, in order, when it publishes: the wakeup index and
+// the WAL observe exactly one consistent boundary per transition.
+//
+// Memory reclamation is the garbage collector's: a retired epoch stays
+// reachable only while some reader still holds its pointer, and chunks
+// untouched across transitions are shared, not copied.
+
+const (
+	epochChunkBits = 8
+	epochChunkSize = 1 << epochChunkBits
+	epochChunkMask = epochChunkSize - 1
+)
+
+// vertexSnap is one vertex's immutable per-epoch state.
+type vertexSnap struct {
+	live            bool // attached to the graph at capture time
+	down            bool
+	treeIn, treeOut int32
+	plan            *planner.Snapshot
+	filter          *planner.MultiSnapshot
+}
+
+// epochChunk holds the snaps of epochChunkSize consecutive UniqIDs.
+type epochChunk struct {
+	snaps [epochChunkSize]vertexSnap
+}
+
+// Epoch is one immutable published graph snapshot. All methods are safe
+// for unsynchronized concurrent use from any number of goroutines.
+type Epoch struct {
+	version       uint64
+	structVersion uint64
+	uniqBound     int64
+	chunks        []*epochChunk
+}
+
+// Version returns the epoch's monotonically increasing sequence number
+// (the first epoch published by Finalize is version 1).
+func (e *Epoch) Version() uint64 { return e.version }
+
+// StructVersion returns the structural generation: it changes only on
+// transitions that renumbered the containment pre-order labels or changed
+// the vertex set (attach/detach). Scratch arenas key cached candidate
+// buffers off it.
+func (e *Epoch) StructVersion() uint64 { return e.structVersion }
+
+// UniqBound returns the exclusive UniqID upper bound at capture time;
+// vertices created later are not in this epoch.
+func (e *Epoch) UniqBound() int64 { return e.uniqBound }
+
+// snap returns the vertex snap for uid, or nil when uid is outside the
+// epoch.
+func (e *Epoch) snap(uid int64) *vertexSnap {
+	if uid < 0 || uid >= e.uniqBound {
+		return nil
+	}
+	ci := int(uid >> epochChunkBits)
+	if ci >= len(e.chunks) || e.chunks[ci] == nil {
+		return nil
+	}
+	return &e.chunks[ci].snaps[uid&epochChunkMask]
+}
+
+// Up reports whether the vertex was attached and schedulable in this
+// epoch. Vertices outside the epoch (created after capture) are not up.
+func (e *Epoch) Up(uid int64) bool {
+	s := e.snap(uid)
+	return s != nil && s.live && !s.down
+}
+
+// Plan returns the epoch's availability snapshot for uid (nil when the
+// vertex is not live in this epoch).
+func (e *Epoch) Plan(uid int64) *planner.Snapshot {
+	s := e.snap(uid)
+	if s == nil {
+		return nil
+	}
+	return s.plan
+}
+
+// Filter returns the epoch's pruning-filter snapshot for uid (nil when
+// the vertex carries no filter or is not live in this epoch).
+func (e *Epoch) Filter(uid int64) *planner.MultiSnapshot {
+	s := e.snap(uid)
+	if s == nil {
+		return nil
+	}
+	return s.filter
+}
+
+// TreeInterval returns uid's containment pre-order interval in this
+// epoch, or (0, 0) when the vertex is outside it.
+func (e *Epoch) TreeInterval(uid int64) (in, out int32) {
+	s := e.snap(uid)
+	if s == nil {
+		return 0, 0
+	}
+	return s.treeIn, s.treeOut
+}
+
+// InSubtree reports whether uid lies in the containment subtree rooted
+// at rootUID, per this epoch's pre-order labels. Vertices outside the
+// epoch are conservatively reported as contained (callers use this to
+// decide cache invalidation; over-invalidating is safe).
+func (e *Epoch) InSubtree(rootUID, uid int64) bool {
+	r, v := e.snap(rootUID), e.snap(uid)
+	if r == nil || v == nil {
+		return true
+	}
+	return r.treeIn <= v.treeIn && v.treeIn < r.treeOut
+}
+
+// Epoch returns the current published epoch (nil before Finalize). One
+// atomic load; the result is immutable and may be read indefinitely.
+func (g *Graph) Epoch() *Epoch { return g.epoch.Load() }
+
+// EpochVersion returns the current epoch's version (0 before Finalize).
+func (g *Graph) EpochVersion() uint64 {
+	if e := g.epoch.Load(); e != nil {
+		return e.version
+	}
+	return 0
+}
+
+// EpochStable reports whether ep is still the current epoch with no
+// unpublished mutations pending against it. This is the commit-time
+// re-validation of the MVCC pipeline: a speculation whose pinned epoch is
+// stable at commit time (checked while the committer excludes writers)
+// proves nothing changed since it matched, so the per-vertex conflict
+// re-walk can be skipped.
+func (g *Graph) EpochStable(ep *Epoch) bool {
+	if ep == nil {
+		return false
+	}
+	g.epochMu.Lock()
+	ok := g.epoch.Load() == ep && !g.epochAll &&
+		len(g.epochDirty) == 0 && len(g.pendingDeltas) == 0
+	g.epochMu.Unlock()
+	return ok
+}
+
+// MarkEpochDirty records that v's planner or filter state changed; the
+// next epoch transition re-snapshots it. Mutators call it after every
+// span install/remove. Idempotent per pending transition (a per-vertex
+// flag suppresses duplicate list entries).
+func (g *Graph) MarkEpochDirty(v *Vertex) {
+	if v == nil || g.epoch.Load() == nil {
+		return
+	}
+	g.epochMu.Lock()
+	if !v.epochDirty {
+		v.epochDirty = true
+		g.epochDirty = append(g.epochDirty, v)
+	}
+	g.epochMu.Unlock()
+}
+
+// markEpochAllLocked schedules a full rebuild (structural change);
+// callers hold g.mu.
+func (g *Graph) markEpochAllLocked() {
+	if g.epoch.Load() == nil {
+		return
+	}
+	g.epochMu.Lock()
+	g.epochAll = true
+	g.epochMu.Unlock()
+}
+
+// BeginEpochBatch defers epoch publication until the matching
+// EndEpochBatch: mutations inside the batch accumulate into one epoch
+// transition (and one delta flush) instead of publishing per operation.
+// The scheduler brackets each cycle with a batch so a cycle's worth of
+// commits and cancels is one boundary; mutations arriving mid-cycle from
+// other goroutines land in the same next epoch instead of blocking.
+// Batches nest.
+func (g *Graph) BeginEpochBatch() {
+	g.epochMu.Lock()
+	g.epochBatch++
+	g.epochMu.Unlock()
+}
+
+// EndEpochBatch closes a batch and, when it is the outermost one with
+// pending changes, publishes the accumulated epoch transition.
+func (g *Graph) EndEpochBatch() {
+	g.epochMu.Lock()
+	if g.epochBatch > 0 {
+		g.epochBatch--
+	}
+	need := g.epochBatch == 0 &&
+		(g.epochAll || len(g.epochDirty) > 0 || len(g.pendingDeltas) > 0)
+	g.epochMu.Unlock()
+	if need {
+		g.PublishEpoch()
+	}
+}
+
+// PublishEpoch publishes an epoch transition covering every mutation
+// recorded since the last one, then flushes the buffered capacity deltas.
+// Mutating traverser operations call it once at their end; it is a no-op
+// when nothing is pending or a batch is open. Safe to call from any
+// goroutine not already holding the graph's lock.
+func (g *Graph) PublishEpoch() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.publishEpochGraphLocked()
+}
+
+// publishEpochGraphLocked is PublishEpoch for callers already holding
+// g.mu (either side): graph mutators publish at the end of their own
+// critical section.
+func (g *Graph) publishEpochGraphLocked() {
+	g.epochMu.Lock()
+	defer g.epochMu.Unlock()
+	prev := g.epoch.Load()
+	if prev == nil || g.epochBatch > 0 {
+		return
+	}
+	if !g.epochAll && len(g.epochDirty) == 0 && len(g.pendingDeltas) == 0 {
+		return
+	}
+	if g.epochAll || len(g.epochDirty) > 0 {
+		g.epoch.Store(g.buildEpochLocked(prev))
+	}
+	for _, v := range g.epochDirty {
+		v.epochDirty = false
+	}
+	g.epochDirty = g.epochDirty[:0]
+	g.epochAll = false
+	// Flush buffered deltas in publication order, still under epochMu so
+	// concurrent transitions cannot interleave their flushes. The sink
+	// contract (SetDeltaSink) already forbids calling back into the graph.
+	if len(g.pendingDeltas) > 0 {
+		if sink := g.deltaSink.Load(); sink != nil {
+			for i := range g.pendingDeltas {
+				(*sink)(g.pendingDeltas[i])
+			}
+		}
+		g.pendingDeltas = g.pendingDeltas[:0]
+	}
+}
+
+// bootstrapEpochLocked publishes the first epoch; Finalize calls it under
+// g.mu once paths, planners, and filters exist.
+func (g *Graph) bootstrapEpochLocked() {
+	g.epochAll = true
+	e := g.buildEpochLocked(nil)
+	g.epoch.Store(e)
+	g.epochAll = false
+}
+
+// buildEpochLocked constructs the next epoch from the recorded dirty set
+// (or from scratch for structural transitions). Callers hold g.mu (any
+// side) and epochMu.
+func (g *Graph) buildEpochLocked(prev *Epoch) *Epoch {
+	bound := g.nextUniq
+	n := int((bound + epochChunkMask) >> epochChunkBits)
+	e := &Epoch{uniqBound: bound, version: 1}
+	if prev != nil {
+		e.version = prev.version + 1
+		e.structVersion = prev.structVersion
+	}
+	e.chunks = make([]*epochChunk, n)
+	if prev == nil || g.epochAll {
+		e.structVersion++
+		for _, v := range g.vertices {
+			ci := int(v.UniqID >> epochChunkBits)
+			c := e.chunks[ci]
+			if c == nil {
+				c = &epochChunk{}
+				e.chunks[ci] = c
+			}
+			fillSnap(&c.snaps[v.UniqID&epochChunkMask], g, v)
+		}
+		return e
+	}
+	copy(e.chunks, prev.chunks)
+	for _, v := range g.epochDirty {
+		uid := v.UniqID
+		if uid >= bound {
+			continue
+		}
+		ci := int(uid >> epochChunkBits)
+		var shared *epochChunk
+		if ci < len(prev.chunks) {
+			shared = prev.chunks[ci]
+		}
+		if e.chunks[ci] == nil || e.chunks[ci] == shared {
+			// Copy-on-write: first dirty vertex in this chunk this
+			// transition clones it; later ones mutate the clone.
+			nc := &epochChunk{}
+			if shared != nil {
+				*nc = *shared
+			}
+			e.chunks[ci] = nc
+		}
+		fillSnap(&e.chunks[ci].snaps[uid&epochChunkMask], g, v)
+	}
+	return e
+}
+
+// fillSnap captures v's current match-relevant state into s. Callers
+// hold g.mu, which freezes status and the pre-order labels; the planner
+// snapshots take their own reader locks.
+func fillSnap(s *vertexSnap, g *Graph, v *Vertex) {
+	live := v.graph == g && v.plan != nil && v.Paths[Containment] != ""
+	s.live = live
+	s.down = v.Status == StatusDown
+	s.treeIn, s.treeOut = v.treeIn, v.treeOut
+	if !live {
+		s.plan, s.filter = nil, nil
+		return
+	}
+	s.plan = v.plan.Snapshot()
+	if v.filter != nil {
+		s.filter = v.filter.SnapshotByID()
+	} else {
+		s.filter = nil
+	}
+}

@@ -81,6 +81,16 @@ type Graph struct {
 	// publish hot paths (one delta per vertex on Cancel/Release) is a
 	// single load, and registration never contends with topology reads.
 	deltaSink atomic.Pointer[func(Delta)]
+
+	// MVCC epoch state (see epoch.go). epoch is the current published
+	// snapshot; epochMu guards the pending-transition bookkeeping below.
+	// Lock order: g.mu (either side) before epochMu, never the reverse.
+	epoch         atomic.Pointer[Epoch]
+	epochMu       sync.Mutex
+	epochDirty    []*Vertex // vertices to re-snapshot next transition
+	epochAll      bool      // structural change: rebuild every chunk
+	epochBatch    int       // open BeginEpochBatch nesting depth
+	pendingDeltas []Delta   // deltas buffered until the next publication
 }
 
 // NewGraph creates an empty store whose planners cover times in
@@ -197,10 +207,51 @@ func (g *Graph) addEdge(from, to *Vertex, subsystem, edgeType string) error {
 		return fmt.Errorf("%w: edge endpoints from another graph", ErrInvalid)
 	}
 	e := &Edge{From: from, To: to, Subsystem: subsystem, Type: edgeType}
-	from.out[subsystem] = append(from.out[subsystem], e)
-	to.in[subsystem] = append(to.in[subsystem], e)
+	if g.finalized {
+		// Copy-on-write after Finalize: epoch readers may hold the current
+		// edge view's maps and slices, so never mutate them in place.
+		from.out = cowEdgeAppend(from.out, subsystem, e)
+		to.in = cowEdgeAppend(to.in, subsystem, e)
+		from.refreshView()
+		to.refreshView()
+	} else {
+		from.out[subsystem] = append(from.out[subsystem], e)
+		to.in[subsystem] = append(to.in[subsystem], e)
+	}
 	g.subsys[subsystem] = true
 	return nil
+}
+
+// cowEdgeAppend returns a fresh edge map with e appended to m[sub]; the
+// input map and its slices are left untouched for concurrent readers.
+func cowEdgeAppend(m map[string][]*Edge, sub string, e *Edge) map[string][]*Edge {
+	nm := make(map[string][]*Edge, len(m)+1)
+	for k, s := range m {
+		nm[k] = s
+	}
+	old := nm[sub]
+	ns := make([]*Edge, len(old), len(old)+1)
+	copy(ns, old)
+	nm[sub] = append(ns, e)
+	return nm
+}
+
+// cowEdgeDrop returns a fresh edge map with every edge in m[sub] for
+// which drop returns true removed, sharing the untouched slices.
+func cowEdgeDrop(m map[string][]*Edge, sub string, drop func(*Edge) bool) map[string][]*Edge {
+	nm := make(map[string][]*Edge, len(m))
+	for k, s := range m {
+		nm[k] = s
+	}
+	old := nm[sub]
+	ns := make([]*Edge, 0, len(old))
+	for _, e := range old {
+		if !drop(e) {
+			ns = append(ns, e)
+		}
+	}
+	nm[sub] = ns
+	return nm
 }
 
 // AddContainment links parent and child in the containment subsystem with
@@ -352,7 +403,14 @@ func (g *Graph) Finalize() error {
 		}
 	}
 	g.renumberTree()
+	// Give every vertex an edge view so lock-free epoch readers can walk
+	// adjacency without touching the writer-owned maps, then publish the
+	// first epoch.
+	for _, v := range g.vertices {
+		v.refreshView()
+	}
 	g.finalized = true
+	g.bootstrapEpochLocked()
 	return nil
 }
 
@@ -395,6 +453,7 @@ func (g *Graph) MarkDown(v *Vertex) (map[string]int64, error) {
 	delta, err := g.setSubtreeStatus(v, StatusDown)
 	if err == nil && len(delta) > 0 {
 		g.publishStructural(v)
+		g.publishEpochGraphLocked()
 	}
 	return delta, err
 }
@@ -409,6 +468,7 @@ func (g *Graph) MarkUp(v *Vertex) (map[string]int64, error) {
 	delta, err := g.setSubtreeStatus(v, StatusUp)
 	if err == nil && len(delta) > 0 {
 		g.publishStructural(v)
+		g.publishEpochGraphLocked()
 	}
 	return delta, err
 }
@@ -450,6 +510,7 @@ func (g *Graph) setSubtreeStatus(v *Vertex, want Status) (map[string]int64, erro
 	// filter exactly — and matches what Finalize computes when a dump of
 	// a degraded system is reloaded.
 	for _, x := range flipped {
+		g.MarkEpochDirty(x)
 		if err := g.propagateStatusDelta(x.Parent(), map[string]int64{x.Type: sign * x.Size}); err != nil {
 			return nil, err
 		}
@@ -470,6 +531,7 @@ func (g *Graph) propagateStatusDelta(a *Vertex, delta map[string]int64) error {
 				if err := a.filter.Update(rt, n); err != nil {
 					return fmt.Errorf("resgraph: status update at %s: %w", a.Name, err)
 				}
+				g.MarkEpochDirty(a)
 			}
 		}
 	}
@@ -569,7 +631,17 @@ func (g *Graph) Attach(parent, sub *Vertex) error {
 		}
 	}
 	g.renumberTree()
+	var refresh func(x *Vertex)
+	refresh = func(x *Vertex) {
+		x.refreshView()
+		for _, c := range containmentChildren(x) {
+			refresh(c)
+		}
+	}
+	refresh(sub)
 	g.publishStructural(parent)
+	g.markEpochAllLocked()
+	g.publishEpochGraphLocked()
 	return nil
 }
 
@@ -634,11 +706,15 @@ func (g *Graph) Detach(v *Vertex) error {
 			}
 		}
 	}
-	// Unlink the contains/in edge pair in both directions.
-	parent.out[Containment] = removeEdgesTo(parent.out[Containment], v)
-	parent.in[Containment] = removeEdgesTo2(parent.in[Containment], v)
-	v.in[Containment] = removeEdgesTo2(v.in[Containment], parent)
-	v.out[Containment] = removeEdgesTo(v.out[Containment], parent)
+	// Unlink the contains/in edge pair in both directions, copy-on-write:
+	// lock-free readers pinned to an older epoch may still be iterating
+	// the old slices.
+	parent.out = cowEdgeDrop(parent.out, Containment, func(e *Edge) bool { return e.To == v })
+	parent.in = cowEdgeDrop(parent.in, Containment, func(e *Edge) bool { return e.From == v })
+	v.in = cowEdgeDrop(v.in, Containment, func(e *Edge) bool { return e.From == parent })
+	v.out = cowEdgeDrop(v.out, Containment, func(e *Edge) bool { return e.To == parent })
+	parent.refreshView()
+	v.refreshView()
 	// Drop subtree path index entries and detach vertices.
 	var drop func(x *Vertex)
 	drop = func(x *Vertex) {
@@ -658,27 +734,9 @@ func (g *Graph) Detach(v *Vertex) error {
 	}
 	g.vertices = kept
 	g.publishStructural(parent)
+	g.markEpochAllLocked()
+	g.publishEpochGraphLocked()
 	return nil
-}
-
-func removeEdgesTo(edges []*Edge, to *Vertex) []*Edge {
-	out := edges[:0]
-	for _, e := range edges {
-		if e.To != to {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-func removeEdgesTo2(edges []*Edge, from *Vertex) []*Edge {
-	out := edges[:0]
-	for _, e := range edges {
-		if e.From != from {
-			out = append(out, e)
-		}
-	}
-	return out
 }
 
 // Finalized reports whether Finalize succeeded.

@@ -87,6 +87,17 @@ type Vertex struct {
 	out map[string][]*Edge // subsystem -> outgoing edges
 	in  map[string][]*Edge // subsystem -> incoming edges
 
+	// view publishes the current adjacency for lock-free readers. After
+	// Finalize, edge mutations are copy-on-write (fresh maps and slices)
+	// and end by storing a new view; a reader's single atomic load then
+	// yields immutable maps it may iterate without any lock. Nil until
+	// Finalize (or attach) first publishes it.
+	view atomic.Pointer[edgeView]
+
+	// epochDirty marks the vertex as queued for re-snapshot in the next
+	// epoch transition; guarded by the graph's epochMu (see epoch.go).
+	epochDirty bool
+
 	// specClaims counts units tentatively claimed by in-flight
 	// speculative match attempts that have not yet committed spans into
 	// the planner. Speculating traversers subtract it from planner
@@ -110,6 +121,36 @@ type Edge struct {
 	Subsystem string
 	Type      string
 }
+
+// edgeView is an immutable adjacency snapshot: once stored in
+// Vertex.view, neither the maps nor the slices they hold are ever
+// mutated again.
+type edgeView struct {
+	out map[string][]*Edge
+	in  map[string][]*Edge
+}
+
+// refreshView publishes the vertex's current adjacency maps as its edge
+// view. Callers (graph mutators) hold the graph's writer lock and must
+// not mutate the published maps afterwards — post-Finalize edge changes
+// go through the copy-on-write helpers in graph.go.
+func (v *Vertex) refreshView() {
+	v.view.Store(&edgeView{out: v.out, in: v.in})
+}
+
+// edges returns the adjacency maps to read from: the published view when
+// one exists (safe without the graph lock), else the builder-owned maps
+// (pre-Finalize, single-threaded construction).
+func (v *Vertex) edges() (out, in map[string][]*Edge) {
+	if ev := v.view.Load(); ev != nil {
+		return ev.out, ev.in
+	}
+	return v.out, v.in
+}
+
+// Attached reports whether the vertex is currently part of its graph's
+// containment tree (false after Detach).
+func (v *Vertex) Attached() bool { return v.graph != nil }
 
 // Planner returns the vertex's availability planner (nil until the graph
 // is finalized).
@@ -138,8 +179,9 @@ func (v *Vertex) String() string {
 // Children returns the vertices reachable by one downward outgoing edge in
 // the given subsystem (reciprocal "in" edges are skipped).
 func (v *Vertex) Children(subsystem string) []*Vertex {
+	adj, _ := v.edges()
 	var out []*Vertex
-	for _, e := range v.out[subsystem] {
+	for _, e := range adj[subsystem] {
 		if e.Type != EdgeIn {
 			out = append(out, e.To)
 		}
@@ -151,7 +193,8 @@ func (v *Vertex) Children(subsystem string) []*Vertex {
 // early if fn returns false. It avoids the allocation of Children for hot
 // paths.
 func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
-	for _, e := range v.out[subsystem] {
+	adj, _ := v.edges()
+	for _, e := range adj[subsystem] {
 		if e.Type == EdgeIn {
 			continue
 		}
@@ -164,8 +207,9 @@ func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
 // ChildCount returns the number of downward children in the subsystem
 // without materializing the slice Children builds.
 func (v *Vertex) ChildCount(subsystem string) int {
+	adj, _ := v.edges()
 	n := 0
-	for _, e := range v.out[subsystem] {
+	for _, e := range adj[subsystem] {
 		if e.Type != EdgeIn {
 			n++
 		}
@@ -176,7 +220,8 @@ func (v *Vertex) ChildCount(subsystem string) int {
 // HasChildren reports whether v has at least one downward child in the
 // subsystem — the allocation-free leaf test used by the match kernel.
 func (v *Vertex) HasChildren(subsystem string) bool {
-	for _, e := range v.out[subsystem] {
+	adj, _ := v.edges()
+	for _, e := range adj[subsystem] {
 		if e.Type != EdgeIn {
 			return true
 		}
@@ -195,8 +240,9 @@ func (v *Vertex) InSubtreeOf(root *Vertex) bool {
 // containmentParents returns the From endpoints of incoming contains-typed
 // containment edges.
 func (v *Vertex) containmentParents() []*Vertex {
+	_, adj := v.edges()
 	var out []*Vertex
-	for _, e := range v.in[Containment] {
+	for _, e := range adj[Containment] {
 		if e.Type != EdgeIn {
 			out = append(out, e.From)
 		}
@@ -229,10 +275,16 @@ func (v *Vertex) AddSpecClaim(delta int64) { v.specClaims.Add(delta) }
 func (v *Vertex) SpecClaims() int64 { return v.specClaims.Load() }
 
 // InEdges returns the incoming edges in the subsystem.
-func (v *Vertex) InEdges(subsystem string) []*Edge { return v.in[subsystem] }
+func (v *Vertex) InEdges(subsystem string) []*Edge {
+	_, adj := v.edges()
+	return adj[subsystem]
+}
 
 // OutEdges returns the outgoing edges in the subsystem.
-func (v *Vertex) OutEdges(subsystem string) []*Edge { return v.out[subsystem] }
+func (v *Vertex) OutEdges(subsystem string) []*Edge {
+	adj, _ := v.edges()
+	return adj[subsystem]
+}
 
 // Property returns a property value ("" if absent).
 func (v *Vertex) Property(key string) string {

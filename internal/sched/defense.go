@@ -51,6 +51,7 @@ import (
 	"sort"
 	"time"
 
+	"fluxion/internal/resgraph"
 	"fluxion/internal/traverser"
 )
 
@@ -217,7 +218,7 @@ func (s *Scheduler) Overloaded() bool {
 // per-attempt deadline on failure. It runs on whatever goroutine the
 // attempt runs on (including speculation workers), so the fence contains
 // worker panics that would otherwise kill the process.
-func (s *Scheduler) fencedMatch(op matchOp, job *Job, at int64) (alloc *traverser.Allocation, err error) {
+func (s *Scheduler) fencedMatch(op matchOp, job *Job, at int64, ep *resgraph.Epoch) (alloc *traverser.Allocation, err error) {
 	d := s.defense
 	start := time.Now()
 	defer func() {
@@ -229,7 +230,7 @@ func (s *Scheduler) fencedMatch(op matchOp, job *Job, at int64) (alloc *traverse
 	if d.hook != nil {
 		d.hook(job.ID)
 	}
-	alloc, err = s.rawMatch(op, job, at)
+	alloc, err = s.rawMatch(op, job, at, ep)
 	if err != nil && d.cfg.MatchDeadline > 0 {
 		if el := time.Since(start); el > d.cfg.MatchDeadline {
 			s.poison(job, QuarantineDeadline,

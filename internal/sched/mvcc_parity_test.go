@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/traverser"
+)
+
+// newSchedMVCC is newSchedOpts with an explicit MVCC toggle on the
+// traverser, for comparing the epoch-snapshot matching path against the
+// legacy locked path.
+func newSchedMVCC(t testing.TB, policy QueuePolicy, mvcc bool, racks, nodes, cores int64, opts ...SchedOption) *Scheduler {
+	t.Helper()
+	g, err := grug.BuildGraph(grug.Small(racks, nodes, cores, 0, 0), 0, 1<<40,
+		resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, match.First{}, traverser.WithMVCC(mvcc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tr, policy, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMVCCMatchesLegacyDecisions is the cross-configuration decision-parity
+// property: seeded random workloads run against epoch-snapshot MVCC
+// matching must produce per-job decisions (state, start, end) identical to
+// the legacy RWMutex/claim-counter path, for every queue policy, in both
+// the full-requeue and incremental engines. Parity holds because job
+// placement is a pure function of (jobID, graph state) in both
+// configurations: the same jobID-derived first-fit rotation applies on
+// every path, and speculative commits validate against live state before
+// publishing, so a stale epoch can only cause a conflict-and-retry, never
+// a different final decision.
+//
+// The deterministic modes are compared directly. Full-parallel runs are
+// excluded here for the same reason TestIncrementalMatchesFullDecisions
+// uses the sequential loop as its reference: full-parallel placements are
+// not canonical (see parallel.go). TestParallelVsSequentialBothPaths below
+// covers the parallel pipeline for both configurations.
+func TestMVCCMatchesLegacyDecisions(t *testing.T) {
+	type mode struct {
+		name string
+		opts []SchedOption
+	}
+	modes := []mode{
+		{"full-seq", []SchedOption{WithIncremental(false)}},
+		{"incr-w1", []SchedOption{WithIncremental(true), WithMatchWorkers(1)}},
+		{"incr-w3", []SchedOption{WithIncremental(true), WithMatchWorkers(3)}},
+	}
+	for _, policy := range []QueuePolicy{FCFS, EASY, Conservative} {
+		for seed := int64(1); seed <= 4; seed++ {
+			for _, m := range modes {
+				legacy := newSchedMVCC(t, policy, false, 1, 4, 4, m.opts...)
+				drive(t, legacy, randomWorkload(seed, 40))
+				mvcc := newSchedMVCC(t, policy, true, 1, 4, 4, m.opts...)
+				drive(t, mvcc, randomWorkload(seed, 40))
+
+				for id, lj := range legacy.Jobs() {
+					mj, ok := mvcc.Job(id)
+					if !ok {
+						t.Fatalf("%s/%s/seed%d: job %d missing under MVCC", policy, m.name, seed, id)
+					}
+					if lj.State != mj.State || lj.StartAt != mj.StartAt || lj.EndAt != mj.EndAt {
+						t.Errorf("%s/%s/seed%d: job %d diverged: legacy %v@[%d,%d] vs mvcc %v@[%d,%d]",
+							policy, m.name, seed, id,
+							lj.State, lj.StartAt, lj.EndAt, mj.State, mj.StartAt, mj.EndAt)
+					}
+				}
+				if legacy.Now() != mvcc.Now() {
+					t.Errorf("%s/%s/seed%d: makespan diverged: legacy %d vs mvcc %d",
+						policy, m.name, seed, legacy.Now(), mvcc.Now())
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// TestParallelVsSequentialBothPaths extends the parallel-vs-sequential
+// decision guarantee to both matching configurations: for each of MVCC and
+// legacy, the parallel pipeline at several worker counts must reproduce
+// that same configuration's sequential decision timeline on the fixed
+// mixed workload.
+func TestParallelVsSequentialBothPaths(t *testing.T) {
+	for _, mvcc := range []bool{false, true} {
+		for _, policy := range []QueuePolicy{FCFS, EASY, Conservative} {
+			seq := newSchedMVCC(t, policy, mvcc, 1, 4, 4, WithMatchWorkers(1))
+			runWorkload(t, seq)
+			for _, workers := range []int{2, 4} {
+				par := newSchedMVCC(t, policy, mvcc, 1, 4, 4, WithMatchWorkers(workers))
+				runWorkload(t, par)
+				for id, sj := range seq.Jobs() {
+					pj, ok := par.Job(id)
+					if !ok {
+						t.Fatalf("mvcc=%v/%s/w%d: job %d missing", mvcc, policy, workers, id)
+					}
+					if sj.State != pj.State || sj.StartAt != pj.StartAt || sj.EndAt != pj.EndAt {
+						t.Errorf("mvcc=%v/%s/w%d: job %d diverged: %v@[%d,%d] vs %v@[%d,%d]",
+							mvcc, policy, workers, id,
+							sj.State, sj.StartAt, sj.EndAt, pj.State, pj.StartAt, pj.EndAt)
+					}
+				}
+			}
+		}
+	}
+}

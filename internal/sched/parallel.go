@@ -116,20 +116,22 @@ func (s *Scheduler) scheduleParallel() {
 	s.pending = still
 }
 
-// speculateBatch fans one batch out across the worker pool. Each worker
-// speculatively matches its job at the current time against a read
-// snapshot; failed speculations are nil. Per-job match time is charged to
-// MatchDuration after the barrier.
+// speculateBatch fans one batch out across the worker pool. The batch
+// pins the graph's current MVCC epoch once; each worker speculatively
+// matches its job at the current time against that immutable snapshot
+// with no synchronization at all. Failed speculations are nil. Per-job
+// match time is charged to MatchDuration after the barrier.
 func (s *Scheduler) speculateBatch(batch []*Job) []*traverser.Allocation {
 	specs := make([]*traverser.Allocation, len(batch))
 	durs := make([]time.Duration, len(batch))
+	ep := s.tr.PinEpoch()
 	var wg sync.WaitGroup
 	for i, job := range batch {
 		wg.Add(1)
 		go func(i int, job *Job) {
 			defer wg.Done()
 			start := time.Now()
-			if a, err := s.matchSpeculate(job, s.now); err == nil {
+			if a, err := s.matchSpeculate(job, s.now, ep); err == nil {
 				specs[i] = a
 			}
 			durs[i] = time.Since(start)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
 	"fluxion/internal/traverser"
 )
 
@@ -371,6 +372,11 @@ func New(tr *traverser.Traverser, policy QueuePolicy, opts ...SchedOption) (*Sch
 	for _, o := range opts {
 		o(s)
 	}
+	// The scheduler owns all matching on its traverser, so per-job
+	// first-fit steering is safe to enable: every path (speculation,
+	// sequential fallback, incremental wakeup) places a job identically,
+	// while concurrent speculators spread across disjoint candidates.
+	tr.EnableSteering()
 	if s.incremental {
 		// Subscribe to the store's capacity deltas. Publication is
 		// synchronous and the sink only buffers, so this is safe under
@@ -470,12 +476,14 @@ const (
 
 // dispatchMatch routes one match attempt through the defense fence when
 // a defense layer is configured, or straight to the traverser otherwise
-// (the zero-allocation hot path).
-func (s *Scheduler) dispatchMatch(op matchOp, job *Job, at int64) (*traverser.Allocation, error) {
+// (the zero-allocation hot path). ep is the pinned MVCC epoch for
+// speculative attempts (nil everywhere else: the committing entry points
+// match live state under the traverser's locks).
+func (s *Scheduler) dispatchMatch(op matchOp, job *Job, at int64, ep *resgraph.Epoch) (*traverser.Allocation, error) {
 	if s.defense != nil {
-		return s.fencedMatch(op, job, at)
+		return s.fencedMatch(op, job, at, ep)
 	}
-	return s.rawMatch(op, job, at)
+	return s.rawMatch(op, job, at, ep)
 }
 
 // rawMatch is the unfenced dispatch across the match entry points,
@@ -485,7 +493,7 @@ func (s *Scheduler) dispatchMatch(op matchOp, job *Job, at int64) (*traverser.Al
 // incremental engine's skip test for later cycles; a captured
 // reservation-probe signature additionally justifies conservative-mode
 // skips (sigReserve).
-func (s *Scheduler) rawMatch(op matchOp, job *Job, at int64) (*traverser.Allocation, error) {
+func (s *Scheduler) rawMatch(op matchOp, job *Job, at int64, ep *resgraph.Epoch) (*traverser.Allocation, error) {
 	cjs := s.compiledSpec(job)
 	switch op {
 	case opAllocate:
@@ -500,8 +508,11 @@ func (s *Scheduler) rawMatch(op matchOp, job *Job, at int64) (*traverser.Allocat
 		return s.tr.MatchAllocateOrReserve(job.ID, job.Spec, at)
 	case opSpeculate:
 		if cjs != nil {
-			return s.tr.MatchSpeculateCompiled(job.ID, cjs, at)
+			return s.tr.MatchSpeculateCompiledEpoch(job.ID, cjs, at, ep)
 		}
+		// Uncompiled specs pin their own epoch inside the traverser; with
+		// the cycle's epoch batch open no transition can be published
+		// mid-cycle, so the self-pinned epoch equals the batch's.
 		return s.tr.MatchSpeculate(job.ID, job.Spec, at)
 	case opAllocateSig:
 		job.sigOK = false
@@ -532,35 +543,36 @@ func (s *Scheduler) rawMatch(op matchOp, job *Job, at int64) (*traverser.Allocat
 // compiled fast path when the job's spec compiles.
 func (s *Scheduler) matchAllocate(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	return s.dispatchMatch(opAllocate, job, at)
+	return s.dispatchMatch(opAllocate, job, at, nil)
 }
 
 // matchAllocateOrReserve is matchAllocate's allocate-else-reserve form.
 func (s *Scheduler) matchAllocateOrReserve(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	return s.dispatchMatch(opAllocateOrReserve, job, at)
+	return s.dispatchMatch(opAllocateOrReserve, job, at, nil)
 }
 
-// matchSpeculate is matchAllocate's speculative form (parallel pipeline).
-// It runs on worker goroutines: the attempt counter is charged by
-// speculateBatch after the barrier, not here. With a defense layer the
-// fence runs on the worker, so a panicking speculation poisons its job
-// instead of killing the process.
-func (s *Scheduler) matchSpeculate(job *Job, at int64) (*traverser.Allocation, error) {
-	return s.dispatchMatch(opSpeculate, job, at)
+// matchSpeculate is matchAllocate's speculative form (parallel pipeline),
+// matching lock-free against ep, the MVCC epoch its batch pinned. It runs
+// on worker goroutines: the attempt counter is charged by speculateBatch
+// after the barrier, not here. With a defense layer the fence runs on the
+// worker, so a panicking speculation poisons its job instead of killing
+// the process.
+func (s *Scheduler) matchSpeculate(job *Job, at int64, ep *resgraph.Epoch) (*traverser.Allocation, error) {
+	return s.dispatchMatch(opSpeculate, job, at, ep)
 }
 
 // matchAllocateSig is matchAllocate with blocking-signature capture.
 func (s *Scheduler) matchAllocateSig(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	return s.dispatchMatch(opAllocateSig, job, at)
+	return s.dispatchMatch(opAllocateSig, job, at, nil)
 }
 
 // matchAllocateOrReserveSig is matchAllocateOrReserve with signature
 // capture covering the reservation probe.
 func (s *Scheduler) matchAllocateOrReserveSig(job *Job, at int64) (*traverser.Allocation, error) {
 	s.stats.MatchAttempts++
-	return s.dispatchMatch(opAllocateOrReserveSig, job, at)
+	return s.dispatchMatch(opAllocateOrReserveSig, job, at, nil)
 }
 
 // enqueue inserts a job into the pending queue in priority order (stable
@@ -603,15 +615,26 @@ func (s *Scheduler) Schedule() {
 		}
 	}
 
+	g := s.tr.Graph()
 	if s.incremental {
 		s.wakeup.drain(s.now, &s.plan)
 		// Mute the sink for the cycle: our own cancels and matches are
 		// ordered by the queue walk and must not wake next cycle.
 		s.wakeup.mute(true)
 		defer s.wakeup.mute(false)
+		// Batch the cycle's epoch transitions: speculation batches pin one
+		// pre-cycle epoch and every mutation the cycle commits publishes as
+		// a single transition at cycle end. Registered after the mute defer
+		// so (LIFO) the batch closes — flushing its buffered deltas — while
+		// the sink is still muted.
+		g.BeginEpochBatch()
+		defer g.EndEpochBatch()
 		s.scheduleIncremental()
 		return
 	}
+
+	g.BeginEpochBatch()
+	defer g.EndEpochBatch()
 
 	for id := range s.reserved {
 		s.demote(s.reserved[id])

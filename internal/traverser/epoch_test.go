@@ -1,0 +1,369 @@
+package traverser
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+)
+
+// TestEpochCommitFastPath verifies the MVCC commit protocol end to end: a
+// speculation against a stable epoch commits without per-vertex
+// re-validation, a speculation whose capacity was taken conflicts, and a
+// speculation whose node went down conflicts.
+func TestEpochCommitFastPath(t *testing.T) {
+	g := buildSmall(t, 1, 2, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	js := jobspec.NodeLocal(1, 1, 4, 0, 0, 100)
+	cjs, err := tr.Compile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stable pin: nothing changed between speculation and commit.
+	ep := tr.PinEpoch()
+	if ep == nil {
+		t.Fatal("no epoch to pin")
+	}
+	spec, err := tr.MatchSpeculateCompiledEpoch(1, cjs, 0, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(spec); err != nil {
+		t.Fatalf("stable commit: %v", err)
+	}
+	if g.EpochVersion() <= ep.Version() {
+		t.Fatal("commit did not publish an epoch transition")
+	}
+
+	// Capacity conflict: two speculations against the same epoch both
+	// want the one remaining node; the second must fail at commit and
+	// the failure must roll back cleanly (a later job still fits).
+	ep2 := tr.PinEpoch()
+	specA, err := tr.MatchSpeculateCompiledEpoch(2, cjs, 0, ep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB, err := tr.MatchSpeculateCompiledEpoch(3, cjs, 0, ep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(specA); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if err := tr.Commit(specB); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second commit = %v, want ErrConflict", err)
+	}
+	if err := tr.Cancel(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MatchAllocateCompiled(3, cjs, 0); err != nil {
+		t.Fatalf("post-conflict state corrupt: %v", err)
+	}
+	if err := tr.Cancel(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Down conflict: the speculated node goes down before commit.
+	ep3 := tr.PinEpoch()
+	specC, err := tr.MatchSpeculateCompiledEpoch(4, cjs, 0, ep3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specC.Nodes()) != 1 {
+		t.Fatalf("nodes = %v", specC.Nodes())
+	}
+	if _, err := tr.MarkDown(specC.Nodes()[0].Path()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(specC); !errors.Is(err, ErrConflict) {
+		t.Fatalf("down commit = %v, want ErrConflict", err)
+	}
+}
+
+// TestEpochSpeculationSeesPinnedState verifies speculation reads the
+// pinned epoch, not live state: capacity granted after the pin is
+// invisible, capacity taken after the pin is still offered (and caught at
+// commit instead).
+func TestEpochSpeculationSeesPinnedState(t *testing.T) {
+	g := buildSmall(t, 1, 1, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	js := jobspec.NodeLocal(1, 1, 4, 0, 0, 100)
+	cjs, err := tr.Compile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single node, then pin: the epoch has no capacity.
+	if _, err := tr.MatchAllocateCompiled(1, cjs, 0); err != nil {
+		t.Fatal(err)
+	}
+	ep := tr.PinEpoch()
+	// Free the capacity after the pin; the pinned epoch must still fail.
+	if err := tr.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MatchSpeculateCompiledEpoch(2, cjs, 0, ep); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("speculation against stale full epoch = %v, want ErrNoMatch", err)
+	}
+	// A fresh pin sees the freed capacity.
+	if spec, err := tr.MatchSpeculateCompiledEpoch(2, cjs, 0, tr.PinEpoch()); err != nil {
+		t.Fatalf("fresh pin: %v", err)
+	} else if err := tr.Commit(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochChurnRace is the -race epoch-churn stress: one writer thrashes
+// node status (down/up) and topology (grow/shrink) while 8 workers
+// speculate against pinned snapshots and commit. Asserts no torn reads
+// (the matcher would panic or the race detector fire), monotone epoch
+// versions, and that every committed allocation validated against live
+// state (its vertices were up at commit).
+func TestEpochChurnRace(t *testing.T) {
+	g := buildSmall(t, 2, 4, 4, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	tr.EnableSteering()
+	js := jobspec.NodeLocal(1, 1, 2, 0, 0, 50)
+	cjs, err := tr.Compile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 120
+	var jobSeq atomic.Int64
+	var committed atomic.Int64
+	var conflicts atomic.Int64
+	stop := make(chan struct{})
+
+	// Version observer: published epochs never go backwards.
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		last := uint64(0)
+		for {
+			v := g.EpochVersion()
+			if v < last {
+				t.Errorf("epoch version regressed: %d -> %d", last, v)
+				return
+			}
+			last = v
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Writer: down/up a rotating node, and periodically grow a scratch
+	// node onto rack0 then shrink it back off.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rack0 := g.ByPath("/cluster0/rack0")
+		node0 := rack0.Children(resgraph.Containment)[0]
+		for i := 0; i < rounds; i++ {
+			if _, err := tr.MarkDown(node0.Path()); err != nil {
+				t.Errorf("down: %v", err)
+				return
+			}
+			if err := tr.MarkUp(node0.Path()); err != nil {
+				t.Errorf("up: %v", err)
+				return
+			}
+			if i%10 == 0 {
+				grown := g.MustAddVertex("node", -1, 1)
+				c := g.MustAddVertex("core", -1, 1)
+				if err := g.AddContainment(grown, c); err != nil {
+					t.Errorf("grow: %v", err)
+					return
+				}
+				if err := g.Attach(rack0, grown); err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+				if err := g.Detach(grown); err != nil && !errors.Is(err, resgraph.ErrBusy) {
+					t.Errorf("detach: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ep := tr.PinEpoch()
+				if ep == nil {
+					t.Error("nil epoch pinned")
+					return
+				}
+				id := jobSeq.Add(1)
+				spec, err := tr.MatchSpeculateCompiledEpoch(id, cjs, 0, ep)
+				if err != nil {
+					continue // epoch had no capacity: fine
+				}
+				if err := tr.Commit(spec); err != nil {
+					if !errors.Is(err, ErrConflict) {
+						t.Errorf("commit: %v", err)
+						return
+					}
+					conflicts.Add(1)
+					continue
+				}
+				committed.Add(1)
+				if i%3 != 0 {
+					// The writer's MarkDown evicts allocations on the downed
+					// node, so our job may already be gone — that's the
+					// documented down-node semantics, not a test failure.
+					if err := tr.Cancel(id); err != nil && !errors.Is(err, ErrUnknownJob) {
+						t.Errorf("cancel: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	if committed.Load() == 0 {
+		t.Fatal("stress committed nothing")
+	}
+	t.Logf("committed=%d conflicts=%d final epoch v%d",
+		committed.Load(), conflicts.Load(), g.EpochVersion())
+}
+
+// TestEpochDeepImmutability pins one epoch and hashes every vertex's
+// snapshot state, then runs 1k concurrent commit/cancel transitions and
+// re-hashes: the pinned epoch must be bit-identical.
+func TestEpochDeepImmutability(t *testing.T) {
+	g := buildSmall(t, 2, 4, 8, 0, defaultSpec())
+	tr := newT(t, g, match.First{})
+	js := jobspec.NodeLocal(1, 1, 2, 0, 0, 40)
+	cjs, err := tr.Compile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some standing state so the epoch is not trivial.
+	if _, err := tr.MatchAllocateCompiled(1, cjs, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ep := tr.PinEpoch()
+	hash := func() uint64 {
+		var h uint64 = 14695981039346656037
+		mix := func(x uint64) {
+			h ^= x
+			h *= 1099511628211
+		}
+		for uid := int64(0); uid < ep.UniqBound(); uid++ {
+			up := uint64(0)
+			if ep.Up(uid) {
+				up = 1
+			}
+			in, out := ep.TreeInterval(uid)
+			mix(up | uint64(uint32(in))<<8 | uint64(uint32(out))<<24)
+			if p := ep.Plan(uid); p != nil {
+				for t := int64(0); t < 200; t += 20 {
+					a, _ := p.AvailDuring(t, 10)
+					mix(uint64(a) + 31*uint64(t))
+				}
+			}
+		}
+		return h
+	}
+	before := hash()
+
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	seq.Store(1)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				id := seq.Add(1)
+				if alloc, err := tr.MatchSpeculateCompiledEpoch(id, cjs, 0, tr.PinEpoch()); err == nil {
+					if err := tr.Commit(alloc); err == nil {
+						_ = tr.Cancel(id)
+					}
+				}
+			}
+		}()
+	}
+	// Interleaved readers verify mid-churn, not just at the end.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if h := hash(); h != before {
+					t.Errorf("pinned epoch hash diverged mid-churn")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h := hash(); h != before {
+		t.Fatalf("pinned epoch mutated by 1k concurrent transitions: %x != %x", h, before)
+	}
+}
+
+// TestLegacyPathStillWorks pins the non-MVCC configuration: speculation
+// under WithMVCC(false) takes the claims path and commits release claims.
+func TestLegacyPathStillWorks(t *testing.T) {
+	g := buildSmall(t, 1, 2, 4, 0, defaultSpec())
+	tr, err := New(g, match.First{}, WithMVCC(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := jobspec.NodeLocal(1, 1, 4, 0, 0, 100)
+	cjs, err := tr.Compile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := tr.PinEpoch(); ep != nil {
+		t.Fatal("non-MVCC traverser pinned an epoch")
+	}
+	spec, err := tr.MatchSpeculateCompiled(1, cjs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy speculation holds per-vertex claims until commit/abandon.
+	var claimed int64
+	for _, va := range spec.Vertices {
+		claimed += va.V.SpecClaims()
+	}
+	if claimed == 0 {
+		t.Fatal("legacy speculation holds no claims")
+	}
+	if err := tr.Commit(spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range spec.Vertices {
+		if va.V.SpecClaims() != 0 {
+			t.Fatalf("claims leaked on %s", va.V.Name)
+		}
+	}
+	spec2, err := tr.MatchSpeculateCompiled(2, cjs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Abandon(spec2)
+	for _, va := range spec2.Vertices {
+		if va.V.SpecClaims() != 0 {
+			t.Fatalf("claims leaked after abandon on %s", va.V.Name)
+		}
+	}
+}

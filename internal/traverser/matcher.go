@@ -43,6 +43,15 @@ type matcher struct {
 	dur   int64
 	dry   bool // capacity-only satisfiability check: no spans
 	snap  bool // speculative run: per-vertex claims instead of spans
+	// ep, when non-nil, is the pinned MVCC epoch of an epoch speculation
+	// (snap mode only): status, subtree labels, planners, and filters are
+	// read from its immutable snapshots with zero synchronization, and
+	// tentative claims stay in the attempt's private scratch.
+	ep *resgraph.Epoch
+	// rot rotates first-fit candidate lists by a jobID-derived offset in
+	// epoch mode, so concurrent speculators probe disjoint pools without
+	// the shared claim counters the legacy path used for divergence.
+	rot uint64
 	// sig, when non-nil, accumulates blocking reasons as the walk prunes
 	// or rejects candidates (see signature.go). Reasons survive
 	// rollbacks on purpose: a rolled-back claim was still a real
@@ -55,6 +64,16 @@ func (m *matcher) note(v *resgraph.Vertex, typeID int32, shortfall int64) {
 	if m.sig != nil {
 		m.sig.noteVertex(v, typeID, shortfall)
 	}
+}
+
+// up reports whether v is schedulable for this attempt: per the pinned
+// epoch in epoch mode (v.Status would be a data race without the graph
+// lock), per the live status bit otherwise.
+func (m *matcher) up(v *resgraph.Vertex) bool {
+	if m.ep != nil {
+		return m.ep.Up(v.UniqID)
+	}
+	return v.Status == resgraph.StatusUp
 }
 
 // availUnits returns the units of v available throughout the window,
@@ -70,9 +89,20 @@ func (m *matcher) availUnits(v *resgraph.Vertex) int64 {
 		return s.avail[uid]
 	}
 	var a int64
-	if m.dry {
+	switch {
+	case m.dry:
 		a = v.Size - s.tentative[uid]
-	} else {
+	case m.ep != nil:
+		// Epoch mode: window availability from the immutable snapshot,
+		// minus this attempt's own scratch-local tentative claims. No
+		// shared state is read or written.
+		if sn := m.ep.Plan(uid); sn != nil {
+			if avail, err := sn.AvailDuring(m.at, m.dur); err == nil {
+				a = avail
+			}
+		}
+		a -= s.tentative[uid]
+	default:
 		avail, err := v.Planner().AvailDuring(m.at, m.dur)
 		if err == nil {
 			a = avail
@@ -92,7 +122,7 @@ func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
 	va := VertexAlloc{V: v, Units: units}
 	if units > 0 {
 		switch {
-		case m.dry:
+		case m.dry, m.ep != nil:
 			m.s.tentative[v.UniqID] += units
 		case m.snap:
 			v.AddSpecClaim(units)
@@ -102,10 +132,11 @@ func (m *matcher) claim(v *resgraph.Vertex, units int64) bool {
 				return false
 			}
 			va.span = id
+			m.t.g.MarkEpochDirty(v)
 		}
 		m.s.availGen[v.UniqID] = 0 // drop the memoized availability
 		if v.HasChildren(m.t.subsystem) {
-			m.s.cands.structuralChange(v, m.t.containment)
+			m.s.cands.structuralChange(v, m.t.containment, m.ep)
 		}
 	}
 	m.s.verts = append(m.s.verts, va)
@@ -125,16 +156,17 @@ func (m *matcher) rollbackTo(mark int) {
 			continue
 		}
 		switch {
-		case m.dry:
+		case m.dry, m.ep != nil:
 			m.s.tentative[va.V.UniqID] -= va.Units
 		case m.snap:
 			va.V.AddSpecClaim(-va.Units)
 		default:
 			_ = va.V.Planner().RemoveSpan(va.span)
+			m.t.g.MarkEpochDirty(va.V)
 		}
 		m.s.availGen[va.V.UniqID] = 0
 		if va.V.HasChildren(m.t.subsystem) {
-			m.s.cands.structuralChange(va.V, m.t.containment)
+			m.s.cands.structuralChange(va.V, m.t.containment, m.ep)
 		}
 	}
 	m.s.verts = m.s.verts[:mark]
@@ -182,6 +214,13 @@ func (m *matcher) matchRequest(v *resgraph.Vertex, ni int32, excl bool) bool {
 	if e == nil {
 		buf := m.s.cands.getBuf()
 		buf = m.collect(buf[:0], v, cn)
+		if m.rot != 0 && len(buf) > 1 {
+			// Epoch-mode divergence steering: rotate the traversal-order
+			// list by a jobID-derived offset so concurrent first-fit
+			// speculators start their scans at different pools. Done
+			// once at collect time so cursors stay consistent.
+			rotateVerts(buf, int(m.rot%uint64(len(buf))))
+		}
 		e = m.s.cands.put(key, v, cn.TypeID, buf)
 	}
 
@@ -236,7 +275,7 @@ func (m *matcher) matchRequest(v *resgraph.Vertex, ni int32, excl bool) bool {
 // returning the units of cn's type it contributed (0 on failure). Claims
 // made for a failed candidate are rolled back before returning.
 func (m *matcher) tryCandidate(c *resgraph.Vertex, cn *jobspec.CNode, excl bool, needed int64) int64 {
-	if c.Status != resgraph.StatusUp {
+	if !m.up(c) {
 		return 0
 	}
 	exclusive := excl || cn.Exclusive
@@ -302,7 +341,7 @@ func (m *matcher) collect(out []*resgraph.Vertex, v *resgraph.Vertex, cn *jobspe
 			continue
 		}
 		c := e.To
-		if c.Status != resgraph.StatusUp {
+		if !m.up(c) {
 			continue
 		}
 		if c.TypeID == cn.TypeID {
@@ -332,6 +371,22 @@ func (m *matcher) collect(out []*resgraph.Vertex, v *resgraph.Vertex, cn *jobspe
 // needs of one request instance, resolving member planners by interned
 // type ID.
 func (m *matcher) filterAdmits(c *resgraph.Vertex, needs []jobspec.TypeCount) bool {
+	if m.ep != nil {
+		ms := m.ep.Filter(c.UniqID)
+		if ms == nil {
+			return true
+		}
+		for i := range needs {
+			sn := ms.ByID(needs[i].ID)
+			if sn == nil {
+				continue // filter does not track this type
+			}
+			if !sn.CanFit(m.at, m.dur, needs[i].Units) {
+				return false
+			}
+		}
+		return true
+	}
 	f := c.Filter()
 	if f == nil {
 		return true
@@ -351,4 +406,18 @@ func (m *matcher) filterAdmits(c *resgraph.Vertex, needs []jobspec.TypeCount) bo
 		}
 	}
 	return true
+}
+
+// rotateVerts rotates s left by k (0 <= k < len(s)) in place via the
+// triple-reversal trick, allocation-free.
+func rotateVerts(s []*resgraph.Vertex, k int) {
+	reverseVerts(s[:k])
+	reverseVerts(s[k:])
+	reverseVerts(s)
+}
+
+func reverseVerts(s []*resgraph.Vertex) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }

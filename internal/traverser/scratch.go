@@ -32,13 +32,19 @@ type matchScratch struct {
 	ordered [][]*resgraph.Vertex
 	depth   int
 
+	// structEpoch stamps which structural epoch generation the candidate
+	// cache's recycled buffers belong to. When it changes (attach/detach
+	// renumbered the tree), the free list is dropped so no buffer keeps
+	// detached vertices reachable across epochs.
+	structEpoch uint64
+
 	cands candCache
 	sdfu  sdfuScratch
 }
 
 // begin readies the scratch for an attempt over vertices with UniqID in
-// [0, n).
-func (s *matchScratch) begin(n int64) {
+// [0, n), against structural epoch generation structEpoch.
+func (s *matchScratch) begin(n int64, structEpoch uint64) {
 	s.gen++
 	if s.gen == 0 { // uint32 wrap: stale stamps could read as live
 		for i := range s.availGen {
@@ -53,6 +59,10 @@ func (s *matchScratch) begin(n int64) {
 	}
 	s.verts = s.verts[:0]
 	s.depth = 0
+	if s.structEpoch != structEpoch {
+		s.structEpoch = structEpoch
+		s.cands.dropFree()
+	}
 	s.cands.reset()
 }
 
@@ -118,6 +128,17 @@ func (c *candCache) reset() {
 	}
 }
 
+// dropFree releases the recycled candidate buffers to the garbage
+// collector. Called when the structural epoch changes: a recycled buffer
+// still holds pointers to the previous topology's vertices, and keeping
+// it would pin detached subtrees in memory indefinitely.
+func (c *candCache) dropFree() {
+	for i := range c.free {
+		c.free[i] = nil
+	}
+	c.free = c.free[:0]
+}
+
 // getBuf returns a recycled candidate buffer (or nil; append grows it).
 func (c *candCache) getBuf() []*resgraph.Vertex {
 	if n := len(c.free); n > 0 {
@@ -168,14 +189,22 @@ func (c *candCache) put(key candKey, root *resgraph.Vertex, typeID int32, cands 
 // Invalidated buffers are dropped to the garbage collector rather than
 // recycled: a scan higher up the recursion stack may still be iterating
 // the slice, so handing it to a later collect would alias live state.
-func (c *candCache) structuralChange(v *resgraph.Vertex, containment bool) {
+func (c *candCache) structuralChange(v *resgraph.Vertex, containment bool, ep *resgraph.Epoch) {
 	for i := range c.entries {
 		e := &c.entries[i]
 		if !e.valid || e.typeID == v.TypeID {
 			continue
 		}
-		if containment && !v.InSubtreeOf(e.root) {
-			continue
+		if containment {
+			// Epoch mode reads the subtree labels from the pinned epoch
+			// — the live labels may be renumbered concurrently.
+			if ep != nil {
+				if !ep.InSubtree(e.root.UniqID, v.UniqID) {
+					continue
+				}
+			} else if !v.InSubtreeOf(e.root) {
+				continue
+			}
 		}
 		e.valid = false
 		e.cands = nil

@@ -154,7 +154,7 @@ func (t *Traverser) MatchAllocateCompiledSig(jobID int64, cjs *jobspec.Compiled,
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit, sig)
+	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit, sig, nil)
 	if err != nil {
 		if sig != nil && errors.Is(err, ErrNoMatch) {
 			t.captureHint(cjs, at, t.effectiveDuration(cjs.Spec(), at), sig)
@@ -162,6 +162,7 @@ func (t *Traverser) MatchAllocateCompiledSig(jobID int64, cjs *jobspec.Compiled,
 		return nil, err
 	}
 	t.allocs[jobID] = alloc
+	t.g.PublishEpoch()
 	return alloc, nil
 }
 
@@ -178,8 +179,9 @@ func (t *Traverser) MatchAllocateOrReserveCompiledSig(jobID int64, cjs *jobspec.
 	if _, dup := t.allocs[jobID]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit, sig); err == nil {
+	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit, sig, nil); err == nil {
 		t.allocs[jobID] = alloc
+		t.g.PublishEpoch()
 		return alloc, nil
 	}
 	if sig != nil {
@@ -216,10 +218,11 @@ func (t *Traverser) reserveProbe(jobID int64, cjs *jobspec.Compiled, now int64) 
 		if err != nil {
 			return nil, fmt.Errorf("%w: no candidate reservation time: %v", ErrNoMatch, err)
 		}
-		if alloc, err := t.tryMatch(jobID, cjs, cand, modeCommit, nil); err == nil {
+		if alloc, err := t.tryMatch(jobID, cjs, cand, modeCommit, nil, nil); err == nil {
 			alloc.Reserved = true
 			t.allocs[jobID] = alloc
 			t.publishClaims(alloc)
+			t.g.PublishEpoch()
 			return alloc, nil
 		}
 		after = cand

@@ -63,6 +63,30 @@ func WithMaxReserveDepth(n int) Option {
 	return func(t *Traverser) { t.maxReserveDepth = n }
 }
 
+// WithMVCC toggles epoch-snapshot speculation (default on). When on,
+// MatchSpeculate pins the graph's current MVCC epoch and matches against
+// it with zero synchronization — no graph reader lock, no per-vertex
+// claim atomics — and Commit re-validates with a cheap epoch-stability
+// check. When off, speculation falls back to the legacy path: reader
+// lock for the walk plus per-vertex speculative claim counters. The
+// toggle exists for decision-parity testing of the two paths.
+func WithMVCC(on bool) Option {
+	return func(t *Traverser) { t.mvcc = on }
+}
+
+// EnableSteering turns on per-job first-fit steering: every match attempt
+// (speculative or sequential) rotates candidate lists by a jobID-derived
+// offset, so concurrent MVCC speculators probe disjoint pools instead of
+// all claiming the head of the same list and conflicting at commit.
+// Placement stays deterministic — a pure function of (jobID, graph state),
+// identical on every match path — but differs from the natural first-fit
+// order, so direct API users keep it off by default; the scheduler enables
+// it when it owns all matching on the traverser. Call before any
+// concurrent use; the flag is read without synchronization. No effect on
+// ranking policies (they re-sort candidates) or the non-MVCC path (it
+// steers with shared claim counters).
+func (t *Traverser) EnableSteering() { t.steer = true }
+
 // Traverser matches jobspecs against a finalized resource graph.
 //
 // A Traverser is safe for concurrent use. Committing operations
@@ -80,6 +104,8 @@ type Traverser struct {
 	root            *resgraph.Vertex // cached: Graph.Root self-locks
 	containment     bool             // subsystem is containment: subtree intervals are valid
 	staticOrder     bool             // policy keeps traversal order: first-fit cursors apply
+	mvcc            bool             // speculate against pinned MVCC epochs (see WithMVCC)
+	steer           bool             // rotate first-fit order per job (see EnableSteering)
 
 	mu     sync.RWMutex
 	allocs map[int64]*Allocation
@@ -104,6 +130,7 @@ func New(g *resgraph.Graph, policy match.Policy, opts ...Option) (*Traverser, er
 		policy:          policy,
 		subsystem:       resgraph.Containment,
 		maxReserveDepth: 4096,
+		mvcc:            true,
 		allocs:          make(map[int64]*Allocation),
 	}
 	for _, o := range opts {
@@ -174,6 +201,13 @@ type Allocation struct {
 	Vertices []VertexAlloc
 
 	filterSpans []filterSpan
+
+	// pin is the MVCC epoch this allocation speculated against (nil for
+	// committed allocations and legacy claim-counter speculations).
+	// Commit compares it against the current epoch: a still-stable pin
+	// proves nothing changed since the match, skipping per-vertex
+	// re-validation.
+	pin *resgraph.Epoch
 }
 
 // Describe renders the selected resource set, one "path[units]" per
@@ -257,11 +291,12 @@ func (t *Traverser) MatchAllocateCompiled(jobID int64, cjs *jobspec.Compiled, at
 
 // allocate matches and registers; callers hold t.mu and have dup-checked.
 func (t *Traverser) allocate(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
-	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit, nil)
+	alloc, err := t.tryMatch(jobID, cjs, at, modeCommit, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	t.allocs[jobID] = alloc
+	t.g.PublishEpoch()
 	return alloc, nil
 }
 
@@ -298,8 +333,9 @@ func (t *Traverser) MatchAllocateOrReserveCompiled(jobID int64, cjs *jobspec.Com
 // allocateOrReserve implements the allocate-else-reserve probe loop;
 // callers hold t.mu and have dup-checked.
 func (t *Traverser) allocateOrReserve(jobID int64, cjs *jobspec.Compiled, now int64) (*Allocation, error) {
-	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit, nil); err == nil {
+	if alloc, err := t.tryMatch(jobID, cjs, now, modeCommit, nil, nil); err == nil {
 		t.allocs[jobID] = alloc
+		t.g.PublishEpoch()
 		return alloc, nil
 	}
 	return t.reserveProbe(jobID, cjs, now)
@@ -324,7 +360,7 @@ func (t *Traverser) MatchSatisfyCompiled(cjs *jobspec.Compiled) (bool, error) {
 }
 
 func (t *Traverser) satisfy(cjs *jobspec.Compiled) (bool, error) {
-	_, err := t.tryMatch(0, cjs, t.g.Base(), modeDry, nil)
+	_, err := t.tryMatch(0, cjs, t.g.Base(), modeDry, nil, nil)
 	switch {
 	case err == nil:
 		return true, nil
@@ -355,6 +391,7 @@ func (t *Traverser) Cancel(jobID int64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	_, err := t.remove(jobID)
+	t.g.PublishEpoch()
 	return err
 }
 
@@ -365,7 +402,9 @@ func (t *Traverser) Cancel(jobID int64) error {
 func (t *Traverser) Evict(jobID int64) (*Allocation, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.remove(jobID)
+	alloc, err := t.remove(jobID)
+	t.g.PublishEpoch()
+	return alloc, err
 }
 
 // remove uninstalls an allocation's planner spans and filter spans.
@@ -384,11 +423,13 @@ func (t *Traverser) remove(jobID int64) (*Allocation, error) {
 		if err := va.V.Planner().RemoveSpan(va.span); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		t.g.MarkEpochDirty(va.V)
 	}
 	for _, fs := range alloc.filterSpans {
 		if err := fs.owner.Filter().RemoveSpan(fs.id); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		t.g.MarkEpochDirty(fs.owner)
 	}
 	t.publishFrees(alloc)
 	return alloc, firstErr
@@ -459,6 +500,9 @@ func (t *Traverser) MarkDown(path string) ([]*Allocation, error) {
 	if _, err := t.g.MarkDown(v); err != nil {
 		return evicted, err
 	}
+	// g.MarkDown publishes when status flipped; this covers the
+	// already-down case where only evictions above dirtied state.
+	t.g.PublishEpoch()
 	return evicted, nil
 }
 
@@ -530,6 +574,7 @@ func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, gr
 				return nil, fmt.Errorf("%w: %q: %v", ErrNoMatch, gr.Path, err)
 			}
 			va.span = id
+			t.g.MarkEpochDirty(v)
 		}
 		alloc.Vertices = append(alloc.Vertices, va)
 	}
@@ -538,6 +583,7 @@ func (t *Traverser) Reinstall(jobID int64, at, duration int64, reserved bool, gr
 		return nil, err
 	}
 	t.allocs[jobID] = alloc
+	t.g.PublishEpoch()
 	return alloc, nil
 }
 
@@ -577,6 +623,7 @@ func (t *Traverser) Release(jobID int64, paths []string) error {
 				if err := va.V.Planner().RemoveSpan(va.span); err != nil {
 					return err
 				}
+				t.g.MarkEpochDirty(va.V)
 				t.g.PublishSpanDelta(resgraph.DeltaFree, va.V, va.Units, alloc.At, alloc.At+alloc.Duration)
 			}
 			continue
@@ -591,13 +638,17 @@ func (t *Traverser) Release(jobID int64, paths []string) error {
 		if err := fs.owner.Filter().RemoveSpan(fs.id); err != nil {
 			return err
 		}
+		t.g.MarkEpochDirty(fs.owner)
 	}
 	alloc.filterSpans = nil
 	if remaining == 0 && len(alloc.Vertices) == 0 {
 		delete(t.allocs, jobID)
+		t.g.PublishEpoch()
 		return nil
 	}
-	return t.updateFilters(alloc)
+	err := t.updateFilters(alloc)
+	t.g.PublishEpoch()
+	return err
 }
 
 // Info returns the allocation for jobID.
@@ -645,11 +696,16 @@ const (
 // tryMatch runs one full match attempt at time `at`. In commit mode the
 // vertex spans are committed and ancestor filters updated (SDFU) on
 // success; on failure everything is rolled back and ErrNoMatch returned.
-// The graph's reader lock is held for the whole traversal so topology
-// mutations (attach/detach, status flips) never interleave with a match —
-// which is also what freezes the topology and status bits the match
-// kernel's candidate cache relies on.
-func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode matchMode, sig *BlockSig) (*Allocation, error) {
+//
+// With ep == nil, the graph's reader lock is held for the whole traversal
+// so topology mutations (attach/detach, status flips) never interleave
+// with a match — which is also what freezes the topology and status bits
+// the match kernel's candidate cache relies on. With a non-nil ep (epoch
+// speculation, modeSnap only), no graph lock is taken at all: every
+// status bit, subtree label, planner window, and pruning filter is read
+// from the immutable pinned epoch, and tentative claims live in the
+// attempt's private scratch.
+func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode matchMode, sig *BlockSig, ep *resgraph.Epoch) (*Allocation, error) {
 	dur := t.effectiveDuration(cjs.Spec(), at)
 	if dur <= 0 {
 		if sig != nil {
@@ -672,16 +728,41 @@ func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode 
 		defer t.scratchPool.Put(s)
 	}
 
-	t.g.RLock()
-	defer t.g.RUnlock()
 	root := t.root
-	s.begin(t.g.UniqBound())
+	if ep == nil {
+		t.g.RLock()
+		defer t.g.RUnlock()
+		s.begin(t.g.UniqBound(), t.g.Epoch().StructVersion())
+	} else {
+		s.begin(ep.UniqBound(), ep.StructVersion())
+	}
 
 	// Fast fail: the root filter's aggregates must fit first (paper
 	// §3.2: the traversal begins at the graph store root, where the
 	// aggregate counts of all requested resources are checked).
 	if mode != modeDry {
-		if rf := root.Filter(); rf != nil {
+		if ep != nil {
+			if rf := ep.Filter(root.UniqID); rf != nil {
+				tracked, fit := false, true
+				for _, tc := range cjs.Totals() {
+					if tc.Units <= 0 {
+						continue
+					}
+					sn := rf.ByID(tc.ID)
+					if sn == nil {
+						continue
+					}
+					tracked = true
+					if !sn.CanFit(at, dur, tc.Units) {
+						fit = false
+						break
+					}
+				}
+				if tracked && !fit {
+					return nil, fmt.Errorf("%w: root filter rejects at t=%d", ErrNoMatch, at)
+				}
+			}
+		} else if rf := root.Filter(); rf != nil {
 			tracked, fit := false, true
 			for _, tc := range cjs.Totals() {
 				if tc.Units <= 0 {
@@ -714,7 +795,20 @@ func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode 
 		dur:   dur,
 		dry:   mode == modeDry,
 		snap:  mode == modeSnap,
+		ep:    ep,
 		sig:   sig,
+	}
+	if t.steer && t.staticOrder {
+		// Divergence steering without shared state: each match attempt
+		// rotates first-fit candidate lists by a jobID-derived offset, so
+		// concurrent speculators probe disjoint pools instead of all
+		// racing for the head of the same list. The rotation applies on
+		// every path (speculative and sequential alike) and in both the
+		// MVCC and legacy configurations, making a job's placement a pure
+		// function of (jobID, graph state) — speculation and its
+		// sequential fallback agree, which keeps full, incremental, and
+		// cross-configuration runs decision-identical.
+		m.rot = splitmix64(uint64(jobID))
 	}
 	if !m.matchForest(root, cjs.Roots(), false) {
 		m.rollbackTo(0)
@@ -736,35 +830,70 @@ func (t *Traverser) tryMatch(jobID int64, cjs *jobspec.Compiled, at int64, mode 
 	case modeDry:
 		m.rollbackTo(0)
 	case modeSnap:
-		// Claims stay published until Commit or Abandon; the selection
-		// must outlive this attempt's scratch.
+		// The selection must outlive this attempt's scratch.
 		alloc.Vertices = append(make([]VertexAlloc, 0, len(s.verts)), s.verts...)
+		if ep != nil {
+			// Epoch speculation: tentative claims are scratch-local;
+			// zero them so the pooled scratch comes back clean. (Legacy
+			// claims stay published until Commit or Abandon.)
+			alloc.pin = ep
+			for _, va := range s.verts {
+				if va.Units > 0 {
+					s.tentative[va.V.UniqID] -= va.Units
+				}
+			}
+		}
 	}
 	return alloc, nil
 }
 
-// MatchSpeculate matches js at time `at` against a read snapshot without
-// committing anything. Selected units are published to per-vertex claim
-// counters so concurrent speculations steer around each other, but no
-// planner spans are written: the returned Allocation is tentative and MUST
-// be handed to exactly one of Commit or Abandon. Multiple goroutines may
-// speculate concurrently, and concurrently with read queries.
-func (t *Traverser) MatchSpeculate(jobID int64, js *jobspec.Jobspec, at int64) (*Allocation, error) {
-	t.mu.RLock()
-	_, dup := t.allocs[jobID]
-	t.mu.RUnlock()
-	if dup {
-		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed hash
+// of a job ID into a rotation offset.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PinEpoch returns the graph's current MVCC epoch for a batch of epoch
+// speculations (one atomic load), or nil when epoch speculation is
+// disabled (WithMVCC(false)) — a nil pin routes MatchSpeculateEpoch to
+// the legacy claim-counter path.
+func (t *Traverser) PinEpoch() *resgraph.Epoch {
+	if !t.mvcc {
+		return nil
 	}
+	return t.g.Epoch()
+}
+
+// MatchSpeculate matches js at time `at` against a read snapshot without
+// committing anything: the returned Allocation is tentative and MUST be
+// handed to exactly one of Commit or Abandon. Multiple goroutines may
+// speculate concurrently, and concurrently with read queries.
+//
+// In MVCC mode (the default) the attempt pins the current epoch and runs
+// with zero synchronization against its immutable snapshots. In legacy
+// mode, selected units are published to per-vertex claim counters so
+// concurrent speculations steer around each other.
+func (t *Traverser) MatchSpeculate(jobID int64, js *jobspec.Jobspec, at int64) (*Allocation, error) {
 	cjs, err := t.Compile(js)
 	if err != nil {
 		return nil, err
 	}
-	return t.tryMatch(jobID, cjs, at, modeSnap, nil)
+	return t.MatchSpeculateCompiledEpoch(jobID, cjs, at, t.PinEpoch())
 }
 
 // MatchSpeculateCompiled is MatchSpeculate for a precompiled jobspec.
 func (t *Traverser) MatchSpeculateCompiled(jobID int64, cjs *jobspec.Compiled, at int64) (*Allocation, error) {
+	return t.MatchSpeculateCompiledEpoch(jobID, cjs, at, t.PinEpoch())
+}
+
+// MatchSpeculateCompiledEpoch is MatchSpeculateCompiled against an
+// explicitly pinned epoch, letting a scheduling cycle pin once and fan a
+// whole batch of speculations out against the same consistent snapshot.
+// A nil ep selects the legacy claim-counter path.
+func (t *Traverser) MatchSpeculateCompiledEpoch(jobID int64, cjs *jobspec.Compiled, at int64, ep *resgraph.Epoch) (*Allocation, error) {
 	if err := t.checkCompiled(cjs); err != nil {
 		return nil, err
 	}
@@ -774,27 +903,51 @@ func (t *Traverser) MatchSpeculateCompiled(jobID int64, cjs *jobspec.Compiled, a
 	if dup {
 		return nil, fmt.Errorf("%w: %d", ErrExists, jobID)
 	}
-	return t.tryMatch(jobID, cjs, at, modeSnap, nil)
+	return t.tryMatch(jobID, cjs, at, modeSnap, nil, ep)
 }
 
 // Commit validates a speculative allocation against committed planner
-// state and installs it. Conflict detection is inherent: each selection is
-// re-planned with AddSpan, which fails if a concurrent commit took the
-// capacity first; shared structural vertices are re-checked for exclusive
-// takeover. On any conflict every span added so far is rolled back and
-// ErrConflict returned — the job must be re-matched. The speculation's
-// claims are consumed either way; do not call Abandon afterwards.
+// state and installs it. For an epoch speculation whose pinned epoch is
+// still stable — nothing committed, released, or flipped since the pin —
+// re-validation is one version comparison and the per-vertex conflict
+// re-walk (status, exclusive-takeover probes) is skipped entirely; spans
+// are still installed, which is the commit itself. Otherwise conflict
+// detection is inherent: each selection is re-planned with AddSpan, which
+// fails if a concurrent commit took the capacity first; shared structural
+// vertices are re-checked for exclusive takeover and detached or downed
+// vertices rejected. On any conflict every span added so far is rolled
+// back and ErrConflict returned — the job must be re-matched. The
+// speculation is consumed either way; do not call Abandon afterwards.
 func (t *Traverser) Commit(alloc *Allocation) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	// Release claims before unlocking but after spans are in place, so
-	// concurrent speculators never observe the capacity as free.
-	defer t.releaseClaims(alloc)
+	err := t.commitSpans(alloc)
+	if err == nil {
+		t.g.PublishEpoch()
+	}
+	return err
+}
+
+// commitSpans is Commit's validation and span installation; callers hold
+// t.mu. Split out so the epoch publication above runs after the graph
+// reader lock is released.
+func (t *Traverser) commitSpans(alloc *Allocation) error {
+	if alloc.pin == nil {
+		// Legacy speculation: release claims before unlocking but after
+		// spans are in place, so concurrent speculators never observe
+		// the capacity as free. (Epoch speculations publish no claims.)
+		defer t.releaseClaims(alloc)
+	}
 	if _, dup := t.allocs[alloc.JobID]; dup {
 		return fmt.Errorf("%w: %d", ErrExists, alloc.JobID)
 	}
 	t.g.RLock()
 	defer t.g.RUnlock()
+	// Stability is checked under the reader lock (writers excluded) and
+	// t.mu (committers serialized): if the pinned epoch is still current
+	// with nothing pending, the state the speculation matched against is
+	// the state being committed into.
+	fast := alloc.pin != nil && t.g.EpochStable(alloc.pin)
 	rollback := func(n int) {
 		for _, va := range alloc.Vertices[:n] {
 			if va.Units > 0 {
@@ -804,11 +957,16 @@ func (t *Traverser) Commit(alloc *Allocation) error {
 	}
 	for i := range alloc.Vertices {
 		va := &alloc.Vertices[i]
-		if va.V.Status != resgraph.StatusUp {
-			rollback(i)
-			return fmt.Errorf("%w: %s went down", ErrConflict, va.V.Path())
+		if !fast {
+			if !va.V.Attached() || va.V.Status != resgraph.StatusUp {
+				rollback(i)
+				return fmt.Errorf("%w: %s went down", ErrConflict, va.V.Path())
+			}
 		}
 		if va.Units == 0 {
+			if fast {
+				continue
+			}
 			// Shared structural grant: the vertex must not have been
 			// exclusively taken since speculation.
 			if avail, err := va.V.Planner().AvailDuring(alloc.At, alloc.Duration); err != nil || avail <= 0 {
@@ -823,6 +981,7 @@ func (t *Traverser) Commit(alloc *Allocation) error {
 			return fmt.Errorf("%w: %s: %v", ErrConflict, va.V.Path(), err)
 		}
 		va.span = id
+		t.g.MarkEpochDirty(va.V)
 	}
 	if err := t.updateFilters(alloc); err != nil {
 		rollback(len(alloc.Vertices))
@@ -832,9 +991,13 @@ func (t *Traverser) Commit(alloc *Allocation) error {
 	return nil
 }
 
-// Abandon releases a speculative allocation's claims without committing
-// it. Safe to call from any goroutine; must not be called after Commit.
+// Abandon releases a speculative allocation without committing it. Safe
+// to call from any goroutine; must not be called after Commit. For epoch
+// speculations this is a no-op — they publish no shared state.
 func (t *Traverser) Abandon(alloc *Allocation) {
+	if alloc == nil || alloc.pin != nil {
+		return
+	}
 	t.releaseClaims(alloc)
 }
 
@@ -871,6 +1034,7 @@ func (t *Traverser) updateFilters(alloc *Allocation) error {
 	}
 	for i, owner := range s.owners {
 		id, err := owner.Filter().AddSpanList(alloc.At, alloc.Duration, s.types[i], s.counts[i])
+		t.g.MarkEpochDirty(owner)
 		if err != nil {
 			// Roll back filter spans added so far; vertex spans
 			// are rolled back by the caller.
