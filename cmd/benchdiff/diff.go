@@ -26,6 +26,14 @@ type Baseline struct {
 	// baseline. Unlike ns/op it is deterministic per machine, so the
 	// gate compares it directly, without calibration or spread.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// MemBytes is the median of each custom memory metric benchmarks
+	// report via testing.B.ReportMetric (units containing "bytes/" —
+	// bytes/vertex, bytes/job, rss-bytes/vertex, ...), keyed
+	// "<benchmark> <unit>". Heap-accounted metrics are gated raw like
+	// allocs/op; metrics with an "rss-" unit prefix are recorded and
+	// reported but never fail the gate, since OS paging is not
+	// deterministic.
+	MemBytes map[string]float64 `json:"mem_bytes,omitempty"`
 }
 
 // Samples holds the per-benchmark measurements of one `go test -bench`
@@ -34,6 +42,8 @@ type Baseline struct {
 type Samples struct {
 	Ns     map[string][]float64
 	Allocs map[string][]float64
+	// Mem collects custom memory metrics, keyed "<benchmark> <unit>".
+	Mem map[string][]float64
 }
 
 // ParseBench extracts ns/op and allocs/op samples per benchmark from
@@ -44,6 +54,7 @@ func ParseBench(r io.Reader) (*Samples, error) {
 	samples := &Samples{
 		Ns:     make(map[string][]float64),
 		Allocs: make(map[string][]float64),
+		Mem:    make(map[string][]float64),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -56,16 +67,21 @@ func ParseBench(r io.Reader) (*Samples, error) {
 		}
 		var nsPerOp, allocsPerOp float64
 		foundNs, foundAllocs := false, false
+		mem := map[string]float64{}
 		for i := 2; i+1 < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
-			case "ns/op":
+			switch unit := fields[i+1]; {
+			case unit == "ns/op":
 				nsPerOp, foundNs = v, true
-			case "allocs/op":
+			case unit == "allocs/op":
 				allocsPerOp, foundAllocs = v, true
+			case strings.Contains(unit, "bytes/"):
+				// Custom memory metrics from b.ReportMetric:
+				// bytes/vertex, rss-bytes/vertex, bytes/job, ...
+				mem[unit] = v
 			}
 		}
 		if !foundNs {
@@ -75,6 +91,10 @@ func ParseBench(r io.Reader) (*Samples, error) {
 		samples.Ns[name] = append(samples.Ns[name], nsPerOp)
 		if foundAllocs {
 			samples.Allocs[name] = append(samples.Allocs[name], allocsPerOp)
+		}
+		for unit, v := range mem {
+			key := name + " " + unit
+			samples.Mem[key] = append(samples.Mem[key], v)
 		}
 	}
 	return samples, sc.Err()
@@ -153,6 +173,7 @@ func WriteBaseline(path string, samples *Samples) error {
 		NsPerOp:     Medians(samples.Ns),
 		Spread:      roundMap(Spreads(samples.Ns)),
 		AllocsPerOp: Medians(samples.Allocs),
+		MemBytes:    Medians(samples.Mem),
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -191,10 +212,24 @@ type Row struct {
 	AllocRegressed bool
 }
 
+// MemRow is one memory metric's comparison outcome. Memory metrics are
+// byte counts per logical unit (vertex, job) reported via ReportMetric;
+// heap-accounted ones are gated raw like allocs/op, rss-* ones are
+// informational only.
+type MemRow struct {
+	Key       string // "<benchmark> <unit>"
+	Base      float64
+	Current   float64
+	Ratio     float64
+	Gated     bool
+	Regressed bool
+}
+
 // Report is the full comparison: per-benchmark rows plus the median
 // machine-speed factor used for calibration.
 type Report struct {
 	Rows      []Row
+	MemRows   []MemRow
 	Median    float64
 	Threshold float64
 	Missing   []string // gated baseline entries absent from the current run
@@ -251,14 +286,48 @@ func Compare(base *Baseline, currentSamples *Samples, gates []string, threshold 
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 
+	// Memory metrics: byte counts per logical unit from ReportMetric,
+	// keyed "<benchmark> <unit>". Heap-accounted metrics are deterministic
+	// per build, so they gate raw like allocs/op, with a 64-byte absolute
+	// floor so rounding jitter on small structs can't flake. Metrics whose
+	// unit starts with "rss-" depend on OS paging and are reported but
+	// never fail.
+	currentMem := Medians(currentSamples.Mem)
+	var memRows []MemRow
+	for key, cur := range currentMem {
+		b, ok := base.MemBytes[key]
+		if !ok || b <= 0 {
+			continue
+		}
+		row := MemRow{
+			Key: key, Base: b, Current: cur, Ratio: cur / b,
+			Gated: gated(key, gates) && !rssMetric(key),
+		}
+		row.Regressed = row.Gated && cur > b*(1+threshold) && cur-b > 64
+		memRows = append(memRows, row)
+	}
+	sort.Slice(memRows, func(i, j int) bool { return memRows[i].Key < memRows[j].Key })
+
 	var missing []string
 	for name := range base.NsPerOp {
 		if _, ok := current[name]; !ok && gated(name, gates) {
 			missing = append(missing, name)
 		}
 	}
+	for key := range base.MemBytes {
+		if _, ok := currentMem[key]; !ok && gated(key, gates) && !rssMetric(key) {
+			missing = append(missing, key)
+		}
+	}
 	sort.Strings(missing)
-	return &Report{Rows: rows, Median: med, Threshold: threshold, Missing: missing}, nil
+	return &Report{Rows: rows, MemRows: memRows, Median: med, Threshold: threshold, Missing: missing}, nil
+}
+
+// rssMetric reports whether a mem key's unit part carries the "rss-"
+// prefix ("BenchmarkGraphMemory/v100k rss-bytes/vertex").
+func rssMetric(key string) bool {
+	i := strings.LastIndex(key, " ")
+	return i >= 0 && strings.HasPrefix(key[i+1:], "rss-")
 }
 
 func gated(name string, gates []string) bool {
@@ -276,6 +345,11 @@ func (r *Report) Failed() bool {
 	}
 	for _, row := range r.Rows {
 		if row.Regressed || row.AllocRegressed {
+			return true
+		}
+	}
+	for _, row := range r.MemRows {
+		if row.Regressed {
 			return true
 		}
 	}
@@ -308,6 +382,21 @@ func (r *Report) String() string {
 		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %9.3f %9.3f %7.3f %12s %12s  %s\n",
 			row.Name, row.BaseNs, row.CurrentNs, row.Ratio, row.Calibrated, row.Limit,
 			baseAllocs, currAllocs, verdict)
+	}
+	if len(r.MemRows) > 0 {
+		fmt.Fprintf(&sb, "%-44s %14s %14s %9s  %s\n",
+			"memory metric", "base bytes", "curr bytes", "ratio", "verdict")
+		for _, row := range r.MemRows {
+			verdict := "-"
+			switch {
+			case row.Regressed:
+				verdict = "REGRESSED (mem)"
+			case row.Gated:
+				verdict = "ok"
+			}
+			fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %9.3f  %s\n",
+				row.Key, row.Base, row.Current, row.Ratio, verdict)
+		}
 	}
 	for _, name := range r.Missing {
 		fmt.Fprintf(&sb, "%-44s MISSING from current run (gated)\n", name)

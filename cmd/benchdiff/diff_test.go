@@ -12,6 +12,7 @@ BenchmarkLODMatch/High-8         	     100	  12000000 ns/op	  500 B/op	 3 allocs
 BenchmarkLODMatch/High-8         	     100	  11000000 ns/op	  500 B/op	 3 allocs/op
 BenchmarkPlannerSatAt/1000-8     	 1000000	      1100 ns/op
 BenchmarkSDFU-8                  	    5000	    300000 ns/op
+BenchmarkGraphMemory/v100k-8     	       1	 900000000 ns/op	       548.6 bytes/vertex	       620.3 rss-bytes/vertex
 PASS
 ok  	fluxion	4.2s
 `
@@ -26,6 +27,7 @@ func TestParseBench(t *testing.T) {
 		"BenchmarkLODMatch/High":     11500000, // median of the two runs
 		"BenchmarkPlannerSatAt/1000": 1100,
 		"BenchmarkSDFU":              300000,
+		"BenchmarkGraphMemory/v100k": 900000000,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
@@ -49,6 +51,14 @@ func TestParseBench(t *testing.T) {
 	}
 	if _, ok := allocs["BenchmarkPlannerSatAt/1000"]; ok {
 		t.Error("allocs recorded for a benchmark that did not report them")
+	}
+	// Custom memory metrics are keyed "<benchmark> <unit>".
+	mem := Medians(samples.Mem)
+	if mem["BenchmarkGraphMemory/v100k bytes/vertex"] != 548.6 {
+		t.Errorf("bytes/vertex = %v, want 548.6", mem["BenchmarkGraphMemory/v100k bytes/vertex"])
+	}
+	if mem["BenchmarkGraphMemory/v100k rss-bytes/vertex"] != 620.3 {
+		t.Errorf("rss-bytes/vertex = %v, want 620.3", mem["BenchmarkGraphMemory/v100k rss-bytes/vertex"])
 	}
 }
 
@@ -75,7 +85,15 @@ func one(m map[string]float64) *Samples {
 	for k, v := range m {
 		out[k] = []float64{v}
 	}
-	return &Samples{Ns: out, Allocs: make(map[string][]float64)}
+	return &Samples{Ns: out, Allocs: make(map[string][]float64), Mem: make(map[string][]float64)}
+}
+
+// withMem attaches single-sample custom memory metrics to s.
+func withMem(s *Samples, m map[string]float64) *Samples {
+	for k, v := range m {
+		s.Mem[k] = []float64{v}
+	}
+	return s
 }
 
 // withAllocs attaches single-sample allocs/op measurements to s.
@@ -287,6 +305,110 @@ func TestCompareAllocGateAbsoluteFloor(t *testing.T) {
 	}
 	if rep.Failed() {
 		t.Fatalf("two extra allocations tripped the gate:\n%s", rep)
+	}
+}
+
+// Heap memory metrics gate raw like allocs; rss-prefixed ones are
+// informational and never fail, however far they drift.
+func TestCompareMemGate(t *testing.T) {
+	base := &Baseline{
+		NsPerOp: map[string]float64{
+			"BenchmarkGraphMemory/v100k": 1000,
+			"BenchmarkSDFU":              3000,
+		},
+		MemBytes: map[string]float64{
+			"BenchmarkGraphMemory/v100k bytes/vertex":     1000,
+			"BenchmarkGraphMemory/v100k rss-bytes/vertex": 1200,
+		},
+	}
+	// +50% heap bytes/vertex on a gated benchmark: fail even though ns/op
+	// held steady.
+	current := withMem(one(map[string]float64{
+		"BenchmarkGraphMemory/v100k": 1000,
+		"BenchmarkSDFU":              3000,
+	}), map[string]float64{
+		"BenchmarkGraphMemory/v100k bytes/vertex":     1500,
+		"BenchmarkGraphMemory/v100k rss-bytes/vertex": 9000, // rss: never gated
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkGraphMemory"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("memory regression not flagged:\n%s", rep)
+	}
+	for _, row := range rep.MemRows {
+		want := row.Key == "BenchmarkGraphMemory/v100k bytes/vertex"
+		if row.Regressed != want {
+			t.Errorf("%s Regressed=%v, want %v", row.Key, row.Regressed, want)
+		}
+	}
+
+	// Within threshold: pass.
+	current = withMem(one(map[string]float64{
+		"BenchmarkGraphMemory/v100k": 1000,
+		"BenchmarkSDFU":              3000,
+	}), map[string]float64{
+		"BenchmarkGraphMemory/v100k bytes/vertex":     1100,
+		"BenchmarkGraphMemory/v100k rss-bytes/vertex": 1300,
+	})
+	rep, err = Compare(base, current, []string{"BenchmarkGraphMemory"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("memory growth within threshold failed the gate:\n%s", rep)
+	}
+}
+
+// Small heap metrics need the 64-byte absolute floor, mirroring the
+// two-allocation floor on the alloc gate.
+func TestCompareMemGateAbsoluteFloor(t *testing.T) {
+	base := &Baseline{
+		NsPerOp:  map[string]float64{"BenchmarkGraphMemory/v100k": 1000, "BenchmarkSDFU": 3000},
+		MemBytes: map[string]float64{"BenchmarkGraphMemory/v100k bytes/vertex": 40},
+	}
+	current := withMem(one(map[string]float64{
+		"BenchmarkGraphMemory/v100k": 1000,
+		"BenchmarkSDFU":              3000,
+	}), map[string]float64{
+		"BenchmarkGraphMemory/v100k bytes/vertex": 100, // +150% but only 60 bytes
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkGraphMemory"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sixty extra bytes tripped the gate:\n%s", rep)
+	}
+}
+
+// A gated heap metric vanishing from the current run must fail like a
+// missing benchmark; a vanished rss metric must not.
+func TestCompareMemMissing(t *testing.T) {
+	base := &Baseline{
+		NsPerOp: map[string]float64{
+			"BenchmarkGraphMemory/v100k": 1000,
+			"BenchmarkSDFU":              3000,
+		},
+		MemBytes: map[string]float64{
+			"BenchmarkGraphMemory/v100k bytes/vertex":     1000,
+			"BenchmarkGraphMemory/v100k rss-bytes/vertex": 1200,
+		},
+	}
+	current := one(map[string]float64{
+		"BenchmarkGraphMemory/v100k": 1000,
+		"BenchmarkSDFU":              3000,
+	})
+	rep, err := Compare(base, current, []string{"BenchmarkGraphMemory"}, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("missing gated memory metric did not fail the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkGraphMemory/v100k bytes/vertex" {
+		t.Fatalf("Missing = %v", rep.Missing)
 	}
 }
 

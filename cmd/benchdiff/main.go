@@ -23,6 +23,14 @@
 // more than two allocations. Baselines recorded before allocation
 // tracking (no allocs_per_op field) leave the allocation gate off.
 //
+// Custom memory metrics (ReportMetric units containing "bytes/", e.g.
+// bytes/vertex or bytes/job) are gated the same raw way: heap growth per
+// logical unit is deterministic per build, so a gated benchmark fails
+// when a memory metric exceeds its baseline by the threshold AND by more
+// than 64 bytes. Metrics whose unit starts with "rss-" track OS resident
+// set size, which paging makes nondeterministic; they are recorded in
+// the baseline and printed, but never fail the gate.
+//
 // Usage:
 //
 //	go test -run XXX -bench 'LODMatch|Planner' . > bench.txt
@@ -42,7 +50,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
 		inputPath    = flag.String("input", "-", "go test -bench output to compare ('-' for stdin)")
-		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch,BenchmarkSchedCycle", "comma-separated benchmark name prefixes that are gated")
+		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch,BenchmarkSchedCycle,BenchmarkGraphMemory,BenchmarkSchedMemory", "comma-separated benchmark name prefixes that are gated")
 		threshold    = flag.Float64("threshold", 0.20, "maximum tolerated calibrated slowdown (0.20 = +20%)")
 		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
 	)

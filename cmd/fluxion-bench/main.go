@@ -10,6 +10,7 @@
 //	fluxion-bench -experiment increment # incremental vs full-requeue engines
 //	fluxion-bench -experiment recovery  # WAL crash-recovery time vs log length
 //	fluxion-bench -experiment chaos     # self-defense survival vs fault intensity
+//	fluxion-bench -experiment memscale  # resting-graph memory vs system scale
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | memscale | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -51,6 +52,7 @@ func main() {
 		recPoints  = flag.Int("recovery-points", 8, "log-length sample points for the WAL recovery study")
 		chaosJobs  = flag.Int("chaos-jobs", 200, "trace length for the chaos self-defense study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
+		memRacks   = flag.String("memscale-racks", "7,70,703", "rack sweep for the resting-memory study (70 racks ~ 100k vertices)")
 		epochOps   = flag.Int("epochscale-ops", 8192, "epoch speculate+abandon cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -196,8 +198,23 @@ func main() {
 		writeCSV("chaos.csv", func(w *os.File) error { return experiments.WriteChaosCSV(w, results) })
 		fmt.Printf("(chaos experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("memscale") {
+		ran = true
+		sweep, err := parseInts(*memRacks)
+		fail(err)
+		rackSweep := make([]int64, len(sweep))
+		for i, n := range sweep {
+			rackSweep[i] = int64(n)
+		}
+		start := time.Now()
+		results, err := experiments.RunMemScale(rackSweep)
+		fail(err)
+		experiments.PrintMemScale(os.Stdout, results)
+		writeCSV("memscale.csv", func(w *os.File) error { return experiments.WriteMemScaleCSV(w, results) })
+		fmt.Printf("(memscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, memscale, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

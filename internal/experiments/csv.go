@@ -82,6 +82,30 @@ func WriteEpochScaleCSV(w io.Writer, results []EpochScaleResult) error {
 	return cw.Error()
 }
 
+// WriteMemScaleCSV renders the E11 resting-memory sweep.
+func WriteMemScaleCSV(w io.Writer, results []MemScaleResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"racks", "vertices", "build_ns", "heap_bytes", "bytes_per_vertex", "rss_bytes", "rss_bytes_per_vertex"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.FormatInt(r.Racks, 10),
+			strconv.Itoa(r.Vertices),
+			strconv.FormatInt(r.Build.Nanoseconds(), 10),
+			strconv.FormatUint(r.HeapBytes, 10),
+			strconv.FormatFloat(r.BytesPerVertex, 'f', 1, 64),
+			strconv.FormatUint(r.RSSBytes, 10),
+			strconv.FormatFloat(r.RSSPerVertex, 'f', 1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WritePlannerCSV renders Figure 6b series points.
 func WritePlannerCSV(w io.Writer, results []PlannerResult) error {
 	cw := csv.NewWriter(w)

@@ -382,3 +382,42 @@ func TestEpochScaleSmallScale(t *testing.T) {
 		t.Fatalf("epochscale csv lines = %d", lines)
 	}
 }
+
+func TestMemScaleSmallScale(t *testing.T) {
+	results, err := RunMemScale([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Vertices <= 0 || r.Build <= 0 {
+			t.Errorf("racks=%d: bad row %+v", r.Racks, r)
+		}
+		// Heap growth per vertex should be positive and nowhere near the
+		// pre-slab 2538 B/vertex footprint even at toy scale.
+		if r.BytesPerVertex <= 0 || r.BytesPerVertex > 2538 {
+			t.Errorf("racks=%d: bytes/vertex = %v", r.Racks, r.BytesPerVertex)
+		}
+	}
+	if results[1].Vertices <= results[0].Vertices {
+		t.Errorf("vertex counts did not grow: %d then %d",
+			results[0].Vertices, results[1].Vertices)
+	}
+	var buf bytes.Buffer
+	PrintMemScale(&buf, results)
+	if !strings.Contains(buf.String(), "B/vertex") {
+		t.Fatalf("table: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteMemScaleCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "racks,vertices,build_ns,heap_bytes,bytes_per_vertex,rss_bytes,rss_bytes_per_vertex") {
+		t.Fatalf("memscale header: %s", buf.String())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 { // header + 2 rows
+		t.Fatalf("memscale csv lines = %d", lines)
+	}
+}

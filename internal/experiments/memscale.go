@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+)
+
+// MemScaleResult is one row of the E11 resting-memory sweep: the heap and
+// RSS footprint of a finalized high-LOD resource graph at one system
+// scale. BytesPerVertex is the headline number the slab representation
+// optimizes; RSS tracks the same build at the OS level and includes
+// allocator overhead the heap figure hides.
+type MemScaleResult struct {
+	Racks          int64
+	Vertices       int
+	Build          time.Duration // wall time to build + finalize
+	HeapBytes      uint64        // live-heap growth attributable to the graph
+	BytesPerVertex float64
+	RSSBytes       uint64  // resident-set growth (0 where /proc is unavailable)
+	RSSPerVertex   float64 // 0 where RSS could not be read
+}
+
+// RunMemScale builds one pruned high-LOD graph per rack count and
+// measures its resting footprint: live heap settled by two forced
+// collections before and after the build, and /proc-reported RSS on the
+// same boundaries. Each graph is released before the next scale so rows
+// measure one graph, not the accumulation.
+func RunMemScale(rackSweep []int64) ([]MemScaleResult, error) {
+	var out []MemScaleResult
+	for _, racks := range rackSweep {
+		if racks < 1 {
+			return nil, fmt.Errorf("memscale: rack count %d", racks)
+		}
+		heap0, rss0 := settledHeap(), procRSS()
+		start := time.Now()
+		g, err := grug.BuildGraph(grug.HighLODRacks(racks), 0, 1<<31,
+			resgraph.PruneSpec{resgraph.ALL: {"core"}})
+		if err != nil {
+			return nil, fmt.Errorf("memscale %d racks: %w", racks, err)
+		}
+		build := time.Since(start)
+		heap1, rss1 := settledHeap(), procRSS()
+		r := MemScaleResult{
+			Racks:    racks,
+			Vertices: g.Len(),
+			Build:    build,
+		}
+		if heap1 > heap0 && r.Vertices > 0 {
+			r.HeapBytes = heap1 - heap0
+			r.BytesPerVertex = float64(r.HeapBytes) / float64(r.Vertices)
+		}
+		if rss1 > rss0 && r.Vertices > 0 {
+			r.RSSBytes = rss1 - rss0
+			r.RSSPerVertex = float64(r.RSSBytes) / float64(r.Vertices)
+		}
+		out = append(out, r)
+		runtime.KeepAlive(g)
+	}
+	return out, nil
+}
+
+// settledHeap returns the live heap after forcing collection twice (the
+// second pass collects objects resurrected by finalizers from the first).
+func settledHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// procRSS returns the process resident set size in bytes, or 0 where it
+// cannot be read (non-Linux).
+func procRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// PrintMemScale renders the memory sweep as a table.
+func PrintMemScale(w io.Writer, results []MemScaleResult) {
+	fmt.Fprintf(w, "Resting-graph memory scaling — pruned high-LOD builds (ALL:core filters), slab representation\n")
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %10s %12s %10s\n",
+		"racks", "vertices", "build", "heap", "B/vertex", "rss", "rssB/vtx")
+	for _, r := range results {
+		rss, rssPer := "-", "-"
+		if r.RSSBytes > 0 {
+			rss = fmt.Sprintf("%.1fMB", float64(r.RSSBytes)/(1<<20))
+			rssPer = fmt.Sprintf("%.1f", r.RSSPerVertex)
+		}
+		fmt.Fprintf(w, "%-8d %10d %12v %11.1fMB %10.1f %12s %10s\n",
+			r.Racks, r.Vertices, r.Build.Round(time.Millisecond),
+			float64(r.HeapBytes)/(1<<20), r.BytesPerVertex, rss, rssPer)
+	}
+}

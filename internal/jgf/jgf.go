@@ -79,7 +79,7 @@ func Encode(g *resgraph.Graph) ([]byte, error) {
 				Unit:       v.Unit,
 				Status:     v.Status.String(),
 				Properties: v.Properties,
-				Paths:      v.Paths,
+				Paths:      map[string]string{resgraph.Containment: v.Path()},
 			},
 		})
 	}

@@ -16,6 +16,17 @@ func (p *Planner) CheckInvariants() error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 
+	if !p.active() {
+		// Flat planner: no slab calendar may exist while spans are live.
+		if len(p.spans) != 0 {
+			return fmt.Errorf("planner: flat (no calendar) but %d spans live", len(p.spans))
+		}
+		if p.total < 0 {
+			return fmt.Errorf("planner: negative total %d", p.total)
+		}
+		return nil
+	}
+
 	if p.sp.Len() != p.et.Len() {
 		return fmt.Errorf("planner: SP tree has %d points, ET tree %d", p.sp.Len(), p.et.Len())
 	}
@@ -24,10 +35,8 @@ func (p *Planner) CheckInvariants() error {
 	// from the span set.
 	prev := int64(-1 << 62)
 	sawBase := false
-	points := 0
-	for n := p.sp.Min(); n != nil; n = n.Next() {
-		pt := n.Item()
-		points++
+	for n := p.sp.Min(); n != rbtree.None; n = p.sp.Next(n) {
+		pt := &p.pts[p.sp.Item(n)]
 		if pt.at <= prev {
 			return fmt.Errorf("planner: SP points out of order (%d after %d)", pt.at, prev)
 		}
@@ -43,7 +52,7 @@ func (p *Planner) CheckInvariants() error {
 			return fmt.Errorf("planner: point %d double-booked: remaining %d", pt.at, pt.remaining)
 		}
 		var want int64
-		var bounds int
+		var bounds int32
 		for _, s := range p.spans {
 			if s.Start <= pt.at && pt.at < s.Last {
 				want += s.Planned
@@ -71,60 +80,61 @@ func (p *Planner) CheckInvariants() error {
 
 	// Every span's boundaries must exist as scheduled points.
 	for id, s := range p.spans {
-		if f := p.floorPoint(s.Start); f == nil || f.at != s.Start {
+		if f := p.floorPoint(s.Start); f == noPoint || p.pts[f].at != s.Start {
 			return fmt.Errorf("planner: span %d start %d has no scheduled point", id, s.Start)
 		}
-		if f := p.floorPoint(s.Last); f == nil || f.at != s.Last {
+		if f := p.floorPoint(s.Last); f == noPoint || p.pts[f].at != s.Last {
 			return fmt.Errorf("planner: span %d end %d has no scheduled point", id, s.Last)
 		}
 	}
 
-	if err := checkETAug(p.et.Root()); err != nil {
+	if err := p.checkETAug(p.et.Root()); err != nil {
 		return err
 	}
-	return checkSPAug(p.sp.Root())
+	return p.checkSPAug(p.sp.Root())
 }
 
 // checkETAug verifies the subtree-minimum-time augmentation of the ET tree.
-func checkETAug(n *rbtree.Node[*schedPoint]) error {
-	if n == nil {
+func (p *Planner) checkETAug(n int32) error {
+	if n == rbtree.None {
 		return nil
 	}
-	pt := n.Item()
-	min := pt
-	for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
-		if c == nil {
+	i := p.et.Item(n)
+	min := i
+	for _, c := range [2]int32{p.et.Left(n), p.et.Right(n)} {
+		if c == rbtree.None {
 			continue
 		}
-		if err := checkETAug(c); err != nil {
+		if err := p.checkETAug(c); err != nil {
 			return err
 		}
-		if m := c.Item().subtreeMin; m.at < min.at {
+		if m := p.pts[p.et.Item(c)].subtreeMin; p.pts[m].at < p.pts[min].at {
 			min = m
 		}
 	}
-	if pt.subtreeMin != min {
-		return fmt.Errorf("planner: ET point %d: subtreeMin %d, want %d", pt.at, pt.subtreeMin.at, min.at)
+	if p.pts[i].subtreeMin != min {
+		return fmt.Errorf("planner: ET point %d: subtreeMin %d, want %d",
+			p.pts[i].at, p.pts[p.pts[i].subtreeMin].at, p.pts[min].at)
 	}
 	return nil
 }
 
 // checkSPAug verifies the max-remaining / max-time augmentations of the SP
 // tree.
-func checkSPAug(n *rbtree.Node[*schedPoint]) error {
-	if n == nil {
+func (p *Planner) checkSPAug(n int32) error {
+	if n == rbtree.None {
 		return nil
 	}
-	pt := n.Item()
+	pt := &p.pts[p.sp.Item(n)]
 	maxRem, maxAt := pt.remaining, pt.at
-	for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
-		if c == nil {
+	for _, c := range [2]int32{p.sp.Left(n), p.sp.Right(n)} {
+		if c == rbtree.None {
 			continue
 		}
-		if err := checkSPAug(c); err != nil {
+		if err := p.checkSPAug(c); err != nil {
 			return err
 		}
-		ci := c.Item()
+		ci := &p.pts[p.sp.Item(c)]
 		if ci.spMaxRemaining > maxRem {
 			maxRem = ci.spMaxRemaining
 		}

@@ -15,6 +15,15 @@
 //     augmented with the subtree-minimum scheduled time, answers "what is
 //     the earliest point at which request r fits" in O(log N) (paper
 //     Algorithm 1).
+//
+// The representation is slab-based: scheduled points live in one flat
+// slice per planner and the two trees are index-linked arenas
+// (rbtree.Arena), so an active calendar with N points costs three
+// contiguous allocations instead of ~3N heap objects. A planner with no
+// spans is *flat*: it holds no slab and no trees at all — availability is
+// total everywhere — which makes the resting per-vertex calendar a few
+// plain fields. The slab and trees materialize on the first AddSpan and
+// are reset (capacity retained) when the last span is removed.
 package planner
 
 import (
@@ -40,18 +49,17 @@ var (
 	ErrNotFound = errors.New("planner: span not found")
 )
 
+// noPoint is the null point-slab index.
+const noPoint int32 = -1
+
 // schedPoint is one scheduled time point: the boundary of at least one span
 // (or the planner's base point). scheduled/remaining describe the interval
-// [at, nextPoint.at).
+// [at, nextPoint.at). Points live in the planner's slab and reference each
+// other and their tree nodes by index.
 type schedPoint struct {
 	at        int64
 	scheduled int64
 	remaining int64
-	refCount  int // spans starting or ending here; base point is pinned
-
-	// ET-tree augmentation: the point with the minimum at in the ET
-	// subtree rooted at this point's node.
-	subtreeMin *schedPoint
 
 	// SP-tree augmentation: the maximum remaining and maximum at in
 	// the SP subtree rooted at this point's node. They power the
@@ -60,8 +68,15 @@ type schedPoint struct {
 	spMaxRemaining int64
 	spMaxAt        int64
 
-	spNode *rbtree.Node[*schedPoint]
-	etNode *rbtree.Node[*schedPoint]
+	// ET-tree augmentation: the slab index of the point with the minimum
+	// at in the ET subtree rooted at this point's node. Doubles as the
+	// freelist link while the slot is free.
+	subtreeMin int32
+
+	refCount int32 // spans starting or ending here; base point is pinned
+
+	spNode int32 // this point's node in the SP arena
+	etNode int32 // this point's node in the ET arena
 	inET   bool
 }
 
@@ -88,83 +103,51 @@ type Planner struct {
 	total        int64
 	resourceType string
 
-	sp *rbtree.Tree[*schedPoint]
-	et *rbtree.Tree[*schedPoint]
+	// Lazy calendar: nil/empty until the first AddSpan. While no spans
+	// exist the planner is flat — remaining == total over the whole
+	// horizon — and every query short-circuits on plain fields.
+	sp  *rbtree.Arena[int32]
+	et  *rbtree.Arena[int32]
+	pts []schedPoint
+	// freePt heads the slab freelist, linked through subtreeMin.
+	freePt int32
 
-	spans      map[int64]*Span
+	// spans holds live spans by value, keyed by ID. The map is allocated
+	// lazily on the first AddSpan and dropped on demotion, so a resting
+	// planner carries no map header or buckets.
+	spans      map[int64]Span
 	nextSpanID int64
-}
-
-func spLess(a, b *schedPoint) bool { return a.at < b.at }
-
-func etLess(a, b *schedPoint) bool {
-	if a.remaining != b.remaining {
-		return a.remaining < b.remaining
-	}
-	return a.at < b.at
-}
-
-func etUpdate(n *rbtree.Node[*schedPoint]) {
-	p := n.Item()
-	m := p
-	if l := n.Left(); l != nil && l.Item().subtreeMin.at < m.at {
-		m = l.Item().subtreeMin
-	}
-	if r := n.Right(); r != nil && r.Item().subtreeMin.at < m.at {
-		m = r.Item().subtreeMin
-	}
-	p.subtreeMin = m
-}
-
-func spUpdate(n *rbtree.Node[*schedPoint]) {
-	p := n.Item()
-	maxRem, maxAt := p.remaining, p.at
-	if l := n.Left(); l != nil {
-		if li := l.Item(); li.spMaxRemaining > maxRem {
-			maxRem = li.spMaxRemaining
-		}
-	}
-	if r := n.Right(); r != nil {
-		ri := r.Item()
-		if ri.spMaxRemaining > maxRem {
-			maxRem = ri.spMaxRemaining
-		}
-		if ri.spMaxAt > maxAt {
-			maxAt = ri.spMaxAt
-		}
-	}
-	p.spMaxRemaining = maxRem
-	p.spMaxAt = maxAt
 }
 
 // New creates a planner for a pool of total units of resourceType, covering
 // times in [base, base+horizon). horizon and total must be positive.
 func New(base, horizon, total int64, resourceType string) (*Planner, error) {
+	p := new(Planner)
+	if err := Init(p, base, horizon, total, resourceType); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Init initializes p in place, exactly like New but without allocating.
+// The resource graph carves its per-vertex planners out of one contiguous
+// slab at Finalize, so a million resting planners are one allocation
+// instead of a million heap objects. p must be zero-valued (or otherwise
+// unused); Init does not free an existing calendar.
+func Init(p *Planner, base, horizon, total int64, resourceType string) error {
 	if horizon <= 0 || total <= 0 {
-		return nil, fmt.Errorf("%w: horizon=%d total=%d", ErrInvalid, horizon, total)
+		return fmt.Errorf("%w: horizon=%d total=%d", ErrInvalid, horizon, total)
 	}
 	if base > (1<<62) || horizon > (1<<62) {
-		return nil, fmt.Errorf("%w: base/horizon too large", ErrInvalid)
+		return fmt.Errorf("%w: base/horizon too large", ErrInvalid)
 	}
-	p := &Planner{
-		base:         base,
-		horizon:      horizon,
-		total:        total,
-		resourceType: resourceType,
-		sp:           rbtree.New(spLess),
-		et:           rbtree.New(etLess),
-		spans:        make(map[int64]*Span),
-		nextSpanID:   1,
-	}
-	p.et.SetUpdate(etUpdate)
-	p.sp.SetUpdate(spUpdate)
-	p0 := &schedPoint{at: base, scheduled: 0, remaining: total}
-	p0.subtreeMin = p0
-	p0.spMaxRemaining, p0.spMaxAt = total, base
-	p0.spNode = p.sp.Insert(p0)
-	p0.etNode = p.et.Insert(p0)
-	p0.inET = true
-	return p, nil
+	p.base = base
+	p.horizon = horizon
+	p.total = total
+	p.resourceType = resourceType
+	p.freePt = noPoint
+	p.nextSpanID = 1
+	return nil
 }
 
 // MustNew is New but panics on error; for tests and static configuration.
@@ -174,6 +157,106 @@ func MustNew(base, horizon, total int64, resourceType string) *Planner {
 		panic(err)
 	}
 	return p
+}
+
+// active reports whether the slab calendar is live (at least the base
+// point exists). Callers hold p.mu.
+func (p *Planner) active() bool { return p.sp != nil && p.sp.Len() > 0 }
+
+// spLess orders SP-tree items (point indices) by time.
+func (p *Planner) spLess(a, b int32) bool { return p.pts[a].at < p.pts[b].at }
+
+// etLess orders ET-tree items by remaining capacity, then time.
+func (p *Planner) etLess(a, b int32) bool {
+	pa, pb := &p.pts[a], &p.pts[b]
+	if pa.remaining != pb.remaining {
+		return pa.remaining < pb.remaining
+	}
+	return pa.at < pb.at
+}
+
+func (p *Planner) etUpdate(n int32) {
+	i := p.et.Item(n)
+	m := i
+	if l := p.et.Left(n); l != rbtree.None {
+		if lm := p.pts[p.et.Item(l)].subtreeMin; p.pts[lm].at < p.pts[m].at {
+			m = lm
+		}
+	}
+	if r := p.et.Right(n); r != rbtree.None {
+		if rm := p.pts[p.et.Item(r)].subtreeMin; p.pts[rm].at < p.pts[m].at {
+			m = rm
+		}
+	}
+	p.pts[i].subtreeMin = m
+}
+
+func (p *Planner) spUpdate(n int32) {
+	i := p.sp.Item(n)
+	pt := &p.pts[i]
+	maxRem, maxAt := pt.remaining, pt.at
+	if l := p.sp.Left(n); l != rbtree.None {
+		if li := &p.pts[p.sp.Item(l)]; li.spMaxRemaining > maxRem {
+			maxRem = li.spMaxRemaining
+		}
+	}
+	if r := p.sp.Right(n); r != rbtree.None {
+		ri := &p.pts[p.sp.Item(r)]
+		if ri.spMaxRemaining > maxRem {
+			maxRem = ri.spMaxRemaining
+		}
+		if ri.spMaxAt > maxAt {
+			maxAt = ri.spMaxAt
+		}
+	}
+	pt.spMaxRemaining = maxRem
+	pt.spMaxAt = maxAt
+}
+
+// materialize builds the slab calendar: trees plus the base point. Called
+// under the writer lock on the first AddSpan (and again after a demotion).
+func (p *Planner) materialize() {
+	if p.sp == nil {
+		p.sp = rbtree.NewArena(p.spLess)
+		p.et = rbtree.NewArena(p.etLess)
+		p.sp.SetUpdate(p.spUpdate)
+		p.et.SetUpdate(p.etUpdate)
+	}
+	if p.sp.Len() == 0 {
+		i := p.allocPoint(p.base, 0, p.total)
+		pt := &p.pts[i]
+		pt.subtreeMin = i
+		pt.spMaxRemaining, pt.spMaxAt = p.total, p.base
+		pt.spNode = p.sp.Insert(i)
+		pt.etNode = p.et.Insert(i)
+		pt.inET = true
+	}
+}
+
+// demote drops the slab calendar once the last span is gone, keeping the
+// allocated capacity so a busy/idle/busy vertex does not churn the heap.
+func (p *Planner) demote() {
+	p.sp.Reset()
+	p.et.Reset()
+	p.pts = p.pts[:0]
+	p.freePt = noPoint
+}
+
+// allocPoint takes a slot from the slab freelist or grows the slab.
+func (p *Planner) allocPoint(at, scheduled, remaining int64) int32 {
+	if f := p.freePt; f != noPoint {
+		p.freePt = p.pts[f].subtreeMin
+		p.pts[f] = schedPoint{at: at, scheduled: scheduled, remaining: remaining}
+		return f
+	}
+	p.pts = append(p.pts, schedPoint{at: at, scheduled: scheduled, remaining: remaining})
+	return int32(len(p.pts) - 1)
+}
+
+// freePoint recycles a slab slot onto the freelist.
+func (p *Planner) freePoint(i int32) {
+	p.pts[i] = schedPoint{subtreeMin: p.freePt}
+	p.freePt = i
 }
 
 // Base returns the first schedulable time.
@@ -189,6 +272,15 @@ func (p *Planner) Total() int64 {
 	return p.total
 }
 
+// FlatTotal returns the pool size and true when the planner is flat (no
+// spans: availability is Total over the whole horizon). Epoch snapshotting
+// uses it to share one Snapshot among all resting planners of equal size.
+func (p *Planner) FlatTotal() (int64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.total, len(p.spans) == 0
+}
+
 // ResourceType returns the label given at construction.
 func (p *Planner) ResourceType() string { return p.resourceType }
 
@@ -200,10 +292,13 @@ func (p *Planner) SpanCount() int {
 }
 
 // PointCount returns the number of scheduled points (including the base
-// point).
+// point; a flat planner reports 1 for its virtual base point).
 func (p *Planner) PointCount() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if !p.active() {
+		return 1
+	}
 	return p.sp.Len()
 }
 
@@ -215,59 +310,67 @@ func (p *Planner) Span(id int64) (Span, error) {
 	if !ok {
 		return Span{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	return *s, nil
+	return s, nil
 }
 
 // end returns the exclusive end of the schedulable range.
 func (p *Planner) end() int64 { return p.base + p.horizon }
 
-// floorPoint returns the last point at or before t (nil if t < base).
-func (p *Planner) floorPoint(t int64) *schedPoint {
+// floorPoint returns the slab index of the last point at or before t
+// (noPoint if t < base). Callers must have checked p.active().
+func (p *Planner) floorPoint(t int64) int32 {
 	// Predicate search: building a probe schedPoint for Floor would put
 	// one heap allocation on every availability query.
-	n := p.sp.FloorFunc(func(pt *schedPoint) bool { return pt.at > t })
-	if n == nil {
-		return nil
+	n := p.sp.FloorFunc(func(i int32) bool { return p.pts[i].at > t })
+	if n == rbtree.None {
+		return noPoint
 	}
-	return n.Item()
+	return p.sp.Item(n)
 }
 
 // reposition refreshes both trees after a point's remaining value changed:
 // the ET tree is re-keyed (remaining is its key) and the SP tree's
 // max-remaining augmentation recomputed in place.
-func (p *Planner) reposition(pt *schedPoint) {
+func (p *Planner) reposition(i int32) {
+	pt := &p.pts[i]
 	if pt.inET {
 		p.et.Delete(pt.etNode)
 	}
-	pt.subtreeMin = pt
-	pt.etNode = p.et.Insert(pt)
+	pt.subtreeMin = i
+	pt.etNode = p.et.Insert(i)
 	pt.inET = true
-	p.sp.Refresh(pt.spNode)
+	p.sp.Refresh(p.pts[i].spNode)
 }
 
 // getOrCreatePoint returns the point at exactly time t, creating it (with
 // the scheduled amount inherited from its predecessor) if needed.
-func (p *Planner) getOrCreatePoint(t int64) *schedPoint {
+func (p *Planner) getOrCreatePoint(t int64) int32 {
 	f := p.floorPoint(t)
-	if f.at == t {
+	if p.pts[f].at == t {
 		return f
 	}
-	np := &schedPoint{at: t, scheduled: f.scheduled, remaining: f.remaining}
-	np.subtreeMin = np
-	np.spMaxRemaining, np.spMaxAt = np.remaining, np.at
-	np.spNode = p.sp.Insert(np)
-	np.etNode = p.et.Insert(np)
-	np.inET = true
-	return np
+	i := p.allocPoint(t, p.pts[f].scheduled, p.pts[f].remaining)
+	pt := &p.pts[i]
+	pt.subtreeMin = i
+	pt.spMaxRemaining, pt.spMaxAt = pt.remaining, pt.at
+	sn := p.sp.Insert(i)
+	en := p.et.Insert(i)
+	pt = &p.pts[i] // Insert may have run update hooks; re-take the pointer
+	pt.spNode = sn
+	pt.etNode = en
+	pt.inET = true
+	return i
 }
 
-// dropPoint removes a point from both trees.
-func (p *Planner) dropPoint(pt *schedPoint) {
+// dropPoint removes a point from both trees and recycles its slot.
+func (p *Planner) dropPoint(i int32) {
+	pt := &p.pts[i]
 	p.sp.Delete(pt.spNode)
 	if pt.inET {
 		p.et.Delete(pt.etNode)
 		pt.inET = false
 	}
+	p.freePoint(i)
 }
 
 // AvailAt returns the units available at instant t.
@@ -277,7 +380,10 @@ func (p *Planner) AvailAt(t int64) (int64, error) {
 	if t < p.base || t >= p.end() {
 		return 0, fmt.Errorf("%w: t=%d", ErrOutOfRange, t)
 	}
-	return p.floorPoint(t).remaining, nil
+	if !p.active() {
+		return p.total, nil
+	}
+	return p.pts[p.floorPoint(t)].remaining, nil
 }
 
 // AvailDuring returns the minimum units available throughout
@@ -296,10 +402,13 @@ func (p *Planner) availDuring(start, duration int64) (int64, error) {
 	if start < p.base || start+duration > p.end() {
 		return 0, fmt.Errorf("%w: window [%d,%d)", ErrOutOfRange, start, start+duration)
 	}
+	if !p.active() {
+		return p.total, nil
+	}
 	f := p.floorPoint(start)
-	min := f.remaining
-	for n := f.spNode.Next(); n != nil; n = n.Next() {
-		pt := n.Item()
+	min := p.pts[f].remaining
+	for n := p.sp.Next(p.pts[f].spNode); n != rbtree.None; n = p.sp.Next(n) {
+		pt := &p.pts[p.sp.Item(n)]
 		if pt.at >= start+duration {
 			break
 		}
@@ -344,59 +453,61 @@ func (p *Planner) ShortfallDuring(start, duration, request int64) int64 {
 // minTimeGE returns the scheduled point with the smallest at among points
 // whose remaining >= request (paper Algorithm 1: FINDANCHOR + FINDETPOINT,
 // realized by chasing the subtree-minimum augmentation).
-func (p *Planner) minTimeGE(request int64) *schedPoint {
-	var best *schedPoint
+func (p *Planner) minTimeGE(request int64) int32 {
+	best := noPoint
 	n := p.et.Root()
-	for n != nil {
-		pt := n.Item()
+	for n != rbtree.None {
+		i := p.et.Item(n)
+		pt := &p.pts[i]
 		if pt.remaining >= request {
 			// This node and its whole right subtree satisfy the
 			// request: the right subtree's earliest time is a
 			// single augmented lookup (RIGHTET in the paper).
-			if best == nil || pt.at < best.at {
-				best = pt
+			if best == noPoint || pt.at < p.pts[best].at {
+				best = i
 			}
-			if r := n.Right(); r != nil {
-				if m := r.Item().subtreeMin; best == nil || m.at < best.at {
+			if r := p.et.Right(n); r != rbtree.None {
+				if m := p.pts[p.et.Item(r)].subtreeMin; best == noPoint || p.pts[m].at < p.pts[best].at {
 					best = m
 				}
 			}
-			n = n.Left() // earlier times may hide among smaller remainders
+			n = p.et.Left(n) // earlier times may hide among smaller remainders
 		} else {
-			n = n.Right()
+			n = p.et.Right(n)
 		}
 	}
 	return best
 }
 
 // nextPointGE returns the earliest scheduled point strictly after `after`
-// whose remaining capacity is at least request, or nil. It descends the SP
-// tree pruning subtrees by the max-remaining and max-time augmentations,
+// whose remaining capacity is at least request, or noPoint. It descends the
+// SP tree pruning subtrees by the max-remaining and max-time augmentations,
 // so each call is O(log N) — the candidate iterator behind AvailTimeFirst
 // and AvailPointTimeAfter. (flux-sched iterates by temporarily unlinking
 // ET-tree nodes; the augmented search visits the same candidates without
 // mutating the trees.)
-func (p *Planner) nextPointGE(after, request int64) *schedPoint {
-	var rec func(n *rbtree.Node[*schedPoint]) *schedPoint
-	rec = func(n *rbtree.Node[*schedPoint]) *schedPoint {
-		if n == nil {
-			return nil
-		}
-		pt := n.Item()
-		if pt.spMaxRemaining < request || pt.spMaxAt <= after {
-			return nil
-		}
-		if pt.at > after {
-			if r := rec(n.Left()); r != nil {
-				return r
-			}
-			if pt.remaining >= request {
-				return pt
-			}
-		}
-		return rec(n.Right())
+func (p *Planner) nextPointGE(after, request int64) int32 {
+	return p.nextPointGEAt(p.sp.Root(), after, request)
+}
+
+func (p *Planner) nextPointGEAt(n int32, after, request int64) int32 {
+	if n == rbtree.None {
+		return noPoint
 	}
-	return rec(p.sp.Root())
+	i := p.sp.Item(n)
+	pt := &p.pts[i]
+	if pt.spMaxRemaining < request || pt.spMaxAt <= after {
+		return noPoint
+	}
+	if pt.at > after {
+		if r := p.nextPointGEAt(p.sp.Left(n), after, request); r != noPoint {
+			return r
+		}
+		if p.pts[i].remaining >= request {
+			return i
+		}
+	}
+	return p.nextPointGEAt(p.sp.Right(n), after, request)
 }
 
 // AvailTimeFirst returns the earliest time t >= at such that request units
@@ -425,8 +536,8 @@ func (p *Planner) AvailTimeFirst(at, duration, request int64) (int64, error) {
 	}
 	// First candidate via Algorithm 1 (FINDEARLIESTAT on the ET tree).
 	pt := p.minTimeGE(request)
-	for pt != nil {
-		t := pt.at
+	for pt != noPoint {
+		t := p.pts[pt].at
 		if t > at {
 			if t+duration > p.end() {
 				// Candidates arrive in increasing time order;
@@ -457,19 +568,28 @@ func (p *Planner) AvailPointTimeAfter(after, duration, request int64) (int64, er
 	if request > p.total {
 		return -1, fmt.Errorf("%w: request %d > total %d", ErrNoSpace, request, p.total)
 	}
+	if !p.active() {
+		// Flat planner: the only availability change point is the
+		// virtual base point.
+		if p.base > after && p.base+duration <= p.end() {
+			return p.base, nil
+		}
+		return -1, ErrNoSpace
+	}
 	t := after
 	for {
 		pt := p.nextPointGE(t, request)
-		if pt == nil {
+		if pt == noPoint {
 			return -1, ErrNoSpace
 		}
-		if pt.at+duration > p.end() {
+		at := p.pts[pt].at
+		if at+duration > p.end() {
 			return -1, ErrNoSpace
 		}
-		if p.canFit(pt.at, duration, request) {
-			return pt.at, nil
+		if p.canFit(at, duration, request) {
+			return at, nil
 		}
-		t = pt.at
+		t = at
 	}
 }
 
@@ -496,27 +616,33 @@ func (p *Planner) AddSpan(start, duration, request int64) (int64, error) {
 	if avail < request {
 		return -1, fmt.Errorf("%w: want %d, have %d in [%d,%d)", ErrNoSpace, request, avail, start, start+duration)
 	}
+	p.materialize()
 	p1 := p.getOrCreatePoint(start)
 	p2 := p.getOrCreatePoint(start + duration)
-	p1.refCount++
-	p2.refCount++
-	for n := p1.spNode; n != nil; n = n.Next() {
-		pt := n.Item()
-		if pt.at >= start+duration {
+	p.pts[p1].refCount++
+	p.pts[p2].refCount++
+	for n := p.pts[p1].spNode; n != rbtree.None; {
+		i := p.sp.Item(n)
+		if p.pts[i].at >= start+duration {
 			break
 		}
-		pt.scheduled += request
-		pt.remaining -= request
-		p.reposition(pt)
+		n = p.sp.Next(n) // advance before reposition re-links the node
+		p.pts[i].scheduled += request
+		p.pts[i].remaining -= request
+		p.reposition(i)
 	}
 	id := p.nextSpanID
 	p.nextSpanID++
-	p.spans[id] = &Span{ID: id, Start: start, Last: start + duration, Planned: request}
+	if p.spans == nil {
+		p.spans = make(map[int64]Span, 4)
+	}
+	p.spans[id] = Span{ID: id, Start: start, Last: start + duration, Planned: request}
 	return id, nil
 }
 
 // RemoveSpan unplans the span with the given ID, releasing its resources
-// and garbage-collecting boundary points no span references anymore.
+// and garbage-collecting boundary points no span references anymore. When
+// the last span goes, the slab calendar is demoted back to flat.
 func (p *Planner) RemoveSpan(id int64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -525,32 +651,38 @@ func (p *Planner) RemoveSpan(id int64) error {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	delete(p.spans, id)
+	if len(p.spans) == 0 {
+		p.spans = nil
+		p.demote()
+		return nil
+	}
 	start := p.floorPoint(s.Start)
-	var boundary [2]*schedPoint
-	for n := start.spNode; n != nil; {
-		pt := n.Item()
-		if pt.at > s.Last {
+	boundary := [2]int32{noPoint, noPoint}
+	for n := p.pts[start].spNode; n != rbtree.None; {
+		i := p.sp.Item(n)
+		at := p.pts[i].at
+		if at > s.Last {
 			break
 		}
-		n = n.Next() // advance before any mutation of pt
-		if pt.at == s.Start {
-			pt.refCount--
-			boundary[0] = pt
+		n = p.sp.Next(n) // advance before any mutation of the point
+		if at == s.Start {
+			p.pts[i].refCount--
+			boundary[0] = i
 		}
-		if pt.at == s.Last {
-			pt.refCount--
-			boundary[1] = pt
+		if at == s.Last {
+			p.pts[i].refCount--
+			boundary[1] = i
 			break
 		}
-		if pt.at >= s.Start {
-			pt.scheduled -= s.Planned
-			pt.remaining += s.Planned
-			p.reposition(pt)
+		if at >= s.Start {
+			p.pts[i].scheduled -= s.Planned
+			p.pts[i].remaining += s.Planned
+			p.reposition(i)
 		}
 	}
-	for _, pt := range boundary {
-		if pt != nil && pt.refCount <= 0 && pt.at != p.base {
-			p.dropPoint(pt)
+	for _, i := range boundary {
+		if i != noPoint && p.pts[i].refCount <= 0 && p.pts[i].at != p.base {
+			p.dropPoint(i)
 		}
 	}
 	return nil
@@ -565,18 +697,26 @@ func (p *Planner) Update(delta int64) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if !p.active() {
+		if p.total+delta < 0 {
+			return fmt.Errorf("%w: shrink by %d leaves point %d negative", ErrNoSpace, -delta, p.base)
+		}
+		p.total += delta
+		return nil
+	}
 	if delta < 0 {
-		for n := p.sp.Min(); n != nil; n = n.Next() {
-			if n.Item().remaining+delta < 0 {
-				return fmt.Errorf("%w: shrink by %d leaves point %d negative", ErrNoSpace, -delta, n.Item().at)
+		for n := p.sp.Min(); n != rbtree.None; n = p.sp.Next(n) {
+			if pt := &p.pts[p.sp.Item(n)]; pt.remaining+delta < 0 {
+				return fmt.Errorf("%w: shrink by %d leaves point %d negative", ErrNoSpace, -delta, pt.at)
 			}
 		}
 	}
 	p.total += delta
-	for n := p.sp.Min(); n != nil; n = n.Next() {
-		pt := n.Item()
-		pt.remaining += delta
-		p.reposition(pt)
+	for n := p.sp.Min(); n != rbtree.None; {
+		i := p.sp.Item(n)
+		n = p.sp.Next(n) // advance before reposition re-links the node
+		p.pts[i].remaining += delta
+		p.reposition(i)
 	}
 	return nil
 }
@@ -586,8 +726,13 @@ func (p *Planner) Update(delta int64) error {
 func (p *Planner) Points(fn func(at, avail int64) bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	for n := p.sp.Min(); n != nil; n = n.Next() {
-		if !fn(n.Item().at, n.Item().remaining) {
+	if !p.active() {
+		fn(p.base, p.total)
+		return
+	}
+	for n := p.sp.Min(); n != rbtree.None; n = p.sp.Next(n) {
+		pt := &p.pts[p.sp.Item(n)]
+		if !fn(pt.at, pt.remaining) {
 			return
 		}
 	}
@@ -604,7 +749,7 @@ func (p *Planner) Spans(fn func(s Span) bool) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		if !fn(*p.spans[id]) {
+		if !fn(p.spans[id]) {
 			return
 		}
 	}
@@ -621,23 +766,26 @@ func (p *Planner) Utilization(from, to int64) (float64, error) {
 	if from < p.base || to > p.end() {
 		return 0, fmt.Errorf("%w: window [%d,%d)", ErrOutOfRange, from, to)
 	}
+	if !p.active() {
+		return 0, nil
+	}
 	var used int64
 	cur := p.floorPoint(from)
 	curAt := from
-	for n := cur.spNode.Next(); ; n = n.Next() {
+	for n := p.sp.Next(p.pts[cur].spNode); ; n = p.sp.Next(n) {
 		segEnd := to
-		var next *schedPoint
-		if n != nil {
-			next = n.Item()
-			if next.at < to {
-				segEnd = next.at
+		next := noPoint
+		if n != rbtree.None {
+			next = p.sp.Item(n)
+			if p.pts[next].at < to {
+				segEnd = p.pts[next].at
 			}
 		}
-		used += cur.scheduled * (segEnd - curAt)
-		if next == nil || next.at >= to {
+		used += p.pts[cur].scheduled * (segEnd - curAt)
+		if next == noPoint || p.pts[next].at >= to {
 			break
 		}
-		cur, curAt = next, next.at
+		cur, curAt = next, p.pts[next].at
 	}
 	return float64(used) / float64(p.total*(to-from)), nil
 }

@@ -507,14 +507,17 @@ func TestSPAugmentationValid(t *testing.T) {
 
 func validateSPAug(t *testing.T, p *Planner) {
 	t.Helper()
-	var walk func(n *rbtree.Node[*schedPoint]) (maxRem, maxAt int64)
-	walk = func(n *rbtree.Node[*schedPoint]) (int64, int64) {
-		if n == nil {
+	if !p.active() {
+		return
+	}
+	var walk func(n int32) (maxRem, maxAt int64)
+	walk = func(n int32) (int64, int64) {
+		if n == rbtree.None {
 			return -1 << 62, -1 << 62
 		}
-		pt := n.Item()
+		pt := p.pts[p.sp.Item(n)]
 		maxRem, maxAt := pt.remaining, pt.at
-		for _, c := range []*rbtree.Node[*schedPoint]{n.Left(), n.Right()} {
+		for _, c := range [2]int32{p.sp.Left(n), p.sp.Right(n)} {
 			r, a := walk(c)
 			if r > maxRem {
 				maxRem = r

@@ -3,6 +3,8 @@ package planner
 import (
 	"fmt"
 	"sort"
+
+	"fluxion/internal/rbtree"
 )
 
 // Snapshot is an immutable, point-in-time copy of a Planner's availability
@@ -29,10 +31,19 @@ type Snapshot struct {
 
 // Snapshot captures the planner's current step function. The copy is
 // taken under the reader lock; the result shares nothing with the live
-// planner.
+// planner. A flat planner snapshots to the single virtual base point.
 func (p *Planner) Snapshot() *Snapshot {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if !p.active() {
+		return &Snapshot{
+			base:    p.base,
+			horizon: p.horizon,
+			total:   p.total,
+			times:   []int64{p.base},
+			avail:   []int64{p.total},
+		}
+	}
 	n := p.sp.Len()
 	s := &Snapshot{
 		base:    p.base,
@@ -41,8 +52,8 @@ func (p *Planner) Snapshot() *Snapshot {
 		times:   make([]int64, 0, n),
 		avail:   make([]int64, 0, n),
 	}
-	for node := p.sp.Min(); node != nil; node = node.Next() {
-		pt := node.Item()
+	for node := p.sp.Min(); node != rbtree.None; node = p.sp.Next(node) {
+		pt := &p.pts[p.sp.Item(node)]
 		s.times = append(s.times, pt.at)
 		s.avail = append(s.avail, pt.remaining)
 	}
@@ -60,6 +71,14 @@ func (s *Snapshot) Total() int64 { return s.total }
 
 // PointCount returns the number of captured scheduled points.
 func (s *Snapshot) PointCount() int { return len(s.times) }
+
+// IsFlat reports whether the snapshot is the single full-availability base
+// point a span-free planner captures. Flat snapshots of equal pool size
+// are interchangeable, which is what lets the resource graph share one per
+// distinct pool size across a whole epoch.
+func (s *Snapshot) IsFlat() bool {
+	return len(s.times) == 1 && s.avail[0] == s.total
+}
 
 // end returns the exclusive end of the schedulable range.
 func (s *Snapshot) end() int64 { return s.base + s.horizon }
@@ -131,6 +150,15 @@ type MultiSnapshot struct {
 // SnapshotByID captures every member planner indexed by IndexTypes. The
 // result is keyed exactly like the live Multi's PlannerByID.
 func (m *Multi) SnapshotByID() *MultiSnapshot {
+	return m.SnapshotByIDWith((*Planner).Snapshot)
+}
+
+// SnapshotByIDWith is SnapshotByID with member capture delegated to snap,
+// letting the caller substitute a caching capture: the resource graph
+// dedups the snapshots of flat planners (no spans), which at rest is
+// almost all of them, so an epoch holds O(distinct pool sizes) snapshot
+// objects instead of one per vertex.
+func (m *Multi) SnapshotByIDWith(snap func(p *Planner) *Snapshot) *MultiSnapshot {
 	m.mu.RLock()
 	byID := make([]*Planner, len(m.byID))
 	copy(byID, m.byID)
@@ -138,7 +166,7 @@ func (m *Multi) SnapshotByID() *MultiSnapshot {
 	ms := &MultiSnapshot{byID: make([]*Snapshot, len(byID))}
 	for i, p := range byID {
 		if p != nil {
-			ms.byID[i] = p.Snapshot()
+			ms.byID[i] = snap(p)
 		}
 	}
 	return ms

@@ -1,0 +1,396 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkArenaInvariants validates the red-black properties, BST order, and
+// parent links of an arena tree.
+func checkArenaInvariants(t *testing.T, tr *Arena[int]) {
+	t.Helper()
+	var walk func(n int32) int
+	walk = func(n int32) int {
+		if n == None {
+			return 1
+		}
+		nd := tr.nodes[n]
+		if nd.red {
+			if l := nd.left; l != None && tr.nodes[l].red {
+				t.Fatalf("red node %d has red left child %d", nd.item, tr.nodes[l].item)
+			}
+			if r := nd.right; r != None && tr.nodes[r].red {
+				t.Fatalf("red node %d has red right child %d", nd.item, tr.nodes[r].item)
+			}
+		}
+		if l := nd.left; l != None {
+			if tr.nodes[l].parent != n {
+				t.Fatalf("left child %d has wrong parent", tr.nodes[l].item)
+			}
+			if nd.item < tr.nodes[l].item {
+				t.Fatalf("BST violation: parent %d < left child %d", nd.item, tr.nodes[l].item)
+			}
+		}
+		if r := nd.right; r != None {
+			if tr.nodes[r].parent != n {
+				t.Fatalf("right child %d has wrong parent", tr.nodes[r].item)
+			}
+			if tr.nodes[r].item < nd.item {
+				t.Fatalf("BST violation: right child %d < parent %d", tr.nodes[r].item, nd.item)
+			}
+		}
+		lh := walk(nd.left)
+		rh := walk(nd.right)
+		if lh != rh {
+			t.Fatalf("black-height mismatch at %d: %d vs %d", nd.item, lh, rh)
+		}
+		if nd.red {
+			return lh
+		}
+		return lh + 1
+	}
+	if root := tr.Root(); root != None && tr.nodes[root].red {
+		t.Fatal("root is red")
+	}
+	walk(tr.Root())
+	if s := tr.nodes[0]; s.left != None || s.right != None || s.parent != None || s.red {
+		t.Fatalf("sentinel corrupted: %+v", s)
+	}
+}
+
+func collectArena(tr *Arena[int]) []int {
+	var out []int
+	tr.Ascend(func(v int) bool { out = append(out, v); return true })
+	return out
+}
+
+func TestArenaEmpty(t *testing.T) {
+	tr := NewArena[int](intLess)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.Min() != None || tr.Max() != None || tr.Root() != None {
+		t.Fatal("empty arena should have None Min/Max/Root")
+	}
+	if tr.Search(1) != None || tr.Floor(1) != None || tr.Ceil(1) != None {
+		t.Fatal("empty arena should have None Search/Floor/Ceil")
+	}
+	tr.Delete(None) // must not panic
+}
+
+func TestArenaInsertAscendingDescending(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tr := NewArena[int](intLess)
+		for i := 0; i < 1000; i++ {
+			v := i
+			if desc {
+				v = 999 - i
+			}
+			tr.Insert(v)
+			if i%97 == 0 {
+				checkArenaInvariants(t, tr)
+			}
+		}
+		checkArenaInvariants(t, tr)
+		got := collectArena(tr)
+		if len(got) != 1000 {
+			t.Fatalf("len = %d", len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("got[%d] = %d", i, v)
+			}
+		}
+	}
+}
+
+func TestArenaDuplicates(t *testing.T) {
+	tr := NewArena[int](intLess)
+	for i := 0; i < 10; i++ {
+		tr.Insert(7)
+	}
+	checkArenaInvariants(t, tr)
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		n := tr.Search(7)
+		if n == None {
+			t.Fatalf("Search(7) = None with %d left", 10-i)
+		}
+		tr.Delete(n)
+		checkArenaInvariants(t, tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestArenaFloorCeilFloorFunc(t *testing.T) {
+	tr := NewArena[int](intLess)
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		tr.Insert(v)
+	}
+	cases := []struct {
+		q           int
+		floor, ceil int
+		floorNone   bool
+		ceilNone    bool
+	}{
+		{5, 0, 10, true, false},
+		{10, 10, 10, false, false},
+		{15, 10, 20, false, false},
+		{35, 30, 40, false, false},
+		{50, 50, 50, false, false},
+		{55, 50, 0, false, true},
+	}
+	for _, c := range cases {
+		f := tr.Floor(c.q)
+		if c.floorNone != (f == None) || (f != None && tr.Item(f) != c.floor) {
+			t.Errorf("Floor(%d) = %v, want %d (none=%v)", c.q, f, c.floor, c.floorNone)
+		}
+		ff := tr.FloorFunc(func(x int) bool { return x > c.q })
+		if ff != f {
+			t.Errorf("FloorFunc(%d) = %v, Floor = %v", c.q, ff, f)
+		}
+		g := tr.Ceil(c.q)
+		if c.ceilNone != (g == None) || (g != None && tr.Item(g) != c.ceil) {
+			t.Errorf("Ceil(%d) = %v, want %d (none=%v)", c.q, g, c.ceil, c.ceilNone)
+		}
+	}
+}
+
+func TestArenaNextPrev(t *testing.T) {
+	tr := NewArena[int](intLess)
+	rng := rand.New(rand.NewSource(42))
+	for _, v := range rng.Perm(500) {
+		tr.Insert(v)
+	}
+	i := 0
+	for n := tr.Min(); n != None; n = tr.Next(n) {
+		if tr.Item(n) != i {
+			t.Fatalf("Next order broken at %d: got %d", i, tr.Item(n))
+		}
+		i++
+	}
+	if i != 500 {
+		t.Fatalf("iterated %d", i)
+	}
+	i = 499
+	for n := tr.Max(); n != None; n = tr.Prev(n) {
+		if tr.Item(n) != i {
+			t.Fatalf("Prev order broken at %d: got %d", i, tr.Item(n))
+		}
+		i--
+	}
+}
+
+// TestArenaRandomOpsAgainstReference drives the arena with random inserts
+// and deletes and compares against both a sorted-slice reference and the
+// pointer-based Tree as a second oracle.
+func TestArenaRandomOpsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewArena[int](intLess)
+	oracle := New[int](intLess)
+	var ref []int
+	for op := 0; op < 20000; op++ {
+		if len(ref) == 0 || rng.Intn(100) < 55 {
+			v := rng.Intn(2000)
+			tr.Insert(v)
+			oracle.Insert(v)
+			ref = append(ref, v)
+			sort.Ints(ref)
+		} else {
+			i := rng.Intn(len(ref))
+			v := ref[i]
+			n := tr.Search(v)
+			if n == None {
+				t.Fatalf("op %d: Search(%d) = None but reference has it", op, v)
+			}
+			tr.Delete(n)
+			oracle.Delete(oracle.Search(v))
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(ref))
+		}
+		if op%500 == 0 {
+			checkArenaInvariants(t, tr)
+			got := collectArena(tr)
+			want := collect(oracle)
+			for i := range ref {
+				if got[i] != ref[i] || want[i] != ref[i] {
+					t.Fatalf("op %d: content mismatch at %d: arena %d, tree %d, ref %d",
+						op, i, got[i], want[i], ref[i])
+				}
+			}
+		}
+	}
+	checkArenaInvariants(t, tr)
+}
+
+// TestArenaFreelistReuse checks that deleted slots are recycled rather than
+// growing the slab without bound.
+func TestArenaFreelistReuse(t *testing.T) {
+	tr := NewArena[int](intLess)
+	for i := 0; i < 64; i++ {
+		tr.Insert(i)
+	}
+	grown := tr.Cap()
+	rng := rand.New(rand.NewSource(3))
+	for op := 0; op < 10000; op++ {
+		n := tr.Insert(rng.Intn(1000))
+		tr.Delete(n)
+	}
+	if tr.Cap() > grown {
+		t.Fatalf("slab grew during churn: %d -> %d nodes", grown, tr.Cap())
+	}
+	checkArenaInvariants(t, tr)
+}
+
+func TestArenaReset(t *testing.T) {
+	tr := NewArena[int](intLess)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	c := tr.Cap()
+	tr.Reset()
+	if tr.Len() != 0 || tr.Root() != None || tr.Min() != None {
+		t.Fatal("Reset did not empty the tree")
+	}
+	if tr.Cap() != c {
+		t.Fatalf("Reset dropped capacity: %d -> %d", c, tr.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(99 - i)
+	}
+	checkArenaInvariants(t, tr)
+	if got := collectArena(tr); len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("reuse after Reset broken: len=%d", len(got))
+	}
+}
+
+// TestArenaAugmentation maintains a subtree-minimum aggregate in a side
+// slab keyed by the item, the exact shape the planner's earliest-time tree
+// uses (items are indices into a point slab; aggregates live in the slab).
+func TestArenaAugmentation(t *testing.T) {
+	type point struct {
+		val, subtreeMin int64
+		key             int
+	}
+	var pts []point
+	tr := NewArena[int32](func(a, b int32) bool { return pts[a].key < pts[b].key })
+	tr.SetUpdate(func(n int32) {
+		i := tr.Item(n)
+		m := pts[i].val
+		if l := tr.Left(n); l != None {
+			if lm := pts[tr.Item(l)].subtreeMin; lm < m {
+				m = lm
+			}
+		}
+		if r := tr.Right(n); r != None {
+			if rm := pts[tr.Item(r)].subtreeMin; rm < m {
+				m = rm
+			}
+		}
+		pts[i].subtreeMin = m
+	})
+
+	verify := func() {
+		var walk func(n int32) int64
+		walk = func(n int32) int64 {
+			if n == None {
+				return int64(1) << 62
+			}
+			i := tr.Item(n)
+			m := pts[i].val
+			if lm := walk(tr.Left(n)); lm < m {
+				m = lm
+			}
+			if rm := walk(tr.Right(n)); rm < m {
+				m = rm
+			}
+			if pts[i].subtreeMin != m {
+				t.Fatalf("aggregate stale at key %d: have %d want %d", pts[i].key, pts[i].subtreeMin, m)
+			}
+			return m
+		}
+		walk(tr.Root())
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	var live []int32
+	for op := 0; op < 8000; op++ {
+		if len(live) == 0 || rng.Intn(100) < 60 {
+			pts = append(pts, point{key: rng.Intn(500), val: int64(rng.Intn(100000))})
+			i := int32(len(pts) - 1)
+			pts[i].subtreeMin = pts[i].val
+			live = append(live, tr.Insert(i))
+		} else {
+			i := rng.Intn(len(live))
+			tr.Delete(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if op%250 == 0 {
+			verify()
+		}
+	}
+	verify()
+}
+
+func TestArenaRefresh(t *testing.T) {
+	type item struct{ key, val, subtreeMax int }
+	var items []item
+	tr := NewArena[int32](func(a, b int32) bool { return items[a].key < items[b].key })
+	tr.SetUpdate(func(n int32) {
+		i := tr.Item(n)
+		m := items[i].val
+		if l := tr.Left(n); l != None && items[tr.Item(l)].subtreeMax > m {
+			m = items[tr.Item(l)].subtreeMax
+		}
+		if r := tr.Right(n); r != None && items[tr.Item(r)].subtreeMax > m {
+			m = items[tr.Item(r)].subtreeMax
+		}
+		items[i].subtreeMax = m
+	})
+	var nodes []int32
+	for i := 0; i < 64; i++ {
+		items = append(items, item{key: i, val: i, subtreeMax: i})
+		nodes = append(nodes, tr.Insert(int32(i)))
+	}
+	if items[tr.Item(tr.Root())].subtreeMax != 63 {
+		t.Fatalf("initial max = %d", items[tr.Item(tr.Root())].subtreeMax)
+	}
+	items[tr.Item(nodes[10])].val = 1000
+	tr.Refresh(nodes[10])
+	if items[tr.Item(tr.Root())].subtreeMax != 1000 {
+		t.Fatalf("after refresh max = %d", items[tr.Item(tr.Root())].subtreeMax)
+	}
+	tr.Refresh(None) // must not panic
+}
+
+func TestArenaDeleteRootRepeatedly(t *testing.T) {
+	tr := NewArena[int](intLess)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	for tr.Len() > 0 {
+		tr.Delete(tr.Root())
+		checkArenaInvariants(t, tr)
+	}
+}
+
+func BenchmarkArenaInsertDelete(b *testing.B) {
+	tr := NewArena[int](intLess)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		tr.Insert(rng.Intn(1 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := tr.Insert(rng.Intn(1 << 20))
+		tr.Delete(n)
+	}
+}

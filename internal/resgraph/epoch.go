@@ -330,7 +330,7 @@ func (g *Graph) buildEpochLocked(prev *Epoch) *Epoch {
 // hold g.mu, which freezes status and the pre-order labels; the planner
 // snapshots take their own reader locks.
 func fillSnap(s *vertexSnap, g *Graph, v *Vertex) {
-	live := v.graph == g && v.plan != nil && v.Paths[Containment] != ""
+	live := v.graph == g && v.plan != nil && v.path != ""
 	s.live = live
 	s.down = v.Status == StatusDown
 	s.treeIn, s.treeOut = v.treeIn, v.treeOut
@@ -338,10 +338,36 @@ func fillSnap(s *vertexSnap, g *Graph, v *Vertex) {
 		s.plan, s.filter = nil, nil
 		return
 	}
-	s.plan = v.plan.Snapshot()
+	s.plan = g.snapPlanner(v.plan)
 	if v.filter != nil {
-		s.filter = v.filter.SnapshotByID()
+		s.filter = v.filter.SnapshotByIDWith(g.snapPlanner)
 	} else {
 		s.filter = nil
 	}
+}
+
+// snapPlanner captures p's step function, sharing one cached snapshot per
+// distinct pool size across all span-free planners: at rest nearly every
+// vertex is flat, so epochs hold O(pool sizes) snapshot objects instead of
+// one per vertex. Callers hold epochMu (which guards flatSnaps); cached
+// entries are immutable and stay valid forever because a flat snapshot
+// depends only on (base, horizon, total), all fixed per graph.
+func (g *Graph) snapPlanner(p *planner.Planner) *planner.Snapshot {
+	total, flat := p.FlatTotal()
+	if !flat {
+		return p.Snapshot()
+	}
+	if s := g.flatSnaps[total]; s != nil {
+		return s
+	}
+	s := p.Snapshot()
+	// Re-check on the captured result: a span may have landed between
+	// FlatTotal and Snapshot, and only a truly flat capture may be shared.
+	if s.IsFlat() && s.Total() == total {
+		if g.flatSnaps == nil {
+			g.flatSnaps = make(map[int64]*planner.Snapshot)
+		}
+		g.flatSnaps[total] = s
+	}
+	return s
 }

@@ -52,30 +52,67 @@ func ParsePruneSpec(s string) (PruneSpec, error) {
 	return spec, nil
 }
 
+// vertexBlock is the slab granularity of AddVertex: vertices are carved
+// out of fixed-capacity blocks so a million-vertex build is ~4k
+// allocations of vertex storage instead of a million, and vertices created
+// together sit together in memory in creation (≈pre-order) order.
+const vertexBlock = 1024
+
+// topoSlab is the struct-of-arrays resting representation of the
+// containment tree: parallel flat arrays in pre-order, published behind an
+// atomic pointer and immutable once stored. Child iteration, subtree
+// scans (MarkDown, candidate collection), and interval tests all read
+// consecutive slab entries instead of chasing per-vertex edge maps.
+//
+// order, kidOff, and kids are rank-indexed (rank = pre-order position);
+// pre and post are UniqID-indexed with -1 marking vertices outside the
+// tree at build time (detached, or added and not yet attached). The
+// children of order[r] are kids[kidOff[r]:kidOff[r+1]], in sibling order.
+type topoSlab struct {
+	order  []*Vertex
+	kids   []*Vertex
+	kidOff []int32
+	pre    []int32
+	post   []int32
+}
+
 // Graph is the resource graph store. Build it with AddVertex/AddEdge (or
 // the grug package), then Finalize before matching.
 //
 // A finalized Graph is safe for concurrent use: the topology (vertices,
 // edges, paths, status bits) is read-mostly and guarded by an RWMutex —
 // lookups and traversals take the reader side, while structural mutations
-// (Attach, Detach, MarkDown, MarkUp) take the writer side. Allocation
-// state lives in the per-vertex planners, which carry their own locks, so
-// concurrent matches only serialize where they touch the same pool.
+// (Attach, Detach, MarkDown, MarkUp) take the writer side and end by
+// republishing the immutable topo slab. Allocation state lives in the
+// per-vertex planners, which carry their own locks, so concurrent matches
+// only serialize where they touch the same pool.
 type Graph struct {
 	mu      sync.RWMutex
 	base    int64
 	horizon int64
 
 	vertices []*Vertex
+	vslab    []Vertex          // current AddVertex block (fixed capacity)
+	pslab    []planner.Planner // Finalize-time contiguous planner slab
 	nextUniq int64
 	perType  map[string]int64 // next auto ID per resource type
 	types    *intern.Table    // resource type name -> dense TypeID
+
+	// topo is the published containment slab; nil until Finalize.
+	// Structural mutators rebuild and restore it under the writer lock;
+	// readers load it once and iterate immutable arrays.
+	topo atomic.Pointer[topoSlab]
 
 	roots     map[string]*Vertex // subsystem -> root
 	byPath    map[string]*Vertex // containment path -> vertex
 	subsys    map[string]bool
 	prune     PruneSpec
 	finalized bool
+
+	// multiParent records containment-link violations observed during
+	// construction (a vertex offered a second parent); Finalize reports
+	// them, matching the diagnostics of the edge-map representation.
+	multiParent []*Vertex
 
 	// Capacity-change sink (see delta.go). Atomic so the no-sink check on
 	// publish hot paths (one delta per vertex on Cancel/Release) is a
@@ -91,6 +128,13 @@ type Graph struct {
 	epochAll      bool      // structural change: rebuild every chunk
 	epochBatch    int       // open BeginEpochBatch nesting depth
 	pendingDeltas []Delta   // deltas buffered until the next publication
+
+	// flatSnaps dedups epoch snapshots of span-free planners by pool
+	// size: at rest almost every vertex is flat, so an epoch holds
+	// O(distinct pool sizes) snapshot objects instead of one per vertex.
+	// Guarded by epochMu; entries are immutable and never invalidated
+	// (base and horizon are fixed per graph).
+	flatSnaps map[int64]*planner.Snapshot
 }
 
 // NewGraph creates an empty store whose planners cover times in
@@ -164,18 +208,21 @@ func (g *Graph) AddVertex(typ string, id, size int64) (*Vertex, error) {
 	if id >= g.perType[typ] {
 		g.perType[typ] = id + 1
 	}
-	v := &Vertex{
+	// Carve the vertex out of the current slab block. Blocks have fixed
+	// capacity and are never reallocated, so &g.vslab[i] stays valid.
+	if len(g.vslab) == cap(g.vslab) {
+		g.vslab = make([]Vertex, 0, vertexBlock)
+	}
+	g.vslab = append(g.vslab, Vertex{
 		UniqID: g.nextUniq,
 		Type:   typ,
 		TypeID: g.types.ID(typ),
 		ID:     id,
 		Name:   fmt.Sprintf("%s%d", typ, id),
 		Size:   size,
-		Paths:  make(map[string]string),
-		out:    make(map[string][]*Edge),
-		in:     make(map[string][]*Edge),
 		graph:  g,
-	}
+	})
+	v := &g.vslab[len(g.vslab)-1]
 	g.nextUniq++
 	g.vertices = append(g.vertices, v)
 	return v, nil
@@ -191,7 +238,9 @@ func (g *Graph) MustAddVertex(typ string, id, size int64) *Vertex {
 	return v
 }
 
-// AddEdge creates a directed edge in a subsystem.
+// AddEdge creates a directed edge in a subsystem. Containment edges
+// (either direction of the contains/in pair) are interpreted as tree
+// links; overlay subsystems store Edge values.
 func (g *Graph) AddEdge(from, to *Vertex, subsystem, edgeType string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -206,51 +255,59 @@ func (g *Graph) addEdge(from, to *Vertex, subsystem, edgeType string) error {
 	if from.graph != g || to.graph != g {
 		return fmt.Errorf("%w: edge endpoints from another graph", ErrInvalid)
 	}
-	e := &Edge{From: from, To: to, Subsystem: subsystem, Type: edgeType}
-	if g.finalized {
-		// Copy-on-write after Finalize: epoch readers may hold the current
-		// edge view's maps and slices, so never mutate them in place.
-		from.out = cowEdgeAppend(from.out, subsystem, e)
-		to.in = cowEdgeAppend(to.in, subsystem, e)
-		from.refreshView()
-		to.refreshView()
-	} else {
-		from.out[subsystem] = append(from.out[subsystem], e)
-		to.in[subsystem] = append(to.in[subsystem], e)
-	}
 	g.subsys[subsystem] = true
+	if subsystem == Containment {
+		// Map the conventional edge pair onto the intrusive tree: a
+		// contains-typed (or untyped) edge links from→to, the
+		// reciprocal in-typed edge links to→from. Re-stating an
+		// existing link (loaders emit both directions) is a no-op; a
+		// second distinct parent is recorded for Finalize to report.
+		parent, child := from, to
+		if edgeType == EdgeIn {
+			parent, child = to, from
+		}
+		if child.parent == parent {
+			return nil
+		}
+		if child.parent != nil {
+			g.multiParent = append(g.multiParent, child)
+			return nil
+		}
+		parent.linkChild(child)
+		return nil
+	}
+	e := &Edge{From: from, To: to, Subsystem: subsystem, Type: edgeType}
+	from.overlay.Store(overlayAppend(from.overlay.Load(), subsystem, e, true))
+	to.overlay.Store(overlayAppend(to.overlay.Load(), subsystem, e, false))
 	return nil
 }
 
-// cowEdgeAppend returns a fresh edge map with e appended to m[sub]; the
-// input map and its slices are left untouched for concurrent readers.
-func cowEdgeAppend(m map[string][]*Edge, sub string, e *Edge) map[string][]*Edge {
+// overlayAppend returns a fresh overlay with e appended to the outgoing
+// (out=true) or incoming adjacency of sub; the input overlay and its
+// slices are left untouched for concurrent lock-free readers.
+func overlayAppend(ov *overlayEdges, sub string, e *Edge, out bool) *overlayEdges {
+	no := &overlayEdges{out: copyEdgeMap(nil), in: copyEdgeMap(nil)}
+	if ov != nil {
+		no.out = copyEdgeMap(ov.out)
+		no.in = copyEdgeMap(ov.in)
+	}
+	m := no.in
+	if out {
+		m = no.out
+	}
+	old := m[sub]
+	ns := make([]*Edge, len(old), len(old)+1)
+	copy(ns, old)
+	m[sub] = append(ns, e)
+	return no
+}
+
+// copyEdgeMap returns a fresh map sharing m's slices.
+func copyEdgeMap(m map[string][]*Edge) map[string][]*Edge {
 	nm := make(map[string][]*Edge, len(m)+1)
 	for k, s := range m {
 		nm[k] = s
 	}
-	old := nm[sub]
-	ns := make([]*Edge, len(old), len(old)+1)
-	copy(ns, old)
-	nm[sub] = append(ns, e)
-	return nm
-}
-
-// cowEdgeDrop returns a fresh edge map with every edge in m[sub] for
-// which drop returns true removed, sharing the untouched slices.
-func cowEdgeDrop(m map[string][]*Edge, sub string, drop func(*Edge) bool) map[string][]*Edge {
-	nm := make(map[string][]*Edge, len(m))
-	for k, s := range m {
-		nm[k] = s
-	}
-	old := nm[sub]
-	ns := make([]*Edge, 0, len(old))
-	for _, e := range old {
-		if !drop(e) {
-			ns = append(ns, e)
-		}
-	}
-	nm[sub] = ns
 	return nm
 }
 
@@ -264,13 +321,15 @@ func (g *Graph) AddContainment(parent, child *Vertex) error {
 
 // addContainment is AddContainment without locking; callers hold g.mu.
 func (g *Graph) addContainment(parent, child *Vertex) error {
-	if len(child.containmentParents()) > 0 {
+	if child.parent != nil {
 		return fmt.Errorf("%w: %s already has a containment parent", ErrInvalid, child.Name)
 	}
-	if err := g.addEdge(parent, child, Containment, EdgeContains); err != nil {
-		return err
+	if parent == nil || parent.graph != g || child.graph != g {
+		return fmt.Errorf("%w: bad edge", ErrInvalid)
 	}
-	return g.addEdge(child, parent, Containment, EdgeIn)
+	g.subsys[Containment] = true
+	parent.linkChild(child)
+	return nil
 }
 
 // Subsystems returns the subsystem names present in the graph, sorted.
@@ -338,21 +397,10 @@ func (g *Graph) ByType(typ string) []*Vertex {
 	return out
 }
 
-// containmentChildren yields children connected with EdgeContains or
-// untyped containment out-edges; the reciprocal EdgeIn edges are skipped.
-func containmentChildren(v *Vertex) []*Vertex {
-	var out []*Vertex
-	for _, e := range v.out[Containment] {
-		if e.Type != EdgeIn {
-			out = append(out, e.To)
-		}
-	}
-	return out
-}
-
 // Finalize validates the containment tree, computes paths and subtree
-// aggregates, creates per-vertex planners, and installs pruning filters
-// per the PruneSpec. It must be called exactly once after construction.
+// aggregates, creates per-vertex planners (carved from one contiguous
+// slab), installs pruning filters per the PruneSpec, and publishes the
+// pre-order topo slab. It must be called exactly once after construction.
 func (g *Graph) Finalize() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -362,20 +410,17 @@ func (g *Graph) Finalize() error {
 	if len(g.vertices) == 0 {
 		return fmt.Errorf("%w: empty graph", ErrInvalid)
 	}
-	// Identify the containment root: the unique vertex that has
-	// containment out-edges or no edges at all, and no containment
-	// parent.
+	if len(g.multiParent) > 0 {
+		return fmt.Errorf("%w: %s has multiple containment parents", ErrInvalid, g.multiParent[0].Name)
+	}
+	// Identify the containment root: the unique parentless vertex.
 	var root *Vertex
 	for _, v := range g.vertices {
-		parents := v.containmentParents()
-		if len(parents) == 0 {
+		if v.parent == nil {
 			if root != nil {
 				return fmt.Errorf("%w: multiple containment roots (%s, %s)", ErrInvalid, root.Name, v.Name)
 			}
 			root = v
-		}
-		if len(parents) > 1 {
-			return fmt.Errorf("%w: %s has multiple containment parents", ErrInvalid, v.Name)
 		}
 	}
 	if root == nil {
@@ -384,8 +429,13 @@ func (g *Graph) Finalize() error {
 	g.roots[Containment] = root
 	g.subsys[Containment] = true
 
+	// One contiguous planner slab for the whole build; Attach-time grafts
+	// fall back to individual allocation.
+	g.pslab = make([]planner.Planner, len(g.vertices))
 	seen := make(map[int64]bool, len(g.vertices))
-	if err := g.finalizeSubtree(root, "", seen); err != nil {
+	err := g.finalizeSubtree(root, "", seen)
+	g.pslab = nil
+	if err != nil {
 		return err
 	}
 	if len(seen) != len(g.vertices) {
@@ -402,40 +452,54 @@ func (g *Graph) Finalize() error {
 			}
 		}
 	}
-	g.renumberTree()
-	// Give every vertex an edge view so lock-free epoch readers can walk
-	// adjacency without touching the writer-owned maps, then publish the
-	// first epoch.
-	for _, v := range g.vertices {
-		v.refreshView()
-	}
+	g.buildTopoLocked()
 	g.finalized = true
 	g.bootstrapEpochLocked()
 	return nil
 }
 
-// renumberTree assigns pre-order interval labels (treeIn/treeOut) over
-// the containment tree for O(1) InSubtreeOf tests. Finalize and Attach
-// call it under the writer lock; Detach leaves labels intact (removing
-// a subtree cannot invalidate the remaining intervals).
-func (g *Graph) renumberTree() {
+// buildTopoLocked compiles the intrusive tree links into a fresh immutable
+// topo slab — pre-order vertex array, grouped child array, and interval
+// labels — and publishes it. It also refreshes the per-vertex treeIn/
+// treeOut mirror the O(1) InSubtreeOf test reads. Finalize, Attach, and
+// Detach call it under the writer lock.
+func (g *Graph) buildTopoLocked() {
 	root := g.roots[Containment]
 	if root == nil {
 		return
 	}
-	var n int32
+	n := len(g.vertices)
+	ts := &topoSlab{
+		order:  make([]*Vertex, 0, n),
+		kids:   make([]*Vertex, 0, n),
+		kidOff: make([]int32, 1, n+1),
+		pre:    make([]int32, g.nextUniq),
+		post:   make([]int32, g.nextUniq),
+	}
+	for i := range ts.pre {
+		ts.pre[i] = -1
+	}
 	var walk func(v *Vertex)
 	walk = func(v *Vertex) {
-		v.treeIn = n
-		n++
-		for _, e := range v.out[Containment] {
-			if e.Type != EdgeIn {
-				walk(e.To)
-			}
+		r := int32(len(ts.order))
+		ts.order = append(ts.order, v)
+		ts.pre[v.UniqID] = r
+		v.treeIn = r
+		// Children are appended at their parent's visit, and ranks are
+		// visited in increasing order, so kids stays grouped by rank.
+		for c := v.kidHead; c != nil; c = c.nextSib {
+			ts.kids = append(ts.kids, c)
 		}
-		v.treeOut = n
+		ts.kidOff = append(ts.kidOff, int32(len(ts.kids)))
+		for c := v.kidHead; c != nil; c = c.nextSib {
+			walk(c)
+		}
+		end := int32(len(ts.order))
+		ts.post[v.UniqID] = end
+		v.treeOut = end
 	}
 	walk(root)
+	g.topo.Store(ts)
 }
 
 // MarkDown marks the containment subtree rooted at v down and subtracts the
@@ -475,6 +539,8 @@ func (g *Graph) MarkUp(v *Vertex) (map[string]int64, error) {
 
 // setSubtreeStatus flips every vertex in v's subtree whose status differs
 // from want and propagates the net capacity change to ancestor filters.
+// The subtree walk is a sequential scan of the topo slab's pre-order
+// interval — the whole failure domain sits in consecutive entries.
 func (g *Graph) setSubtreeStatus(v *Vertex, want Status) (map[string]int64, error) {
 	if !g.finalized {
 		return nil, ErrNotFinalized
@@ -484,18 +550,29 @@ func (g *Graph) setSubtreeStatus(v *Vertex, want Status) (map[string]int64, erro
 	}
 	delta := make(map[string]int64)
 	var flipped []*Vertex
-	var walk func(x *Vertex)
-	walk = func(x *Vertex) {
+	flip := func(x *Vertex) {
 		if x.Status != want {
 			x.Status = want
 			delta[x.Type] += x.Size
 			flipped = append(flipped, x)
 		}
-		for _, c := range containmentChildren(x) {
-			walk(c)
-		}
 	}
-	walk(v)
+	if ts := g.topo.Load(); ts != nil && v.UniqID < int64(len(ts.pre)) && ts.pre[v.UniqID] >= 0 {
+		for i := ts.pre[v.UniqID]; i < ts.post[v.UniqID]; i++ {
+			flip(ts.order[i])
+		}
+	} else {
+		// Vertex outside the published slab (e.g. grafted but not yet
+		// attached): fall back to the intrusive links.
+		var walk func(x *Vertex)
+		walk = func(x *Vertex) {
+			flip(x)
+			for c := x.kidHead; c != nil; c = c.nextSib {
+				walk(c)
+			}
+		}
+		walk(v)
+	}
 	if len(delta) == 0 {
 		return delta, nil // already in the requested state
 	}
@@ -538,30 +615,54 @@ func (g *Graph) propagateStatusDelta(a *Vertex, delta map[string]int64) error {
 	return nil
 }
 
+// newPlanner returns an initialized planner for v, carved from the
+// Finalize slab when one is open, otherwise individually allocated
+// (Attach-time grafts).
+func (g *Graph) newPlanner(v *Vertex) (*planner.Planner, error) {
+	if len(g.pslab) > 0 {
+		p := &g.pslab[0]
+		g.pslab = g.pslab[1:]
+		if err := planner.Init(p, g.base, g.horizon, v.Size, v.Type); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	return planner.New(g.base, g.horizon, v.Size, v.Type)
+}
+
 // finalizeSubtree computes the path, planner, aggregates, and filter for v
-// and its containment descendants.
+// and its containment descendants. Leaves store no aggregate map — their
+// trivial singleton aggregate is synthesized on demand — so the per-vertex
+// resting cost of the (majority) leaf population stays flat.
 func (g *Graph) finalizeSubtree(v *Vertex, parentPath string, seen map[int64]bool) error {
 	if seen[v.UniqID] {
 		return fmt.Errorf("%w: containment cycle through %s", ErrInvalid, v.Name)
 	}
 	seen[v.UniqID] = true
 	path := parentPath + "/" + v.Name
-	v.Paths[Containment] = path
+	v.path = path
 	g.byPath[path] = v
 	if v.plan == nil {
-		p, err := planner.New(g.base, g.horizon, v.Size, v.Type)
+		p, err := g.newPlanner(v)
 		if err != nil {
 			return fmt.Errorf("planner for %s: %w", v.Name, err)
 		}
 		v.plan = p
 	}
+	if v.kidHead == nil {
+		return nil // leaf: no aggregate map, no filter
+	}
 	v.agg = map[string]int64{v.Type: v.Size}
-	for _, c := range containmentChildren(v) {
+	for c := v.kidHead; c != nil; c = c.nextSib {
 		if err := g.finalizeSubtree(c, path, seen); err != nil {
 			return err
 		}
-		for t, n := range c.agg {
-			v.agg[t] += n
+		if c.agg != nil {
+			for t, n := range c.agg {
+				v.agg[t] += n
+			}
+		} else {
+			v.agg[c.Type] += c.Size
 		}
 	}
 	return g.installFilter(v)
@@ -570,7 +671,7 @@ func (g *Graph) finalizeSubtree(v *Vertex, parentPath string, seen map[int64]boo
 // installFilter installs a pruning filter on v if the PruneSpec selects its
 // type, tracking the configured low types present in v's subtree.
 func (g *Graph) installFilter(v *Vertex) error {
-	if !v.HasChildren(Containment) {
+	if v.kidHead == nil {
 		return nil // leaves carry no filters
 	}
 	tracked := make(map[string]int64)
@@ -608,37 +709,34 @@ func (g *Graph) Attach(parent, sub *Vertex) error {
 	if parent.graph != g || sub.graph != g {
 		return fmt.Errorf("%w: foreign vertex", ErrInvalid)
 	}
-	if parent.Paths[Containment] == "" {
+	if parent.path == "" {
 		return fmt.Errorf("%w: parent %s not attached", ErrInvalid, parent.Name)
 	}
-	if len(sub.containmentParents()) > 0 {
+	if sub.parent != nil {
 		return fmt.Errorf("%w: %s already attached", ErrInvalid, sub.Name)
 	}
 	if err := g.addContainment(parent, sub); err != nil {
 		return err
 	}
 	seen := make(map[int64]bool)
-	if err := g.finalizeSubtree(sub, parent.Paths[Containment], seen); err != nil {
+	if err := g.finalizeSubtree(sub, parent.path, seen); err != nil {
 		return err
 	}
-	// Propagate aggregate growth to ancestors and their filters.
+	// Propagate aggregate growth to ancestors and their filters. A parent
+	// that was a leaf becomes interior and gains its aggregate map here.
+	subAgg := sub.Aggregates()
 	for a := parent; a != nil; a = a.Parent() {
-		for t, n := range sub.agg {
+		if a.agg == nil {
+			a.agg = map[string]int64{a.Type: a.Size}
+		}
+		for t, n := range subAgg {
 			a.agg[t] += n
 		}
-		if err := g.growFilter(a, sub.agg); err != nil {
+		if err := g.growFilter(a, subAgg); err != nil {
 			return err
 		}
 	}
-	g.renumberTree()
-	var refresh func(x *Vertex)
-	refresh = func(x *Vertex) {
-		x.refreshView()
-		for _, c := range containmentChildren(x) {
-			refresh(c)
-		}
-	}
-	refresh(sub)
+	g.buildTopoLocked()
 	g.publishStructural(parent)
 	g.markEpochAllLocked()
 	g.publishEpochGraphLocked()
@@ -665,7 +763,9 @@ func (g *Graph) growFilter(a *Vertex, delta map[string]int64) error {
 }
 
 // Detach prunes the subtree rooted at v from the graph (elasticity). It
-// fails with ErrBusy if any planner in the subtree holds live spans.
+// fails with ErrBusy if any planner in the subtree holds live spans. The
+// detached subtree keeps its intrusive links, so it stays enumerable, but
+// it leaves the topo slab (and the path index) on the rebuild below.
 func (g *Graph) Detach(v *Vertex) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -677,28 +777,32 @@ func (g *Graph) Detach(v *Vertex) error {
 		return fmt.Errorf("%w: cannot detach the root", ErrInvalid)
 	}
 	var busy error
-	var walk func(x *Vertex)
-	walk = func(x *Vertex) {
+	var check func(x *Vertex)
+	check = func(x *Vertex) {
+		if busy != nil {
+			return
+		}
 		if x.plan != nil && x.plan.SpanCount() > 0 {
 			busy = fmt.Errorf("%w: %s has %d live spans", ErrBusy, x.Name, x.plan.SpanCount())
 			return
 		}
-		for _, c := range containmentChildren(x) {
-			walk(c)
+		for c := x.kidHead; c != nil; c = c.nextSib {
+			check(c)
 		}
 	}
-	walk(v)
+	check(v)
 	if busy != nil {
 		return busy
 	}
 	// Shrink ancestor aggregates and filters.
+	vAgg := v.Aggregates()
 	for a := parent; a != nil; a = a.Parent() {
-		for t, n := range v.agg {
+		for t, n := range vAgg {
 			a.agg[t] -= n
 		}
 		if a.filter != nil {
 			for _, rt := range a.filter.Types() {
-				if n := v.agg[rt]; n > 0 {
+				if n := vAgg[rt]; n > 0 {
 					if err := a.filter.Update(rt, -n); err != nil {
 						return err
 					}
@@ -706,21 +810,13 @@ func (g *Graph) Detach(v *Vertex) error {
 			}
 		}
 	}
-	// Unlink the contains/in edge pair in both directions, copy-on-write:
-	// lock-free readers pinned to an older epoch may still be iterating
-	// the old slices.
-	parent.out = cowEdgeDrop(parent.out, Containment, func(e *Edge) bool { return e.To == v })
-	parent.in = cowEdgeDrop(parent.in, Containment, func(e *Edge) bool { return e.From == v })
-	v.in = cowEdgeDrop(v.in, Containment, func(e *Edge) bool { return e.From == parent })
-	v.out = cowEdgeDrop(v.out, Containment, func(e *Edge) bool { return e.To == parent })
-	parent.refreshView()
-	v.refreshView()
+	parent.unlinkChild(v)
 	// Drop subtree path index entries and detach vertices.
 	var drop func(x *Vertex)
 	drop = func(x *Vertex) {
-		delete(g.byPath, x.Paths[Containment])
-		delete(x.Paths, Containment)
-		for _, c := range containmentChildren(x) {
+		delete(g.byPath, x.path)
+		x.path = ""
+		for c := x.kidHead; c != nil; c = c.nextSib {
 			drop(c)
 		}
 		x.graph = nil
@@ -733,6 +829,7 @@ func (g *Graph) Detach(v *Vertex) error {
 		}
 	}
 	g.vertices = kept
+	g.buildTopoLocked()
 	g.publishStructural(parent)
 	g.markEpochAllLocked()
 	g.publishEpochGraphLocked()

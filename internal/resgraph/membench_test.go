@@ -1,0 +1,111 @@
+package resgraph_test
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+)
+
+// settleHeap returns the live heap after forcing collection twice (the
+// second pass collects objects resurrected by finalizers from the first).
+func settleHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// rssBytes returns the process resident set size, or 0 when it cannot be
+// read (non-Linux).
+func rssBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// BenchmarkGraphMemory measures the resting memory footprint of the
+// struct-of-arrays slab graph: bytes of live heap per vertex after
+// building (and finalizing) a high-LOD system with ALL:core pruning
+// filters, at ~100k and ~1M vertices. The bytes/vertex metric is gated
+// raw by benchdiff, like allocs/op: it is deterministic per build, so a
+// representation change that bloats the resting graph fails CI even when
+// ns/op stays flat. rss-bytes/vertex tracks the same build at the OS
+// level (0 where /proc is unavailable, and ungated by the baseline).
+func BenchmarkGraphMemory(b *testing.B) {
+	// One high-LOD rack is 1423 vertices: 1 rack + 18 nodes + 36 sockets
+	// + 36*(20 cores + 2 gpus + 8 memory + 8 nvme).
+	for _, tc := range []struct {
+		name  string
+		racks int64
+	}{
+		{"v100k", 70},
+		{"v1M", 703},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var bytesPerVertex, rssPerVertex float64
+			for i := 0; i < b.N; i++ {
+				heap0, rss0 := settleHeap(), rssBytes()
+				g, err := grug.BuildGraph(grug.HighLODRacks(tc.racks), 0, 1<<31,
+					resgraph.PruneSpec{resgraph.ALL: {"core"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				heap1, rss1 := settleHeap(), rssBytes()
+				n := float64(g.Len())
+				bytesPerVertex = float64(heap1-heap0) / n
+				if rss1 > rss0 {
+					rssPerVertex = float64(rss1-rss0) / n
+				}
+				runtime.KeepAlive(g)
+			}
+			b.ReportMetric(bytesPerVertex, "bytes/vertex")
+			b.ReportMetric(rssPerVertex, "rss-bytes/vertex")
+		})
+	}
+}
+
+// TestGraphMemoryBudget pins the headline claim with a hard ceiling: the
+// resting representation must stay at or below half of the pre-slab
+// footprint (2538 bytes/vertex at 100k vertices). The benchdiff gate
+// tracks drift precisely; this test catches catastrophic regressions in
+// plain `go test` runs.
+func TestGraphMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory budget probe skipped in -short")
+	}
+	heap0 := settleHeap()
+	g, err := grug.BuildGraph(grug.HighLODRacks(70), 0, 1<<31,
+		resgraph.PruneSpec{resgraph.ALL: {"core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap1 := settleHeap()
+	perVertex := float64(heap1-heap0) / float64(g.Len())
+	t.Logf("vertices=%d heap=%d bytes/vertex=%.1f", g.Len(), heap1-heap0, perVertex)
+	if limit := 1269.0; perVertex > limit {
+		t.Fatalf("resting graph costs %.1f bytes/vertex, budget is %.1f", perVertex, limit)
+	}
+	runtime.KeepAlive(g)
+}

@@ -1,0 +1,18 @@
+package resgraph
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestVertexPacking pins the slab element size: at a million vertices
+// every 8 bytes of padding is 8 MB of resting memory, so the Vertex
+// field order must stay optimally packed (4-byte fields grouped at the
+// tail). govet's fieldalignment check guards the ordering in lint; this
+// test guards the absolute size against field additions that look free
+// but aren't.
+func TestVertexPacking(t *testing.T) {
+	if got, max := unsafe.Sizeof(Vertex{}), uintptr(200); got > max {
+		t.Fatalf("sizeof(Vertex) = %d, budget %d — new fields must justify their slab cost", got, max)
+	}
+}

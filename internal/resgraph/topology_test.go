@@ -1,6 +1,9 @@
 package resgraph
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // Tests for the allocation-free topology helpers the match kernel relies
 // on: ChildCount/HasChildren (leaf tests without materializing slices),
@@ -108,5 +111,84 @@ func TestInSubtreeOfAfterAttach(t *testing.T) {
 	}
 	if !node.InSubtreeOf(rack) || node.InSubtreeOf(g.ByPath("/cluster0/rack0")) {
 		t.Fatal("attached node labeled under the wrong rack")
+	}
+}
+
+// TestInSubtreeOfPropertyRandomOps drives the interval labels through
+// randomized Grow (Attach), Shrink (Detach), and MarkDown/MarkUp
+// sequences and checks after every operation that the O(1) Euler-tour
+// answer agrees with the naive parent walk for every vertex pair, and
+// that down status reached exactly the subtree it was aimed at. Each
+// Attach and Detach rebuilds the topo slab and renumbers every label, so
+// this exercises the rebuild far beyond the single-shot tests above.
+func TestInSubtreeOfPropertyRandomOps(t *testing.T) {
+	const ops = 40
+	for _, seed := range []int64{1, 2, 3, 4} {
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := buildTiny(t, nil)
+			verify := func(op string) {
+				t.Helper()
+				vs := g.Vertices()
+				for _, v := range vs {
+					for _, root := range vs {
+						want := inSubtreeSlow(v, root)
+						if got := v.InSubtreeOf(root); got != want {
+							t.Fatalf("after %s: InSubtreeOf(%s, %s) = %v, want %v",
+								op, v, root, got, want)
+						}
+					}
+				}
+			}
+			pick := func() *Vertex {
+				vs := g.Vertices()
+				return vs[rng.Intn(len(vs))]
+			}
+			for i := 0; i < ops; i++ {
+				switch r := rng.Float64(); {
+				case r < 0.40: // Grow: graft a fresh node+cores subtree anywhere.
+					parent := pick()
+					sub := g.MustAddVertex("node", -1, 1)
+					for c := rng.Intn(4); c > 0; c-- {
+						core := g.MustAddVertex("core", -1, 1)
+						if err := g.AddContainment(sub, core); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := g.Attach(parent, sub); err != nil {
+						t.Fatal(err)
+					}
+					verify("Attach")
+				case r < 0.65: // Shrink: prune any non-root subtree.
+					v := pick()
+					if v.Parent() == nil {
+						continue // never detach the root
+					}
+					if err := g.Detach(v); err != nil {
+						t.Fatal(err)
+					}
+					if v.graph != nil || v.path != "" {
+						t.Fatalf("detached %s still claims membership", v)
+					}
+					verify("Detach")
+				default: // Flip a failure domain and check the blast radius.
+					v := pick()
+					mark, markOp := g.MarkDown, "MarkDown"
+					want := StatusDown
+					if rng.Intn(2) == 0 {
+						mark, markOp, want = g.MarkUp, "MarkUp", StatusUp
+					}
+					if _, err := mark(v); err != nil {
+						t.Fatal(err)
+					}
+					for _, x := range g.Vertices() {
+						if inSubtreeSlow(x, v) && x.Status != want {
+							t.Fatalf("%s(%s) missed descendant %s", markOp, v, x)
+						}
+					}
+					verify(markOp)
+				}
+			}
+		})
 	}
 }

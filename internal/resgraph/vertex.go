@@ -9,10 +9,17 @@
 // containment subtree (paper §3.4). The containment subsystem must form a
 // tree; other subsystems may form arbitrary overlays sharing the same
 // vertices (paper §3.3, graph filtering).
+//
+// The resting representation is struct-of-arrays: the containment tree is
+// published as one immutable slab of parallel arrays in pre-order (see
+// topoSlab in graph.go), so child iteration, subtree status flips, and
+// candidate scans are sequential reads instead of pointer chases through
+// per-vertex edge maps. Vertices keep only intrusive sibling links for
+// construction and elasticity; Edge values for the containment subsystem
+// are synthesized on demand for export paths.
 package resgraph
 
 import (
-	"fmt"
 	"sync/atomic"
 
 	"fluxion/internal/planner"
@@ -50,53 +57,52 @@ func (s Status) String() string {
 // Singleton resources (a core, a node) are pools of size one.
 type Vertex struct {
 	// UniqID is the graph-wide unique identifier, assigned at AddVertex
-	// in creation order.
+	// in creation order. It indexes the graph's uniq-indexed slabs.
 	UniqID int64
-	// Type is the resource type name ("cluster", "rack", "node",
-	// "core", "memory", ...).
-	Type string
-	// TypeID is Type interned in the graph's type table (Graph.Types),
-	// assigned at AddVertex. The match kernel compares it instead of
-	// Type so type checks are integer compares.
-	TypeID int32
 	// ID is the logical per-type identifier (e.g. node 37). Match
 	// policies such as highest-ID-first order candidates by it.
 	ID int64
-	// Name is the display name, e.g. "node37".
-	Name string
 	// Size is the pool size in schedulable units (1 for singletons,
 	// e.g. 16 for a 16 GB memory pool).
 	Size int64
+	// Type is the resource type name ("cluster", "rack", "node",
+	// "core", "memory", ...).
+	Type string
+	// Name is the display name, e.g. "node37".
+	Name string
 	// Unit optionally names the unit ("GB").
 	Unit string
 	// Properties holds free-form labels, e.g. "perfclass" -> "3" for
-	// variation-aware scheduling (paper §5.2).
+	// variation-aware scheduling (paper §5.2). Nil until the first
+	// SetProperty.
 	Properties map[string]string
 	// Status gates schedulability.
 	Status Status
 
-	// Paths maps subsystem name to this vertex's path from that
-	// subsystem's root, e.g. "/cluster0/rack2/node37". Only tree-shaped
-	// subsystems have paths.
-	Paths map[string]string
+	// path is the containment path from the root, e.g.
+	// "/cluster0/rack2/node37"; empty until Finalize (or Attach) and
+	// after Detach. The string is shared with the graph's byPath index
+	// key, so it costs one header, not a copy.
+	path string
 
 	plan   *planner.Planner
 	filter *planner.Multi
-	agg    map[string]int64 // containment-subtree unit totals per type
+	agg    map[string]int64 // containment-subtree unit totals per type; nil on leaves
 
-	out map[string][]*Edge // subsystem -> outgoing edges
-	in  map[string][]*Edge // subsystem -> incoming edges
+	// Intrusive containment-tree links, guarded by the graph's writer
+	// lock. They are the authoritative builder topology; Finalize,
+	// Attach, and Detach compile them into the published topo slab that
+	// readers iterate. Hot paths never chase these.
+	parent  *Vertex
+	kidHead *Vertex
+	kidTail *Vertex
+	nextSib *Vertex
 
-	// view publishes the current adjacency for lock-free readers. After
-	// Finalize, edge mutations are copy-on-write (fresh maps and slices)
-	// and end by storing a new view; a reader's single atomic load then
-	// yields immutable maps it may iterate without any lock. Nil until
-	// Finalize (or attach) first publishes it.
-	view atomic.Pointer[edgeView]
-
-	// epochDirty marks the vertex as queued for re-snapshot in the next
-	// epoch transition; guarded by the graph's epochMu (see epoch.go).
-	epochDirty bool
+	// overlay publishes the vertex's non-containment adjacency for
+	// lock-free readers; nil while the vertex participates in no overlay
+	// subsystem, which at rest is nearly all of them. Post-Finalize
+	// mutations are copy-on-write.
+	overlay atomic.Pointer[overlayEdges]
 
 	// specClaims counts units tentatively claimed by in-flight
 	// speculative match attempts that have not yet committed spans into
@@ -105,47 +111,44 @@ type Vertex struct {
 	// different pools instead of all racing for the same one.
 	specClaims atomic.Int64
 
+	graph *Graph
+
+	// TypeID is Type interned in the graph's type table (Graph.Types),
+	// assigned at AddVertex. The match kernel compares it instead of
+	// Type so type checks are integer compares. (The 4-byte fields sit
+	// together at the tail so the struct packs without internal padding
+	// — govet's fieldalignment check enforces this.)
+	TypeID int32
+
 	// treeIn/treeOut are pre-order interval labels over the containment
-	// tree, maintained by Finalize and Attach: u contains v exactly when
-	// treeIn[u] <= treeIn[v] < treeOut[u]. The match kernel uses them
-	// for O(1) subtree tests when invalidating cached candidate lists.
+	// tree, maintained by Finalize, Attach, and Detach: u contains v
+	// exactly when treeIn[u] <= treeIn[v] < treeOut[u]. treeIn is also
+	// the vertex's rank in the published topo slab. The match kernel
+	// uses them for O(1) subtree tests when invalidating cached
+	// candidate lists.
 	treeIn, treeOut int32
 
-	graph *Graph
+	// epochDirty marks the vertex as queued for re-snapshot in the next
+	// epoch transition; guarded by the graph's epochMu (see epoch.go).
+	epochDirty bool
 }
 
 // Edge is a directed, typed relationship between two vertices within one
-// named subsystem.
+// named subsystem. Containment edges are synthesized on demand from the
+// tree links; overlay edges are stored.
 type Edge struct {
 	From, To  *Vertex
 	Subsystem string
 	Type      string
 }
 
-// edgeView is an immutable adjacency snapshot: once stored in
-// Vertex.view, neither the maps nor the slices they hold are ever
-// mutated again.
-type edgeView struct {
+// overlayEdges is an immutable adjacency snapshot for non-containment
+// subsystems: once published in Vertex.overlay, neither the maps nor the
+// slices they hold are ever mutated again (post-Finalize mutations go
+// through copy-on-write in graph.go).
+type overlayEdges struct {
 	out map[string][]*Edge
 	in  map[string][]*Edge
-}
-
-// refreshView publishes the vertex's current adjacency maps as its edge
-// view. Callers (graph mutators) hold the graph's writer lock and must
-// not mutate the published maps afterwards — post-Finalize edge changes
-// go through the copy-on-write helpers in graph.go.
-func (v *Vertex) refreshView() {
-	v.view.Store(&edgeView{out: v.out, in: v.in})
-}
-
-// edges returns the adjacency maps to read from: the published view when
-// one exists (safe without the graph lock), else the builder-owned maps
-// (pre-Finalize, single-threaded construction).
-func (v *Vertex) edges() (out, in map[string][]*Edge) {
-	if ev := v.view.Load(); ev != nil {
-		return ev.out, ev.in
-	}
-	return v.out, v.in
 }
 
 // Attached reports whether the vertex is currently part of its graph's
@@ -160,45 +163,113 @@ func (v *Vertex) Planner() *planner.Planner { return v.plan }
 func (v *Vertex) Filter() *planner.Multi { return v.filter }
 
 // Aggregates returns the containment-subtree unit totals per resource type
-// (including the vertex itself). The map is live; callers must not modify
-// it.
-func (v *Vertex) Aggregates() map[string]int64 { return v.agg }
+// (including the vertex itself). Interior vertices return their live
+// aggregate map (callers must not modify it); leaves, which store no map,
+// synthesize their trivial singleton aggregate.
+func (v *Vertex) Aggregates() map[string]int64 {
+	if v.agg != nil {
+		return v.agg
+	}
+	return map[string]int64{v.Type: v.Size}
+}
+
+// aggregates returns the per-type subtree totals without synthesizing a
+// map for leaves; graph-internal accounting iterates the result.
+func (v *Vertex) aggregates() map[string]int64 { return v.Aggregates() }
 
 // Path returns the vertex's containment path.
-func (v *Vertex) Path() string { return v.Paths[Containment] }
+func (v *Vertex) Path() string { return v.path }
 
 // String returns the vertex's containment path, or its name if the graph
 // is not finalized yet.
 func (v *Vertex) String() string {
-	if p := v.Path(); p != "" {
-		return p
+	if v.path != "" {
+		return v.path
 	}
 	return v.Name
 }
 
-// Children returns the vertices reachable by one downward outgoing edge in
-// the given subsystem (reciprocal "in" edges are skipped).
-func (v *Vertex) Children(subsystem string) []*Vertex {
-	adj, _ := v.edges()
+// topoKids returns the vertex's containment children as a shared slice
+// view into the published topo slab, and whether the slab covers the
+// vertex. The view is immutable and safe to read lock-free.
+func (v *Vertex) topoKids() ([]*Vertex, bool) {
+	g := v.graph
+	if g == nil {
+		return nil, false
+	}
+	ts := g.topo.Load()
+	if ts == nil || v.UniqID >= int64(len(ts.pre)) {
+		return nil, false
+	}
+	r := ts.pre[v.UniqID]
+	if r < 0 {
+		return nil, false
+	}
+	return ts.kids[ts.kidOff[r]:ts.kidOff[r+1]], true
+}
+
+// Kids returns v's children in the subsystem as a shared, read-only slice.
+// For containment on a finalized graph this is a zero-copy view into the
+// topo slab — the match kernel's child iteration is a sequential scan of
+// one shared array. Vertices outside the slab (pre-Finalize, detached
+// subtrees, grafts not yet attached) and overlay subsystems build a fresh
+// slice. Callers must not modify the result.
+func (v *Vertex) Kids(subsystem string) []*Vertex {
+	if subsystem == Containment {
+		if kids, ok := v.topoKids(); ok {
+			return kids
+		}
+		var out []*Vertex
+		for c := v.kidHead; c != nil; c = c.nextSib {
+			out = append(out, c)
+		}
+		return out
+	}
 	var out []*Vertex
-	for _, e := range adj[subsystem] {
-		if e.Type != EdgeIn {
-			out = append(out, e.To)
+	if ov := v.overlay.Load(); ov != nil {
+		for _, e := range ov.out[subsystem] {
+			if e.Type != EdgeIn {
+				out = append(out, e.To)
+			}
 		}
 	}
 	return out
 }
 
+// Children returns the vertices reachable by one downward outgoing edge in
+// the given subsystem (reciprocal "in" edges are skipped).
+func (v *Vertex) Children(subsystem string) []*Vertex {
+	kids := v.Kids(subsystem)
+	if len(kids) == 0 {
+		return nil
+	}
+	out := make([]*Vertex, len(kids))
+	copy(out, kids)
+	return out
+}
+
 // EachChild calls fn for every downward child in the subsystem, stopping
-// early if fn returns false. It avoids the allocation of Children for hot
-// paths.
+// early if fn returns false. For containment it iterates the topo slab
+// without allocating.
 func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
-	adj, _ := v.edges()
-	for _, e := range adj[subsystem] {
-		if e.Type == EdgeIn {
-			continue
+	if subsystem == Containment {
+		if kids, ok := v.topoKids(); ok {
+			for _, c := range kids {
+				if !fn(c) {
+					return
+				}
+			}
+			return
 		}
-		if !fn(e.To) {
+		for c := v.kidHead; c != nil; c = c.nextSib {
+			if !fn(c) {
+				return
+			}
+		}
+		return
+	}
+	for _, c := range v.Kids(subsystem) {
+		if !fn(c) {
 			return
 		}
 	}
@@ -207,23 +278,33 @@ func (v *Vertex) EachChild(subsystem string, fn func(c *Vertex) bool) {
 // ChildCount returns the number of downward children in the subsystem
 // without materializing the slice Children builds.
 func (v *Vertex) ChildCount(subsystem string) int {
-	adj, _ := v.edges()
-	n := 0
-	for _, e := range adj[subsystem] {
-		if e.Type != EdgeIn {
+	if subsystem == Containment {
+		if kids, ok := v.topoKids(); ok {
+			return len(kids)
+		}
+		n := 0
+		for c := v.kidHead; c != nil; c = c.nextSib {
 			n++
 		}
+		return n
 	}
-	return n
+	return len(v.Kids(subsystem))
 }
 
 // HasChildren reports whether v has at least one downward child in the
 // subsystem — the allocation-free leaf test used by the match kernel.
 func (v *Vertex) HasChildren(subsystem string) bool {
-	adj, _ := v.edges()
-	for _, e := range adj[subsystem] {
-		if e.Type != EdgeIn {
-			return true
+	if subsystem == Containment {
+		if kids, ok := v.topoKids(); ok {
+			return len(kids) > 0
+		}
+		return v.kidHead != nil
+	}
+	if ov := v.overlay.Load(); ov != nil {
+		for _, e := range ov.out[subsystem] {
+			if e.Type != EdgeIn {
+				return true
+			}
 		}
 	}
 	return false
@@ -231,38 +312,14 @@ func (v *Vertex) HasChildren(subsystem string) bool {
 
 // InSubtreeOf reports whether v lies in the containment subtree rooted
 // at root (inclusive), in O(1) via the pre-order interval labels
-// maintained by Finalize and Attach. Before Finalize all labels are
-// zero and the result is meaningless.
+// maintained by Finalize, Attach, and Detach. Before Finalize all labels
+// are zero and the result is meaningless.
 func (v *Vertex) InSubtreeOf(root *Vertex) bool {
 	return root.treeIn <= v.treeIn && v.treeIn < root.treeOut
 }
 
-// containmentParents returns the From endpoints of incoming contains-typed
-// containment edges.
-func (v *Vertex) containmentParents() []*Vertex {
-	_, adj := v.edges()
-	var out []*Vertex
-	for _, e := range adj[Containment] {
-		if e.Type != EdgeIn {
-			out = append(out, e.From)
-		}
-	}
-	return out
-}
-
 // Parent returns the vertex's unique containment parent, or nil for roots.
-// It panics if the containment subsystem is not a tree.
-func (v *Vertex) Parent() *Vertex {
-	in := v.containmentParents()
-	switch len(in) {
-	case 0:
-		return nil
-	case 1:
-		return in[0]
-	default:
-		panic(fmt.Sprintf("resgraph: vertex %s has %d containment parents", v.Name, len(in)))
-	}
-}
+func (v *Vertex) Parent() *Vertex { return v.parent }
 
 // AddSpecClaim adjusts the vertex's speculative-claim counter by delta
 // units. Speculating match workers publish positive deltas while they hold
@@ -274,16 +331,48 @@ func (v *Vertex) AddSpecClaim(delta int64) { v.specClaims.Add(delta) }
 // match attempts on this vertex.
 func (v *Vertex) SpecClaims() int64 { return v.specClaims.Load() }
 
-// InEdges returns the incoming edges in the subsystem.
+// InEdges returns the incoming edges in the subsystem. Overlay subsystems
+// return the stored slice; containment edges are synthesized from the tree
+// links on each call (export/debug paths only — the match kernel iterates
+// Kids instead).
 func (v *Vertex) InEdges(subsystem string) []*Edge {
-	_, adj := v.edges()
-	return adj[subsystem]
+	if subsystem != Containment {
+		if ov := v.overlay.Load(); ov != nil {
+			return ov.in[subsystem]
+		}
+		return nil
+	}
+	var out []*Edge
+	if p := v.parent; p != nil {
+		out = append(out, &Edge{From: p, To: v, Subsystem: Containment, Type: EdgeContains})
+	}
+	v.EachChild(Containment, func(c *Vertex) bool {
+		out = append(out, &Edge{From: c, To: v, Subsystem: Containment, Type: EdgeIn})
+		return true
+	})
+	return out
 }
 
-// OutEdges returns the outgoing edges in the subsystem.
+// OutEdges returns the outgoing edges in the subsystem. Overlay subsystems
+// return the stored slice; containment edges are synthesized from the tree
+// links on each call (export/debug paths only — the match kernel iterates
+// Kids instead).
 func (v *Vertex) OutEdges(subsystem string) []*Edge {
-	adj, _ := v.edges()
-	return adj[subsystem]
+	if subsystem != Containment {
+		if ov := v.overlay.Load(); ov != nil {
+			return ov.out[subsystem]
+		}
+		return nil
+	}
+	var out []*Edge
+	if p := v.parent; p != nil {
+		out = append(out, &Edge{From: v, To: p, Subsystem: Containment, Type: EdgeIn})
+	}
+	v.EachChild(Containment, func(c *Vertex) bool {
+		out = append(out, &Edge{From: v, To: c, Subsystem: Containment, Type: EdgeContains})
+		return true
+	})
+	return out
 }
 
 // Property returns a property value ("" if absent).
@@ -297,4 +386,40 @@ func (v *Vertex) SetProperty(key, value string) {
 		v.Properties = make(map[string]string)
 	}
 	v.Properties[key] = value
+}
+
+// linkChild appends c to v's intrusive child list; callers hold the
+// graph's writer lock and have verified c has no parent.
+func (v *Vertex) linkChild(c *Vertex) {
+	c.parent = v
+	c.nextSib = nil
+	if v.kidTail == nil {
+		v.kidHead, v.kidTail = c, c
+	} else {
+		v.kidTail.nextSib = c
+		v.kidTail = c
+	}
+}
+
+// unlinkChild removes c from v's intrusive child list; callers hold the
+// graph's writer lock. c's own subtree links stay intact so a detached
+// subtree remains enumerable.
+func (v *Vertex) unlinkChild(c *Vertex) {
+	var prev *Vertex
+	for x := v.kidHead; x != nil; x = x.nextSib {
+		if x == c {
+			if prev == nil {
+				v.kidHead = x.nextSib
+			} else {
+				prev.nextSib = x.nextSib
+			}
+			if v.kidTail == c {
+				v.kidTail = prev
+			}
+			c.parent = nil
+			c.nextSib = nil
+			return
+		}
+		prev = x
+	}
 }

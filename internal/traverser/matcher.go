@@ -336,11 +336,10 @@ func (m *matcher) tryCandidate(c *resgraph.Vertex, cn *jobspec.CNode, excl bool,
 // Descent is pruned at vertices that are exclusively allocated or whose
 // pruning filter cannot cover one instance's aggregate needs.
 func (m *matcher) collect(out []*resgraph.Vertex, v *resgraph.Vertex, cn *jobspec.CNode) []*resgraph.Vertex {
-	for _, e := range v.OutEdges(m.t.subsystem) {
-		if e.Type == resgraph.EdgeIn {
-			continue
-		}
-		c := e.To
+	// Kids is a zero-copy view into the containment topo slab, so the
+	// whole descent is sequential reads of one shared array (overlay
+	// subsystems return their stored adjacency slice).
+	for _, c := range v.Kids(m.t.subsystem) {
 		if !m.up(c) {
 			continue
 		}
