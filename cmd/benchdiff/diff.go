@@ -339,6 +339,89 @@ func gated(name string, gates []string) bool {
 	return false
 }
 
+// ScaleGate is a raw within-run ratio gate: the median ns/op of Slow
+// divided by the median ns/op of Fast must be at least Min. Unlike the
+// calibrated baseline comparison it needs no history — both measurements
+// come from the same run on the same machine, so machine speed cancels
+// out. It gates scaling claims (e.g. the 8-shard scheduler must be >= 3x
+// the 1-shard one) rather than point regressions.
+type ScaleGate struct {
+	Slow string  // benchmark expected to be slower per op
+	Fast string  // benchmark expected to be faster per op
+	Min  float64 // minimum tolerated Slow/Fast ns-per-op ratio
+}
+
+// ParseScaleGates parses comma-separated "slow:fast:min" specs
+// ("BenchmarkShardedThroughput/s1:BenchmarkShardedThroughput/s8:3.0").
+// Colons cannot appear in benchmark names, so the split is unambiguous.
+func ParseScaleGates(s string) ([]ScaleGate, error) {
+	var out []ScaleGate
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("scale gate %q: want slow:fast:min", part)
+		}
+		min, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("scale gate %q: bad minimum %q", part, fields[2])
+		}
+		out = append(out, ScaleGate{Slow: fields[0], Fast: fields[1], Min: min})
+	}
+	return out, nil
+}
+
+// ScaleRow is one scale gate's outcome.
+type ScaleRow struct {
+	Gate    ScaleGate
+	SlowNs  float64
+	FastNs  float64
+	Speedup float64
+	Failed  bool
+}
+
+// CheckScaleGates evaluates raw ratio gates against one run's samples.
+// A gate whose benchmarks are missing from the run fails — a silently
+// skipped scaling gate would read as a pass.
+func CheckScaleGates(samples *Samples, gates []ScaleGate) []ScaleRow {
+	medians := Medians(samples.Ns)
+	out := make([]ScaleRow, 0, len(gates))
+	for _, g := range gates {
+		row := ScaleRow{Gate: g, SlowNs: medians[g.Slow], FastNs: medians[g.Fast]}
+		if row.SlowNs <= 0 || row.FastNs <= 0 {
+			row.Failed = true
+		} else {
+			row.Speedup = row.SlowNs / row.FastNs
+			row.Failed = row.Speedup < g.Min
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PrintScaleRows renders scale-gate outcomes; returns true when any
+// gate failed.
+func PrintScaleRows(w io.Writer, rows []ScaleRow) bool {
+	failed := false
+	for _, r := range rows {
+		if r.SlowNs <= 0 || r.FastNs <= 0 {
+			fmt.Fprintf(w, "scale gate %s / %s: MISSING benchmark rows\n", r.Gate.Slow, r.Gate.Fast)
+			failed = true
+			continue
+		}
+		verdict := "ok"
+		if r.Failed {
+			verdict = "FAILED"
+			failed = true
+		}
+		fmt.Fprintf(w, "scale gate %s / %s: %.2fx (gate: >= %.2fx) %s\n",
+			r.Gate.Slow, r.Gate.Fast, r.Speedup, r.Gate.Min, verdict)
+	}
+	return failed
+}
+
 func (r *Report) Failed() bool {
 	if len(r.Missing) > 0 {
 		return true

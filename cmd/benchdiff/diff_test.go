@@ -438,3 +438,47 @@ func TestCompareAllocGateMigration(t *testing.T) {
 		}
 	}
 }
+
+// Scale gates are raw within-run ratios: slow/fast ns-per-op must clear
+// the floor, and a gate whose rows are missing fails rather than
+// silently passing.
+func TestScaleGates(t *testing.T) {
+	gates, err := ParseScaleGates(
+		"BenchmarkShardedThroughput/s1:BenchmarkShardedThroughput/s8:3.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 1 || gates[0].Min != 3.0 {
+		t.Fatalf("gates = %+v", gates)
+	}
+	for _, bad := range []string{"a:b", "a:b:zero", "a:b:-1"} {
+		if _, err := ParseScaleGates(bad); err == nil {
+			t.Errorf("ParseScaleGates(%q) accepted", bad)
+		}
+	}
+
+	mk := func(s1, s8 float64) *Samples {
+		return &Samples{Ns: map[string][]float64{
+			"BenchmarkShardedThroughput/s1": {s1},
+			"BenchmarkShardedThroughput/s8": {s8},
+		}}
+	}
+	if rows := CheckScaleGates(mk(40e6, 10e6), gates); rows[0].Failed || rows[0].Speedup != 4.0 {
+		t.Fatalf("4x run failed the 3x gate: %+v", rows[0])
+	}
+	if rows := CheckScaleGates(mk(20e6, 10e6), gates); !rows[0].Failed {
+		t.Fatalf("2x run passed the 3x gate: %+v", rows[0])
+	}
+	empty := &Samples{Ns: map[string][]float64{}}
+	rows := CheckScaleGates(empty, gates)
+	if !rows[0].Failed {
+		t.Fatal("missing rows passed the gate")
+	}
+	var sb strings.Builder
+	if !PrintScaleRows(&sb, rows) {
+		t.Fatal("PrintScaleRows did not report failure")
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}

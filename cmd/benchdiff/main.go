@@ -31,11 +31,20 @@
 // set size, which paging makes nondeterministic; they are recorded in
 // the baseline and printed, but never fail the gate.
 //
+// Scale gates (-scale) are a separate raw mode: within one run, the
+// median ns/op ratio between a slow and a fast benchmark must clear a
+// floor ("BenchmarkShardedThroughput/s1:BenchmarkShardedThroughput/s8:3.0"
+// requires the 8-shard scheduler to be at least 3x the 1-shard one).
+// Both sides come from the same run on the same machine, so no baseline
+// or calibration applies; CI uses this for scaling claims that a
+// point-regression gate can't express.
+//
 // Usage:
 //
 //	go test -run XXX -bench 'LODMatch|Planner' . > bench.txt
 //	benchdiff -baseline BENCH_BASELINE.json -input bench.txt          # gate
 //	benchdiff -baseline BENCH_BASELINE.json -input bench.txt -write   # refresh
+//	benchdiff -input shard.txt -scale 'Benchmark.../s1:Benchmark.../s8:3.0'
 package main
 
 import (
@@ -50,9 +59,10 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
 		inputPath    = flag.String("input", "-", "go test -bench output to compare ('-' for stdin)")
-		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch,BenchmarkSchedCycle,BenchmarkGraphMemory,BenchmarkSchedMemory", "comma-separated benchmark name prefixes that are gated")
+		gates        = flag.String("gate", "BenchmarkLODMatch,BenchmarkPlanner,BenchmarkSlotMatch,BenchmarkSchedCycle,BenchmarkGraphMemory,BenchmarkSchedMemory,BenchmarkShardedThroughput", "comma-separated benchmark name prefixes that are gated")
 		threshold    = flag.Float64("threshold", 0.20, "maximum tolerated calibrated slowdown (0.20 = +20%)")
 		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
+		scale        = flag.String("scale", "", "raw within-run ratio gates, comma-separated slow:fast:min specs (e.g. BenchmarkShardedThroughput/s1:BenchmarkShardedThroughput/s8:3.0)")
 	)
 	flag.Parse()
 
@@ -72,6 +82,18 @@ func main() {
 	if *write {
 		fail(WriteBaseline(*baselinePath, current))
 		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current.Ns), *baselinePath)
+		return
+	}
+
+	if *scale != "" {
+		// Scale-gate mode: raw within-run ratios, no baseline needed —
+		// both sides of each ratio come from the same run, so machine
+		// speed cancels out.
+		sgates, err := ParseScaleGates(*scale)
+		fail(err)
+		if PrintScaleRows(os.Stdout, CheckScaleGates(current, sgates)) {
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -11,6 +11,7 @@
 //	fluxion-bench -experiment recovery  # WAL crash-recovery time vs log length
 //	fluxion-bench -experiment chaos     # self-defense survival vs fault intensity
 //	fluxion-bench -experiment memscale  # resting-graph memory vs system scale
+//	fluxion-bench -experiment shardscale # sharded scheduling throughput vs quality
 //	fluxion-bench -experiment all       # everything
 //
 // Paper-scale defaults (56 racks / 1008 nodes for LOD, 1M spans for the
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | memscale | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | memscale | shardscale | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -53,6 +54,8 @@ func main() {
 		chaosJobs  = flag.Int("chaos-jobs", 200, "trace length for the chaos self-defense study")
 		parOps     = flag.Int("parmatch-ops", 2048, "speculate+commit+cancel cycles per worker count")
 		memRacks   = flag.String("memscale-racks", "7,70,703", "rack sweep for the resting-memory study (70 racks ~ 100k vertices)")
+		shardJobs  = flag.Int("shardscale-jobs", 600, "queue-snapshot depth for the sharded-scheduling study")
+		shardSweep = flag.String("shardscale-shards", "1,2,4,8", "shard-count sweep for the sharded-scheduling study")
 		epochOps   = flag.Int("epochscale-ops", 8192, "epoch speculate+abandon cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -213,8 +216,23 @@ func main() {
 		writeCSV("memscale.csv", func(w *os.File) error { return experiments.WriteMemScaleCSV(w, results) })
 		fmt.Printf("(memscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("shardscale") {
+		ran = true
+		sweep, err := parseInts(*shardSweep)
+		fail(err)
+		cfg := experiments.DefaultShardScale()
+		cfg.Jobs = *shardJobs
+		cfg.Seed = *seed
+		cfg.Shards = sweep
+		start := time.Now()
+		results, err := experiments.RunShardScale(cfg)
+		fail(err)
+		experiments.PrintShardScale(os.Stdout, results, cfg)
+		writeCSV("shardscale.csv", func(w *os.File) error { return experiments.WriteShardScaleCSV(w, results) })
+		fmt.Printf("(shardscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, memscale, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, memscale, shardscale, or all)\n", *experiment)
 		os.Exit(2)
 	}
 }

@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		grugFile   = flag.String("grug", "", "GRUG recipe file")
-		preset     = flag.String("preset", "", "built-in recipe: high | med | low | low2 | quartz | small")
+		preset     = flag.String("preset", "", "built-in recipe: high | med | low | low2 | quartz | small | small4")
 		traceFile  = flag.String("trace", "", "JSONL trace file")
 		synth      = flag.Int("synth", 0, "generate a synthetic queue snapshot of N jobs instead of -trace")
 		maxNodes   = flag.Int64("synth-max-nodes", 256, "largest synthetic job")
@@ -45,6 +45,8 @@ func main() {
 		maxRetries = flag.Int("max-retries", 0, "failure requeues per job before it fails (0 = default)")
 		drill      = flag.Bool("drill", false, "run the crash-recovery drill: checkpoint mid-run, restore, verify convergence")
 		increment  = flag.Bool("incremental", true, "event-driven incremental scheduling (false = full requeue every cycle)")
+		shards     = flag.Int("shards", 1, "partition the graph into N subtree shards, each with its own scheduler loop (1 = flat)")
+		shardCut   = flag.String("shard-cut", "rack", "containment type sharding cuts the graph at")
 		walDir     = flag.String("wal-dir", "", "durable state directory: journal every mutation to a write-ahead log and recover prior state on start")
 		walSync    = flag.Duration("wal-sync-interval", 0, "WAL group-commit fsync cadence (0 = 10ms default; negative = fsync every command)")
 		snapEvery  = flag.Int("snapshot-every", 0, "commands between WAL snapshots (0 = default 4096)")
@@ -86,6 +88,9 @@ func main() {
 			recipe = grug.QuartzPaper()
 		case "small":
 			recipe = grug.Small(2, 4, 8, 32, 100)
+		case "small4":
+			// Four racks so sharded runs can cut 4 ways (-shards 4).
+			recipe = grug.Small(4, 4, 8, 32, 100)
 		default:
 			fail(fmt.Errorf("unknown preset %q", *preset))
 		}
@@ -152,6 +157,8 @@ func main() {
 		MaxRetries:   *maxRetries,
 		Drill:        *drill,
 		FullRequeue:  !*increment,
+		Shards:       *shards,
+		ShardCut:     *shardCut,
 
 		WALDir:          *walDir,
 		WALSyncInterval: *walSync,

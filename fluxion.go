@@ -104,6 +104,7 @@ type config struct {
 	pruneSpec    resgraph.PruneSpec
 	subsystem    string
 	matchWorkers int
+	shardCut     string
 
 	recipe      *grug.Recipe
 	recipeYAML  []byte
@@ -216,10 +217,33 @@ type Fluxion struct {
 // New builds a Fluxion instance from exactly one store source
 // (WithRecipe, WithRecipeYAML, WithJGF, or WithGraph).
 func New(opts ...Option) (*Fluxion, error) {
+	c, g, err := storeFromOptions(opts...)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := match.Lookup(c.policy)
+	if err != nil {
+		return nil, err
+	}
+	var topts []traverser.Option
+	if c.subsystem != "" {
+		topts = append(topts, traverser.WithSubsystem(c.subsystem))
+	}
+	tr, err := traverser.New(g, policy, topts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Fluxion{g: g, tr: tr, matchWorkers: c.matchWorkers}, nil
+}
+
+// storeFromOptions resolves construction options into a finalized graph
+// (shared by New and NewSharded): exactly one store source is required,
+// and prune filters are applied before finalization.
+func storeFromOptions(opts ...Option) (*config, *resgraph.Graph, error) {
 	c := &config{horizon: DefaultHorizon}
 	for _, o := range opts {
 		if err := o(c); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	sources := 0
@@ -229,19 +253,29 @@ func New(opts ...Option) (*Fluxion, error) {
 		}
 	}
 	if sources != 1 {
-		return nil, errors.New("fluxion: exactly one of WithRecipe/WithRecipeYAML/WithJGF/WithGraphML/WithGraph is required")
+		return nil, nil, errors.New("fluxion: exactly one of WithRecipe/WithRecipeYAML/WithJGF/WithGraphML/WithGraph is required")
 	}
 	spec := c.pruneSpec
 	if c.prune != "" {
 		if spec != nil {
-			return nil, errors.New("fluxion: WithPruneFilters and WithPruneSpec are mutually exclusive")
+			return nil, nil, errors.New("fluxion: WithPruneFilters and WithPruneSpec are mutually exclusive")
 		}
 		parsed, err := resgraph.ParsePruneSpec(c.prune)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		spec = parsed
 	}
+	g, err := buildStore(c, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, g, nil
+}
+
+// buildStore materializes the configured store source into a finalized
+// graph.
+func buildStore(c *config, spec resgraph.PruneSpec) (*resgraph.Graph, error) {
 	var g *resgraph.Graph
 	var err error
 	switch {
@@ -272,19 +306,7 @@ func New(opts ...Option) (*Fluxion, error) {
 	if err != nil {
 		return nil, err
 	}
-	policy, err := match.Lookup(c.policy)
-	if err != nil {
-		return nil, err
-	}
-	var topts []traverser.Option
-	if c.subsystem != "" {
-		topts = append(topts, traverser.WithSubsystem(c.subsystem))
-	}
-	tr, err := traverser.New(g, policy, topts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Fluxion{g: g, tr: tr, matchWorkers: c.matchWorkers}, nil
+	return g, nil
 }
 
 // MatchWorkers returns the configured parallel-match worker count

@@ -82,6 +82,38 @@ func WriteEpochScaleCSV(w io.Writer, results []EpochScaleResult) error {
 	return cw.Error()
 }
 
+// WriteShardScaleCSV renders the E12 shard-count sweep: throughput plus
+// the decision-quality deltas against each policy's 1-shard baseline.
+func WriteShardScaleCSV(w io.Writer, results []ShardScaleResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"policy", "shards", "completed", "rerouted", "steals", "unroutable",
+		"wall_ns", "jobs_per_sec", "speedup", "util", "util_delta_pp", "mean_wait_s", "wait_delta_s"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			string(r.Policy),
+			strconv.Itoa(r.Shards),
+			strconv.Itoa(r.Completed),
+			strconv.FormatInt(r.Rerouted, 10),
+			strconv.FormatInt(r.Steals, 10),
+			strconv.FormatInt(r.Unroutable, 10),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
+			strconv.FormatFloat(r.JobsPerSec, 'f', 1, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+			strconv.FormatFloat(r.Util, 'f', 4, 64),
+			strconv.FormatFloat(r.UtilDelta, 'f', 2, 64),
+			strconv.FormatFloat(r.MeanWait, 'f', 1, 64),
+			strconv.FormatFloat(r.WaitDelta, 'f', 1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteMemScaleCSV renders the E11 resting-memory sweep.
 func WriteMemScaleCSV(w io.Writer, results []MemScaleResult) error {
 	cw := csv.NewWriter(w)

@@ -421,3 +421,46 @@ func TestMemScaleSmallScale(t *testing.T) {
 		t.Fatalf("memscale csv lines = %d", lines)
 	}
 }
+
+func TestShardScaleSmallScale(t *testing.T) {
+	cfg := ShardScaleConfig{Racks: 2, Jobs: 24, MaxNodes: 4, Seed: 7, Shards: []int{1, 2}}
+	results, err := RunShardScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // {FCFS, EASY} x {1, 2}
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Completed != cfg.Jobs {
+			t.Errorf("%s/s%d: completed = %d", r.Policy, r.Shards, r.Completed)
+		}
+		if r.Unroutable != 0 {
+			t.Errorf("%s/s%d: unroutable = %d", r.Policy, r.Shards, r.Unroutable)
+		}
+		if r.JobsPerSec <= 0 || r.Util <= 0 || r.Util > 1 {
+			t.Errorf("%s/s%d: bad row %+v", r.Policy, r.Shards, r)
+		}
+	}
+	for _, i := range []int{0, 2} { // per-policy 1-shard baselines
+		if results[i].Shards != 1 || results[i].Speedup != 1 ||
+			results[i].UtilDelta != 0 || results[i].WaitDelta != 0 {
+			t.Errorf("baseline row %d: %+v", i, results[i])
+		}
+	}
+	var buf bytes.Buffer
+	PrintShardScale(&buf, results, cfg)
+	if !strings.Contains(buf.String(), "Δutil(pp)") {
+		t.Fatalf("table: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteShardScaleCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "policy,shards,completed,rerouted,steals,unroutable,wall_ns,jobs_per_sec,speedup,util,util_delta_pp,mean_wait_s,wait_delta_s") {
+		t.Fatalf("shardscale header: %s", buf.String())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 5 { // header + 4 rows
+		t.Fatalf("shardscale csv lines = %d", lines)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/shard"
+	"fluxion/internal/trace"
+)
+
+// ShardScaleConfig parameterizes the E12 sharded-scheduling study: the
+// same queue snapshot drained through the partitioned scheduler at each
+// shard count, measuring decision throughput against the decision-quality
+// cost of partitioned placement.
+type ShardScaleConfig struct {
+	Racks    int64 // high-LOD racks (18 nodes each; also the max shard count)
+	Jobs     int   // queue-snapshot depth at t=0
+	MaxNodes int64 // largest job in nodes (kept within one shard's rack)
+	Seed     int64 // workload seed
+	Shards   []int // shard counts to sweep
+}
+
+// DefaultShardScale is the standard configuration: 8 racks (144 nodes,
+// 11,385 vertices at high LOD) under a 600-job snapshot whose largest
+// jobs take 16 of a rack's 18 nodes — routable everywhere, but tight
+// enough that cross-shard fragmentation shows up in the wait times.
+func DefaultShardScale() ShardScaleConfig {
+	return ShardScaleConfig{Racks: 8, Jobs: 600, MaxNodes: 16, Seed: 2023, Shards: []int{1, 2, 4, 8}}
+}
+
+// ShardScaleResult is one policy × shard-count row. Deltas compare
+// against the same policy's 1-shard row, which is decision-identical to
+// a flat scheduler over the same graph (property-tested in
+// internal/shard), so it doubles as the flat baseline.
+type ShardScaleResult struct {
+	Policy     sched.QueuePolicy
+	Shards     int
+	Completed  int
+	Rerouted   int64 // submit-time overflows to the next-best shard
+	Steals     int64 // jobs the rebalancer moved between shards
+	Unroutable int64 // jobs no shard could fit (0 when MaxNodes fits a shard)
+	Wall       time.Duration
+	JobsPerSec float64 // decision throughput draining the snapshot
+	Speedup    float64 // throughput relative to the 1-shard row
+	Util       float64 // node-seconds utilization over the makespan
+	MeanWait   float64 // mean queue wait in simulated seconds
+	UtilDelta  float64 // Util - 1-shard Util, percentage points (quality loss < 0)
+	WaitDelta  float64 // MeanWait - 1-shard MeanWait, seconds (quality loss > 0)
+}
+
+// RunShardScale drains the cfg.Seed queue snapshot through the sharded
+// scheduler at every shard count for FCFS and EASY, reporting throughput
+// scaling and the quality delta versus the 1-shard (= flat) baseline.
+func RunShardScale(cfg ShardScaleConfig) ([]ShardScaleResult, error) {
+	jobs := trace.Synthesize(cfg.Jobs, cfg.MaxNodes, 10, cfg.Seed)
+	var out []ShardScaleResult
+	for _, policy := range []sched.QueuePolicy{sched.FCFS, sched.EASY} {
+		var base *ShardScaleResult
+		for _, n := range cfg.Shards {
+			g, err := grug.BuildGraph(grug.HighLODRacks(cfg.Racks), 0, 1<<40,
+				resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+			if err != nil {
+				return nil, err
+			}
+			sh, err := shard.New(shard.Config{Graph: g, Shards: n, Queue: policy})
+			if err != nil {
+				return nil, fmt.Errorf("shardscale %s/%d shards: %w", policy, n, err)
+			}
+			start := time.Now()
+			for _, j := range jobs {
+				if _, err := sh.Submit(j.ID, j.Jobspec()); err != nil {
+					return nil, fmt.Errorf("shardscale %s/%d shards: job %d: %w", policy, n, j.ID, err)
+				}
+			}
+			completed := sh.Run(0)
+			wall := time.Since(start)
+
+			m := sh.Metrics()
+			rs := sh.RouterStats()
+			r := ShardScaleResult{
+				Policy:     policy,
+				Shards:     n,
+				Completed:  completed,
+				Rerouted:   rs.Rerouted,
+				Steals:     rs.Steals,
+				Unroutable: rs.Unroutable,
+				Wall:       wall,
+				Util:       m.Utilization(),
+				MeanWait:   m.MeanWait,
+			}
+			if wall > 0 {
+				r.JobsPerSec = float64(completed) / wall.Seconds()
+			}
+			if base == nil {
+				r.Speedup = 1
+				base = &r
+			} else if base.JobsPerSec > 0 {
+				r.Speedup = r.JobsPerSec / base.JobsPerSec
+			}
+			r.UtilDelta = 100 * (r.Util - base.Util)
+			r.WaitDelta = r.MeanWait - base.MeanWait
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// PrintShardScale renders the sweep as a table, one block per policy.
+func PrintShardScale(w io.Writer, results []ShardScaleResult, cfg ShardScaleConfig) {
+	fmt.Fprintf(w, "Sharded scheduling — %d-node high-LOD system, %d-job queue snapshot; deltas vs the 1-shard (= flat) row per policy\n",
+		cfg.Racks*18, cfg.Jobs)
+	fmt.Fprintf(w, "%-14s %6s %9s %8s %6s %11s %8s %8s %7s %10s %10s %10s\n",
+		"policy", "shards", "completed", "rerouted", "steals", "wall", "jobs/s", "speedup", "util", "Δutil(pp)", "meanWait", "Δwait(s)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-14s %6d %9d %8d %6d %11v %8.1f %7.2fx %6.1f%% %10.2f %9.0fs %10.0f\n",
+			r.Policy, r.Shards, r.Completed, r.Rerouted, r.Steals,
+			r.Wall.Round(time.Millisecond), r.JobsPerSec, r.Speedup,
+			100*r.Util, r.UtilDelta, r.MeanWait, r.WaitDelta)
+	}
+}

@@ -85,6 +85,10 @@ const (
 	// RecUnquarantine records a quarantined job released back to the
 	// pending queue.
 	RecUnquarantine
+	// RecWithdraw records a job removed from the scheduler entirely
+	// (sharded work stealing, or an explicit cancel of a queued job);
+	// any traverser claim is released.
+	RecWithdraw
 )
 
 func (k RecKind) String() string {
@@ -125,6 +129,8 @@ func (k RecKind) String() string {
 		return "quarantine"
 	case RecUnquarantine:
 		return "unquarantine"
+	case RecWithdraw:
+		return "withdraw"
 	default:
 		return "invalid"
 	}
@@ -358,6 +364,17 @@ func (s *Scheduler) Apply(r *Rec) error {
 			return fmt.Errorf("%w: unquarantine of job %d in state %s", ErrReplay, r.ID, job.State)
 		}
 		s.release(job)
+	case RecWithdraw:
+		job, err := s.replayJob(r)
+		if err != nil {
+			return err
+		}
+		if job.Alloc != nil || job.State == StateRunning || job.State == StateReserved {
+			_ = s.tr.Cancel(r.ID)
+		}
+		s.unqueue(job)
+		delete(s.reserved, r.ID)
+		delete(s.jobs, r.ID)
 	case RecCommit:
 		// Command boundary; no state change.
 	default:

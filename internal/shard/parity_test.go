@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+)
+
+var testPrune = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
+
+func testGraph(t testing.TB, racks, nodes, cores int64) *resgraph.Graph {
+	t.Helper()
+	g, err := grug.BuildGraph(grug.Small(racks, nodes, cores, 0, 0), 0, 1<<40, testPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newFlat(t testing.TB, policy sched.QueuePolicy, matchPolicy string, racks, nodes, cores int64) *sched.Scheduler {
+	t.Helper()
+	g := testGraph(t, racks, nodes, cores)
+	pol, err := match.Lookup(matchPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traverser.New(g, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(tr, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newSharded(t testing.TB, policy sched.QueuePolicy, matchPolicy string, shards int, racks, nodes, cores int64) *Sharded {
+	t.Helper()
+	sh, err := New(Config{
+		Graph:       testGraph(t, racks, nodes, cores),
+		Shards:      shards,
+		MatchPolicy: matchPolicy,
+		Queue:       policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func nodeJob(n, cores, dur int64) *jobspec.Jobspec {
+	return jobspec.New(dur, jobspec.SlotR(n, jobspec.R("node", 1, jobspec.R("core", cores))))
+}
+
+type arrival struct {
+	at       int64
+	id       int64
+	priority int
+	spec     *jobspec.Jobspec
+}
+
+// randomWorkload mirrors the sched package's parity workload: mixed node
+// and core requests, staggered arrivals, occasional priority jumps.
+func randomWorkload(seed int64, n int) []arrival {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]arrival, 0, n)
+	at := int64(0)
+	for i := 0; i < n; i++ {
+		at += rng.Int63n(40)
+		nodes := 1 + rng.Int63n(3)
+		cores := int64(4)
+		if rng.Intn(3) == 0 {
+			cores = 1 + rng.Int63n(4)
+		}
+		dur := 20 + rng.Int63n(150)
+		prio := 0
+		if rng.Intn(5) == 0 {
+			prio = 1 + rng.Intn(3)
+		}
+		out = append(out, arrival{
+			at: at, id: int64(i + 1), priority: prio,
+			spec: nodeJob(nodes, cores, dur),
+		})
+	}
+	return out
+}
+
+// driver is the discrete-event surface shared by the flat scheduler and
+// the sharded router, so one replay loop drives both.
+type driver interface {
+	HasEvents() bool
+	NextEventAt() int64
+	Step() bool
+	AdvanceTo(int64) error
+	SubmitPriority(int64, *jobspec.Jobspec, int) (*sched.Job, error)
+	Schedule()
+	Run(int) int
+	Jobs() map[int64]*sched.Job
+	Now() int64
+}
+
+func drive(t *testing.T, d driver, work []arrival) {
+	t.Helper()
+	d.Schedule()
+	for _, a := range work {
+		for d.HasEvents() && d.NextEventAt() <= a.at {
+			d.Step()
+		}
+		if err := d.AdvanceTo(a.at); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.SubmitPriority(a.id, a.spec, a.priority); err != nil {
+			t.Fatal(err)
+		}
+		d.Schedule()
+	}
+	d.Run(0)
+}
+
+// TestOneShardMatchesFlatDecisions is the sharding parity property: with
+// a single shard the router is a pass-through over a vertex-for-vertex
+// clone of the flat graph, so the sharded scheduler must produce per-job
+// decisions (state, start, end) identical to the flat scheduler — for
+// every queue policy, several match policies, and several seeds. This
+// pins the partition clone (pre-order, paths, intern sequence), the
+// router (exactly one candidate), and the lockstep clock to the flat
+// code path.
+func TestOneShardMatchesFlatDecisions(t *testing.T) {
+	for _, policy := range []sched.QueuePolicy{sched.FCFS, sched.EASY, sched.Conservative} {
+		for _, mp := range []string{"first", "low", "locality"} {
+			for seed := int64(1); seed <= 3; seed++ {
+				flat := newFlat(t, policy, mp, 2, 4, 4)
+				drive(t, flat, randomWorkload(seed, 40))
+				sh := newSharded(t, policy, mp, 1, 2, 4, 4)
+				drive(t, sh, randomWorkload(seed, 40))
+
+				for id, fj := range flat.Jobs() {
+					sj, ok := sh.Job(id)
+					if !ok {
+						t.Fatalf("%s/%s/seed%d: job %d missing under sharding", policy, mp, seed, id)
+					}
+					if fj.State != sj.State || fj.StartAt != sj.StartAt || fj.EndAt != sj.EndAt {
+						t.Errorf("%s/%s/seed%d: job %d diverged: flat %v@[%d,%d] vs sharded %v@[%d,%d]",
+							policy, mp, seed, id,
+							fj.State, fj.StartAt, fj.EndAt, sj.State, sj.StartAt, sj.EndAt)
+					}
+				}
+				if flat.Now() != sh.Now() {
+					t.Errorf("%s/%s/seed%d: makespan diverged: flat %d vs sharded %d",
+						policy, mp, seed, flat.Now(), sh.Now())
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// TestShardedCompletesWorkload checks the multi-shard loop end to end:
+// every satisfiable job completes, none are lost across router tables,
+// and the router accounted for every placement.
+func TestShardedCompletesWorkload(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		for _, policy := range []sched.QueuePolicy{sched.FCFS, sched.EASY, sched.Conservative} {
+			sh := newSharded(t, policy, "first", n, 4, 4, 4)
+			work := randomWorkload(7, 60)
+			drive(t, sh, work)
+			jobs := sh.Jobs()
+			if len(jobs) != len(work) {
+				t.Fatalf("%d shards/%s: %d jobs recorded, want %d", n, policy, len(jobs), len(work))
+			}
+			for id, j := range jobs {
+				if j.State != sched.StateCompleted {
+					t.Errorf("%d shards/%s: job %d finished %v", n, policy, id, j.State)
+				}
+				if _, ok := sh.Job(id); !ok {
+					t.Errorf("%d shards/%s: job %d missing from router table", n, policy, id)
+				}
+			}
+			st := sh.RouterStats()
+			if st.Routed != int64(len(work)) {
+				t.Errorf("%d shards/%s: routed %d, want %d", n, policy, st.Routed, len(work))
+			}
+			if st.Unroutable != 0 {
+				t.Errorf("%d shards/%s: unexpected unroutable %d", n, policy, st.Unroutable)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"fluxion/internal/jobspec"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+)
+
+// This file is the router: submit-time shard selection by per-shard
+// aggregate residues, overflow re-routing, and the work-stealing
+// rebalancer.
+
+// addTotals accumulates a request tree's per-type unit totals into out.
+// Counts multiply down the nesting ("4 nodes × 8 cores" adds 32 cores);
+// slot pseudo-vertices are structural and contribute only their
+// multiplier. Moldable requests count their minimum acceptable size —
+// the router routes on what the job needs to start at all.
+func addTotals(rs []*jobspec.Resource, mult int64, out map[string]int64) {
+	for _, r := range rs {
+		n := mult * r.MinCount()
+		if r.Type != "slot" {
+			out[r.Type] += n
+		}
+		addTotals(r.With, n, out)
+	}
+}
+
+// totalsInto clears out and fills it with spec's per-type totals.
+func totalsInto(spec *jobspec.Jobspec, out map[string]int64) {
+	for t := range out {
+		delete(out, t)
+	}
+	if spec != nil {
+		addTotals(spec.Resources, 1, out)
+	}
+}
+
+// residues returns the shard's free units per type at now, recomputed
+// when a delta dirtied the cache or the clock moved. The source is the
+// shard root's SDFU pruning filter — the same aggregate machinery match
+// traversal prunes with, read one level up. Types the filter does not
+// track fall back to static capacity.
+func (st *shardState) residues(now int64) map[string]int64 {
+	if !st.dirty && st.residueAt == now {
+		return st.residue
+	}
+	for t := range st.residue {
+		delete(st.residue, t)
+	}
+	root := st.g.Root(resgraph.Containment)
+	if f := root.Filter(); f != nil {
+		for _, rt := range f.Types() {
+			if p := f.Planner(rt); p != nil {
+				if avail, err := p.AvailAt(now); err == nil {
+					st.residue[rt] = avail
+				}
+			}
+		}
+	}
+	for t, c := range st.cap {
+		if _, tracked := st.residue[t]; !tracked {
+			st.residue[t] = c
+		}
+	}
+	st.dirty = false
+	st.residueAt = now
+	return st.residue
+}
+
+// refreshDemand recomputes the shard's queued (pending + reserved)
+// aggregate demand from its job table.
+func (st *shardState) refreshDemand() {
+	for t := range st.queued {
+		delete(st.queued, t)
+	}
+	for _, j := range st.s.Jobs() {
+		if j.State == sched.StatePending || j.State == sched.StateReserved {
+			if j.Spec != nil {
+				addTotals(j.Spec.Resources, 1, st.queued)
+			}
+		}
+	}
+}
+
+// cand is one routing candidate: a shard and its headroom score.
+type cand struct {
+	idx   int
+	score int64
+}
+
+// headroom scores a shard for a job with the given per-type needs: the
+// minimum over requested types of (residue − queued demand − need). A
+// negative score means the job does not fit the shard's instantaneous
+// residues (it may still fit later — reservations handle that); ok is
+// false when the shard's static capacity can never hold the job.
+func (st *shardState) headroom(need map[string]int64, now int64) (int64, bool) {
+	res := st.residues(now)
+	best := int64(1) << 62
+	for t, n := range need {
+		if n <= 0 {
+			continue
+		}
+		if st.cap[t] < n {
+			return 0, false
+		}
+		if h := res[t] - st.queued[t] - n; h < best {
+			best = h
+		}
+	}
+	return best, true
+}
+
+// Submit routes and enqueues a job (see SubmitPriority).
+func (sh *Sharded) Submit(id int64, spec *jobspec.Jobspec) (*sched.Job, error) {
+	return sh.SubmitPriority(id, spec, 0)
+}
+
+// SubmitPriority routes the job to the shard with the most residue
+// headroom for its aggregate needs and submits it there. When the
+// chosen shard rejects the job as unsatisfiable (down capacity,
+// fragmentation its aggregates could not see), the router withdraws it
+// and re-routes to the next-best shard before giving up. A job no
+// shard's static capacity can hold is submitted to shard 0 so it is
+// recorded unsatisfiable with flat-scheduler semantics.
+func (sh *Sharded) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int) (*sched.Job, error) {
+	if _, dup := sh.byJob[id]; dup {
+		return nil, fmt.Errorf("sched: job %d already submitted", id)
+	}
+	totalsInto(spec, sh.needScratch)
+	need := sh.needScratch
+	now := sh.Now()
+	var cands []cand
+	for i, st := range sh.shards {
+		if score, ok := st.headroom(need, now); ok {
+			cands = append(cands, cand{idx: i, score: score})
+		}
+	}
+	if len(cands) == 0 {
+		// Too big for every shard: record the unsatisfiable verdict on
+		// shard 0. This is a real quality loss vs. the flat scheduler
+		// (which might have placed the job across shard boundaries) and
+		// is counted, not hidden.
+		sh.stats.Unroutable++
+		job, err := sh.shards[0].s.SubmitPriority(id, spec, priority)
+		if err != nil {
+			return nil, err
+		}
+		sh.byJob[id] = 0
+		return job, nil
+	}
+	sortCands(cands)
+	for ci, c := range cands {
+		st := sh.shards[c.idx]
+		job, err := st.s.SubmitPriority(id, spec, priority)
+		if err != nil {
+			return nil, err
+		}
+		if job.State == sched.StateUnsatisfiable && ci+1 < len(cands) {
+			// Overflow: the aggregate said fit, satisfiability said no.
+			// Withdraw and try the next-best shard.
+			if _, werr := st.s.Withdraw(id); werr == nil {
+				sh.stats.Rerouted++
+				continue
+			}
+		}
+		sh.byJob[id] = c.idx
+		if job.State != sched.StateUnsatisfiable {
+			sh.stats.Routed++
+			addDemand(st.queued, need)
+		}
+		return job, nil
+	}
+	// Every candidate declared the job unsatisfiable; keep the last
+	// shard's verdict so the job table records it once.
+	last := sh.shards[cands[len(cands)-1].idx]
+	job, err := last.s.SubmitPriority(id, spec, priority)
+	if err != nil {
+		return nil, err
+	}
+	sh.byJob[id] = cands[len(cands)-1].idx
+	return job, nil
+}
+
+// addDemand folds need into a shard's queued-demand cache.
+func addDemand(queued, need map[string]int64) {
+	for t, n := range need {
+		queued[t] += n
+	}
+}
+
+// rebalance is the work-stealing round run after every Schedule/Step:
+// jobs still pending on a shard after its cycle (blocked there) move to
+// a shard whose instantaneous residues minus queued demand cover them.
+// Receiving shards run one catch-up cycle so stolen jobs get a decision
+// this round. Steals are bounded per round and per job, and a stolen
+// job keeps its original submit time so wait metrics stay honest.
+func (sh *Sharded) rebalance() {
+	if len(sh.shards) < 2 || sh.stealsPerRound < 0 {
+		return
+	}
+	for _, st := range sh.shards {
+		st.refreshDemand()
+	}
+	now := sh.Now()
+	budget := sh.stealsPerRound
+	need := make(map[string]int64, 4)
+	receivers := make(map[int]*shardState)
+	for _, st := range sh.shards {
+		if budget <= 0 {
+			break
+		}
+		for _, job := range st.s.PendingJobs() {
+			if budget <= 0 {
+				break
+			}
+			if sh.steals[job.ID] >= sh.maxStealsPerJob {
+				continue
+			}
+			totalsInto(job.Spec, need)
+			best := -1
+			var bestScore int64
+			for ti, tst := range sh.shards {
+				if ti == st.idx {
+					continue
+				}
+				score, ok := tst.headroom(need, now)
+				if !ok || score < 0 {
+					continue
+				}
+				if best < 0 || score > bestScore {
+					best, bestScore = ti, score
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			stolen, err := st.s.Withdraw(job.ID)
+			if err != nil {
+				continue
+			}
+			tst := sh.shards[best]
+			nj, err := tst.s.SubmitPriority(stolen.ID, stolen.Spec, stolen.Priority)
+			if err != nil || nj.State == sched.StateUnsatisfiable {
+				// Should not happen (headroom pre-checked); put it back.
+				if nj != nil {
+					_, _ = tst.s.Withdraw(stolen.ID)
+				}
+				if rj, rerr := st.s.SubmitPriority(stolen.ID, stolen.Spec, stolen.Priority); rerr == nil {
+					rj.Submit = stolen.Submit
+					rj.Retries = stolen.Retries
+				} else {
+					delete(sh.byJob, stolen.ID)
+				}
+				continue
+			}
+			nj.Submit = stolen.Submit
+			nj.Retries = stolen.Retries
+			sh.byJob[stolen.ID] = best
+			sh.steals[stolen.ID]++
+			sh.stats.Steals++
+			addDemand(tst.queued, need)
+			st.refreshDemand()
+			receivers[best] = tst
+			budget--
+		}
+	}
+	if len(receivers) == 0 {
+		return
+	}
+	list := make([]*shardState, 0, len(receivers))
+	for _, st := range receivers {
+		list = append(list, st)
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].idx < list[b].idx })
+	runParallel(list, func(st *shardState) { st.s.Schedule(); st.dirty = true })
+}

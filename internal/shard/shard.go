@@ -1,0 +1,503 @@
+// Package shard implements sharded scheduling: the cluster graph is
+// partitioned into N subtree shards (cut at a configurable containment
+// level, racks by default), each shard runs its own independent
+// incremental scheduler loop over its own slab graph and in-memory
+// state, and a thin root router places every incoming job on a shard
+// using per-shard aggregate residues — the SDFU filter/aggregate
+// machinery lifted one level, kept fresh through each shard graph's
+// delta sink.
+//
+// The decision loop stays discrete-event and lockstep: all shard clocks
+// advance together, shards with events at the step instant run their
+// cycles concurrently (their state is fully disjoint), and after every
+// round a rebalancer work-steals still-pending jobs from saturated
+// shards to shards whose residues fit them now.
+//
+// With one shard the router degenerates to a pass-through over a
+// vertex-for-vertex clone of the flat graph, and the sharded scheduler
+// is decision-identical to the flat one (property-tested in
+// parity_test.go). With N shards, decision throughput scales with N —
+// cycles run concurrently over graphs 1/N the size — at a quantified
+// decision-quality cost (experiments E12): cross-shard fragmentation
+// can delay or strand jobs a flat scheduler would have placed.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fluxion/internal/match"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/traverser"
+)
+
+// DefaultCutType is the containment level shards are cut at.
+const DefaultCutType = "rack"
+
+// DefaultStealsPerRound bounds how many jobs one rebalance round moves.
+const DefaultStealsPerRound = 8
+
+// DefaultMaxStealsPerJob bounds how often a single job may be stolen,
+// preventing ping-pong between saturated shards.
+const DefaultMaxStealsPerJob = 2
+
+// Config parameterizes New.
+type Config struct {
+	// Graph is the finalized flat cluster graph to partition. It is only
+	// read (Partition clones it); the caller keeps ownership.
+	Graph *resgraph.Graph
+	// Shards is the partition width (>= 1).
+	Shards int
+	// CutType is the containment type units are cut at (default "rack").
+	CutType string
+	// MatchPolicy names the per-shard match policy (default "first").
+	MatchPolicy string
+	// Queue is the per-shard queue policy (default Conservative).
+	Queue sched.QueuePolicy
+	// SchedOpts apply to every shard scheduler (queue depth, retries…).
+	// Sharded runs are WAL-free; do not attach journals to the shards.
+	SchedOpts []sched.SchedOption
+	// StealsPerRound bounds rebalance work per round (0 = default,
+	// negative = stealing disabled).
+	StealsPerRound int
+	// MaxStealsPerJob bounds how often one job may move (0 = default).
+	MaxStealsPerJob int
+}
+
+// RouterStats counts the router's placement work.
+type RouterStats struct {
+	// Routed counts jobs placed on a shard at submit.
+	Routed int64
+	// Rerouted counts submit-time overflows: the residue-ranked shard
+	// declared the job unsatisfiable and the router moved on to the
+	// next-best shard.
+	Rerouted int64
+	// Steals counts jobs the rebalancer moved between shards.
+	Steals int64
+	// Unroutable counts jobs no shard could ever fit (a job spanning
+	// more than one shard's capacity is unsatisfiable under sharding;
+	// this is part of the quantified quality cost of hierarchy).
+	Unroutable int64
+}
+
+// shardState is one partition: its graph, traverser, scheduler loop,
+// and the router-side residue/demand caches.
+type shardState struct {
+	idx int
+	g   *resgraph.Graph
+	tr  *traverser.Traverser
+	s   *sched.Scheduler
+
+	// cap is the shard's static aggregate capacity per resource type
+	// (the root vertex's containment aggregates), fixed at build.
+	cap map[string]int64
+
+	// residue caches the shard root filter's free units per type at
+	// residueAt; dirty is set from the shard graph's delta sink (any
+	// free, claim, or structural delta invalidates the cache) and by
+	// hand after every scheduling cycle (immediate allocations are
+	// deliberately delta-silent). The cache is also keyed by the clock,
+	// since availability is time-dependent even without deltas.
+	residue   map[string]int64
+	residueAt int64
+	dirty     bool
+
+	// queued is the aggregate resource demand of jobs routed here and
+	// not yet running (pending + reserved), refreshed every rebalance
+	// round and maintained incrementally between rounds.
+	queued map[string]int64
+}
+
+// Sharded is N independent shard scheduler loops behind one
+// residue-routing front door. It mirrors the sched.Scheduler driver
+// surface (Submit/Schedule/Step/AdvanceTo/Run/Metrics) so drivers can
+// swap it in for a flat scheduler.
+//
+// Sharded is not safe for concurrent use: like sched.Scheduler it is a
+// single-driver discrete-event loop (the concurrency is inside — shard
+// cycles run in parallel).
+type Sharded struct {
+	shards []*shardState
+	byJob  map[int64]int // job ID -> owning shard
+	steals map[int64]int // job ID -> times stolen
+	stats  RouterStats
+
+	policy          sched.QueuePolicy
+	stealsPerRound  int
+	maxStealsPerJob int
+
+	// needScratch is reused per routing decision.
+	needScratch map[string]int64
+}
+
+// New partitions cfg.Graph and builds one incremental scheduler loop
+// per shard.
+func New(cfg Config) (*Sharded, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("shard: graph is required")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d", n)
+	}
+	cut := cfg.CutType
+	if cut == "" {
+		cut = DefaultCutType
+	}
+	qp := cfg.Queue
+	if qp == "" {
+		qp = sched.Conservative
+	}
+	parts, err := cfg.Graph.Partition(cut, n)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Sharded{
+		shards:          make([]*shardState, n),
+		byJob:           make(map[int64]int),
+		steals:          make(map[int64]int),
+		policy:          qp,
+		stealsPerRound:  cfg.StealsPerRound,
+		maxStealsPerJob: cfg.MaxStealsPerJob,
+		needScratch:     make(map[string]int64),
+	}
+	if sh.stealsPerRound == 0 {
+		sh.stealsPerRound = DefaultStealsPerRound
+	}
+	if sh.maxStealsPerJob == 0 {
+		sh.maxStealsPerJob = DefaultMaxStealsPerJob
+	}
+	for k, g := range parts {
+		pol, err := match.Lookup(cfg.MatchPolicy)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := traverser.New(g, pol)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.New(tr, qp, cfg.SchedOpts...)
+		if err != nil {
+			return nil, err
+		}
+		st := &shardState{
+			idx:     k,
+			g:       g,
+			tr:      tr,
+			s:       s,
+			residue: make(map[string]int64),
+			queued:  make(map[string]int64),
+			dirty:   true,
+		}
+		root := g.Root(resgraph.Containment)
+		st.cap = make(map[string]int64, 8)
+		for t, c := range root.Aggregates() {
+			st.cap[t] = c
+		}
+		// Chain the router's residue invalidation behind whatever sink
+		// sched.New installed (the incremental wakeup index). Delta
+		// publication is synchronous and per-graph, so the flag write
+		// happens on whichever goroutine runs this shard's cycle; the
+		// router reads it only after the cycle barrier.
+		prev := g.DeltaSink()
+		if prev == nil {
+			g.SetDeltaSink(func(resgraph.Delta) { st.dirty = true })
+		} else {
+			g.SetDeltaSink(func(d resgraph.Delta) {
+				prev(d)
+				st.dirty = true
+			})
+		}
+		sh.shards[k] = st
+	}
+	return sh, nil
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// ShardScheduler exposes shard i's scheduler loop (tests, stats).
+func (sh *Sharded) ShardScheduler(i int) *sched.Scheduler { return sh.shards[i].s }
+
+// ShardGraph exposes shard i's resource graph (tests, stats).
+func (sh *Sharded) ShardGraph(i int) *resgraph.Graph { return sh.shards[i].g }
+
+// RouterStats returns the router's cumulative placement counters.
+func (sh *Sharded) RouterStats() RouterStats { return sh.stats }
+
+// Job returns a submitted job by ID, from whichever shard owns it.
+func (sh *Sharded) Job(id int64) (*sched.Job, bool) {
+	k, ok := sh.byJob[id]
+	if !ok {
+		return nil, false
+	}
+	return sh.shards[k].s.Job(id)
+}
+
+// Jobs returns a merged snapshot of every shard's job table.
+func (sh *Sharded) Jobs() map[int64]*sched.Job {
+	out := make(map[int64]*sched.Job)
+	for _, st := range sh.shards {
+		for id, j := range st.s.Jobs() {
+			out[id] = j
+		}
+	}
+	return out
+}
+
+// Atomic runs fn; sharded runs are journal-free, so there is no command
+// unit to widen — the method exists so drivers written against
+// sched.Scheduler work unchanged.
+func (sh *Sharded) Atomic(fn func()) { fn() }
+
+// Counts tallies jobs per state across all shards.
+func (sh *Sharded) Counts() map[sched.JobState]int {
+	out := make(map[sched.JobState]int)
+	for _, st := range sh.shards {
+		for _, j := range st.s.Jobs() {
+			out[j.State]++
+		}
+	}
+	return out
+}
+
+// Unfinished counts jobs still pending, reserved, or running.
+func (sh *Sharded) Unfinished() int {
+	n := 0
+	for _, st := range sh.shards {
+		n += st.s.Unfinished()
+	}
+	return n
+}
+
+// Stats sums the shard schedulers' work counters.
+func (sh *Sharded) Stats() sched.Stats {
+	var out sched.Stats
+	for _, st := range sh.shards {
+		s := st.s.Stats()
+		out.Cycles += s.Cycles
+		out.MatchAttempts += s.MatchAttempts
+		out.WokenJobs += s.WokenJobs
+		out.SkippedJobs += s.SkippedJobs
+		out.Quarantined += s.Quarantined
+		out.DegradedCycles += s.DegradedCycles
+		out.OverloadRejects += s.OverloadRejects
+		out.InvalidSpecRejects += s.InvalidSpecRejects
+	}
+	return out
+}
+
+// Cycles sums scheduling cycles across shards.
+func (sh *Sharded) Cycles() int {
+	n := 0
+	for _, st := range sh.shards {
+		n += st.s.Cycles
+	}
+	return n
+}
+
+// Metrics computes run statistics over the merged job table, mirroring
+// sched.Metrics: utilization and makespan span the whole system (node
+// capacity summed across shard roots, makespan from the global earliest
+// submit to the global last completion).
+func (sh *Sharded) Metrics() sched.Metrics {
+	var m sched.Metrics
+	var firstSubmit, lastEnd int64 = 1 << 62, 0
+	var waits int64
+	nodeCapacity := int64(0)
+	for _, st := range sh.shards {
+		if root := st.g.Root(resgraph.Containment); root != nil {
+			nodeCapacity += root.Aggregates()["node"]
+		}
+		sm := st.s.Metrics()
+		m.Requeues += sm.Requeues
+		m.LostCoreSeconds += sm.LostCoreSeconds
+	}
+	for _, st := range sh.shards {
+		for _, j := range st.s.Jobs() {
+			m.TotalMatch += j.MatchDuration
+			switch j.State {
+			case sched.StateFailed:
+				m.Failed++
+				continue
+			case sched.StateQuarantined:
+				m.Quarantined++
+				continue
+			case sched.StateUnsatisfiable:
+				m.Unsatisfiable++
+				continue
+			case sched.StateCompleted:
+				m.Completed++
+			default:
+				continue
+			}
+			if j.Submit < firstSubmit {
+				firstSubmit = j.Submit
+			}
+			if j.EndAt > lastEnd {
+				lastEnd = j.EndAt
+			}
+			wait := j.StartAt - j.Submit
+			waits += wait
+			if wait > m.MaxWait {
+				m.MaxWait = wait
+			}
+			if j.Alloc != nil {
+				m.NodeSecondsUsed += int64(len(j.Alloc.Nodes())) * (j.EndAt - j.StartAt)
+			}
+		}
+	}
+	if m.Completed > 0 {
+		m.Makespan = lastEnd - firstSubmit
+		m.MeanWait = float64(waits) / float64(m.Completed)
+		m.NodeSecondsTotal = nodeCapacity * m.Makespan
+	}
+	return m
+}
+
+// Withdraw removes a job from whichever shard owns it (see
+// sched.Scheduler.Withdraw).
+func (sh *Sharded) Withdraw(id int64) (*sched.Job, error) {
+	k, ok := sh.byJob[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", traverser.ErrUnknownJob, id)
+	}
+	job, err := sh.shards[k].s.Withdraw(id)
+	if err != nil {
+		return nil, err
+	}
+	delete(sh.byJob, id)
+	delete(sh.steals, id)
+	sh.shards[k].refreshDemand()
+	return job, nil
+}
+
+// Now returns the lockstep simulated clock (all shard clocks agree).
+func (sh *Sharded) Now() int64 { return sh.shards[0].s.Now() }
+
+// HasEvents reports whether any shard has pending events.
+func (sh *Sharded) HasEvents() bool {
+	for _, st := range sh.shards {
+		if st.s.HasEvents() {
+			return true
+		}
+	}
+	return false
+}
+
+// NextEventAt returns the earliest pending event time across shards
+// (-1 when none).
+func (sh *Sharded) NextEventAt() int64 {
+	at := int64(-1)
+	for _, st := range sh.shards {
+		if !st.s.HasEvents() {
+			continue
+		}
+		if t := st.s.NextEventAt(); at < 0 || t < at {
+			at = t
+		}
+	}
+	return at
+}
+
+// AdvanceTo moves every shard clock forward to t in lockstep.
+func (sh *Sharded) AdvanceTo(t int64) error {
+	for _, st := range sh.shards {
+		if err := st.s.AdvanceTo(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances every shard to the next global event instant: shards
+// with events there run their Step (dispatch + cycle) concurrently —
+// their graphs, planners, and queues are fully disjoint — and the rest
+// just advance their clocks. One rebalance round follows. Returns false
+// when no events remain anywhere.
+func (sh *Sharded) Step() bool {
+	t := sh.NextEventAt()
+	if t < 0 {
+		return false
+	}
+	var steppers []*shardState
+	for _, st := range sh.shards {
+		if st.s.HasEvents() && st.s.NextEventAt() == t {
+			steppers = append(steppers, st)
+		} else if err := st.s.AdvanceTo(t); err != nil {
+			// Unreachable by construction (t is the global minimum);
+			// surface loudly rather than silently desynchronizing.
+			panic(fmt.Sprintf("shard: lockstep advance to %d: %v", t, err))
+		}
+	}
+	// A cycle's immediate allocations publish no delta (a claim cannot
+	// unblock a waiting job, so the wakeup index ignores them), but they
+	// do consume residue: dirty the cache by hand after every cycle.
+	runParallel(steppers, func(st *shardState) { st.s.Step(); st.dirty = true })
+	sh.rebalance()
+	return true
+}
+
+// Schedule runs one scheduling cycle on every shard concurrently, then
+// one rebalance round.
+func (sh *Sharded) Schedule() {
+	runParallel(sh.shards, func(st *shardState) { st.s.Schedule(); st.dirty = true })
+	sh.rebalance()
+}
+
+// Run schedules and steps until every satisfiable job completes (or
+// maxSteps, 0 = unbounded). Returns completed jobs.
+func (sh *Sharded) Run(maxSteps int) int {
+	sh.Schedule()
+	steps := 0
+	for sh.Step() {
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+	}
+	done := 0
+	for _, st := range sh.shards {
+		for _, j := range st.s.Jobs() {
+			if j.State == sched.StateCompleted {
+				done++
+			}
+		}
+	}
+	return done
+}
+
+// runParallel fans fn across the given shards. A single shard runs
+// inline: the 1-shard configuration takes exactly the flat scheduler's
+// code path, goroutine-free.
+func runParallel(shards []*shardState, fn func(*shardState)) {
+	if len(shards) == 0 {
+		return
+	}
+	if len(shards) == 1 {
+		fn(shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, st := range shards {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			fn(st)
+		}(st)
+	}
+	wg.Wait()
+}
+
+// sortCands orders routing candidates by descending headroom, ties by
+// shard index (deterministic for a given graph + queue state).
+func sortCands(cands []cand) {
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return cands[a].idx < cands[b].idx
+	})
+}

@@ -1,0 +1,110 @@
+package simcli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/shard"
+	"fluxion/internal/trace"
+)
+
+// runSharded replays the trace through the partitioned scheduler: the
+// same looper drives the sharded router's lockstep event loop instead of
+// a flat scheduler. Reporting mirrors the flat run — plus the router's
+// placement counters — so decision/metric lines diff cleanly between
+// `-shards 1` and `-shards N` runs of the same trace.
+func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
+	switch {
+	case cfg.WALDir != "":
+		return nil, fmt.Errorf("simcli: sharded runs are WAL-free (drop -wal-dir or -shards)")
+	case cfg.Drill:
+		return nil, fmt.Errorf("simcli: the crash-recovery drill requires a flat scheduler (drop -drill or -shards)")
+	case cfg.MTBF > 0 || cfg.MTTR > 0:
+		return nil, fmt.Errorf("simcli: fault injection requires a flat scheduler (drop -mtbf/-mttr or -shards)")
+	case cfg.Chaos.Active():
+		return nil, fmt.Errorf("simcli: chaos plans require a flat scheduler (drop chaos flags or -shards)")
+	}
+	spec := cfg.PruneSpec
+	if spec == nil {
+		spec = resgraph.PruneSpec{resgraph.ALL: {"core", "node"}}
+	}
+	qp := cfg.QueuePolicy
+	if qp == "" {
+		qp = sched.Conservative
+	}
+	var sopts []sched.SchedOption
+	if cfg.QueueDepth > 0 {
+		sopts = append(sopts, sched.WithQueueDepth(cfg.QueueDepth))
+	}
+	if cfg.MaxRetries > 0 {
+		sopts = append(sopts, sched.WithMaxRetries(cfg.MaxRetries))
+	}
+	if cfg.MatchWorkers > 1 {
+		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
+	}
+	sopts = append(sopts, sched.WithIncremental(!cfg.FullRequeue))
+	if cfg.Defense != nil {
+		sopts = append(sopts, sched.WithDefense(*cfg.Defense))
+	}
+
+	g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
+	if err != nil {
+		return nil, err
+	}
+	cut := cfg.ShardCut
+	if cut == "" {
+		cut = shard.DefaultCutType
+	}
+	sh, err := shard.New(shard.Config{
+		Graph:       g,
+		Shards:      cfg.Shards,
+		CutType:     cut,
+		MatchPolicy: cfg.MatchPolicy,
+		Queue:       qp,
+		SchedOpts:   sopts,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mp := cfg.MatchPolicy
+	if mp == "" {
+		mp = "first"
+	}
+	engine := "incremental"
+	if cfg.FullRequeue {
+		engine = "full-requeue"
+	}
+	fmt.Fprintf(out, "system: %s\n", g.Stats())
+	fmt.Fprintf(out, "policies: match=%s queue=%s engine=%s; %d jobs\n", mp, qp, engine, len(jobs))
+	fmt.Fprintf(out, "shards: %d cut=%s\n", cfg.Shards, cut)
+	if cfg.MatchWorkers > 1 {
+		fmt.Fprintf(out, "match workers: %d per shard (parallel match pipeline)\n", cfg.MatchWorkers)
+	}
+
+	l := &looper{s: sh, jobs: jobs, out: out, max: cfg.MaxSteps}
+	start := time.Now()
+	if err := l.drive(nil); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	if cfg.Timeline {
+		printTimeline(out, sh, jobs)
+	}
+	m := sh.Metrics()
+	fmt.Fprintf(out, "metrics: %s\n", m)
+	rs := sh.RouterStats()
+	fmt.Fprintf(out, "router: routed=%d rerouted=%d steals=%d unroutable=%d\n",
+		rs.Routed, rs.Rerouted, rs.Steals, rs.Unroutable)
+	ss := sh.Stats()
+	fmt.Fprintf(out, "sched: %d cycles, %d match attempts, %d woken, %d skipped\n",
+		ss.Cycles, ss.MatchAttempts, ss.WokenJobs, ss.SkippedJobs)
+	fmt.Fprintf(out, "wall: %v for %d scheduling cycles\n", wall.Round(time.Millisecond), sh.Cycles())
+
+	return &Result{Completed: m.Completed, Metrics: m, Sharded: sh}, nil
+}

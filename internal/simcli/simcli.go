@@ -23,6 +23,7 @@ import (
 	"fluxion/internal/jobspec"
 	"fluxion/internal/resgraph"
 	"fluxion/internal/sched"
+	"fluxion/internal/shard"
 	"fluxion/internal/trace"
 	"fluxion/internal/wal"
 )
@@ -69,6 +70,17 @@ type Config struct {
 	// baseline for experiments).
 	FullRequeue bool
 
+	// Shards > 1 runs the sharded scheduler (internal/shard): the graph
+	// is partitioned into subtree shards cut at ShardCut, each with its
+	// own scheduler loop behind a residue-routing root with work
+	// stealing. Sharded runs are in-memory only: WAL durability, the
+	// crash drill, fault injection, and chaos plans are flat-scheduler
+	// features and are rejected in combination.
+	Shards int
+	// ShardCut is the containment type shards are cut at (default
+	// "rack").
+	ShardCut string
+
 	// WALDir enables durable state when non-empty: every scheduler
 	// mutation is journaled to a write-ahead log under this directory and
 	// periodic snapshots bound replay. When the directory already holds
@@ -109,7 +121,10 @@ type Config struct {
 type Result struct {
 	Completed int
 	Metrics   sched.Metrics
+	// Scheduler is the flat scheduler (nil on sharded runs).
 	Scheduler *sched.Scheduler
+	// Sharded is the sharded scheduler (nil on flat runs).
+	Sharded *shard.Sharded
 	// Fluxion is the resource-layer handle the run scheduled against.
 	Fluxion *fluxion.Fluxion
 	// DrillRan/DrillOK report the crash-recovery drill (Config.Drill).
@@ -124,10 +139,23 @@ type Result struct {
 	WALDegraded bool
 }
 
+// loopTarget is the discrete-event scheduler surface the looper drives,
+// implemented by both *sched.Scheduler and *shard.Sharded.
+type loopTarget interface {
+	Now() int64
+	HasEvents() bool
+	NextEventAt() int64
+	AdvanceTo(int64) error
+	Step() bool
+	Schedule()
+	SubmitPriority(int64, *jobspec.Jobspec, int) (*sched.Job, error)
+	Atomic(func())
+}
+
 // looper is the discrete-event loop: trace arrivals interleave with
 // completion and node up/down events on the scheduler clock.
 type looper struct {
-	s     *sched.Scheduler
+	s     loopTarget
 	jobs  []trace.Job
 	i     int // next arrival index
 	steps int
@@ -201,6 +229,9 @@ func (l *looper) drive(pause func() bool) error {
 func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	if cfg.Recipe == nil {
 		return nil, fmt.Errorf("simcli: recipe is required")
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg, jobs, out)
 	}
 	plan := cfg.Chaos
 	chaosLive := plan.Active() && !cfg.ChaosDry
@@ -536,7 +567,9 @@ func runDrill(cfg Config, spec resgraph.PruneSpec, jobs []trace.Job,
 	return ok, nil
 }
 
-func printTimeline(out io.Writer, s *sched.Scheduler, jobs []trace.Job) {
+func printTimeline(out io.Writer, s interface {
+	Job(int64) (*sched.Job, bool)
+}, jobs []trace.Job) {
 	ids := make([]int64, 0, len(jobs))
 	for _, j := range jobs {
 		ids = append(ids, j.ID)

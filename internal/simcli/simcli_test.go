@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"fluxion/internal/chaos"
 	"fluxion/internal/grug"
 	"fluxion/internal/sched"
 	"fluxion/internal/trace"
@@ -318,5 +319,56 @@ func TestDrillRejectsParallelWorkers(t *testing.T) {
 	_, err := Run(Config{Recipe: smallRecipe(), Drill: true, MatchWorkers: 4}, jobs, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "sequential matching") {
 		t.Fatalf("err = %v, want sequential-matching rejection", err)
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	// Four single-rack shards; job sizes stay within one rack so every
+	// job is routable and both arms drain completely.
+	jobs := []trace.Job{
+		{ID: 1, Nodes: 4, CoresPerNode: 8, Duration: 100},
+		{ID: 2, Nodes: 2, CoresPerNode: 8, Duration: 50},
+		{ID: 3, Nodes: 4, CoresPerNode: 8, Duration: 80},
+		{ID: 4, Submit: 30, Nodes: 1, CoresPerNode: 8, Duration: 20},
+		{ID: 5, Submit: 60, Nodes: 2, CoresPerNode: 8, Duration: 40},
+	}
+	var out bytes.Buffer
+	res, err := Run(Config{Recipe: grug.Small(4, 4, 8, 0, 0), Shards: 4, Timeline: true}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed = %d\n%s", res.Completed, out.String())
+	}
+	if res.Sharded == nil || res.Scheduler != nil {
+		t.Fatalf("sharded run returned scheduler=%v sharded=%v", res.Scheduler, res.Sharded)
+	}
+	s := out.String()
+	for _, want := range []string{"shards: 4 cut=rack", "metrics:", "router: routed=5", "sched:", "wall:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if got := res.Sharded.Counts()[sched.StateCompleted]; got != len(jobs) {
+		t.Fatalf("counts completed = %d", got)
+	}
+	if res.Sharded.Unfinished() != 0 {
+		t.Fatalf("unfinished = %d", res.Sharded.Unfinished())
+	}
+}
+
+func TestRunShardedRejectsFlatOnlyFeatures(t *testing.T) {
+	base := Config{Recipe: grug.Small(4, 4, 8, 0, 0), Shards: 2}
+	for name, mutate := range map[string]func(*Config){
+		"wal":   func(c *Config) { c.WALDir = t.TempDir() },
+		"drill": func(c *Config) { c.Drill = true },
+		"fault": func(c *Config) { c.MTBF = 1000; c.MTTR = 10 },
+		"chaos": func(c *Config) { c.Chaos = &chaos.Plan{Seed: 1, PanicFrac: 0.5} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(cfg, []trace.Job{{ID: 1, Nodes: 1, CoresPerNode: 8, Duration: 10}}, io.Discard); err == nil {
+			t.Errorf("%s: sharded run accepted a flat-only feature", name)
+		}
 	}
 }

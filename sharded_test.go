@@ -1,0 +1,49 @@
+package fluxion
+
+import (
+	"testing"
+
+	"fluxion/internal/grug"
+	"fluxion/internal/jobspec"
+	"fluxion/internal/sched"
+)
+
+// TestNewSharded exercises the public sharded constructor end to end:
+// store options flow through, the partition honors WithShardCut, and a
+// small workload drains across shards.
+func TestNewSharded(t *testing.T) {
+	sh, err := NewSharded(2, sched.EASY,
+		WithRecipe(grug.Small(2, 2, 4, 0, 0)),
+		WithPolicy("first"),
+		WithPruneFilters("ALL:core,ALL:node"),
+		WithShardCut("rack"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 2 {
+		t.Fatalf("shards = %d", sh.Shards())
+	}
+	for id := int64(1); id <= 6; id++ {
+		spec := jobspec.New(50, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4))))
+		if _, err := sh.Submit(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Run(0)
+	for id := int64(1); id <= 6; id++ {
+		j, ok := sh.Job(id)
+		if !ok || j.State != sched.StateCompleted {
+			t.Fatalf("job %d: %v", id, j)
+		}
+	}
+	if m := sh.Metrics(); m.Completed != 6 {
+		t.Fatalf("metrics completed = %d", m.Completed)
+	}
+
+	// Bad cut type surfaces at construction.
+	if _, err := NewSharded(2, sched.FCFS,
+		WithRecipe(grug.Small(2, 2, 4, 0, 0)), WithShardCut("nope")); err == nil {
+		t.Fatal("unknown shard cut accepted")
+	}
+}
