@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | memscale | shardscale | all")
+		experiment = flag.String("experiment", "all", "lod | planner | classes | varaware | parmatch | epochscale | increment | recovery | chaos | memscale | shardscale | shardchaos | all")
 		racks      = flag.Int64("racks", 56, "LOD system scale in racks (56 = the paper's 1008 nodes)")
 		spans      = flag.String("spans", "1000,10000,100000,1000000", "planner pre-population sweep")
 		queries    = flag.Int("queries", 4096, "planner queries per measurement")
@@ -56,6 +56,9 @@ func main() {
 		memRacks   = flag.String("memscale-racks", "7,70,703", "rack sweep for the resting-memory study (70 racks ~ 100k vertices)")
 		shardJobs  = flag.Int("shardscale-jobs", 600, "queue-snapshot depth for the sharded-scheduling study")
 		shardSweep = flag.String("shardscale-shards", "1,2,4,8", "shard-count sweep for the sharded-scheduling study")
+		killJobs   = flag.Int("shardchaos-jobs", 400, "queue-snapshot depth for the shard-failover study")
+		killSweep  = flag.String("shardchaos-kill", "0,0.125,0.25,0.375,0.5", "shard-kill intensity sweep (must start with the 0 control)")
+		killSeed   = flag.Int64("shardchaos-seed", 1, "shard-kill schedule seed")
 		epochOps   = flag.Int("epochscale-ops", 8192, "epoch speculate+abandon cycles per worker count")
 		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
@@ -216,6 +219,22 @@ func main() {
 		writeCSV("memscale.csv", func(w *os.File) error { return experiments.WriteMemScaleCSV(w, results) })
 		fmt.Printf("(memscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if run("shardchaos") {
+		ran = true
+		sweep, err := parseFloats(*killSweep)
+		fail(err)
+		cfg := experiments.DefaultShardChaos()
+		cfg.Jobs = *killJobs
+		cfg.Seed = *seed
+		cfg.ChaosSeed = *killSeed
+		cfg.Intensities = sweep
+		start := time.Now()
+		results, err := experiments.RunShardChaos(cfg)
+		fail(err)
+		experiments.PrintShardChaos(os.Stdout, results, cfg)
+		writeCSV("shardchaos.csv", func(w *os.File) error { return experiments.WriteShardChaosCSV(w, results) })
+		fmt.Printf("(shardchaos experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
+	}
 	if run("shardscale") {
 		ran = true
 		sweep, err := parseInts(*shardSweep)
@@ -232,9 +251,21 @@ func main() {
 		fmt.Printf("(shardscale experiment wall time: %v)\n\n", time.Since(start).Round(time.Second))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, memscale, shardscale, or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want lod, planner, classes, varaware, parmatch, epochscale, increment, recovery, chaos, memscale, shardscale, shardchaos, or all)\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad intensity %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -19,6 +19,7 @@ import (
 	"fluxion/internal/grug"
 	"fluxion/internal/resgraph"
 	"fluxion/internal/sched"
+	"fluxion/internal/shard"
 	"fluxion/internal/simcli"
 	"fluxion/internal/trace"
 )
@@ -57,12 +58,19 @@ func main() {
 		chaosSlowDelay = flag.Duration("chaos-slow-delay", time.Millisecond, "stall per slow match attempt")
 		chaosMalformed = flag.Float64("chaos-malformed", 0, "fraction of jobs submitted with malformed specs")
 		chaosDry       = flag.Bool("chaos-dry", false, "defense-free parity baseline: filter the chaos plan's poisoned jobs out of the trace and inject nothing")
-		defense        = flag.Bool("defense", true, "scheduler self-defense layer (panic fences, quarantine, watchdog, backpressure)")
-		matchDeadline  = flag.Duration("match-deadline", 0, "quarantine a job when a failed match attempt exceeds this (0 = off)")
-		cycleDeadline  = flag.Duration("cycle-deadline", 0, "cycle watchdog deadline driving the degradation ladder (0 = off)")
-		conflictLimit  = flag.Int("conflict-limit", 0, "quarantine a job after N consecutive commit conflicts (0 = off)")
-		admitHigh      = flag.Int("admit-high", 0, "refuse submits above this pending-queue depth (0 = off)")
-		admitLow       = flag.Int("admit-low", 0, "re-admit below this depth (0 = admit-high/2)")
+
+		chaosShardKill  = flag.Float64("chaos-shard-kill", 0, "fraction of shards whose cycles panic (requires -shards > 1)")
+		chaosShardStall = flag.Float64("chaos-shard-stall", 0, "fraction of shards whose cycles stall")
+		chaosShardDelay = flag.Duration("chaos-shard-stall-delay", time.Millisecond, "stall per afflicted shard cycle")
+		chaosShardFrom  = flag.Int64("chaos-shard-from", 0, "sim time the shard-fault window opens")
+		chaosShardUntil = flag.Int64("chaos-shard-until", 0, "sim time the shard-fault window closes (0 = never)")
+		shardGrace      = flag.Int64("shard-grace", 0, "seconds a failed shard's running jobs get before eviction (0 = default, negative = evict immediately)")
+		defense         = flag.Bool("defense", true, "scheduler self-defense layer (panic fences, quarantine, watchdog, backpressure)")
+		matchDeadline   = flag.Duration("match-deadline", 0, "quarantine a job when a failed match attempt exceeds this (0 = off)")
+		cycleDeadline   = flag.Duration("cycle-deadline", 0, "cycle watchdog deadline driving the degradation ladder (0 = off)")
+		conflictLimit   = flag.Int("conflict-limit", 0, "quarantine a job after N consecutive commit conflicts (0 = off)")
+		admitHigh       = flag.Int("admit-high", 0, "refuse submits above this pending-queue depth (0 = off)")
+		admitLow        = flag.Int("admit-low", 0, "re-admit below this depth (0 = admit-high/2)")
 	)
 	flag.Parse()
 
@@ -124,14 +132,24 @@ func main() {
 	spec, err := resgraph.ParsePruneSpec(*prune)
 	fail(err)
 	var plan *chaos.Plan
-	if *chaosPanics > 0 || *chaosSlow > 0 || *chaosMalformed > 0 {
+	if *chaosPanics > 0 || *chaosSlow > 0 || *chaosMalformed > 0 ||
+		*chaosShardKill > 0 || *chaosShardStall > 0 {
 		plan = &chaos.Plan{
-			Seed:          *chaosSeed,
-			PanicFrac:     *chaosPanics,
-			SlowFrac:      *chaosSlow,
-			SlowDelay:     *chaosSlowDelay,
-			MalformedFrac: *chaosMalformed,
+			Seed:            *chaosSeed,
+			PanicFrac:       *chaosPanics,
+			SlowFrac:        *chaosSlow,
+			SlowDelay:       *chaosSlowDelay,
+			MalformedFrac:   *chaosMalformed,
+			ShardKillFrac:   *chaosShardKill,
+			ShardStallFrac:  *chaosShardStall,
+			ShardStallDelay: *chaosShardDelay,
+			ShardFaultFrom:  *chaosShardFrom,
+			ShardFaultUntil: *chaosShardUntil,
 		}
+	}
+	var scfg *shard.SupervisorConfig
+	if *shardGrace != 0 {
+		scfg = &shard.SupervisorConfig{GraceSeconds: *shardGrace}
 	}
 	var dcfg *sched.DefenseConfig
 	if *defense && !*chaosDry {
@@ -164,9 +182,10 @@ func main() {
 		WALSyncInterval: *walSync,
 		SnapshotEvery:   *snapEvery,
 
-		Chaos:    plan,
-		ChaosDry: *chaosDry,
-		Defense:  dcfg,
+		Chaos:           plan,
+		ChaosDry:        *chaosDry,
+		Defense:         dcfg,
+		ShardSupervisor: scfg,
 	}, jobs, os.Stdout)
 	fail(err)
 	if res.DrillRan && !res.DrillOK {

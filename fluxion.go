@@ -46,6 +46,8 @@ import (
 	"fluxion/internal/match"
 	"fluxion/internal/query"
 	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/shard"
 	"fluxion/internal/traverser"
 )
 
@@ -105,6 +107,8 @@ type config struct {
 	subsystem    string
 	matchWorkers int
 	shardCut     string
+	defense      *sched.DefenseConfig
+	shardSup     *shard.SupervisorConfig
 
 	recipe      *grug.Recipe
 	recipeYAML  []byte

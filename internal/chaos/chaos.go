@@ -31,6 +31,8 @@ const (
 	saltSlow      = 0x736c6f77 // "slow"
 	saltMalformed = 0x6d616c66 // "malf"
 	saltShape     = 0x73686170 // "shap"
+	saltShardKill = 0x736b696c // "skil"
+	saltShardStl  = 0x7373746c // "sstl"
 )
 
 // Plan is one seeded chaos schedule. The zero value injects nothing;
@@ -59,6 +61,23 @@ type Plan struct {
 	// MalformedFrac is the fraction of jobs submitted with a malformed
 	// jobspec instead of their real one.
 	MalformedFrac float64
+
+	// ShardKillFrac is the fraction of shards whose scheduling cycles
+	// panic while the shard-fault window is open — injected through the
+	// sharded supervisor's cycle hook (internal/shard), where the cycle
+	// fence converts each panic into a health-state strike.
+	ShardKillFrac float64
+	// ShardStallFrac is the fraction of shards whose cycles stall for
+	// ShardStallDelay inside the window (trips the cycle deadline when
+	// the supervisor arms one).
+	ShardStallFrac  float64
+	ShardStallDelay time.Duration
+	// ShardFaultFrom/ShardFaultUntil bound the shard-fault window in
+	// simulated seconds. From 0 opens the window at time zero; Until 0
+	// leaves it open forever — a closed window lets the supervisor's
+	// recovery probes succeed and reabsorb the shard mid-run.
+	ShardFaultFrom  int64
+	ShardFaultUntil int64
 }
 
 // hits decides one per-job fault stream membership: a pure hash of
@@ -104,6 +123,51 @@ func (p *Plan) MatchHook() func(jobID int64) {
 		}
 		if p.Panics(jobID) {
 			panic(fmt.Sprintf("chaos: injected match panic (job %d, seed %d)", jobID, p.Seed))
+		}
+	}
+}
+
+// KillsShard reports whether shard idx's cycles panic under this plan
+// (while the fault window is open).
+func (p *Plan) KillsShard(idx int) bool {
+	return p.hits(int64(idx), saltShardKill, p.ShardKillFrac)
+}
+
+// StallsShard reports whether shard idx's cycles stall under this plan.
+func (p *Plan) StallsShard(idx int) bool {
+	return p.hits(int64(idx), saltShardStl, p.ShardStallFrac)
+}
+
+// ShardActive reports whether the plan injects shard-level faults (the
+// signal for drivers to enable the shard supervisor and install the
+// cycle hook).
+func (p *Plan) ShardActive() bool {
+	return p != nil && (p.ShardKillFrac > 0 || p.ShardStallFrac > 0)
+}
+
+// shardWindow reports whether the shard-fault window is open at now.
+func (p *Plan) shardWindow(now int64) bool {
+	if now < p.ShardFaultFrom {
+		return false
+	}
+	return p.ShardFaultUntil <= 0 || now < p.ShardFaultUntil
+}
+
+// ShardHook returns the supervisor cycle hook injecting this plan's
+// shard kill/stall faults; install it with Sharded.SetCycleHook. The
+// hook runs on whichever goroutine executes the shard's cycle and is a
+// pure function of (plan, shard, now), so concurrent shards and
+// repeated runs see identical faults.
+func (p *Plan) ShardHook() func(shard int, now int64) {
+	return func(shard int, now int64) {
+		if !p.shardWindow(now) {
+			return
+		}
+		if p.StallsShard(shard) && p.ShardStallDelay > 0 {
+			time.Sleep(p.ShardStallDelay)
+		}
+		if p.KillsShard(shard) {
+			panic(fmt.Sprintf("chaos: injected shard kill (shard %d, seed %d)", shard, p.Seed))
 		}
 	}
 }
@@ -159,8 +223,14 @@ func (p *Plan) FilterTrace(jobs []trace.Job) []trace.Job {
 
 // String summarizes the plan for run reports.
 func (p *Plan) String() string {
-	return fmt.Sprintf("seed=%d panics=%.2f slow=%.2f/%s malformed=%.2f",
+	s := fmt.Sprintf("seed=%d panics=%.2f slow=%.2f/%s malformed=%.2f",
 		p.Seed, p.PanicFrac, p.SlowFrac, p.SlowDelay, p.MalformedFrac)
+	if p.ShardActive() {
+		s += fmt.Sprintf(" shard-kill=%.2f shard-stall=%.2f/%s window=[%d,%d)",
+			p.ShardKillFrac, p.ShardStallFrac, p.ShardStallDelay,
+			p.ShardFaultFrom, p.ShardFaultUntil)
+	}
+	return s
 }
 
 // mix is the splitmix64 finalizer: a high-quality 64-bit avalanche.

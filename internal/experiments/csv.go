@@ -114,6 +114,40 @@ func WriteShardScaleCSV(w io.Writer, results []ShardScaleResult) error {
 	return cw.Error()
 }
 
+// WriteShardChaosCSV renders the E13 shard-kill intensity sweep:
+// failover work plus the survival and wait cost versus the 0-intensity
+// control row.
+func WriteShardChaosCSV(w io.Writer, results []ShardChaosResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"intensity", "killed", "failures", "recoveries", "drained", "evicted",
+		"lost", "touched", "completed", "survival", "clean_survival", "mean_wait_s", "wait_penalty_s", "wall_ns"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.FormatFloat(r.Intensity, 'f', 3, 64),
+			strconv.Itoa(r.Killed),
+			strconv.FormatInt(r.Failures, 10),
+			strconv.FormatInt(r.Recoveries, 10),
+			strconv.FormatInt(r.Drained, 10),
+			strconv.FormatInt(r.Evicted, 10),
+			strconv.FormatInt(r.Lost, 10),
+			strconv.Itoa(r.Touched),
+			strconv.Itoa(r.Completed),
+			strconv.FormatFloat(r.Survival, 'f', 4, 64),
+			strconv.FormatFloat(r.CleanSurvival, 'f', 4, 64),
+			strconv.FormatFloat(r.MeanWait, 'f', 1, 64),
+			strconv.FormatFloat(r.WaitPenalty, 'f', 1, 64),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteMemScaleCSV renders the E11 resting-memory sweep.
 func WriteMemScaleCSV(w io.Writer, results []MemScaleResult) error {
 	cw := csv.NewWriter(w)

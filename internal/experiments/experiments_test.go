@@ -464,3 +464,61 @@ func TestShardScaleSmallScale(t *testing.T) {
 		t.Fatalf("shardscale csv lines = %d", lines)
 	}
 }
+
+func TestShardChaosSmallScale(t *testing.T) {
+	cfg := ShardChaosConfig{
+		Racks: 4, Jobs: 150, MaxNodes: 16, Seed: 2023, ChaosSeed: 1,
+		Shards: 4, Intensities: []float64{0, 0.25},
+	}
+	results, err := RunShardChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	control, hit := results[0], results[1]
+	if control.Killed != 0 || control.Touched != 0 || control.WaitPenalty != 0 ||
+		control.Completed != cfg.Jobs || control.Survival != 1 || control.CleanSurvival != 1 {
+		t.Fatalf("control row: %+v", control)
+	}
+	if hit.Killed < 1 || hit.Failures < 1 {
+		t.Fatalf("no shard failed at 0.25: %+v", hit)
+	}
+	if hit.Recoveries < 1 {
+		t.Fatalf("bounded fault window must reabsorb: %+v", hit)
+	}
+	if hit.Drained+hit.Evicted == 0 || hit.Touched == 0 {
+		t.Fatalf("failover moved no jobs: %+v", hit)
+	}
+	if hit.CleanSurvival != 1 {
+		t.Fatalf("clean jobs must all complete: %+v", hit)
+	}
+	if int64(hit.Completed)+hit.Lost != int64(cfg.Jobs) {
+		t.Fatalf("jobs unaccounted for: completed=%d lost=%d", hit.Completed, hit.Lost)
+	}
+
+	// The sweep must lead with its control: the window bound and the
+	// wait-penalty baseline come from it.
+	if _, err := RunShardChaos(ShardChaosConfig{
+		Racks: 2, Jobs: 8, MaxNodes: 4, Shards: 2, Intensities: []float64{0.25},
+	}); err == nil {
+		t.Fatal("control-less sweep accepted")
+	}
+
+	var buf bytes.Buffer
+	PrintShardChaos(&buf, results, cfg)
+	if !strings.Contains(buf.String(), "Δwait(s)") {
+		t.Fatalf("table: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteShardChaosCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "intensity,killed,failures,recoveries,drained,evicted,lost,touched,completed,survival,clean_survival,mean_wait_s,wait_penalty_s,wall_ns") {
+		t.Fatalf("shardchaos header: %s", buf.String())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 { // header + 2 rows
+		t.Fatalf("shardchaos csv lines = %d", lines)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fluxion/internal/chaos"
+	"fluxion/internal/grug"
+	"fluxion/internal/resgraph"
+	"fluxion/internal/sched"
+	"fluxion/internal/shard"
+	"fluxion/internal/trace"
+)
+
+// ShardChaosConfig parameterizes the E13 shard-failure study: the same
+// queue snapshot drained through a supervised sharded scheduler while a
+// seeded chaos plan kills an increasing fraction of the shards mid-run,
+// measuring what failover costs the jobs that were never on a failed
+// shard ("clean" jobs) against the 0-intensity control.
+type ShardChaosConfig struct {
+	Racks       int64     // high-LOD racks (one shard each at Shards == Racks)
+	Jobs        int       // queue-snapshot depth at t=0
+	MaxNodes    int64     // largest job in nodes (kept within one shard's rack)
+	Seed        int64     // workload seed
+	ChaosSeed   int64     // shard-kill schedule seed
+	Shards      int       // shard count (fixed across the sweep)
+	Intensities []float64 // ShardKillFrac sweep; must include 0 (the control)
+}
+
+// DefaultShardChaos is the standard configuration: a 4-shard run over 4
+// high-LOD racks under a 400-job snapshot, with kill intensity swept
+// from the fault-free control up to half the fleet.
+func DefaultShardChaos() ShardChaosConfig {
+	return ShardChaosConfig{
+		Racks: 4, Jobs: 400, MaxNodes: 16, Seed: 2023, ChaosSeed: 1,
+		Shards: 4, Intensities: []float64{0, 0.125, 0.25, 0.375, 0.5},
+	}
+}
+
+// ShardChaosResult is one kill-intensity row. The fault window opens at
+// t=1 (after the snapshot's first scheduling round, so victims hold
+// real allocations) and closes at half the control run's makespan, so
+// every row's recovery probes get fault-free sim time to reabsorb in.
+type ShardChaosResult struct {
+	Intensity  float64 // ShardKillFrac
+	Killed     int     // shards that reached Failed at least once
+	Failures   int64   // supervisor failure transitions
+	Recoveries int64   // successful reabsorptions
+	Drained    int64   // pending/reserved jobs re-placed on survivors
+	Evicted    int64   // running jobs requeued through the NodeDown path
+	Lost       int64   // jobs failover could not save
+	Touched    int     // distinct jobs drained, evicted, or lost
+	Completed  int
+	// Survival is Completed over the snapshot; CleanSurvival is the
+	// completion rate of jobs failover never touched — the blast-radius
+	// measure: supervision earns its keep when clean jobs stay at 1.0
+	// while intensity climbs.
+	Survival      float64
+	CleanSurvival float64
+	MeanWait      float64 // mean queue wait in simulated seconds
+	WaitPenalty   float64 // MeanWait - control MeanWait, seconds
+	Wall          time.Duration
+}
+
+// RunShardChaos drains the cfg.Seed snapshot once per kill intensity
+// under EASY backfill, fault window [1, control makespan/2). The control
+// (intensity 0) must come first in cfg.Intensities: its makespan bounds
+// the window and its mean wait anchors WaitPenalty.
+func RunShardChaos(cfg ShardChaosConfig) ([]ShardChaosResult, error) {
+	if len(cfg.Intensities) == 0 || cfg.Intensities[0] != 0 {
+		return nil, fmt.Errorf("shardchaos: intensity sweep must start with the 0 control")
+	}
+	jobs := trace.Synthesize(cfg.Jobs, cfg.MaxNodes, 10, cfg.Seed)
+	var out []ShardChaosResult
+	var faultUntil int64
+	for _, intensity := range cfg.Intensities {
+		g, err := grug.BuildGraph(grug.HighLODRacks(cfg.Racks), 0, 1<<40,
+			resgraph.PruneSpec{resgraph.ALL: {"core", "node"}})
+		if err != nil {
+			return nil, err
+		}
+		sh, err := shard.New(shard.Config{
+			Graph: g, Shards: cfg.Shards, Queue: sched.EASY,
+			Supervisor: &shard.SupervisorConfig{},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shardchaos %.3f: %w", intensity, err)
+		}
+		if intensity > 0 {
+			plan := &chaos.Plan{
+				Seed:            cfg.ChaosSeed,
+				ShardKillFrac:   intensity,
+				ShardFaultFrom:  1,
+				ShardFaultUntil: faultUntil,
+			}
+			sh.SetCycleHook(plan.ShardHook())
+		}
+		start := time.Now()
+		for _, j := range jobs {
+			if _, err := sh.Submit(j.ID, j.Jobspec()); err != nil {
+				return nil, fmt.Errorf("shardchaos %.3f: job %d: %w", intensity, j.ID, err)
+			}
+		}
+		completed := sh.Run(0)
+		wall := time.Since(start)
+
+		m := sh.Metrics()
+		ss := sh.SupervisorStats()
+		touched := sh.TouchedJobs()
+		touchedSet := make(map[int64]bool, len(touched))
+		for _, id := range touched {
+			touchedSet[id] = true
+		}
+		cleanDone, cleanTotal := 0, 0
+		for _, j := range sh.Jobs() {
+			if touchedSet[j.ID] {
+				continue
+			}
+			cleanTotal++
+			if j.State == sched.StateCompleted {
+				cleanDone++
+			}
+		}
+		killed := make(map[int]bool)
+		for _, ev := range sh.HealthEvents() {
+			if ev.To == shard.Failed && ev.From != shard.Failed {
+				killed[ev.Shard] = true
+			}
+		}
+		r := ShardChaosResult{
+			Intensity:  intensity,
+			Killed:     len(killed),
+			Failures:   ss.Failures,
+			Recoveries: ss.Recoveries,
+			Drained:    ss.Drained,
+			Evicted:    ss.Evicted,
+			Lost:       ss.Lost,
+			Touched:    len(touched),
+			Completed:  completed,
+			MeanWait:   m.MeanWait,
+			Wall:       wall,
+		}
+		if cfg.Jobs > 0 {
+			r.Survival = float64(completed) / float64(cfg.Jobs)
+		}
+		if cleanTotal > 0 {
+			r.CleanSurvival = float64(cleanDone) / float64(cleanTotal)
+		}
+		if intensity == 0 {
+			faultUntil = sh.Now() / 2
+			if faultUntil < 2 {
+				faultUntil = 2
+			}
+		} else {
+			r.WaitPenalty = r.MeanWait - out[0].MeanWait
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintShardChaos renders the sweep as a table, control row first.
+func PrintShardChaos(w io.Writer, results []ShardChaosResult, cfg ShardChaosConfig) {
+	fmt.Fprintf(w, "Shard failover — %d shards over %d high-LOD racks, %d-job snapshot; kill window [1, control makespan/2), deltas vs the 0-intensity control\n",
+		cfg.Shards, cfg.Racks, cfg.Jobs)
+	fmt.Fprintf(w, "%9s %6s %8s %10s %7s %7s %4s %7s %9s %8s %9s %9s %11s %9s\n",
+		"intensity", "killed", "failures", "recoveries", "drained", "evicted", "lost",
+		"touched", "completed", "survival", "clean", "meanWait", "Δwait(s)", "wall")
+	for _, r := range results {
+		fmt.Fprintf(w, "%9.3f %6d %8d %10d %7d %7d %4d %7d %9d %7.1f%% %8.1f%% %8.0fs %11.0f %9v\n",
+			r.Intensity, r.Killed, r.Failures, r.Recoveries, r.Drained, r.Evicted, r.Lost,
+			r.Touched, r.Completed, 100*r.Survival, 100*r.CleanSurvival,
+			r.MeanWait, r.WaitPenalty, r.Wall.Round(time.Millisecond))
+	}
+}

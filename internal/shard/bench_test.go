@@ -36,7 +36,12 @@ func benchSetup(b *testing.B, shards int) *Sharded {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sh, err := New(Config{Graph: g, Shards: shards, Queue: sched.FCFS})
+	// Supervision enabled with defaults: the fenced-cycle path is what
+	// production sharded runs take, and the benchdiff gate holds it to
+	// the unsupervised baseline (fences and health checks must stay off
+	// the healthy hot path).
+	sh, err := New(Config{Graph: g, Shards: shards, Queue: sched.FCFS,
+		Supervisor: &SupervisorConfig{}})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -119,36 +119,54 @@ func (sh *Sharded) Submit(id int64, spec *jobspec.Jobspec) (*sched.Job, error) {
 }
 
 // SubmitPriority routes the job to the shard with the most residue
-// headroom for its aggregate needs and submits it there. When the
-// chosen shard rejects the job as unsatisfiable (down capacity,
-// fragmentation its aggregates could not see), the router withdraws it
-// and re-routes to the next-best shard before giving up. A job no
-// shard's static capacity can hold is submitted to shard 0 so it is
-// recorded unsatisfiable with flat-scheduler semantics.
+// headroom for its aggregate needs and submits it there. Failed shards
+// are skipped — quarantine removes their subtrees from the router's
+// view. When the chosen shard rejects the job as unsatisfiable (down
+// capacity, fragmentation its aggregates could not see), the router
+// withdraws it and re-routes to the next-best shard before giving up. A
+// job no live shard's static capacity can hold is submitted to the
+// first live shard so it is recorded unsatisfiable with flat-scheduler
+// semantics.
 func (sh *Sharded) SubmitPriority(id int64, spec *jobspec.Jobspec, priority int) (*sched.Job, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.submitPriority(id, spec, priority)
+}
+
+func (sh *Sharded) submitPriority(id int64, spec *jobspec.Jobspec, priority int) (*sched.Job, error) {
 	if _, dup := sh.byJob[id]; dup {
 		return nil, fmt.Errorf("sched: job %d already submitted", id)
 	}
 	totalsInto(spec, sh.needScratch)
 	need := sh.needScratch
-	now := sh.Now()
+	now := sh.now()
 	var cands []cand
+	fallback := -1
 	for i, st := range sh.shards {
+		if !st.placeable() {
+			continue
+		}
+		if fallback < 0 {
+			fallback = i
+		}
 		if score, ok := st.headroom(need, now); ok {
 			cands = append(cands, cand{idx: i, score: score})
 		}
 	}
+	if fallback < 0 {
+		return nil, fmt.Errorf("shard: no live shard to accept job %d (all failed)", id)
+	}
 	if len(cands) == 0 {
-		// Too big for every shard: record the unsatisfiable verdict on
-		// shard 0. This is a real quality loss vs. the flat scheduler
-		// (which might have placed the job across shard boundaries) and
-		// is counted, not hidden.
+		// Too big for every live shard: record the unsatisfiable verdict
+		// on the first live shard. This is a real quality loss vs. the
+		// flat scheduler (which might have placed the job across shard
+		// boundaries) and is counted, not hidden.
 		sh.stats.Unroutable++
-		job, err := sh.shards[0].s.SubmitPriority(id, spec, priority)
+		job, err := sh.shards[fallback].s.SubmitPriority(id, spec, priority)
 		if err != nil {
 			return nil, err
 		}
-		sh.byJob[id] = 0
+		sh.byJob[id] = fallback
 		return job, nil
 	}
 	sortCands(cands)
@@ -197,20 +215,27 @@ func addDemand(queued, need map[string]int64) {
 // Receiving shards run one catch-up cycle so stolen jobs get a decision
 // this round. Steals are bounded per round and per job, and a stolen
 // job keeps its original submit time so wait metrics stay honest.
+// Failed shards neither donate (their queues were drained at failure)
+// nor receive.
 func (sh *Sharded) rebalance() {
 	if len(sh.shards) < 2 || sh.stealsPerRound < 0 {
 		return
 	}
 	for _, st := range sh.shards {
-		st.refreshDemand()
+		if st.placeable() {
+			st.refreshDemand()
+		}
 	}
-	now := sh.Now()
+	now := sh.now()
 	budget := sh.stealsPerRound
 	need := make(map[string]int64, 4)
 	receivers := make(map[int]*shardState)
 	for _, st := range sh.shards {
 		if budget <= 0 {
 			break
+		}
+		if !st.placeable() {
+			continue
 		}
 		for _, job := range st.s.PendingJobs() {
 			if budget <= 0 {
@@ -223,7 +248,7 @@ func (sh *Sharded) rebalance() {
 			best := -1
 			var bestScore int64
 			for ti, tst := range sh.shards {
-				if ti == st.idx {
+				if ti == st.idx || !tst.placeable() {
 					continue
 				}
 				score, ok := tst.headroom(need, now)
@@ -275,5 +300,5 @@ func (sh *Sharded) rebalance() {
 		list = append(list, st)
 	}
 	sort.Slice(list, func(a, b int) bool { return list[a].idx < list[b].idx })
-	runParallel(list, func(st *shardState) { st.s.Schedule(); st.dirty = true })
+	sh.runCycles(list, false)
 }

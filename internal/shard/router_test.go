@@ -76,6 +76,44 @@ func TestWorkStealing(t *testing.T) {
 	}
 }
 
+// TestMaxStealsPerJobCap: a job that has exhausted its per-job steal
+// budget stays put even when another shard could take it — the
+// anti-ping-pong bound. Replays the TestWorkStealing scenario with job
+// 3's budget pre-spent: no steal happens and the job waits out its
+// origin shard instead of starting the moment the other shard drains.
+func TestMaxStealsPerJobCap(t *testing.T) {
+	sh := newSharded(t, sched.FCFS, "first", 2, 2, 2, 4)
+	submit := func(id, nodes, dur int64) {
+		t.Helper()
+		if _, err := sh.Submit(id, nodeJob(nodes, 4, dur)); err != nil {
+			t.Fatal(err)
+		}
+		sh.Schedule()
+	}
+	submit(1, 2, 100) // fills shard 0 until t=100
+	submit(2, 2, 10)  // fills shard 1 until t=10
+	if err := sh.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	submit(3, 2, 50) // blocked everywhere; ties to shard 0's queue
+	sh.steals[3] = sh.maxStealsPerJob
+	origin := sh.byJob[3]
+	sh.Run(0)
+	if got := sh.RouterStats().Steals; got != 0 {
+		t.Fatalf("capped job stolen anyway (%d steals)", got)
+	}
+	if sh.byJob[3] != origin {
+		t.Fatalf("job 3 moved off shard %d despite a spent steal budget", origin)
+	}
+	j, ok := sh.Job(3)
+	if !ok || j.State != sched.StateCompleted {
+		t.Fatalf("job 3 did not complete: %v", j)
+	}
+	if j.StartAt != 100 {
+		t.Errorf("job 3 started at %d, want 100 (waits out its origin shard)", j.StartAt)
+	}
+}
+
 // TestOverflowReroute: the router's headroom ranking can prefer a shard
 // whose surviving (post-failure) capacity cannot hold the job — static
 // caps are fixed at build and the healthier shard can be buried in queued

@@ -20,6 +20,12 @@
 // cycles run concurrently over graphs 1/N the size — at a quantified
 // decision-quality cost (experiments E12): cross-shard fragmentation
 // can delay or strand jobs a flat scheduler would have placed.
+//
+// Shards are also the failure domains: with Config.Supervisor set every
+// per-shard cycle runs behind a panic fence and cycle deadline feeding
+// a per-shard health state machine, and a shard declared failed is
+// quarantined — drained, excluded from routing, and later reabsorbed
+// from a fresh partition (supervisor.go).
 package shard
 
 import (
@@ -46,7 +52,9 @@ const DefaultMaxStealsPerJob = 2
 // Config parameterizes New.
 type Config struct {
 	// Graph is the finalized flat cluster graph to partition. It is only
-	// read (Partition clones it); the caller keeps ownership.
+	// read (Partition clones it); the caller keeps ownership. The router
+	// keeps a reference so a failed shard can be rebuilt from a fresh
+	// partition at reabsorb time.
 	Graph *resgraph.Graph
 	// Shards is the partition width (>= 1).
 	Shards int
@@ -59,6 +67,17 @@ type Config struct {
 	// SchedOpts apply to every shard scheduler (queue depth, retries…).
 	// Sharded runs are WAL-free; do not attach journals to the shards.
 	SchedOpts []sched.SchedOption
+	// Defense applies the sched self-defense layer (panic fences around
+	// match attempts, poison-job quarantine, cycle watchdog, admission
+	// backpressure) to every shard scheduler. Nil leaves the raw match
+	// path. Equivalent to appending sched.WithDefense to SchedOpts; kept
+	// as a first-class field so fluxion.NewSharded can plumb it through.
+	Defense *sched.DefenseConfig
+	// Supervisor enables the shard supervision layer: per-shard cycle
+	// fences and deadlines, the health state machine, failover drains,
+	// and reabsorption (see supervisor.go). Nil disables supervision and
+	// cycles dispatch straight to the shard schedulers.
+	Supervisor *SupervisorConfig
 	// StealsPerRound bounds rebalance work per round (0 = default,
 	// negative = stealing disabled).
 	StealsPerRound int
@@ -82,8 +101,14 @@ type RouterStats struct {
 	Unroutable int64
 }
 
+// retiredShard is the byJob sentinel for jobs whose owning scheduler was
+// discarded at reabsorb time (their terminal records live in the
+// supervisor's retired table) and for jobs lost to a shard failure.
+const retiredShard = -1
+
 // shardState is one partition: its graph, traverser, scheduler loop,
-// and the router-side residue/demand caches.
+// the router-side residue/demand caches, and the supervisor-side health
+// bookkeeping.
 type shardState struct {
 	idx int
 	g   *resgraph.Graph
@@ -108,25 +133,66 @@ type shardState struct {
 	// not yet running (pending + reserved), refreshed every rebalance
 	// round and maintained incrementally between rounds.
 	queued map[string]int64
+
+	// Supervisor state (supervisor.go). health is Healthy (zero value)
+	// when no supervisor is configured. cycled/tripped/slow are the
+	// cycle outcome flags: written by the fenced cycle on whichever
+	// goroutine ran it, consumed by supervise() after the cycle barrier.
+	health     Health
+	strikes    int   // consecutive bad cycles while Healthy
+	probeFails int   // counted bad probe cycles while Suspect
+	backoff    int   // rounds between counted probes, doubling per fail
+	countdown  int   // rounds until the next counted probe
+	graceUntil int64 // deadline to await a failed shard's running jobs
+	awaiting   bool  // failed shard still awaiting running jobs
+	cycled     bool  // ran a fenced cycle this round
+	tripped    bool
+	tripMsg    string
+	slow       bool
 }
+
+// placeable reports whether the router may place new work on the shard:
+// failed shards are excluded from residue scoring entirely, which is the
+// root-view equivalent of marking their subtrees down.
+func (st *shardState) placeable() bool { return st.health != Failed }
+
+// eventful reports whether the lockstep driver still owes the shard
+// event dispatch: live shards always, failed shards only while awaiting
+// running jobs under the grace timeout. A failed shard past that is
+// dark — its clock freezes until reabsorption rebuilds it.
+func (st *shardState) eventful() bool { return st.health != Failed || st.awaiting }
 
 // Sharded is N independent shard scheduler loops behind one
 // residue-routing front door. It mirrors the sched.Scheduler driver
 // surface (Submit/Schedule/Step/AdvanceTo/Run/Metrics) so drivers can
 // swap it in for a flat scheduler.
 //
-// Sharded is not safe for concurrent use: like sched.Scheduler it is a
-// single-driver discrete-event loop (the concurrency is inside — shard
-// cycles run in parallel).
+// Public methods are safe for concurrent use: a single mutex serializes
+// the driver surface (the concurrency is inside — shard cycles run in
+// parallel under the lock). Discrete-event semantics still assume one
+// logical driver advancing the clock; concurrent callers see a
+// consistent snapshot between steps.
 type Sharded struct {
+	mu sync.Mutex
+
 	shards []*shardState
-	byJob  map[int64]int // job ID -> owning shard
+	byJob  map[int64]int // job ID -> owning shard (retiredShard = retired)
 	steals map[int64]int // job ID -> times stolen
 	stats  RouterStats
+
+	// Partition inputs, kept so reabsorption can rebuild a failed
+	// shard's slab graph and scheduler from scratch.
+	srcGraph    *resgraph.Graph
+	cutType     string
+	matchPolicy string
+	schedOpts   []sched.SchedOption
 
 	policy          sched.QueuePolicy
 	stealsPerRound  int
 	maxStealsPerJob int
+
+	// sup is the supervision layer (nil = unsupervised cycles).
+	sup *supervisor
 
 	// needScratch is reused per routing decision.
 	needScratch map[string]int64
@@ -154,10 +220,20 @@ func New(cfg Config) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	sopts := cfg.SchedOpts
+	if cfg.Defense != nil {
+		// Clamp capacity so the append cannot scribble on the caller's
+		// backing array.
+		sopts = append(sopts[:len(sopts):len(sopts)], sched.WithDefense(*cfg.Defense))
+	}
 	sh := &Sharded{
 		shards:          make([]*shardState, n),
 		byJob:           make(map[int64]int),
 		steals:          make(map[int64]int),
+		srcGraph:        cfg.Graph,
+		cutType:         cut,
+		matchPolicy:     cfg.MatchPolicy,
+		schedOpts:       sopts,
 		policy:          qp,
 		stealsPerRound:  cfg.StealsPerRound,
 		maxStealsPerJob: cfg.MaxStealsPerJob,
@@ -169,102 +245,166 @@ func New(cfg Config) (*Sharded, error) {
 	if sh.maxStealsPerJob == 0 {
 		sh.maxStealsPerJob = DefaultMaxStealsPerJob
 	}
+	if cfg.Supervisor != nil {
+		sh.sup = newSupervisor(*cfg.Supervisor)
+	}
 	for k, g := range parts {
-		pol, err := match.Lookup(cfg.MatchPolicy)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := traverser.New(g, pol)
-		if err != nil {
-			return nil, err
-		}
-		s, err := sched.New(tr, qp, cfg.SchedOpts...)
-		if err != nil {
-			return nil, err
-		}
 		st := &shardState{
 			idx:     k,
-			g:       g,
-			tr:      tr,
-			s:       s,
 			residue: make(map[string]int64),
 			queued:  make(map[string]int64),
-			dirty:   true,
 		}
-		root := g.Root(resgraph.Containment)
-		st.cap = make(map[string]int64, 8)
-		for t, c := range root.Aggregates() {
-			st.cap[t] = c
+		tr, s, err := sh.buildCore(g)
+		if err != nil {
+			return nil, err
 		}
-		// Chain the router's residue invalidation behind whatever sink
-		// sched.New installed (the incremental wakeup index). Delta
-		// publication is synchronous and per-graph, so the flag write
-		// happens on whichever goroutine runs this shard's cycle; the
-		// router reads it only after the cycle barrier.
-		prev := g.DeltaSink()
-		if prev == nil {
-			g.SetDeltaSink(func(resgraph.Delta) { st.dirty = true })
-		} else {
-			g.SetDeltaSink(func(d resgraph.Delta) {
-				prev(d)
-				st.dirty = true
-			})
-		}
+		st.attach(g, tr, s)
 		sh.shards[k] = st
 	}
 	return sh, nil
 }
 
+// buildCore constructs a shard's traverser and scheduler over g from the
+// router's recorded configuration — shared between New and reabsorption.
+func (sh *Sharded) buildCore(g *resgraph.Graph) (*traverser.Traverser, *sched.Scheduler, error) {
+	pol, err := match.Lookup(sh.matchPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := traverser.New(g, pol)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.New(tr, sh.policy, sh.schedOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, s, nil
+}
+
+// attach wires a freshly built graph/traverser/scheduler triple into the
+// shard slot: static capacity from the root aggregates, and the router's
+// residue invalidation chained behind whatever delta sink sched.New
+// installed (the incremental wakeup index). Delta publication is
+// synchronous and per-graph, so the flag write happens on whichever
+// goroutine runs this shard's cycle; the router reads it only after the
+// cycle barrier.
+func (st *shardState) attach(g *resgraph.Graph, tr *traverser.Traverser, s *sched.Scheduler) {
+	st.g, st.tr, st.s = g, tr, s
+	root := g.Root(resgraph.Containment)
+	st.cap = make(map[string]int64, 8)
+	for t, c := range root.Aggregates() {
+		st.cap[t] = c
+	}
+	prev := g.DeltaSink()
+	if prev == nil {
+		g.SetDeltaSink(func(resgraph.Delta) { st.dirty = true })
+	} else {
+		g.SetDeltaSink(func(d resgraph.Delta) {
+			prev(d)
+			st.dirty = true
+		})
+	}
+	for t := range st.residue {
+		delete(st.residue, t)
+	}
+	for t := range st.queued {
+		delete(st.queued, t)
+	}
+	st.residueAt = 0
+	st.dirty = true
+}
+
 // Shards returns the shard count.
 func (sh *Sharded) Shards() int { return len(sh.shards) }
 
-// ShardScheduler exposes shard i's scheduler loop (tests, stats).
-func (sh *Sharded) ShardScheduler(i int) *sched.Scheduler { return sh.shards[i].s }
+// ShardScheduler exposes shard i's scheduler loop (tests, stats). The
+// pointer is replaced when a failed shard is reabsorbed.
+func (sh *Sharded) ShardScheduler(i int) *sched.Scheduler {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.shards[i].s
+}
 
-// ShardGraph exposes shard i's resource graph (tests, stats).
-func (sh *Sharded) ShardGraph(i int) *resgraph.Graph { return sh.shards[i].g }
+// ShardGraph exposes shard i's resource graph (tests, stats). The
+// pointer is replaced when a failed shard is reabsorbed.
+func (sh *Sharded) ShardGraph(i int) *resgraph.Graph {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.shards[i].g
+}
 
 // RouterStats returns the router's cumulative placement counters.
-func (sh *Sharded) RouterStats() RouterStats { return sh.stats }
+func (sh *Sharded) RouterStats() RouterStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stats
+}
 
-// Job returns a submitted job by ID, from whichever shard owns it.
+// Job returns a submitted job by ID, from whichever shard owns it —
+// including terminal records retired from reabsorbed shards.
 func (sh *Sharded) Job(id int64) (*sched.Job, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.job(id)
+}
+
+func (sh *Sharded) job(id int64) (*sched.Job, bool) {
 	k, ok := sh.byJob[id]
 	if !ok {
 		return nil, false
 	}
+	if k == retiredShard {
+		j, ok := sh.sup.retired[id]
+		return j, ok
+	}
 	return sh.shards[k].s.Job(id)
 }
 
-// Jobs returns a merged snapshot of every shard's job table.
-func (sh *Sharded) Jobs() map[int64]*sched.Job {
-	out := make(map[int64]*sched.Job)
+// eachJob visits every job the router knows: live shard tables plus the
+// retired records preserved across reabsorptions.
+func (sh *Sharded) eachJob(fn func(*sched.Job)) {
 	for _, st := range sh.shards {
-		for id, j := range st.s.Jobs() {
-			out[id] = j
+		for _, j := range st.s.Jobs() {
+			fn(j)
 		}
 	}
+	if sh.sup != nil {
+		for _, j := range sh.sup.retired {
+			fn(j)
+		}
+	}
+}
+
+// Jobs returns a merged snapshot of every shard's job table (plus
+// retired records from reabsorbed shards).
+func (sh *Sharded) Jobs() map[int64]*sched.Job {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[int64]*sched.Job)
+	sh.eachJob(func(j *sched.Job) { out[j.ID] = j })
 	return out
 }
 
 // Atomic runs fn; sharded runs are journal-free, so there is no command
 // unit to widen — the method exists so drivers written against
-// sched.Scheduler work unchanged.
+// sched.Scheduler work unchanged. fn may call the public driver surface
+// (it runs outside the router lock).
 func (sh *Sharded) Atomic(fn func()) { fn() }
 
 // Counts tallies jobs per state across all shards.
 func (sh *Sharded) Counts() map[sched.JobState]int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	out := make(map[sched.JobState]int)
-	for _, st := range sh.shards {
-		for _, j := range st.s.Jobs() {
-			out[j.State]++
-		}
-	}
+	sh.eachJob(func(j *sched.Job) { out[j.State]++ })
 	return out
 }
 
 // Unfinished counts jobs still pending, reserved, or running.
 func (sh *Sharded) Unfinished() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	n := 0
 	for _, st := range sh.shards {
 		n += st.s.Unfinished()
@@ -272,9 +412,15 @@ func (sh *Sharded) Unfinished() int {
 	return n
 }
 
-// Stats sums the shard schedulers' work counters.
+// Stats sums the shard schedulers' work counters, including counters
+// folded in from schedulers discarded at reabsorb time.
 func (sh *Sharded) Stats() sched.Stats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var out sched.Stats
+	if sh.sup != nil {
+		out = sh.sup.retiredStats
+	}
 	for _, st := range sh.shards {
 		s := st.s.Stats()
 		out.Cycles += s.Cycles
@@ -291,7 +437,12 @@ func (sh *Sharded) Stats() sched.Stats {
 
 // Cycles sums scheduling cycles across shards.
 func (sh *Sharded) Cycles() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	n := 0
+	if sh.sup != nil {
+		n = sh.sup.retiredCycles
+	}
 	for _, st := range sh.shards {
 		n += st.s.Cycles
 	}
@@ -301,12 +452,19 @@ func (sh *Sharded) Cycles() int {
 // Metrics computes run statistics over the merged job table, mirroring
 // sched.Metrics: utilization and makespan span the whole system (node
 // capacity summed across shard roots, makespan from the global earliest
-// submit to the global last completion).
+// submit to the global last completion). Requeue and lost-core counters
+// fold in both live shards and schedulers discarded at reabsorb time.
 func (sh *Sharded) Metrics() sched.Metrics {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var m sched.Metrics
 	var firstSubmit, lastEnd int64 = 1 << 62, 0
 	var waits int64
 	nodeCapacity := int64(0)
+	if sh.sup != nil {
+		m.Requeues = sh.sup.retiredMetrics.Requeues
+		m.LostCoreSeconds = sh.sup.retiredMetrics.LostCoreSeconds
+	}
 	for _, st := range sh.shards {
 		if root := st.g.Root(resgraph.Containment); root != nil {
 			nodeCapacity += root.Aggregates()["node"]
@@ -315,40 +473,38 @@ func (sh *Sharded) Metrics() sched.Metrics {
 		m.Requeues += sm.Requeues
 		m.LostCoreSeconds += sm.LostCoreSeconds
 	}
-	for _, st := range sh.shards {
-		for _, j := range st.s.Jobs() {
-			m.TotalMatch += j.MatchDuration
-			switch j.State {
-			case sched.StateFailed:
-				m.Failed++
-				continue
-			case sched.StateQuarantined:
-				m.Quarantined++
-				continue
-			case sched.StateUnsatisfiable:
-				m.Unsatisfiable++
-				continue
-			case sched.StateCompleted:
-				m.Completed++
-			default:
-				continue
-			}
-			if j.Submit < firstSubmit {
-				firstSubmit = j.Submit
-			}
-			if j.EndAt > lastEnd {
-				lastEnd = j.EndAt
-			}
-			wait := j.StartAt - j.Submit
-			waits += wait
-			if wait > m.MaxWait {
-				m.MaxWait = wait
-			}
-			if j.Alloc != nil {
-				m.NodeSecondsUsed += int64(len(j.Alloc.Nodes())) * (j.EndAt - j.StartAt)
-			}
+	sh.eachJob(func(j *sched.Job) {
+		m.TotalMatch += j.MatchDuration
+		switch j.State {
+		case sched.StateFailed:
+			m.Failed++
+			return
+		case sched.StateQuarantined:
+			m.Quarantined++
+			return
+		case sched.StateUnsatisfiable:
+			m.Unsatisfiable++
+			return
+		case sched.StateCompleted:
+			m.Completed++
+		default:
+			return
 		}
-	}
+		if j.Submit < firstSubmit {
+			firstSubmit = j.Submit
+		}
+		if j.EndAt > lastEnd {
+			lastEnd = j.EndAt
+		}
+		wait := j.StartAt - j.Submit
+		waits += wait
+		if wait > m.MaxWait {
+			m.MaxWait = wait
+		}
+		if j.Alloc != nil {
+			m.NodeSecondsUsed += int64(len(j.Alloc.Nodes())) * (j.EndAt - j.StartAt)
+		}
+	})
 	if m.Completed > 0 {
 		m.Makespan = lastEnd - firstSubmit
 		m.MeanWait = float64(waits) / float64(m.Completed)
@@ -358,11 +514,20 @@ func (sh *Sharded) Metrics() sched.Metrics {
 }
 
 // Withdraw removes a job from whichever shard owns it (see
-// sched.Scheduler.Withdraw).
+// sched.Scheduler.Withdraw). Retired records are simply dropped.
 func (sh *Sharded) Withdraw(id int64) (*sched.Job, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	k, ok := sh.byJob[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", traverser.ErrUnknownJob, id)
+	}
+	if k == retiredShard {
+		job := sh.sup.retired[id]
+		delete(sh.sup.retired, id)
+		delete(sh.byJob, id)
+		delete(sh.steals, id)
+		return job, nil
 	}
 	job, err := sh.shards[k].s.Withdraw(id)
 	if err != nil {
@@ -374,25 +539,55 @@ func (sh *Sharded) Withdraw(id int64) (*sched.Job, error) {
 	return job, nil
 }
 
-// Now returns the lockstep simulated clock (all shard clocks agree).
-func (sh *Sharded) Now() int64 { return sh.shards[0].s.Now() }
+// Now returns the lockstep simulated clock: the maximum across shard
+// clocks. Live clocks agree after every step, but a dark (failed) shard
+// freezes at its failure time and uneven AdvanceTo progress is possible
+// between steps — the max is the time the system as a whole has reached
+// and never regresses.
+func (sh *Sharded) Now() int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.now()
+}
 
-// HasEvents reports whether any shard has pending events.
-func (sh *Sharded) HasEvents() bool {
+func (sh *Sharded) now() int64 {
+	t := int64(0)
 	for _, st := range sh.shards {
-		if st.s.HasEvents() {
+		if n := st.s.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// HasEvents reports whether any live shard has pending events.
+func (sh *Sharded) HasEvents() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.hasEvents()
+}
+
+func (sh *Sharded) hasEvents() bool {
+	for _, st := range sh.shards {
+		if st.eventful() && st.s.HasEvents() {
 			return true
 		}
 	}
 	return false
 }
 
-// NextEventAt returns the earliest pending event time across shards
-// (-1 when none).
+// NextEventAt returns the earliest pending event time across live
+// shards (-1 when none).
 func (sh *Sharded) NextEventAt() int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.nextEventAt()
+}
+
+func (sh *Sharded) nextEventAt() int64 {
 	at := int64(-1)
 	for _, st := range sh.shards {
-		if !st.s.HasEvents() {
+		if !st.eventful() || !st.s.HasEvents() {
 			continue
 		}
 		if t := st.s.NextEventAt(); at < 0 || t < at {
@@ -402,9 +597,19 @@ func (sh *Sharded) NextEventAt() int64 {
 	return at
 }
 
-// AdvanceTo moves every shard clock forward to t in lockstep.
+// AdvanceTo moves every live shard clock forward to t in lockstep. Dark
+// shards stay frozen; reabsorption advances them when they rebuild.
 func (sh *Sharded) AdvanceTo(t int64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.advanceTo(t)
+}
+
+func (sh *Sharded) advanceTo(t int64) error {
 	for _, st := range sh.shards {
+		if !st.eventful() {
+			continue
+		}
 		if err := st.s.AdvanceTo(t); err != nil {
 			return err
 		}
@@ -412,18 +617,29 @@ func (sh *Sharded) AdvanceTo(t int64) error {
 	return nil
 }
 
-// Step advances every shard to the next global event instant: shards
-// with events there run their Step (dispatch + cycle) concurrently —
-// their graphs, planners, and queues are fully disjoint — and the rest
-// just advance their clocks. One rebalance round follows. Returns false
-// when no events remain anywhere.
+// Step advances every live shard to the next global event instant:
+// shards with events there run their Step (dispatch + cycle)
+// concurrently — their graphs, planners, and queues are fully disjoint —
+// and the rest just advance their clocks. The supervisor then digests
+// cycle outcomes (health transitions, failover drains, recovery probes)
+// and one rebalance round follows. Returns false when no events remain
+// on any live shard.
 func (sh *Sharded) Step() bool {
-	t := sh.NextEventAt()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.step()
+}
+
+func (sh *Sharded) step() bool {
+	t := sh.nextEventAt()
 	if t < 0 {
 		return false
 	}
 	var steppers []*shardState
 	for _, st := range sh.shards {
+		if !st.eventful() {
+			continue
+		}
 		if st.s.HasEvents() && st.s.NextEventAt() == t {
 			steppers = append(steppers, st)
 		} else if err := st.s.AdvanceTo(t); err != nil {
@@ -432,19 +648,51 @@ func (sh *Sharded) Step() bool {
 			panic(fmt.Sprintf("shard: lockstep advance to %d: %v", t, err))
 		}
 	}
-	// A cycle's immediate allocations publish no delta (a claim cannot
-	// unblock a waiting job, so the wakeup index ignores them), but they
-	// do consume residue: dirty the cache by hand after every cycle.
-	runParallel(steppers, func(st *shardState) { st.s.Step(); st.dirty = true })
+	sh.runCycles(steppers, true)
+	sh.supervise()
 	sh.rebalance()
 	return true
 }
 
-// Schedule runs one scheduling cycle on every shard concurrently, then
-// one rebalance round.
+// Schedule runs one scheduling cycle on every live shard concurrently,
+// then the supervisor digest and one rebalance round.
 func (sh *Sharded) Schedule() {
-	runParallel(sh.shards, func(st *shardState) { st.s.Schedule(); st.dirty = true })
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.schedule()
+}
+
+func (sh *Sharded) schedule() {
+	var active []*shardState
+	for _, st := range sh.shards {
+		if st.health != Failed {
+			active = append(active, st)
+		}
+	}
+	sh.runCycles(active, false)
+	sh.supervise()
 	sh.rebalance()
+}
+
+// runCycles fans one cycle (step = event dispatch + cycle, otherwise a
+// plain scheduling cycle) across the given shards. Without a supervisor
+// the cycles dispatch straight to the shard schedulers — no fence, no
+// clock reads — preserving the unsupervised hot path; with one, every
+// cycle runs inside the panic fence and deadline watch (supervisor.go).
+//
+// A cycle's immediate allocations publish no delta (a claim cannot
+// unblock a waiting job, so the wakeup index ignores them), but they do
+// consume residue: the cache is dirtied by hand after every cycle.
+func (sh *Sharded) runCycles(shards []*shardState, step bool) {
+	if sh.sup == nil {
+		if step {
+			runParallel(shards, func(st *shardState) { st.s.Step(); st.dirty = true })
+		} else {
+			runParallel(shards, func(st *shardState) { st.s.Schedule(); st.dirty = true })
+		}
+		return
+	}
+	runParallel(shards, func(st *shardState) { sh.fencedCycle(st, step) })
 }
 
 // Run schedules and steps until every satisfiable job completes (or
@@ -459,11 +707,9 @@ func (sh *Sharded) Run(maxSteps int) int {
 		}
 	}
 	done := 0
-	for _, st := range sh.shards {
-		for _, j := range st.s.Jobs() {
-			if j.State == sched.StateCompleted {
-				done++
-			}
+	for _, j := range sh.Jobs() {
+		if j.State == sched.StateCompleted {
+			done++
 		}
 	}
 	return done

@@ -25,8 +25,18 @@ func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		return nil, fmt.Errorf("simcli: the crash-recovery drill requires a flat scheduler (drop -drill or -shards)")
 	case cfg.MTBF > 0 || cfg.MTTR > 0:
 		return nil, fmt.Errorf("simcli: fault injection requires a flat scheduler (drop -mtbf/-mttr or -shards)")
-	case cfg.Chaos.Active():
-		return nil, fmt.Errorf("simcli: chaos plans require a flat scheduler (drop chaos flags or -shards)")
+	case cfg.Chaos.Active() || (cfg.Chaos != nil && cfg.Chaos.Storage != nil):
+		return nil, fmt.Errorf("simcli: job-level and storage chaos require a flat scheduler (drop chaos flags or -shards)")
+	}
+	// Shard-level chaos is a sharded-run feature: the plan's kill/stall
+	// hook feeds the supervisor's cycle fences. A dry run ignores the
+	// plan — the clean twin a chaos run's surviving jobs are diffed
+	// against.
+	plan := cfg.Chaos
+	shardChaos := plan.ShardActive() && !cfg.ChaosDry
+	sup := cfg.ShardSupervisor
+	if shardChaos && sup == nil {
+		sup = &shard.SupervisorConfig{}
 	}
 	spec := cfg.PruneSpec
 	if spec == nil {
@@ -47,9 +57,6 @@ func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		sopts = append(sopts, sched.WithMatchWorkers(cfg.MatchWorkers))
 	}
 	sopts = append(sopts, sched.WithIncremental(!cfg.FullRequeue))
-	if cfg.Defense != nil {
-		sopts = append(sopts, sched.WithDefense(*cfg.Defense))
-	}
 
 	g, err := grug.BuildGraph(cfg.Recipe, 0, simHorizon, spec)
 	if err != nil {
@@ -66,9 +73,14 @@ func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		MatchPolicy: cfg.MatchPolicy,
 		Queue:       qp,
 		SchedOpts:   sopts,
+		Defense:     cfg.Defense,
+		Supervisor:  sup,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if shardChaos {
+		sh.SetCycleHook(plan.ShardHook())
 	}
 
 	mp := cfg.MatchPolicy
@@ -84,6 +96,13 @@ func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	fmt.Fprintf(out, "shards: %d cut=%s\n", cfg.Shards, cut)
 	if cfg.MatchWorkers > 1 {
 		fmt.Fprintf(out, "match workers: %d per shard (parallel match pipeline)\n", cfg.MatchWorkers)
+	}
+	if plan.ShardActive() {
+		mode := "supervised"
+		if cfg.ChaosDry {
+			mode = "dry (supervision-free clean twin)"
+		}
+		fmt.Fprintf(out, "chaos: %s mode=%s\n", plan, mode)
 	}
 
 	l := &looper{s: sh, jobs: jobs, out: out, max: cfg.MaxSteps}
@@ -101,6 +120,14 @@ func runSharded(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 	rs := sh.RouterStats()
 	fmt.Fprintf(out, "router: routed=%d rerouted=%d steals=%d unroutable=%d\n",
 		rs.Routed, rs.Rerouted, rs.Steals, rs.Unroutable)
+	if sh.Supervised() {
+		sst := sh.SupervisorStats()
+		fmt.Fprintf(out, "supervisor: trips=%d deadline-misses=%d failures=%d recoveries=%d drained=%d evicted=%d lost=%d\n",
+			sst.Trips, sst.DeadlineMisses, sst.Failures, sst.Recoveries, sst.Drained, sst.Evicted, sst.Lost)
+		for _, ev := range sh.HealthEvents() {
+			fmt.Fprintf(out, "supervisor event: %s\n", ev)
+		}
+	}
 	ss := sh.Stats()
 	fmt.Fprintf(out, "sched: %d cycles, %d match attempts, %d woken, %d skipped\n",
 		ss.Cycles, ss.MatchAttempts, ss.WokenJobs, ss.SkippedJobs)

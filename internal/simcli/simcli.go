@@ -74,8 +74,9 @@ type Config struct {
 	// is partitioned into subtree shards cut at ShardCut, each with its
 	// own scheduler loop behind a residue-routing root with work
 	// stealing. Sharded runs are in-memory only: WAL durability, the
-	// crash drill, fault injection, and chaos plans are flat-scheduler
-	// features and are rejected in combination.
+	// crash drill, fault injection, and job-level/storage chaos are
+	// flat-scheduler features and are rejected in combination —
+	// shard-level chaos (kills/stalls) is the sharded-only converse.
 	Shards int
 	// ShardCut is the containment type shards are cut at (default
 	// "rack").
@@ -102,9 +103,11 @@ type Config struct {
 
 	// Chaos composes every fault source behind one seeded plan: node
 	// MTBF/MTTR (fills the fields above when they are unset), WAL storage
-	// faults, and the hostile-job streams (match panics, slow matches,
-	// malformed specs). When the plan injects job-level faults the
-	// scheduler self-defense layer auto-enables unless ChaosDry is set.
+	// faults, the hostile-job streams (match panics, slow matches,
+	// malformed specs), and shard kills/stalls (sharded runs only). When
+	// the plan injects job-level faults the scheduler self-defense layer
+	// auto-enables unless ChaosDry is set; when it injects shard faults
+	// the shard supervisor auto-enables likewise.
 	Chaos *chaos.Plan
 	// ChaosDry runs the defense-free parity baseline: the plan's
 	// poisoned jobs are filtered out of the trace up front and no faults
@@ -115,6 +118,11 @@ type Config struct {
 	// quarantine, cycle watchdog, admission backpressure) with the given
 	// tuning. Set automatically for active chaos runs.
 	Defense *sched.DefenseConfig
+	// ShardSupervisor enables shard supervision and failover on sharded
+	// runs (health state machine, quarantine-and-drain, reabsorption).
+	// Auto-enabled with defaults when the chaos plan injects shard
+	// faults.
+	ShardSupervisor *shard.SupervisorConfig
 }
 
 // Result carries the outcome for programmatic callers.
@@ -234,6 +242,9 @@ func Run(cfg Config, jobs []trace.Job, out io.Writer) (*Result, error) {
 		return runSharded(cfg, jobs, out)
 	}
 	plan := cfg.Chaos
+	if plan.ShardActive() {
+		return nil, fmt.Errorf("simcli: shard chaos requires a sharded run (-shards > 1)")
+	}
 	chaosLive := plan.Active() && !cfg.ChaosDry
 	if plan != nil {
 		if cfg.ChaosDry {

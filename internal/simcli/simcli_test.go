@@ -372,3 +372,62 @@ func TestRunShardedRejectsFlatOnlyFeatures(t *testing.T) {
 		}
 	}
 }
+
+func TestRunShardedShardChaos(t *testing.T) {
+	jobs := []trace.Job{
+		{ID: 1, Nodes: 4, CoresPerNode: 8, Duration: 100},
+		{ID: 2, Nodes: 2, CoresPerNode: 8, Duration: 50},
+		{ID: 3, Nodes: 4, CoresPerNode: 8, Duration: 80},
+		{ID: 4, Nodes: 1, CoresPerNode: 8, Duration: 20},
+		{ID: 5, Nodes: 2, CoresPerNode: 8, Duration: 40},
+	}
+	// Seed 1 at 0.25 kills shard 3's cycles; the open-from-zero window
+	// trips it on the very first scheduling round, so supervision is
+	// provably live even in a short drain.
+	plan := &chaos.Plan{Seed: 1, ShardKillFrac: 0.25}
+	var out bytes.Buffer
+	res, err := Run(Config{Recipe: grug.Small(4, 4, 8, 0, 0), Shards: 4, Chaos: plan}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed = %d\n%s", res.Completed, out.String())
+	}
+	if !res.Sharded.Supervised() {
+		t.Fatal("shard chaos must auto-enable the supervisor")
+	}
+	s := out.String()
+	for _, want := range []string{"mode=supervised", "supervisor: trips=", "-> suspect"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	// The dry twin ignores the plan: no hook, no supervisor, and the
+	// schedule matches a plan-free run of the same trace.
+	out.Reset()
+	dry, err := Run(Config{Recipe: grug.Small(4, 4, 8, 0, 0), Shards: 4, Chaos: plan, ChaosDry: true}, jobs, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.Sharded.Supervised() {
+		t.Fatal("dry twin must not enable the supervisor")
+	}
+	if !strings.Contains(out.String(), "mode=dry") {
+		t.Errorf("dry twin output missing mode=dry:\n%s", out.String())
+	}
+	for _, j := range jobs {
+		cj, _ := res.Sharded.Job(j.ID)
+		dj, _ := dry.Sharded.Job(j.ID)
+		if cj.State != dj.State {
+			t.Errorf("job %d: chaos state %v, dry state %v", j.ID, cj.State, dj.State)
+		}
+	}
+}
+
+func TestFlatRejectsShardChaos(t *testing.T) {
+	cfg := Config{Recipe: smallRecipe(), Chaos: &chaos.Plan{Seed: 1, ShardKillFrac: 0.5}}
+	if _, err := Run(cfg, []trace.Job{{ID: 1, Nodes: 1, CoresPerNode: 8, Duration: 10}}, io.Discard); err == nil {
+		t.Fatal("flat run accepted a shard chaos plan")
+	}
+}

@@ -1,6 +1,7 @@
 package fluxion
 
 import (
+	"errors"
 	"testing"
 
 	"fluxion/internal/grug"
@@ -45,5 +46,74 @@ func TestNewSharded(t *testing.T) {
 	if _, err := NewSharded(2, sched.FCFS,
 		WithRecipe(grug.Small(2, 2, 4, 0, 0)), WithShardCut("nope")); err == nil {
 		t.Fatal("unknown shard cut accepted")
+	}
+}
+
+// TestNewShardedWithDefense: WithDefense must reach the per-shard
+// scheduler loops — admission backpressure rejecting with ErrOverload
+// proves the defense layer is live behind the router.
+func TestNewShardedWithDefense(t *testing.T) {
+	sh, err := NewSharded(1, sched.FCFS,
+		WithRecipe(grug.Small(2, 2, 4, 0, 0)),
+		WithPruneFilters("ALL:core,ALL:node"),
+		WithDefense(DefenseConfig{AdmitHigh: 1, AdmitLow: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First submit queues (no Schedule between submits, so it stays
+	// pending); the second must bounce off the watermark.
+	small := jobspec.New(50, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4))))
+	if _, err := sh.Submit(1, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Submit(2, small); !errors.Is(err, sched.ErrOverload) {
+		t.Fatalf("want ErrOverload past AdmitHigh=1, got %v", err)
+	}
+}
+
+// TestNewShardedWithSupervisor: WithShardSupervisor must enable the
+// supervision layer — an injected cycle panic fails the shard, submits
+// error with no live shard, and Reabsorb restores service.
+func TestNewShardedWithSupervisor(t *testing.T) {
+	sh, err := NewSharded(1, sched.FCFS,
+		WithRecipe(grug.Small(2, 2, 4, 0, 0)),
+		WithPruneFilters("ALL:core,ALL:node"),
+		WithShardSupervisor(ShardSupervisorConfig{FailAfter: 1, RecoveryProbe: -1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Supervised() {
+		t.Fatal("supervisor not enabled")
+	}
+	kill := true
+	sh.SetCycleHook(func(shard int, now int64) {
+		if kill {
+			panic("injected")
+		}
+	})
+	sh.Schedule()
+	sh.Schedule()
+	if h := sh.ShardHealth(0); h != ShardFailed {
+		t.Fatalf("health %v after kill, want failed", h)
+	}
+	spec := jobspec.New(50, jobspec.SlotR(1, jobspec.R("node", 1, jobspec.R("core", 4))))
+	if _, err := sh.Submit(1, spec); err == nil {
+		t.Fatal("submit accepted with every shard failed")
+	}
+	kill = false
+	if err := sh.Reabsorb(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Submit(1, spec); err != nil {
+		t.Fatal(err)
+	}
+	sh.Run(0)
+	if j, _ := sh.Job(1); j.State != sched.StateCompleted {
+		t.Fatalf("post-reabsorb job finished %v", j.State)
+	}
+	if got := sh.SupervisorStats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
 	}
 }
